@@ -1,0 +1,58 @@
+// Figure 5 reproduction: number of detection packets BlackDP needs through
+// the RSU(s) per scenario. Paper values: 4-6 with no attacker; 6-9 for a
+// single black hole (6 same-cluster, 8 same-cluster-then-flees, 9
+// cross-cluster-then-flees); cooperative adds two teammate-probe packets
+// (8-11).
+#include <algorithm>
+#include <iostream>
+
+#include "metrics/table.hpp"
+#include "scenario/experiments.hpp"
+
+int main() {
+  using namespace blackdp;
+  using metrics::Table;
+
+  std::cout << "Figure 5 — detection packets per scenario\n\n";
+
+  Table table({"Scenario", "Detection packets", "Latency", "Verdict"});
+  std::uint32_t noneMin = ~0u, noneMax = 0;
+  std::uint32_t singleMin = ~0u, singleMax = 0;
+  std::uint32_t coopMin = ~0u, coopMax = 0;
+
+  for (const scenario::Fig5Case& c : scenario::fig5Cases()) {
+    const scenario::Fig5Result result = scenario::runFig5Case(c, /*seed=*/11);
+    table.addRow({result.label, std::to_string(result.detectionPackets),
+                  Table::num(result.latency.toSeconds() * 1000.0, 1) + " ms",
+                  std::string(core::toString(result.verdict))});
+    auto& minRef = c.attack == scenario::AttackType::kNone     ? noneMin
+                   : c.attack == scenario::AttackType::kSingle ? singleMin
+                                                               : coopMin;
+    auto& maxRef = c.attack == scenario::AttackType::kNone     ? noneMax
+                   : c.attack == scenario::AttackType::kSingle ? singleMax
+                                                               : coopMax;
+    minRef = std::min(minRef, result.detectionPackets);
+    maxRef = std::max(maxRef, result.detectionPackets);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nranges (paper: no attacker 4-6, single 6-9, cooperative "
+               "8-11)\n\n";
+  Table ranges({"Treatment", "Measured", "Paper"});
+  ranges.addRow({"no attacker",
+                 std::to_string(noneMin) + "-" + std::to_string(noneMax),
+                 "4-6"});
+  ranges.addRow({"single black hole",
+                 std::to_string(singleMin) + "-" + std::to_string(singleMax),
+                 "6-9"});
+  ranges.addRow({"cooperative black hole",
+                 std::to_string(coopMin) + "-" + std::to_string(coopMax),
+                 "8-11"});
+  ranges.print(std::cout);
+
+  const bool ok = noneMin >= 4 && noneMax <= 6 && singleMin >= 6 &&
+                  singleMax <= 9 && coopMin >= 8 && coopMax <= 11;
+  std::cout << (ok ? "\nshape check: PASS (all ranges within the paper's)\n"
+                   : "\nshape check: FAIL\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Substrate micro-benchmarks: event-kernel throughput, wireless broadcast
+// fan-out, AODV route-discovery latency, and full scenario construction.
+#include <benchmark/benchmark.h>
+
+#include "scenario/highway_scenario.hpp"
+
+namespace {
+
+using namespace blackdp;
+
+void BM_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      simulator.schedule(sim::Duration::microseconds(i), [&counter] {
+        ++counter;
+      });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventThroughput);
+
+/// One broadcast delivered to N in-range receivers.
+void BM_BroadcastFanout(benchmark::State& state) {
+  const auto receivers = static_cast<std::size_t>(state.range(0));
+
+  struct CountingRadio final : net::Radio {
+    mobility::Position where{};
+    std::uint64_t frames{0};
+    [[nodiscard]] mobility::Position radioPosition() const override {
+      return where;
+    }
+    void onFrame(const net::Frame&) override { ++frames; }
+  };
+
+  sim::Simulator simulator;
+  net::WirelessMedium medium{simulator, sim::Rng{1}};
+  std::vector<CountingRadio> radios(receivers + 1);
+  for (std::size_t i = 0; i <= receivers; ++i) {
+    radios[i].where = mobility::Position{static_cast<double>(i), 0.0};
+    medium.attach(common::NodeId{static_cast<std::uint32_t>(i + 1)},
+                  radios[i]);
+  }
+
+  class Ping final : public net::Payload {
+   public:
+    [[nodiscard]] std::string_view typeName() const override { return "ping"; }
+  };
+
+  for (auto _ : state) {
+    medium.send(common::NodeId{1},
+                net::Frame{common::Address{1}, common::kBroadcastAddress,
+                           net::makePayload<Ping>()});
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(receivers));
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(10)->Arg(100);
+
+/// Full Table-I world construction (110 nodes, enrollment, joins).
+void BM_ScenarioBuild(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    scenario::ScenarioConfig config;
+    config.seed = seed++;
+    config.attack = scenario::AttackType::kNone;
+    scenario::HighwayScenario world(config);
+    world.runFor(sim::Duration::milliseconds(100));
+    benchmark::DoNotOptimize(world.vehicles().size());
+  }
+}
+BENCHMARK(BM_ScenarioBuild);
+
+/// End-to-end AODV route discovery over ~8 km of highway, no attacker.
+void BM_RouteDiscovery(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    scenario::ScenarioConfig config;
+    config.seed = seed++;
+    config.attack = scenario::AttackType::kNone;
+    scenario::HighwayScenario world(config);
+    world.runFor(sim::Duration::milliseconds(500));
+    bool done = false;
+    world.source().agent->findRoute(world.destination().address(),
+                                    [&done](bool) { done = true; });
+    world.runUntil([&] { return done; }, sim::Duration::seconds(10));
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_RouteDiscovery);
+
+/// Full BlackDP verification + detection + isolation, single attacker.
+void BM_FullDetectionTrial(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    scenario::ScenarioConfig config;
+    config.seed = seed++;
+    config.attack = scenario::AttackType::kSingle;
+    config.attackerCluster = common::ClusterId{2};
+    scenario::HighwayScenario world(config);
+    benchmark::DoNotOptimize(world.runVerification());
+  }
+}
+BENCHMARK(BM_FullDetectionTrial);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Baseline comparison on a captured route discovery.
+//
+// Shows the public baselines API (§V of the paper): capture the RREPs one
+// discovery collects, then run each source-side heuristic over them and
+// compare with what BlackDP concludes about the same world.
+//
+//   $ ./examples/baseline_comparison [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/rrep_detectors.hpp"
+#include "scenario/highway_scenario.hpp"
+
+namespace {
+
+void runDetector(blackdp::baselines::RrepDetector& detector,
+                 const std::vector<blackdp::aodv::RouteReply>& rreps,
+                 const blackdp::scenario::HighwayScenario& world) {
+  std::cout << "  " << detector.name() << ": ";
+  const auto flagged = detector.classify(rreps);
+  if (flagged.empty()) {
+    std::cout << "flags nobody\n";
+    return;
+  }
+  for (const auto& address : flagged) {
+    std::cout << address
+              << (world.isAttackerPseudonym(address) ? " (attacker!)"
+                                                     : " (HONEST — FP)")
+              << ' ';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blackdp;
+
+  scenario::ScenarioConfig config;
+  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  config.attack = scenario::AttackType::kCooperative;
+  config.attackerCluster = common::ClusterId{2};
+
+  scenario::HighwayScenario world(config);
+  world.runFor(sim::Duration::milliseconds(500));
+
+  // Capture what the source's "routing cache" sees in one plain discovery.
+  std::vector<aodv::RouteReply> rreps;
+  world.source().agent->setRrepObserver(
+      [&rreps](const aodv::RouteReply& rrep, const net::Frame&) {
+        rreps.push_back(rrep);
+      });
+  bool done = false;
+  world.source().agent->findRoute(world.destination().address(),
+                                  [&done](bool) { done = true; });
+  world.runUntil([&] { return done; }, sim::Duration::seconds(10));
+
+  std::cout << "RREPs collected by the source:\n";
+  for (const aodv::RouteReply& rrep : rreps) {
+    std::cout << "  from " << rrep.replier << " seq=" << rrep.destSeq
+              << " hops=" << static_cast<int>(rrep.hopCount)
+              << (world.isAttackerPseudonym(rrep.replier) ? "  <- attacker"
+                                                          : "")
+              << '\n';
+  }
+
+  std::cout << "\nsource-side heuristics on that cache:\n";
+  baselines::FirstRrepComparisonDetector jaiswal;
+  baselines::PeakThresholdDetector peak;
+  baselines::StaticThresholdDetector tanSmall(baselines::Environment::kSmall);
+  baselines::StaticThresholdDetector tanMedium(
+      baselines::Environment::kMedium);
+  runDetector(jaiswal, rreps, world);
+  runDetector(peak, rreps, world);
+  runDetector(tanSmall, rreps, world);
+  runDetector(tanMedium, rreps, world);
+
+  std::cout << "\nNote the cooperative pair: both attackers reply with the "
+               "same forged freshness,\nso first-vs-rest comparison sees "
+               "nothing unusual, and a threshold only works if\nits guess "
+               "happens to undercut the forgery. BlackDP instead probes "
+               "behaviour\nthrough the RSU — run ./cooperative_blackhole to "
+               "see it confirm both nodes.\n";
+  return 0;
+}

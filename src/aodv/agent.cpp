@@ -1,0 +1,420 @@
+#include "aodv/agent.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace blackdp::aodv {
+
+AodvAgent::AodvAgent(sim::Simulator& simulator, net::BasicNode& node,
+                     AodvConfig config)
+    : simulator_{simulator}, node_{node}, config_{config} {
+  node_.addHandler([this](const net::Frame& frame) { return onFrame(frame); });
+  node_.addFailureHandler(
+      [this](const net::Frame& frame) { onLinkFailure(frame); });
+}
+
+void AodvAgent::onLinkFailure(const net::Frame& frame) {
+  // MAC feedback: the neighbour at frame.dst did not acknowledge. Every
+  // route through it is dead (RFC 3561 §6.11).
+  const std::size_t invalidated = table_.invalidateVia(frame.dst);
+  if (invalidated == 0) return;
+
+  // A lost data packet is additionally reported toward its originator so
+  // upstream hops (and the source) stop using the path.
+  if (const auto* data = net::payloadAs<DataPacket>(frame.payload)) {
+    ++stats_.dataDropped;
+    if (data->origin != node_.localAddress()) {
+      sendRerr(*data);
+    }
+  }
+}
+
+void AodvAgent::setCredentials(Credentials credentials,
+                               const crypto::CryptoEngine* engine) {
+  BDP_ASSERT_MSG(engine != nullptr, "credentials without a crypto engine");
+  credentials_ = std::move(credentials);
+  engine_ = engine;
+}
+
+void AodvAgent::startHello() {
+  if (config_.helloInterval <= sim::Duration{} || helloRunning_) return;
+  helloRunning_ = true;
+  onHelloTick();
+}
+
+void AodvAgent::onHelloTick() {
+  // Expire neighbours we have not heard from, invalidating routes through
+  // them (RFC 3561 §6.11 via §6.9 liveness).
+  const sim::TimePoint now = simulator_.now();
+  const sim::Duration lifetime =
+      config_.helloInterval * config_.allowedHelloLoss;
+  for (auto it = neighbours_.begin(); it != neighbours_.end();) {
+    if (now - it->second > lifetime) {
+      ++stats_.neighboursExpired;
+      table_.invalidateVia(it->first);
+      it = neighbours_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  auto hello = std::make_shared<HelloBeacon>();
+  hello->origin = node_.localAddress();
+  hello->originSeq = ownSeq_;
+  ++stats_.hellosSent;
+  node_.broadcast(hello);
+
+  simulator_.schedule(config_.helloInterval, [this] { onHelloTick(); });
+}
+
+void AodvAgent::refreshNeighbour(common::Address neighbour) {
+  if (!helloRunning_) return;
+  neighbours_[neighbour] = simulator_.now();
+}
+
+bool AodvAgent::isNeighbourAlive(common::Address neighbour) const {
+  const auto it = neighbours_.find(neighbour);
+  if (it == neighbours_.end()) return false;
+  return simulator_.now() - it->second <=
+         config_.helloInterval * config_.allowedHelloLoss;
+}
+
+bool AodvAgent::onFrame(const net::Frame& frame) {
+  refreshNeighbour(frame.src);
+  if (const auto* hello = net::payloadAs<HelloBeacon>(frame.payload)) {
+    // A HELLO also refreshes the one-hop route to its sender (§6.9).
+    RouteEntry direct;
+    direct.destination = hello->origin;
+    direct.nextHop = hello->origin;
+    direct.hopCount = 1;
+    direct.destSeq = hello->originSeq;
+    direct.validSeq = true;
+    direct.expiresAt = simulator_.now() +
+                       config_.helloInterval * (config_.allowedHelloLoss + 1);
+    table_.update(direct, simulator_.now());
+    return true;
+  }
+  if (const auto* rreq = net::payloadAs<RouteRequest>(frame.payload)) {
+    handleRreq(*rreq, frame);
+    return true;
+  }
+  if (const auto* rrep = net::payloadAs<RouteReply>(frame.payload)) {
+    handleRrep(*rrep, frame);
+    return true;
+  }
+  if (const auto* data = net::payloadAs<DataPacket>(frame.payload)) {
+    handleData(*data, frame);
+    return true;
+  }
+  if (const auto* rerr = net::payloadAs<RouteError>(frame.payload)) {
+    handleRerr(*rerr, frame);
+    return true;
+  }
+  return false;  // not an AODV frame; let other components look at it
+}
+
+// ---------------------------------------------------------------- discovery
+
+void AodvAgent::findRoute(common::Address destination,
+                          RouteCallback callback) {
+  BDP_ASSERT(callback != nullptr);
+  if (table_.activeRoute(destination, simulator_.now())) {
+    // Already routable; report success asynchronously for a uniform API.
+    simulator_.schedule(sim::Duration{},
+                        [cb = std::move(callback)] { cb(true); });
+    return;
+  }
+  auto& pending = pending_[destination];
+  pending.callbacks.push_back(std::move(callback));
+  if (pending.callbacks.size() > 1) return;  // discovery already in flight
+
+  pending.retriesLeft = config_.rreqRetries;
+  pending.currentTtl =
+      config_.expandingRing ? config_.ttlStart : config_.initialTtl;
+  startDiscoveryRound(destination);
+}
+
+void AodvAgent::startDiscoveryRound(common::Address destination) {
+  ++ownSeq_;  // RFC 3561 §6.1: bump own sequence number before an RREQ
+
+  auto rreq = std::make_shared<RouteRequest>();
+  rreq->rreqId = common::RreqId{nextRreqId_++};
+  rreq->origin = node_.localAddress();
+  rreq->originSeq = ownSeq_;
+  rreq->destination = destination;
+  if (const RouteEntry* known = table_.find(destination)) {
+    rreq->destSeq = known->destSeq;
+    rreq->unknownDestSeq = !known->validSeq;
+  }
+  const auto pendingIt = pending_.find(destination);
+  rreq->ttl = pendingIt != pending_.end() && pendingIt->second.currentTtl > 0
+                  ? pendingIt->second.currentTtl
+                  : config_.initialTtl;
+
+  // Remember our own flood so echoes are ignored.
+  checkAndRecordRreq(rreq->origin, rreq->rreqId);
+
+  ++stats_.rreqOriginated;
+  node_.broadcast(rreq);
+
+  simulator_.schedule(config_.rrepWaitWindow, [this, destination] {
+    onDiscoveryWindow(destination);
+  });
+}
+
+void AodvAgent::onDiscoveryWindow(common::Address destination) {
+  const auto it = pending_.find(destination);
+  if (it == pending_.end()) return;
+
+  if (table_.activeRoute(destination, simulator_.now())) {
+    ++stats_.discoveriesSucceeded;
+    auto callbacks = std::move(it->second.callbacks);
+    pending_.erase(it);
+    for (auto& cb : callbacks) cb(true);
+    return;
+  }
+  if (it->second.retriesLeft > 0) {
+    --it->second.retriesLeft;
+    if (config_.expandingRing) {
+      // Widen the ring (§6.4) until the configured network diameter.
+      const unsigned widened =
+          it->second.currentTtl + config_.ttlIncrement;
+      it->second.currentTtl = static_cast<std::uint8_t>(
+          std::min<unsigned>(widened, config_.initialTtl));
+    }
+    startDiscoveryRound(destination);
+    return;
+  }
+  ++stats_.discoveriesFailed;
+  auto callbacks = std::move(it->second.callbacks);
+  pending_.erase(it);
+  for (auto& cb : callbacks) cb(false);
+}
+
+bool AodvAgent::checkAndRecordRreq(common::Address origin, common::RreqId id) {
+  const auto key = std::pair{origin.value(), id.value()};
+  const sim::TimePoint now = simulator_.now();
+  // Lazy expiry of stale cache entries.
+  for (auto it = rreqSeen_.begin(); it != rreqSeen_.end();) {
+    it = (now >= it->second) ? rreqSeen_.erase(it) : std::next(it);
+  }
+  const auto [it, inserted] =
+      rreqSeen_.emplace(key, now + config_.rreqCacheLifetime);
+  return !inserted;
+}
+
+// ------------------------------------------------------------------- RREQ
+
+void AodvAgent::handleRreq(const RouteRequest& rreq, const net::Frame& frame) {
+  if (rreq.origin == node_.localAddress()) return;  // own flood echo
+  if (checkAndRecordRreq(rreq.origin, rreq.rreqId)) return;  // duplicate
+  processRreqAsRouter(rreq, frame);
+}
+
+void AodvAgent::processRreqAsRouter(const RouteRequest& rreq,
+                                    const net::Frame& frame) {
+  const sim::TimePoint now = simulator_.now();
+
+  // Reverse route toward the originator through the previous hop.
+  RouteEntry reverse;
+  reverse.destination = rreq.origin;
+  reverse.nextHop = frame.src;
+  reverse.hopCount = static_cast<std::uint8_t>(rreq.hopCount + 1);
+  reverse.destSeq = rreq.originSeq;
+  reverse.validSeq = true;
+  reverse.expiresAt = now + config_.activeRouteTimeout;
+  const bool reverseUpdated = table_.update(reverse, now);
+  BDP_LOG(kTrace, "aodv") << node_.localAddress() << " rreq id="
+                          << rreq.rreqId << " from " << rreq.origin
+                          << " oseq=" << rreq.originSeq << " via "
+                          << frame.src << " reverse-updated="
+                          << reverseUpdated;
+
+  if (rreq.destination == node_.localAddress()) {
+    // RFC 3561 §6.6.1: the destination updates its own sequence number to
+    // max(own, requested) before replying.
+    if (!rreq.unknownDestSeq && seqNewer(rreq.destSeq, ownSeq_)) {
+      ownSeq_ = rreq.destSeq;
+    }
+    replyToRreq(rreq, frame, ownSeq_, 0);
+    return;
+  }
+
+  // Intermediate node with a fresh-enough valid route replies on the
+  // destination's behalf (§6.6.2).
+  if (const auto route = table_.activeRoute(rreq.destination, now)) {
+    const bool freshEnough =
+        route->validSeq &&
+        (rreq.unknownDestSeq || seqAtLeast(route->destSeq, rreq.destSeq));
+    if (freshEnough) {
+      replyToRreq(rreq, frame, route->destSeq, route->hopCount,
+                  rreq.inquireNextHop ? route->nextHop : common::kNullAddress);
+      return;
+    }
+  }
+
+  // Otherwise rebroadcast while TTL lasts.
+  if (rreq.ttl <= 1) return;
+  auto fwd = std::make_shared<RouteRequest>(rreq);
+  fwd->hopCount = static_cast<std::uint8_t>(rreq.hopCount + 1);
+  fwd->ttl = static_cast<std::uint8_t>(rreq.ttl - 1);
+  simulator_.schedule(config_.processingDelay, [this, fwd] {
+    ++stats_.rreqRebroadcast;
+    node_.broadcast(fwd);
+  });
+}
+
+void AodvAgent::replyToRreq(const RouteRequest& rreq, const net::Frame& frame,
+                            SeqNum destSeq, std::uint8_t hopCount,
+                            common::Address claimedNextHop) {
+  auto rrep = std::make_shared<RouteReply>();
+  rrep->rreqId = rreq.rreqId;
+  rrep->origin = rreq.origin;
+  rrep->destination = rreq.destination;
+  rrep->destSeq = destSeq;
+  rrep->hopCount = hopCount;
+  rrep->replier = node_.localAddress();
+  rrep->replierCluster = currentCluster_;
+  rrep->lifetime = config_.activeRouteTimeout;
+  if (rreq.inquireNextHop) rrep->claimedNextHop = claimedNextHop;
+
+  if (credentials_) {
+    const common::Bytes body = rrep->canonicalBytes();
+    rrep->envelope = SecureEnvelope{
+        credentials_->certificate,
+        engine_->sign(credentials_->privateKey,
+                      std::span<const std::uint8_t>{body.data(), body.size()})};
+  }
+
+  const common::Address previousHop = frame.src;
+  simulator_.schedule(config_.processingDelay, [this, rrep, previousHop] {
+    ++stats_.rrepOriginated;
+    node_.sendTo(previousHop, rrep);
+  });
+}
+
+// ------------------------------------------------------------------- RREP
+
+void AodvAgent::handleRrep(const RouteReply& rrep, const net::Frame& frame) {
+  if (rrepFilter_ && !rrepFilter_(rrep, frame)) return;
+  const sim::TimePoint now = simulator_.now();
+
+  // Install/refresh the forward route toward the reply's destination.
+  RouteEntry forward;
+  forward.destination = rrep.destination;
+  forward.nextHop = frame.src;
+  forward.hopCount = static_cast<std::uint8_t>(rrep.hopCount + 1);
+  forward.destSeq = rrep.destSeq;
+  forward.validSeq = true;
+  forward.expiresAt = now + rrep.lifetime;
+  table_.update(forward, now);
+
+  if (rrep.origin == node_.localAddress()) {
+    ++stats_.rrepReceived;
+    if (rrepObserver_) rrepObserver_(rrep, frame);
+    return;
+  }
+
+  // Forward along the reverse path toward the originator.
+  const auto reverse = table_.activeRoute(rrep.origin, now);
+  if (!reverse) {
+    BDP_LOG(kDebug, "aodv") << node_.localAddress()
+                            << " dropping rrep from " << rrep.replier
+                            << ": no reverse route to " << rrep.origin;
+    return;  // reverse route evaporated; RREP dies here
+  }
+  BDP_LOG(kTrace, "aodv") << node_.localAddress() << " forwarding rrep from "
+                          << rrep.replier << " toward " << rrep.origin
+                          << " via " << reverse->nextHop;
+  auto fwd = std::make_shared<RouteReply>(rrep);
+  fwd->hopCount = forward.hopCount;
+  simulator_.schedule(config_.processingDelay,
+                      [this, fwd, nextHop = reverse->nextHop] {
+                        ++stats_.rrepForwarded;
+                        node_.sendTo(nextHop, fwd);
+                      });
+}
+
+// ------------------------------------------------------------------- data
+
+bool AodvAgent::sendData(common::Address destination, net::PayloadPtr inner,
+                         std::uint32_t bodyBytes) {
+  const auto route = table_.activeRoute(destination, simulator_.now());
+  if (!route) return false;
+  auto packet = std::make_shared<DataPacket>();
+  packet->origin = node_.localAddress();
+  packet->destination = destination;
+  packet->packetId = nextPacketId_++;
+  packet->bodyBytes = bodyBytes;
+  packet->inner = std::move(inner);
+  ++stats_.dataOriginated;
+  node_.sendTo(route->nextHop, packet);
+  return true;
+}
+
+void AodvAgent::handleData(const DataPacket& packet, const net::Frame& frame) {
+  if (packet.destination == node_.localAddress()) {
+    ++stats_.dataDelivered;
+    if (deliveryHandler_) deliveryHandler_(packet, frame);
+    return;
+  }
+  if (!shouldForwardData(packet)) {
+    ++stats_.dataDropped;
+    return;
+  }
+  const auto route = table_.activeRoute(packet.destination, simulator_.now());
+  if (!route) {
+    ++stats_.dataDropped;
+    sendRerr(packet);
+    return;
+  }
+  auto fwd = std::make_shared<DataPacket>(packet);
+  fwd->hopsTraversed = static_cast<std::uint8_t>(packet.hopsTraversed + 1);
+  simulator_.schedule(config_.processingDelay,
+                      [this, fwd, nextHop = route->nextHop] {
+                        ++stats_.dataForwarded;
+                        node_.sendTo(nextHop, fwd);
+                      });
+}
+
+bool AodvAgent::shouldForwardData(const DataPacket&) { return true; }
+
+void AodvAgent::sendRerr(const DataPacket& packet) {
+  auto rerr = std::make_shared<RouteError>();
+  rerr->destination = packet.destination;
+  rerr->origin = packet.origin;
+  if (const RouteEntry* entry = table_.find(packet.destination)) {
+    rerr->destSeq = entry->destSeq + 1;
+  }
+  table_.invalidate(packet.destination);
+
+  // Route the error back toward the data originator when possible.
+  const auto reverse = table_.activeRoute(packet.origin, simulator_.now());
+  ++stats_.rerrSent;
+  if (reverse) {
+    node_.sendTo(reverse->nextHop, rerr);
+  } else {
+    node_.broadcast(rerr);
+  }
+}
+
+void AodvAgent::handleRerr(const RouteError& rerr, const net::Frame& frame) {
+  // Invalidate our route if it runs through the reporting hop.
+  if (const RouteEntry* entry = table_.find(rerr.destination);
+      entry != nullptr && entry->valid && entry->nextHop == frame.src) {
+    table_.invalidate(rerr.destination);
+  }
+  if (rerr.origin == node_.localAddress()) return;
+  // Relay toward the data originator.
+  if (const auto reverse = table_.activeRoute(rerr.origin, simulator_.now())) {
+    node_.sendTo(reverse->nextHop, std::make_shared<RouteError>(rerr));
+  }
+}
+
+void AodvAgent::invalidateRoute(common::Address destination) {
+  table_.invalidate(destination);
+}
+
+}  // namespace blackdp::aodv

@@ -1,0 +1,229 @@
+// AODV protocol agent (RFC 3561 semantics, per Perkins & Royer).
+//
+// One agent per node. Route discovery floods RREQs; repliers answer with
+// RREPs that travel back along the reverse path; data packets are forwarded
+// hop by hop along installed routes. Discovery collects replies for a short
+// window and installs the freshest route — the "routing cache" behaviour the
+// paper's source node exhibits when it compares the attacker's RREP (SN=200)
+// with an honest one (SN=75).
+//
+// The protected virtuals are the override points used by the attack library
+// (forged replies, dropped data) — the honest implementation lives here.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "aodv/messages.hpp"
+#include "aodv/routing_table.hpp"
+#include "crypto/keys.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace blackdp::aodv {
+
+struct AodvConfig {
+  /// Route lifetime granted by RREPs and reverse-route setup.
+  sim::Duration activeRouteTimeout{sim::Duration::seconds(10)};
+  /// How long discovery collects RREPs before selecting the freshest route.
+  sim::Duration rrepWaitWindow{sim::Duration::milliseconds(120)};
+  /// Additional discovery attempts after the first window closes empty.
+  int rreqRetries{2};
+  std::uint8_t initialTtl{16};
+  /// Expanding-ring search (RFC 3561 §6.4): when enabled, discovery floods
+  /// start at ttlStart and grow by ttlIncrement per retry up to initialTtl,
+  /// trading worst-case latency for much smaller flood footprints when the
+  /// destination is near.
+  bool expandingRing{false};
+  std::uint8_t ttlStart{2};
+  std::uint8_t ttlIncrement{2};
+  /// Per-node handling time between receiving a packet and reacting.
+  sim::Duration processingDelay{sim::Duration::microseconds(200)};
+  /// How long (origin, rreq-id) pairs stay in the dedup cache.
+  sim::Duration rreqCacheLifetime{sim::Duration::seconds(10)};
+  /// HELLO beacon period (RFC 3561 §6.9). Zero disables link maintenance
+  /// (MAC ACK feedback still detects breaks on transmission).
+  sim::Duration helloInterval{};
+  /// A neighbour is declared lost after this many missed HELLO periods.
+  int allowedHelloLoss{2};
+};
+
+struct AodvStats {
+  std::uint64_t hellosSent{0};
+  std::uint64_t neighboursExpired{0};
+  std::uint64_t rreqOriginated{0};
+  std::uint64_t rreqRebroadcast{0};
+  std::uint64_t rrepOriginated{0};
+  std::uint64_t rrepForwarded{0};
+  std::uint64_t rrepReceived{0};  ///< as discovery originator
+  std::uint64_t rerrSent{0};
+  std::uint64_t dataOriginated{0};
+  std::uint64_t dataForwarded{0};
+  std::uint64_t dataDelivered{0};
+  std::uint64_t dataDropped{0};
+  std::uint64_t discoveriesSucceeded{0};
+  std::uint64_t discoveriesFailed{0};
+};
+
+/// Signing material for secure packets (BlackDP §III-B1). When present, the
+/// agent signs the RREPs it originates; when absent, replies are plain AODV.
+struct Credentials {
+  crypto::Certificate certificate;
+  crypto::PrivateKey privateKey;
+};
+
+class AodvAgent {
+ public:
+  using RouteCallback = std::function<void(bool success)>;
+  using DeliveryHandler =
+      std::function<void(const DataPacket&, const net::Frame&)>;
+  using RrepObserver =
+      std::function<void(const RouteReply&, const net::Frame&)>;
+
+  /// Registers itself as a frame handler on `node`.
+  AodvAgent(sim::Simulator& simulator, net::BasicNode& node,
+            AodvConfig config = {});
+  virtual ~AodvAgent() = default;
+
+  AodvAgent(const AodvAgent&) = delete;
+  AodvAgent& operator=(const AodvAgent&) = delete;
+
+  /// Asynchronous route discovery. Invokes `callback(true)` once a valid
+  /// route to `destination` is installed, or `callback(false)` after all
+  /// retries fail. If an active route already exists the callback fires on
+  /// the next event-loop turn.
+  void findRoute(common::Address destination, RouteCallback callback);
+
+  /// Sends an application packet along the installed route.
+  /// Returns false (and sends nothing) when no active route exists.
+  bool sendData(common::Address destination, net::PayloadPtr inner = nullptr,
+                std::uint32_t bodyBytes = 512);
+
+  /// Drops the route so the next findRoute() re-floods (used by the BlackDP
+  /// verifier for its confirmation discovery).
+  void invalidateRoute(common::Address destination);
+
+  /// Starts periodic HELLO beaconing + neighbour tracking (no-op when
+  /// config.helloInterval is zero).
+  void startHello();
+
+  /// Liveness view of the one-hop neighbourhood (only maintained while
+  /// HELLO is running; any received frame refreshes its sender).
+  [[nodiscard]] bool isNeighbourAlive(common::Address neighbour) const;
+  [[nodiscard]] std::size_t neighbourCount() const {
+    return neighbours_.size();
+  }
+
+  [[nodiscard]] RoutingTable& routingTable() { return table_; }
+  [[nodiscard]] const RoutingTable& routingTable() const { return table_; }
+  [[nodiscard]] const AodvStats& stats() const { return stats_; }
+  [[nodiscard]] SeqNum ownSeq() const { return ownSeq_; }
+  [[nodiscard]] common::Address address() const {
+    return node_.localAddress();
+  }
+
+  void setDeliveryHandler(DeliveryHandler handler) {
+    deliveryHandler_ = std::move(handler);
+  }
+  /// Observer sees every RREP received as discovery originator — the
+  /// BlackDP verifier taps the "routing cache" here.
+  void setRrepObserver(RrepObserver observer) {
+    rrepObserver_ = std::move(observer);
+  }
+
+  /// Predicate applied to every received RREP before it is installed or
+  /// forwarded; returning false discards it. Wired to the membership
+  /// blacklist so routes through revoked attackers are rejected.
+  using RrepFilter = std::function<bool(const RouteReply&, const net::Frame&)>;
+  void setRrepFilter(RrepFilter filter) { rrepFilter_ = std::move(filter); }
+
+  /// Installs signing material; the engine must outlive the agent.
+  void setCredentials(Credentials credentials,
+                      const crypto::CryptoEngine* engine);
+
+  /// Cluster stamped into originated RREPs (kept current by the membership
+  /// layer; ClusterId{0} = not joined yet).
+  void setCurrentCluster(common::ClusterId cluster) {
+    currentCluster_ = cluster;
+  }
+  [[nodiscard]] common::ClusterId currentCluster() const {
+    return currentCluster_;
+  }
+  [[nodiscard]] const std::optional<Credentials>& credentials() const {
+    return credentials_;
+  }
+
+ protected:
+  // ---- override points (attackers / instrumented nodes) ----
+  virtual void handleRreq(const RouteRequest& rreq, const net::Frame& frame);
+  virtual void handleRrep(const RouteReply& rrep, const net::Frame& frame);
+  virtual void handleData(const DataPacket& packet, const net::Frame& frame);
+  virtual void handleRerr(const RouteError& rerr, const net::Frame& frame);
+  /// Honest nodes forward; a black hole returns false (drop).
+  [[nodiscard]] virtual bool shouldForwardData(const DataPacket& packet);
+
+  // ---- helpers available to subclasses ----
+  /// Unicasts an RREP for `rreq` back to the previous hop after the
+  /// processing delay; signs it when credentials are installed.
+  void replyToRreq(const RouteRequest& rreq, const net::Frame& frame,
+                   SeqNum destSeq, std::uint8_t hopCount,
+                   common::Address claimedNextHop = common::kNullAddress);
+
+  [[nodiscard]] net::BasicNode& node() { return node_; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const AodvConfig& config() const { return config_; }
+  [[nodiscard]] AodvStats& mutableStats() { return stats_; }
+
+  /// True if this (origin, id) flood was already processed.
+  bool checkAndRecordRreq(common::Address origin, common::RreqId id);
+
+  /// Engine installed with the credentials (nullptr when unsigned).
+  [[nodiscard]] const crypto::CryptoEngine* signingEngine() const {
+    return engine_;
+  }
+
+  /// Honest RREQ processing (reverse route, reply-or-rebroadcast); exposed
+  /// so overriding agents can fall back to honest behaviour after their own
+  /// bookkeeping.
+  void processRreqAsRouter(const RouteRequest& rreq, const net::Frame& frame);
+
+ private:
+  struct PendingDiscovery {
+    int retriesLeft{0};
+    std::uint8_t currentTtl{0};
+    std::vector<RouteCallback> callbacks;
+  };
+
+  bool onFrame(const net::Frame& frame);
+  void onLinkFailure(const net::Frame& frame);
+  void onHelloTick();
+  void refreshNeighbour(common::Address neighbour);
+  void startDiscoveryRound(common::Address destination);
+  void onDiscoveryWindow(common::Address destination);
+  void sendRerr(const DataPacket& packet);
+
+  sim::Simulator& simulator_;
+  net::BasicNode& node_;
+  AodvConfig config_;
+  RoutingTable table_;
+  AodvStats stats_;
+  SeqNum ownSeq_{1};
+  std::uint32_t nextRreqId_{1};
+  std::uint64_t nextPacketId_{1};
+  std::unordered_map<common::Address, PendingDiscovery> pending_;
+  /// (origin, rreqId) → expiry of the dedup entry.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, sim::TimePoint> rreqSeen_;
+  DeliveryHandler deliveryHandler_;
+  RrepObserver rrepObserver_;
+  RrepFilter rrepFilter_;
+  std::optional<Credentials> credentials_;
+  const crypto::CryptoEngine* engine_{nullptr};
+  common::ClusterId currentCluster_{};
+  /// neighbour address → last time we heard anything from it.
+  std::unordered_map<common::Address, sim::TimePoint> neighbours_;
+  bool helloRunning_{false};
+};
+
+}  // namespace blackdp::aodv

@@ -1,0 +1,37 @@
+#include "aodv/messages.hpp"
+
+namespace blackdp::aodv {
+
+common::Bytes RouteRequest::canonicalBytes() const {
+  common::ByteWriter w;
+  w.writeString("rreq-v1");
+  w.writeId(rreqId);
+  w.writeId(origin);
+  w.writeU32(originSeq);
+  w.writeId(destination);
+  w.writeU32(destSeq);
+  w.writeBool(unknownDestSeq);
+  w.writeU8(hopCount);
+  w.writeU8(ttl);
+  w.writeBool(inquireNextHop);
+  return std::move(w).take();
+}
+
+common::Bytes RouteReply::canonicalBytes() const {
+  // Signed (non-mutable) fields only: hopCount is incremented at every
+  // forwarding hop and must stay outside the signature, or a perfectly
+  // honest relay would invalidate it.
+  common::ByteWriter w;
+  w.writeString("rrep-v1");
+  w.writeId(rreqId);
+  w.writeId(origin);
+  w.writeId(destination);
+  w.writeU32(destSeq);
+  w.writeId(replier);
+  w.writeId(replierCluster);
+  w.writeI64(lifetime.us());
+  w.writeId(claimedNextHop);
+  return std::move(w).take();
+}
+
+}  // namespace blackdp::aodv

@@ -1,0 +1,123 @@
+// AODV control and data messages.
+//
+// RouteRequest/RouteReply carry the fields the paper's protocol inspects
+// (hop count, destination sequence number) plus two BlackDP extensions:
+// a secure envelope on replies (certificate + signature, §III-B1) and a
+// next-hop inquiry used by the RSU's second probe (RREQ₂, §III-B1).
+#pragma once
+
+#include <optional>
+
+#include "aodv/seqnum.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "crypto/certificate.hpp"
+#include "net/frame.hpp"
+#include "sim/time.hpp"
+
+namespace blackdp::aodv {
+
+/// Certificate + signature attached to a secure packet (the paper's
+/// {msg, CR, d_sign(msg, K⁻)} construction).
+struct SecureEnvelope {
+  crypto::Certificate certificate;
+  crypto::Signature signature;
+
+  friend bool operator==(const SecureEnvelope&, const SecureEnvelope&) = default;
+};
+
+/// Route request (RREQ), flooded by the originator; also used unicast by the
+/// BlackDP detector as a probe.
+class RouteRequest final : public net::Payload {
+ public:
+  common::RreqId rreqId{};
+  common::Address origin{};
+  SeqNum originSeq{0};
+  common::Address destination{};
+  SeqNum destSeq{0};
+  bool unknownDestSeq{true};
+  std::uint8_t hopCount{0};
+  std::uint8_t ttl{16};
+  /// BlackDP RREQ₂ extension: ask the replier to disclose its next hop.
+  bool inquireNextHop{false};
+
+  [[nodiscard]] std::string_view typeName() const override { return "rreq"; }
+  [[nodiscard]] std::uint32_t sizeBytes() const override { return 48; }
+
+  /// Canonical bytes (used by HMAC-authentication baselines and tests).
+  [[nodiscard]] common::Bytes canonicalBytes() const;
+};
+
+/// Route reply (RREP), unicast back along the reverse path.
+class RouteReply final : public net::Payload {
+ public:
+  common::RreqId rreqId{};          ///< request being answered
+  common::Address origin{};         ///< RREQ originator (reply travels to it)
+  common::Address destination{};    ///< route subject
+  SeqNum destSeq{0};
+  std::uint8_t hopCount{0};
+  common::Address replier{};        ///< who generated this RREP
+  /// The replier's cluster (the paper's JREP hands every member its CH
+  /// identity "to be included in the packets"); lets a source address its
+  /// d_req correctly.
+  common::ClusterId replierCluster{};
+  sim::Duration lifetime{sim::Duration::seconds(3)};
+  /// Answer to inquireNextHop: the replier's claimed next hop toward the
+  /// destination (a cooperative attacker names its teammate here).
+  common::Address claimedNextHop{common::kNullAddress};
+  /// Secure packet envelope; absent on plain AODV replies.
+  std::optional<SecureEnvelope> envelope{};
+
+  [[nodiscard]] std::string_view typeName() const override { return "rrep"; }
+  [[nodiscard]] std::uint32_t sizeBytes() const override {
+    return envelope ? 160u : 44u;
+  }
+
+  /// Canonical bytes covered by the envelope signature.
+  [[nodiscard]] common::Bytes canonicalBytes() const;
+};
+
+/// Periodic HELLO beacon (RFC 3561 §6.9): advertises the sender's liveness
+/// to its one-hop neighbourhood. This is AODV's own link maintenance,
+/// distinct from BlackDP's end-to-end destination-authentication Hello
+/// (core::AuthHello).
+class HelloBeacon final : public net::Payload {
+ public:
+  common::Address origin{};
+  SeqNum originSeq{0};
+
+  [[nodiscard]] std::string_view typeName() const override { return "hellob"; }
+  [[nodiscard]] std::uint32_t sizeBytes() const override { return 24; }
+};
+
+/// Route error (RERR): a hop discovered the next hop toward `destination`
+/// is gone/unroutable.
+class RouteError final : public net::Payload {
+ public:
+  common::Address destination{};
+  SeqNum destSeq{0};
+  common::Address origin{};  ///< data originator being informed
+
+  [[nodiscard]] std::string_view typeName() const override { return "rerr"; }
+  [[nodiscard]] std::uint32_t sizeBytes() const override { return 32; }
+};
+
+/// Routed end-to-end packet. Applications (including BlackDP's secure Hello
+/// destination-authentication probe) ride in `inner`; AODV forwards hop by
+/// hop along established routes. A black hole simply never forwards these.
+class DataPacket final : public net::Payload {
+ public:
+  common::Address origin{};
+  common::Address destination{};
+  std::uint64_t packetId{0};
+  std::uint8_t hopsTraversed{0};
+  std::uint32_t bodyBytes{512};
+  net::PayloadPtr inner{};  ///< optional application payload
+
+  [[nodiscard]] std::string_view typeName() const override { return "data"; }
+  [[nodiscard]] std::uint32_t sizeBytes() const override {
+    return 32 + bodyBytes + (inner ? inner->sizeBytes() : 0);
+  }
+};
+
+}  // namespace blackdp::aodv

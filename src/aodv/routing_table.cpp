@@ -1,0 +1,91 @@
+#include "aodv/routing_table.hpp"
+
+namespace blackdp::aodv {
+
+std::optional<RouteEntry> RoutingTable::activeRoute(
+    common::Address destination, sim::TimePoint now) const {
+  const auto it = entries_.find(destination);
+  if (it == entries_.end()) return std::nullopt;
+  const RouteEntry& e = it->second;
+  if (!e.valid || now >= e.expiresAt) return std::nullopt;
+  return e;
+}
+
+const RouteEntry* RoutingTable::find(common::Address destination) const {
+  const auto it = entries_.find(destination);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool RoutingTable::update(const RouteEntry& candidate, sim::TimePoint now) {
+  const auto it = entries_.find(candidate.destination);
+  if (it == entries_.end()) {
+    entries_.emplace(candidate.destination, candidate);
+    return true;
+  }
+  RouteEntry& existing = it->second;
+  const bool existingUsable = existing.valid && now < existing.expiresAt;
+
+  bool accept = false;
+  if (!existingUsable) {
+    accept = true;
+  } else if (candidate.validSeq && existing.validSeq) {
+    if (seqNewer(candidate.destSeq, existing.destSeq)) {
+      accept = true;
+    } else if (candidate.destSeq == existing.destSeq &&
+               candidate.hopCount < existing.hopCount) {
+      accept = true;
+    }
+  } else if (candidate.validSeq && !existing.validSeq) {
+    accept = true;
+  }
+
+  if (accept) existing = candidate;
+  return accept;
+}
+
+void RoutingTable::install(const RouteEntry& entry) {
+  entries_[entry.destination] = entry;
+}
+
+void RoutingTable::invalidate(common::Address destination) {
+  const auto it = entries_.find(destination);
+  if (it == entries_.end()) return;
+  it->second.valid = false;
+  // RFC 3561 §6.11: increment the sequence number so stale information
+  // cannot resurrect the route.
+  it->second.destSeq += 1;
+}
+
+std::size_t RoutingTable::invalidateVia(common::Address neighbor) {
+  std::size_t count = 0;
+  for (auto& [dest, entry] : entries_) {
+    if (entry.valid && entry.nextHop == neighbor) {
+      entry.valid = false;
+      entry.destSeq += 1;
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t RoutingTable::purgeExpired(sim::TimePoint now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now >= it->second.expiresAt) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<RouteEntry> RoutingTable::snapshot() const {
+  std::vector<RouteEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [addr, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+}  // namespace blackdp::aodv

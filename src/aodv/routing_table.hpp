@@ -1,0 +1,70 @@
+// AODV routing table.
+//
+// Entries follow RFC 3561: per-destination next hop, hop count, destination
+// sequence number with a validity flag, lifetime, and route validity. The
+// update rules (§6.2: fresher sequence number wins; equal sequence number
+// with fewer hops wins; anything beats an invalid route) are what the black
+// hole attacker games with a forged high sequence number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "aodv/seqnum.hpp"
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace blackdp::aodv {
+
+struct RouteEntry {
+  common::Address destination{};
+  common::Address nextHop{};
+  std::uint8_t hopCount{0};
+  SeqNum destSeq{0};
+  bool validSeq{false};
+  bool valid{true};
+  sim::TimePoint expiresAt{};
+};
+
+class RoutingTable {
+ public:
+  /// Valid, unexpired entry for `destination`, if any.
+  [[nodiscard]] std::optional<RouteEntry> activeRoute(
+      common::Address destination, sim::TimePoint now) const;
+
+  /// Entry regardless of validity/expiry (nullptr if absent).
+  [[nodiscard]] const RouteEntry* find(common::Address destination) const;
+
+  /// Applies RFC 3561 §6.2 update rules; returns true if the entry was
+  /// installed/overwritten.
+  bool update(const RouteEntry& candidate, sim::TimePoint now);
+
+  /// Unconditionally installs/overwrites (reverse-route setup).
+  void install(const RouteEntry& entry);
+
+  /// Marks the route invalid and bumps its sequence number (route error).
+  void invalidate(common::Address destination);
+
+  /// Invalidates every valid route whose next hop is `neighbor` (link-layer
+  /// failure feedback, RFC 3561 §6.11 precursor handling); returns how many
+  /// routes were invalidated.
+  std::size_t invalidateVia(common::Address neighbor);
+
+  /// Removes entries expired before `now`; returns how many were removed.
+  std::size_t purgeExpired(sim::TimePoint now);
+
+  [[nodiscard]] bool contains(common::Address destination) const {
+    return entries_.contains(destination);
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Snapshot of all entries (tests / RSU membership checks).
+  [[nodiscard]] std::vector<RouteEntry> snapshot() const;
+
+ private:
+  std::unordered_map<common::Address, RouteEntry> entries_;
+};
+
+}  // namespace blackdp::aodv

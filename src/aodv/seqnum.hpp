@@ -1,0 +1,24 @@
+// AODV sequence-number arithmetic (RFC 3561 §6.1).
+//
+// Sequence numbers are unsigned 32-bit values compared with signed rollover
+// arithmetic. Freshness ("newer") drives every routing decision — and is
+// exactly what a black hole attacker forges.
+#pragma once
+
+#include <cstdint>
+
+namespace blackdp::aodv {
+
+using SeqNum = std::uint32_t;
+
+/// True iff a is strictly fresher than b under circular comparison.
+[[nodiscard]] constexpr bool seqNewer(SeqNum a, SeqNum b) {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+
+/// True iff a is at least as fresh as b.
+[[nodiscard]] constexpr bool seqAtLeast(SeqNum a, SeqNum b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+}  // namespace blackdp::aodv

@@ -1,0 +1,171 @@
+#include "attack/black_hole_agent.hpp"
+
+#include "common/logging.hpp"
+#include "core/secure.hpp"
+
+namespace blackdp::attack {
+
+aodv::AodvConfig BlackHoleAgent::fastAodvConfig() {
+  aodv::AodvConfig config;
+  config.processingDelay = sim::Duration::microseconds(50);
+  return config;
+}
+
+BlackHoleAgent::BlackHoleAgent(sim::Simulator& simulator, net::BasicNode& node,
+                               AttackRole role, BlackHoleConfig config,
+                               sim::Rng rng, aodv::AodvConfig aodvConfig)
+    : aodv::AodvAgent{simulator, node, aodvConfig},
+      role_{role},
+      config_{config},
+      rng_{rng} {}
+
+bool BlackHoleAgent::isRepeatedRequest(const aodv::RouteRequest& rreq) {
+  const auto key = std::pair{rreq.origin.value(), rreq.destination.value()};
+  const sim::TimePoint now = simulator().now();
+  for (auto it = recent_.begin(); it != recent_.end();) {
+    it = (now - it->second > config_.repeatWindow) ? recent_.erase(it)
+                                                   : std::next(it);
+  }
+  const auto [it, inserted] = recent_.emplace(key, now);
+  if (!inserted) {
+    it->second = now;
+    return true;
+  }
+  return false;
+}
+
+void BlackHoleAgent::handleRreq(const aodv::RouteRequest& rreq,
+                                const net::Frame& frame) {
+  if (rreq.origin == node().localAddress()) return;
+
+  // An honest router deduplicates flood copies; the attacker instead answers
+  // up to maxRepliesPerRreq of them, seeding its forged route along several
+  // reverse paths at once.
+  const bool firstCopy = !checkAndRecordRreq(rreq.origin, rreq.rreqId);
+  auto& replyCount = replies_[{rreq.origin.value(), rreq.rreqId.value()}];
+  if (!firstCopy && replyCount >= config_.maxRepliesPerRreq) return;
+
+  // Unicast RREQs only ever come from a prober; repeated discoveries are the
+  // source double-checking. Both are the moments an evasive attacker dodges.
+  const bool targeted = !frame.isBroadcast();
+  const bool repeated = firstCopy && isRepeatedRequest(rreq);
+  if (!firstCopy && replyCount == 0) return;  // evaded this request already
+
+  // The accomplice (B₂) does not race to answer discoveries — it blends in
+  // with the flood and only vouches when asked directly (the paper's "B₂
+  // will approve B₁'s message").
+  if (role_ == AttackRole::kAccomplice && !targeted) {
+    if (firstCopy) processRreqAsRouter(rreq, frame);
+    return;
+  }
+
+  // Once fled to dodge a prober, stay silent toward further probes.
+  if (fled_ && config_.fleeMode == FleeMode::kBeforeReply && targeted) return;
+
+  if (targeted || repeated) {
+    if (config_.fleeMode == FleeMode::kBeforeReply && targeted && !fled_) {
+      // Vanish without answering any detection packet (cluster 10).
+      ++attackStats_.fleeEvents;
+      fled_ = true;
+      if (onFlee_) onFlee_();
+      return;
+    }
+    if (config_.renewProbability > 0.0 &&
+        rng_.bernoulli(config_.renewProbability) && onRenew_ && onRenew_()) {
+      // Identity changed mid-detection; the probe address is now dead.
+      ++attackStats_.renewals;
+      return;
+    }
+    if (config_.actLegitProbability > 0.0 &&
+        rng_.bernoulli(config_.actLegitProbability)) {
+      // Behave like an honest node with no route: silence under a TTL-1
+      // probe, normal flood participation otherwise.
+      ++attackStats_.probesDodged;
+      if (!targeted) aodv::AodvAgent::handleRreq(rreq, frame);
+      return;
+    }
+  }
+
+  if (config_.fleeMode == FleeMode::kAfterFirstReply && targeted && !fled_) {
+    // Answer the first detection packet but move on to the next cluster
+    // (the paper's 8-packet scenario). The relocation happens first so the
+    // leaving-cluster notice precedes the forged reply at the CH — which is
+    // what makes the CH hand the rest of the detection to its neighbour —
+    // while the short hop keeps the reply itself within the CH's range.
+    ++attackStats_.fleeEvents;
+    fled_ = true;
+    if (onFlee_) onFlee_();
+  }
+
+  ++replyCount;
+  forgeReply(rreq, frame);
+}
+
+void BlackHoleAgent::forgeReply(const aodv::RouteRequest& rreq,
+                                const net::Frame& frame) {
+  // Like any AODV router, the attacker keeps a reverse route to the victim —
+  // it needs one to send forged Hello replies back to the source.
+  aodv::RouteEntry reverse;
+  reverse.destination = rreq.origin;
+  reverse.nextHop = frame.src;
+  reverse.hopCount = static_cast<std::uint8_t>(rreq.hopCount + 1);
+  reverse.destSeq = rreq.originSeq;
+  reverse.validSeq = true;
+  reverse.expiresAt = simulator().now() + config().activeRouteTimeout;
+  routingTable().update(reverse, simulator().now());
+
+  // "Set its SN to the highest possible to guarantee its RREP is selected":
+  // top whatever freshness the request already knows about.
+  const aodv::SeqNum base = rreq.unknownDestSeq ? 0 : rreq.destSeq;
+  const aodv::SeqNum forged = base + config_.forgedSeqBoost;
+  const common::Address claimed =
+      role_ == AttackRole::kPrimary ? config_.teammate : common::kNullAddress;
+  ++attackStats_.rrepsForged;
+  BDP_LOG(kDebug, "attack") << "forging rrep seq=" << forged << " for "
+                            << rreq.origin << "->" << rreq.destination
+                            << " via " << frame.src << " at "
+                            << simulator().now();
+  replyToRreq(rreq, frame, forged, config_.forgedHopCount, claimed);
+}
+
+void BlackHoleAgent::handleData(const aodv::DataPacket& packet,
+                                const net::Frame& frame) {
+  if (config_.sendFakeHelloReply &&
+      packet.destination != node().localAddress() && packet.inner != nullptr) {
+    if (const auto* hello =
+            dynamic_cast<const core::AuthHello*>(packet.inner.get());
+        hello != nullptr && !hello->isReply) {
+      forgeHelloReply(*hello, frame);
+      return;
+    }
+  }
+  // Everything else takes the normal path — where shouldForwardData()
+  // returning false makes the black hole swallow it.
+  aodv::AodvAgent::handleData(packet, frame);
+}
+
+void BlackHoleAgent::forgeHelloReply(const core::AuthHello& hello,
+                                     const net::Frame&) {
+  // The "anonymity response": claim that the attacker itself (or the
+  // teammate) is the destination. The envelope is signed with the
+  // attacker's own (valid!) certificate — the pseudonym mismatch is what
+  // gives it away at the verifier.
+  auto reply = std::make_shared<core::AuthHello>();
+  reply->helloId = hello.helloId;
+  reply->origin = hello.origin;
+  reply->destination = hello.destination;
+  reply->isReply = true;
+  reply->responder = role_ == AttackRole::kPrimary &&
+                             config_.teammate != common::kNullAddress
+                         ? config_.teammate
+                         : node().localAddress();
+  if (credentials()) {
+    reply->envelope = core::makeEnvelope(reply->canonicalBytes(),
+                                         *credentials(), *signingEngine());
+  }
+  ++attackStats_.helloRepliesForged;
+  // The reverse route toward the origin was installed by the RREQ flood.
+  sendData(hello.origin, reply, 0);
+}
+
+}  // namespace blackdp::attack

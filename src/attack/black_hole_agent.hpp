@@ -1,0 +1,116 @@
+// Black hole attacker (paper §II-C, §IV-A).
+//
+// A compromised AODV node that answers any route request with a forged RREP
+// whose destination sequence number exceeds anything offered (so the source
+// always selects it), then silently drops all data attracted to it. Variants:
+//
+//  - Single: acts alone; refuses to disclose a next hop under inquiry.
+//  - Primary (cooperative): names its teammate in the RREQ₂ next-hop
+//    inquiry; may forge Hello replies claiming the teammate is the
+//    destination.
+//  - Accomplice: vouches for the primary by answering probes the same way.
+//
+// Evasive behaviours (enabled for clusters 8–10 in the paper's experiment):
+// acting legitimately under probing, fleeing to the next cluster or off the
+// highway, and renewing the pseudonym mid-detection.
+#pragma once
+
+#include <functional>
+
+#include "aodv/agent.hpp"
+#include "core/messages.hpp"
+#include "sim/rng.hpp"
+
+namespace blackdp::attack {
+
+enum class AttackRole { kSingle, kPrimary, kAccomplice };
+
+enum class FleeMode {
+  kNone,
+  kAfterFirstReply,  ///< answer RREQ₁, then move to the next cluster
+  kBeforeReply,      ///< vanish without answering any probe (cluster 10)
+};
+
+struct BlackHoleConfig {
+  /// Forged SN = requested SN + boost ("the highest possible").
+  aodv::SeqNum forgedSeqBoost{200};
+  std::uint8_t forgedHopCount{4};
+  /// Teammate named under next-hop inquiry (primary role only).
+  common::Address teammate{common::kNullAddress};
+  /// Answer destination-authentication Hellos with a forged reply claiming
+  /// the attacker (or its teammate) is the destination.
+  bool sendFakeHelloReply{false};
+  /// P(stay silent / behave honestly) for each probing or repeated request.
+  double actLegitProbability{0.0};
+  /// P(renew pseudonym when probed) — identity change mid-detection.
+  double renewProbability{0.0};
+  FleeMode fleeMode{FleeMode::kNone};
+  /// Window within which a repeated discovery (same origin & destination)
+  /// counts as a "second RREQ" the attacker may dodge.
+  sim::Duration repeatWindow{sim::Duration::seconds(10)};
+  /// Unlike an honest router, the attacker answers several flood copies of
+  /// the same RREQ (one per neighbour that relayed it) — redundant forged
+  /// replies over distinct reverse paths make the attack robust to single
+  /// link breaks. Bounded to keep traffic sane.
+  std::uint32_t maxRepliesPerRreq{3};
+};
+
+struct AttackStats {
+  std::uint64_t rrepsForged{0};
+  std::uint64_t helloRepliesForged{0};
+  std::uint64_t probesDodged{0};   ///< acted legitimately under a request
+  std::uint64_t renewals{0};
+  std::uint64_t fleeEvents{0};
+};
+
+class BlackHoleAgent : public aodv::AodvAgent {
+ public:
+  /// Relocates the vehicle (next cluster / off the highway); wired by the
+  /// scenario layer which owns mobility and membership.
+  using FleeCallback = std::function<void()>;
+  /// Attempts pseudonym renewal; returns true when the identity changed.
+  using RenewCallback = std::function<bool()>;
+
+  BlackHoleAgent(sim::Simulator& simulator, net::BasicNode& node,
+                 AttackRole role, BlackHoleConfig config, sim::Rng rng,
+                 aodv::AodvConfig aodvConfig = fastAodvConfig());
+
+  [[nodiscard]] AttackRole role() const { return role_; }
+  [[nodiscard]] const AttackStats& attackStats() const { return attackStats_; }
+
+  void setFleeCallback(FleeCallback cb) { onFlee_ = std::move(cb); }
+  void setRenewCallback(RenewCallback cb) { onRenew_ = std::move(cb); }
+  void setTeammate(common::Address teammate) { config_.teammate = teammate; }
+
+  /// The attacker replies "as fast as it can": a fraction of the honest
+  /// processing delay.
+  [[nodiscard]] static aodv::AodvConfig fastAodvConfig();
+
+ protected:
+  void handleRreq(const aodv::RouteRequest& rreq,
+                  const net::Frame& frame) override;
+  void handleData(const aodv::DataPacket& packet,
+                  const net::Frame& frame) override;
+  [[nodiscard]] bool shouldForwardData(const aodv::DataPacket&) override {
+    return false;  // the black hole: attract, then drop
+  }
+
+ private:
+  [[nodiscard]] bool isRepeatedRequest(const aodv::RouteRequest& rreq);
+  void forgeReply(const aodv::RouteRequest& rreq, const net::Frame& frame);
+  void forgeHelloReply(const core::AuthHello& hello, const net::Frame& frame);
+
+  AttackRole role_;
+  BlackHoleConfig config_;
+  sim::Rng rng_;
+  AttackStats attackStats_;
+  FleeCallback onFlee_;
+  RenewCallback onRenew_;
+  bool fled_{false};
+  /// (origin, destination) of recent discoveries → last seen time.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, sim::TimePoint> recent_;
+  /// (origin, rreq id) → forged replies already sent for that request.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint32_t> replies_;
+};
+
+}  // namespace blackdp::attack

@@ -1,0 +1,43 @@
+#include "attack/gray_hole_agent.hpp"
+
+namespace blackdp::attack {
+
+GrayHoleAgent::GrayHoleAgent(sim::Simulator& simulator, net::BasicNode& node,
+                             GrayHoleConfig config, sim::Rng rng,
+                             aodv::AodvConfig aodvConfig)
+    : aodv::AodvAgent{simulator, node, aodvConfig},
+      config_{config},
+      rng_{rng} {}
+
+bool GrayHoleAgent::shouldForwardData(const aodv::DataPacket&) {
+  ++grayStats_.dataSeen;
+  if (rng_.bernoulli(config_.dropProbability)) {
+    ++grayStats_.dataDroppedSelectively;
+    return false;
+  }
+  return true;
+}
+
+void GrayHoleAgent::handleRreq(const aodv::RouteRequest& rreq,
+                               const net::Frame& frame) {
+  if (config_.advertiseBoost == 0) {
+    // Fully honest control plane.
+    aodv::AodvAgent::handleRreq(rreq, frame);
+    return;
+  }
+  // Mild freshness inflation: only when it genuinely has a route (unlike a
+  // black hole, it never invents one — probes for fake destinations still
+  // get silence).
+  if (rreq.origin == node().localAddress()) return;
+  if (checkAndRecordRreq(rreq.origin, rreq.rreqId)) return;
+  const auto route =
+      routingTable().activeRoute(rreq.destination, simulator().now());
+  if (route && route->validSeq) {
+    replyToRreq(rreq, frame, route->destSeq + config_.advertiseBoost,
+                route->hopCount);
+    return;
+  }
+  processRreqAsRouter(rreq, frame);
+}
+
+}  // namespace blackdp::attack

@@ -1,0 +1,56 @@
+// Gray hole (selective black hole) attacker.
+//
+// The paper's related work (§V, Jhaveri et al.; Su's "selective black hole")
+// distinguishes the gray hole: a node that participates in routing
+// *honestly* — real routes, no forged sequence numbers, probes answered
+// like any honest node — but selectively drops a fraction of the data it
+// forwards. Because it commits no AODV violation, BlackDP's probe pair
+// cannot confirm it; because it forwards the secure Hello, destination
+// authentication passes. This agent exists to measure that boundary
+// honestly: bench/ablation_pdr quantifies the damage a gray hole does under
+// BlackDP, and the tests pin down that BlackDP neither confirms it (no
+// false accusation — it truly violated nothing when probed) nor stops its
+// selective dropping. Detecting gray holes needs forwarding-observation
+// schemes (see baselines::TrustManager), which the paper leaves out of
+// scope.
+#pragma once
+
+#include "aodv/agent.hpp"
+#include "sim/rng.hpp"
+
+namespace blackdp::attack {
+
+struct GrayHoleConfig {
+  /// Probability of dropping each data packet in transit.
+  double dropProbability{0.5};
+  /// Optionally advertise slightly inflated freshness (+boost) to attract
+  /// more traffic while staying under naive thresholds. 0 = fully honest
+  /// control plane.
+  aodv::SeqNum advertiseBoost{0};
+};
+
+struct GrayHoleStats {
+  std::uint64_t dataSeen{0};
+  std::uint64_t dataDroppedSelectively{0};
+};
+
+class GrayHoleAgent : public aodv::AodvAgent {
+ public:
+  GrayHoleAgent(sim::Simulator& simulator, net::BasicNode& node,
+                GrayHoleConfig config, sim::Rng rng,
+                aodv::AodvConfig aodvConfig = {});
+
+  [[nodiscard]] const GrayHoleStats& grayStats() const { return grayStats_; }
+
+ protected:
+  [[nodiscard]] bool shouldForwardData(const aodv::DataPacket& packet) override;
+  void handleRreq(const aodv::RouteRequest& rreq,
+                  const net::Frame& frame) override;
+
+ private:
+  GrayHoleConfig config_;
+  sim::Rng rng_;
+  GrayHoleStats grayStats_;
+};
+
+}  // namespace blackdp::attack

@@ -1,0 +1,59 @@
+#include "baselines/hmac_auth.hpp"
+
+#include "common/bytes.hpp"
+
+namespace blackdp::baselines {
+
+namespace {
+
+common::Bytes nonMutableRreqFields(const aodv::RouteRequest& rreq) {
+  common::ByteWriter w;
+  w.writeString("hmac-rreq");
+  w.writeId(rreq.rreqId);
+  w.writeId(rreq.origin);
+  w.writeU32(rreq.originSeq);
+  w.writeId(rreq.destination);
+  w.writeU32(rreq.destSeq);
+  w.writeBool(rreq.unknownDestSeq);
+  return std::move(w).take();
+}
+
+common::Bytes nonMutableRrepFields(const aodv::RouteReply& rrep) {
+  common::ByteWriter w;
+  w.writeString("hmac-rrep");
+  w.writeId(rrep.origin);
+  w.writeId(rrep.destination);
+  w.writeU32(rrep.destSeq);
+  w.writeId(rrep.replier);
+  return std::move(w).take();
+}
+
+crypto::Digest macOver(const SharedKey& key, const common::Bytes& bytes) {
+  return crypto::hmacSha256(
+      std::span<const std::uint8_t>{key.bytes.data(), key.bytes.size()},
+      std::span<const std::uint8_t>{bytes.data(), bytes.size()});
+}
+
+}  // namespace
+
+crypto::Digest macRouteRequest(const SharedKey& key,
+                               const aodv::RouteRequest& rreq) {
+  return macOver(key, nonMutableRreqFields(rreq));
+}
+
+crypto::Digest macRouteReply(const SharedKey& key,
+                             const aodv::RouteReply& rrep) {
+  return macOver(key, nonMutableRrepFields(rrep));
+}
+
+bool verifyRouteRequest(const SharedKey& key, const aodv::RouteRequest& rreq,
+                        const crypto::Digest& mac) {
+  return crypto::digestEquals(macRouteRequest(key, rreq), mac);
+}
+
+bool verifyRouteReply(const SharedKey& key, const aodv::RouteReply& rrep,
+                      const crypto::Digest& mac) {
+  return crypto::digestEquals(macRouteReply(key, rrep), mac);
+}
+
+}  // namespace blackdp::baselines

@@ -1,0 +1,40 @@
+// Cryptography-based baseline (paper §V-B, Sachan & Khilar style).
+//
+// Authenticates the non-mutable fields of AODV route messages with
+// HMAC-SHA-256 under a network-wide shared key. The paper's criticism: the
+// shared-key assumption means every joining node must already know the
+// secret — workable in a small, centrally managed network, not in a CV
+// highway with arbitrary churn; and it secures *messages*, not *behaviour*
+// (a compromised insider holding the key can still run a black hole).
+#pragma once
+
+#include <span>
+
+#include "aodv/messages.hpp"
+#include "crypto/hmac.hpp"
+
+namespace blackdp::baselines {
+
+/// Network-wide symmetric key.
+struct SharedKey {
+  std::array<std::uint8_t, 32> bytes{};
+};
+
+/// MAC over the non-mutable RREQ fields (hop count excluded — it mutates in
+/// flight).
+[[nodiscard]] crypto::Digest macRouteRequest(const SharedKey& key,
+                                             const aodv::RouteRequest& rreq);
+
+/// MAC over the non-mutable RREP fields.
+[[nodiscard]] crypto::Digest macRouteReply(const SharedKey& key,
+                                           const aodv::RouteReply& rrep);
+
+[[nodiscard]] bool verifyRouteRequest(const SharedKey& key,
+                                      const aodv::RouteRequest& rreq,
+                                      const crypto::Digest& mac);
+
+[[nodiscard]] bool verifyRouteReply(const SharedKey& key,
+                                    const aodv::RouteReply& rrep,
+                                    const crypto::Digest& mac);
+
+}  // namespace blackdp::baselines

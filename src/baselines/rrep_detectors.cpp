@@ -1,0 +1,64 @@
+#include "baselines/rrep_detectors.hpp"
+
+#include <algorithm>
+
+namespace blackdp::baselines {
+
+std::vector<common::Address> FirstRrepComparisonDetector::classify(
+    const std::vector<aodv::RouteReply>& rreps) {
+  if (rreps.empty()) return {};
+  // The comparison is between distinct repliers (an attacker may push
+  // several copies of the same forgery along different paths).
+  const aodv::RouteReply& first = rreps.front();
+  aodv::SeqNum bestOther = 0;
+  bool haveOther = false;
+  for (std::size_t i = 1; i < rreps.size(); ++i) {
+    if (rreps[i].replier == first.replier) continue;
+    bestOther = std::max(bestOther, rreps[i].destSeq);
+    haveOther = true;
+  }
+  // Needs at least two distinct repliers: the scheme assumes "there are
+  // always multiple RREPs for a specific RREQ" — its documented blind spot.
+  if (!haveOther) return {};
+  if (first.destSeq > bestOther + margin_) {
+    return {first.replier};
+  }
+  return {};
+}
+
+std::vector<common::Address> PeakThresholdDetector::classify(
+    const std::vector<aodv::RouteReply>& rreps) {
+  std::vector<common::Address> flagged;
+  aodv::SeqNum maxAccepted = 0;
+  for (const aodv::RouteReply& rrep : rreps) {
+    if (rrep.destSeq > peak_) {
+      flagged.push_back(rrep.replier);
+    } else {
+      maxAccepted = std::max(maxAccepted, rrep.destSeq);
+    }
+  }
+  // PEAK is re-derived from legitimately observed traffic each interval.
+  peak_ = std::max(peak_, maxAccepted) + allowance_;
+  return flagged;
+}
+
+StaticThresholdDetector::StaticThresholdDetector(Environment environment)
+    : threshold_{[&] {
+        switch (environment) {
+          case Environment::kSmall: return aodv::SeqNum{100};
+          case Environment::kMedium: return aodv::SeqNum{500};
+          case Environment::kLarge: return aodv::SeqNum{2000};
+        }
+        return aodv::SeqNum{500};
+      }()} {}
+
+std::vector<common::Address> StaticThresholdDetector::classify(
+    const std::vector<aodv::RouteReply>& rreps) {
+  std::vector<common::Address> flagged;
+  for (const aodv::RouteReply& rrep : rreps) {
+    if (rrep.destSeq > threshold_) flagged.push_back(rrep.replier);
+  }
+  return flagged;
+}
+
+}  // namespace blackdp::baselines

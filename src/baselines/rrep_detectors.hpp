@@ -1,0 +1,95 @@
+// Source-side black hole detectors from the paper's Related Work (§V-A).
+//
+// All three operate on the set of RREPs a source collects during one route
+// discovery — which is exactly their weakness the paper exploits: when the
+// attacker is the only replier (e.g. it bridges two network segments on a
+// highway) there is nothing to compare against, and none of them examines
+// behaviour, so cooperative confirmation fools trust in the route.
+//
+//  - Jaiswal & Kumar 2012: compare the first RREP's sequence number against
+//    the later ones; an outlier first reply marks its sender malicious.
+//  - Jhaveri et al. 2012: maintain PEAK, the maximum plausible sequence
+//    number given what the node has legitimately observed; any RREP above
+//    PEAK is malicious.
+//  - Tan & Kim 2013: static per-environment thresholds (small/medium/large);
+//    RREPs above the threshold are discarded as malicious.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "aodv/messages.hpp"
+
+namespace blackdp::baselines {
+
+/// Common interface: classify the repliers of one discovery's RREPs.
+class RrepDetector {
+ public:
+  virtual ~RrepDetector() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// RREPs in arrival order; returns the addresses judged malicious.
+  [[nodiscard]] virtual std::vector<common::Address> classify(
+      const std::vector<aodv::RouteReply>& rreps) = 0;
+};
+
+/// Jaiswal-style first-reply comparison.
+class FirstRrepComparisonDetector final : public RrepDetector {
+ public:
+  /// The first RREP is malicious when its SN exceeds the best later SN by
+  /// more than `margin`.
+  explicit FirstRrepComparisonDetector(aodv::SeqNum margin = 50)
+      : margin_{margin} {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "first-rrep-comparison";
+  }
+  [[nodiscard]] std::vector<common::Address> classify(
+      const std::vector<aodv::RouteReply>& rreps) override;
+
+ private:
+  aodv::SeqNum margin_;
+};
+
+/// Jhaveri-style adaptive PEAK threshold. Stateful across discoveries: the
+/// highest believed-legitimate sequence number plus an allowance forms the
+/// ceiling for the next round.
+class PeakThresholdDetector final : public RrepDetector {
+ public:
+  explicit PeakThresholdDetector(aodv::SeqNum initialPeak = 100,
+                                 aodv::SeqNum allowancePerRound = 100)
+      : peak_{initialPeak}, allowance_{allowancePerRound} {}
+
+  [[nodiscard]] std::string_view name() const override { return "peak"; }
+  [[nodiscard]] std::vector<common::Address> classify(
+      const std::vector<aodv::RouteReply>& rreps) override;
+
+  [[nodiscard]] aodv::SeqNum currentPeak() const { return peak_; }
+
+ private:
+  aodv::SeqNum peak_;
+  aodv::SeqNum allowance_;
+};
+
+/// Tan & Kim static thresholds for small / medium / large environments.
+enum class Environment { kSmall, kMedium, kLarge };
+
+class StaticThresholdDetector final : public RrepDetector {
+ public:
+  explicit StaticThresholdDetector(Environment environment);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "static-threshold";
+  }
+  [[nodiscard]] std::vector<common::Address> classify(
+      const std::vector<aodv::RouteReply>& rreps) override;
+
+  [[nodiscard]] aodv::SeqNum threshold() const { return threshold_; }
+
+ private:
+  aodv::SeqNum threshold_;
+};
+
+}  // namespace blackdp::baselines

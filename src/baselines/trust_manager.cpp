@@ -1,0 +1,57 @@
+#include "baselines/trust_manager.hpp"
+
+#include <algorithm>
+
+namespace blackdp::baselines {
+
+TrustManager::Record& TrustManager::recordFor(common::Address node) {
+  const auto [it, inserted] =
+      records_.try_emplace(node, Record{config_.initialTrust, 0});
+  return it->second;
+}
+
+void TrustManager::observe(common::Address node, bool forwarded) {
+  Record& record = recordFor(node);
+  const double sample = forwarded ? 1.0 : 0.0;
+  record.trust = (1.0 - config_.observationWeight) * record.trust +
+                 config_.observationWeight * sample;
+  ++record.observations;
+}
+
+void TrustManager::gossip(common::Address about, double claimedTrust) {
+  Record& record = recordFor(about);
+  const double w = config_.observationWeight / 2.0;
+  record.trust = (1.0 - w) * record.trust +
+                 w * std::clamp(claimedTrust, 0.0, 1.0);
+  ++record.observations;
+}
+
+double TrustManager::trust(common::Address node) const {
+  const auto it = records_.find(node);
+  return it == records_.end() ? config_.initialTrust : it->second.trust;
+}
+
+std::uint32_t TrustManager::observations(common::Address node) const {
+  const auto it = records_.find(node);
+  return it == records_.end() ? 0 : it->second.observations;
+}
+
+bool TrustManager::isMalicious(common::Address node) const {
+  const auto it = records_.find(node);
+  if (it == records_.end()) return false;
+  return it->second.observations >= config_.minObservations &&
+         it->second.trust < config_.maliciousThreshold;
+}
+
+std::vector<common::Address> TrustManager::maliciousNodes() const {
+  std::vector<common::Address> out;
+  for (const auto& [node, record] : records_) {
+    if (record.observations >= config_.minObservations &&
+        record.trust < config_.maliciousThreshold) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+}  // namespace blackdp::baselines

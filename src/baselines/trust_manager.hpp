@@ -1,0 +1,56 @@
+// Opinion/trust-based baseline (paper §V-C, Kaur & Singh / Dangore style).
+//
+// Every node accumulates a forwarding trust score for its neighbours from
+// observed deliver/drop behaviour; nodes below a threshold are treated as
+// black holes. The paper's criticism — high speeds and constant churn make
+// the observations stale and the scores unreliable, and attackers that
+// participate in scoring can frame honest nodes — is directly measurable
+// with this implementation (see bench/ablation_baselines).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace blackdp::baselines {
+
+struct TrustConfig {
+  double initialTrust{0.5};
+  /// Exponential moving-average weight of a new observation.
+  double observationWeight{0.2};
+  /// Below this, a node is classified malicious.
+  double maliciousThreshold{0.25};
+  /// Minimum observations before a verdict is allowed.
+  std::uint32_t minObservations{5};
+};
+
+class TrustManager {
+ public:
+  explicit TrustManager(TrustConfig config = {}) : config_{config} {}
+
+  /// Records that `node` forwarded (true) or dropped (false) a packet.
+  void observe(common::Address node, bool forwarded);
+
+  /// Second-hand opinion from a peer (weight halved; attackers may lie).
+  void gossip(common::Address about, double claimedTrust);
+
+  [[nodiscard]] double trust(common::Address node) const;
+  [[nodiscard]] bool isMalicious(common::Address node) const;
+  [[nodiscard]] std::vector<common::Address> maliciousNodes() const;
+  [[nodiscard]] std::uint32_t observations(common::Address node) const;
+
+ private:
+  struct Record {
+    double trust;
+    std::uint32_t observations{0};
+  };
+
+  Record& recordFor(common::Address node);
+
+  TrustConfig config_;
+  std::unordered_map<common::Address, Record> records_;
+};
+
+}  // namespace blackdp::baselines

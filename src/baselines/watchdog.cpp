@@ -1,0 +1,55 @@
+#include "baselines/watchdog.hpp"
+
+namespace blackdp::baselines {
+
+Watchdog::Watchdog(sim::Simulator& simulator, net::BasicNode& node,
+                   WatchdogConfig config)
+    : simulator_{simulator},
+      node_{node},
+      config_{config},
+      trust_{config.trust} {
+  node_.setPromiscuousTap(
+      [this](const net::Frame& frame) { onOverheard(frame); });
+}
+
+void Watchdog::onOverheard(const net::Frame& frame) {
+  const auto* packet = net::payloadAs<aodv::DataPacket>(frame.payload);
+  if (packet == nullptr) return;
+
+  // Did a watched neighbour just retransmit a packet it was handed?
+  const auto key = std::pair{frame.src.value(), packet->packetId};
+  if (const auto it = pending_.find(key); it != pending_.end()) {
+    pending_.erase(it);
+    ++stats_.forwardsObserved;
+    trust_.observe(frame.src, true);
+  }
+
+  // A handoff *we* made to an intermediate (not the final destination):
+  // that neighbour now owes the channel a retransmission. Only our own
+  // handoffs are watched — the sender is guaranteed to have been in range
+  // of the next hop a moment ago, whereas a third-party observer may be
+  // audible to the sender but not to the forwarder, and would rack up
+  // unfair charges (the trust-scheme noise the paper criticises).
+  if (frame.isBroadcast() || packet->destination == frame.dst) return;
+  if (frame.src != node_.localAddress()) return;
+  const auto handoff = std::pair{frame.dst.value(), packet->packetId};
+  if (pending_.contains(handoff)) return;
+  pending_[handoff] = true;
+  ++stats_.handoffsWatched;
+  simulator_.schedule(config_.patience,
+                      [this, neighbour = frame.dst,
+                       packetId = packet->packetId] {
+                        charge(neighbour, packetId);
+                      });
+}
+
+void Watchdog::charge(common::Address neighbour, std::uint64_t packetId) {
+  const auto key = std::pair{neighbour.value(), packetId};
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // retransmission was observed in time
+  pending_.erase(it);
+  ++stats_.dropsCharged;
+  trust_.observe(neighbour, false);
+}
+
+}  // namespace blackdp::baselines

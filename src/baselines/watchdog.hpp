@@ -1,0 +1,67 @@
+// Watchdog forwarding observation (Marti et al. style; the mechanism behind
+// the paper's §V-C trust schemes).
+//
+// When a node hands a data packet to its next hop, it keeps listening: on a
+// shared channel it will overhear the neighbour's retransmission. If none
+// happens within a patience window, the neighbour is charged with a drop.
+// Observations feed a TrustManager, which is what catches the *gray hole*
+// that slips past BlackDP's control-plane probing (see
+// bench/ablation_watchdog). The paper's criticisms still apply — high
+// mobility makes observations stale, and a verdict here is local opinion,
+// not trusted-infrastructure proof — which is why this ships as a baseline
+// component, not as part of BlackDP.
+#pragma once
+
+#include <map>
+
+#include "aodv/messages.hpp"
+#include "baselines/trust_manager.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace blackdp::baselines {
+
+struct WatchdogConfig {
+  /// How long to wait for the neighbour's retransmission.
+  sim::Duration patience{sim::Duration::milliseconds(50)};
+  TrustConfig trust{};
+};
+
+struct WatchdogStats {
+  std::uint64_t handoffsWatched{0};
+  std::uint64_t forwardsObserved{0};
+  std::uint64_t dropsCharged{0};
+};
+
+/// Attach one per vehicle; it installs itself as the node's promiscuous tap.
+class Watchdog {
+ public:
+  Watchdog(sim::Simulator& simulator, net::BasicNode& node,
+           WatchdogConfig config = {});
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  [[nodiscard]] const TrustManager& trust() const { return trust_; }
+  [[nodiscard]] TrustManager& trust() { return trust_; }
+  [[nodiscard]] const WatchdogStats& stats() const { return stats_; }
+
+  /// Nodes this watchdog currently believes are packet droppers.
+  [[nodiscard]] std::vector<common::Address> suspects() const {
+    return trust_.maliciousNodes();
+  }
+
+ private:
+  void onOverheard(const net::Frame& frame);
+  void charge(common::Address neighbour, std::uint64_t packetId);
+
+  sim::Simulator& simulator_;
+  net::BasicNode& node_;
+  WatchdogConfig config_;
+  TrustManager trust_;
+  WatchdogStats stats_;
+  /// (neighbour, packetId) → outstanding handoff awaiting retransmission.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, bool> pending_;
+};
+
+}  // namespace blackdp::baselines

@@ -1,0 +1,116 @@
+#include "cluster/cluster_head.hpp"
+
+#include "common/logging.hpp"
+
+namespace blackdp::cluster {
+
+ClusterHead::ClusterHead(sim::Simulator& simulator, net::BasicNode& node,
+                         net::Backbone& backbone,
+                         const mobility::ZoneMap& zones,
+                         common::ClusterId clusterId)
+    : simulator_{simulator},
+      node_{node},
+      backbone_{backbone},
+      zones_{zones},
+      clusterId_{clusterId} {
+  node_.addHandler([this](const net::Frame& frame) { return onFrame(frame); });
+  backbone_.attach(clusterId_, *this);
+}
+
+ClusterHead::~ClusterHead() { backbone_.detach(clusterId_); }
+
+bool ClusterHead::onFrame(const net::Frame& frame) {
+  if (const auto* jreq = net::payloadAs<JoinRequest>(frame.payload)) {
+    handleJoin(*jreq);
+    return true;
+  }
+  if (const auto* leave = net::payloadAs<LeaveNotice>(frame.payload)) {
+    handleLeave(*leave);
+    return true;
+  }
+  if (frameHook_) return frameHook_(frame);
+  return false;
+}
+
+void ClusterHead::handleJoin(const JoinRequest& jreq) {
+  // In an overlapped zone the JREQ reaches several CHs; only the CH whose
+  // zone contains the vehicle's reported position claims it.
+  const auto cluster = zones_.zoneOf(jreq.position);
+  if (!cluster || *cluster != clusterId_) {
+    ++stats_.joinsIgnored;
+    return;
+  }
+
+  MemberRecord record;
+  record.vehicle = jreq.vehicle;
+  record.joinedAt = simulator_.now();
+  record.lastPosition = jreq.position;
+  record.speedMps = jreq.speedMps;
+  record.direction = jreq.direction;
+  members_[jreq.vehicle] = record;
+  history_.erase(jreq.vehicle);
+  ++stats_.joinsAccepted;
+
+  auto jrep = std::make_shared<JoinReply>();
+  jrep->vehicle = jreq.vehicle;
+  jrep->cluster = clusterId_;
+  jrep->clusterHeadAddress = node_.localAddress();
+  // Newly joined vehicles are told about certificates revoked but not yet
+  // expired (paper §III-B2).
+  jrep->activeRevocations = revocations_.active();
+  node_.sendTo(jreq.vehicle, jrep);
+}
+
+void ClusterHead::handleLeave(const LeaveNotice& leave) {
+  const auto it = members_.find(leave.vehicle);
+  if (it == members_.end()) return;
+  history_[leave.vehicle] = it->second;
+  members_.erase(it);
+  ++stats_.leaves;
+}
+
+std::vector<common::Address> ClusterHead::members() const {
+  std::vector<common::Address> out;
+  out.reserve(members_.size());
+  for (const auto& [addr, record] : members_) out.push_back(addr);
+  return out;
+}
+
+std::optional<MemberRecord> ClusterHead::historyRecord(
+    common::Address vehicle) const {
+  if (const auto it = history_.find(vehicle); it != history_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<MemberRecord> ClusterHead::memberRecord(
+    common::Address vehicle) const {
+  if (const auto it = members_.find(vehicle); it != members_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+void ClusterHead::applyRevocation(const crypto::RevocationNotice& notice) {
+  revocations_.add(notice);
+  // Drop the attacker from membership; it is no longer served.
+  if (members_.erase(notice.pseudonym) > 0) {
+    history_.erase(notice.pseudonym);
+  }
+  auto announcement = std::make_shared<RevocationAnnouncement>();
+  announcement->notice = notice;
+  ++stats_.revocationsAnnounced;
+  node_.broadcast(announcement);
+}
+
+void ClusterHead::sendOnBackbone(common::ClusterId to, net::PayloadPtr payload) {
+  backbone_.send(clusterId_, to, std::move(payload));
+}
+
+void ClusterHead::onBackboneMessage(common::ClusterId from,
+                                    const net::PayloadPtr& payload) {
+  if (backboneHook_) backboneHook_(from, payload);
+}
+
+}  // namespace blackdp::cluster

@@ -1,0 +1,122 @@
+// Cluster head (RSU) runtime.
+//
+// One stationary RSU per cluster, centred in its segment, connected to peers
+// and the TA over the wired backbone. The cluster head maintains the member
+// table ("routing table" in the paper's wording — it is how an RSU decides
+// whether a suspect resides in its cluster), a history table of departed
+// members, and the revocation blacklist it announces to members. The BlackDP
+// detector (src/core) composes with this class through the extension hooks.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/messages.hpp"
+#include "crypto/revocation_store.hpp"
+#include "mobility/zone_map.hpp"
+#include "net/backbone.hpp"
+#include "net/node.hpp"
+
+namespace blackdp::cluster {
+
+struct MemberRecord {
+  common::Address vehicle{};
+  sim::TimePoint joinedAt{};
+  mobility::Position lastPosition{};
+  double speedMps{0.0};
+  mobility::Direction direction{mobility::Direction::kEastbound};
+};
+
+struct ClusterHeadStats {
+  std::uint64_t joinsAccepted{0};
+  std::uint64_t joinsIgnored{0};   ///< JREQ for a position outside the segment
+  std::uint64_t leaves{0};
+  std::uint64_t revocationsAnnounced{0};
+};
+
+class ClusterHead : public net::BackboneEndpoint {
+ public:
+  /// Invoked for frames no cluster-management handler consumed (the BlackDP
+  /// detector receives d_req packets and probe replies through this hook).
+  using FrameHook = std::function<bool(const net::Frame&)>;
+  /// Invoked for backbone payloads the cluster layer does not understand
+  /// (forwarded d_req, detection responses).
+  using BackboneHook =
+      std::function<void(common::ClusterId from, const net::PayloadPtr&)>;
+
+  /// The RSU node is created by the caller (stationary at its zone's
+  /// centre) and must outlive the cluster head.
+  ClusterHead(sim::Simulator& simulator, net::BasicNode& node,
+              net::Backbone& backbone, const mobility::ZoneMap& zones,
+              common::ClusterId clusterId);
+  ~ClusterHead() override;
+
+  ClusterHead(const ClusterHead&) = delete;
+  ClusterHead& operator=(const ClusterHead&) = delete;
+
+  [[nodiscard]] common::ClusterId clusterId() const { return clusterId_; }
+  [[nodiscard]] common::Address address() const {
+    return node_.localAddress();
+  }
+
+  // ---- membership ----
+  [[nodiscard]] bool isMember(common::Address vehicle) const {
+    return members_.contains(vehicle);
+  }
+  [[nodiscard]] bool isFormerMember(common::Address vehicle) const {
+    return history_.contains(vehicle);
+  }
+  [[nodiscard]] std::size_t memberCount() const { return members_.size(); }
+  [[nodiscard]] std::vector<common::Address> members() const;
+  /// Record of a member that has left (history table), if any.
+  [[nodiscard]] std::optional<MemberRecord> historyRecord(
+      common::Address vehicle) const;
+  [[nodiscard]] std::optional<MemberRecord> memberRecord(
+      common::Address vehicle) const;
+
+  [[nodiscard]] const mobility::ZoneMap& zones() const { return zones_; }
+
+  // ---- revocation / blacklist ----
+  /// Records a revocation (from the TA subscription), drops the member, and
+  /// broadcasts an announcement so members blacklist the attacker.
+  void applyRevocation(const crypto::RevocationNotice& notice);
+  [[nodiscard]] const crypto::RevocationStore& revocations() const {
+    return revocations_;
+  }
+  [[nodiscard]] crypto::RevocationStore& revocations() { return revocations_; }
+
+  // ---- extension hooks ----
+  void setFrameHook(FrameHook hook) { frameHook_ = std::move(hook); }
+  void setBackboneHook(BackboneHook hook) { backboneHook_ = std::move(hook); }
+
+  /// Sends a payload to a peer CH over the wired backbone.
+  void sendOnBackbone(common::ClusterId to, net::PayloadPtr payload);
+
+  void onBackboneMessage(common::ClusterId from,
+                         const net::PayloadPtr& payload) override;
+
+  [[nodiscard]] const ClusterHeadStats& stats() const { return stats_; }
+  [[nodiscard]] net::BasicNode& node() { return node_; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+ private:
+  bool onFrame(const net::Frame& frame);
+  void handleJoin(const JoinRequest& jreq);
+  void handleLeave(const LeaveNotice& leave);
+
+  sim::Simulator& simulator_;
+  net::BasicNode& node_;
+  net::Backbone& backbone_;
+  const mobility::ZoneMap& zones_;
+  common::ClusterId clusterId_;
+  std::unordered_map<common::Address, MemberRecord> members_;
+  std::unordered_map<common::Address, MemberRecord> history_;
+  crypto::RevocationStore revocations_;
+  ClusterHeadStats stats_;
+  FrameHook frameHook_;
+  BackboneHook backboneHook_;
+};
+
+}  // namespace blackdp::cluster

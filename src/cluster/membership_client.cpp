@@ -1,0 +1,100 @@
+#include "cluster/membership_client.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "mobility/zone_tracking.hpp"
+
+namespace blackdp::cluster {
+
+MembershipClient::MembershipClient(sim::Simulator& simulator,
+                                   net::BasicNode& node,
+                                   const mobility::ZoneMap& zones)
+    : simulator_{simulator}, node_{node}, zones_{zones} {
+  node_.addHandler([this](const net::Frame& frame) { return onFrame(frame); });
+}
+
+void MembershipClient::start() {
+  BDP_ASSERT_MSG(!started_, "MembershipClient started twice");
+  started_ = true;
+  sendJoin();
+  scheduleBoundaryCrossing();
+}
+
+bool MembershipClient::onFrame(const net::Frame& frame) {
+  if (const auto* jrep = net::payloadAs<JoinReply>(frame.payload)) {
+    if (jrep->vehicle != node_.localAddress()) return true;
+    currentCluster_ = jrep->cluster;
+    clusterHead_ = jrep->clusterHeadAddress;
+    ++stats_.joinsConfirmed;
+    for (const auto& notice : jrep->activeRevocations) {
+      if (blacklist_.insert(notice.pseudonym).second) {
+        ++stats_.revocationsLearned;
+      }
+    }
+    if (onJoined_) onJoined_(jrep->cluster, jrep->clusterHeadAddress);
+    return true;
+  }
+  if (const auto* announcement =
+          net::payloadAs<RevocationAnnouncement>(frame.payload)) {
+    if (blacklist_.insert(announcement->notice.pseudonym).second) {
+      ++stats_.revocationsLearned;
+    }
+    return true;
+  }
+  return false;
+}
+
+void MembershipClient::sendJoin() {
+  auto jreq = std::make_shared<JoinRequest>();
+  jreq->vehicle = node_.localAddress();
+  jreq->position = node_.radioPosition();
+  jreq->speedMps = node_.motion().speedMps();
+  jreq->direction = node_.motion().direction();
+  ++stats_.joinsSent;
+  // Broadcast: in an overlapped zone several CHs hear it; the one whose
+  // segment contains the reported position replies.
+  node_.broadcast(jreq);
+}
+
+void MembershipClient::scheduleBoundaryCrossing() {
+  const mobility::LinearMotion& motion = node_.motion();
+  if (motion.speedMps() <= 0.0) return;  // stationary node never crosses
+
+  const auto change =
+      mobility::nextZoneChange(motion, zones_, simulator_.now());
+  if (!change) return;  // no boundary within the tracking horizon
+  boundaryTimer_ = simulator_.scheduleAt(
+      change->when, [this] { onBoundaryCrossing(); });
+}
+
+void MembershipClient::forceRejoin() {
+  simulator_.cancel(boundaryTimer_);
+  onBoundaryCrossing();
+}
+
+void MembershipClient::onBoundaryCrossing() {
+  const mobility::Position pos = node_.radioPosition();
+  const auto newCluster = zones_.zoneOf(pos);
+
+  // Leaving the current cluster.
+  if (currentCluster_ && clusterHead_ && newCluster != currentCluster_) {
+    auto leave = std::make_shared<LeaveNotice>();
+    leave->vehicle = node_.localAddress();
+    ++stats_.leavesSent;
+    node_.sendTo(*clusterHead_, leave);
+  }
+
+  if (!newCluster) {
+    // Off the highway: the vehicle exits the network.
+    currentCluster_.reset();
+    clusterHead_.reset();
+    if (onExit_) onExit_();
+    return;
+  }
+
+  sendJoin();
+  scheduleBoundaryCrossing();
+}
+
+}  // namespace blackdp::cluster

@@ -1,0 +1,87 @@
+// Vehicle-side cluster membership.
+//
+// Tracks which cluster the vehicle is in, performs the join/leave protocol
+// as the trajectory crosses segment boundaries, learns the cluster head's
+// address from the JREP, and maintains the local blacklist fed by CH
+// revocation announcements (and by the revocation list piggybacked on JREP
+// for newly joined vehicles).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_set>
+
+#include "cluster/messages.hpp"
+#include "mobility/zone_map.hpp"
+#include "net/node.hpp"
+
+namespace blackdp::cluster {
+
+struct MembershipStats {
+  std::uint64_t joinsSent{0};
+  std::uint64_t joinsConfirmed{0};
+  std::uint64_t leavesSent{0};
+  std::uint64_t revocationsLearned{0};
+};
+
+class MembershipClient {
+ public:
+  using JoinedCallback = std::function<void(common::ClusterId cluster,
+                                            common::Address chAddress)>;
+  /// Invoked when the vehicle's trajectory leaves the highway.
+  using ExitCallback = std::function<void()>;
+
+  MembershipClient(sim::Simulator& simulator, net::BasicNode& node,
+                   const mobility::ZoneMap& zones);
+
+  MembershipClient(const MembershipClient&) = delete;
+  MembershipClient& operator=(const MembershipClient&) = delete;
+
+  /// Joins the cluster containing the current position and starts tracking
+  /// boundary crossings along the trajectory.
+  void start();
+
+  [[nodiscard]] std::optional<common::ClusterId> currentCluster() const {
+    return currentCluster_;
+  }
+  [[nodiscard]] std::optional<common::Address> clusterHeadAddress() const {
+    return clusterHead_;
+  }
+
+  /// True iff `address` has been blacklisted via a revocation announcement.
+  [[nodiscard]] bool isBlacklisted(common::Address address) const {
+    return blacklist_.contains(address);
+  }
+  [[nodiscard]] std::size_t blacklistSize() const { return blacklist_.size(); }
+
+  void setJoinedCallback(JoinedCallback cb) { onJoined_ = std::move(cb); }
+  void setExitCallback(ExitCallback cb) { onExit_ = std::move(cb); }
+
+  /// Re-runs leave/join after the node's trajectory changed out of band
+  /// (pseudonym renewal re-join, or an attacker fleeing to another segment).
+  /// Sends a LeaveNotice to the old CH when the cluster changed, then a
+  /// fresh JREQ, and reschedules boundary tracking.
+  void forceRejoin();
+
+  [[nodiscard]] const MembershipStats& stats() const { return stats_; }
+
+ private:
+  bool onFrame(const net::Frame& frame);
+  void sendJoin();
+  void scheduleBoundaryCrossing();
+  void onBoundaryCrossing();
+
+  sim::Simulator& simulator_;
+  net::BasicNode& node_;
+  const mobility::ZoneMap& zones_;
+  std::optional<common::ClusterId> currentCluster_;
+  std::optional<common::Address> clusterHead_;
+  std::unordered_set<common::Address> blacklist_;
+  MembershipStats stats_;
+  JoinedCallback onJoined_;
+  ExitCallback onExit_;
+  sim::EventHandle boundaryTimer_;
+  bool started_{false};
+};
+
+}  // namespace blackdp::cluster

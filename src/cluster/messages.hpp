@@ -1,0 +1,62 @@
+// Cluster-management messages (paper §III-A, "Connected Vehicles Network
+// Model"): join request/reply, leave notice, and the CH→members revocation
+// announcement used during black hole isolation.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "crypto/certificate.hpp"
+#include "mobility/motion.hpp"
+#include "net/frame.hpp"
+
+namespace blackdp::cluster {
+
+/// JREQ: vehicle identity, speed, position and direction (broadcast in
+/// overlapped zones so the appropriate CH can claim the vehicle).
+class JoinRequest final : public net::Payload {
+ public:
+  common::Address vehicle{};
+  mobility::Position position{};
+  double speedMps{0.0};
+  mobility::Direction direction{mobility::Direction::kEastbound};
+
+  [[nodiscard]] std::string_view typeName() const override { return "jreq"; }
+  [[nodiscard]] std::uint32_t sizeBytes() const override { return 56; }
+};
+
+/// JREP: carries the cluster head identity the vehicle must include in
+/// subsequent packets, plus the currently active revocation notices so a
+/// newly joined vehicle learns about attackers immediately.
+class JoinReply final : public net::Payload {
+ public:
+  common::Address vehicle{};            ///< addressee
+  common::ClusterId cluster{};
+  common::Address clusterHeadAddress{};
+  std::vector<crypto::RevocationNotice> activeRevocations{};
+
+  [[nodiscard]] std::string_view typeName() const override { return "jrep"; }
+  [[nodiscard]] std::uint32_t sizeBytes() const override {
+    return 40 + static_cast<std::uint32_t>(activeRevocations.size()) * 24;
+  }
+};
+
+/// Leaving-cluster packet: the CH moves the member to its history table.
+class LeaveNotice final : public net::Payload {
+ public:
+  common::Address vehicle{};
+
+  [[nodiscard]] std::string_view typeName() const override { return "leave"; }
+  [[nodiscard]] std::uint32_t sizeBytes() const override { return 24; }
+};
+
+/// CH → members: a certificate has been revoked; blacklist its holder.
+class RevocationAnnouncement final : public net::Payload {
+ public:
+  crypto::RevocationNotice notice{};
+
+  [[nodiscard]] std::string_view typeName() const override { return "revoke"; }
+  [[nodiscard]] std::uint32_t sizeBytes() const override { return 48; }
+};
+
+}  // namespace blackdp::cluster

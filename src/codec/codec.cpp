@@ -1,0 +1,432 @@
+#include "codec/codec.hpp"
+
+#include <stdexcept>
+
+#include "aodv/messages.hpp"
+#include "cluster/messages.hpp"
+#include "common/assert.hpp"
+#include "core/messages.hpp"
+
+namespace blackdp::codec {
+using net::Frame;
+using net::Payload;
+using net::PayloadPtr;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42445046;  // "BDPF"
+constexpr std::uint8_t kVersion = 1;
+
+// ----------------------------------------------------------- field helpers
+
+void writeSignature(common::ByteWriter& w, const crypto::Signature& sig) {
+  w.writeU64(sig.keyId);
+  w.writeBlob(std::span<const std::uint8_t>{sig.mac.data(), sig.mac.size()});
+}
+
+crypto::Signature readSignature(common::ByteReader& r) {
+  crypto::Signature sig;
+  sig.keyId = r.readU64();
+  const common::Bytes mac = r.readBlob();
+  if (mac.size() != sig.mac.size()) {
+    throw std::invalid_argument("codec: bad signature length");
+  }
+  std::copy(mac.begin(), mac.end(), sig.mac.begin());
+  return sig;
+}
+
+void writeCertificate(common::ByteWriter& w, const crypto::Certificate& cert) {
+  w.writeId(cert.pseudonym);
+  w.writeU64(cert.subjectKey.keyId);
+  w.writeId(cert.serial);
+  w.writeI64(cert.issuedAt.us());
+  w.writeI64(cert.expiresAt.us());
+  w.writeId(cert.issuer);
+  writeSignature(w, cert.issuerSignature);
+}
+
+crypto::Certificate readCertificate(common::ByteReader& r) {
+  crypto::Certificate cert;
+  cert.pseudonym = r.readId<common::Address>();
+  cert.subjectKey.keyId = r.readU64();
+  cert.serial = r.readId<common::CertSerial>();
+  cert.issuedAt = sim::TimePoint::fromUs(r.readI64());
+  cert.expiresAt = sim::TimePoint::fromUs(r.readI64());
+  cert.issuer = r.readId<common::TaId>();
+  cert.issuerSignature = readSignature(r);
+  return cert;
+}
+
+void writeEnvelope(common::ByteWriter& w,
+                   const std::optional<aodv::SecureEnvelope>& envelope) {
+  w.writeBool(envelope.has_value());
+  if (!envelope) return;
+  writeCertificate(w, envelope->certificate);
+  writeSignature(w, envelope->signature);
+}
+
+std::optional<aodv::SecureEnvelope> readEnvelope(common::ByteReader& r) {
+  if (!r.readBool()) return std::nullopt;
+  aodv::SecureEnvelope envelope;
+  envelope.certificate = readCertificate(r);
+  envelope.signature = readSignature(r);
+  return envelope;
+}
+
+void writeNotice(common::ByteWriter& w, const crypto::RevocationNotice& n) {
+  w.writeId(n.pseudonym);
+  w.writeId(n.serial);
+  w.writeI64(n.certExpiry.us());
+}
+
+crypto::RevocationNotice readNotice(common::ByteReader& r) {
+  crypto::RevocationNotice n;
+  n.pseudonym = r.readId<common::Address>();
+  n.serial = r.readId<common::CertSerial>();
+  n.certExpiry = sim::TimePoint::fromUs(r.readI64());
+  return n;
+}
+
+// ------------------------------------------------------------ per-payload
+
+void encodePayload(common::ByteWriter& w, const Payload& payload);
+
+PayloadPtr decodePayload(common::ByteReader& r);
+
+void encodeBody(common::ByteWriter& w, const aodv::RouteRequest& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kRreq));
+  w.writeId(m.rreqId);
+  w.writeId(m.origin);
+  w.writeU32(m.originSeq);
+  w.writeId(m.destination);
+  w.writeU32(m.destSeq);
+  w.writeBool(m.unknownDestSeq);
+  w.writeU8(m.hopCount);
+  w.writeU8(m.ttl);
+  w.writeBool(m.inquireNextHop);
+}
+
+void encodeBody(common::ByteWriter& w, const aodv::RouteReply& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kRrep));
+  w.writeId(m.rreqId);
+  w.writeId(m.origin);
+  w.writeId(m.destination);
+  w.writeU32(m.destSeq);
+  w.writeU8(m.hopCount);
+  w.writeId(m.replier);
+  w.writeId(m.replierCluster);
+  w.writeI64(m.lifetime.us());
+  w.writeId(m.claimedNextHop);
+  writeEnvelope(w, m.envelope);
+}
+
+void encodeBody(common::ByteWriter& w, const aodv::RouteError& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kRerr));
+  w.writeId(m.destination);
+  w.writeU32(m.destSeq);
+  w.writeId(m.origin);
+}
+
+void encodeBody(common::ByteWriter& w, const aodv::DataPacket& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kData));
+  w.writeId(m.origin);
+  w.writeId(m.destination);
+  w.writeU64(m.packetId);
+  w.writeU8(m.hopsTraversed);
+  w.writeU32(m.bodyBytes);
+  w.writeBool(m.inner != nullptr);
+  if (m.inner) encodePayload(w, *m.inner);
+}
+
+void encodeBody(common::ByteWriter& w, const aodv::HelloBeacon& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kHelloBeacon));
+  w.writeId(m.origin);
+  w.writeU32(m.originSeq);
+}
+
+void encodeBody(common::ByteWriter& w, const cluster::JoinRequest& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kJoinRequest));
+  w.writeId(m.vehicle);
+  w.writeI64(static_cast<std::int64_t>(m.position.x * 1000.0));
+  w.writeI64(static_cast<std::int64_t>(m.position.y * 1000.0));
+  w.writeI64(static_cast<std::int64_t>(m.speedMps * 1000.0));
+  w.writeU8(m.direction == mobility::Direction::kEastbound ? 0 : 1);
+}
+
+void encodeBody(common::ByteWriter& w, const cluster::JoinReply& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kJoinReply));
+  w.writeId(m.vehicle);
+  w.writeId(m.cluster);
+  w.writeId(m.clusterHeadAddress);
+  w.writeU32(static_cast<std::uint32_t>(m.activeRevocations.size()));
+  for (const crypto::RevocationNotice& notice : m.activeRevocations) {
+    writeNotice(w, notice);
+  }
+}
+
+void encodeBody(common::ByteWriter& w, const cluster::LeaveNotice& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kLeaveNotice));
+  w.writeId(m.vehicle);
+}
+
+void encodeBody(common::ByteWriter& w,
+                const cluster::RevocationAnnouncement& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kRevocationAnnouncement));
+  writeNotice(w, m.notice);
+}
+
+void encodeBody(common::ByteWriter& w, const core::AuthHello& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kAuthHello));
+  w.writeU64(m.helloId);
+  w.writeId(m.origin);
+  w.writeId(m.destination);
+  w.writeBool(m.isReply);
+  w.writeId(m.responder);
+  writeEnvelope(w, m.envelope);
+}
+
+void encodeBody(common::ByteWriter& w, const core::DetectionRequest& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kDetectionRequest));
+  w.writeId(m.reporter);
+  w.writeId(m.reporterCluster);
+  w.writeId(m.suspect);
+  w.writeId(m.suspectCluster);
+  writeEnvelope(w, m.envelope);
+}
+
+void encodeBody(common::ByteWriter& w, const core::ForwardedDetection& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kForwardedDetection));
+  w.writeId(m.session);
+  w.writeId(m.reporter);
+  w.writeId(m.reporterCluster);
+  w.writeId(m.suspect);
+  w.writeU8(m.stage);
+  w.writeU32(m.lastSeenSeq);
+  w.writeU32(m.packetsSoFar);
+  w.writeU8(m.forwardCount);
+  w.writeI64(m.startedAt.us());
+}
+
+void encodeBody(common::ByteWriter& w, const core::DetectionResult& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kDetectionResult));
+  w.writeId(m.session);
+  w.writeId(m.reporter);
+  w.writeId(m.suspect);
+  w.writeU8(static_cast<std::uint8_t>(m.verdict));
+  w.writeId(m.accomplice);
+  w.writeU32(m.packetsUsed);
+}
+
+void encodeBody(common::ByteWriter& w, const core::DetectionResponse& m) {
+  w.writeU8(static_cast<std::uint8_t>(WireType::kDetectionResponse));
+  w.writeId(m.reporter);
+  w.writeId(m.suspect);
+  w.writeU8(static_cast<std::uint8_t>(m.verdict));
+  w.writeId(m.accomplice);
+}
+
+template <typename T>
+bool tryEncode(common::ByteWriter& w, const Payload& payload) {
+  if (const auto* m = dynamic_cast<const T*>(&payload)) {
+    encodeBody(w, *m);
+    return true;
+  }
+  return false;
+}
+
+void encodePayload(common::ByteWriter& w, const Payload& payload) {
+  const bool encoded =
+      tryEncode<aodv::RouteRequest>(w, payload) ||
+      tryEncode<aodv::RouteReply>(w, payload) ||
+      tryEncode<aodv::RouteError>(w, payload) ||
+      tryEncode<aodv::DataPacket>(w, payload) ||
+      tryEncode<aodv::HelloBeacon>(w, payload) ||
+      tryEncode<cluster::JoinRequest>(w, payload) ||
+      tryEncode<cluster::JoinReply>(w, payload) ||
+      tryEncode<cluster::LeaveNotice>(w, payload) ||
+      tryEncode<cluster::RevocationAnnouncement>(w, payload) ||
+      tryEncode<core::AuthHello>(w, payload) ||
+      tryEncode<core::DetectionRequest>(w, payload) ||
+      tryEncode<core::ForwardedDetection>(w, payload) ||
+      tryEncode<core::DetectionResult>(w, payload) ||
+      tryEncode<core::DetectionResponse>(w, payload);
+  BDP_ASSERT_MSG(encoded, std::string("codec: unknown payload type ") +
+                              std::string(payload.typeName()));
+}
+
+PayloadPtr decodePayload(common::ByteReader& r) {
+  const auto tag = static_cast<WireType>(r.readU8());
+  switch (tag) {
+    case WireType::kRreq: {
+      auto m = std::make_shared<aodv::RouteRequest>();
+      m->rreqId = r.readId<common::RreqId>();
+      m->origin = r.readId<common::Address>();
+      m->originSeq = r.readU32();
+      m->destination = r.readId<common::Address>();
+      m->destSeq = r.readU32();
+      m->unknownDestSeq = r.readBool();
+      m->hopCount = r.readU8();
+      m->ttl = r.readU8();
+      m->inquireNextHop = r.readBool();
+      return m;
+    }
+    case WireType::kRrep: {
+      auto m = std::make_shared<aodv::RouteReply>();
+      m->rreqId = r.readId<common::RreqId>();
+      m->origin = r.readId<common::Address>();
+      m->destination = r.readId<common::Address>();
+      m->destSeq = r.readU32();
+      m->hopCount = r.readU8();
+      m->replier = r.readId<common::Address>();
+      m->replierCluster = r.readId<common::ClusterId>();
+      m->lifetime = sim::Duration::microseconds(r.readI64());
+      m->claimedNextHop = r.readId<common::Address>();
+      m->envelope = readEnvelope(r);
+      return m;
+    }
+    case WireType::kRerr: {
+      auto m = std::make_shared<aodv::RouteError>();
+      m->destination = r.readId<common::Address>();
+      m->destSeq = r.readU32();
+      m->origin = r.readId<common::Address>();
+      return m;
+    }
+    case WireType::kData: {
+      auto m = std::make_shared<aodv::DataPacket>();
+      m->origin = r.readId<common::Address>();
+      m->destination = r.readId<common::Address>();
+      m->packetId = r.readU64();
+      m->hopsTraversed = r.readU8();
+      m->bodyBytes = r.readU32();
+      if (r.readBool()) m->inner = decodePayload(r);
+      return m;
+    }
+    case WireType::kHelloBeacon: {
+      auto m = std::make_shared<aodv::HelloBeacon>();
+      m->origin = r.readId<common::Address>();
+      m->originSeq = r.readU32();
+      return m;
+    }
+    case WireType::kJoinRequest: {
+      auto m = std::make_shared<cluster::JoinRequest>();
+      m->vehicle = r.readId<common::Address>();
+      m->position.x = static_cast<double>(r.readI64()) / 1000.0;
+      m->position.y = static_cast<double>(r.readI64()) / 1000.0;
+      m->speedMps = static_cast<double>(r.readI64()) / 1000.0;
+      m->direction = r.readU8() == 0 ? mobility::Direction::kEastbound
+                                     : mobility::Direction::kWestbound;
+      return m;
+    }
+    case WireType::kJoinReply: {
+      auto m = std::make_shared<cluster::JoinReply>();
+      m->vehicle = r.readId<common::Address>();
+      m->cluster = r.readId<common::ClusterId>();
+      m->clusterHeadAddress = r.readId<common::Address>();
+      const std::uint32_t count = r.readU32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        m->activeRevocations.push_back(readNotice(r));
+      }
+      return m;
+    }
+    case WireType::kLeaveNotice: {
+      auto m = std::make_shared<cluster::LeaveNotice>();
+      m->vehicle = r.readId<common::Address>();
+      return m;
+    }
+    case WireType::kRevocationAnnouncement: {
+      auto m = std::make_shared<cluster::RevocationAnnouncement>();
+      m->notice = readNotice(r);
+      return m;
+    }
+    case WireType::kAuthHello: {
+      auto m = std::make_shared<core::AuthHello>();
+      m->helloId = r.readU64();
+      m->origin = r.readId<common::Address>();
+      m->destination = r.readId<common::Address>();
+      m->isReply = r.readBool();
+      m->responder = r.readId<common::Address>();
+      m->envelope = readEnvelope(r);
+      return m;
+    }
+    case WireType::kDetectionRequest: {
+      auto m = std::make_shared<core::DetectionRequest>();
+      m->reporter = r.readId<common::Address>();
+      m->reporterCluster = r.readId<common::ClusterId>();
+      m->suspect = r.readId<common::Address>();
+      m->suspectCluster = r.readId<common::ClusterId>();
+      m->envelope = readEnvelope(r);
+      return m;
+    }
+    case WireType::kForwardedDetection: {
+      auto m = std::make_shared<core::ForwardedDetection>();
+      m->session = r.readId<common::DetectionSessionId>();
+      m->reporter = r.readId<common::Address>();
+      m->reporterCluster = r.readId<common::ClusterId>();
+      m->suspect = r.readId<common::Address>();
+      m->stage = r.readU8();
+      m->lastSeenSeq = r.readU32();
+      m->packetsSoFar = r.readU32();
+      m->forwardCount = r.readU8();
+      m->startedAt = sim::TimePoint::fromUs(r.readI64());
+      return m;
+    }
+    case WireType::kDetectionResult: {
+      auto m = std::make_shared<core::DetectionResult>();
+      m->session = r.readId<common::DetectionSessionId>();
+      m->reporter = r.readId<common::Address>();
+      m->suspect = r.readId<common::Address>();
+      m->verdict = static_cast<core::Verdict>(r.readU8());
+      m->accomplice = r.readId<common::Address>();
+      m->packetsUsed = r.readU32();
+      return m;
+    }
+    case WireType::kDetectionResponse: {
+      auto m = std::make_shared<core::DetectionResponse>();
+      m->reporter = r.readId<common::Address>();
+      m->suspect = r.readId<common::Address>();
+      m->verdict = static_cast<core::Verdict>(r.readU8());
+      m->accomplice = r.readId<common::Address>();
+      return m;
+    }
+  }
+  throw std::invalid_argument("codec: unknown wire tag");
+}
+
+}  // namespace
+
+common::Bytes encodeFrame(const Frame& frame) {
+  BDP_ASSERT_MSG(frame.payload != nullptr, "codec: frame without payload");
+  common::ByteWriter w;
+  w.writeU32(kMagic);
+  w.writeU8(kVersion);
+  w.writeId(frame.src);
+  w.writeId(frame.dst);
+  encodePayload(w, *frame.payload);
+  return std::move(w).take();
+}
+
+common::Result<Frame> decodeFrame(std::span<const std::uint8_t> wire) {
+  try {
+    common::ByteReader r{wire};
+    if (r.readU32() != kMagic) {
+      return common::Error{"bad-magic", "not a BlackDP frame"};
+    }
+    if (r.readU8() != kVersion) {
+      return common::Error{"bad-version", "unsupported frame version"};
+    }
+    Frame frame;
+    frame.src = r.readId<common::Address>();
+    frame.dst = r.readId<common::Address>();
+    frame.payload = decodePayload(r);
+    if (!r.exhausted()) {
+      return common::Error{"trailing-bytes", "frame has trailing bytes"};
+    }
+    return frame;
+  } catch (const std::out_of_range& e) {
+    return common::Error{"truncated", e.what()};
+  } catch (const std::invalid_argument& e) {
+    return common::Error{"malformed", e.what()};
+  }
+}
+
+}  // namespace blackdp::codec

@@ -1,0 +1,47 @@
+// Wire-format codec.
+//
+// Serialises every protocol payload (AODV, cluster management, BlackDP) to
+// a tagged binary frame format and back. The simulator itself passes
+// payloads by pointer — this codec exists for the edges a real deployment
+// needs: persisting traces, replaying captured frames, and interoperating
+// across processes. Round-trip identity for every message type is enforced
+// by tests/codec_test.cpp.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "net/frame.hpp"
+
+namespace blackdp::codec {
+using net::Frame;
+using net::Payload;
+using net::PayloadPtr;
+
+/// Payload type tags on the wire (stable; append only).
+enum class WireType : std::uint8_t {
+  kRreq = 1,
+  kRrep = 2,
+  kRerr = 3,
+  kData = 4,
+  kHelloBeacon = 5,
+  kJoinRequest = 6,
+  kJoinReply = 7,
+  kLeaveNotice = 8,
+  kRevocationAnnouncement = 9,
+  kAuthHello = 10,
+  kDetectionRequest = 11,
+  kForwardedDetection = 12,
+  kDetectionResult = 13,
+  kDetectionResponse = 14,
+};
+
+/// Encodes a frame (header + tagged payload). Throws AssertionError on
+/// payload types the codec does not know (nested DataPacket inner payloads
+/// are supported recursively).
+[[nodiscard]] common::Bytes encodeFrame(const Frame& frame);
+
+/// Decodes a frame. Returns an Error for unknown tags or malformed input.
+[[nodiscard]] common::Result<Frame> decodeFrame(
+    std::span<const std::uint8_t> wire);
+
+}  // namespace blackdp::codec

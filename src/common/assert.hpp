@@ -1,0 +1,40 @@
+// Always-on invariant checks.
+//
+// The simulator's correctness claims (e.g. "FP = 0 by construction") lean on
+// internal invariants; violating one is a bug, so checks stay enabled in all
+// build types and throw, which tests can assert on.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace blackdp::common {
+
+/// Thrown when an internal invariant is violated.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void assertionFailure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+
+}  // namespace blackdp::common
+
+#define BDP_ASSERT(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::blackdp::common::assertionFailure(#expr, __FILE__, __LINE__, {});    \
+  } while (false)
+
+#define BDP_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::blackdp::common::assertionFailure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,50 @@
+// Identifier families used throughout the BlackDP code base.
+#pragma once
+
+#include <cstdint>
+
+#include "common/strong_id.hpp"
+
+namespace blackdp::common {
+
+namespace detail {
+struct NodeTag {};
+struct AddressTag {};
+struct ClusterTag {};
+struct TaTag {};
+struct CertSerialTag {};
+struct RreqTag {};
+struct SessionTag {};
+}  // namespace detail
+
+/// Physical node identity. Stable for the lifetime of a simulation; never
+/// transmitted in packets (vehicles are pseudonymous on the air).
+using NodeId = StrongId<detail::NodeTag>;
+
+/// Pseudonymous radio address (IEEE 1609.2 temporary id). This is what appears
+/// in packet headers and routing tables; it changes on pseudonym renewal.
+using Address = StrongId<detail::AddressTag, std::uint64_t>;
+
+/// Cluster (= RSU / cluster head) identity. One per highway segment.
+using ClusterId = StrongId<detail::ClusterTag>;
+
+/// Trusted authority node identity.
+using TaId = StrongId<detail::TaTag>;
+
+/// Certificate serial number, unique per issued certificate.
+using CertSerial = StrongId<detail::CertSerialTag, std::uint64_t>;
+
+/// AODV route-request id (unique per originator).
+using RreqId = StrongId<detail::RreqTag>;
+
+/// BlackDP detection session id, unique per d_req accepted by an RSU. Tags all
+/// detection traffic so packet accounting (Fig. 5) is measured, not assumed.
+using DetectionSessionId = StrongId<detail::SessionTag, std::uint64_t>;
+
+/// Address value reserved for link-level broadcast.
+inline constexpr Address kBroadcastAddress{~std::uint64_t{0}};
+
+/// Address value meaning "no address" / unset.
+inline constexpr Address kNullAddress{0};
+
+}  // namespace blackdp::common

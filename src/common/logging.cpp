@@ -1,0 +1,35 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace blackdp::common {
+
+LogLevel Logging::level_ = LogLevel::kOff;
+Logging::Sink Logging::sink_ = nullptr;
+
+std::string_view toString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logging::setSink(Sink sink) { sink_ = std::move(sink); }
+
+void Logging::emit(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (level < level_) return;
+  if (sink_) {
+    sink_(level, component, message);
+    return;
+  }
+  std::cerr << '[' << toString(level) << "] [" << component << "] " << message
+            << '\n';
+}
+
+}  // namespace blackdp::common

@@ -1,0 +1,72 @@
+// Minimal expected-style result type (C++20 has no std::expected yet).
+//
+// Used at API boundaries where failure is a normal outcome (e.g. signature
+// verification, certificate validation) rather than a programming error.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace blackdp::common {
+
+/// Error payload: a machine-readable code plus human-readable detail.
+struct Error {
+  std::string code;
+  std::string detail;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Result<T>: either a value or an Error. Intentionally tiny; supports the
+/// handful of idioms the code base needs (ok(), value(), error(), map-free).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_{std::move(value)} {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_{std::move(error)} {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().code);
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().code);
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() on success");
+    return std::get<Error>(storage_);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> specialisation-equivalent: success or error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                       // success
+  Status(Error error) : error_{std::move(error)} {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error() on success");
+    return *error_;
+  }
+
+  [[nodiscard]] static Status success() { return {}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace blackdp::common

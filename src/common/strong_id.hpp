@@ -1,0 +1,48 @@
+// Strong typedef machinery for identifiers.
+//
+// The simulator distinguishes many kinds of small integral identifiers
+// (physical node ids, pseudonymous radio addresses, cluster ids, ...). Mixing
+// them up is the classic source of silent bugs in network simulators, so every
+// identifier is a distinct type that cannot implicitly convert to another.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace blackdp::common {
+
+/// A strongly typed integral identifier.
+///
+/// @tparam Tag   phantom type that distinguishes id families
+/// @tparam Rep   underlying integral representation
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_{value} {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+}  // namespace blackdp::common
+
+// Hash support so strong ids can key unordered containers.
+template <typename Tag, typename Rep>
+struct std::hash<blackdp::common::StrongId<Tag, Rep>> {
+  std::size_t operator()(blackdp::common::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -1,0 +1,36 @@
+#include "core/ch_load_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace blackdp::core {
+
+void ChLoadModel::submit(Completion done) {
+  BDP_ASSERT(done != nullptr);
+  ++stats_.jobsSubmitted;
+  queue_.push_back(Job{std::move(done), simulator_.now()});
+  stats_.maxQueueDepth = std::max<std::uint64_t>(stats_.maxQueueDepth,
+                                                 queue_.size());
+  startNext();
+}
+
+void ChLoadModel::startNext() {
+  if (idleServers_ == 0 || queue_.empty()) return;
+  --idleServers_;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+
+  stats_.totalWait = stats_.totalWait + (simulator_.now() - job.submittedAt);
+  stats_.totalBusy = stats_.totalBusy + config_.verificationService;
+
+  simulator_.schedule(config_.verificationService,
+                      [this, done = std::move(job.done)] {
+                        ++idleServers_;
+                        ++stats_.jobsCompleted;
+                        done();
+                        startNext();
+                      });
+}
+
+}  // namespace blackdp::core

@@ -1,0 +1,36 @@
+#include "core/messages.hpp"
+
+namespace blackdp::core {
+
+std::string_view toString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kNotConfirmed: return "not-confirmed";
+    case Verdict::kSingleBlackHole: return "single-black-hole";
+    case Verdict::kCooperativeBlackHole: return "cooperative-black-hole";
+    case Verdict::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+common::Bytes AuthHello::canonicalBytes() const {
+  common::ByteWriter w;
+  w.writeString("hello-v1");
+  w.writeU64(helloId);
+  w.writeId(origin);
+  w.writeId(destination);
+  w.writeBool(isReply);
+  w.writeId(responder);
+  return std::move(w).take();
+}
+
+common::Bytes DetectionRequest::canonicalBytes() const {
+  common::ByteWriter w;
+  w.writeString("dreq-v1");
+  w.writeId(reporter);
+  w.writeId(reporterCluster);
+  w.writeId(suspect);
+  w.writeId(suspectCluster);
+  return std::move(w).take();
+}
+
+}  // namespace blackdp::core

@@ -1,0 +1,412 @@
+#include "core/rsu_detector.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace blackdp::core {
+
+namespace {
+constexpr std::string_view kLog = "detector";
+
+/// Disposable identities and fake destinations live in a reserved address
+/// range far above the TA's pseudonym counter, so they can never collide
+/// with a real node.
+constexpr std::uint64_t kProbeAddressBase = 0xD15D15ull << 32;
+}  // namespace
+
+RsuDetector::RsuDetector(sim::Simulator& simulator,
+                         cluster::ClusterHead& clusterHead,
+                         crypto::TaNetwork& taNetwork,
+                         const crypto::CryptoEngine& engine,
+                         DetectorConfig config)
+    : simulator_{simulator},
+      ch_{clusterHead},
+      taNetwork_{taNetwork},
+      engine_{engine},
+      config_{config} {
+  ch_.setFrameHook([this](const net::Frame& frame) { return onFrame(frame); });
+  ch_.setBackboneHook(
+      [this](common::ClusterId from, const net::PayloadPtr& payload) {
+        onBackbone(from, payload);
+      });
+}
+
+common::Address RsuDetector::allocProbeAddress() {
+  return common::Address{kProbeAddressBase |
+                         (static_cast<std::uint64_t>(ch_.clusterId().value())
+                          << 24) |
+                         nextProbeAddress_++};
+}
+
+// ------------------------------------------------------------------ intake
+
+bool RsuDetector::onFrame(const net::Frame& frame) {
+  if (const auto* dreq = net::payloadAs<DetectionRequest>(frame.payload)) {
+    handleDreq(*dreq);
+    return true;
+  }
+  if (const auto* rrep = net::payloadAs<aodv::RouteReply>(frame.payload)) {
+    handleProbeReply(*rrep, frame);
+    return true;
+  }
+  return false;
+}
+
+void RsuDetector::onBackbone(common::ClusterId from,
+                             const net::PayloadPtr& payload) {
+  (void)from;
+  if (const auto* fwd = net::payloadAs<ForwardedDetection>(payload)) {
+    adoptForwarded(*fwd);
+    return;
+  }
+  if (const auto* result = net::payloadAs<DetectionResult>(payload)) {
+    relayResult(*result);
+    return;
+  }
+}
+
+void RsuDetector::handleDreq(const DetectionRequest& dreq) {
+  ++stats_.dreqReceived;
+
+  // RSUs only act on reports from authenticated, non-revoked members
+  // (otherwise attackers could use fake reports to disconnect legitimate
+  // nodes — the weakness of voting schemes the paper avoids).
+  const EnvelopeCheck check = verifyEnvelope(
+      dreq.canonicalBytes(), dreq.envelope, dreq.reporter, taNetwork_, engine_,
+      simulator_.now(), &ch_.revocations());
+  if (!check.ok) {
+    ++stats_.dreqRejectedAuth;
+    BDP_LOG(kDebug, kLog) << "d_req rejected: " << check.reason;
+    return;
+  }
+
+  // Verification-table dedup: concurrent reports against one suspect merge.
+  if (const auto it = active_.find(dreq.suspect); it != active_.end()) {
+    ++stats_.dreqDeduplicated;
+    it->second.reporters.push_back({dreq.reporter, dreq.reporterCluster});
+    it->second.packets += 1;  // the received d_req
+    return;
+  }
+
+  Session session;
+  session.id = common::DetectionSessionId{
+      (static_cast<std::uint64_t>(ch_.clusterId().value()) << 32) |
+      nextSessionLocal_++};
+  session.suspect = dreq.suspect;
+  session.reporters.push_back({dreq.reporter, dreq.reporterCluster});
+  session.packets = 1;  // the received d_req
+  session.retriesLeft = config_.probeRetries;
+  session.startedAt = simulator_.now();
+
+  if (!ch_.isMember(dreq.suspect) && dreq.suspectCluster != ch_.clusterId() &&
+      dreq.suspectCluster.value() != 0) {
+    // The reporter says the suspect lives in another cluster: hand over.
+    forwardSession(std::move(session), dreq.suspectCluster);
+    return;
+  }
+  placeSession(std::move(session));
+}
+
+void RsuDetector::adoptForwarded(const ForwardedDetection& fwd) {
+  ++stats_.sessionsAdopted;
+  Session session;
+  session.id = fwd.session;
+  session.suspect = fwd.suspect;
+  session.reporters.push_back({fwd.reporter, fwd.reporterCluster});
+  session.stage = fwd.stage;
+  session.rrep1Seq = fwd.lastSeenSeq;
+  session.packets = fwd.packetsSoFar;
+  session.forwardCount = fwd.forwardCount;
+  session.retriesLeft = config_.probeRetries;
+  session.startedAt = fwd.startedAt;
+  placeSession(std::move(session));
+}
+
+void RsuDetector::placeSession(Session session) {
+  if (ch_.isMember(session.suspect)) {
+    beginProbing(std::move(session));
+    return;
+  }
+  // Not (or no longer) here: chase via the history table, bounded.
+  if (session.forwardCount < config_.maxForwards) {
+    if (const auto next = guessNextCluster(session.suspect)) {
+      forwardSession(std::move(session), *next);
+      return;
+    }
+  }
+  finishSession(std::move(session), Verdict::kUnreachable);
+}
+
+std::optional<common::ClusterId> RsuDetector::guessNextCluster(
+    common::Address suspect) const {
+  const auto record = ch_.historyRecord(suspect);
+  if (!record) return std::nullopt;
+  return ch_.zones().neighborToward(ch_.clusterId(), record->direction);
+}
+
+void RsuDetector::forwardSession(Session session, common::ClusterId target) {
+  ++stats_.sessionsForwarded;
+  auto fwd = std::make_shared<ForwardedDetection>();
+  fwd->session = session.id;
+  BDP_ASSERT(!session.reporters.empty());
+  fwd->reporter = session.reporters.front().address;
+  fwd->reporterCluster = session.reporters.front().cluster;
+  fwd->suspect = session.suspect;
+  fwd->stage = static_cast<std::uint8_t>(session.stage == 1 ? 1 : 0);
+  fwd->lastSeenSeq = session.rrep1Seq;
+  fwd->packetsSoFar = session.packets + 1;  // this forward counts
+  fwd->forwardCount = static_cast<std::uint8_t>(session.forwardCount + 1);
+  fwd->startedAt = session.startedAt;
+  ch_.sendOnBackbone(target, std::move(fwd));
+}
+
+// ----------------------------------------------------------------- probing
+
+void RsuDetector::beginProbing(Session session) {
+  // A disposable identity makes the RSU look like a normal vehicle to the
+  // suspect (§III-B1); a fresh fake destination guarantees no honest node
+  // can have a route.
+  // A session for this suspect may already be running here (e.g. a second
+  // CH forwarded its own report while ours is active): merge, don't restart.
+  if (const auto existing = active_.find(session.suspect);
+      existing != active_.end()) {
+    auto& reporters = existing->second.reporters;
+    reporters.insert(reporters.end(), session.reporters.begin(),
+                     session.reporters.end());
+    existing->second.packets += session.packets;
+    return;
+  }
+
+  session.disposable = allocProbeAddress();
+  session.fakeDestination = allocProbeAddress();
+  ch_.node().addAlias(session.disposable);
+
+  const common::Address suspect = session.suspect;
+  auto [it, inserted] = active_.emplace(suspect, std::move(session));
+  BDP_ASSERT_MSG(inserted, "duplicate active session for suspect");
+  sendProbe(suspect, it->second);
+}
+
+void RsuDetector::sendProbe(common::Address target, Session& session) {
+  auto rreq = std::make_shared<aodv::RouteRequest>();
+  rreq->rreqId = common::RreqId{nextProbeRreqId_++};
+  session.probeRreqId = rreq->rreqId.value();
+  rreq->origin = session.disposable;
+  rreq->originSeq = 1;
+  rreq->destination = session.fakeDestination;
+  rreq->ttl = 1;  // probe must not propagate past the suspect
+
+  if (session.stage == 1) {
+    // RREQ₂: one above RREP₁'s sequence number + next-hop inquiry. An honest
+    // node cannot know a fresher route to a destination that does not exist.
+    session.rreq2Seq = session.rrep1Seq + 1;
+    rreq->destSeq = session.rreq2Seq;
+    rreq->unknownDestSeq = false;
+    rreq->inquireNextHop = true;
+  } else {
+    rreq->destSeq = 0;
+    rreq->unknownDestSeq = true;
+  }
+
+  ++stats_.probesSent;
+  session.packets += 1;
+  ch_.node().sendFromAlias(session.disposable, target, std::move(rreq));
+  armTimer(session);
+}
+
+void RsuDetector::armTimer(Session& session) {
+  const std::uint32_t gen = ++session.timerGen;
+  simulator_.schedule(config_.probeTimeout,
+                      [this, suspect = session.suspect, gen] {
+                        onProbeTimeout(suspect, gen);
+                      });
+}
+
+void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
+  const auto it = active_.find(suspect);
+  if (it == active_.end() || it->second.timerGen != gen) return;
+  Session& session = it->second;
+
+  if (session.stage == 2) {
+    // Teammate stayed silent: the primary attacker is still confirmed.
+    Session done = std::move(session);
+    active_.erase(it);
+    done.accomplice = common::kNullAddress;
+    finishSession(std::move(done), Verdict::kSingleBlackHole);
+    return;
+  }
+
+  if (!ch_.isMember(suspect)) {
+    // The suspect moved on mid-probe (flee scenario): hand the session,
+    // including probe state, to the next cluster head.
+    Session moved = std::move(session);
+    active_.erase(it);
+    ch_.node().removeAlias(moved.disposable);
+    if (moved.forwardCount < config_.maxForwards) {
+      if (const auto next = guessNextCluster(suspect)) {
+        forwardSession(std::move(moved), *next);
+        return;
+      }
+    }
+    finishSession(std::move(moved), Verdict::kUnreachable);
+    return;
+  }
+
+  if (session.stage == 0 && session.retriesLeft > 0) {
+    --session.retriesLeft;
+    sendProbe(suspect, session);
+    return;
+  }
+
+  // Silence under probing: no AODV violation observed. The suspect behaved
+  // legitimately (or evaded); BlackDP prevents the attack but does not
+  // confirm it.
+  Session done = std::move(session);
+  active_.erase(it);
+  finishSession(std::move(done), Verdict::kNotConfirmed);
+}
+
+void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
+                                   const net::Frame& frame) {
+  // Match the reply to a session by its probe request id.
+  const auto it = std::find_if(
+      active_.begin(), active_.end(), [&](const auto& kv) {
+        return kv.second.probeRreqId == rrep.rreqId.value() &&
+               kv.second.fakeDestination == rrep.destination;
+      });
+  if (it == active_.end()) return;
+  Session& session = it->second;
+  session.packets += 1;
+  ++session.timerGen;  // disarm the pending timeout
+
+  switch (session.stage) {
+    case 0: {
+      // RREP₁ for a non-existent destination: first violation. Confirm with
+      // RREQ₂ — unless the suspect has just left, in which case the next CH
+      // completes the detection (paper's 8-packet scenario).
+      session.rrep1Seq = rrep.destSeq;
+      session.stage = 1;
+      if (!ch_.isMember(session.suspect)) {
+        Session moved = std::move(session);
+        active_.erase(it);
+        ch_.node().removeAlias(moved.disposable);
+        if (moved.forwardCount < config_.maxForwards) {
+          if (const auto next = guessNextCluster(moved.suspect)) {
+            forwardSession(std::move(moved), *next);
+            return;
+          }
+        }
+        finishSession(std::move(moved), Verdict::kUnreachable);
+        return;
+      }
+      sendProbe(session.suspect, session);
+      return;
+    }
+    case 1: {
+      // RREP₂: confirmed iff it claims a sequence number above RREQ₂'s —
+      // an impossible claim ("a node must not send a RREP if it does not
+      // have a higher SN than the received RREQ").
+      const bool violation = aodv::seqNewer(rrep.destSeq, session.rreq2Seq);
+      if (!violation) {
+        Session done = std::move(session);
+        active_.erase(it);
+        finishSession(std::move(done), Verdict::kNotConfirmed);
+        return;
+      }
+      ++stats_.confirmations;
+      if (rrep.claimedNextHop != common::kNullAddress &&
+          rrep.claimedNextHop != session.suspect) {
+        // The suspect named a teammate: probe it the same way (§III-B1).
+        session.accomplice = rrep.claimedNextHop;
+        session.stage = 2;
+        sendProbe(session.accomplice, session);
+        return;
+      }
+      Session done = std::move(session);
+      active_.erase(it);
+      finishSession(std::move(done), Verdict::kSingleBlackHole);
+      return;
+    }
+    case 2: {
+      // Teammate answered a route request for the fake destination: it
+      // supports the primary attacker's claim — cooperative attack.
+      if (frame.src != session.accomplice) return;
+      Session done = std::move(session);
+      active_.erase(it);
+      finishSession(std::move(done), Verdict::kCooperativeBlackHole);
+      return;
+    }
+    default:
+      BDP_ASSERT_MSG(false, "invalid probe stage");
+  }
+}
+
+// ---------------------------------------------------------------- verdicts
+
+void RsuDetector::finishSession(Session session, Verdict verdict) {
+  ch_.node().removeAlias(session.disposable);
+
+  if (verdict == Verdict::kSingleBlackHole ||
+      verdict == Verdict::kCooperativeBlackHole) {
+    isolate(session, verdict);
+  }
+
+  // Answer every reporter; account for the packets each answer costs.
+  for (const Reporter& reporter : session.reporters) {
+    if (reporter.cluster == ch_.clusterId() || reporter.cluster.value() == 0) {
+      auto response = std::make_shared<DetectionResponse>();
+      response->reporter = reporter.address;
+      response->suspect = session.suspect;
+      response->verdict = verdict;
+      response->accomplice = session.accomplice;
+      session.packets += 1;  // the over-the-air response
+      ch_.node().sendTo(reporter.address, std::move(response));
+    } else {
+      auto result = std::make_shared<DetectionResult>();
+      result->session = session.id;
+      result->reporter = reporter.address;
+      result->suspect = session.suspect;
+      result->verdict = verdict;
+      result->accomplice = session.accomplice;
+      // Backbone relay + the peer CH's over-the-air response.
+      session.packets += 2;
+      result->packetsUsed = session.packets;
+      ch_.sendOnBackbone(reporter.cluster, std::move(result));
+    }
+  }
+
+  completed_.push_back(SessionRecord{
+      session.id, session.suspect,
+      session.reporters.empty() ? common::kNullAddress
+                                : session.reporters.front().address,
+      verdict,
+      verdict == Verdict::kCooperativeBlackHole ? session.accomplice
+                                                : common::kNullAddress,
+      session.packets, session.startedAt, simulator_.now()});
+}
+
+void RsuDetector::isolate(const Session& session, Verdict verdict) {
+  // Certificate revocation request to the trusted authority; the TA pauses
+  // pseudonym renewal and pushes revocation notices to every subscribed CH
+  // (which blacklist, announce to members, and inform newly joined
+  // vehicles via JREP).
+  ++stats_.isolations;
+  taNetwork_.reportMisbehaviour(session.suspect);
+  if (verdict == Verdict::kCooperativeBlackHole &&
+      session.accomplice != common::kNullAddress) {
+    taNetwork_.reportMisbehaviour(session.accomplice);
+  }
+}
+
+void RsuDetector::relayResult(const DetectionResult& result) {
+  auto response = std::make_shared<DetectionResponse>();
+  response->reporter = result.reporter;
+  response->suspect = result.suspect;
+  response->verdict = result.verdict;
+  response->accomplice = result.accomplice;
+  ch_.node().sendTo(result.reporter, std::move(response));
+}
+
+}  // namespace blackdp::core

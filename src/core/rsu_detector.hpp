@@ -1,0 +1,153 @@
+// RSU-side BlackDP: suspicious node examination and isolation (§III-B).
+//
+// Each cluster head runs a detector. On a d_req from an authenticated member
+// it opens a detection session (deduplicating concurrent reports against the
+// same suspect in the verification table), locates the suspect, and probes it
+// under a disposable identity:
+//
+//   RREQ₁ — fake, non-existent destination, unknown sequence number.
+//           An honest node stays silent (nothing to reply with, TTL 1
+//           forbids rebroadcast); a black hole answers immediately.
+//   RREQ₂ — same fake destination, destination sequence number set one above
+//           RREP₁'s, plus a next-hop inquiry. A reply with a yet higher
+//           sequence number is an AODV-impossible claim: attack confirmed.
+//   RREQ₃ — sent to a claimed next hop (cooperative teammate); a reply
+//           confirms the cooperative attack.
+//
+// If the suspect has left for an adjacent cluster mid-probe the session is
+// forwarded over the backbone with its probe state (the paper's 8/9-packet
+// scenarios). On confirmation the detector triggers certificate revocation
+// at the TA, applies local isolation, and answers every reporter.
+//
+// Every packet a CH sends or receives for a session is counted; the counts
+// are what bench/fig5_packets reports.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_head.hpp"
+#include "core/messages.hpp"
+#include "core/secure.hpp"
+#include "sim/rng.hpp"
+
+namespace blackdp::core {
+
+struct DetectorConfig {
+  /// How long a probe waits for the suspect's RREP.
+  sim::Duration probeTimeout{sim::Duration::milliseconds(400)};
+  /// RREQ₁ resends after silence before concluding (paper Fig. 5's
+  /// no-attacker case spends 2 probe packets).
+  int probeRetries{1};
+  /// Upper bound on CH→CH session forwards (chasing a moving suspect).
+  std::uint8_t maxForwards{3};
+};
+
+/// Completed-session record (the finishing CH keeps it; packetsUsed includes
+/// the relay packets it can account for deterministically).
+struct SessionRecord {
+  common::DetectionSessionId id{};
+  common::Address suspect{};
+  common::Address reporter{};
+  Verdict verdict{Verdict::kNotConfirmed};
+  common::Address accomplice{common::kNullAddress};
+  std::uint32_t packetsUsed{0};
+  sim::TimePoint startedAt{};  ///< first CH accepted the d_req
+  sim::TimePoint endedAt{};    ///< verdict reached
+
+  [[nodiscard]] sim::Duration latency() const { return endedAt - startedAt; }
+};
+
+struct DetectorStats {
+  std::uint64_t dreqReceived{0};
+  std::uint64_t dreqRejectedAuth{0};  ///< reporter failed authentication
+  std::uint64_t dreqDeduplicated{0};  ///< merged into an existing session
+  std::uint64_t sessionsAdopted{0};   ///< received via backbone forward
+  std::uint64_t sessionsForwarded{0};
+  std::uint64_t probesSent{0};
+  std::uint64_t confirmations{0};
+  std::uint64_t isolations{0};
+};
+
+class RsuDetector {
+ public:
+  RsuDetector(sim::Simulator& simulator, cluster::ClusterHead& clusterHead,
+              crypto::TaNetwork& taNetwork, const crypto::CryptoEngine& engine,
+              DetectorConfig config = {});
+
+  RsuDetector(const RsuDetector&) = delete;
+  RsuDetector& operator=(const RsuDetector&) = delete;
+
+  [[nodiscard]] const std::vector<SessionRecord>& completedSessions() const {
+    return completed_;
+  }
+  [[nodiscard]] const DetectorStats& stats() const { return stats_; }
+  /// Verification-table size (active sessions).
+  [[nodiscard]] std::size_t activeSessions() const { return active_.size(); }
+
+ private:
+  struct Reporter {
+    common::Address address{};
+    common::ClusterId cluster{};
+  };
+  /// One verification-table entry (§III-B1 "Suspicious Node Examination").
+  struct Session {
+    common::DetectionSessionId id{};
+    common::Address suspect{};
+    std::vector<Reporter> reporters;
+    int stage{0};  ///< 0: awaiting RREP₁, 1: awaiting RREP₂, 2: teammate
+    aodv::SeqNum rrep1Seq{0};
+    aodv::SeqNum rreq2Seq{0};
+    common::Address disposable{};
+    common::Address fakeDestination{};
+    std::uint32_t probeRreqId{0};
+    int retriesLeft{0};
+    std::uint32_t packets{0};
+    std::uint8_t forwardCount{0};
+    common::Address accomplice{common::kNullAddress};
+    std::uint32_t timerGen{0};
+    sim::TimePoint startedAt{};
+  };
+
+  bool onFrame(const net::Frame& frame);
+  void onBackbone(common::ClusterId from, const net::PayloadPtr& payload);
+
+  void handleDreq(const DetectionRequest& dreq);
+  void adoptForwarded(const ForwardedDetection& fwd);
+  void relayResult(const DetectionResult& result);
+
+  /// Dispatches a session: probe locally, forward, or give up.
+  void placeSession(Session session);
+  void beginProbing(Session session);
+  void sendProbe(common::Address suspectOrTeammate, Session& session);
+  void armTimer(Session& session);
+  void onProbeTimeout(common::Address suspect, std::uint32_t gen);
+  void handleProbeReply(const aodv::RouteReply& rrep, const net::Frame& frame);
+
+  /// Hands the session to the CH of an adjacent / reported cluster.
+  void forwardSession(Session session, common::ClusterId target);
+  /// Picks where a vanished member likely went (direction of travel).
+  [[nodiscard]] std::optional<common::ClusterId> guessNextCluster(
+      common::Address suspect) const;
+
+  void finishSession(Session session, Verdict verdict);
+  void isolate(const Session& session, Verdict verdict);
+
+  common::Address allocProbeAddress();
+
+  sim::Simulator& simulator_;
+  cluster::ClusterHead& ch_;
+  crypto::TaNetwork& taNetwork_;
+  const crypto::CryptoEngine& engine_;
+  DetectorConfig config_;
+  DetectorStats stats_;
+  /// Verification table, keyed by suspect.
+  std::unordered_map<common::Address, Session> active_;
+  std::vector<SessionRecord> completed_;
+  std::uint64_t nextSessionLocal_{1};
+  std::uint64_t nextProbeAddress_{1};
+  std::uint32_t nextProbeRreqId_{1};
+};
+
+}  // namespace blackdp::core

@@ -1,0 +1,339 @@
+#include "core/source_verifier.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace blackdp::core {
+
+namespace {
+constexpr std::string_view kLog = "verifier";
+}
+
+std::string_view toString(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kRouteVerified: return "route-verified";
+    case Outcome::kAttackerConfirmed: return "attacker-confirmed";
+    case Outcome::kSuspectNotConfirmed: return "suspect-not-confirmed";
+    case Outcome::kNoRoute: return "no-route";
+  }
+  return "?";
+}
+
+SourceVerifier::SourceVerifier(sim::Simulator& simulator, net::BasicNode& node,
+                               aodv::AodvAgent& agent,
+                               cluster::MembershipClient& membership,
+                               const crypto::TaNetwork& taNetwork,
+                               const crypto::CryptoEngine& engine,
+                               VerifierConfig config)
+    : simulator_{simulator},
+      node_{node},
+      agent_{agent},
+      membership_{membership},
+      taNetwork_{taNetwork},
+      engine_{engine},
+      config_{config} {
+  agent_.setRrepObserver([this](const aodv::RouteReply& rrep,
+                                const net::Frame& frame) {
+    onRrep(rrep, frame);
+  });
+  agent_.setDeliveryHandler([this](const aodv::DataPacket& packet,
+                                   const net::Frame& frame) {
+    onDataDelivered(packet, frame);
+  });
+  // Routes through blacklisted (revoked) nodes are rejected outright.
+  agent_.setRrepFilter([this](const aodv::RouteReply& rrep, const net::Frame&) {
+    return !membership_.isBlacklisted(rrep.replier);
+  });
+  node_.addHandler([this](const net::Frame& frame) { return onFrame(frame); });
+}
+
+void SourceVerifier::establishVerifiedRoute(common::Address destination,
+                                            Callback callback) {
+  BDP_ASSERT_MSG(!session_, "verification already in flight");
+  BDP_ASSERT(callback != nullptr);
+  session_.emplace();
+  session_->destination = destination;
+  session_->callback = std::move(callback);
+  session_->restartsLeft = config_.maxRestarts;
+  // Any pre-existing route is unverified state (possibly an attacker route
+  // from an earlier establishment): verification always starts from a fresh
+  // discovery whose replies it can authenticate.
+  agent_.invalidateRoute(destination);
+  startRound();
+}
+
+void SourceVerifier::startRound() {
+  session_->cache.clear();
+  session_->chosen.reset();
+  agent_.findRoute(session_->destination,
+                   [this](bool success) { onDiscoveryDone(success); });
+}
+
+void SourceVerifier::onRrep(const aodv::RouteReply& rrep,
+                            const net::Frame& frame) {
+  if (!session_ || rrep.destination != session_->destination) return;
+  BDP_LOG(kDebug, kLog) << "cached rrep from " << rrep.replier
+                        << " seq=" << rrep.destSeq << " via " << frame.src
+                        << " at " << simulator_.now();
+  session_->cache.push_back(CachedRrep{rrep, frame.src});
+}
+
+std::optional<SourceVerifier::CachedRrep> SourceVerifier::pickFreshest()
+    const {
+  const CachedRrep* best = nullptr;
+  for (const CachedRrep& candidate : session_->cache) {
+    if (membership_.isBlacklisted(candidate.rrep.replier)) continue;
+    if (best == nullptr ||
+        aodv::seqNewer(candidate.rrep.destSeq, best->rrep.destSeq) ||
+        (candidate.rrep.destSeq == best->rrep.destSeq &&
+         candidate.rrep.hopCount < best->rrep.hopCount)) {
+      best = &candidate;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+void SourceVerifier::onDiscoveryDone(bool success) {
+  if (!session_) return;
+  ++session_->round;
+
+  session_->chosen = pickFreshest();
+  if (!success || !session_->chosen) {
+    finish(Outcome::kNoRoute);
+    return;
+  }
+  const CachedRrep& chosen = *session_->chosen;
+  BDP_LOG(kDebug, kLog) << "chose rrep from " << chosen.rrep.replier
+                        << " seq=" << chosen.rrep.destSeq;
+
+  if (chosen.rrep.replier == session_->destination) {
+    // The destination itself replied: verify the secure RREP directly.
+    const common::Bytes body = chosen.rrep.canonicalBytes();
+    const EnvelopeCheck check =
+        verifyEnvelope(body, chosen.rrep.envelope, session_->destination,
+                       taNetwork_, engine_, simulator_.now());
+    if (check.ok) {
+      finish(Outcome::kRouteVerified);
+      return;
+    }
+    // Impersonation / tamper: authentication violation. Give the network a
+    // second chance, then report the replier.
+    if (session_->round <= 2) {
+      agent_.invalidateRoute(session_->destination);
+      startRound();
+    } else {
+      reportSuspect(chosen);
+    }
+    return;
+  }
+
+  // Intermediate-node claim: authenticate the replier's identity first
+  // (an attacker may hold a valid certificate and pass this check — its
+  // *behaviour* is what the Hello probe verifies next).
+  const common::Bytes body = chosen.rrep.canonicalBytes();
+  const EnvelopeCheck idCheck =
+      verifyEnvelope(body, chosen.rrep.envelope, chosen.rrep.replier,
+                     taNetwork_, engine_, simulator_.now());
+  if (!idCheck.ok) {
+    // Authentication violation by the claiming intermediate node.
+    if (session_->round <= 2) {
+      agent_.invalidateRoute(session_->destination);
+      startRound();
+    } else {
+      reportSuspect(chosen);
+    }
+    return;
+  }
+  sendHello();
+}
+
+void SourceVerifier::sendHello() {
+  Session& s = *session_;
+  ++s.helloProbes;
+
+  auto hello = std::make_shared<AuthHello>();
+  hello->helloId = nextHelloId_++;
+  hello->origin = node_.localAddress();
+  hello->destination = s.destination;
+  if (agent_.credentials()) {
+    hello->envelope =
+        makeEnvelope(hello->canonicalBytes(), *agent_.credentials(), engine_);
+  }
+  s.awaitedHelloId = hello->helloId;
+
+  if (!agent_.sendData(s.destination, hello, 0)) {
+    // Route evaporated under us; treat as a failed round.
+    onHelloTimeout();
+    return;
+  }
+  s.helloTimer = simulator_.schedule(config_.helloTimeout,
+                                     [this, id = hello->helloId] {
+                                       if (session_ &&
+                                           session_->awaitedHelloId == id) {
+                                         onHelloTimeout();
+                                       }
+                                     });
+}
+
+void SourceVerifier::onHelloTimeout() {
+  Session& s = *session_;
+  s.awaitedHelloId = 0;
+  if (s.round <= 2) {
+    // First silent Hello: redo the route discovery (§III-B1) and try again.
+    agent_.invalidateRoute(s.destination);
+    startRound();
+    return;
+  }
+  // Second silent Hello: the replier is suspicious.
+  BDP_ASSERT(s.chosen.has_value());
+  reportSuspect(*s.chosen);
+}
+
+void SourceVerifier::onHelloReply(const AuthHello& hello) {
+  if (!session_ || hello.helloId != session_->awaitedHelloId) return;
+  Session& s = *session_;
+  simulator_.cancel(s.helloTimer);
+  s.awaitedHelloId = 0;
+
+  const EnvelopeCheck check =
+      verifyEnvelope(hello.canonicalBytes(), hello.envelope, s.destination,
+                     taNetwork_, engine_, simulator_.now());
+  if (check.ok && hello.responder == s.destination) {
+    finish(Outcome::kRouteVerified);
+    return;
+  }
+  // A reply arrived but not from the authenticated destination: the
+  // "anonymity response" (a fake Hello claiming the attacker or its teammate
+  // is the destination). Report immediately, without a second discovery.
+  BDP_ASSERT(s.chosen.has_value());
+  reportSuspect(*s.chosen);
+}
+
+void SourceVerifier::reportSuspect(const CachedRrep& suspectRrep) {
+  Session& s = *session_;
+  s.suspect = suspectRrep.rrep.replier;
+  s.reported = true;
+
+  const auto chAddress = membership_.clusterHeadAddress();
+  const auto myCluster = membership_.currentCluster();
+  if (!chAddress || !myCluster) {
+    // Not registered with any cluster head (should not happen on a covered
+    // highway); the report cannot be delivered.
+    finish(Outcome::kSuspectNotConfirmed);
+    return;
+  }
+
+  auto dreq = std::make_shared<DetectionRequest>();
+  dreq->reporter = node_.localAddress();
+  dreq->reporterCluster = *myCluster;
+  dreq->suspect = s.suspect;
+  dreq->suspectCluster = suspectRrep.rrep.replierCluster;
+  if (agent_.credentials()) {
+    dreq->envelope =
+        makeEnvelope(dreq->canonicalBytes(), *agent_.credentials(), engine_);
+  }
+  node_.sendTo(*chAddress, dreq);
+
+  s.responseTimer = simulator_.schedule(config_.responseTimeout, [this] {
+    if (session_ && session_->reported) {
+      finish(Outcome::kSuspectNotConfirmed);
+    }
+  });
+}
+
+bool SourceVerifier::onFrame(const net::Frame& frame) {
+  const auto* response = net::payloadAs<DetectionResponse>(frame.payload);
+  if (response == nullptr) return false;
+  if (!session_ || !session_->reported) return true;
+  if (response->reporter != node_.localAddress() ||
+      response->suspect != session_->suspect) {
+    return true;
+  }
+  simulator_.cancel(session_->responseTimer);
+  session_->chVerdict = response->verdict;
+  switch (response->verdict) {
+    case Verdict::kSingleBlackHole:
+    case Verdict::kCooperativeBlackHole:
+      finish(Outcome::kAttackerConfirmed);
+      break;
+    case Verdict::kNotConfirmed:
+    case Verdict::kUnreachable:
+      // The reported node survived examination, but this source still has
+      // no verified route. Start over with a fresh discovery (the poisoned
+      // or stale state that implicated an honest replier does not survive
+      // the route invalidation).
+      if (session_->restartsLeft > 0) {
+        --session_->restartsLeft;
+        session_->round = 1;
+        session_->reported = false;
+        session_->suspect = common::kNullAddress;
+        session_->helloProbes = 0;
+        agent_.invalidateRoute(session_->destination);
+        startRound();
+      } else {
+        finish(Outcome::kSuspectNotConfirmed);
+      }
+      break;
+  }
+  return true;
+}
+
+void SourceVerifier::onDataDelivered(const aodv::DataPacket& packet,
+                                     const net::Frame&) {
+  const auto* hello =
+      packet.inner ? dynamic_cast<const AuthHello*>(packet.inner.get())
+                   : nullptr;
+  if (hello == nullptr) return;
+  if (hello->isReply) {
+    onHelloReply(*hello);
+  } else if (packet.destination == node_.localAddress()) {
+    answerHello(*hello);
+  }
+}
+
+void SourceVerifier::answerHello(const AuthHello& hello) {
+  auto reply = std::make_shared<AuthHello>();
+  reply->helloId = hello.helloId;
+  reply->origin = hello.origin;
+  reply->destination = hello.destination;
+  reply->isReply = true;
+  reply->responder = node_.localAddress();
+  if (agent_.credentials()) {
+    reply->envelope =
+        makeEnvelope(reply->canonicalBytes(), *agent_.credentials(), engine_);
+  }
+  // The RREQ flood that discovered us also installed a reverse route toward
+  // the origin; fall back to a discovery if it has expired.
+  if (agent_.sendData(hello.origin, reply, 0)) return;
+  agent_.findRoute(hello.origin, [this, reply](bool ok) {
+    if (ok) agent_.sendData(reply->origin, reply, 0);
+  });
+}
+
+void SourceVerifier::finish(Outcome outcome) {
+  Session& s = *session_;
+  simulator_.cancel(s.helloTimer);
+  simulator_.cancel(s.responseTimer);
+
+  // Unless the route was positively verified, drop it: the source must not
+  // keep routing data into a suspicious or unverified path.
+  if (outcome != Outcome::kRouteVerified) {
+    agent_.invalidateRoute(s.destination);
+  }
+
+  VerificationReport report;
+  report.outcome = outcome;
+  report.destination = s.destination;
+  report.suspect = s.suspect;
+  report.chVerdict = s.chVerdict;
+  report.discoveryRounds = s.round - 1;
+  report.helloProbes = s.helloProbes;
+  report.reported = s.reported;
+
+  Callback callback = std::move(s.callback);
+  session_.reset();
+  callback(report);
+}
+
+}  // namespace blackdp::core

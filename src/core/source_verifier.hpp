@@ -1,0 +1,122 @@
+// Vehicle-side BlackDP: source & destination verification (paper §III-B1).
+//
+// Wraps AODV route discovery in the verification state machine:
+//
+//   discovery → pick freshest cached RREP (skipping blacklisted repliers) →
+//     RREP from destination  → verify secure envelope → done / redo / report
+//     RREP from intermediate → secure Hello to the destination over the route
+//         reply verifies            → route verified
+//         reply from wrong identity → "anonymity response": report at once
+//         timeout                   → second discovery; second silent Hello
+//                                     → suspect: send d_req to the CH
+//
+// The verifier also answers incoming secure Hellos when this vehicle is the
+// destination, and listens for the CH's DetectionResponse verdict.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "aodv/agent.hpp"
+#include "cluster/membership_client.hpp"
+#include "core/messages.hpp"
+#include "core/secure.hpp"
+
+namespace blackdp::core {
+
+enum class Outcome {
+  kRouteVerified,        ///< destination authenticated; route usable
+  kAttackerConfirmed,    ///< CH confirmed the black hole and isolated it
+  kSuspectNotConfirmed,  ///< reported, but the CH could not confirm
+  kNoRoute,              ///< discovery failed (includes prevented attacks)
+};
+
+[[nodiscard]] std::string_view toString(Outcome outcome);
+
+struct VerificationReport {
+  Outcome outcome{Outcome::kNoRoute};
+  common::Address destination{};
+  common::Address suspect{common::kNullAddress};
+  Verdict chVerdict{Verdict::kNotConfirmed};
+  int discoveryRounds{0};
+  int helloProbes{0};
+  bool reported{false};  ///< a d_req was sent
+};
+
+struct VerifierConfig {
+  sim::Duration helloTimeout{sim::Duration::milliseconds(400)};
+  sim::Duration responseTimeout{sim::Duration::seconds(10)};
+  /// When the CH answers "not confirmed" (e.g. the freshest RREP came from
+  /// an honest node whose cache the attacker had poisoned), the source still
+  /// has no verified route — it restarts verification from a fresh
+  /// discovery, up to this many times.
+  int maxRestarts{2};
+};
+
+class SourceVerifier {
+ public:
+  using Callback = std::function<void(const VerificationReport&)>;
+
+  SourceVerifier(sim::Simulator& simulator, net::BasicNode& node,
+                 aodv::AodvAgent& agent, cluster::MembershipClient& membership,
+                 const crypto::TaNetwork& taNetwork,
+                 const crypto::CryptoEngine& engine,
+                 VerifierConfig config = {});
+
+  SourceVerifier(const SourceVerifier&) = delete;
+  SourceVerifier& operator=(const SourceVerifier&) = delete;
+
+  /// Runs the full verified route establishment toward `destination`.
+  /// Exactly one verification may be in flight at a time.
+  void establishVerifiedRoute(common::Address destination, Callback callback);
+
+  [[nodiscard]] bool busy() const { return session_.has_value(); }
+
+ private:
+  struct CachedRrep {
+    aodv::RouteReply rrep;
+    common::Address previousHop{};
+  };
+  struct Session {
+    common::Address destination{};
+    Callback callback;
+    int round{1};
+    int helloProbes{0};
+    std::vector<CachedRrep> cache;
+    std::optional<CachedRrep> chosen;
+    std::uint64_t awaitedHelloId{0};
+    sim::EventHandle helloTimer{};
+    sim::EventHandle responseTimer{};
+    bool reported{false};
+    common::Address suspect{common::kNullAddress};
+    Verdict chVerdict{Verdict::kNotConfirmed};
+    int restartsLeft{0};
+  };
+
+  void onRrep(const aodv::RouteReply& rrep, const net::Frame& frame);
+  void onDiscoveryDone(bool success);
+  void startRound();
+  [[nodiscard]] std::optional<CachedRrep> pickFreshest() const;
+  void sendHello();
+  void onHelloTimeout();
+  void onHelloReply(const AuthHello& hello);
+  void reportSuspect(const CachedRrep& suspectRrep);
+  void finish(Outcome outcome);
+
+  bool onFrame(const net::Frame& frame);
+  void onDataDelivered(const aodv::DataPacket& packet, const net::Frame& frame);
+  void answerHello(const AuthHello& hello);
+
+  sim::Simulator& simulator_;
+  net::BasicNode& node_;
+  aodv::AodvAgent& agent_;
+  cluster::MembershipClient& membership_;
+  const crypto::TaNetwork& taNetwork_;
+  const crypto::CryptoEngine& engine_;
+  VerifierConfig config_;
+  std::optional<Session> session_;
+  std::uint64_t nextHelloId_{1};
+};
+
+}  // namespace blackdp::core

@@ -1,0 +1,17 @@
+#include "crypto/certificate.hpp"
+
+namespace blackdp::crypto {
+
+common::Bytes Certificate::tbsBytes() const {
+  common::ByteWriter w;
+  w.writeString("cert-v1");
+  w.writeId(pseudonym);
+  w.writeU64(subjectKey.keyId);
+  w.writeId(serial);
+  w.writeI64(issuedAt.us());
+  w.writeI64(expiresAt.us());
+  w.writeId(issuer);
+  return std::move(w).take();
+}
+
+}  // namespace blackdp::crypto

@@ -1,0 +1,48 @@
+// Pseudonymous certificates (IEEE 1609.2 style).
+//
+// A certificate binds a temporary pseudonym (the node's radio address) to a
+// public key and carries the issuing Trusted Authority's signature. Vehicles
+// attach their certificate to every secure packet; receivers validate the TA
+// signature, the expiry, and the revocation status.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "crypto/keys.hpp"
+#include "sim/time.hpp"
+
+namespace blackdp::crypto {
+
+struct Certificate {
+  common::Address pseudonym{};    ///< subject temporary id (radio address)
+  PublicKey subjectKey{};         ///< subject's public key
+  common::CertSerial serial{};    ///< unique per issued certificate
+  sim::TimePoint issuedAt{};
+  sim::TimePoint expiresAt{};
+  common::TaId issuer{};
+  Signature issuerSignature{};    ///< TA signature over tbsBytes()
+
+  /// Canonical "to be signed" encoding (everything except the signature).
+  [[nodiscard]] common::Bytes tbsBytes() const;
+
+  [[nodiscard]] bool isExpired(sim::TimePoint now) const {
+    return now >= expiresAt;
+  }
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+/// A revocation notice as distributed by the TA to cluster heads: latest
+/// pseudonym, certificate serial, and the certificate's natural expiry (the
+/// notice is stored until then and purged afterwards).
+struct RevocationNotice {
+  common::Address pseudonym{};
+  common::CertSerial serial{};
+  sim::TimePoint certExpiry{};
+
+  friend bool operator==(const RevocationNotice&, const RevocationNotice&) = default;
+};
+
+}  // namespace blackdp::crypto

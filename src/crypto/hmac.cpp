@@ -1,0 +1,55 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace blackdp::crypto {
+
+Digest hmacSha256(std::span<const std::uint8_t> key,
+                  std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlockSize = 64;
+
+  // Keys longer than the block size are hashed first.
+  std::array<std::uint8_t, kBlockSize> keyBlock{};
+  if (key.size() > kBlockSize) {
+    const Digest hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), keyBlock.begin());
+  } else {
+    std::copy(key.begin(), key.end(), keyBlock.begin());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad;
+  std::array<std::uint8_t, kBlockSize> opad;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(keyBlock[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(keyBlock[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>{ipad.data(), ipad.size()});
+  inner.update(message);
+  const Digest innerDigest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>{opad.data(), opad.size()});
+  outer.update(std::span<const std::uint8_t>{innerDigest.data(), innerDigest.size()});
+  return outer.finish();
+}
+
+Digest hmacSha256(std::string_view key, std::string_view message) {
+  return hmacSha256(
+      std::span<const std::uint8_t>{
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()},
+      std::span<const std::uint8_t>{
+          reinterpret_cast<const std::uint8_t*>(message.data()),
+          message.size()});
+}
+
+bool digestEquals(const Digest& a, const Digest& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff = static_cast<std::uint8_t>(diff | (a[i] ^ b[i]));
+  }
+  return diff == 0;
+}
+
+}  // namespace blackdp::crypto

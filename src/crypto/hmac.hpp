@@ -1,0 +1,23 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//
+// Used by the simulated signature scheme and by the Sachan-style HMAC
+// authentication baseline; validated against RFC 4231 test vectors.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace blackdp::crypto {
+
+[[nodiscard]] Digest hmacSha256(std::span<const std::uint8_t> key,
+                                std::span<const std::uint8_t> message);
+
+[[nodiscard]] Digest hmacSha256(std::string_view key, std::string_view message);
+
+/// Constant-time digest comparison (hygiene; the simulator has no real timing
+/// side channel, but verification code should model the correct idiom).
+[[nodiscard]] bool digestEquals(const Digest& a, const Digest& b);
+
+}  // namespace blackdp::crypto

@@ -1,0 +1,100 @@
+// Simulated asymmetric signatures.
+//
+// The paper uses ECDSA per IEEE 1609.2. Inside the simulation only two
+// properties of ECDSA matter: (1) a signature verifies against the matching
+// public key, and (2) nobody can produce a valid signature without the
+// private key. We model this with HMAC-SHA-256 under a per-key secret seed.
+// The CryptoEngine owns the key-id → seed mapping and stands in for "the
+// math": verification resolves the seed through the engine, while signing
+// requires possession of the PrivateKey object. No modelled adversary can
+// reach another node's PrivateKey, so unforgeability holds exactly as it
+// would with ECDSA. Signing/verification *cost* is modelled separately as a
+// configurable latency (see CryptoCosts).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace blackdp::crypto {
+
+/// Public half of a key pair: an opaque fingerprint.
+struct PublicKey {
+  std::uint64_t keyId{0};
+
+  friend bool operator==(PublicKey, PublicKey) = default;
+};
+
+/// Private half of a key pair. Only its owner's code path holds it.
+class PrivateKey {
+ public:
+  PrivateKey() = default;
+
+  [[nodiscard]] std::uint64_t keyId() const { return keyId_; }
+
+ private:
+  friend class CryptoEngine;
+  std::uint64_t keyId_{0};
+  std::array<std::uint8_t, 32> seed_{};
+};
+
+struct KeyPair {
+  PublicKey pub;
+  PrivateKey priv;
+};
+
+/// A signature: the signing key's fingerprint plus the MAC over the message.
+struct Signature {
+  std::uint64_t keyId{0};
+  Digest mac{};
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+/// Latency model for cryptographic operations (IEEE 1609.2 ECDSA-P256-class
+/// costs on automotive hardware; configurable for overhead studies).
+struct CryptoCosts {
+  sim::Duration sign{sim::Duration::microseconds(800)};
+  sim::Duration verify{sim::Duration::microseconds(1500)};
+  sim::Duration hash{sim::Duration::microseconds(20)};
+};
+
+/// Per-simulation signature engine; see the file comment for the model.
+class CryptoEngine {
+ public:
+  explicit CryptoEngine(std::uint64_t seed,
+                        CryptoCosts costs = {})
+      : rng_{seed}, costs_{costs} {}
+
+  CryptoEngine(const CryptoEngine&) = delete;
+  CryptoEngine& operator=(const CryptoEngine&) = delete;
+
+  /// Generates a fresh key pair and registers it with the engine.
+  [[nodiscard]] KeyPair generateKeyPair();
+
+  /// Signs `message` with `key`. Deterministic given key and message.
+  [[nodiscard]] Signature sign(const PrivateKey& key,
+                               std::span<const std::uint8_t> message) const;
+
+  /// True iff `sig` is a valid signature of `message` under `pub`.
+  [[nodiscard]] bool verify(const PublicKey& pub,
+                            std::span<const std::uint8_t> message,
+                            const Signature& sig) const;
+
+  [[nodiscard]] const CryptoCosts& costs() const { return costs_; }
+
+  [[nodiscard]] std::size_t registeredKeys() const { return seeds_.size(); }
+
+ private:
+  sim::Rng rng_;
+  CryptoCosts costs_;
+  std::unordered_map<std::uint64_t, std::array<std::uint8_t, 32>> seeds_;
+};
+
+}  // namespace blackdp::crypto

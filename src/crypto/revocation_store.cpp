@@ -1,0 +1,47 @@
+#include "crypto/revocation_store.hpp"
+
+namespace blackdp::crypto {
+
+void RevocationStore::add(const RevocationNotice& notice) {
+  const auto [it, inserted] = bySerial_.emplace(notice.serial, notice);
+  if (inserted) {
+    byPseudonym_.emplace(notice.pseudonym, notice.serial);
+  }
+}
+
+bool RevocationStore::isRevokedSerial(common::CertSerial serial) const {
+  return bySerial_.contains(serial);
+}
+
+bool RevocationStore::isRevokedPseudonym(common::Address pseudonym) const {
+  return byPseudonym_.contains(pseudonym);
+}
+
+std::vector<RevocationNotice> RevocationStore::active() const {
+  std::vector<RevocationNotice> out;
+  out.reserve(bySerial_.size());
+  for (const auto& [serial, notice] : bySerial_) out.push_back(notice);
+  return out;
+}
+
+std::size_t RevocationStore::purgeExpired(sim::TimePoint now) {
+  std::size_t purged = 0;
+  for (auto it = bySerial_.begin(); it != bySerial_.end();) {
+    if (now >= it->second.certExpiry) {
+      const auto [lo, hi] = byPseudonym_.equal_range(it->second.pseudonym);
+      for (auto p = lo; p != hi; ++p) {
+        if (p->second == it->first) {
+          byPseudonym_.erase(p);
+          break;
+        }
+      }
+      it = bySerial_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+}  // namespace blackdp::crypto

@@ -1,0 +1,43 @@
+// Revocation notice store kept by every cluster head.
+//
+// Per the paper (§III-B2), a CH stores revocation notices until the revoked
+// certificate would have expired naturally, then purges them to bound storage
+// overhead and avoid reporting stale information.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/certificate.hpp"
+
+namespace blackdp::crypto {
+
+class RevocationStore {
+ public:
+  /// Records a notice. Re-adding the same serial is idempotent.
+  void add(const RevocationNotice& notice);
+
+  /// True iff this certificate serial has been revoked (and not yet purged).
+  [[nodiscard]] bool isRevokedSerial(common::CertSerial serial) const;
+
+  /// True iff this pseudonym appears in any stored notice. Used to warn
+  /// members and newly joined vehicles about attackers still holding a
+  /// formally revoked but unexpired certificate.
+  [[nodiscard]] bool isRevokedPseudonym(common::Address pseudonym) const;
+
+  /// Drops every notice whose certificate has expired by `now`.
+  /// Returns the number of purged notices.
+  std::size_t purgeExpired(sim::TimePoint now);
+
+  /// Snapshot of all stored (not yet purged) notices.
+  [[nodiscard]] std::vector<RevocationNotice> active() const;
+
+  [[nodiscard]] std::size_t size() const { return bySerial_.size(); }
+
+ private:
+  std::unordered_map<common::CertSerial, RevocationNotice> bySerial_;
+  std::unordered_multimap<common::Address, common::CertSerial> byPseudonym_;
+};
+
+}  // namespace blackdp::crypto

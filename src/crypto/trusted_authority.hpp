@@ -1,0 +1,127 @@
+// Trusted Authority network.
+//
+// The paper assumes a root of trust (e.g. the Department of Motor Vehicles)
+// deployed as several TA nodes close to the RSUs (fog style). Each TA issues
+// pseudonymous certificates for the region it serves; on a misbehaviour
+// report from a CH the responsible TA revokes the attacker's certificate,
+// *pauses pseudonym renewal* for the underlying node, synchronises both facts
+// with its peer TAs, and pushes a revocation notice to subscribed CHs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/keys.hpp"
+#include "sim/simulator.hpp"
+
+namespace blackdp::crypto {
+
+/// Credentials handed to a node on (re-)enrollment.
+struct Enrollment {
+  Certificate certificate;
+  PrivateKey privateKey;
+};
+
+class TaNetwork;
+
+/// A single TA node. Created and owned by a TaNetwork.
+class TrustedAuthority {
+ public:
+  [[nodiscard]] common::TaId id() const { return id_; }
+  [[nodiscard]] const PublicKey& publicKey() const { return keys_.pub; }
+
+  /// Certificates this TA has issued and not superseded, by node.
+  [[nodiscard]] std::optional<Certificate> currentCertificate(
+      common::NodeId node) const;
+
+ private:
+  friend class TaNetwork;
+  TrustedAuthority(common::TaId id, KeyPair keys) : id_{id}, keys_{std::move(keys)} {}
+
+  common::TaId id_;
+  KeyPair keys_;
+  /// node → latest certificate issued by this TA.
+  std::unordered_map<common::NodeId, Certificate> latestCert_;
+  /// pseudonym → owning node (for misbehaviour reports against pseudonyms).
+  std::unordered_map<common::Address, common::NodeId> pseudonymOwner_;
+};
+
+/// Configuration for the TA network.
+struct TaConfig {
+  sim::Duration certificateLifetime{sim::Duration::seconds(600)};
+  /// Latency for TA↔TA and TA→CH propagation over the wired backbone.
+  sim::Duration propagationDelay{sim::Duration::milliseconds(5)};
+};
+
+/// The collection of cooperating TA nodes plus the pseudonym address space.
+class TaNetwork {
+ public:
+  using RevocationSubscriber = std::function<void(const RevocationNotice&)>;
+
+  TaNetwork(sim::Simulator& simulator, CryptoEngine& engine, TaConfig config = {});
+
+  /// Creates a TA node; returns its id.
+  common::TaId addAuthority();
+
+  [[nodiscard]] const TrustedAuthority& authority(common::TaId id) const;
+  [[nodiscard]] std::size_t authorityCount() const { return authorities_.size(); }
+
+  /// Enrolls `node` at TA `ta`: allocates a fresh pseudonym, issues a signed
+  /// certificate. The same node may re-enroll (pseudonym renewal) unless its
+  /// renewal has been paused by a misbehaviour report.
+  [[nodiscard]] common::Result<Enrollment> enroll(common::TaId ta,
+                                                  common::NodeId node);
+
+  /// Pseudonym renewal: new address + certificate from the same TA.
+  /// Fails with code "renewal-paused" if the node was reported.
+  [[nodiscard]] common::Result<Enrollment> renew(common::TaId ta,
+                                                 common::NodeId node);
+
+  /// A CH reports `pseudonym` as a confirmed black hole. Returns the
+  /// revocation notice if the pseudonym is known to some TA. All TAs pause
+  /// renewal for the owning node; subscribers are notified after the backbone
+  /// propagation delay.
+  std::optional<RevocationNotice> reportMisbehaviour(common::Address pseudonym);
+
+  /// Validates a certificate: known issuer, issuer signature, not expired.
+  /// (Revocation is checked separately against the local RevocationStore —
+  /// notices propagate asynchronously, as in the paper.)
+  [[nodiscard]] bool validateCertificate(const Certificate& cert,
+                                         sim::TimePoint now) const;
+
+  /// Registers a callback invoked (after propagation delay) for every
+  /// revocation notice. Cluster heads subscribe here.
+  void subscribeRevocations(RevocationSubscriber subscriber);
+
+  [[nodiscard]] bool isRenewalPaused(common::NodeId node) const {
+    return pausedNodes_.contains(node);
+  }
+
+  [[nodiscard]] const std::vector<RevocationNotice>& revocations() const {
+    return revocations_;
+  }
+
+ private:
+  common::Result<Enrollment> issue(TrustedAuthority& ta, common::NodeId node);
+  TrustedAuthority* findAuthority(common::TaId id);
+
+  sim::Simulator& simulator_;
+  CryptoEngine& engine_;
+  TaConfig config_;
+  std::vector<std::unique_ptr<TrustedAuthority>> authorities_;
+  std::uint32_t nextTaId_{1};
+  std::uint64_t nextPseudonym_{1000};  // low values reserved for fixed ids
+  std::uint64_t nextSerial_{1};
+  std::unordered_set<common::NodeId> pausedNodes_;
+  std::vector<RevocationNotice> revocations_;
+  std::vector<RevocationSubscriber> subscribers_;
+};
+
+}  // namespace blackdp::crypto

@@ -1,0 +1,43 @@
+#include "metrics/confusion.hpp"
+
+namespace blackdp::metrics {
+
+double ConfusionMatrix::accuracy() const {
+  const std::uint64_t all = total();
+  if (all == 0) return 0.0;
+  return static_cast<double>(tp_ + tn_) / static_cast<double>(all);
+}
+
+double ConfusionMatrix::recall() const {
+  const std::uint64_t positives = tp_ + fn_;
+  if (positives == 0) return 1.0;
+  return static_cast<double>(tp_) / static_cast<double>(positives);
+}
+
+double ConfusionMatrix::precision() const {
+  const std::uint64_t flagged = tp_ + fp_;
+  if (flagged == 0) return 1.0;
+  return static_cast<double>(tp_) / static_cast<double>(flagged);
+}
+
+double ConfusionMatrix::falsePositiveRate() const {
+  const std::uint64_t negatives = fp_ + tn_;
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(fp_) / static_cast<double>(negatives);
+}
+
+double ConfusionMatrix::falseNegativeRate() const {
+  const std::uint64_t positives = fn_ + tp_;
+  if (positives == 0) return 0.0;
+  return static_cast<double>(fn_) / static_cast<double>(positives);
+}
+
+ConfusionMatrix& ConfusionMatrix::operator+=(const ConfusionMatrix& other) {
+  tp_ += other.tp_;
+  fp_ += other.fp_;
+  tn_ += other.tn_;
+  fn_ += other.fn_;
+  return *this;
+}
+
+}  // namespace blackdp::metrics

@@ -1,0 +1,24 @@
+#include "metrics/stats.hpp"
+
+namespace blackdp::metrics {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::ci95() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace blackdp::metrics

@@ -1,0 +1,32 @@
+// Streaming summary statistics (Welford) for repeated-trial aggregation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace blackdp::metrics {
+
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95() const;
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace blackdp::metrics

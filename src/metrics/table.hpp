@@ -1,0 +1,35 @@
+// Fixed-width console tables for benchmark output.
+//
+// Every figure/table bench prints its rows through this, so the output for
+// EXPERIMENTS.md is uniform and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace blackdp::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule and right-padded columns.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  /// Formats a ratio as a percentage string ("97.3%").
+  [[nodiscard]] static std::string percent(double ratio, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blackdp::metrics

@@ -1,0 +1,55 @@
+#include "mobility/highway.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "mobility/motion.hpp"
+
+namespace blackdp::mobility {
+
+Highway::Highway(double lengthM, double widthM, double clusterLengthM)
+    : lengthM_{lengthM}, widthM_{widthM}, clusterLengthM_{clusterLengthM} {
+  if (lengthM <= 0 || widthM <= 0 || clusterLengthM <= 0) {
+    throw std::invalid_argument("Highway: dimensions must be positive");
+  }
+  clusterCount_ =
+      static_cast<std::uint32_t>(std::ceil(lengthM / clusterLengthM));
+  BDP_ASSERT(clusterCount_ >= 1);
+}
+
+std::optional<common::ClusterId> Highway::clusterAt(double x) const {
+  if (x < 0.0 || x >= lengthM_) return std::nullopt;
+  const auto index = static_cast<std::uint32_t>(x / clusterLengthM_);
+  return common::ClusterId{std::min(index, clusterCount_ - 1) + 1};
+}
+
+Position Highway::clusterCenter(common::ClusterId cluster) const {
+  return Position{(clusterBegin(cluster) + clusterEnd(cluster)) / 2.0,
+                  widthM_ / 2.0};
+}
+
+double Highway::clusterBegin(common::ClusterId cluster) const {
+  BDP_ASSERT_MSG(cluster.value() >= 1 && cluster.value() <= clusterCount_,
+                 "cluster id out of range");
+  return static_cast<double>(cluster.value() - 1) * clusterLengthM_;
+}
+
+double Highway::clusterEnd(common::ClusterId cluster) const {
+  return std::min(clusterBegin(cluster) + clusterLengthM_, lengthM_);
+}
+
+bool Highway::contains(const Position& p) const {
+  return p.x >= 0.0 && p.x < lengthM_ && p.y >= 0.0 && p.y <= widthM_;
+}
+
+std::optional<common::ClusterId> Highway::neighborToward(
+    common::ClusterId zone, Direction direction) const {
+  if (direction == Direction::kEastbound) {
+    if (zone.value() >= clusterCount_) return std::nullopt;
+    return common::ClusterId{zone.value() + 1};
+  }
+  if (zone.value() <= 1) return std::nullopt;
+  return common::ClusterId{zone.value() - 1};
+}
+
+}  // namespace blackdp::mobility

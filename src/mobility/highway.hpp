@@ -1,0 +1,82 @@
+// Highway geometry (paper §III-A, Table I).
+//
+// A straight controlled-access highway of length l and fixed width, divided
+// into equal clusters of length r (= the DSRC transmission range); one RSU
+// per cluster, centred. Clusters are numbered 1..p with p = l / r.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "common/ids.hpp"
+#include "mobility/zone_map.hpp"
+
+namespace blackdp::mobility {
+
+/// A point on the plane (metres). x runs along the highway, y across it.
+struct Position {
+  double x{0.0};
+  double y{0.0};
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+/// Euclidean distance in metres.
+[[nodiscard]] inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Static highway geometry.
+class Highway : public ZoneMap {
+ public:
+  /// @param lengthM        total highway length (Table I: 10 km)
+  /// @param widthM         highway width (Table I: 200 m)
+  /// @param clusterLengthM cluster length (Table I: 1000 m, = DSRC range)
+  Highway(double lengthM, double widthM, double clusterLengthM);
+
+  [[nodiscard]] double length() const { return lengthM_; }
+  [[nodiscard]] double width() const { return widthM_; }
+  [[nodiscard]] double clusterLength() const { return clusterLengthM_; }
+
+  /// Number of clusters p = ceil(l / r).
+  [[nodiscard]] std::uint32_t clusterCount() const { return clusterCount_; }
+
+  /// Cluster containing longitudinal coordinate x, or nullopt if x is off
+  /// the highway. Clusters are 1-based as in the paper (cluster 1..10).
+  [[nodiscard]] std::optional<common::ClusterId> clusterAt(double x) const;
+
+  /// Centre position of a cluster (where its RSU is stationed).
+  [[nodiscard]] Position clusterCenter(common::ClusterId cluster) const;
+
+  /// Longitudinal interval [begin, end) covered by a cluster.
+  [[nodiscard]] double clusterBegin(common::ClusterId cluster) const;
+  [[nodiscard]] double clusterEnd(common::ClusterId cluster) const;
+
+  /// True iff the position lies on the highway surface.
+  [[nodiscard]] bool contains(const Position& p) const;
+
+  // ---- ZoneMap ----
+  [[nodiscard]] std::optional<common::ClusterId> zoneOf(
+      const Position& position) const override {
+    return clusterAt(position.x);
+  }
+  [[nodiscard]] std::uint32_t zoneCount() const override {
+    return clusterCount();
+  }
+  [[nodiscard]] Position zoneCenter(common::ClusterId zone) const override {
+    return clusterCenter(zone);
+  }
+  [[nodiscard]] std::optional<common::ClusterId> neighborToward(
+      common::ClusterId zone, Direction direction) const override;
+
+ private:
+  double lengthM_;
+  double widthM_;
+  double clusterLengthM_;
+  std::uint32_t clusterCount_;
+};
+
+}  // namespace blackdp::mobility

@@ -1,0 +1,23 @@
+#include "mobility/motion.hpp"
+
+namespace blackdp::mobility {
+
+std::optional<sim::TimePoint> LinearMotion::whenAtAxis(
+    double from, double target, double velocity, sim::TimePoint startTime) {
+  if (velocity == 0.0) {
+    return from == target ? std::optional{startTime} : std::nullopt;
+  }
+  const double seconds = (target - from) / velocity;
+  if (seconds < 0.0) return std::nullopt;  // moving away
+  return startTime + sim::Duration::fromSeconds(seconds);
+}
+
+std::optional<sim::TimePoint> LinearMotion::whenAtX(double x) const {
+  return whenAtAxis(start_.x, x, vx_, startTime_);
+}
+
+std::optional<sim::TimePoint> LinearMotion::whenAtY(double y) const {
+  return whenAtAxis(start_.y, y, vy_, startTime_);
+}
+
+}  // namespace blackdp::mobility

@@ -1,0 +1,93 @@
+// Vehicle kinematics.
+//
+// Vehicles move at constant velocity; positions are computed analytically
+// from the event time — no periodic position-update events, which keeps the
+// event queue small and trajectories exact. The highway uses pure x-axis
+// motion (paper: uniform 50–90 km/h, two directions); the urban grid (§VI
+// future work) uses the general velocity form, one straight leg per street
+// segment.
+#pragma once
+
+#include <cmath>
+#include <optional>
+
+#include "mobility/highway.hpp"
+#include "sim/time.hpp"
+
+namespace blackdp::mobility {
+
+/// Travel direction along the highway axis.
+enum class Direction { kEastbound, kWestbound };
+
+[[nodiscard]] constexpr double signOf(Direction d) {
+  return d == Direction::kEastbound ? 1.0 : -1.0;
+}
+
+/// Converts km/h (the paper's unit) to m/s.
+[[nodiscard]] constexpr double kmhToMps(double kmh) { return kmh / 3.6; }
+
+/// Constant-velocity trajectory anchored at (startPosition, startTime).
+class LinearMotion {
+ public:
+  LinearMotion() = default;
+
+  /// Highway form: speed along the x axis in the given direction.
+  LinearMotion(Position start, double speedMps, Direction direction,
+               sim::TimePoint startTime)
+      : start_{start},
+        vx_{signOf(direction) * speedMps},
+        startTime_{startTime} {}
+
+  /// General form: an explicit velocity vector (urban street legs).
+  [[nodiscard]] static LinearMotion withVelocity(Position start, double vx,
+                                                 double vy,
+                                                 sim::TimePoint startTime) {
+    LinearMotion m;
+    m.start_ = start;
+    m.vx_ = vx;
+    m.vy_ = vy;
+    m.startTime_ = startTime;
+    return m;
+  }
+
+  /// A stationary trajectory (RSUs).
+  [[nodiscard]] static LinearMotion stationary(Position where) {
+    return LinearMotion{where, 0.0, Direction::kEastbound, sim::TimePoint{}};
+  }
+
+  /// Exact position at time t (may lie beyond the road — callers decide
+  /// what leaving the covered area means).
+  [[nodiscard]] Position positionAt(sim::TimePoint t) const {
+    const double dt = (t - startTime_).toSeconds();
+    return Position{start_.x + vx_ * dt, start_.y + vy_ * dt};
+  }
+
+  /// Earliest time >= startTime at which the trajectory reaches
+  /// longitudinal coordinate x, or nullopt if it never does.
+  [[nodiscard]] std::optional<sim::TimePoint> whenAtX(double x) const;
+  /// Same for the y axis.
+  [[nodiscard]] std::optional<sim::TimePoint> whenAtY(double y) const;
+
+  /// Scalar speed (velocity magnitude).
+  [[nodiscard]] double speedMps() const { return std::hypot(vx_, vy_); }
+  /// Dominant x-axis direction (the highway notion; pure-y motion reports
+  /// eastbound by convention).
+  [[nodiscard]] Direction direction() const {
+    return vx_ >= 0.0 ? Direction::kEastbound : Direction::kWestbound;
+  }
+  [[nodiscard]] double vx() const { return vx_; }
+  [[nodiscard]] double vy() const { return vy_; }
+  [[nodiscard]] sim::TimePoint startTime() const { return startTime_; }
+  [[nodiscard]] const Position& startPosition() const { return start_; }
+
+ private:
+  [[nodiscard]] static std::optional<sim::TimePoint> whenAtAxis(
+      double from, double target, double velocity, sim::TimePoint startTime);
+
+  Position start_{};
+  double vx_{0.0};
+  double vy_{0.0};
+  sim::TimePoint startTime_{};
+};
+
+}  // namespace blackdp::mobility

@@ -1,0 +1,86 @@
+#include "mobility/urban.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace blackdp::mobility {
+
+UrbanGrid::UrbanGrid(std::uint32_t blocksX, std::uint32_t blocksY,
+                     double blockM)
+    : blocksX_{blocksX}, blocksY_{blocksY}, blockM_{blockM} {
+  if (blocksX == 0 || blocksY == 0 || blockM <= 0.0) {
+    throw std::invalid_argument("UrbanGrid: dimensions must be positive");
+  }
+}
+
+common::ClusterId UrbanGrid::zoneIdAt(std::uint32_t ix,
+                                      std::uint32_t iy) const {
+  BDP_ASSERT_MSG(ix < intersectionsX() && iy < intersectionsY(),
+                 "intersection out of grid");
+  return common::ClusterId{iy * intersectionsX() + ix + 1};
+}
+
+std::pair<std::uint32_t, std::uint32_t> UrbanGrid::gridCoordinates(
+    common::ClusterId zone) const {
+  BDP_ASSERT_MSG(zone.value() >= 1 && zone.value() <= zoneCount(),
+                 "zone out of grid");
+  const std::uint32_t index = zone.value() - 1;
+  return {index % intersectionsX(), index / intersectionsX()};
+}
+
+bool UrbanGrid::isOnStreet(const Position& position,
+                           double toleranceM) const {
+  if (!contains(position)) return false;
+  const double xo = std::remainder(position.x, blockM_);
+  const double yo = std::remainder(position.y, blockM_);
+  return std::abs(xo) <= toleranceM || std::abs(yo) <= toleranceM;
+}
+
+bool UrbanGrid::contains(const Position& position) const {
+  const double slack = 1e-9;
+  return position.x >= -slack && position.x <= width() + slack &&
+         position.y >= -slack && position.y <= height() + slack;
+}
+
+std::vector<Heading> UrbanGrid::exitsFrom(std::uint32_t ix,
+                                          std::uint32_t iy) const {
+  std::vector<Heading> exits;
+  if (iy + 1 < intersectionsY()) exits.push_back(Heading::kNorth);
+  if (ix + 1 < intersectionsX()) exits.push_back(Heading::kEast);
+  if (iy > 0) exits.push_back(Heading::kSouth);
+  if (ix > 0) exits.push_back(Heading::kWest);
+  return exits;
+}
+
+std::optional<common::ClusterId> UrbanGrid::zoneOf(
+    const Position& position) const {
+  if (!contains(position)) return std::nullopt;
+  // Voronoi cell: the nearest intersection.
+  const auto ix = static_cast<std::uint32_t>(std::min(
+      std::max(std::floor(position.x / blockM_ + 0.5), 0.0),
+      static_cast<double>(blocksX_)));
+  const auto iy = static_cast<std::uint32_t>(std::min(
+      std::max(std::floor(position.y / blockM_ + 0.5), 0.0),
+      static_cast<double>(blocksY_)));
+  return zoneIdAt(ix, iy);
+}
+
+Position UrbanGrid::zoneCenter(common::ClusterId zone) const {
+  const auto [ix, iy] = gridCoordinates(zone);
+  return intersectionAt(ix, iy);
+}
+
+std::optional<common::ClusterId> UrbanGrid::neighborToward(
+    common::ClusterId zone, Direction direction) const {
+  const auto [ix, iy] = gridCoordinates(zone);
+  if (direction == Direction::kEastbound) {
+    if (ix + 1 >= intersectionsX()) return std::nullopt;
+    return zoneIdAt(ix + 1, iy);
+  }
+  if (ix == 0) return std::nullopt;
+  return zoneIdAt(ix - 1, iy);
+}
+
+}  // namespace blackdp::mobility

@@ -1,0 +1,101 @@
+// Urban Manhattan-grid topology (the paper's §VI future work: "the proposed
+// detection protocol does not yet account for an urban topology network").
+//
+// Streets form a regular grid: vertical streets at x = i·block and
+// horizontal streets at y = j·block, with intersections where they cross.
+// Each intersection carries one RSU; its zone is the Voronoi cell around the
+// intersection (a block-sized square). Vehicles drive street legs at
+// constant velocity and turn at intersections (see UrbanMobilityController).
+#pragma once
+
+#include <cstdint>
+
+#include "mobility/highway.hpp"
+#include "mobility/motion.hpp"
+
+namespace blackdp::mobility {
+
+/// Compass heading of a street leg.
+enum class Heading { kNorth, kEast, kSouth, kWest };
+
+[[nodiscard]] constexpr Heading opposite(Heading h) {
+  switch (h) {
+    case Heading::kNorth: return Heading::kSouth;
+    case Heading::kEast: return Heading::kWest;
+    case Heading::kSouth: return Heading::kNorth;
+    case Heading::kWest: return Heading::kEast;
+  }
+  return Heading::kNorth;
+}
+
+/// Unit velocity vector of a heading.
+[[nodiscard]] constexpr std::pair<double, double> unitVector(Heading h) {
+  switch (h) {
+    case Heading::kNorth: return {0.0, 1.0};
+    case Heading::kEast: return {1.0, 0.0};
+    case Heading::kSouth: return {0.0, -1.0};
+    case Heading::kWest: return {-1.0, 0.0};
+  }
+  return {0.0, 0.0};
+}
+
+class UrbanGrid : public ZoneMap {
+ public:
+  /// @param blocksX  number of blocks along x (→ blocksX+1 vertical streets)
+  /// @param blocksY  number of blocks along y
+  /// @param blockM   block edge length in metres
+  UrbanGrid(std::uint32_t blocksX, std::uint32_t blocksY, double blockM);
+
+  [[nodiscard]] std::uint32_t intersectionsX() const { return blocksX_ + 1; }
+  [[nodiscard]] std::uint32_t intersectionsY() const { return blocksY_ + 1; }
+  [[nodiscard]] double blockLength() const { return blockM_; }
+  [[nodiscard]] double width() const {
+    return static_cast<double>(blocksX_) * blockM_;
+  }
+  [[nodiscard]] double height() const {
+    return static_cast<double>(blocksY_) * blockM_;
+  }
+
+  /// 1-based zone id of the intersection at grid coordinates (ix, iy).
+  [[nodiscard]] common::ClusterId zoneIdAt(std::uint32_t ix,
+                                           std::uint32_t iy) const;
+  /// Inverse of zoneIdAt.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> gridCoordinates(
+      common::ClusterId zone) const;
+
+  /// Physical position of a zone's intersection.
+  [[nodiscard]] Position intersectionAt(std::uint32_t ix,
+                                        std::uint32_t iy) const {
+    return Position{static_cast<double>(ix) * blockM_,
+                    static_cast<double>(iy) * blockM_};
+  }
+
+  /// True iff the position lies on (within tolerance of) some street.
+  [[nodiscard]] bool isOnStreet(const Position& position,
+                                double toleranceM = 5.0) const;
+
+  /// True iff the position lies within the covered area.
+  [[nodiscard]] bool contains(const Position& position) const;
+
+  /// Headings available when standing at intersection (ix, iy) — border
+  /// intersections lack some of them.
+  [[nodiscard]] std::vector<Heading> exitsFrom(std::uint32_t ix,
+                                               std::uint32_t iy) const;
+
+  // ---- ZoneMap ----
+  [[nodiscard]] std::optional<common::ClusterId> zoneOf(
+      const Position& position) const override;
+  [[nodiscard]] std::uint32_t zoneCount() const override {
+    return intersectionsX() * intersectionsY();
+  }
+  [[nodiscard]] Position zoneCenter(common::ClusterId zone) const override;
+  [[nodiscard]] std::optional<common::ClusterId> neighborToward(
+      common::ClusterId zone, Direction direction) const override;
+
+ private:
+  std::uint32_t blocksX_;
+  std::uint32_t blocksY_;
+  double blockM_;
+};
+
+}  // namespace blackdp::mobility

@@ -1,0 +1,86 @@
+#include "mobility/urban_mobility.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace blackdp::mobility {
+
+UrbanMobilityController::UrbanMobilityController(
+    sim::Simulator& simulator, const UrbanGrid& grid, double speedMps,
+    sim::Rng rng, MotionSetter setMotion, TurnPolicy policy)
+    : simulator_{simulator},
+      grid_{grid},
+      speedMps_{speedMps},
+      rng_{rng},
+      setMotion_{std::move(setMotion)},
+      policy_{policy} {
+  BDP_ASSERT(setMotion_ != nullptr);
+  BDP_ASSERT_MSG(speedMps > 0.0, "urban vehicles must move");
+}
+
+void UrbanMobilityController::start(std::uint32_t ix, std::uint32_t iy,
+                                    Heading initial) {
+  const auto exits = grid_.exitsFrom(ix, iy);
+  BDP_ASSERT_MSG(std::find(exits.begin(), exits.end(), initial) != exits.end(),
+                 "initial heading leaves the grid");
+  running_ = true;
+  beginLeg(ix, iy, initial);
+}
+
+void UrbanMobilityController::stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void UrbanMobilityController::beginLeg(std::uint32_t ix, std::uint32_t iy,
+                                       Heading heading) {
+  heading_ = heading;
+  ++legsDriven_;
+
+  const Position from = grid_.intersectionAt(ix, iy);
+  const auto [ux, uy] = unitVector(heading);
+  setMotion_(LinearMotion::withVelocity(from, ux * speedMps_, uy * speedMps_,
+                                        simulator_.now()));
+  if (onLeg_) onLeg_();
+
+  std::uint32_t nx = ix;
+  std::uint32_t ny = iy;
+  switch (heading) {
+    case Heading::kNorth: ++ny; break;
+    case Heading::kEast: ++nx; break;
+    case Heading::kSouth: --ny; break;
+    case Heading::kWest: --nx; break;
+  }
+  const double legSeconds = grid_.blockLength() / speedMps_;
+  const std::uint32_t gen = ++generation_;
+  simulator_.schedule(sim::Duration::fromSeconds(legSeconds),
+                      [this, nx, ny, gen] {
+                        if (running_ && generation_ == gen) onArrival(nx, ny);
+                      });
+}
+
+void UrbanMobilityController::onArrival(std::uint32_t ix, std::uint32_t iy) {
+  beginLeg(ix, iy, pickTurn(ix, iy));
+}
+
+Heading UrbanMobilityController::pickTurn(std::uint32_t ix,
+                                          std::uint32_t iy) {
+  const std::vector<Heading> exits = grid_.exitsFrom(ix, iy);
+  BDP_ASSERT(!exits.empty());
+
+  const bool straightPossible =
+      std::find(exits.begin(), exits.end(), heading_) != exits.end();
+  if (straightPossible && rng_.bernoulli(policy_.straightBias)) {
+    return heading_;
+  }
+  // Otherwise a uniform turn, avoiding the U-turn unless nothing else goes.
+  std::vector<Heading> options;
+  for (const Heading exit : exits) {
+    if (exit != opposite(heading_)) options.push_back(exit);
+  }
+  if (options.empty()) return opposite(heading_);  // dead end: turn around
+  return options[rng_.index(options.size())];
+}
+
+}  // namespace blackdp::mobility

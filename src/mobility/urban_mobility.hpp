@@ -1,0 +1,67 @@
+// Urban turn-by-turn mobility.
+//
+// Drives a vehicle along street legs of an UrbanGrid: straight at constant
+// speed between intersections, then a seeded random turn (straight is
+// preferred, U-turns are a last resort). The controller owns no network
+// state — it publishes each new leg through a motion-setter callback, so the
+// scenario layer can rebind the node's trajectory and re-run cluster joins.
+#pragma once
+
+#include <functional>
+
+#include "mobility/urban.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace blackdp::mobility {
+
+struct TurnPolicy {
+  /// Probability of continuing straight when possible.
+  double straightBias{0.5};
+};
+
+class UrbanMobilityController {
+ public:
+  using MotionSetter = std::function<void(const LinearMotion&)>;
+  /// Invoked right after every new leg begins (membership re-join hook).
+  using LegCallback = std::function<void()>;
+
+  UrbanMobilityController(sim::Simulator& simulator, const UrbanGrid& grid,
+                          double speedMps, sim::Rng rng,
+                          MotionSetter setMotion, TurnPolicy policy = {});
+
+  UrbanMobilityController(const UrbanMobilityController&) = delete;
+  UrbanMobilityController& operator=(const UrbanMobilityController&) = delete;
+
+  /// Starts driving from intersection (ix, iy) with the given heading (must
+  /// be an exit of that intersection).
+  void start(std::uint32_t ix, std::uint32_t iy, Heading initial);
+
+  void stop();
+
+  void setLegCallback(LegCallback callback) {
+    onLeg_ = std::move(callback);
+  }
+
+  [[nodiscard]] Heading currentHeading() const { return heading_; }
+  [[nodiscard]] std::uint64_t legsDriven() const { return legsDriven_; }
+
+ private:
+  void beginLeg(std::uint32_t ix, std::uint32_t iy, Heading heading);
+  void onArrival(std::uint32_t ix, std::uint32_t iy);
+  [[nodiscard]] Heading pickTurn(std::uint32_t ix, std::uint32_t iy);
+
+  sim::Simulator& simulator_;
+  const UrbanGrid& grid_;
+  double speedMps_;
+  sim::Rng rng_;
+  MotionSetter setMotion_;
+  TurnPolicy policy_;
+  LegCallback onLeg_;
+  Heading heading_{Heading::kEast};
+  std::uint64_t legsDriven_{0};
+  bool running_{false};
+  std::uint32_t generation_{0};  ///< invalidates stale arrival events
+};
+
+}  // namespace blackdp::mobility

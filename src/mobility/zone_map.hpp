@@ -1,0 +1,41 @@
+// Zone abstraction over road geometries.
+//
+// The paper's protocol needs only three geometric facts: which RSU zone a
+// position belongs to, where each zone's RSU sits, and which zone a vehicle
+// probably moved to. The highway implements them with linear segments
+// (§III-A); the urban grid (the paper's §VI future work) implements them
+// with intersection cells. Everything above mobility — cluster management,
+// the detector's pursuit heuristic, scenarios — works against this
+// interface.
+#pragma once
+
+#include <optional>
+
+#include "common/ids.hpp"
+
+namespace blackdp::mobility {
+
+struct Position;
+enum class Direction : int;  // defined in mobility/motion.hpp
+
+class ZoneMap {
+ public:
+  virtual ~ZoneMap() = default;
+
+  /// Zone containing `position` (1-based ids), or nullopt if off-road.
+  [[nodiscard]] virtual std::optional<common::ClusterId> zoneOf(
+      const Position& position) const = 0;
+
+  [[nodiscard]] virtual std::uint32_t zoneCount() const = 0;
+
+  /// Where the zone's RSU is stationed.
+  [[nodiscard]] virtual Position zoneCenter(common::ClusterId zone) const = 0;
+
+  /// Best guess for the zone a vehicle that left `zone` travelling
+  /// `direction` is now in (the detector's pursuit heuristic); nullopt if it
+  /// would have left the covered area.
+  [[nodiscard]] virtual std::optional<common::ClusterId> neighborToward(
+      common::ClusterId zone, Direction direction) const = 0;
+};
+
+}  // namespace blackdp::mobility

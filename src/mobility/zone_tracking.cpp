@@ -1,0 +1,53 @@
+#include "mobility/zone_tracking.hpp"
+
+namespace blackdp::mobility {
+
+std::optional<ZoneChange> nextZoneChange(const LinearMotion& motion,
+                                         const ZoneMap& zones,
+                                         sim::TimePoint from,
+                                         double maxLookaheadM,
+                                         double coarseStepM) {
+  const double speed = motion.speedMps();
+  if (speed <= 0.0) return std::nullopt;
+
+  const auto zoneAtDistance =
+      [&](double metres) -> std::optional<common::ClusterId> {
+    const sim::TimePoint t =
+        from + sim::Duration::fromSeconds(metres / speed);
+    return zones.zoneOf(motion.positionAt(t));
+  };
+
+  const std::optional<common::ClusterId> startZone = zoneAtDistance(0.0);
+
+  // Coarse scan for the first sample in a different zone.
+  double lo = 0.0;
+  double hi = 0.0;
+  bool found = false;
+  for (double d = coarseStepM; d <= maxLookaheadM; d += coarseStepM) {
+    if (zoneAtDistance(d) != startZone) {
+      hi = d;
+      found = true;
+      break;
+    }
+    lo = d;
+  }
+  if (!found) return std::nullopt;
+
+  // Bisect the boundary down to half a metre.
+  while (hi - lo > 0.5) {
+    const double mid = (lo + hi) / 2.0;
+    if (zoneAtDistance(mid) != startZone) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  // Just past the boundary (plus a nudge so rounding cannot land us back in
+  // the old zone at event time).
+  const double crossing = hi + 0.5;
+  return ZoneChange{from + sim::Duration::fromSeconds(crossing / speed),
+                    zoneAtDistance(crossing)};
+}
+
+}  // namespace blackdp::mobility

@@ -1,0 +1,31 @@
+// Zone-boundary prediction along a straight trajectory.
+//
+// Works for any ZoneMap: samples the trajectory ahead, then bisects to the
+// boundary. Membership clients use it to schedule leave/join exactly when a
+// vehicle crosses into the next RSU zone — on the highway and on the urban
+// grid alike.
+#pragma once
+
+#include <optional>
+
+#include "mobility/motion.hpp"
+#include "mobility/zone_map.hpp"
+
+namespace blackdp::mobility {
+
+struct ZoneChange {
+  sim::TimePoint when;
+  /// Zone entered (nullopt = the trajectory leaves the covered area).
+  std::optional<common::ClusterId> into;
+};
+
+/// Finds the first zone change strictly after `from` along `motion`, looking
+/// at most `maxLookaheadM` metres ahead. Returns nullopt when the motion is
+/// stationary or no change occurs within the horizon. The returned time is
+/// nudged just past the boundary so zoneOf(positionAt(when)) is already the
+/// new zone.
+[[nodiscard]] std::optional<ZoneChange> nextZoneChange(
+    const LinearMotion& motion, const ZoneMap& zones, sim::TimePoint from,
+    double maxLookaheadM = 4'000.0, double coarseStepM = 25.0);
+
+}  // namespace blackdp::mobility

@@ -1,0 +1,27 @@
+#include "net/backbone.hpp"
+
+#include "common/assert.hpp"
+
+namespace blackdp::net {
+
+void Backbone::attach(common::ClusterId cluster, BackboneEndpoint& endpoint) {
+  const auto [it, inserted] = endpoints_.emplace(cluster, &endpoint);
+  BDP_ASSERT_MSG(inserted, "cluster attached to backbone twice");
+}
+
+void Backbone::detach(common::ClusterId cluster) { endpoints_.erase(cluster); }
+
+void Backbone::send(common::ClusterId from, common::ClusterId to,
+                    PayloadPtr payload) {
+  BDP_ASSERT_MSG(payload != nullptr, "backbone message without payload");
+  BDP_ASSERT_MSG(endpoints_.contains(from), "backbone send from unattached CH");
+  ++stats_.messagesSent;
+  stats_.bytesSent += payload->sizeBytes();
+  simulator_.schedule(latency_, [this, from, to, payload = std::move(payload)] {
+    const auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) return;
+    it->second->onBackboneMessage(from, payload);
+  });
+}
+
+}  // namespace blackdp::net

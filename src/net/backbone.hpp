@@ -1,0 +1,55 @@
+// Wired RSU backbone.
+//
+// The paper's RSUs "connect to each other via high speed links to form
+// sequential static clusters"; TAs hang off the same infrastructure. The
+// backbone is reliable, low-latency, and addressed by cluster id. Detection
+// requests forwarded between CHs (d_req) and detection responses relayed back
+// to the originator's CH travel here.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace blackdp::net {
+
+/// What the backbone needs from an attached cluster head.
+class BackboneEndpoint {
+ public:
+  virtual ~BackboneEndpoint() = default;
+  virtual void onBackboneMessage(common::ClusterId from,
+                                 const PayloadPtr& payload) = 0;
+};
+
+struct BackboneStats {
+  std::uint64_t messagesSent{0};
+  std::uint64_t bytesSent{0};
+};
+
+class Backbone {
+ public:
+  Backbone(sim::Simulator& simulator,
+           sim::Duration latency = sim::Duration::milliseconds(2))
+      : simulator_{simulator}, latency_{latency} {}
+
+  Backbone(const Backbone&) = delete;
+  Backbone& operator=(const Backbone&) = delete;
+
+  void attach(common::ClusterId cluster, BackboneEndpoint& endpoint);
+  void detach(common::ClusterId cluster);
+
+  /// Reliable unicast between cluster heads.
+  void send(common::ClusterId from, common::ClusterId to, PayloadPtr payload);
+
+  [[nodiscard]] const BackboneStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& simulator_;
+  sim::Duration latency_;
+  BackboneStats stats_;
+  std::unordered_map<common::ClusterId, BackboneEndpoint*> endpoints_;
+};
+
+}  // namespace blackdp::net

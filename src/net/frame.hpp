@@ -1,0 +1,54 @@
+// Link-layer frames.
+//
+// The medium is payload-agnostic: protocol layers (AODV, cluster management,
+// BlackDP) define payload types derived from Payload and dispatch on them at
+// the receiver. Payloads are immutable and shared — a broadcast delivers the
+// same payload object to every receiver, exactly like bytes on the air.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/ids.hpp"
+
+namespace blackdp::net {
+
+/// Base class for every over-the-air message body.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Short type tag for logging/metrics ("rreq", "jrep", "dreq", ...).
+  [[nodiscard]] virtual std::string_view typeName() const = 0;
+
+  /// Approximate on-air size in bytes (headers + body); drives byte counters.
+  [[nodiscard]] virtual std::uint32_t sizeBytes() const { return 64; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Creates an immutable payload.
+template <typename T, typename... Args>
+[[nodiscard]] PayloadPtr makePayload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// Downcast helper; returns nullptr if the payload is of a different type.
+template <typename T>
+[[nodiscard]] const T* payloadAs(const PayloadPtr& payload) {
+  return dynamic_cast<const T*>(payload.get());
+}
+
+/// One frame on the air.
+struct Frame {
+  common::Address src{};  ///< sender's current pseudonymous address
+  common::Address dst{};  ///< receiver address or kBroadcastAddress
+  PayloadPtr payload{};
+
+  [[nodiscard]] bool isBroadcast() const {
+    return dst == common::kBroadcastAddress;
+  }
+};
+
+}  // namespace blackdp::net

@@ -1,0 +1,107 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace blackdp::net {
+
+WirelessMedium::WirelessMedium(sim::Simulator& simulator, sim::Rng rng,
+                               MediumConfig config)
+    : simulator_{simulator}, rng_{rng}, config_{config} {}
+
+void WirelessMedium::attach(common::NodeId node, Radio& radio) {
+  const auto [it, inserted] = radios_.emplace(node, &radio);
+  BDP_ASSERT_MSG(inserted, "node attached twice");
+}
+
+void WirelessMedium::detach(common::NodeId node) { radios_.erase(node); }
+
+void WirelessMedium::bindAddress(common::Address address,
+                                 common::NodeId owner) {
+  if (address == common::kNullAddress || address == common::kBroadcastAddress) {
+    return;
+  }
+  addressOwner_[address] = owner;
+}
+
+void WirelessMedium::unbindAddress(common::Address address) {
+  addressOwner_.erase(address);
+}
+
+void WirelessMedium::send(common::NodeId sender, Frame frame) {
+  const auto senderIt = radios_.find(sender);
+  BDP_ASSERT_MSG(senderIt != radios_.end(), "send from unattached node");
+  BDP_ASSERT_MSG(frame.payload != nullptr, "frame without payload");
+
+  ++stats_.framesSent;
+  stats_.bytesSent += frame.payload->sizeBytes();
+
+  const mobility::Position origin = senderIt->second->radioPosition();
+
+  // MAC ACK model for unicast frames: unreachable addressee → sender gets
+  // a transmission-failure callback after the (ACK-timeout-like) latency.
+  if (!frame.isBroadcast()) {
+    const auto ownerIt = addressOwner_.find(frame.dst);
+    const bool reachable =
+        ownerIt != addressOwner_.end() &&
+        [&] {
+          const auto radioIt = radios_.find(ownerIt->second);
+          return radioIt != radios_.end() &&
+                 mobility::distance(origin,
+                                    radioIt->second->radioPosition()) <=
+                     config_.transmissionRangeM;
+        }();
+    if (!reachable) {
+      ++stats_.sendFailures;
+      simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
+        const auto it = radios_.find(sender);
+        if (it != radios_.end()) it->second->onSendFailed(frame);
+      });
+    }
+  }
+  // Receivers are visited in node-id order so that jitter draws (and thus
+  // the whole simulation) are independent of hash-map iteration order.
+  std::vector<std::pair<common::NodeId, Radio*>> receivers(radios_.begin(),
+                                                           radios_.end());
+  std::sort(receivers.begin(), receivers.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [nodeId, radio] : receivers) {
+    if (nodeId == sender) continue;
+    if (mobility::distance(origin, radio->radioPosition()) >
+        config_.transmissionRangeM) {
+      continue;
+    }
+    if (config_.lossProbability > 0.0 &&
+        rng_.bernoulli(config_.lossProbability)) {
+      ++stats_.framesLost;
+      continue;
+    }
+    sim::Duration latency = config_.perHopLatency;
+    if (config_.maxJitter > sim::Duration{}) {
+      latency = latency + sim::Duration::microseconds(
+                              rng_.uniformInt(0, config_.maxJitter.us()));
+    }
+    // Deliver only if the receiver is still attached at delivery time
+    // (a vehicle may leave the highway while the frame is in flight).
+    simulator_.schedule(latency, [this, nodeId = nodeId, frame] {
+      const auto it = radios_.find(nodeId);
+      if (it == radios_.end()) return;
+      ++stats_.framesDelivered;
+      it->second->onFrame(frame);
+    });
+  }
+}
+
+bool WirelessMedium::inRange(common::NodeId a, common::NodeId b) const {
+  const auto ita = radios_.find(a);
+  const auto itb = radios_.find(b);
+  if (ita == radios_.end() || itb == radios_.end()) return false;
+  return mobility::distance(ita->second->radioPosition(),
+                            itb->second->radioPosition()) <=
+         config_.transmissionRangeM;
+}
+
+}  // namespace blackdp::net

@@ -1,0 +1,101 @@
+// Unit-disk wireless medium.
+//
+// Models DSRC at the connectivity level the paper assumes (§III-A): an
+// identical, bidirectional transmission range for all nodes (Table I: 1000 m).
+// A transmitted frame reaches every attached node within range of the sender
+// at transmission time, after a deterministic per-hop latency plus seeded
+// jitter (the jitter provides the tie-breaking the paper's "replies as fast
+// as it can" behaviour races against). Optional i.i.d. frame loss supports
+// failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mobility/motion.hpp"
+#include "net/frame.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace blackdp::net {
+
+/// What the medium needs from an attached node.
+class Radio {
+ public:
+  virtual ~Radio() = default;
+
+  /// Current physical position (queried at transmission time).
+  [[nodiscard]] virtual mobility::Position radioPosition() const = 0;
+
+  /// Frame arrival. Every in-range node hears every frame; address filtering
+  /// happens in the node, as on a real shared channel.
+  virtual void onFrame(const Frame& frame) = 0;
+
+  /// 802.11-style transmission feedback: a *unicast* frame's addressee was
+  /// unreachable (out of range, detached, or unknown) — no ACK came back.
+  /// Broadcasts never generate this. Default: ignore.
+  virtual void onSendFailed(const Frame& frame) { (void)frame; }
+};
+
+struct MediumConfig {
+  double transmissionRangeM{1000.0};              ///< Table I / DSRC [12]
+  sim::Duration perHopLatency{sim::Duration::microseconds(500)};
+  sim::Duration maxJitter{sim::Duration::microseconds(100)};
+  double lossProbability{0.0};
+};
+
+struct MediumStats {
+  std::uint64_t framesSent{0};        ///< transmissions initiated
+  std::uint64_t framesDelivered{0};   ///< per-receiver deliveries
+  std::uint64_t framesLost{0};        ///< per-receiver random losses
+  std::uint64_t sendFailures{0};      ///< unicast frames with no reachable owner
+  std::uint64_t bytesSent{0};
+};
+
+class WirelessMedium {
+ public:
+  WirelessMedium(sim::Simulator& simulator, sim::Rng rng,
+                 MediumConfig config = {});
+
+  WirelessMedium(const WirelessMedium&) = delete;
+  WirelessMedium& operator=(const WirelessMedium&) = delete;
+
+  /// Attaches a node's radio. The radio must outlive the medium or detach.
+  void attach(common::NodeId node, Radio& radio);
+
+  /// Detaches (e.g. vehicle left the highway). Pending deliveries to the
+  /// node are suppressed.
+  void detach(common::NodeId node);
+
+  [[nodiscard]] bool isAttached(common::NodeId node) const {
+    return radios_.contains(node);
+  }
+
+  /// Transmits a frame from `sender`. Receivers are all other attached nodes
+  /// within range of the sender's position now. For unicast frames the
+  /// medium additionally models the MAC-level ACK: if the bound owner of
+  /// `frame.dst` is unreachable, the sender's onSendFailed() fires after the
+  /// per-hop latency.
+  void send(common::NodeId sender, Frame frame);
+
+  /// Binds a receive address to a node (its pseudonym or an alias). The MAC
+  /// ACK model needs to know who should have acknowledged a unicast frame.
+  void bindAddress(common::Address address, common::NodeId owner);
+  void unbindAddress(common::Address address);
+
+  /// True iff a and b are currently within transmission range.
+  [[nodiscard]] bool inRange(common::NodeId a, common::NodeId b) const;
+
+  [[nodiscard]] const MediumStats& stats() const { return stats_; }
+  [[nodiscard]] const MediumConfig& config() const { return config_; }
+
+ private:
+  sim::Simulator& simulator_;
+  sim::Rng rng_;
+  MediumConfig config_;
+  MediumStats stats_;
+  std::unordered_map<common::NodeId, Radio*> radios_;
+  std::unordered_map<common::Address, common::NodeId> addressOwner_;
+};
+
+}  // namespace blackdp::net

@@ -1,0 +1,88 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace blackdp::net {
+
+BasicNode::BasicNode(sim::Simulator& simulator, WirelessMedium& medium,
+                     common::NodeId id, mobility::LinearMotion motion)
+    : simulator_{simulator}, medium_{medium}, id_{id}, motion_{motion} {
+  medium_.attach(id_, *this);
+  attached_ = true;
+}
+
+BasicNode::~BasicNode() { detachFromMedium(); }
+
+void BasicNode::sendTo(common::Address dst, PayloadPtr payload) {
+  if (!attached_) return;  // fled nodes transmit nothing
+  const Frame frame{address_, dst, std::move(payload)};
+  if (tap_) tap_(frame);  // a radio trivially "hears" its own transmission
+  medium_.send(id_, frame);
+}
+
+void BasicNode::broadcast(PayloadPtr payload) {
+  sendTo(common::kBroadcastAddress, std::move(payload));
+}
+
+void BasicNode::addHandler(Handler handler) {
+  BDP_ASSERT(handler != nullptr);
+  handlers_.push_back(std::move(handler));
+}
+
+void BasicNode::detachFromMedium() {
+  if (attached_) {
+    medium_.unbindAddress(address_);
+    for (const common::Address alias : aliases_) {
+      medium_.unbindAddress(alias);
+    }
+    medium_.detach(id_);
+    attached_ = false;
+  }
+}
+
+void BasicNode::addFailureHandler(FailureHandler handler) {
+  BDP_ASSERT(handler != nullptr);
+  failureHandlers_.push_back(std::move(handler));
+}
+
+void BasicNode::onSendFailed(const Frame& frame) {
+  for (const auto& handler : failureHandlers_) handler(frame);
+}
+
+void BasicNode::setLocalAddress(common::Address address) {
+  if (address_ != common::kNullAddress) medium_.unbindAddress(address_);
+  address_ = address;
+  medium_.bindAddress(address_, id_);
+}
+
+void BasicNode::addAlias(common::Address alias) {
+  aliases_.push_back(alias);
+  medium_.bindAddress(alias, id_);
+}
+
+void BasicNode::removeAlias(common::Address alias) {
+  std::erase(aliases_, alias);
+  medium_.unbindAddress(alias);
+}
+
+void BasicNode::sendFromAlias(common::Address src, common::Address dst,
+                              PayloadPtr payload) {
+  if (!attached_) return;
+  medium_.send(id_, Frame{src, dst, std::move(payload)});
+}
+
+void BasicNode::onFrame(const Frame& frame) {
+  if (tap_) tap_(frame);
+  if (!frame.isBroadcast() && frame.dst != address_ &&
+      std::find(aliases_.begin(), aliases_.end(), frame.dst) ==
+          aliases_.end()) {
+    return;
+  }
+  for (const auto& handler : handlers_) {
+    if (handler(frame)) return;
+  }
+}
+
+}  // namespace blackdp::net

@@ -1,0 +1,69 @@
+// Scenario configuration (paper Table I + §IV-A placement rules).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "aodv/agent.hpp"
+#include "common/ids.hpp"
+#include "core/rsu_detector.hpp"
+#include "core/source_verifier.hpp"
+#include "crypto/trusted_authority.hpp"
+#include "net/medium.hpp"
+
+namespace blackdp::scenario {
+
+enum class AttackType : std::uint32_t { kNone, kSingle, kCooperative };
+
+[[nodiscard]] std::string_view toString(AttackType type);
+
+/// Evasive behaviours available to attackers placed in the paper's
+/// certificate-renewal clusters (8–10 by default).
+struct EvasionPolicy {
+  /// First cluster (inclusive) where evasion/renewal is possible.
+  std::uint32_t firstEvasiveCluster{8};
+  /// Per-trial probability that the attacker adopts the "act legitimately
+  /// during detection" behaviour; grows linearly per evasive cluster.
+  double actLegitBase{0.10};
+  double actLegitStep{0.08};
+  /// Per-trial probability of the pseudonym-renewal behaviour.
+  double renewBase{0.08};
+  double renewStep{0.07};
+  /// Probability of fleeing off the highway when probed in the last cluster.
+  double fleeOffHighway{0.30};
+};
+
+struct ScenarioConfig {
+  // --- Table I ---
+  double highwayLengthM{10'000.0};
+  double highwayWidthM{200.0};
+  double clusterLengthM{1'000.0};
+  double transmissionRangeM{1'000.0};
+  std::uint32_t vehicleCount{100};
+  double minSpeedKmh{50.0};
+  double maxSpeedKmh{90.0};
+  std::uint32_t taCount{2};
+
+  // --- treatment ---
+  std::uint64_t seed{1};
+  AttackType attack{AttackType::kSingle};
+  /// Cluster the (primary) attacker starts in (1-based). nullopt = random.
+  std::optional<common::ClusterId> attackerCluster{common::ClusterId{2}};
+  EvasionPolicy evasion{};
+  /// Force a flee mode regardless of evasion draws (Fig. 5 scripting).
+  std::optional<int> forcedFleeMode{};  // values of attack::FleeMode
+  /// Attacker answers Hello probes with a forged reply instead of dropping.
+  bool attackerFakesHelloReply{false};
+
+  // --- component configs ---
+  net::MediumConfig medium{};
+  aodv::AodvConfig aodv{};
+  core::VerifierConfig verifier{};
+  core::DetectorConfig detector{};
+  crypto::TaConfig ta{};
+
+  /// Simulated-time budget per trial.
+  sim::Duration trialTimeout{sim::Duration::seconds(60)};
+};
+
+}  // namespace blackdp::scenario

@@ -1,0 +1,241 @@
+#include "scenario/experiments.hpp"
+
+#include "baselines/rrep_detectors.hpp"
+#include "common/assert.hpp"
+
+namespace blackdp::scenario {
+
+namespace {
+
+/// Mixes treatment coordinates into per-trial seeds so every trial draws an
+/// independent world, deterministically.
+std::uint64_t trialSeed(std::uint64_t seedBase, std::uint32_t cluster,
+                        AttackType attack, std::uint32_t trial) {
+  std::uint64_t h = seedBase;
+  h = h * 1000003ull + cluster;
+  h = h * 1000003ull + static_cast<std::uint64_t>(attack);
+  h = h * 1000003ull + trial;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Figure 4
+
+Fig4Cell runFig4Cell(AttackType attack, common::ClusterId cluster,
+                     std::uint32_t trials, std::uint64_t seedBase,
+                     const ScenarioConfig& base) {
+  Fig4Cell cell;
+  cell.cluster = cluster;
+  cell.attack = attack;
+  cell.trials = trials;
+
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    ScenarioConfig config = base;
+    config.seed = trialSeed(seedBase, cluster.value(), attack, trial);
+    config.attack = attack;
+    config.attackerCluster = cluster;
+
+    HighwayScenario scenario(config);
+    (void)scenario.runVerification();
+    const DetectionSummary summary = scenario.detectionSummary();
+
+    if (summary.falsePositive) ++cell.falsePositives;
+    if (summary.confirmedOnAttacker) {
+      ++cell.detected;
+    } else {
+      // The verifier never routes data through an unverified claim, so an
+      // undetected attacker still failed to establish its black hole.
+      ++cell.prevented;
+    }
+  }
+  return cell;
+}
+
+std::vector<Fig4Cell> runFig4Sweep(
+    std::uint32_t trials, std::uint64_t seedBase,
+    const std::function<void(const Fig4Cell&)>& onCell) {
+  std::vector<Fig4Cell> cells;
+  for (const AttackType attack :
+       {AttackType::kSingle, AttackType::kCooperative}) {
+    for (std::uint32_t c = 1; c <= 10; ++c) {
+      cells.push_back(
+          runFig4Cell(attack, common::ClusterId{c}, trials, seedBase));
+      if (onCell) onCell(cells.back());
+    }
+  }
+  return cells;
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+std::vector<Fig5Case> fig5Cases() {
+  return {
+      {"no attacker, suspect in reporter's cluster", AttackType::kNone, true,
+       false},
+      {"no attacker, suspect in another cluster", AttackType::kNone, false,
+       false},
+      {"single, same cluster", AttackType::kSingle, true, false},
+      {"single, same cluster, flees mid-detection", AttackType::kSingle, true,
+       true},
+      {"single, other cluster", AttackType::kSingle, false, false},
+      {"single, other cluster, flees mid-detection", AttackType::kSingle,
+       false, true},
+      {"cooperative, same cluster", AttackType::kCooperative, true, false},
+      {"cooperative, same cluster, flees mid-detection",
+       AttackType::kCooperative, true, true},
+      {"cooperative, other cluster", AttackType::kCooperative, false, false},
+      {"cooperative, other cluster, flees mid-detection",
+       AttackType::kCooperative, false, true},
+  };
+}
+
+Fig5Result runFig5Case(const Fig5Case& c, std::uint64_t seed) {
+  ScenarioConfig config;
+  config.seed = seed;
+  // Deterministic frame ordering: the flee scenarios rely on the leaving
+  // notice arriving before the forged reply.
+  config.medium.maxJitter = sim::Duration{};
+  config.attack = c.attack;
+  const common::ClusterId suspectCluster{c.suspectInReporterCluster ? 1u : 2u};
+  config.attackerCluster = suspectCluster;
+  // Scripted placements: no random evasion, only the forced flee.
+  config.evasion.firstEvasiveCluster = 99;
+  if (c.flees) {
+    config.forcedFleeMode =
+        static_cast<int>(attack::FleeMode::kAfterFirstReply);
+  }
+
+  HighwayScenario scenario(config);
+  scenario.runFor(sim::Duration::milliseconds(500));
+
+  common::Address suspect{};
+  common::ClusterId reportedCluster = suspectCluster;
+  if (c.attack == AttackType::kNone) {
+    const common::ClusterId honestCluster{c.suspectInReporterCluster ? 1u
+                                                                     : 3u};
+    reportedCluster = honestCluster;
+    VehicleEntity* honest = scenario.findHonestVehicleIn(honestCluster);
+    BDP_ASSERT_MSG(honest != nullptr, "no honest vehicle in target cluster");
+    suspect = honest->address();
+  } else {
+    suspect = scenario.primaryAttacker()->address();
+  }
+
+  scenario.injectDetectionRequest(scenario.source(), suspect, reportedCluster);
+
+  const auto findSession = [&]() -> const core::SessionRecord* {
+    for (auto& rsu : scenario.rsus()) {
+      for (const core::SessionRecord& record :
+           rsu->detector->completedSessions()) {
+        if (record.suspect == suspect) return &record;
+      }
+    }
+    return nullptr;
+  };
+  const bool finished = scenario.runUntil(
+      [&] { return findSession() != nullptr; }, sim::Duration::seconds(30));
+  BDP_ASSERT_MSG(finished, "detection session did not complete");
+
+  const core::SessionRecord* record = findSession();
+  return Fig5Result{c.label, record->packetsUsed, record->verdict,
+                    record->latency()};
+}
+
+// ------------------------------------------------- baseline ablation (§V)
+
+std::vector<BaselineCell> runBaselineComparison(
+    std::uint32_t trials, std::uint64_t seedBase,
+    common::ClusterId attackerCluster) {
+  std::vector<BaselineCell> cells;
+
+  for (const AttackType attack :
+       {AttackType::kSingle, AttackType::kCooperative}) {
+    BaselineCell blackdp{"blackdp", attack, {}, 0};
+    BaselineCell jaiswal{"first-rrep-comparison", attack, {}, 0};
+    BaselineCell peakCell{"peak", attack, {}, 0};
+    BaselineCell tanSmall{"static-threshold-small", attack, {}, 0};
+    BaselineCell tan{"static-threshold-medium", attack, {}, 0};
+
+    // PEAK is stateful across discoveries by design.
+    baselines::FirstRrepComparisonDetector jaiswalDetector;
+    baselines::PeakThresholdDetector peakDetector;
+    baselines::StaticThresholdDetector tanSmallDetector(
+        baselines::Environment::kSmall);
+    baselines::StaticThresholdDetector tanDetector(
+        baselines::Environment::kMedium);
+
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      ScenarioConfig config;
+      config.seed =
+          trialSeed(seedBase, attackerCluster.value(), attack, trial);
+      config.attack = attack;
+      config.attackerCluster = attackerCluster;
+
+      // --- BlackDP: the full protocol on this world ---
+      {
+        HighwayScenario scenario(config);
+        (void)scenario.runVerification();
+        const DetectionSummary summary = scenario.detectionSummary();
+        if (summary.confirmedOnAttacker) {
+          blackdp.matrix.addTruePositive();
+        } else {
+          blackdp.matrix.addFalseNegative();
+        }
+        if (summary.falsePositive) blackdp.matrix.addFalsePositive();
+      }
+
+      // --- Source-side baselines: same world, plain route discovery ---
+      {
+        HighwayScenario scenario(config);
+        scenario.runFor(sim::Duration::milliseconds(500));
+
+        std::vector<aodv::RouteReply> rreps;
+        scenario.source().agent->setRrepObserver(
+            [&rreps](const aodv::RouteReply& rrep, const net::Frame&) {
+              rreps.push_back(rrep);
+            });
+        bool done = false;
+        scenario.source().agent->findRoute(
+            scenario.destination().address(), [&done](bool) { done = true; });
+        scenario.runUntil([&] { return done; }, sim::Duration::seconds(10));
+
+        const auto grade = [&](BaselineCell& cell,
+                               baselines::RrepDetector& detector) {
+          const std::vector<common::Address> flagged =
+              detector.classify(rreps);
+          bool hitAttacker = false;
+          for (const common::Address& address : flagged) {
+            if (scenario.isAttackerPseudonym(address)) {
+              hitAttacker = true;
+            } else {
+              cell.matrix.addFalsePositive();
+            }
+          }
+          if (hitAttacker) {
+            cell.matrix.addTruePositive();
+          } else {
+            cell.matrix.addFalseNegative();
+          }
+          if (rreps.size() >= 2) ++cell.trialsWithComparison;
+        };
+        grade(jaiswal, jaiswalDetector);
+        grade(peakCell, peakDetector);
+        grade(tanSmall, tanSmallDetector);
+        grade(tan, tanDetector);
+      }
+    }
+
+    cells.push_back(std::move(blackdp));
+    cells.push_back(std::move(jaiswal));
+    cells.push_back(std::move(peakCell));
+    cells.push_back(std::move(tanSmall));
+    cells.push_back(std::move(tan));
+  }
+  return cells;
+}
+
+}  // namespace blackdp::scenario

@@ -1,0 +1,181 @@
+// Fully wired highway world (paper §IV-A).
+//
+// Builds, from a ScenarioConfig: the simulator, crypto engine, TA network,
+// wireless medium, RSU backbone, one cluster head + BlackDP detector per
+// segment, and the vehicle fleet (honest AODV + verifier, or black hole
+// agents with their evasion callbacks). Placement follows the paper: the
+// source car at the beginning of the highway, attacker(s) in a chosen
+// cluster but never within range of the destination, cooperative attackers
+// within range of each other.
+//
+// The scenario also keeps the ground-truth ledger (every pseudonym ever
+// issued to an attacker node) that Fig. 4's accuracy/FP/FN accounting needs.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "attack/black_hole_agent.hpp"
+#include "attack/gray_hole_agent.hpp"
+#include "cluster/cluster_head.hpp"
+#include "cluster/membership_client.hpp"
+#include "core/rsu_detector.hpp"
+#include "core/source_verifier.hpp"
+#include "net/backbone.hpp"
+#include "scenario/config.hpp"
+
+namespace blackdp::scenario {
+
+struct VehicleEntity {
+  common::NodeId nodeId{};
+  common::TaId ta{};
+  std::unique_ptr<net::BasicNode> node;
+  std::unique_ptr<cluster::MembershipClient> membership;
+  std::unique_ptr<aodv::AodvAgent> agent;
+  /// Non-owning view when `agent` is a BlackHoleAgent.
+  attack::BlackHoleAgent* attacker{nullptr};
+  /// Non-owning view when `agent` is a GrayHoleAgent.
+  attack::GrayHoleAgent* grayHole{nullptr};
+  std::unique_ptr<core::SourceVerifier> verifier;  ///< honest vehicles only
+
+  [[nodiscard]] bool isAttacker() const {
+    return attacker != nullptr || grayHole != nullptr;
+  }
+  [[nodiscard]] common::Address address() const {
+    return node->localAddress();
+  }
+};
+
+struct RsuEntity {
+  common::ClusterId cluster{};
+  std::unique_ptr<net::BasicNode> node;
+  std::unique_ptr<cluster::ClusterHead> head;
+  std::unique_ptr<core::RsuDetector> detector;
+};
+
+/// Aggregate of all detector activity in a trial.
+struct DetectionSummary {
+  bool anyConfirmed{false};
+  bool confirmedOnAttacker{false};
+  bool falsePositive{false};
+  core::Verdict verdict{core::Verdict::kNotConfirmed};
+  std::uint32_t packetsUsed{0};  ///< of the first completed session
+  std::vector<core::SessionRecord> sessions;
+};
+
+class HighwayScenario {
+ public:
+  explicit HighwayScenario(ScenarioConfig config);
+  ~HighwayScenario();
+
+  HighwayScenario(const HighwayScenario&) = delete;
+  HighwayScenario& operator=(const HighwayScenario&) = delete;
+
+  // ---- accessors ----
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const mobility::Highway& highway() const { return highway_; }
+  [[nodiscard]] crypto::TaNetwork& taNetwork() { return *taNetwork_; }
+  [[nodiscard]] crypto::CryptoEngine& engine() { return *engine_; }
+  [[nodiscard]] net::WirelessMedium& medium() { return *medium_; }
+  [[nodiscard]] net::Backbone& backbone() { return *backbone_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  [[nodiscard]] std::vector<std::unique_ptr<VehicleEntity>>& vehicles() {
+    return vehicles_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<RsuEntity>>& rsus() {
+    return rsus_;
+  }
+  [[nodiscard]] VehicleEntity& source() { return *source_; }
+  [[nodiscard]] VehicleEntity& destination() { return *destination_; }
+  [[nodiscard]] VehicleEntity* primaryAttacker() { return primaryAttacker_; }
+  [[nodiscard]] VehicleEntity* accomplice() { return accomplice_; }
+  [[nodiscard]] RsuEntity& rsu(common::ClusterId cluster);
+
+  /// Ground truth: was this pseudonym ever issued to an attacker node?
+  [[nodiscard]] bool isAttackerPseudonym(common::Address pseudonym) const;
+
+  // ---- running ----
+  /// Runs the simulation for a fixed span (joins, settling, propagation).
+  void runFor(sim::Duration span);
+  /// Steps until `predicate()` or the cap elapses; true if it fired.
+  bool runUntil(const std::function<bool()>& predicate, sim::Duration cap);
+
+  /// The headline trial: the source establishes a verified route to the
+  /// destination; returns the verifier's report. Includes a settling run
+  /// for joins before and isolation propagation after.
+  [[nodiscard]] core::VerificationReport runVerification();
+
+  /// Collects all detector session records and grades them against ground
+  /// truth.
+  [[nodiscard]] DetectionSummary detectionSummary() const;
+
+  /// Crafts and transmits a signed d_req from `reporter` (Fig. 5 scripting).
+  void injectDetectionRequest(VehicleEntity& reporter, common::Address suspect,
+                              common::ClusterId suspectCluster);
+
+  /// Some honest, currently-joined vehicle in `cluster` (not source or
+  /// destination); nullptr if none.
+  [[nodiscard]] VehicleEntity* findHonestVehicleIn(common::ClusterId cluster);
+
+  /// Moves a vehicle to a new longitudinal position and re-runs the cluster
+  /// join protocol (used for flee behaviour and test scripting).
+  void relocateVehicle(VehicleEntity& vehicle, double newX);
+
+  /// Adds a gray hole (selective dropper, honest control plane) to the
+  /// fleet after construction — used by the PDR ablation and the boundary
+  /// tests. Unlike a black hole it may sit anywhere, including on the real
+  /// path between source and destination.
+  VehicleEntity& spawnGrayHole(common::ClusterId cluster,
+                               attack::GrayHoleConfig grayConfig);
+
+  /// Data-plane measurement: the source sends `count` packets to the
+  /// destination, one every `gap`. Returns attempted vs. delivered counts
+  /// (delivery measured at the destination's agent).
+  struct DataTransferResult {
+    std::uint32_t sent{0};
+    std::uint32_t routable{0};  ///< had an active route at send time
+    std::uint32_t delivered{0};
+    [[nodiscard]] double pdr() const {
+      return sent == 0 ? 0.0
+                       : static_cast<double>(delivered) /
+                             static_cast<double>(sent);
+    }
+  };
+  DataTransferResult sendDataBurst(
+      std::uint32_t count, sim::Duration gap = sim::Duration::milliseconds(20));
+
+ private:
+  VehicleEntity& addVehicle(mobility::Position position, double speedMps,
+                            mobility::Direction direction, bool isAttacker,
+                            attack::AttackRole role,
+                            const attack::BlackHoleConfig& attackConfig);
+  void enroll(VehicleEntity& vehicle);
+  void wireAttackerCallbacks(VehicleEntity& vehicle);
+  [[nodiscard]] attack::BlackHoleConfig makeAttackConfig(
+      common::ClusterId cluster, attack::AttackRole role);
+  void buildWorld();
+
+  ScenarioConfig config_;
+  sim::Simulator simulator_;
+  sim::SeedSequence seeds_;
+  sim::Rng rng_;  ///< placement/topology stream
+  mobility::Highway highway_;
+  std::unique_ptr<crypto::CryptoEngine> engine_;
+  std::unique_ptr<crypto::TaNetwork> taNetwork_;
+  std::unique_ptr<net::WirelessMedium> medium_;
+  std::unique_ptr<net::Backbone> backbone_;
+  std::vector<common::TaId> taIds_;
+  std::vector<std::unique_ptr<RsuEntity>> rsus_;
+  std::vector<std::unique_ptr<VehicleEntity>> vehicles_;
+  VehicleEntity* source_{nullptr};
+  VehicleEntity* destination_{nullptr};
+  VehicleEntity* primaryAttacker_{nullptr};
+  VehicleEntity* accomplice_{nullptr};
+  std::uint32_t nextNodeId_{1};
+  /// Every pseudonym issued to an attacker node (incl. renewals).
+  std::unordered_map<common::Address, common::NodeId> attackerPseudonyms_;
+};
+
+}  // namespace blackdp::scenario

@@ -1,0 +1,112 @@
+// Urban-grid world (paper §VI future work).
+//
+// A Manhattan grid with one RSU per intersection (each intersection is an
+// RSU zone), vehicles driving turn-by-turn street legs, and the same
+// trusted-authority / cluster / BlackDP stack as the highway. This is the
+// extension experiment the paper names: "the proposed detection protocol
+// does not yet account for an urban topology network" — here it does, and
+// bench/urban_detection measures how well.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/urban.hpp"
+#include "mobility/urban_mobility.hpp"
+#include "scenario/highway_scenario.hpp"
+
+namespace blackdp::scenario {
+
+struct UrbanConfig {
+  std::uint32_t blocksX{4};
+  std::uint32_t blocksY{4};
+  /// Block edge. Kept below the urban radio range so that adjacent
+  /// intersections are in range of each other and the street mesh stays
+  /// connected even when traffic momentarily clumps at intersections.
+  double blockM{500.0};
+  /// Urban DSRC range is shorter than open-highway range (buildings).
+  double transmissionRangeM{600.0};
+  std::uint32_t vehicleCount{80};
+  double minSpeedKmh{30.0};
+  double maxSpeedKmh{60.0};
+  std::uint32_t taCount{2};
+  std::uint64_t seed{1};
+  AttackType attack{AttackType::kSingle};
+  /// Grid coordinates of the (primary) attacker's home intersection.
+  std::uint32_t attackerIx{1};
+  std::uint32_t attackerIy{1};
+
+  net::MediumConfig medium{};
+  aodv::AodvConfig aodv{};
+  core::VerifierConfig verifier{};
+  core::DetectorConfig detector{};
+  crypto::TaConfig ta{};
+  sim::Duration trialTimeout{sim::Duration::seconds(60)};
+};
+
+class UrbanScenario {
+ public:
+  explicit UrbanScenario(UrbanConfig config);
+  ~UrbanScenario();
+
+  UrbanScenario(const UrbanScenario&) = delete;
+  UrbanScenario& operator=(const UrbanScenario&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const mobility::UrbanGrid& grid() const { return grid_; }
+  [[nodiscard]] crypto::TaNetwork& taNetwork() { return *taNetwork_; }
+  [[nodiscard]] net::WirelessMedium& medium() { return *medium_; }
+  [[nodiscard]] std::vector<std::unique_ptr<VehicleEntity>>& vehicles() {
+    return vehicles_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<RsuEntity>>& rsus() {
+    return rsus_;
+  }
+  [[nodiscard]] VehicleEntity& source() { return *source_; }
+  [[nodiscard]] VehicleEntity& destination() { return *destination_; }
+  [[nodiscard]] VehicleEntity* primaryAttacker() { return primaryAttacker_; }
+  [[nodiscard]] VehicleEntity* accomplice() { return accomplice_; }
+
+  [[nodiscard]] bool isAttackerPseudonym(common::Address pseudonym) const {
+    return attackerPseudonyms_.contains(pseudonym);
+  }
+
+  void runFor(sim::Duration span);
+  bool runUntil(const std::function<bool()>& predicate, sim::Duration cap);
+
+  /// Source establishes a verified route to the destination (same protocol
+  /// flow as the highway scenario).
+  [[nodiscard]] core::VerificationReport runVerification();
+
+  [[nodiscard]] DetectionSummary detectionSummary() const;
+
+ private:
+  VehicleEntity& addVehicle(std::uint32_t ix, std::uint32_t iy,
+                            bool isAttacker, attack::AttackRole role);
+  void enroll(VehicleEntity& vehicle);
+  void buildWorld();
+
+  UrbanConfig config_;
+  sim::Simulator simulator_;
+  sim::SeedSequence seeds_;
+  sim::Rng rng_;
+  mobility::UrbanGrid grid_;
+  std::unique_ptr<crypto::CryptoEngine> engine_;
+  std::unique_ptr<crypto::TaNetwork> taNetwork_;
+  std::unique_ptr<net::WirelessMedium> medium_;
+  std::unique_ptr<net::Backbone> backbone_;
+  std::vector<common::TaId> taIds_;
+  std::vector<std::unique_ptr<RsuEntity>> rsus_;
+  std::vector<std::unique_ptr<VehicleEntity>> vehicles_;
+  /// Per-vehicle turn-by-turn drivers (parallel to vehicles_).
+  std::vector<std::unique_ptr<mobility::UrbanMobilityController>> drivers_;
+  VehicleEntity* source_{nullptr};
+  VehicleEntity* destination_{nullptr};
+  VehicleEntity* primaryAttacker_{nullptr};
+  VehicleEntity* accomplice_{nullptr};
+  std::uint32_t nextNodeId_{1};
+  std::unordered_map<common::Address, common::NodeId> attackerPseudonyms_;
+};
+
+}  // namespace blackdp::scenario

@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace blackdp::sim {
+
+EventHandle Simulator::schedule(Duration delay, Callback fn) {
+  if (delay < Duration{}) delay = Duration{};
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::scheduleAt(TimePoint when, Callback fn) {
+  BDP_ASSERT_MSG(fn != nullptr, "scheduled a null callback");
+  if (when < now_) when = now_;
+  const std::uint64_t seq = nextSeq_++;
+  queue_.push(Event{when, seq, std::move(fn)});
+  return EventHandle{seq};
+}
+
+void Simulator::cancel(EventHandle handle) {
+  if (handle.valid()) cancelled_.insert(handle.seq_);
+}
+
+std::size_t Simulator::run(TimePoint until) {
+  std::size_t ran = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > until) break;
+    if (step()) ++ran;
+  }
+  if (now_ < until && queue_.empty()) {
+    // Clock does not advance past the last event when the queue drains; the
+    // caller asked to run *until* a bound, not to sleep to it.
+  }
+  return ran;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // tombstone
+    }
+    BDP_ASSERT_MSG(ev.when >= now_, "event queue went backwards in time");
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace blackdp::sim

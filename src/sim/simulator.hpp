@@ -1,0 +1,88 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded, deterministic: events at equal timestamps execute in
+// scheduling order (FIFO tie-break by sequence number). All protocol code in
+// this repository runs inside event callbacks; nothing blocks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace blackdp::sim {
+
+/// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t seq) : seq_{seq} {}
+  std::uint64_t seq_{0};
+};
+
+/// The event-driven simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after now. Negative delays clamp to zero.
+  EventHandle schedule(Duration delay, Callback fn);
+
+  /// Schedules `fn` at an absolute time (>= now; earlier clamps to now).
+  EventHandle scheduleAt(TimePoint when, Callback fn);
+
+  /// Cancels a pending event. Cancelling an already-run or already-cancelled
+  /// event is a harmless no-op (the common pattern for timeout timers).
+  void cancel(EventHandle handle);
+
+  /// Runs until the queue drains or `until` is reached (events at exactly
+  /// `until` still run). Returns the number of events executed.
+  std::size_t run(TimePoint until = TimePoint::fromUs(
+                      std::numeric_limits<std::int64_t>::max()));
+
+  /// Runs at most one event; returns false if the queue is empty.
+  bool step();
+
+  /// Number of events waiting (including cancelled tombstones).
+  [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::size_t executedEvents() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_{};
+  std::uint64_t nextSeq_{1};
+  std::size_t executed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace blackdp::sim

@@ -1,0 +1,93 @@
+// Simulated time.
+//
+// Integer microseconds keep the event queue deterministic across platforms
+// (no floating-point tie ambiguity) and are fine-grained enough for both
+// radio propagation (~µs) and protocol timeouts (~s).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace blackdp::sim {
+
+/// A span of simulated time, in microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) {
+    return Duration{us};
+  }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) {
+    return Duration{ms * 1000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) {
+    return Duration{s * 1'000'000};
+  }
+  /// Fractional seconds, rounded to the nearest microsecond.
+  [[nodiscard]] static constexpr Duration fromSeconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5))};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double toSeconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  friend constexpr bool operator==(Duration, Duration) = default;
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.us_ + b.us_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.us_ - b.us_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.us_ * k};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.us_ << "us";
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_{0};
+};
+
+/// An absolute point on the simulated clock. Time zero is simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint fromUs(std::int64_t us) {
+    return TimePoint{us};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double toSeconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  friend constexpr bool operator==(TimePoint, TimePoint) = default;
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.us_ + d.us()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::microseconds(a.us_ - b.us_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    return os << t.us_ << "us";
+  }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_{us} {}
+  std::int64_t us_{0};
+};
+
+}  // namespace blackdp::sim

@@ -1,0 +1,144 @@
+// RFC 3561 §6.9 HELLO link maintenance: beaconing, neighbour liveness,
+// expiry-driven route invalidation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aodv/agent.hpp"
+#include "net/node.hpp"
+
+namespace blackdp::aodv {
+namespace {
+
+net::MediumConfig quietMedium() {
+  net::MediumConfig c;
+  c.maxJitter = sim::Duration{};
+  return c;
+}
+
+AodvConfig helloConfig() {
+  AodvConfig c;
+  c.helloInterval = sim::Duration::milliseconds(500);
+  c.allowedHelloLoss = 2;
+  return c;
+}
+
+class HelloRig {
+ public:
+  explicit HelloRig(std::size_t count, double spacing = 800.0)
+      : medium_{simulator_, sim::Rng{7}, quietMedium()} {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto node = std::make_unique<net::BasicNode>(
+          simulator_, medium_,
+          common::NodeId{static_cast<std::uint32_t>(i + 1)},
+          mobility::LinearMotion::stationary(
+              {spacing * static_cast<double>(i), 0.0}));
+      node->setLocalAddress(common::Address{100 + i});
+      auto agent =
+          std::make_unique<AodvAgent>(simulator_, *node, helloConfig());
+      agent->startHello();
+      nodes_.push_back(std::move(node));
+      agents_.push_back(std::move(agent));
+    }
+  }
+
+  [[nodiscard]] AodvAgent& agent(std::size_t i) { return *agents_[i]; }
+  [[nodiscard]] net::BasicNode& node(std::size_t i) { return *nodes_[i]; }
+  void runFor(sim::Duration d) { simulator_.run(simulator_.now() + d); }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+ private:
+  sim::Simulator simulator_;
+  net::WirelessMedium medium_;
+  std::vector<std::unique_ptr<net::BasicNode>> nodes_;
+  std::vector<std::unique_ptr<AodvAgent>> agents_;
+};
+
+TEST(HelloTest, DisabledByDefault) {
+  sim::Simulator simulator;
+  net::WirelessMedium medium{simulator, sim::Rng{1}, quietMedium()};
+  net::BasicNode node{simulator, medium, common::NodeId{1},
+                      mobility::LinearMotion::stationary({0.0, 0.0})};
+  node.setLocalAddress(common::Address{1});
+  AodvAgent agent{simulator, node};  // default config: no hello
+  agent.startHello();
+  simulator.run(simulator.now() + sim::Duration::seconds(5));
+  EXPECT_EQ(agent.stats().hellosSent, 0u);
+}
+
+TEST(HelloTest, BeaconsPeriodically) {
+  HelloRig rig{1};
+  rig.runFor(sim::Duration::milliseconds(2'600));
+  // t = 0, 500, 1000, 1500, 2000, 2500 → 6 beacons.
+  EXPECT_EQ(rig.agent(0).stats().hellosSent, 6u);
+}
+
+TEST(HelloTest, NeighboursDiscoverEachOther) {
+  HelloRig rig{3};
+  rig.runFor(sim::Duration::seconds(2));
+  EXPECT_TRUE(rig.agent(0).isNeighbourAlive(common::Address{101}));
+  EXPECT_TRUE(rig.agent(1).isNeighbourAlive(common::Address{100}));
+  EXPECT_TRUE(rig.agent(1).isNeighbourAlive(common::Address{102}));
+  // 0 and 2 are 1600 m apart: not neighbours.
+  EXPECT_FALSE(rig.agent(0).isNeighbourAlive(common::Address{102}));
+}
+
+TEST(HelloTest, HelloInstallsOneHopRoute) {
+  HelloRig rig{2};
+  rig.runFor(sim::Duration::seconds(1));
+  const auto route = rig.agent(0).routingTable().activeRoute(
+      common::Address{101}, rig.simulator().now());
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->nextHop, common::Address{101});
+  EXPECT_EQ(route->hopCount, 1);
+}
+
+TEST(HelloTest, SilentNeighbourExpiresAndRoutesDie) {
+  HelloRig rig{2};
+  rig.runFor(sim::Duration::seconds(2));
+  ASSERT_TRUE(rig.agent(0).isNeighbourAlive(common::Address{101}));
+
+  rig.node(1).detachFromMedium();  // vanishes silently
+  rig.runFor(sim::Duration::seconds(3));  // > allowedHelloLoss * interval
+  EXPECT_FALSE(rig.agent(0).isNeighbourAlive(common::Address{101}));
+  EXPECT_GE(rig.agent(0).stats().neighboursExpired, 1u);
+  EXPECT_FALSE(rig.agent(0)
+                   .routingTable()
+                   .activeRoute(common::Address{101}, rig.simulator().now())
+                   .has_value());
+}
+
+TEST(HelloTest, AnyTrafficRefreshesLiveness) {
+  HelloRig rig{2};
+  rig.runFor(sim::Duration::seconds(1));
+  // Even without its beacons, a chatty neighbour stays alive.
+  for (int i = 0; i < 10; ++i) {
+    auto rreq = std::make_shared<RouteRequest>();
+    rreq->rreqId = common::RreqId{static_cast<std::uint32_t>(100 + i)};
+    rreq->origin = common::Address{101};
+    rreq->destination = common::Address{999};
+    rreq->ttl = 1;
+    rig.node(1).broadcast(rreq);
+    rig.runFor(sim::Duration::milliseconds(200));
+  }
+  EXPECT_TRUE(rig.agent(0).isNeighbourAlive(common::Address{101}));
+}
+
+TEST(HelloTest, StartHelloIsIdempotent) {
+  HelloRig rig{1};
+  rig.agent(0).startHello();  // second call must not double the beacons
+  rig.runFor(sim::Duration::milliseconds(1'100));
+  EXPECT_EQ(rig.agent(0).stats().hellosSent, 3u);  // t=0, 500, 1000
+}
+
+TEST(HelloTest, NeighbourCountTracksTopology) {
+  HelloRig rig{4, 600.0};  // 0-600-1200-1800: each inner node has 2
+  rig.runFor(sim::Duration::seconds(2));
+  EXPECT_EQ(rig.agent(0).neighbourCount(), 1u);
+  EXPECT_EQ(rig.agent(1).neighbourCount(), 2u);
+  EXPECT_EQ(rig.agent(2).neighbourCount(), 2u);
+  EXPECT_EQ(rig.agent(3).neighbourCount(), 1u);
+}
+
+}  // namespace
+}  // namespace blackdp::aodv

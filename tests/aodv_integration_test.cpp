@@ -1,0 +1,422 @@
+// AODV agent integration: discovery, forwarding, maintenance on small
+// line topologies driven through the real medium and event kernel.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aodv/agent.hpp"
+#include "crypto/trusted_authority.hpp"
+#include "net/node.hpp"
+
+namespace blackdp::aodv {
+namespace {
+
+/// N stationary nodes on a line, `spacing` metres apart (range 1000 m), each
+/// with an honest AODV agent. Address of node i is 100 + i.
+class LineTopology {
+ public:
+  LineTopology(std::size_t count, double spacing = 800.0)
+      : medium_{simulator_, sim::Rng{7}, mediumConfig()} {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto node = std::make_unique<net::BasicNode>(
+          simulator_, medium_, common::NodeId{static_cast<std::uint32_t>(i + 1)},
+          mobility::LinearMotion::stationary(
+              {spacing * static_cast<double>(i), 0.0}));
+      node->setLocalAddress(common::Address{100 + i});
+      auto agent = std::make_unique<AodvAgent>(simulator_, *node);
+      nodes_.push_back(std::move(node));
+      agents_.push_back(std::move(agent));
+    }
+  }
+
+  [[nodiscard]] common::Address address(std::size_t i) const {
+    return common::Address{100 + i};
+  }
+  [[nodiscard]] AodvAgent& agent(std::size_t i) { return *agents_[i]; }
+  [[nodiscard]] net::BasicNode& node(std::size_t i) { return *nodes_[i]; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+  /// Runs discovery to completion; returns the callback's verdict.
+  bool discover(std::size_t from, std::size_t to) {
+    bool done = false;
+    bool verdict = false;
+    agents_[from]->findRoute(address(to), [&](bool ok) {
+      done = true;
+      verdict = ok;
+    });
+    simulator_.run(simulator_.now() + sim::Duration::seconds(10));
+    EXPECT_TRUE(done);
+    return verdict;
+  }
+
+ private:
+  static net::MediumConfig mediumConfig() {
+    net::MediumConfig c;
+    c.maxJitter = sim::Duration{};
+    return c;
+  }
+
+  sim::Simulator simulator_;
+  net::WirelessMedium medium_;
+  std::vector<std::unique_ptr<net::BasicNode>> nodes_;
+  std::vector<std::unique_ptr<AodvAgent>> agents_;
+};
+
+TEST(AodvIntegrationTest, DirectNeighbourDiscovery) {
+  LineTopology net{2};
+  EXPECT_TRUE(net.discover(0, 1));
+  const auto route =
+      net.agent(0).routingTable().activeRoute(net.address(1),
+                                              net.simulator().now());
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->nextHop, net.address(1));
+  EXPECT_EQ(route->hopCount, 1);
+}
+
+TEST(AodvIntegrationTest, MultiHopDiscoveryInstallsHopCounts) {
+  LineTopology net{5};
+  EXPECT_TRUE(net.discover(0, 4));
+  const auto route =
+      net.agent(0).routingTable().activeRoute(net.address(4),
+                                              net.simulator().now());
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->nextHop, net.address(1));
+  EXPECT_EQ(route->hopCount, 4);
+}
+
+TEST(AodvIntegrationTest, ReversePathInstalledAtDestination) {
+  LineTopology net{4};
+  EXPECT_TRUE(net.discover(0, 3));
+  const auto back =
+      net.agent(3).routingTable().activeRoute(net.address(0),
+                                              net.simulator().now());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->nextHop, net.address(2));
+}
+
+TEST(AodvIntegrationTest, DiscoveryOfUnknownDestinationFails) {
+  LineTopology net{3};
+  bool done = false;
+  bool verdict = true;
+  net.agent(0).findRoute(common::Address{9999}, [&](bool ok) {
+    done = true;
+    verdict = ok;
+  });
+  net.simulator().run(net.simulator().now() + sim::Duration::seconds(30));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(verdict);
+  EXPECT_EQ(net.agent(0).stats().discoveriesFailed, 1u);
+  // Retries happened: one initial flood + rreqRetries more.
+  EXPECT_EQ(net.agent(0).stats().rreqOriginated, 3u);
+}
+
+TEST(AodvIntegrationTest, ExistingRouteShortCircuitsDiscovery) {
+  LineTopology net{3};
+  EXPECT_TRUE(net.discover(0, 2));
+  const auto before = net.agent(0).stats().rreqOriginated;
+  EXPECT_TRUE(net.discover(0, 2));
+  EXPECT_EQ(net.agent(0).stats().rreqOriginated, before);  // no new flood
+}
+
+TEST(AodvIntegrationTest, ConcurrentCallbacksShareOneDiscovery) {
+  LineTopology net{3};
+  int called = 0;
+  net.agent(0).findRoute(net.address(2), [&](bool ok) {
+    EXPECT_TRUE(ok);
+    ++called;
+  });
+  net.agent(0).findRoute(net.address(2), [&](bool ok) {
+    EXPECT_TRUE(ok);
+    ++called;
+  });
+  net.simulator().run(net.simulator().now() + sim::Duration::seconds(10));
+  EXPECT_EQ(called, 2);
+  EXPECT_EQ(net.agent(0).stats().rreqOriginated, 1u);
+}
+
+TEST(AodvIntegrationTest, DataFlowsEndToEnd) {
+  LineTopology net{4};
+  EXPECT_TRUE(net.discover(0, 3));
+
+  int delivered = 0;
+  net.agent(3).setDeliveryHandler(
+      [&](const DataPacket& packet, const net::Frame&) {
+        EXPECT_EQ(packet.origin, net.address(0));
+        EXPECT_EQ(packet.hopsTraversed, 2);  // two intermediate forwards
+        ++delivered;
+      });
+  EXPECT_TRUE(net.agent(0).sendData(net.address(3)));
+  net.simulator().run(net.simulator().now() + sim::Duration::seconds(1));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.agent(1).stats().dataForwarded, 1u);
+  EXPECT_EQ(net.agent(2).stats().dataForwarded, 1u);
+  EXPECT_EQ(net.agent(3).stats().dataDelivered, 1u);
+}
+
+TEST(AodvIntegrationTest, SendDataWithoutRouteReturnsFalse) {
+  LineTopology net{2};
+  EXPECT_FALSE(net.agent(0).sendData(common::Address{12345}));
+  EXPECT_EQ(net.agent(0).stats().dataOriginated, 0u);
+}
+
+TEST(AodvIntegrationTest, InnerPayloadRidesDataPacket) {
+  LineTopology net{3};
+  EXPECT_TRUE(net.discover(0, 2));
+  const net::PayloadPtr inner = std::make_shared<RouteError>();
+  bool sawInner = false;
+  net.agent(2).setDeliveryHandler(
+      [&](const DataPacket& packet, const net::Frame&) {
+        sawInner = packet.inner != nullptr &&
+                   dynamic_cast<const RouteError*>(packet.inner.get());
+      });
+  EXPECT_TRUE(net.agent(0).sendData(net.address(2), inner));
+  net.simulator().run(net.simulator().now() + sim::Duration::seconds(1));
+  EXPECT_TRUE(sawInner);
+}
+
+TEST(AodvIntegrationTest, BrokenPathDropsDataAndSendsRerr) {
+  LineTopology net{4};
+  EXPECT_TRUE(net.discover(0, 3));
+  // Node 2 loses its forward route: the chain 1→2 still works, but node 2
+  // cannot reach 3 anymore (3 left the area).
+  net.node(3).detachFromMedium();
+  net.agent(2).invalidateRoute(net.address(3));
+
+  EXPECT_TRUE(net.agent(0).sendData(net.address(3)));
+  net.simulator().run(net.simulator().now() + sim::Duration::seconds(1));
+  EXPECT_GE(net.agent(2).stats().rerrSent + net.agent(1).stats().rerrSent, 1u);
+  // The RERR invalidates the source's route.
+  EXPECT_FALSE(net.agent(0)
+                   .routingTable()
+                   .activeRoute(net.address(3), net.simulator().now())
+                   .has_value());
+}
+
+TEST(AodvIntegrationTest, IntermediateWithFreshRouteReplies) {
+  LineTopology net{4};
+  // Prime node 1 with a route to 3 (via a discovery from 1).
+  EXPECT_TRUE(net.discover(1, 3));
+  const auto floodsBefore = net.agent(3).stats().rrepOriginated;
+  // Now 0 discovers 3; node 1 can answer from its table (§6.6.2).
+  EXPECT_TRUE(net.discover(0, 3));
+  const auto intermediateReplies = net.agent(1).stats().rrepOriginated;
+  EXPECT_GE(intermediateReplies, 1u);
+  (void)floodsBefore;
+}
+
+TEST(AodvIntegrationTest, RrepObserverSeesRepliesAtOriginOnly) {
+  LineTopology net{3};
+  int observed = 0;
+  net.agent(0).setRrepObserver(
+      [&](const RouteReply& rrep, const net::Frame&) {
+        EXPECT_EQ(rrep.destination, net.address(2));
+        ++observed;
+      });
+  int observedAtIntermediate = 0;
+  net.agent(1).setRrepObserver(
+      [&](const RouteReply&, const net::Frame&) { ++observedAtIntermediate; });
+  EXPECT_TRUE(net.discover(0, 2));
+  EXPECT_GE(observed, 1);
+  EXPECT_EQ(observedAtIntermediate, 0);  // forwarding, not originating
+}
+
+TEST(AodvIntegrationTest, RrepFilterRejectingEverythingBlocksDiscovery) {
+  LineTopology net{3};
+  net.agent(0).setRrepFilter(
+      [](const RouteReply&, const net::Frame&) { return false; });
+  EXPECT_FALSE(net.discover(0, 2));
+  EXPECT_EQ(net.agent(0).stats().discoveriesFailed, 1u);
+}
+
+TEST(AodvIntegrationTest, RrepFilterOnReplierStillAllowsCachedRelay) {
+  // Filtering a replier rejects RREPs *it generates*; an honest intermediate
+  // with a cached route may still answer on its behalf (its reply carries
+  // its own replier identity). Full isolation needs every node to filter —
+  // which is exactly what the CH's revocation announcement achieves.
+  LineTopology net{3};
+  net.agent(0).setRrepFilter(
+      [&](const RouteReply& rrep, const net::Frame&) {
+        return rrep.replier != net.address(2);
+      });
+  const bool found = net.discover(0, 2);
+  if (found) {
+    // Route must have been installed from an intermediate's reply, after
+    // the destination's own reply was rejected at least once.
+    const auto route = net.agent(0).routingTable().activeRoute(
+        net.address(2), net.simulator().now());
+    ASSERT_TRUE(route.has_value());
+    EXPECT_GE(net.agent(1).stats().rrepOriginated, 1u);
+  }
+}
+
+TEST(AodvIntegrationTest, TtlBoundsFloodRadius) {
+  AodvConfig config;
+  config.initialTtl = 2;  // reaches node 2, dies before node 3
+
+  sim::Simulator simulator;
+  net::MediumConfig mc;
+  mc.maxJitter = sim::Duration{};
+  net::WirelessMedium medium{simulator, sim::Rng{7}, mc};
+  std::vector<std::unique_ptr<net::BasicNode>> nodes;
+  std::vector<std::unique_ptr<AodvAgent>> agents;
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto node = std::make_unique<net::BasicNode>(
+        simulator, medium, common::NodeId{static_cast<std::uint32_t>(i + 1)},
+        mobility::LinearMotion::stationary(
+            {800.0 * static_cast<double>(i), 0.0}));
+    node->setLocalAddress(common::Address{100 + i});
+    agents.push_back(std::make_unique<AodvAgent>(simulator, *node, config));
+    nodes.push_back(std::move(node));
+  }
+
+  bool done = false;
+  bool verdict = true;
+  agents[0]->findRoute(common::Address{104}, [&](bool ok) {
+    done = true;
+    verdict = ok;
+  });
+  simulator.run(simulator.now() + sim::Duration::seconds(30));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(verdict);  // destination out of TTL reach
+  EXPECT_EQ(agents[4]->stats().rrepOriginated, 0u);
+}
+
+TEST(AodvIntegrationTest, UnicastProbeToHonestNodeStaysSilent) {
+  // The detector's RREQ₁ premise: TTL-1 unicast for a fake destination gets
+  // no answer and no rebroadcast from an honest node.
+  LineTopology net{3};
+  auto rreq = std::make_shared<RouteRequest>();
+  rreq->rreqId = common::RreqId{77};
+  rreq->origin = common::Address{555};
+  rreq->destination = common::Address{666};  // does not exist
+  rreq->ttl = 1;
+  net.node(0).sendFromAlias(common::Address{555}, net.address(1), rreq);
+  net.simulator().run(net.simulator().now() + sim::Duration::seconds(2));
+  EXPECT_EQ(net.agent(1).stats().rrepOriginated, 0u);
+  EXPECT_EQ(net.agent(1).stats().rreqRebroadcast, 0u);
+}
+
+TEST(AodvIntegrationTest, CredentialsProduceVerifiableSecureRreps) {
+  LineTopology net{3};
+
+  sim::Simulator taSim;
+  crypto::CryptoEngine engine{5};
+  crypto::TaNetwork ta{taSim, engine};
+  const common::TaId taId = ta.addAuthority();
+
+  // Destination signs its replies. (Enrollment pseudonym differs from the
+  // topology address, so rebind the node's address to the certificate.)
+  const crypto::Enrollment enrollment =
+      ta.enroll(taId, common::NodeId{3}).value();
+  net.node(2).setLocalAddress(enrollment.certificate.pseudonym);
+  net.agent(2).setCredentials({enrollment.certificate, enrollment.privateKey},
+                              &engine);
+
+  std::optional<RouteReply> captured;
+  net.agent(0).setRrepObserver(
+      [&](const RouteReply& rrep, const net::Frame&) { captured = rrep; });
+
+  bool done = false;
+  net.agent(0).findRoute(enrollment.certificate.pseudonym,
+                         [&](bool) { done = true; });
+  net.simulator().run(net.simulator().now() + sim::Duration::seconds(10));
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(captured.has_value());
+  ASSERT_TRUE(captured->envelope.has_value());
+
+  const common::Bytes body = captured->canonicalBytes();
+  EXPECT_TRUE(ta.validateCertificate(captured->envelope->certificate,
+                                     taSim.now()));
+  EXPECT_TRUE(engine.verify(
+      captured->envelope->certificate.subjectKey,
+      std::span<const std::uint8_t>{body.data(), body.size()},
+      captured->envelope->signature));
+}
+
+TEST(AodvIntegrationTest, OwnSequenceNumberGrowsPerDiscovery) {
+  LineTopology net{2};
+  const SeqNum before = net.agent(0).ownSeq();
+  EXPECT_TRUE(net.discover(0, 1));
+  EXPECT_TRUE(seqNewer(net.agent(0).ownSeq(), before));
+}
+
+TEST(AodvIntegrationTest, ExpandingRingFindsNearDestinationCheaply) {
+  // RFC 3561 §6.4: a near destination is found with a small-TTL flood; far
+  // nodes never rebroadcast it.
+  AodvConfig config;
+  config.expandingRing = true;
+  config.ttlStart = 1;
+  config.ttlIncrement = 2;
+
+  sim::Simulator simulator;
+  net::MediumConfig mc;
+  mc.maxJitter = sim::Duration{};
+  net::WirelessMedium medium{simulator, sim::Rng{7}, mc};
+  std::vector<std::unique_ptr<net::BasicNode>> nodes;
+  std::vector<std::unique_ptr<AodvAgent>> agents;
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto node = std::make_unique<net::BasicNode>(
+        simulator, medium, common::NodeId{static_cast<std::uint32_t>(i + 1)},
+        mobility::LinearMotion::stationary(
+            {800.0 * static_cast<double>(i), 0.0}));
+    node->setLocalAddress(common::Address{100 + i});
+    agents.push_back(std::make_unique<AodvAgent>(simulator, *node, config));
+    nodes.push_back(std::move(node));
+  }
+
+  bool found = false;
+  agents[0]->findRoute(common::Address{101}, [&](bool ok) { found = ok; });
+  simulator.run(simulator.now() + sim::Duration::seconds(5));
+  EXPECT_TRUE(found);
+  // TTL 1 reached the neighbour; the tail of the line never saw the flood.
+  EXPECT_EQ(agents[3]->stats().rreqRebroadcast, 0u);
+  EXPECT_EQ(agents[4]->stats().rreqRebroadcast, 0u);
+}
+
+TEST(AodvIntegrationTest, ExpandingRingWidensToFarDestination) {
+  AodvConfig config;
+  config.expandingRing = true;
+  config.ttlStart = 1;
+  config.ttlIncrement = 2;
+  config.rreqRetries = 3;  // 1 → 3 → 5 → 7 rings
+
+  sim::Simulator simulator;
+  net::MediumConfig mc;
+  mc.maxJitter = sim::Duration{};
+  net::WirelessMedium medium{simulator, sim::Rng{7}, mc};
+  std::vector<std::unique_ptr<net::BasicNode>> nodes;
+  std::vector<std::unique_ptr<AodvAgent>> agents;
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto node = std::make_unique<net::BasicNode>(
+        simulator, medium, common::NodeId{static_cast<std::uint32_t>(i + 1)},
+        mobility::LinearMotion::stationary(
+            {800.0 * static_cast<double>(i), 0.0}));
+    node->setLocalAddress(common::Address{100 + i});
+    agents.push_back(std::make_unique<AodvAgent>(simulator, *node, config));
+    nodes.push_back(std::move(node));
+  }
+
+  bool done = false;
+  bool found = false;
+  agents[0]->findRoute(common::Address{105}, [&](bool ok) {
+    done = true;
+    found = ok;
+  });
+  simulator.run(simulator.now() + sim::Duration::seconds(30));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(found);  // 5 hops away: found once the ring reaches TTL 5+
+  // More than one flood was needed.
+  EXPECT_GE(agents[0]->stats().rreqOriginated, 3u);
+}
+
+TEST(AodvIntegrationTest, FloodDedupBoundsRebroadcasts) {
+  LineTopology net{6, 400.0};  // dense: everyone hears several copies
+  EXPECT_TRUE(net.discover(0, 5));
+  for (std::size_t i = 1; i < 5; ++i) {
+    // Each node rebroadcast each flood at most once.
+    EXPECT_LE(net.agent(i).stats().rreqRebroadcast, 1u) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace blackdp::aodv

@@ -1,0 +1,245 @@
+// AODV sequence numbers, routing-table rules, and message canonical bytes.
+#include <gtest/gtest.h>
+
+#include "aodv/messages.hpp"
+#include "aodv/routing_table.hpp"
+#include "aodv/seqnum.hpp"
+
+namespace blackdp::aodv {
+namespace {
+
+// ----------------------------------------------------------------- seqnum
+
+TEST(SeqNumTest, BasicOrdering) {
+  EXPECT_TRUE(seqNewer(2, 1));
+  EXPECT_FALSE(seqNewer(1, 2));
+  EXPECT_FALSE(seqNewer(5, 5));
+}
+
+TEST(SeqNumTest, AtLeastIncludesEqual) {
+  EXPECT_TRUE(seqAtLeast(5, 5));
+  EXPECT_TRUE(seqAtLeast(6, 5));
+  EXPECT_FALSE(seqAtLeast(4, 5));
+}
+
+TEST(SeqNumTest, RolloverComparesCircularly) {
+  // RFC 3561 §6.1: signed 32-bit rollover arithmetic.
+  const SeqNum nearMax = 0xFFFFFFF0u;
+  EXPECT_TRUE(seqNewer(3, nearMax));   // wrapped value is fresher
+  EXPECT_FALSE(seqNewer(nearMax, 3));
+}
+
+class SeqNumProperty : public ::testing::TestWithParam<SeqNum> {};
+
+TEST_P(SeqNumProperty, SuccessorIsAlwaysNewer) {
+  const SeqNum s = GetParam();
+  EXPECT_TRUE(seqNewer(s + 1, s));
+  EXPECT_FALSE(seqNewer(s, s + 1));
+  EXPECT_TRUE(seqAtLeast(s + 1, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SeqNumProperty,
+                         ::testing::Values(0u, 1u, 100u, 0x7FFFFFFFu,
+                                           0x80000000u, 0xFFFFFFFFu));
+
+// ----------------------------------------------------------- routing table
+
+RouteEntry makeEntry(std::uint64_t dest, std::uint64_t nextHop,
+                     std::uint8_t hops, SeqNum seq, std::int64_t expiresUs,
+                     bool validSeq = true) {
+  RouteEntry e;
+  e.destination = common::Address{dest};
+  e.nextHop = common::Address{nextHop};
+  e.hopCount = hops;
+  e.destSeq = seq;
+  e.validSeq = validSeq;
+  e.expiresAt = sim::TimePoint::fromUs(expiresUs);
+  return e;
+}
+
+const sim::TimePoint kNow = sim::TimePoint::fromUs(0);
+
+TEST(RoutingTableTest, InstallAndLookup) {
+  RoutingTable table;
+  EXPECT_TRUE(table.update(makeEntry(1, 2, 1, 10, 1000), kNow));
+  const auto route = table.activeRoute(common::Address{1}, kNow);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->nextHop, common::Address{2});
+  EXPECT_EQ(route->destSeq, 10u);
+}
+
+TEST(RoutingTableTest, MissingDestination) {
+  RoutingTable table;
+  EXPECT_FALSE(table.activeRoute(common::Address{9}, kNow).has_value());
+  EXPECT_EQ(table.find(common::Address{9}), nullptr);
+}
+
+TEST(RoutingTableTest, FresherSequenceNumberWins) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 10, 1000), kNow);
+  EXPECT_TRUE(table.update(makeEntry(1, 3, 5, 11, 1000), kNow));
+  EXPECT_EQ(table.activeRoute(common::Address{1}, kNow)->nextHop,
+            common::Address{3});
+}
+
+TEST(RoutingTableTest, StalerSequenceNumberLoses) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 10, 1000), kNow);
+  EXPECT_FALSE(table.update(makeEntry(1, 3, 1, 9, 1000), kNow));
+  EXPECT_EQ(table.activeRoute(common::Address{1}, kNow)->nextHop,
+            common::Address{2});
+}
+
+TEST(RoutingTableTest, EqualSeqFewerHopsWins) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 5, 10, 1000), kNow);
+  EXPECT_TRUE(table.update(makeEntry(1, 3, 2, 10, 1000), kNow));
+  EXPECT_EQ(table.activeRoute(common::Address{1}, kNow)->hopCount, 2);
+}
+
+TEST(RoutingTableTest, EqualSeqMoreHopsLoses) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 2, 10, 1000), kNow);
+  EXPECT_FALSE(table.update(makeEntry(1, 3, 5, 10, 1000), kNow));
+}
+
+TEST(RoutingTableTest, AnythingReplacesExpiredRoute) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 100, 50), kNow);
+  const sim::TimePoint later = sim::TimePoint::fromUs(60);
+  EXPECT_TRUE(table.update(makeEntry(1, 3, 9, 1, 1000), later));
+}
+
+TEST(RoutingTableTest, AnythingReplacesInvalidRoute) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 100, 1000), kNow);
+  table.invalidate(common::Address{1});
+  EXPECT_TRUE(table.update(makeEntry(1, 3, 9, 1, 1000), kNow));
+  EXPECT_TRUE(table.activeRoute(common::Address{1}, kNow).has_value());
+}
+
+TEST(RoutingTableTest, ValidSeqBeatsUnknownSeq) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 0, 1000, /*validSeq=*/false), kNow);
+  EXPECT_TRUE(table.update(makeEntry(1, 3, 4, 7, 1000, true), kNow));
+  EXPECT_TRUE(table.activeRoute(common::Address{1}, kNow)->validSeq);
+}
+
+TEST(RoutingTableTest, InvalidateBumpsSequenceNumber) {
+  // RFC 3561 §6.11: stale information must not resurrect a dead route.
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 10, 1000), kNow);
+  table.invalidate(common::Address{1});
+  const RouteEntry* entry = table.find(common::Address{1});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->valid);
+  EXPECT_EQ(entry->destSeq, 11u);
+  EXPECT_FALSE(table.activeRoute(common::Address{1}, kNow).has_value());
+}
+
+TEST(RoutingTableTest, InvalidateUnknownIsNoOp) {
+  RoutingTable table;
+  EXPECT_NO_THROW(table.invalidate(common::Address{9}));
+}
+
+TEST(RoutingTableTest, ExpiredRouteIsNotActive) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 10, 100), kNow);
+  EXPECT_TRUE(table.activeRoute(common::Address{1},
+                                sim::TimePoint::fromUs(99)).has_value());
+  EXPECT_FALSE(table.activeRoute(common::Address{1},
+                                 sim::TimePoint::fromUs(100)).has_value());
+}
+
+TEST(RoutingTableTest, PurgeExpiredRemovesEntries) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 10, 100), kNow);
+  (void)table.update(makeEntry(2, 3, 1, 10, 500), kNow);
+  EXPECT_EQ(table.purgeExpired(sim::TimePoint::fromUs(200)), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.contains(common::Address{1}));
+  EXPECT_TRUE(table.contains(common::Address{2}));
+}
+
+TEST(RoutingTableTest, InstallOverwritesUnconditionally) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 100, 1000), kNow);
+  table.install(makeEntry(1, 9, 9, 1, 1000));
+  EXPECT_EQ(table.activeRoute(common::Address{1}, kNow)->nextHop,
+            common::Address{9});
+}
+
+TEST(RoutingTableTest, SnapshotListsEverything) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 10, 1000), kNow);
+  (void)table.update(makeEntry(2, 3, 1, 10, 1000), kNow);
+  EXPECT_EQ(table.snapshot().size(), 2u);
+}
+
+// The black hole premise: a forged high sequence number always captures the
+// route, regardless of the honest route's hop count.
+TEST(RoutingTableTest, ForgedHighSeqCapturesRoute) {
+  RoutingTable table;
+  (void)table.update(makeEntry(1, 2, 1, 75, 1000), kNow);   // honest, 1 hop
+  EXPECT_TRUE(table.update(makeEntry(1, 66, 4, 200, 1000), kNow));  // forged
+  EXPECT_EQ(table.activeRoute(common::Address{1}, kNow)->nextHop,
+            common::Address{66});
+}
+
+// ---------------------------------------------------------------- messages
+
+TEST(MessagesTest, RreqCanonicalBytesCoverIdentityFields) {
+  RouteRequest a;
+  a.rreqId = common::RreqId{1};
+  a.origin = common::Address{10};
+  a.destination = common::Address{20};
+  RouteRequest b = a;
+  EXPECT_EQ(a.canonicalBytes(), b.canonicalBytes());
+  b.destSeq = 99;
+  EXPECT_NE(a.canonicalBytes(), b.canonicalBytes());
+}
+
+TEST(MessagesTest, RrepCanonicalBytesExcludeMutableHopCount) {
+  RouteReply a;
+  a.destSeq = 42;
+  a.replier = common::Address{7};
+  RouteReply b = a;
+  b.hopCount = 9;  // incremented at every forwarding hop
+  EXPECT_EQ(a.canonicalBytes(), b.canonicalBytes());
+}
+
+TEST(MessagesTest, RrepCanonicalBytesCoverSignedFields) {
+  RouteReply a;
+  a.destSeq = 42;
+  RouteReply b = a;
+  b.destSeq = 43;
+  EXPECT_NE(a.canonicalBytes(), b.canonicalBytes());
+  RouteReply c = a;
+  c.claimedNextHop = common::Address{5};
+  EXPECT_NE(a.canonicalBytes(), c.canonicalBytes());
+}
+
+TEST(MessagesTest, TypeNamesAreStable) {
+  EXPECT_EQ(RouteRequest{}.typeName(), "rreq");
+  EXPECT_EQ(RouteReply{}.typeName(), "rrep");
+  EXPECT_EQ(RouteError{}.typeName(), "rerr");
+  EXPECT_EQ(DataPacket{}.typeName(), "data");
+}
+
+TEST(MessagesTest, SecureRrepIsLargerOnAir) {
+  RouteReply plain;
+  RouteReply secure;
+  secure.envelope = SecureEnvelope{};
+  EXPECT_GT(secure.sizeBytes(), plain.sizeBytes());
+}
+
+TEST(MessagesTest, DataPacketSizeIncludesInner) {
+  DataPacket outer;
+  outer.bodyBytes = 0;
+  const std::uint32_t bare = outer.sizeBytes();
+  outer.inner = std::make_shared<RouteRequest>();
+  EXPECT_GT(outer.sizeBytes(), bare);
+}
+
+}  // namespace
+}  // namespace blackdp::aodv

@@ -1,0 +1,336 @@
+// Black hole agent behaviour: forged replies, data dropping, fake Hello
+// replies, evasion modes, cooperative roles.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/black_hole_agent.hpp"
+#include "core/messages.hpp"
+#include "net/node.hpp"
+
+namespace blackdp::attack {
+namespace {
+
+net::MediumConfig quietMedium() {
+  net::MediumConfig c;
+  c.maxJitter = sim::Duration{};
+  return c;
+}
+
+/// Victim + attacker, two nodes in range. The "victim" here is a bare node
+/// that records frames — the tests drive the attacker with crafted RREQs.
+class AttackRig {
+ public:
+  explicit AttackRig(AttackRole role, BlackHoleConfig config = {})
+      : medium_{simulator_, sim::Rng{5}, quietMedium()} {
+    victim_ = std::make_unique<net::BasicNode>(
+        simulator_, medium_, common::NodeId{1},
+        mobility::LinearMotion::stationary({0.0, 0.0}));
+    victim_->setLocalAddress(common::Address{10});
+    victim_->addHandler([this](const net::Frame& frame) {
+      received_.push_back(frame);
+      return true;
+    });
+
+    attackerNode_ = std::make_unique<net::BasicNode>(
+        simulator_, medium_, common::NodeId{2},
+        mobility::LinearMotion::stationary({500.0, 0.0}));
+    attackerNode_->setLocalAddress(common::Address{66});
+    agent_ = std::make_unique<BlackHoleAgent>(simulator_, *attackerNode_,
+                                              role, config, sim::Rng{9});
+  }
+
+  /// Broadcasts an RREQ from the victim; returns RREPs that came back.
+  std::vector<aodv::RouteReply> flood(aodv::SeqNum destSeq, bool unknownSeq,
+                                      std::uint32_t rreqId = 1,
+                                      bool inquire = false) {
+    auto rreq = std::make_shared<aodv::RouteRequest>();
+    rreq->rreqId = common::RreqId{rreqId};
+    rreq->origin = common::Address{10};
+    rreq->originSeq = 1;
+    rreq->destination = common::Address{999};
+    rreq->destSeq = destSeq;
+    rreq->unknownDestSeq = unknownSeq;
+    rreq->inquireNextHop = inquire;
+    victim_->broadcast(rreq);
+    run();
+    return collectRreps();
+  }
+
+  /// Unicast probe (what a CH detector sends).
+  std::vector<aodv::RouteReply> probe(aodv::SeqNum destSeq, bool unknownSeq,
+                                      std::uint32_t rreqId,
+                                      bool inquire = false) {
+    auto rreq = std::make_shared<aodv::RouteRequest>();
+    rreq->rreqId = common::RreqId{rreqId};
+    rreq->origin = common::Address{10};
+    rreq->originSeq = 1;
+    rreq->destination = common::Address{999};
+    rreq->destSeq = destSeq;
+    rreq->unknownDestSeq = unknownSeq;
+    rreq->ttl = 1;
+    rreq->inquireNextHop = inquire;
+    victim_->sendTo(common::Address{66}, rreq);
+    run();
+    return collectRreps();
+  }
+
+  void run() { simulator_.run(simulator_.now() + sim::Duration::seconds(1)); }
+
+  std::vector<aodv::RouteReply> collectRreps() {
+    std::vector<aodv::RouteReply> out;
+    for (const net::Frame& frame : received_) {
+      if (const auto* rrep = net::payloadAs<aodv::RouteReply>(frame.payload)) {
+        out.push_back(*rrep);
+      }
+    }
+    received_.clear();
+    return out;
+  }
+
+  sim::Simulator simulator_;
+  net::WirelessMedium medium_;
+  std::unique_ptr<net::BasicNode> victim_;
+  std::unique_ptr<net::BasicNode> attackerNode_;
+  std::unique_ptr<BlackHoleAgent> agent_;
+  std::vector<net::Frame> received_;
+};
+
+TEST(BlackHoleTest, ForgesHighSequenceNumberReply) {
+  AttackRig rig{AttackRole::kSingle};
+  const auto rreps = rig.flood(0, /*unknownSeq=*/true);
+  ASSERT_GE(rreps.size(), 1u);
+  EXPECT_EQ(rreps[0].destSeq, 200u);  // boost over the unknown baseline
+  EXPECT_EQ(rreps[0].replier, common::Address{66});
+  EXPECT_EQ(rreps[0].destination, common::Address{999});
+}
+
+TEST(BlackHoleTest, ForgedSeqTopsRequestedSeq) {
+  AttackRig rig{AttackRole::kSingle};
+  const auto rreps = rig.flood(500, /*unknownSeq=*/false);
+  ASSERT_GE(rreps.size(), 1u);
+  EXPECT_EQ(rreps[0].destSeq, 700u);
+  EXPECT_TRUE(aodv::seqNewer(rreps[0].destSeq, 500));
+}
+
+TEST(BlackHoleTest, RepliesToProbesViolatingAodv) {
+  // The detection premise: RREP₂'s sequence number exceeds RREQ₂'s.
+  AttackRig rig{AttackRole::kSingle};
+  const auto rrep1 = rig.probe(0, true, 1);
+  ASSERT_EQ(rrep1.size(), 1u);
+  const auto rrep2 = rig.probe(rrep1[0].destSeq + 1, false, 2, true);
+  ASSERT_EQ(rrep2.size(), 1u);
+  EXPECT_TRUE(aodv::seqNewer(rrep2[0].destSeq, rrep1[0].destSeq + 1));
+}
+
+TEST(BlackHoleTest, SingleAttackerRefusesNextHopDisclosure) {
+  AttackRig rig{AttackRole::kSingle};
+  const auto rreps = rig.probe(10, false, 1, /*inquire=*/true);
+  ASSERT_EQ(rreps.size(), 1u);
+  EXPECT_EQ(rreps[0].claimedNextHop, common::kNullAddress);
+}
+
+TEST(BlackHoleTest, PrimaryNamesTeammateUnderInquiry) {
+  BlackHoleConfig config;
+  config.teammate = common::Address{67};
+  AttackRig rig{AttackRole::kPrimary, config};
+  const auto rreps = rig.probe(10, false, 1, /*inquire=*/true);
+  ASSERT_EQ(rreps.size(), 1u);
+  EXPECT_EQ(rreps[0].claimedNextHop, common::Address{67});
+}
+
+TEST(BlackHoleTest, NoTeammateDisclosureWithoutInquiry) {
+  BlackHoleConfig config;
+  config.teammate = common::Address{67};
+  AttackRig rig{AttackRole::kPrimary, config};
+  const auto rreps = rig.probe(10, false, 1, /*inquire=*/false);
+  ASSERT_EQ(rreps.size(), 1u);
+  EXPECT_EQ(rreps[0].claimedNextHop, common::kNullAddress);
+}
+
+TEST(BlackHoleTest, AccompliceIgnoresBroadcastsButAnswersProbes) {
+  AttackRig rig{AttackRole::kAccomplice};
+  EXPECT_TRUE(rig.flood(0, true, 1).empty());
+  EXPECT_EQ(rig.probe(0, true, 2).size(), 1u);
+}
+
+TEST(BlackHoleTest, DropsDataInTransit) {
+  AttackRig rig{AttackRole::kSingle};
+  // Give the attacker a (forged) routing state, then hand it a data packet
+  // addressed elsewhere: it must vanish.
+  auto data = std::make_shared<aodv::DataPacket>();
+  data->origin = common::Address{10};
+  data->destination = common::Address{999};
+  rig.victim_->sendTo(common::Address{66}, data);
+  rig.run();
+  EXPECT_EQ(rig.agent_->stats().dataDropped, 1u);
+  EXPECT_EQ(rig.agent_->stats().dataForwarded, 0u);
+}
+
+TEST(BlackHoleTest, ForgesHelloReplyWhenConfigured) {
+  BlackHoleConfig config;
+  config.sendFakeHelloReply = true;
+  AttackRig rig{AttackRole::kSingle, config};
+
+  // The attacker needs a reverse route to the origin — it learns one from
+  // the discovery flood, as in the real attack sequence.
+  (void)rig.flood(0, true, 1);
+
+  auto hello = std::make_shared<core::AuthHello>();
+  hello->helloId = 42;
+  hello->origin = common::Address{10};
+  hello->destination = common::Address{999};
+  auto data = std::make_shared<aodv::DataPacket>();
+  data->origin = common::Address{10};
+  data->destination = common::Address{999};
+  data->inner = hello;
+  rig.victim_->sendTo(common::Address{66}, data);
+  rig.run();
+
+  EXPECT_EQ(rig.agent_->attackStats().helloRepliesForged, 1u);
+  // The forged reply came back to the victim claiming the attacker itself
+  // is the destination.
+  bool sawReply = false;
+  for (const net::Frame& frame : rig.received_) {
+    const auto* packet = net::payloadAs<aodv::DataPacket>(frame.payload);
+    if (packet == nullptr || packet->inner == nullptr) continue;
+    if (const auto* reply =
+            dynamic_cast<const core::AuthHello*>(packet->inner.get())) {
+      EXPECT_TRUE(reply->isReply);
+      EXPECT_EQ(reply->helloId, 42u);
+      EXPECT_EQ(reply->responder, common::Address{66});
+      sawReply = true;
+    }
+  }
+  EXPECT_TRUE(sawReply);
+}
+
+TEST(BlackHoleTest, WithoutFakeHelloConfigHelloIsSwallowed) {
+  AttackRig rig{AttackRole::kSingle};
+  (void)rig.flood(0, true, 1);
+  auto hello = std::make_shared<core::AuthHello>();
+  hello->origin = common::Address{10};
+  hello->destination = common::Address{999};
+  auto data = std::make_shared<aodv::DataPacket>();
+  data->origin = common::Address{10};
+  data->destination = common::Address{999};
+  data->inner = hello;
+  rig.victim_->sendTo(common::Address{66}, data);
+  rig.run();
+  EXPECT_EQ(rig.agent_->attackStats().helloRepliesForged, 0u);
+  EXPECT_EQ(rig.agent_->stats().dataDropped, 1u);
+}
+
+TEST(BlackHoleTest, ActLegitStaysSilentUnderProbe) {
+  BlackHoleConfig config;
+  config.actLegitProbability = 1.0;
+  AttackRig rig{AttackRole::kSingle, config};
+  EXPECT_TRUE(rig.probe(0, true, 1).empty());
+  EXPECT_GE(rig.agent_->attackStats().probesDodged, 1u);
+}
+
+TEST(BlackHoleTest, ActLegitStillAnswersFirstDiscovery) {
+  // Evasion triggers on probes and *repeated* requests — the first broadcast
+  // discovery is still answered (the attack itself).
+  BlackHoleConfig config;
+  config.actLegitProbability = 1.0;
+  AttackRig rig{AttackRole::kSingle, config};
+  EXPECT_EQ(rig.flood(0, true, 1).size(), 1u);
+  // A repeated discovery (same origin/destination) gets dodged.
+  EXPECT_TRUE(rig.flood(0, true, 2).empty());
+}
+
+TEST(BlackHoleTest, RenewalCallbackFiresOnProbe) {
+  BlackHoleConfig config;
+  config.renewProbability = 1.0;
+  AttackRig rig{AttackRole::kSingle, config};
+  int renewals = 0;
+  rig.agent_->setRenewCallback([&] {
+    ++renewals;
+    return true;
+  });
+  EXPECT_TRUE(rig.probe(0, true, 1).empty());
+  EXPECT_EQ(renewals, 1);
+  EXPECT_EQ(rig.agent_->attackStats().renewals, 1u);
+}
+
+TEST(BlackHoleTest, FailedRenewalFallsThroughToReply) {
+  // Once the TA has paused renewal, the evasion channel is closed and the
+  // attacker is exposed again.
+  BlackHoleConfig config;
+  config.renewProbability = 1.0;
+  AttackRig rig{AttackRole::kSingle, config};
+  rig.agent_->setRenewCallback([] { return false; });  // paused at the TA
+  EXPECT_EQ(rig.probe(0, true, 1).size(), 1u);
+}
+
+TEST(BlackHoleTest, FleeBeforeReplyVanishesSilently) {
+  BlackHoleConfig config;
+  config.fleeMode = FleeMode::kBeforeReply;
+  AttackRig rig{AttackRole::kSingle, config};
+  int fled = 0;
+  rig.agent_->setFleeCallback([&] { ++fled; });
+  EXPECT_TRUE(rig.probe(0, true, 1).empty());
+  EXPECT_EQ(fled, 1);
+  // Further probes stay unanswered, but the flee fires only once.
+  EXPECT_TRUE(rig.probe(0, true, 2).empty());
+  EXPECT_EQ(fled, 1);
+}
+
+TEST(BlackHoleTest, FleeAfterFirstReplyAnswersThenMoves) {
+  BlackHoleConfig config;
+  config.fleeMode = FleeMode::kAfterFirstReply;
+  AttackRig rig{AttackRole::kSingle, config};
+  int fled = 0;
+  rig.agent_->setFleeCallback([&] { ++fled; });
+  EXPECT_EQ(rig.probe(0, true, 1).size(), 1u);
+  EXPECT_EQ(fled, 1);
+  // It keeps answering from the new location (the next CH's probes).
+  EXPECT_EQ(rig.probe(201, false, 2).size(), 1u);
+  EXPECT_EQ(fled, 1);
+}
+
+TEST(BlackHoleTest, MultiCopyRepliesAreBounded) {
+  BlackHoleConfig config;
+  config.maxRepliesPerRreq = 2;
+  AttackRig rig{AttackRole::kSingle, config};
+  // Replay the same flood copy five times (five neighbours relaying).
+  auto rreq = std::make_shared<aodv::RouteRequest>();
+  rreq->rreqId = common::RreqId{1};
+  rreq->origin = common::Address{10};
+  rreq->originSeq = 1;
+  rreq->destination = common::Address{999};
+  for (int i = 0; i < 5; ++i) rig.victim_->broadcast(rreq);
+  rig.run();
+  EXPECT_EQ(rig.collectRreps().size(), 2u);
+  EXPECT_EQ(rig.agent_->attackStats().rrepsForged, 2u);
+}
+
+TEST(BlackHoleTest, IgnoresOwnFloodEcho) {
+  AttackRig rig{AttackRole::kSingle};
+  auto rreq = std::make_shared<aodv::RouteRequest>();
+  rreq->rreqId = common::RreqId{1};
+  rreq->origin = common::Address{66};  // attacker's own origin
+  rreq->destination = common::Address{999};
+  rig.victim_->broadcast(rreq);
+  rig.run();
+  EXPECT_TRUE(rig.collectRreps().empty());
+}
+
+TEST(BlackHoleTest, InstallsReverseRouteToVictim) {
+  AttackRig rig{AttackRole::kSingle};
+  (void)rig.flood(0, true, 1);
+  const auto route = rig.agent_->routingTable().activeRoute(
+      common::Address{10}, rig.simulator_.now());
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->nextHop, common::Address{10});
+}
+
+TEST(BlackHoleTest, FastConfigRepliesQuickerThanHonestProcessing) {
+  const aodv::AodvConfig fast = BlackHoleAgent::fastAodvConfig();
+  const aodv::AodvConfig honest{};
+  EXPECT_LT(fast.processingDelay, honest.processingDelay);
+}
+
+}  // namespace
+}  // namespace blackdp::attack

@@ -1,0 +1,107 @@
+// Cluster-head work-queue model (§III-C): service order, parallelism,
+// queueing statistics.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/ch_load_model.hpp"
+
+namespace blackdp::core {
+namespace {
+
+TEST(ChLoadTest, SingleJobCompletesAfterServiceTime) {
+  sim::Simulator simulator;
+  ChLoadConfig config;
+  config.verificationService = sim::Duration::milliseconds(2);
+  ChLoadModel model{simulator, config};
+
+  sim::TimePoint doneAt;
+  model.submit([&] { doneAt = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(doneAt.us(), 2'000);
+  EXPECT_EQ(model.stats().jobsCompleted, 1u);
+  EXPECT_EQ(model.stats().totalWait.us(), 0);
+}
+
+TEST(ChLoadTest, JobsQueueFifoOnOneServer) {
+  sim::Simulator simulator;
+  ChLoadConfig config;
+  config.verificationService = sim::Duration::milliseconds(1);
+  ChLoadModel model{simulator, config};
+
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    model.submit([&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(model.queueDepth(), 2u);  // one in service, two waiting
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(simulator.now().us(), 3'000);
+  // Waits: 0, 1 ms, 2 ms → mean 1 ms.
+  EXPECT_DOUBLE_EQ(model.stats().meanWaitMs(), 1.0);
+  EXPECT_EQ(model.stats().maxQueueDepth, 2u);
+}
+
+TEST(ChLoadTest, FogNodesServeInParallel) {
+  sim::Simulator simulator;
+  ChLoadConfig config;
+  config.verificationService = sim::Duration::milliseconds(1);
+  config.fogNodes = 2;  // three servers total
+  ChLoadModel model{simulator, config};
+  EXPECT_EQ(model.serverCount(), 3u);
+
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    model.submit([&completed] { ++completed; });
+  }
+  EXPECT_EQ(model.queueDepth(), 0u);  // all in service at once
+  simulator.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(simulator.now().us(), 1'000);  // parallel, not serial
+  EXPECT_EQ(model.stats().totalWait.us(), 0);
+}
+
+TEST(ChLoadTest, ServersRecycleAcrossBatches) {
+  sim::Simulator simulator;
+  ChLoadModel model{simulator, {}};
+  int completed = 0;
+  model.submit([&] { ++completed; });
+  simulator.run();
+  model.submit([&] { ++completed; });
+  simulator.run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(model.idleServers(), 1u);
+}
+
+TEST(ChLoadTest, UtilisationFormula) {
+  sim::Simulator simulator;
+  ChLoadConfig config;
+  config.verificationService = sim::Duration::milliseconds(2);
+  config.fogNodes = 3;
+  ChLoadModel model{simulator, config};
+  // λ = 500/s, s = 2 ms, c = 4 → ρ = 0.25.
+  EXPECT_DOUBLE_EQ(model.utilisationFor(500.0), 0.25);
+}
+
+TEST(ChLoadTest, SaturatedServerBuildsBacklog) {
+  sim::Simulator simulator;
+  ChLoadConfig config;
+  config.verificationService = sim::Duration::milliseconds(10);
+  ChLoadModel model{simulator, config};
+  // 50 jobs arrive instantly; a lone 10 ms server needs 500 ms.
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) model.submit([&completed] { ++completed; });
+  EXPECT_EQ(model.stats().maxQueueDepth, 49u);
+  simulator.run();
+  EXPECT_EQ(completed, 50);
+  EXPECT_EQ(simulator.now().us(), 500'000);
+  EXPECT_GT(model.stats().meanWaitMs(), 200.0);
+}
+
+TEST(ChLoadTest, NullJobRejected) {
+  sim::Simulator simulator;
+  ChLoadModel model{simulator, {}};
+  EXPECT_THROW(model.submit(nullptr), common::AssertionError);
+}
+
+}  // namespace
+}  // namespace blackdp::core

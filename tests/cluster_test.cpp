@@ -1,0 +1,285 @@
+// Cluster head + membership client: join/leave protocol, history tables,
+// boundary tracking, revocation announcements, blacklists.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "cluster/cluster_head.hpp"
+#include "cluster/membership_client.hpp"
+
+namespace blackdp::cluster {
+namespace {
+
+/// Table-I highway with all 10 cluster heads, plus helpers to add vehicles.
+class ClusterWorld {
+ public:
+  ClusterWorld()
+      : highway_{10'000.0, 200.0, 1'000.0},
+        medium_{simulator_, sim::Rng{3}, mediumConfig()},
+        backbone_{simulator_} {
+    for (std::uint32_t c = 1; c <= highway_.clusterCount(); ++c) {
+      auto node = std::make_unique<net::BasicNode>(
+          simulator_, medium_, common::NodeId{1000 + c},
+          mobility::LinearMotion::stationary(
+              highway_.clusterCenter(common::ClusterId{c})));
+      node->setLocalAddress(common::Address{100 + c});
+      heads_.push_back(std::make_unique<ClusterHead>(
+          simulator_, *node, backbone_, highway_, common::ClusterId{c}));
+      headNodes_.push_back(std::move(node));
+    }
+  }
+
+  struct Vehicle {
+    std::unique_ptr<net::BasicNode> node;
+    std::unique_ptr<MembershipClient> membership;
+  };
+
+  Vehicle makeVehicle(std::uint32_t id, double x, double speedMps,
+                      mobility::Direction direction) {
+    Vehicle v;
+    v.node = std::make_unique<net::BasicNode>(
+        simulator_, medium_, common::NodeId{id},
+        mobility::LinearMotion{{x, 100.0}, speedMps, direction,
+                               simulator_.now()});
+    v.node->setLocalAddress(common::Address{id});
+    v.membership =
+        std::make_unique<MembershipClient>(simulator_, *v.node, highway_);
+    return v;
+  }
+
+  [[nodiscard]] ClusterHead& head(std::uint32_t c) { return *heads_[c - 1]; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const mobility::Highway& highway() const { return highway_; }
+
+  void runFor(sim::Duration d) { simulator_.run(simulator_.now() + d); }
+
+ private:
+  static net::MediumConfig mediumConfig() {
+    net::MediumConfig c;
+    c.maxJitter = sim::Duration{};
+    return c;
+  }
+
+  sim::Simulator simulator_;
+  mobility::Highway highway_;
+  net::WirelessMedium medium_;
+  net::Backbone backbone_;
+  std::vector<std::unique_ptr<net::BasicNode>> headNodes_;
+  std::vector<std::unique_ptr<ClusterHead>> heads_;
+};
+
+TEST(ClusterTest, JoinRegistersWithCorrectHead) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 2'500.0, 0.0, mobility::Direction::kEastbound);
+  v.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+
+  EXPECT_EQ(v.membership->currentCluster(), common::ClusterId{3});
+  EXPECT_EQ(v.membership->clusterHeadAddress(), common::Address{103});
+  EXPECT_TRUE(world.head(3).isMember(common::Address{1}));
+  EXPECT_FALSE(world.head(2).isMember(common::Address{1}));
+  EXPECT_EQ(world.head(3).stats().joinsAccepted, 1u);
+}
+
+TEST(ClusterTest, OverlappedZoneOnlyOwningHeadClaims) {
+  // A broadcast JREQ near a boundary reaches both CHs; only the CH whose
+  // segment contains the reported position accepts.
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 1'999.0, 0.0, mobility::Direction::kEastbound);
+  v.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+
+  EXPECT_TRUE(world.head(2).isMember(common::Address{1}));
+  EXPECT_FALSE(world.head(3).isMember(common::Address{1}));
+  EXPECT_GE(world.head(3).stats().joinsIgnored, 1u);
+}
+
+TEST(ClusterTest, BoundaryCrossingMovesMembership) {
+  ClusterWorld world;
+  // 25 m/s eastbound from x=900: crosses into cluster 2 after ~4 s.
+  auto v = world.makeVehicle(1, 900.0, 25.0, mobility::Direction::kEastbound);
+  v.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+  EXPECT_TRUE(world.head(1).isMember(common::Address{1}));
+
+  world.runFor(sim::Duration::seconds(5));
+  EXPECT_FALSE(world.head(1).isMember(common::Address{1}));
+  EXPECT_TRUE(world.head(1).isFormerMember(common::Address{1}));
+  EXPECT_TRUE(world.head(2).isMember(common::Address{1}));
+  EXPECT_EQ(v.membership->currentCluster(), common::ClusterId{2});
+  EXPECT_EQ(world.head(1).stats().leaves, 1u);
+}
+
+TEST(ClusterTest, WestboundCrossingWorksToo) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 2'100.0, 25.0, mobility::Direction::kWestbound);
+  v.membership->start();
+  world.runFor(sim::Duration::seconds(6));
+  EXPECT_TRUE(world.head(2).isMember(common::Address{1}));
+  EXPECT_TRUE(world.head(3).isFormerMember(common::Address{1}));
+}
+
+TEST(ClusterTest, LeavingHighwayExitsNetwork) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 9'900.0, 25.0, mobility::Direction::kEastbound);
+  bool exited = false;
+  v.membership->setExitCallback([&] { exited = true; });
+  v.membership->start();
+  world.runFor(sim::Duration::seconds(10));
+  EXPECT_TRUE(exited);
+  EXPECT_FALSE(v.membership->currentCluster().has_value());
+  EXPECT_TRUE(world.head(10).isFormerMember(common::Address{1}));
+}
+
+TEST(ClusterTest, JoinedCallbackFires) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 500.0, 0.0, mobility::Direction::kEastbound);
+  common::ClusterId joined{};
+  v.membership->setJoinedCallback(
+      [&](common::ClusterId cluster, common::Address) { joined = cluster; });
+  v.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+  EXPECT_EQ(joined, common::ClusterId{1});
+}
+
+TEST(ClusterTest, HistoryRecordKeepsDirection) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 900.0, 25.0, mobility::Direction::kEastbound);
+  v.membership->start();
+  world.runFor(sim::Duration::seconds(5));
+  const auto record = world.head(1).historyRecord(common::Address{1});
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->direction, mobility::Direction::kEastbound);
+}
+
+TEST(ClusterTest, RejoiningClearsHistory) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 900.0, 25.0, mobility::Direction::kEastbound);
+  v.membership->start();
+  world.runFor(sim::Duration::seconds(5));  // now in cluster 2
+  // Turn around and go back.
+  v.node->setMotion(mobility::LinearMotion{
+      v.node->radioPosition(), 25.0, mobility::Direction::kWestbound,
+      world.simulator().now()});
+  v.membership->forceRejoin();
+  world.runFor(sim::Duration::seconds(5));
+  EXPECT_TRUE(world.head(1).isMember(common::Address{1}));
+  EXPECT_FALSE(world.head(1).isFormerMember(common::Address{1}));
+}
+
+TEST(ClusterTest, RevocationDropsMemberAndAnnounces) {
+  ClusterWorld world;
+  auto attacker =
+      world.makeVehicle(66, 400.0, 0.0, mobility::Direction::kEastbound);
+  auto witness =
+      world.makeVehicle(2, 600.0, 0.0, mobility::Direction::kEastbound);
+  attacker.membership->start();
+  witness.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+  ASSERT_TRUE(world.head(1).isMember(common::Address{66}));
+
+  world.head(1).applyRevocation(
+      {common::Address{66}, common::CertSerial{5},
+       world.simulator().now() + sim::Duration::seconds(60)});
+  world.runFor(sim::Duration::milliseconds(10));
+
+  EXPECT_FALSE(world.head(1).isMember(common::Address{66}));
+  EXPECT_TRUE(witness.membership->isBlacklisted(common::Address{66}));
+  EXPECT_EQ(world.head(1).stats().revocationsAnnounced, 1u);
+  EXPECT_TRUE(
+      world.head(1).revocations().isRevokedSerial(common::CertSerial{5}));
+}
+
+TEST(ClusterTest, NewlyJoinedVehicleLearnsRevocationsFromJrep) {
+  // §III-B2: "the CH needs to report the existing and newly-joined vehicles
+  // about the recent revoked certificate information."
+  ClusterWorld world;
+  world.head(1).applyRevocation(
+      {common::Address{66}, common::CertSerial{5},
+       world.simulator().now() + sim::Duration::seconds(60)});
+
+  auto late = world.makeVehicle(3, 500.0, 0.0, mobility::Direction::kEastbound);
+  late.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+  EXPECT_TRUE(late.membership->isBlacklisted(common::Address{66}));
+  EXPECT_EQ(late.membership->stats().revocationsLearned, 1u);
+}
+
+TEST(ClusterTest, MembersListsCurrentMembership) {
+  ClusterWorld world;
+  auto a = world.makeVehicle(1, 100.0, 0.0, mobility::Direction::kEastbound);
+  auto b = world.makeVehicle(2, 200.0, 0.0, mobility::Direction::kEastbound);
+  a.membership->start();
+  b.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+  EXPECT_EQ(world.head(1).memberCount(), 2u);
+  EXPECT_EQ(world.head(1).members().size(), 2u);
+}
+
+TEST(ClusterTest, MemberRecordTracksJoinPosition) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 777.0, 10.0, mobility::Direction::kEastbound);
+  v.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+  const auto record = world.head(1).memberRecord(common::Address{1});
+  ASSERT_TRUE(record.has_value());
+  EXPECT_NEAR(record->lastPosition.x, 777.0, 1.0);
+  EXPECT_DOUBLE_EQ(record->speedMps, 10.0);
+}
+
+TEST(ClusterTest, FrameHookReceivesUnhandledFrames) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 500.0, 0.0, mobility::Direction::kEastbound);
+  int hooked = 0;
+  world.head(1).setFrameHook([&](const net::Frame&) {
+    ++hooked;
+    return true;
+  });
+  // An AODV RREQ broadcast is not cluster management; it lands in the hook.
+  class Odd final : public net::Payload {
+   public:
+    [[nodiscard]] std::string_view typeName() const override { return "odd"; }
+  };
+  v.node->broadcast(net::makePayload<Odd>());
+  world.runFor(sim::Duration::milliseconds(10));
+  EXPECT_EQ(hooked, 1);
+}
+
+TEST(ClusterTest, BackboneHookRelaysPeerMessages) {
+  ClusterWorld world;
+  std::vector<common::ClusterId> from;
+  world.head(2).setBackboneHook(
+      [&](common::ClusterId sender, const net::PayloadPtr&) {
+        from.push_back(sender);
+      });
+  class Note final : public net::Payload {
+   public:
+    [[nodiscard]] std::string_view typeName() const override { return "note"; }
+  };
+  world.head(1).sendOnBackbone(common::ClusterId{2},
+                               net::makePayload<Note>());
+  world.runFor(sim::Duration::milliseconds(10));
+  ASSERT_EQ(from.size(), 1u);
+  EXPECT_EQ(from[0], common::ClusterId{1});
+}
+
+TEST(ClusterTest, MembershipStatsCountProtocolActivity) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 900.0, 25.0, mobility::Direction::kEastbound);
+  v.membership->start();
+  world.runFor(sim::Duration::seconds(5));
+  EXPECT_EQ(v.membership->stats().joinsSent, 2u);       // initial + crossing
+  EXPECT_EQ(v.membership->stats().joinsConfirmed, 2u);
+  EXPECT_EQ(v.membership->stats().leavesSent, 1u);
+}
+
+TEST(ClusterTest, StartTwiceAsserts) {
+  ClusterWorld world;
+  auto v = world.makeVehicle(1, 500.0, 0.0, mobility::Direction::kEastbound);
+  v.membership->start();
+  EXPECT_THROW(v.membership->start(), common::AssertionError);
+}
+
+}  // namespace
+}  // namespace blackdp::cluster

@@ -1,0 +1,285 @@
+// Wire-format codec: round-trip identity for every protocol message type,
+// plus malformed-input handling.
+#include <gtest/gtest.h>
+
+#include "codec/codec.hpp"
+
+#include "aodv/messages.hpp"
+#include "cluster/messages.hpp"
+#include "common/assert.hpp"
+#include "core/messages.hpp"
+#include "crypto/trusted_authority.hpp"
+
+namespace blackdp::codec {
+namespace {
+
+/// Encodes a payload in a frame and decodes it back; returns the decoded
+/// payload downcast to T (asserting type preservation).
+template <typename T>
+std::shared_ptr<const T> roundTrip(std::shared_ptr<T> payload) {
+  net::Frame frame{common::Address{11}, common::Address{22},
+                   std::move(payload)};
+  const common::Bytes wire = encodeFrame(frame);
+  const auto decoded = decodeFrame({wire.data(), wire.size()});
+  EXPECT_TRUE(decoded.ok()) << (decoded.ok() ? "" : decoded.error().code);
+  EXPECT_EQ(decoded.value().src, frame.src);
+  EXPECT_EQ(decoded.value().dst, frame.dst);
+  auto typed =
+      std::dynamic_pointer_cast<const T>(decoded.value().payload);
+  EXPECT_NE(typed, nullptr) << "decoded type mismatch";
+  return typed;
+}
+
+aodv::SecureEnvelope sampleEnvelope() {
+  sim::Simulator simulator;
+  crypto::CryptoEngine engine{77};
+  crypto::TaNetwork ta{simulator, engine};
+  const auto taId = ta.addAuthority();
+  const auto enrollment = ta.enroll(taId, common::NodeId{1}).value();
+  aodv::SecureEnvelope envelope;
+  envelope.certificate = enrollment.certificate;
+  envelope.signature =
+      engine.sign(enrollment.privateKey,
+                  std::span<const std::uint8_t>{
+                      reinterpret_cast<const std::uint8_t*>("x"), 1});
+  return envelope;
+}
+
+TEST(CodecTest, RouteRequestRoundTrip) {
+  auto m = std::make_shared<aodv::RouteRequest>();
+  m->rreqId = common::RreqId{7};
+  m->origin = common::Address{1};
+  m->originSeq = 42;
+  m->destination = common::Address{2};
+  m->destSeq = 17;
+  m->unknownDestSeq = false;
+  m->hopCount = 3;
+  m->ttl = 9;
+  m->inquireNextHop = true;
+  const auto out = roundTrip(m);
+  EXPECT_EQ(out->rreqId, m->rreqId);
+  EXPECT_EQ(out->originSeq, 42u);
+  EXPECT_EQ(out->destSeq, 17u);
+  EXPECT_FALSE(out->unknownDestSeq);
+  EXPECT_EQ(out->hopCount, 3);
+  EXPECT_EQ(out->ttl, 9);
+  EXPECT_TRUE(out->inquireNextHop);
+}
+
+TEST(CodecTest, RouteReplyRoundTripWithEnvelope) {
+  auto m = std::make_shared<aodv::RouteReply>();
+  m->rreqId = common::RreqId{7};
+  m->origin = common::Address{1};
+  m->destination = common::Address{2};
+  m->destSeq = 200;
+  m->hopCount = 4;
+  m->replier = common::Address{66};
+  m->replierCluster = common::ClusterId{2};
+  m->lifetime = sim::Duration::seconds(3);
+  m->claimedNextHop = common::Address{67};
+  m->envelope = sampleEnvelope();
+  const auto out = roundTrip(m);
+  EXPECT_EQ(out->destSeq, 200u);
+  EXPECT_EQ(out->replier, common::Address{66});
+  EXPECT_EQ(out->claimedNextHop, common::Address{67});
+  ASSERT_TRUE(out->envelope.has_value());
+  EXPECT_EQ(*out->envelope, *m->envelope);
+  // Canonical (signed) bytes survive the trip — so signatures still verify.
+  EXPECT_EQ(out->canonicalBytes(), m->canonicalBytes());
+}
+
+TEST(CodecTest, RouteReplyWithoutEnvelope) {
+  auto m = std::make_shared<aodv::RouteReply>();
+  m->destSeq = 1;
+  const auto out = roundTrip(m);
+  EXPECT_FALSE(out->envelope.has_value());
+}
+
+TEST(CodecTest, RouteErrorRoundTrip) {
+  auto m = std::make_shared<aodv::RouteError>();
+  m->destination = common::Address{5};
+  m->destSeq = 9;
+  m->origin = common::Address{1};
+  const auto out = roundTrip(m);
+  EXPECT_EQ(out->destination, common::Address{5});
+  EXPECT_EQ(out->destSeq, 9u);
+}
+
+TEST(CodecTest, DataPacketWithNestedInnerPayload) {
+  auto hello = std::make_shared<core::AuthHello>();
+  hello->helloId = 99;
+  hello->origin = common::Address{1};
+  hello->destination = common::Address{2};
+  hello->envelope = sampleEnvelope();
+
+  auto m = std::make_shared<aodv::DataPacket>();
+  m->origin = common::Address{1};
+  m->destination = common::Address{2};
+  m->packetId = 1234;
+  m->hopsTraversed = 2;
+  m->bodyBytes = 0;
+  m->inner = hello;
+
+  const auto out = roundTrip(m);
+  EXPECT_EQ(out->packetId, 1234u);
+  const auto* innerHello =
+      dynamic_cast<const core::AuthHello*>(out->inner.get());
+  ASSERT_NE(innerHello, nullptr);
+  EXPECT_EQ(innerHello->helloId, 99u);
+  ASSERT_TRUE(innerHello->envelope.has_value());
+  EXPECT_EQ(*innerHello->envelope, *hello->envelope);
+}
+
+TEST(CodecTest, HelloBeaconRoundTrip) {
+  auto m = std::make_shared<aodv::HelloBeacon>();
+  m->origin = common::Address{3};
+  m->originSeq = 12;
+  const auto out = roundTrip(m);
+  EXPECT_EQ(out->origin, common::Address{3});
+  EXPECT_EQ(out->originSeq, 12u);
+}
+
+TEST(CodecTest, JoinRequestRoundTripPreservesKinematics) {
+  auto m = std::make_shared<cluster::JoinRequest>();
+  m->vehicle = common::Address{8};
+  m->position = {1234.567, 89.001};
+  m->speedMps = 23.456;
+  m->direction = mobility::Direction::kWestbound;
+  const auto out = roundTrip(m);
+  EXPECT_NEAR(out->position.x, 1234.567, 0.001);
+  EXPECT_NEAR(out->position.y, 89.001, 0.001);
+  EXPECT_NEAR(out->speedMps, 23.456, 0.001);
+  EXPECT_EQ(out->direction, mobility::Direction::kWestbound);
+}
+
+TEST(CodecTest, JoinReplyCarriesRevocationList) {
+  auto m = std::make_shared<cluster::JoinReply>();
+  m->vehicle = common::Address{8};
+  m->cluster = common::ClusterId{3};
+  m->clusterHeadAddress = common::Address{103};
+  m->activeRevocations.push_back(
+      {common::Address{66}, common::CertSerial{5},
+       sim::TimePoint::fromUs(1'000'000)});
+  m->activeRevocations.push_back(
+      {common::Address{67}, common::CertSerial{6},
+       sim::TimePoint::fromUs(2'000'000)});
+  const auto out = roundTrip(m);
+  ASSERT_EQ(out->activeRevocations.size(), 2u);
+  EXPECT_EQ(out->activeRevocations[0], m->activeRevocations[0]);
+  EXPECT_EQ(out->activeRevocations[1], m->activeRevocations[1]);
+}
+
+TEST(CodecTest, LeaveAndAnnouncementRoundTrip) {
+  auto leave = std::make_shared<cluster::LeaveNotice>();
+  leave->vehicle = common::Address{8};
+  EXPECT_EQ(roundTrip(leave)->vehicle, common::Address{8});
+
+  auto announce = std::make_shared<cluster::RevocationAnnouncement>();
+  announce->notice = {common::Address{66}, common::CertSerial{5},
+                      sim::TimePoint::fromUs(1'000'000)};
+  EXPECT_EQ(roundTrip(announce)->notice, announce->notice);
+}
+
+TEST(CodecTest, DetectionRequestRoundTrip) {
+  auto m = std::make_shared<core::DetectionRequest>();
+  m->reporter = common::Address{1};
+  m->reporterCluster = common::ClusterId{1};
+  m->suspect = common::Address{66};
+  m->suspectCluster = common::ClusterId{2};
+  m->envelope = sampleEnvelope();
+  const auto out = roundTrip(m);
+  EXPECT_EQ(out->suspect, common::Address{66});
+  EXPECT_EQ(out->canonicalBytes(), m->canonicalBytes());
+}
+
+TEST(CodecTest, DetectionControlMessagesRoundTrip) {
+  auto fwd = std::make_shared<core::ForwardedDetection>();
+  fwd->session = common::DetectionSessionId{0x100000001ull};
+  fwd->reporter = common::Address{1};
+  fwd->reporterCluster = common::ClusterId{1};
+  fwd->suspect = common::Address{66};
+  fwd->stage = 1;
+  fwd->lastSeenSeq = 250;
+  fwd->packetsSoFar = 4;
+  fwd->forwardCount = 1;
+  fwd->startedAt = sim::TimePoint::fromUs(5'000);
+  const auto fwdOut = roundTrip(fwd);
+  EXPECT_EQ(fwdOut->session, fwd->session);
+  EXPECT_EQ(fwdOut->lastSeenSeq, 250u);
+  EXPECT_EQ(fwdOut->startedAt.us(), 5'000);
+
+  auto result = std::make_shared<core::DetectionResult>();
+  result->verdict = core::Verdict::kCooperativeBlackHole;
+  result->accomplice = common::Address{67};
+  result->packetsUsed = 11;
+  const auto resultOut = roundTrip(result);
+  EXPECT_EQ(resultOut->verdict, core::Verdict::kCooperativeBlackHole);
+  EXPECT_EQ(resultOut->packetsUsed, 11u);
+
+  auto response = std::make_shared<core::DetectionResponse>();
+  response->verdict = core::Verdict::kSingleBlackHole;
+  const auto responseOut = roundTrip(response);
+  EXPECT_EQ(responseOut->verdict, core::Verdict::kSingleBlackHole);
+}
+
+// ------------------------------------------------------------- bad input
+
+TEST(CodecTest, BadMagicRejected) {
+  const common::Bytes junk{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto decoded = decodeFrame({junk.data(), junk.size()});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bad-magic");
+}
+
+TEST(CodecTest, TruncatedFrameRejected) {
+  auto m = std::make_shared<aodv::RouteRequest>();
+  const common::Bytes wire =
+      encodeFrame(net::Frame{common::Address{1}, common::Address{2}, m});
+  const auto decoded = decodeFrame({wire.data(), wire.size() - 3});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "truncated");
+}
+
+TEST(CodecTest, TrailingBytesRejected) {
+  auto m = std::make_shared<aodv::RouteRequest>();
+  common::Bytes wire =
+      encodeFrame(net::Frame{common::Address{1}, common::Address{2}, m});
+  wire.push_back(0xFF);
+  const auto decoded = decodeFrame({wire.data(), wire.size()});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "trailing-bytes");
+}
+
+TEST(CodecTest, UnknownTagRejected) {
+  common::ByteWriter w;
+  w.writeU32(0x42445046);
+  w.writeU8(1);
+  w.writeId(common::Address{1});
+  w.writeId(common::Address{2});
+  w.writeU8(200);  // no such tag
+  const common::Bytes wire = std::move(w).take();
+  const auto decoded = decodeFrame({wire.data(), wire.size()});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "malformed");
+}
+
+TEST(CodecTest, WrongVersionRejected) {
+  common::ByteWriter w;
+  w.writeU32(0x42445046);
+  w.writeU8(9);
+  const common::Bytes wire = std::move(w).take();
+  const auto decoded = decodeFrame({wire.data(), wire.size()});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bad-version");
+}
+
+TEST(CodecTest, EncodingIsDeterministic) {
+  auto m = std::make_shared<aodv::RouteReply>();
+  m->destSeq = 5;
+  m->envelope = sampleEnvelope();
+  const net::Frame frame{common::Address{1}, common::Address{2}, m};
+  EXPECT_EQ(encodeFrame(frame), encodeFrame(frame));
+}
+
+}  // namespace
+}  // namespace blackdp::codec

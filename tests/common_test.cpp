@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/logging.hpp"
+#include "common/result.hpp"
+
+namespace blackdp::common {
+namespace {
+
+// ----------------------------------------------------------------- StrongId
+
+TEST(StrongIdTest, DefaultConstructsToZero) {
+  EXPECT_EQ(NodeId{}.value(), 0u);
+  EXPECT_EQ(Address{}.value(), 0u);
+}
+
+TEST(StrongIdTest, ValueRoundTrips) {
+  const NodeId id{42};
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongIdTest, EqualityComparesValues) {
+  EXPECT_EQ(NodeId{7}, NodeId{7});
+  EXPECT_NE(NodeId{7}, NodeId{8});
+}
+
+TEST(StrongIdTest, OrderingComparesValues) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_GT(ClusterId{9}, ClusterId{3});
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, ClusterId>);
+  static_assert(!std::is_same_v<Address, CertSerial>);
+}
+
+TEST(StrongIdTest, HashableInUnorderedContainers) {
+  std::unordered_set<Address> set;
+  set.insert(Address{1});
+  set.insert(Address{2});
+  set.insert(Address{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongIdTest, StreamsItsValue) {
+  std::ostringstream os;
+  os << NodeId{123};
+  EXPECT_EQ(os.str(), "123");
+}
+
+TEST(StrongIdTest, BroadcastAndNullAddressesAreDistinct) {
+  EXPECT_NE(kBroadcastAddress, kNullAddress);
+  EXPECT_EQ(kNullAddress.value(), 0u);
+}
+
+// ------------------------------------------------------------------ Result
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r{7};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r{Error{"nope", "detail"}};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "nope");
+  EXPECT_EQ(r.error().detail, "detail");
+}
+
+TEST(ResultTest, ValueOnErrorThrows) {
+  const Result<int> r{Error{"nope", ""}};
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(ResultTest, ErrorOnValueThrows) {
+  const Result<int> r{1};
+  EXPECT_THROW((void)r.error(), std::logic_error);
+}
+
+TEST(ResultTest, BoolConversionTracksState) {
+  EXPECT_TRUE(static_cast<bool>(Result<int>{1}));
+  EXPECT_FALSE(static_cast<bool>(Result<int>{Error{"e", ""}}));
+}
+
+TEST(ResultTest, MoveExtractsValue) {
+  Result<std::string> r{std::string{"payload"}};
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_THROW((void)s.error(), std::logic_error);
+}
+
+TEST(StatusTest, ErrorState) {
+  const Status s{Error{"bad", "why"}};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "bad");
+}
+
+// ------------------------------------------------------------------- bytes
+
+TEST(BytesTest, WritesBigEndianU32) {
+  ByteWriter w;
+  w.writeU32(0x01020304u);
+  EXPECT_EQ(w.bytes(), (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(BytesTest, WritesBigEndianU64) {
+  ByteWriter w;
+  w.writeU64(0x0102030405060708ull);
+  EXPECT_EQ(w.bytes(),
+            (Bytes{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08}));
+}
+
+TEST(BytesTest, RoundTripsAllPrimitives) {
+  ByteWriter w;
+  w.writeU8(0xAB);
+  w.writeU16(0xBEEF);
+  w.writeU32(0xDEADBEEF);
+  w.writeU64(0x0123456789ABCDEFull);
+  w.writeI64(-42);
+  w.writeBool(true);
+  w.writeBool(false);
+  w.writeString("hello");
+  w.writeBlob(Bytes{1, 2, 3});
+
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.readU8(), 0xAB);
+  EXPECT_EQ(r.readU16(), 0xBEEF);
+  EXPECT_EQ(r.readU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.readU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.readI64(), -42);
+  EXPECT_TRUE(r.readBool());
+  EXPECT_FALSE(r.readBool());
+  EXPECT_EQ(r.readString(), "hello");
+  EXPECT_EQ(r.readBlob(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, RoundTripsIds) {
+  ByteWriter w;
+  w.writeId(NodeId{17});
+  w.writeId(Address{0xFFFFFFFFFFull});
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.readId<NodeId>(), NodeId{17});
+  EXPECT_EQ(r.readId<Address>(), Address{0xFFFFFFFFFFull});
+}
+
+TEST(BytesTest, TruncatedReadThrows) {
+  const Bytes data{0x01, 0x02};
+  ByteReader r{data};
+  EXPECT_THROW((void)r.readU32(), std::out_of_range);
+}
+
+TEST(BytesTest, TruncatedBlobThrows) {
+  ByteWriter w;
+  w.writeU32(100);  // claims a 100-byte blob that is not there
+  ByteReader r{w.bytes()};
+  EXPECT_THROW((void)r.readBlob(), std::out_of_range);
+}
+
+TEST(BytesTest, EmptyStringAndBlob) {
+  ByteWriter w;
+  w.writeString("");
+  w.writeBlob({});
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.readString(), "");
+  EXPECT_TRUE(r.readBlob().empty());
+}
+
+TEST(BytesTest, RemainingTracksConsumption) {
+  ByteWriter w;
+  w.writeU32(1);
+  w.writeU32(2);
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.readU32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+// Property: encoding is canonical — identical inputs produce identical bytes.
+class BytesCanonicalTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BytesCanonicalTest, DeterministicEncoding) {
+  const std::uint64_t v = GetParam();
+  ByteWriter a;
+  ByteWriter b;
+  a.writeU64(v);
+  a.writeI64(static_cast<std::int64_t>(v));
+  b.writeU64(v);
+  b.writeI64(static_cast<std::int64_t>(v));
+  EXPECT_EQ(a.bytes(), b.bytes());
+
+  ByteReader r{a.bytes()};
+  EXPECT_EQ(r.readU64(), v);
+  EXPECT_EQ(r.readI64(), static_cast<std::int64_t>(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, BytesCanonicalTest,
+                         ::testing::Values(0ull, 1ull, 0xffull, 0x100ull,
+                                           0xffffffffull, 0x100000000ull,
+                                           ~0ull, 0x8000000000000000ull));
+
+// --------------------------------------------------------------------- hex
+
+TEST(HexTest, EncodesLowercase) {
+  const Bytes data{0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(toHex(data), "deadbeef");
+}
+
+TEST(HexTest, DecodesBothCases) {
+  EXPECT_EQ(fromHex("DEADbeef"), (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(HexTest, RoundTrips) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(fromHex(toHex(data)), data);
+}
+
+TEST(HexTest, OddLengthThrows) {
+  EXPECT_THROW((void)fromHex("abc"), std::invalid_argument);
+}
+
+TEST(HexTest, InvalidDigitThrows) {
+  EXPECT_THROW((void)fromHex("zz"), std::invalid_argument);
+}
+
+TEST(HexTest, EmptyIsEmpty) {
+  EXPECT_EQ(toHex(Bytes{}), "");
+  EXPECT_TRUE(fromHex("").empty());
+}
+
+// ----------------------------------------------------------------- logging
+
+TEST(LoggingTest, SinkReceivesMessagesAtOrAboveLevel) {
+  std::vector<std::string> captured;
+  Logging::setSink([&](LogLevel, std::string_view component,
+                       std::string_view message) {
+    captured.push_back(std::string(component) + ": " + std::string(message));
+  });
+  Logging::setLevel(LogLevel::kInfo);
+
+  BDP_LOG(kDebug, "test") << "hidden";
+  BDP_LOG(kInfo, "test") << "visible " << 42;
+
+  Logging::setLevel(LogLevel::kOff);
+  Logging::setSink(nullptr);
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "test: visible 42");
+}
+
+TEST(LoggingTest, LevelNamesAreStable) {
+  EXPECT_EQ(toString(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(toString(LogLevel::kError), "ERROR");
+}
+
+// ------------------------------------------------------------------ assert
+
+TEST(AssertTest, PassingAssertIsSilent) {
+  EXPECT_NO_THROW(BDP_ASSERT(1 + 1 == 2));
+}
+
+TEST(AssertTest, FailingAssertThrowsWithLocation) {
+  try {
+    BDP_ASSERT_MSG(false, "context");
+    FAIL() << "should have thrown";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace blackdp::common

@@ -1,0 +1,274 @@
+// BlackDP end-to-end protocol behaviour: the vehicle-side verifier and the
+// RSU-side detector driven through full highway scenarios.
+#include <gtest/gtest.h>
+
+#include "scenario/highway_scenario.hpp"
+
+namespace blackdp::core {
+namespace {
+
+using scenario::AttackType;
+using scenario::HighwayScenario;
+using scenario::ScenarioConfig;
+
+ScenarioConfig baseConfig(std::uint64_t seed, AttackType attack,
+                          std::uint32_t attackerCluster = 2) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.attack = attack;
+  config.attackerCluster = common::ClusterId{attackerCluster};
+  config.evasion.firstEvasiveCluster = 99;  // deterministic: no evasion
+  return config;
+}
+
+// ------------------------------------------------------------ honest world
+
+TEST(VerifierTest, HonestWorldVerifiesWithoutReporting) {
+  HighwayScenario world(baseConfig(1, AttackType::kNone));
+  const VerificationReport report = world.runVerification();
+  EXPECT_EQ(report.outcome, Outcome::kRouteVerified);
+  EXPECT_FALSE(report.reported);
+  EXPECT_TRUE(world.detectionSummary().sessions.empty());
+}
+
+TEST(VerifierTest, HonestWorldNeedsNoSecondDiscovery) {
+  HighwayScenario world(baseConfig(2, AttackType::kNone));
+  const VerificationReport report = world.runVerification();
+  EXPECT_EQ(report.discoveryRounds, 1);
+}
+
+// ----------------------------------------------------------- single attack
+
+TEST(VerifierTest, SingleBlackHoleIsConfirmedAndIsolated) {
+  HighwayScenario world(baseConfig(3, AttackType::kSingle));
+  const VerificationReport report = world.runVerification();
+
+  EXPECT_EQ(report.outcome, Outcome::kAttackerConfirmed);
+  EXPECT_EQ(report.chVerdict, Verdict::kSingleBlackHole);
+  EXPECT_EQ(report.suspect, world.primaryAttacker()->address());
+  EXPECT_TRUE(report.reported);
+  // Paper flow: two discoveries, two silent Hellos, then the d_req.
+  EXPECT_EQ(report.discoveryRounds, 2);
+  EXPECT_EQ(report.helloProbes, 2);
+
+  const scenario::DetectionSummary summary = world.detectionSummary();
+  EXPECT_TRUE(summary.confirmedOnAttacker);
+  EXPECT_FALSE(summary.falsePositive);
+  EXPECT_EQ(summary.verdict, Verdict::kSingleBlackHole);
+
+  // Isolation: TA revoked, renewal paused, blacklist propagated.
+  EXPECT_EQ(world.taNetwork().revocations().size(), 1u);
+  EXPECT_TRUE(world.taNetwork().isRenewalPaused(
+      world.primaryAttacker()->nodeId));
+  EXPECT_TRUE(world.source().membership->isBlacklisted(
+      world.primaryAttacker()->address()));
+}
+
+TEST(VerifierTest, AttackerNeverCarriesData) {
+  // The black hole never gets a verified route: zero data packets flow
+  // through it (prevention even before detection completes).
+  HighwayScenario world(baseConfig(4, AttackType::kSingle));
+  (void)world.runVerification();
+  EXPECT_EQ(world.primaryAttacker()->agent->stats().dataForwarded, 0u);
+}
+
+TEST(VerifierTest, FakeHelloReplyTriggersImmediateReport) {
+  ScenarioConfig config = baseConfig(5, AttackType::kSingle);
+  config.attackerFakesHelloReply = true;
+  HighwayScenario world(config);
+  const VerificationReport report = world.runVerification();
+  EXPECT_EQ(report.outcome, Outcome::kAttackerConfirmed);
+  // The anonymity response ends verification after a single Hello probe,
+  // without a second route discovery (§III-B3).
+  EXPECT_EQ(report.helloProbes, 1);
+  EXPECT_EQ(report.discoveryRounds, 1);
+}
+
+TEST(VerifierTest, RevokedAttackerCannotRenew) {
+  HighwayScenario world(baseConfig(6, AttackType::kSingle));
+  (void)world.runVerification();
+  const auto renewed = world.taNetwork().renew(
+      world.primaryAttacker()->ta, world.primaryAttacker()->nodeId);
+  ASSERT_FALSE(renewed.ok());
+  EXPECT_EQ(renewed.error().code, "renewal-paused");
+}
+
+TEST(VerifierTest, SecondVerificationAfterIsolationUsesHonestRoute) {
+  HighwayScenario world(baseConfig(7, AttackType::kSingle));
+  (void)world.runVerification();
+
+  VerificationReport second;
+  bool done = false;
+  world.source().verifier->establishVerifiedRoute(
+      world.destination().address(), [&](const VerificationReport& r) {
+        second = r;
+        done = true;
+      });
+  ASSERT_TRUE(world.runUntil([&] { return done; }, sim::Duration::seconds(60)));
+  EXPECT_EQ(second.outcome, Outcome::kRouteVerified);
+  EXPECT_FALSE(second.reported);
+}
+
+// ------------------------------------------------------ cooperative attack
+
+TEST(VerifierTest, CooperativeAttackConfirmsBothNodes) {
+  HighwayScenario world(baseConfig(8, AttackType::kCooperative));
+  const VerificationReport report = world.runVerification();
+  EXPECT_EQ(report.outcome, Outcome::kAttackerConfirmed);
+  EXPECT_EQ(report.chVerdict, Verdict::kCooperativeBlackHole);
+
+  const scenario::DetectionSummary summary = world.detectionSummary();
+  ASSERT_FALSE(summary.sessions.empty());
+  const SessionRecord& session = summary.sessions.front();
+  EXPECT_EQ(session.suspect, world.primaryAttacker()->address());
+  EXPECT_EQ(session.accomplice, world.accomplice()->address());
+
+  // Both certificates revoked; both renewal-paused.
+  EXPECT_EQ(world.taNetwork().revocations().size(), 2u);
+  EXPECT_TRUE(
+      world.taNetwork().isRenewalPaused(world.primaryAttacker()->nodeId));
+  EXPECT_TRUE(world.taNetwork().isRenewalPaused(world.accomplice()->nodeId));
+}
+
+// --------------------------------------------------------------- detector
+
+TEST(DetectorTest, HonestSuspectIsNeverConfirmed) {
+  // FP = 0 by construction: an honest node cannot violate AODV under the
+  // probe pair, whatever a (mistaken or malicious) reporter claims.
+  HighwayScenario world(baseConfig(9, AttackType::kNone));
+  world.runFor(sim::Duration::milliseconds(500));
+  scenario::VehicleEntity* honest =
+      world.findHonestVehicleIn(common::ClusterId{1});
+  ASSERT_NE(honest, nullptr);
+  world.injectDetectionRequest(world.source(), honest->address(),
+                               common::ClusterId{1});
+  world.runFor(sim::Duration::seconds(5));
+
+  const scenario::DetectionSummary summary = world.detectionSummary();
+  ASSERT_EQ(summary.sessions.size(), 1u);
+  EXPECT_EQ(summary.sessions.front().verdict, Verdict::kNotConfirmed);
+  EXPECT_FALSE(summary.falsePositive);
+  EXPECT_TRUE(world.taNetwork().revocations().empty());
+}
+
+TEST(DetectorTest, UnauthenticatedReportIsRejected) {
+  HighwayScenario world(baseConfig(10, AttackType::kSingle));
+  world.runFor(sim::Duration::milliseconds(500));
+
+  auto dreq = std::make_shared<DetectionRequest>();
+  dreq->reporter = world.source().address();
+  dreq->reporterCluster = common::ClusterId{1};
+  dreq->suspect = world.primaryAttacker()->address();
+  dreq->suspectCluster = common::ClusterId{2};
+  // No envelope: the CH must refuse to act.
+  world.source().node->sendTo(common::Address{101}, dreq);
+  world.runFor(sim::Duration::seconds(5));
+
+  EXPECT_EQ(world.rsu(common::ClusterId{1}).detector->stats().dreqRejectedAuth,
+            1u);
+  EXPECT_TRUE(world.detectionSummary().sessions.empty());
+}
+
+TEST(DetectorTest, ConcurrentReportsDeduplicateIntoOneSession) {
+  // §III-B1: the verification table absorbs redundant detection requests
+  // "when the highway is congested and many nodes wish to verify the same
+  // suspect node".
+  HighwayScenario world(baseConfig(11, AttackType::kSingle, 1));
+  world.runFor(sim::Duration::milliseconds(500));
+  const common::Address suspect = world.primaryAttacker()->address();
+
+  int reporters = 0;
+  for (auto& vehicle : world.vehicles()) {
+    if (reporters == 3) break;
+    if (vehicle->isAttacker()) continue;
+    if (vehicle->membership->currentCluster() != common::ClusterId{1}) {
+      continue;
+    }
+    world.injectDetectionRequest(*vehicle, suspect, common::ClusterId{1});
+    ++reporters;
+  }
+  ASSERT_EQ(reporters, 3);
+  world.runFor(sim::Duration::seconds(5));
+
+  const auto& detector = *world.rsu(common::ClusterId{1}).detector;
+  EXPECT_EQ(detector.stats().dreqReceived, 3u);
+  EXPECT_EQ(detector.stats().dreqDeduplicated, 2u);
+  ASSERT_EQ(detector.completedSessions().size(), 1u);
+  EXPECT_EQ(detector.completedSessions().front().verdict,
+            Verdict::kSingleBlackHole);
+  // One probe pair total, not three.
+  EXPECT_EQ(detector.stats().probesSent, 2u);
+}
+
+TEST(DetectorTest, CrossClusterReportIsForwarded) {
+  HighwayScenario world(baseConfig(12, AttackType::kSingle, 3));
+  world.runFor(sim::Duration::milliseconds(500));
+  world.injectDetectionRequest(world.source(),
+                               world.primaryAttacker()->address(),
+                               common::ClusterId{3});
+  world.runFor(sim::Duration::seconds(5));
+
+  EXPECT_EQ(world.rsu(common::ClusterId{1}).detector->stats().sessionsForwarded,
+            1u);
+  EXPECT_EQ(world.rsu(common::ClusterId{3}).detector->stats().sessionsAdopted,
+            1u);
+  // The session record lives at the CH that completed the detection.
+  EXPECT_TRUE(
+      world.rsu(common::ClusterId{1}).detector->completedSessions().empty());
+  ASSERT_EQ(
+      world.rsu(common::ClusterId{3}).detector->completedSessions().size(),
+      1u);
+}
+
+TEST(DetectorTest, SuspectGoneWithoutTraceIsUnreachable) {
+  HighwayScenario world(baseConfig(13, AttackType::kSingle, 2));
+  world.runFor(sim::Duration::milliseconds(500));
+  // Report a pseudonym no CH has ever seen.
+  world.injectDetectionRequest(world.source(), common::Address{987654},
+                               common::ClusterId{2});
+  world.runFor(sim::Duration::seconds(5));
+
+  const auto& sessions =
+      world.rsu(common::ClusterId{2}).detector->completedSessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions.front().verdict, Verdict::kUnreachable);
+}
+
+TEST(DetectorTest, SameClusterDetectionUsesSixPackets) {
+  // Fig. 5's headline number, measured through the public API.
+  HighwayScenario world(baseConfig(14, AttackType::kSingle, 1));
+  world.runFor(sim::Duration::milliseconds(500));
+  world.injectDetectionRequest(world.source(),
+                               world.primaryAttacker()->address(),
+                               common::ClusterId{1});
+  world.runFor(sim::Duration::seconds(5));
+  const auto& sessions =
+      world.rsu(common::ClusterId{1}).detector->completedSessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions.front().packetsUsed, 6u);
+}
+
+TEST(DetectorTest, VerificationTableEmptiesAfterSession) {
+  HighwayScenario world(baseConfig(15, AttackType::kSingle, 1));
+  world.runFor(sim::Duration::milliseconds(500));
+  world.injectDetectionRequest(world.source(),
+                               world.primaryAttacker()->address(),
+                               common::ClusterId{1});
+  world.runFor(sim::Duration::seconds(5));
+  EXPECT_EQ(world.rsu(common::ClusterId{1}).detector->activeSessions(), 0u);
+}
+
+TEST(DetectorTest, EveryClusterHeadLearnsTheRevocation) {
+  HighwayScenario world(baseConfig(16, AttackType::kSingle));
+  (void)world.runVerification();
+  const auto& revocations = world.taNetwork().revocations();
+  ASSERT_EQ(revocations.size(), 1u);
+  for (auto& rsu : world.rsus()) {
+    EXPECT_TRUE(rsu->head->revocations().isRevokedSerial(
+        revocations.front().serial))
+        << "cluster " << rsu->cluster.value();
+  }
+}
+
+}  // namespace
+}  // namespace blackdp::core

@@ -1,0 +1,168 @@
+// Secure-packet envelope creation and verification paths.
+#include <gtest/gtest.h>
+
+#include "core/messages.hpp"
+#include "core/secure.hpp"
+
+namespace blackdp::core {
+namespace {
+
+class SecureTest : public ::testing::Test {
+ protected:
+  SecureTest() : ta_{simulator_, engine_} {
+    taId_ = ta_.addAuthority();
+    enrollment_ = ta_.enroll(taId_, common::NodeId{1}).value();
+  }
+
+  [[nodiscard]] aodv::Credentials credentials() const {
+    return {enrollment_.certificate, enrollment_.privateKey};
+  }
+
+  sim::Simulator simulator_;
+  crypto::CryptoEngine engine_{11};
+  crypto::TaNetwork ta_;
+  common::TaId taId_;
+  crypto::Enrollment enrollment_;
+};
+
+TEST_F(SecureTest, RoundTripVerifies) {
+  const common::Bytes body{1, 2, 3, 4};
+  const auto envelope = makeEnvelope(body, credentials(), engine_);
+  const EnvelopeCheck check =
+      verifyEnvelope(body, envelope, enrollment_.certificate.pseudonym, ta_,
+                     engine_, simulator_.now());
+  EXPECT_TRUE(check.ok) << check.reason;
+}
+
+TEST_F(SecureTest, MissingEnvelopeFails) {
+  const EnvelopeCheck check =
+      verifyEnvelope({1, 2}, std::nullopt, enrollment_.certificate.pseudonym,
+                     ta_, engine_, simulator_.now());
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.reason, "no-envelope");
+}
+
+TEST_F(SecureTest, PseudonymMismatchFails) {
+  // The attacker's forged Hello reply: valid certificate, wrong identity.
+  const common::Bytes body{1, 2, 3};
+  const auto envelope = makeEnvelope(body, credentials(), engine_);
+  const EnvelopeCheck check = verifyEnvelope(
+      body, envelope, common::Address{4242}, ta_, engine_, simulator_.now());
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.reason, "pseudonym-mismatch");
+}
+
+TEST_F(SecureTest, TamperedBodyFails) {
+  const common::Bytes body{1, 2, 3};
+  const auto envelope = makeEnvelope(body, credentials(), engine_);
+  const common::Bytes tampered{1, 2, 4};
+  const EnvelopeCheck check =
+      verifyEnvelope(tampered, envelope, enrollment_.certificate.pseudonym,
+                     ta_, engine_, simulator_.now());
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.reason, "bad-signature");
+}
+
+TEST_F(SecureTest, ForgedCertificateFails) {
+  const common::Bytes body{1, 2, 3};
+  auto envelope = makeEnvelope(body, credentials(), engine_);
+  envelope.certificate.expiresAt =
+      envelope.certificate.expiresAt + sim::Duration::seconds(1000);
+  const EnvelopeCheck check =
+      verifyEnvelope(body, envelope, enrollment_.certificate.pseudonym, ta_,
+                     engine_, simulator_.now());
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.reason, "bad-certificate");
+}
+
+TEST_F(SecureTest, ExpiredCertificateFails) {
+  const common::Bytes body{1, 2, 3};
+  const auto envelope = makeEnvelope(body, credentials(), engine_);
+  const EnvelopeCheck check = verifyEnvelope(
+      body, envelope, enrollment_.certificate.pseudonym, ta_, engine_,
+      enrollment_.certificate.expiresAt + sim::Duration::seconds(1));
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.reason, "bad-certificate");
+}
+
+TEST_F(SecureTest, RevokedCertificateFails) {
+  const common::Bytes body{1, 2, 3};
+  const auto envelope = makeEnvelope(body, credentials(), engine_);
+  crypto::RevocationStore store;
+  store.add({enrollment_.certificate.pseudonym,
+             enrollment_.certificate.serial,
+             enrollment_.certificate.expiresAt});
+  const EnvelopeCheck check =
+      verifyEnvelope(body, envelope, enrollment_.certificate.pseudonym, ta_,
+                     engine_, simulator_.now(), &store);
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.reason, "revoked");
+}
+
+TEST_F(SecureTest, SignatureFromAnotherKeyFails) {
+  const common::Bytes body{1, 2, 3};
+  const auto other = ta_.enroll(taId_, common::NodeId{2}).value();
+  // Sign with node 2's key but present node 1's certificate.
+  auto envelope = makeEnvelope(body, {other.certificate, other.privateKey},
+                               engine_);
+  envelope.certificate = enrollment_.certificate;
+  const EnvelopeCheck check =
+      verifyEnvelope(body, envelope, enrollment_.certificate.pseudonym, ta_,
+                     engine_, simulator_.now());
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.reason, "bad-signature");
+}
+
+// ---------------------------------------------------------------- messages
+
+TEST(CoreMessagesTest, VerdictNamesAreStable) {
+  EXPECT_EQ(toString(Verdict::kNotConfirmed), "not-confirmed");
+  EXPECT_EQ(toString(Verdict::kSingleBlackHole), "single-black-hole");
+  EXPECT_EQ(toString(Verdict::kCooperativeBlackHole),
+            "cooperative-black-hole");
+  EXPECT_EQ(toString(Verdict::kUnreachable), "unreachable");
+}
+
+TEST(CoreMessagesTest, AuthHelloCanonicalBytesCoverIdentity) {
+  AuthHello a;
+  a.helloId = 1;
+  a.origin = common::Address{10};
+  a.destination = common::Address{20};
+  AuthHello b = a;
+  EXPECT_EQ(a.canonicalBytes(), b.canonicalBytes());
+  b.responder = common::Address{66};
+  EXPECT_NE(a.canonicalBytes(), b.canonicalBytes());
+  AuthHello c = a;
+  c.isReply = true;
+  EXPECT_NE(a.canonicalBytes(), c.canonicalBytes());
+}
+
+TEST(CoreMessagesTest, DreqCanonicalBytesMatchPaperTuple) {
+  // d_req = ⟨v_i, CH(v_i), v_B, CH(v_B)⟩ — all four fields signed.
+  DetectionRequest a;
+  a.reporter = common::Address{1};
+  a.reporterCluster = common::ClusterId{2};
+  a.suspect = common::Address{3};
+  a.suspectCluster = common::ClusterId{4};
+  for (int field = 0; field < 4; ++field) {
+    DetectionRequest b = a;
+    switch (field) {
+      case 0: b.reporter = common::Address{9}; break;
+      case 1: b.reporterCluster = common::ClusterId{9}; break;
+      case 2: b.suspect = common::Address{9}; break;
+      case 3: b.suspectCluster = common::ClusterId{9}; break;
+    }
+    EXPECT_NE(a.canonicalBytes(), b.canonicalBytes()) << "field " << field;
+  }
+}
+
+TEST(CoreMessagesTest, TypeNamesAreStable) {
+  EXPECT_EQ(AuthHello{}.typeName(), "hello");
+  EXPECT_EQ(DetectionRequest{}.typeName(), "dreq");
+  EXPECT_EQ(ForwardedDetection{}.typeName(), "dfwd");
+  EXPECT_EQ(DetectionResult{}.typeName(), "dres");
+  EXPECT_EQ(DetectionResponse{}.typeName(), "dresp");
+}
+
+}  // namespace
+}  // namespace blackdp::core

@@ -1,0 +1,173 @@
+// SHA-256 against FIPS 180-4 / NIST CAVP vectors; HMAC-SHA-256 against
+// RFC 4231 vectors; incremental-vs-one-shot property.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/rng.hpp"
+
+namespace blackdp::crypto {
+namespace {
+
+std::string hashHex(std::string_view s) { return toHex(Sha256::hash(s)); }
+
+// ------------------------------------------------------- published vectors
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(hashHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hashHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, FourBlockMessage) {
+  EXPECT_EQ(
+      hashHex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+              "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(toHex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, SingleByte) {
+  // NIST CAVP SHA256ShortMsg.rsp, Len = 8, Msg = d3.
+  const common::Bytes msg = common::fromHex("d3");
+  EXPECT_EQ(toHex(Sha256::hash(std::span<const std::uint8_t>{msg.data(),
+                                                             msg.size()})),
+            "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1");
+}
+
+TEST(Sha256Test, ExactlyOneBlockOfPaddingBoundary) {
+  // 55 bytes: the largest message fitting one padded block.
+  const std::string msg(55, 'x');
+  // 56 bytes: forces a second padding block.
+  const std::string msg2(56, 'x');
+  EXPECT_NE(hashHex(msg), hashHex(msg2));
+  EXPECT_EQ(hashHex(msg), hashHex(msg));  // deterministic
+}
+
+// ----------------------------------------------------------- incrementality
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  Sha256 ctx;
+  ctx.update(data.substr(0, 10));
+  ctx.update(data.substr(10, 1));
+  ctx.update(data.substr(11));
+  EXPECT_EQ(toHex(ctx.finish()), hashHex(data));
+}
+
+TEST(Sha256Test, ContextResetsAfterFinish) {
+  Sha256 ctx;
+  ctx.update(std::string_view{"first"});
+  (void)ctx.finish();
+  ctx.update(std::string_view{"abc"});
+  EXPECT_EQ(toHex(ctx.finish()), hashHex("abc"));
+}
+
+class Sha256ChunkingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256ChunkingProperty, AnyChunkingMatchesOneShot) {
+  sim::Rng rng{GetParam()};
+  common::Bytes data(1021);  // deliberately not a multiple of 64
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+
+  const Digest whole =
+      Sha256::hash(std::span<const std::uint8_t>{data.data(), data.size()});
+
+  Sha256 ctx;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t chunk = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.uniformInt(1, 100)),
+        data.size() - offset);
+    ctx.update(std::span<const std::uint8_t>{data.data() + offset, chunk});
+    offset += chunk;
+  }
+  EXPECT_EQ(toHex(ctx.finish()), toHex(whole));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sha256ChunkingProperty,
+                         ::testing::Range<std::size_t>(1, 13));
+
+// ------------------------------------------------------------ HMAC-SHA-256
+
+TEST(HmacTest, Rfc4231Case1) {
+  const common::Bytes key(20, 0x0b);
+  const Digest mac = hmacSha256(
+      std::span<const std::uint8_t>{key.data(), key.size()},
+      std::span<const std::uint8_t>{
+          reinterpret_cast<const std::uint8_t*>("Hi There"), 8});
+  EXPECT_EQ(toHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const Digest mac =
+      hmacSha256(std::string_view{"Jefe"},
+                 std::string_view{"what do ya want for nothing?"});
+  EXPECT_EQ(toHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const common::Bytes key(20, 0xaa);
+  const common::Bytes data(50, 0xdd);
+  const Digest mac =
+      hmacSha256(std::span<const std::uint8_t>{key.data(), key.size()},
+                 std::span<const std::uint8_t>{data.data(), data.size()});
+  EXPECT_EQ(toHex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  // Keys longer than the block size are hashed first.
+  const common::Bytes key(131, 0xaa);
+  const Digest mac = hmacSha256(
+      std::span<const std::uint8_t>{key.data(), key.size()},
+      std::span<const std::uint8_t>{
+          reinterpret_cast<const std::uint8_t*>(
+              "Test Using Larger Than Block-Size Key - Hash Key First"),
+          54});
+  EXPECT_EQ(toHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  EXPECT_NE(toHex(hmacSha256(std::string_view{"k1"}, std::string_view{"m"})),
+            toHex(hmacSha256(std::string_view{"k2"}, std::string_view{"m"})));
+}
+
+TEST(HmacTest, DifferentMessagesDifferentMacs) {
+  EXPECT_NE(toHex(hmacSha256(std::string_view{"k"}, std::string_view{"m1"})),
+            toHex(hmacSha256(std::string_view{"k"}, std::string_view{"m2"})));
+}
+
+TEST(DigestEqualsTest, EqualAndUnequal) {
+  const Digest a = Sha256::hash(std::string_view{"x"});
+  Digest b = a;
+  EXPECT_TRUE(digestEquals(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digestEquals(a, b));
+  b = a;
+  b[0] ^= 0x80;
+  EXPECT_FALSE(digestEquals(a, b));
+}
+
+}  // namespace
+}  // namespace blackdp::crypto

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "metrics/confusion.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "sim/rng.hpp"
+
+namespace blackdp::metrics {
+namespace {
+
+// --------------------------------------------------------------- confusion
+
+TEST(ConfusionTest, EmptyMatrixIsNeutral) {
+  const ConfusionMatrix m;
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);      // vacuous: no positives missed
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);   // vacuous: nothing flagged
+  EXPECT_DOUBLE_EQ(m.falsePositiveRate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.falseNegativeRate(), 0.0);
+}
+
+TEST(ConfusionTest, PerfectDetector) {
+  ConfusionMatrix m;
+  for (int i = 0; i < 7; ++i) m.addTruePositive();
+  for (int i = 0; i < 3; ++i) m.addTrueNegative();
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.falseNegativeRate(), 0.0);
+}
+
+TEST(ConfusionTest, MixedRates) {
+  ConfusionMatrix m;
+  for (int i = 0; i < 6; ++i) m.addTruePositive();
+  for (int i = 0; i < 2; ++i) m.addFalseNegative();
+  for (int i = 0; i < 1; ++i) m.addFalsePositive();
+  for (int i = 0; i < 11; ++i) m.addTrueNegative();
+  EXPECT_DOUBLE_EQ(m.accuracy(), 17.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(m.precision(), 6.0 / 7.0);
+  EXPECT_DOUBLE_EQ(m.falsePositiveRate(), 1.0 / 12.0);
+  EXPECT_DOUBLE_EQ(m.falseNegativeRate(), 2.0 / 8.0);
+}
+
+TEST(ConfusionTest, AccumulationAddsCounts) {
+  ConfusionMatrix a;
+  a.addTruePositive();
+  ConfusionMatrix b;
+  b.addFalseNegative();
+  b.addFalsePositive();
+  a += b;
+  EXPECT_EQ(a.tp(), 1u);
+  EXPECT_EQ(a.fn(), 1u);
+  EXPECT_EQ(a.fp(), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+// ------------------------------------------------------------ running stat
+
+TEST(RunningStatTest, EmptyIsZero) {
+  const RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSeries) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+// Property: Welford matches the naive two-pass computation.
+class WelfordProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WelfordProperty, MatchesTwoPass) {
+  sim::Rng rng{GetParam()};
+  RunningStat s;
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniformReal(-100.0, 100.0);
+    samples.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : samples) mean += x;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double x : samples) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(samples.size() - 1);
+
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelfordProperty,
+                         ::testing::Values(1, 7, 13, 99));
+
+// ------------------------------------------------------------------- table
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"A", "Metric"});
+  table.addRow({"row1", "1.00"});
+  table.addRow({"longer-row", "2"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("longer-row"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Header line and the two rows align on the same column offset.
+  const auto lines = [&] {
+    std::vector<std::string> v;
+    std::istringstream is{out};
+    std::string line;
+    while (std::getline(is, line)) v.push_back(line);
+    return v;
+  }();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].find("Metric"), lines[1].find('-') == 0
+                ? lines[0].find("Metric")
+                : lines[0].find("Metric"));
+}
+
+TEST(TableTest, RowWidthMismatchAsserts) {
+  Table table({"A", "B"});
+  EXPECT_THROW(table.addRow({"only-one"}), common::AssertionError);
+}
+
+TEST(TableTest, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(TableTest, PercentFormatsRatio) {
+  EXPECT_EQ(Table::percent(0.973, 1), "97.3%");
+  EXPECT_EQ(Table::percent(1.0, 1), "100.0%");
+  EXPECT_EQ(Table::percent(0.0, 1), "0.0%");
+}
+
+TEST(TableTest, RowCount) {
+  Table table({"A"});
+  EXPECT_EQ(table.rowCount(), 0u);
+  table.addRow({"x"});
+  EXPECT_EQ(table.rowCount(), 1u);
+}
+
+}  // namespace
+}  // namespace blackdp::metrics

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "mobility/highway.hpp"
+#include "mobility/motion.hpp"
+
+namespace blackdp::mobility {
+namespace {
+
+// ----------------------------------------------------------------- highway
+
+class HighwayTest : public ::testing::Test {
+ protected:
+  Highway highway_{10'000.0, 200.0, 1'000.0};  // Table I
+};
+
+TEST_F(HighwayTest, ClusterCountIsLengthOverRange) {
+  EXPECT_EQ(highway_.clusterCount(), 10u);
+}
+
+TEST_F(HighwayTest, UnevenLengthRoundsUp) {
+  const Highway h{10'500.0, 200.0, 1'000.0};
+  EXPECT_EQ(h.clusterCount(), 11u);
+}
+
+TEST_F(HighwayTest, ClusterAtMapsPositions) {
+  EXPECT_EQ(highway_.clusterAt(0.0), common::ClusterId{1});
+  EXPECT_EQ(highway_.clusterAt(999.99), common::ClusterId{1});
+  EXPECT_EQ(highway_.clusterAt(1000.0), common::ClusterId{2});
+  EXPECT_EQ(highway_.clusterAt(9'999.0), common::ClusterId{10});
+}
+
+TEST_F(HighwayTest, OffHighwayIsNoCluster) {
+  EXPECT_FALSE(highway_.clusterAt(-0.001).has_value());
+  EXPECT_FALSE(highway_.clusterAt(10'000.0).has_value());
+  EXPECT_FALSE(highway_.clusterAt(20'000.0).has_value());
+}
+
+TEST_F(HighwayTest, ClusterCentersAreMidSegment) {
+  const Position c1 = highway_.clusterCenter(common::ClusterId{1});
+  EXPECT_DOUBLE_EQ(c1.x, 500.0);
+  EXPECT_DOUBLE_EQ(c1.y, 100.0);
+  const Position c10 = highway_.clusterCenter(common::ClusterId{10});
+  EXPECT_DOUBLE_EQ(c10.x, 9'500.0);
+}
+
+TEST_F(HighwayTest, ClusterBounds) {
+  EXPECT_DOUBLE_EQ(highway_.clusterBegin(common::ClusterId{3}), 2'000.0);
+  EXPECT_DOUBLE_EQ(highway_.clusterEnd(common::ClusterId{3}), 3'000.0);
+}
+
+TEST_F(HighwayTest, LastClusterEndClampsToLength) {
+  const Highway h{9'500.0, 200.0, 1'000.0};
+  EXPECT_DOUBLE_EQ(h.clusterEnd(common::ClusterId{10}), 9'500.0);
+}
+
+TEST_F(HighwayTest, OutOfRangeClusterIdThrows) {
+  EXPECT_THROW((void)highway_.clusterBegin(common::ClusterId{0}),
+               common::AssertionError);
+  EXPECT_THROW((void)highway_.clusterBegin(common::ClusterId{11}),
+               common::AssertionError);
+}
+
+TEST_F(HighwayTest, ContainsChecksBothAxes) {
+  EXPECT_TRUE(highway_.contains({5'000.0, 100.0}));
+  EXPECT_TRUE(highway_.contains({0.0, 0.0}));
+  EXPECT_FALSE(highway_.contains({-1.0, 100.0}));
+  EXPECT_FALSE(highway_.contains({5'000.0, 201.0}));
+  EXPECT_FALSE(highway_.contains({10'000.0, 100.0}));
+}
+
+TEST_F(HighwayTest, InvalidDimensionsThrow) {
+  EXPECT_THROW((Highway{0.0, 200.0, 1'000.0}), std::invalid_argument);
+  EXPECT_THROW((Highway{10'000.0, -1.0, 1'000.0}), std::invalid_argument);
+  EXPECT_THROW((Highway{10'000.0, 200.0, 0.0}), std::invalid_argument);
+}
+
+TEST(DistanceTest, Euclidean) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+// Property: every on-highway x maps to a cluster whose bounds contain it.
+class ClusterMappingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClusterMappingProperty, ClusterBoundsContainPosition) {
+  const Highway highway{10'000.0, 200.0, 1'000.0};
+  const double x = GetParam();
+  const auto cluster = highway.clusterAt(x);
+  ASSERT_TRUE(cluster.has_value());
+  EXPECT_GE(x, highway.clusterBegin(*cluster));
+  EXPECT_LT(x, highway.clusterEnd(*cluster));
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, ClusterMappingProperty,
+                         ::testing::Values(0.0, 1.0, 499.5, 999.999, 1000.0,
+                                           2500.0, 5000.0, 7999.0, 9000.0,
+                                           9999.999));
+
+// ------------------------------------------------------------------ motion
+
+TEST(MotionTest, StationaryStaysPut) {
+  const LinearMotion m = LinearMotion::stationary({100.0, 50.0});
+  EXPECT_EQ(m.positionAt(sim::TimePoint::fromUs(10'000'000)).x, 100.0);
+  EXPECT_EQ(m.speedMps(), 0.0);
+}
+
+TEST(MotionTest, EastboundAdvances) {
+  const LinearMotion m{{0.0, 10.0}, 25.0, Direction::kEastbound,
+                       sim::TimePoint::fromUs(0)};
+  const Position p = m.positionAt(sim::TimePoint::fromUs(2'000'000));
+  EXPECT_DOUBLE_EQ(p.x, 50.0);
+  EXPECT_DOUBLE_EQ(p.y, 10.0);
+}
+
+TEST(MotionTest, WestboundRecedes) {
+  const LinearMotion m{{100.0, 10.0}, 10.0, Direction::kWestbound,
+                       sim::TimePoint::fromUs(0)};
+  EXPECT_DOUBLE_EQ(m.positionAt(sim::TimePoint::fromUs(3'000'000)).x, 70.0);
+}
+
+TEST(MotionTest, AnchoredAtStartTime) {
+  const LinearMotion m{{0.0, 0.0}, 10.0, Direction::kEastbound,
+                       sim::TimePoint::fromUs(5'000'000)};
+  EXPECT_DOUBLE_EQ(m.positionAt(sim::TimePoint::fromUs(5'000'000)).x, 0.0);
+  EXPECT_DOUBLE_EQ(m.positionAt(sim::TimePoint::fromUs(6'000'000)).x, 10.0);
+}
+
+TEST(MotionTest, WhenAtXForward) {
+  const LinearMotion m{{0.0, 0.0}, 20.0, Direction::kEastbound,
+                       sim::TimePoint::fromUs(0)};
+  const auto when = m.whenAtX(100.0);
+  ASSERT_TRUE(when.has_value());
+  EXPECT_EQ(when->us(), 5'000'000);
+}
+
+TEST(MotionTest, WhenAtXBehindIsNever) {
+  const LinearMotion m{{50.0, 0.0}, 20.0, Direction::kEastbound,
+                       sim::TimePoint::fromUs(0)};
+  EXPECT_FALSE(m.whenAtX(10.0).has_value());
+}
+
+TEST(MotionTest, WhenAtXWestbound) {
+  const LinearMotion m{{100.0, 0.0}, 10.0, Direction::kWestbound,
+                       sim::TimePoint::fromUs(0)};
+  const auto when = m.whenAtX(60.0);
+  ASSERT_TRUE(when.has_value());
+  EXPECT_EQ(when->us(), 4'000'000);
+  EXPECT_FALSE(m.whenAtX(150.0).has_value());
+}
+
+TEST(MotionTest, WhenAtXStationary) {
+  const LinearMotion m = LinearMotion::stationary({10.0, 0.0});
+  EXPECT_TRUE(m.whenAtX(10.0).has_value());
+  EXPECT_FALSE(m.whenAtX(11.0).has_value());
+}
+
+TEST(MotionTest, KmhConversion) {
+  EXPECT_DOUBLE_EQ(kmhToMps(90.0), 25.0);
+  EXPECT_DOUBLE_EQ(kmhToMps(36.0), 10.0);
+}
+
+// Property: positionAt(whenAtX(x)).x == x (up to µs rounding).
+class MotionInverseProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MotionInverseProperty, WhenAtXIsInverseOfPositionAt) {
+  const auto [speed, target] = GetParam();
+  const LinearMotion m{{0.0, 0.0}, speed, Direction::kEastbound,
+                       sim::TimePoint::fromUs(0)};
+  const auto when = m.whenAtX(target);
+  ASSERT_TRUE(when.has_value());
+  EXPECT_NEAR(m.positionAt(*when).x, target, speed * 1e-6 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpeedAndTarget, MotionInverseProperty,
+    ::testing::Combine(::testing::Values(13.9, 20.0, 25.0),  // 50-90 km/h
+                       ::testing::Values(1.0, 500.0, 999.0, 10'000.0)));
+
+}  // namespace
+}  // namespace blackdp::mobility

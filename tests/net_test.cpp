@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "net/backbone.hpp"
+#include "net/medium.hpp"
+#include "net/node.hpp"
+
+namespace blackdp::net {
+namespace {
+
+class Ping final : public Payload {
+ public:
+  explicit Ping(int value = 0) : value_{value} {}
+  [[nodiscard]] std::string_view typeName() const override { return "ping"; }
+  [[nodiscard]] int value() const { return value_; }
+
+ private:
+  int value_;
+};
+
+class Pong final : public Payload {
+ public:
+  [[nodiscard]] std::string_view typeName() const override { return "pong"; }
+};
+
+/// Test radio pinned to a position, recording every frame.
+class FixedRadio final : public Radio {
+ public:
+  explicit FixedRadio(mobility::Position where) : where_{where} {}
+  [[nodiscard]] mobility::Position radioPosition() const override {
+    return where_;
+  }
+  void onFrame(const Frame& frame) override { frames.push_back(frame); }
+
+  mobility::Position where_;
+  std::vector<Frame> frames;
+};
+
+// ----------------------------------------------------------------- payload
+
+TEST(PayloadTest, DowncastMatchesType) {
+  const PayloadPtr p = makePayload<Ping>(7);
+  ASSERT_NE(payloadAs<Ping>(p), nullptr);
+  EXPECT_EQ(payloadAs<Ping>(p)->value(), 7);
+  EXPECT_EQ(payloadAs<Pong>(p), nullptr);
+}
+
+TEST(FrameTest, BroadcastDetection) {
+  Frame f{common::Address{1}, common::kBroadcastAddress, makePayload<Ping>()};
+  EXPECT_TRUE(f.isBroadcast());
+  f.dst = common::Address{2};
+  EXPECT_FALSE(f.isBroadcast());
+}
+
+// ------------------------------------------------------------------ medium
+
+MediumConfig deterministicMediumConfig() {
+  MediumConfig c;
+  c.transmissionRangeM = 1000.0;
+  c.maxJitter = sim::Duration{};  // deterministic delivery time
+  return c;
+}
+
+class MediumTest : public ::testing::Test {
+ protected:
+  MediumTest() : medium_{simulator_, sim::Rng{1}, deterministicMediumConfig()} {}
+
+  static MediumConfig config() { return deterministicMediumConfig(); }
+
+  sim::Simulator simulator_;
+  WirelessMedium medium_;
+};
+
+TEST_F(MediumTest, DeliversWithinRange) {
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{999.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  medium_.attach(common::NodeId{2}, b);
+  medium_.send(common::NodeId{1}, Frame{common::Address{1},
+                                        common::kBroadcastAddress,
+                                        makePayload<Ping>()});
+  simulator_.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_TRUE(a.frames.empty());  // no self-delivery
+}
+
+TEST_F(MediumTest, DropsBeyondRange) {
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{1000.5, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  medium_.attach(common::NodeId{2}, b);
+  medium_.send(common::NodeId{1}, Frame{common::Address{1},
+                                        common::kBroadcastAddress,
+                                        makePayload<Ping>()});
+  simulator_.run();
+  EXPECT_TRUE(b.frames.empty());
+}
+
+TEST_F(MediumTest, RangeIsInclusive) {
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{1000.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  medium_.attach(common::NodeId{2}, b);
+  medium_.send(common::NodeId{1}, Frame{common::Address{1},
+                                        common::kBroadcastAddress,
+                                        makePayload<Ping>()});
+  simulator_.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST_F(MediumTest, EveryInRangeNodeHearsBroadcast) {
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{100.0, 0.0}};
+  FixedRadio c{{200.0, 0.0}};
+  FixedRadio d{{5000.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  medium_.attach(common::NodeId{2}, b);
+  medium_.attach(common::NodeId{3}, c);
+  medium_.attach(common::NodeId{4}, d);
+  medium_.send(common::NodeId{1}, Frame{common::Address{1},
+                                        common::kBroadcastAddress,
+                                        makePayload<Ping>()});
+  simulator_.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(c.frames.size(), 1u);
+  EXPECT_TRUE(d.frames.empty());
+}
+
+TEST_F(MediumTest, UnicastFramesStillReachAllInRangeRadios) {
+  // A shared channel: address filtering is the receiver's job.
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{10.0, 0.0}};
+  FixedRadio c{{20.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  medium_.attach(common::NodeId{2}, b);
+  medium_.attach(common::NodeId{3}, c);
+  medium_.send(common::NodeId{1}, Frame{common::Address{1},
+                                        common::Address{2},
+                                        makePayload<Ping>()});
+  simulator_.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(c.frames.size(), 1u);  // overhears; filtering happens in nodes
+}
+
+TEST_F(MediumTest, DeliveryIsDelayedByLatency) {
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{10.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  medium_.attach(common::NodeId{2}, b);
+  medium_.send(common::NodeId{1}, Frame{common::Address{1},
+                                        common::kBroadcastAddress,
+                                        makePayload<Ping>()});
+  EXPECT_TRUE(b.frames.empty());  // nothing until the event fires
+  simulator_.run();
+  EXPECT_EQ(simulator_.now().us(), config().perHopLatency.us());
+  EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST_F(MediumTest, DetachedReceiverMissesInFlightFrame) {
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{10.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  medium_.attach(common::NodeId{2}, b);
+  medium_.send(common::NodeId{1}, Frame{common::Address{1},
+                                        common::kBroadcastAddress,
+                                        makePayload<Ping>()});
+  medium_.detach(common::NodeId{2});  // leaves before delivery
+  simulator_.run();
+  EXPECT_TRUE(b.frames.empty());
+}
+
+TEST_F(MediumTest, SendFromUnattachedNodeAsserts) {
+  EXPECT_THROW(medium_.send(common::NodeId{9},
+                            Frame{common::Address{9},
+                                  common::kBroadcastAddress,
+                                  makePayload<Ping>()}),
+               common::AssertionError);
+}
+
+TEST_F(MediumTest, DoubleAttachAsserts) {
+  FixedRadio a{{0.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  EXPECT_THROW(medium_.attach(common::NodeId{1}, a), common::AssertionError);
+}
+
+TEST_F(MediumTest, FrameWithoutPayloadAsserts) {
+  FixedRadio a{{0.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  EXPECT_THROW(medium_.send(common::NodeId{1},
+                            Frame{common::Address{1},
+                                  common::kBroadcastAddress, nullptr}),
+               common::AssertionError);
+}
+
+TEST_F(MediumTest, InRangeQuery) {
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{900.0, 0.0}};
+  FixedRadio c{{2000.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  medium_.attach(common::NodeId{2}, b);
+  medium_.attach(common::NodeId{3}, c);
+  EXPECT_TRUE(medium_.inRange(common::NodeId{1}, common::NodeId{2}));
+  EXPECT_FALSE(medium_.inRange(common::NodeId{1}, common::NodeId{3}));
+  EXPECT_FALSE(medium_.inRange(common::NodeId{1}, common::NodeId{9}));
+}
+
+TEST_F(MediumTest, StatsCountFramesAndBytes) {
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{10.0, 0.0}};
+  FixedRadio c{{20.0, 0.0}};
+  medium_.attach(common::NodeId{1}, a);
+  medium_.attach(common::NodeId{2}, b);
+  medium_.attach(common::NodeId{3}, c);
+  medium_.send(common::NodeId{1}, Frame{common::Address{1},
+                                        common::kBroadcastAddress,
+                                        makePayload<Ping>()});
+  simulator_.run();
+  EXPECT_EQ(medium_.stats().framesSent, 1u);
+  EXPECT_EQ(medium_.stats().framesDelivered, 2u);
+  EXPECT_GT(medium_.stats().bytesSent, 0u);
+}
+
+TEST(MediumLossTest, FullLossDeliversNothing) {
+  sim::Simulator simulator;
+  MediumConfig config;
+  config.lossProbability = 1.0;
+  WirelessMedium medium{simulator, sim::Rng{1}, config};
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{10.0, 0.0}};
+  medium.attach(common::NodeId{1}, a);
+  medium.attach(common::NodeId{2}, b);
+  for (int i = 0; i < 10; ++i) {
+    medium.send(common::NodeId{1}, Frame{common::Address{1},
+                                         common::kBroadcastAddress,
+                                         makePayload<Ping>()});
+  }
+  simulator.run();
+  EXPECT_TRUE(b.frames.empty());
+  EXPECT_EQ(medium.stats().framesLost, 10u);
+}
+
+TEST(MediumLossTest, PartialLossIsApproximatelyCalibrated) {
+  sim::Simulator simulator;
+  MediumConfig config;
+  config.lossProbability = 0.3;
+  WirelessMedium medium{simulator, sim::Rng{42}, config};
+  FixedRadio a{{0.0, 0.0}};
+  FixedRadio b{{10.0, 0.0}};
+  medium.attach(common::NodeId{1}, a);
+  medium.attach(common::NodeId{2}, b);
+  for (int i = 0; i < 1000; ++i) {
+    medium.send(common::NodeId{1}, Frame{common::Address{1},
+                                         common::kBroadcastAddress,
+                                         makePayload<Ping>()});
+  }
+  simulator.run();
+  EXPECT_GT(b.frames.size(), 600u);
+  EXPECT_LT(b.frames.size(), 800u);
+}
+
+// ---------------------------------------------------------------- backbone
+
+class RecordingEndpoint final : public BackboneEndpoint {
+ public:
+  void onBackboneMessage(common::ClusterId from,
+                         const PayloadPtr& payload) override {
+    received.emplace_back(from, payload);
+  }
+  std::vector<std::pair<common::ClusterId, PayloadPtr>> received;
+};
+
+TEST(BackboneTest, DeliversBetweenClusters) {
+  sim::Simulator simulator;
+  Backbone backbone{simulator};
+  RecordingEndpoint a;
+  RecordingEndpoint b;
+  backbone.attach(common::ClusterId{1}, a);
+  backbone.attach(common::ClusterId{2}, b);
+  backbone.send(common::ClusterId{1}, common::ClusterId{2},
+                makePayload<Ping>(5));
+  simulator.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, common::ClusterId{1});
+  EXPECT_EQ(payloadAs<Ping>(b.received[0].second)->value(), 5);
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(BackboneTest, UnknownDestinationDropsSilently) {
+  sim::Simulator simulator;
+  Backbone backbone{simulator};
+  RecordingEndpoint a;
+  backbone.attach(common::ClusterId{1}, a);
+  EXPECT_NO_THROW(backbone.send(common::ClusterId{1}, common::ClusterId{9},
+                                makePayload<Ping>()));
+  simulator.run();
+}
+
+TEST(BackboneTest, SendFromUnattachedAsserts) {
+  sim::Simulator simulator;
+  Backbone backbone{simulator};
+  EXPECT_THROW(backbone.send(common::ClusterId{1}, common::ClusterId{2},
+                             makePayload<Ping>()),
+               common::AssertionError);
+}
+
+TEST(BackboneTest, CountsTraffic) {
+  sim::Simulator simulator;
+  Backbone backbone{simulator};
+  RecordingEndpoint a;
+  RecordingEndpoint b;
+  backbone.attach(common::ClusterId{1}, a);
+  backbone.attach(common::ClusterId{2}, b);
+  backbone.send(common::ClusterId{1}, common::ClusterId{2},
+                makePayload<Ping>());
+  backbone.send(common::ClusterId{2}, common::ClusterId{1},
+                makePayload<Ping>());
+  simulator.run();
+  EXPECT_EQ(backbone.stats().messagesSent, 2u);
+}
+
+TEST(BackboneTest, DetachStopsDelivery) {
+  sim::Simulator simulator;
+  Backbone backbone{simulator};
+  RecordingEndpoint a;
+  RecordingEndpoint b;
+  backbone.attach(common::ClusterId{1}, a);
+  backbone.attach(common::ClusterId{2}, b);
+  backbone.send(common::ClusterId{1}, common::ClusterId{2},
+                makePayload<Ping>());
+  backbone.detach(common::ClusterId{2});
+  simulator.run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+// -------------------------------------------------------------- basic node
+
+class NodeTest : public ::testing::Test {
+ protected:
+  NodeTest() : medium_{simulator_, sim::Rng{1}, deterministicMediumConfig()} {}
+
+  sim::Simulator simulator_;
+  WirelessMedium medium_;
+};
+
+TEST_F(NodeTest, FiltersFramesByAddress) {
+  net::BasicNode a{simulator_, medium_, common::NodeId{1},
+                   mobility::LinearMotion::stationary({0.0, 0.0})};
+  net::BasicNode b{simulator_, medium_, common::NodeId{2},
+                   mobility::LinearMotion::stationary({10.0, 0.0})};
+  a.setLocalAddress(common::Address{100});
+  b.setLocalAddress(common::Address{200});
+
+  int received = 0;
+  b.addHandler([&](const Frame&) {
+    ++received;
+    return true;
+  });
+
+  a.sendTo(common::Address{200}, makePayload<Ping>());  // for b
+  a.sendTo(common::Address{300}, makePayload<Ping>());  // for nobody
+  a.broadcast(makePayload<Ping>());                     // for everyone
+  simulator_.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST_F(NodeTest, HandlersRunInOrderUntilConsumed) {
+  net::BasicNode a{simulator_, medium_, common::NodeId{1},
+                   mobility::LinearMotion::stationary({0.0, 0.0})};
+  net::BasicNode b{simulator_, medium_, common::NodeId{2},
+                   mobility::LinearMotion::stationary({10.0, 0.0})};
+  b.setLocalAddress(common::Address{200});
+
+  std::vector<int> calls;
+  b.addHandler([&](const Frame&) {
+    calls.push_back(1);
+    return false;  // pass on
+  });
+  b.addHandler([&](const Frame&) {
+    calls.push_back(2);
+    return true;  // consume
+  });
+  b.addHandler([&](const Frame&) {
+    calls.push_back(3);
+    return true;
+  });
+
+  a.sendTo(common::Address{200}, makePayload<Ping>());
+  simulator_.run();
+  EXPECT_EQ(calls, (std::vector<int>{1, 2}));
+}
+
+TEST_F(NodeTest, AliasesReceive) {
+  net::BasicNode a{simulator_, medium_, common::NodeId{1},
+                   mobility::LinearMotion::stationary({0.0, 0.0})};
+  net::BasicNode b{simulator_, medium_, common::NodeId{2},
+                   mobility::LinearMotion::stationary({10.0, 0.0})};
+  b.setLocalAddress(common::Address{200});
+  b.addAlias(common::Address{777});
+
+  int received = 0;
+  b.addHandler([&](const Frame&) {
+    ++received;
+    return true;
+  });
+
+  a.sendTo(common::Address{777}, makePayload<Ping>());
+  simulator_.run();
+  EXPECT_EQ(received, 1);
+
+  b.removeAlias(common::Address{777});
+  a.sendTo(common::Address{777}, makePayload<Ping>());
+  simulator_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NodeTest, SendFromAliasStampsSource) {
+  net::BasicNode a{simulator_, medium_, common::NodeId{1},
+                   mobility::LinearMotion::stationary({0.0, 0.0})};
+  net::BasicNode b{simulator_, medium_, common::NodeId{2},
+                   mobility::LinearMotion::stationary({10.0, 0.0})};
+  a.setLocalAddress(common::Address{100});
+  b.setLocalAddress(common::Address{200});
+
+  common::Address seenSrc{};
+  b.addHandler([&](const Frame& frame) {
+    seenSrc = frame.src;
+    return true;
+  });
+
+  a.sendFromAlias(common::Address{555}, common::Address{200},
+                  makePayload<Ping>());
+  simulator_.run();
+  EXPECT_EQ(seenSrc, common::Address{555});
+}
+
+TEST_F(NodeTest, DetachedNodeNeitherSendsNorReceives) {
+  net::BasicNode a{simulator_, medium_, common::NodeId{1},
+                   mobility::LinearMotion::stationary({0.0, 0.0})};
+  net::BasicNode b{simulator_, medium_, common::NodeId{2},
+                   mobility::LinearMotion::stationary({10.0, 0.0})};
+  b.setLocalAddress(common::Address{200});
+
+  int received = 0;
+  b.addHandler([&](const Frame&) {
+    ++received;
+    return true;
+  });
+
+  b.detachFromMedium();
+  a.sendTo(common::Address{200}, makePayload<Ping>());
+  simulator_.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_FALSE(b.isAttached());
+
+  b.detachFromMedium();  // idempotent
+  a.broadcast(makePayload<Ping>());
+  EXPECT_NO_THROW(simulator_.run());
+
+  // A detached node's own sends are no-ops, not errors.
+  EXPECT_NO_THROW(b.broadcast(makePayload<Ping>()));
+}
+
+TEST_F(NodeTest, PositionFollowsMotion) {
+  net::BasicNode a{
+      simulator_, medium_, common::NodeId{1},
+      mobility::LinearMotion{{0.0, 0.0}, 10.0,
+                             mobility::Direction::kEastbound,
+                             simulator_.now()}};
+  bool checked = false;
+  simulator_.schedule(sim::Duration::seconds(5), [&] {
+    EXPECT_DOUBLE_EQ(a.radioPosition().x, 50.0);
+    checked = true;
+  });
+  simulator_.run();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace blackdp::net

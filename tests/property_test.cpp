@@ -1,0 +1,150 @@
+// System-level properties held over randomized treatments (TEST_P sweeps):
+//
+//  P1. Zero false positives — no honest node is ever confirmed or isolated,
+//      whatever the seed, attacker placement, or attack type.
+//  P2. Prevention — data never flows through a black hole's forwarding path.
+//  P3. Determinism — identical configurations produce identical executions.
+//  P4. Conservation — detectors answer every authenticated report exactly
+//      once; verification tables drain.
+#include <gtest/gtest.h>
+
+#include "scenario/highway_scenario.hpp"
+
+namespace blackdp::scenario {
+namespace {
+
+struct Treatment {
+  std::uint64_t seed;
+  AttackType attack;
+  std::uint32_t cluster;
+};
+
+void PrintTo(const Treatment& t, std::ostream* os) {
+  *os << "seed=" << t.seed << " attack=" << toString(t.attack)
+      << " cluster=" << t.cluster;
+}
+
+class SystemProperty : public ::testing::TestWithParam<Treatment> {
+ protected:
+  static ScenarioConfig configFor(const Treatment& t) {
+    ScenarioConfig config;
+    config.seed = t.seed;
+    config.attack = t.attack;
+    config.attackerCluster = common::ClusterId{t.cluster};
+    return config;  // evasion enabled per default policy — part of the sweep
+  }
+};
+
+TEST_P(SystemProperty, NoFalsePositiveEver) {
+  HighwayScenario world(configFor(GetParam()));
+  (void)world.runVerification();
+  const DetectionSummary summary = world.detectionSummary();
+  EXPECT_FALSE(summary.falsePositive);
+
+  // Isolation side of the same invariant: every revoked pseudonym belongs
+  // to a real attacker.
+  for (const crypto::RevocationNotice& notice :
+       world.taNetwork().revocations()) {
+    EXPECT_TRUE(world.isAttackerPseudonym(notice.pseudonym));
+  }
+  // And no honest vehicle ever lands on a blacklist.
+  for (auto& vehicle : world.vehicles()) {
+    if (vehicle->isAttacker()) continue;
+    for (auto& other : world.vehicles()) {
+      if (other->isAttacker()) continue;
+      EXPECT_FALSE(
+          vehicle->membership->isBlacklisted(other->address()));
+    }
+  }
+}
+
+TEST_P(SystemProperty, BlackHoleNeverForwardsData) {
+  HighwayScenario world(configFor(GetParam()));
+  (void)world.runVerification();
+  if (world.primaryAttacker() != nullptr) {
+    EXPECT_EQ(world.primaryAttacker()->agent->stats().dataForwarded, 0u);
+  }
+  if (world.accomplice() != nullptr) {
+    EXPECT_EQ(world.accomplice()->agent->stats().dataForwarded, 0u);
+  }
+}
+
+TEST_P(SystemProperty, DeterministicReplay) {
+  const auto run = [&] {
+    HighwayScenario world(configFor(GetParam()));
+    const core::VerificationReport report = world.runVerification();
+    return std::tuple{report.outcome, report.suspect, report.helloProbes,
+                      world.simulator().executedEvents(),
+                      world.medium().stats().framesSent};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(SystemProperty, VerificationTablesDrain) {
+  HighwayScenario world(configFor(GetParam()));
+  (void)world.runVerification();
+  world.runFor(sim::Duration::seconds(10));
+  for (auto& rsu : world.rsus()) {
+    EXPECT_EQ(rsu->detector->activeSessions(), 0u)
+        << "cluster " << rsu->cluster.value();
+  }
+}
+
+TEST_P(SystemProperty, ConfirmationImpliesIsolationEverywhere) {
+  HighwayScenario world(configFor(GetParam()));
+  (void)world.runVerification();
+  world.runFor(sim::Duration::seconds(1));
+  const DetectionSummary summary = world.detectionSummary();
+  if (!summary.confirmedOnAttacker) return;
+  const auto& revocations = world.taNetwork().revocations();
+  ASSERT_FALSE(revocations.empty());
+  for (auto& rsu : world.rsus()) {
+    EXPECT_TRUE(rsu->head->revocations().isRevokedSerial(
+        revocations.front().serial));
+  }
+  EXPECT_TRUE(
+      world.taNetwork().isRenewalPaused(world.primaryAttacker()->nodeId));
+}
+
+std::vector<Treatment> sweep() {
+  std::vector<Treatment> treatments;
+  std::uint64_t seed = 1000;
+  for (const AttackType attack :
+       {AttackType::kNone, AttackType::kSingle, AttackType::kCooperative}) {
+    for (const std::uint32_t cluster : {1u, 2u, 5u, 8u, 9u, 10u}) {
+      treatments.push_back({seed++, attack, cluster});
+    }
+  }
+  // A few extra random-ish seeds on the hardest treatments.
+  treatments.push_back({77, AttackType::kSingle, 10u});
+  treatments.push_back({78, AttackType::kCooperative, 10u});
+  treatments.push_back({79, AttackType::kSingle, 8u});
+  return treatments;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SystemProperty, ::testing::ValuesIn(sweep()));
+
+// Loss resilience: even with 5% frame loss the invariants hold (detection
+// may fail; false positives still must not happen).
+class LossyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyProperty, NoFalsePositivesUnderFrameLoss) {
+  ScenarioConfig config;
+  config.seed = GetParam();
+  config.attack = AttackType::kSingle;
+  config.attackerCluster = common::ClusterId{3};
+  config.medium.lossProbability = 0.05;
+  HighwayScenario world(config);
+  (void)world.runVerification();
+  EXPECT_FALSE(world.detectionSummary().falsePositive);
+  for (const crypto::RevocationNotice& notice :
+       world.taNetwork().revocations()) {
+    EXPECT_TRUE(world.isAttackerPseudonym(notice.pseudonym));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace blackdp::scenario

@@ -1,0 +1,228 @@
+// Scenario builder: Table-I conformance, placement rules, determinism,
+// ground-truth ledger, attacker wiring.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "scenario/highway_scenario.hpp"
+
+namespace blackdp::scenario {
+namespace {
+
+TEST(ScenarioTest, BuildsTableIWorld) {
+  ScenarioConfig config;
+  config.seed = 1;
+  config.attack = AttackType::kNone;
+  HighwayScenario world(config);
+
+  EXPECT_EQ(world.vehicles().size(), 100u);
+  EXPECT_EQ(world.rsus().size(), 10u);
+  EXPECT_DOUBLE_EQ(world.highway().length(), 10'000.0);
+  EXPECT_DOUBLE_EQ(world.highway().width(), 200.0);
+  EXPECT_DOUBLE_EQ(world.medium().config().transmissionRangeM, 1'000.0);
+  EXPECT_EQ(world.taNetwork().authorityCount(), 2u);
+}
+
+TEST(ScenarioTest, RsusSitAtClusterCenters) {
+  ScenarioConfig config;
+  config.attack = AttackType::kNone;
+  HighwayScenario world(config);
+  for (auto& rsu : world.rsus()) {
+    const auto expected = world.highway().clusterCenter(rsu->cluster);
+    EXPECT_DOUBLE_EQ(rsu->node->radioPosition().x, expected.x);
+  }
+}
+
+TEST(ScenarioTest, VehicleSpeedsWithinTableIBand) {
+  ScenarioConfig config;
+  config.attack = AttackType::kNone;
+  HighwayScenario world(config);
+  for (auto& vehicle : world.vehicles()) {
+    const double kmh = vehicle->node->motion().speedMps() * 3.6;
+    EXPECT_GE(kmh, 50.0 - 1e-9);
+    EXPECT_LE(kmh, 90.0 + 1e-9);
+  }
+}
+
+TEST(ScenarioTest, EveryVehicleEnrolledWithCredentials) {
+  ScenarioConfig config;
+  config.attack = AttackType::kSingle;
+  HighwayScenario world(config);
+  for (auto& vehicle : world.vehicles()) {
+    EXPECT_NE(vehicle->address(), common::kNullAddress);
+    ASSERT_TRUE(vehicle->agent->credentials().has_value());
+    EXPECT_TRUE(world.taNetwork().validateCertificate(
+        vehicle->agent->credentials()->certificate,
+        world.simulator().now()));
+  }
+}
+
+TEST(ScenarioTest, SourceStartsAtHighwayBeginning) {
+  ScenarioConfig config;
+  config.attack = AttackType::kSingle;
+  HighwayScenario world(config);
+  EXPECT_LT(world.source().node->radioPosition().x,
+            world.highway().clusterLength());
+}
+
+TEST(ScenarioTest, AttackerPlacedInRequestedCluster) {
+  for (std::uint32_t c : {1u, 4u, 10u}) {
+    ScenarioConfig config;
+    config.seed = c;
+    config.attack = AttackType::kSingle;
+    config.attackerCluster = common::ClusterId{c};
+    HighwayScenario world(config);
+    EXPECT_EQ(world.highway().clusterAt(
+                  world.primaryAttacker()->node->radioPosition().x),
+              common::ClusterId{c});
+  }
+}
+
+TEST(ScenarioTest, AttackerNeverInRangeOfDestination) {
+  // §IV-A: "not in the communication range of the destination to ensure
+  // that the attacker does not have a route to the destination."
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.attack = AttackType::kSingle;
+    config.attackerCluster =
+        common::ClusterId{static_cast<std::uint32_t>(seed % 10) + 1};
+    HighwayScenario world(config);
+    const double d = mobility::distance(
+        world.primaryAttacker()->node->radioPosition(),
+        world.destination().node->radioPosition());
+    EXPECT_GT(d, config.transmissionRangeM) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioTest, CooperativeAttackersWithinMutualRange) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.attack = AttackType::kCooperative;
+    HighwayScenario world(config);
+    const double d =
+        mobility::distance(world.primaryAttacker()->node->radioPosition(),
+                           world.accomplice()->node->radioPosition());
+    EXPECT_LE(d, config.transmissionRangeM) << "seed " << seed;
+    EXPECT_EQ(world.primaryAttacker()->attacker->role(),
+              attack::AttackRole::kPrimary);
+    EXPECT_EQ(world.accomplice()->attacker->role(),
+              attack::AttackRole::kAccomplice);
+  }
+}
+
+TEST(ScenarioTest, NoAttackersWhenAttackIsNone) {
+  ScenarioConfig config;
+  config.attack = AttackType::kNone;
+  HighwayScenario world(config);
+  EXPECT_EQ(world.primaryAttacker(), nullptr);
+  for (auto& vehicle : world.vehicles()) {
+    EXPECT_FALSE(vehicle->isAttacker());
+  }
+}
+
+TEST(ScenarioTest, GroundTruthLedgerTracksAttackerPseudonyms) {
+  ScenarioConfig config;
+  config.attack = AttackType::kCooperative;
+  HighwayScenario world(config);
+  EXPECT_TRUE(world.isAttackerPseudonym(world.primaryAttacker()->address()));
+  EXPECT_TRUE(world.isAttackerPseudonym(world.accomplice()->address()));
+  EXPECT_FALSE(world.isAttackerPseudonym(world.source().address()));
+  EXPECT_FALSE(world.isAttackerPseudonym(world.destination().address()));
+}
+
+TEST(ScenarioTest, EveryVehicleJoinsACluster) {
+  ScenarioConfig config;
+  config.attack = AttackType::kNone;
+  HighwayScenario world(config);
+  world.runFor(sim::Duration::milliseconds(500));
+  for (auto& vehicle : world.vehicles()) {
+    EXPECT_TRUE(vehicle->membership->currentCluster().has_value());
+  }
+}
+
+TEST(ScenarioTest, DeterministicAcrossRuns) {
+  const auto run = [](std::uint64_t seed) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.attack = AttackType::kSingle;
+    HighwayScenario world(config);
+    const core::VerificationReport report = world.runVerification();
+    return std::tuple{report.outcome, report.suspect,
+                      world.detectionSummary().packetsUsed,
+                      world.simulator().executedEvents()};
+  };
+  EXPECT_EQ(run(12345), run(12345));
+}
+
+TEST(ScenarioTest, DifferentSeedsProduceDifferentWorlds) {
+  ScenarioConfig a;
+  a.seed = 1;
+  a.attack = AttackType::kNone;
+  ScenarioConfig b = a;
+  b.seed = 2;
+  HighwayScenario worldA(a);
+  HighwayScenario worldB(b);
+  EXPECT_NE(worldA.source().node->radioPosition().x,
+            worldB.source().node->radioPosition().x);
+}
+
+TEST(ScenarioTest, RelocateVehicleRejoins) {
+  ScenarioConfig config;
+  config.attack = AttackType::kNone;
+  HighwayScenario world(config);
+  world.runFor(sim::Duration::milliseconds(500));
+  VehicleEntity* vehicle = world.findHonestVehicleIn(common::ClusterId{2});
+  ASSERT_NE(vehicle, nullptr);
+  world.relocateVehicle(*vehicle, 4'500.0);
+  world.runFor(sim::Duration::milliseconds(100));
+  EXPECT_EQ(vehicle->membership->currentCluster(), common::ClusterId{5});
+  EXPECT_TRUE(world.rsu(common::ClusterId{5})
+                  .head->isMember(vehicle->address()));
+}
+
+TEST(ScenarioTest, FindHonestVehicleExcludesPrincipals) {
+  ScenarioConfig config;
+  config.attack = AttackType::kSingle;
+  config.attackerCluster = common::ClusterId{2};
+  HighwayScenario world(config);
+  world.runFor(sim::Duration::milliseconds(500));
+  for (std::uint32_t c = 1; c <= 10; ++c) {
+    VehicleEntity* v = world.findHonestVehicleIn(common::ClusterId{c});
+    if (v == nullptr) continue;
+    EXPECT_FALSE(v->isAttacker());
+    EXPECT_NE(v, &world.source());
+    EXPECT_NE(v, &world.destination());
+  }
+}
+
+TEST(ScenarioTest, AttackerRenewalCallbackChangesIdentity) {
+  ScenarioConfig config;
+  config.seed = 4;
+  config.attack = AttackType::kSingle;
+  HighwayScenario world(config);
+  world.runFor(sim::Duration::milliseconds(500));
+  VehicleEntity* attacker = world.primaryAttacker();
+  const common::Address before = attacker->address();
+
+  // Renewal through the TA changes pseudonym + credentials; the ledger
+  // keeps every identity the attacker ever held.
+  const auto result =
+      world.taNetwork().renew(attacker->ta, attacker->nodeId);
+  ASSERT_TRUE(result.ok());
+  attacker->node->setLocalAddress(result.value().certificate.pseudonym);
+
+  EXPECT_NE(attacker->address(), before);
+  EXPECT_TRUE(world.isAttackerPseudonym(before));  // ledger keeps history
+}
+
+TEST(ScenarioTest, TooShortHighwayForSeparationAsserts) {
+  ScenarioConfig config;
+  config.highwayLengthM = 3'000.0;  // 3 clusters: cannot separate
+  config.attack = AttackType::kSingle;
+  config.attackerCluster = common::ClusterId{2};
+  EXPECT_THROW((HighwayScenario{config}), common::AssertionError);
+}
+
+}  // namespace
+}  // namespace blackdp::scenario

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace blackdp::sim {
+namespace {
+
+// -------------------------------------------------------------------- time
+
+TEST(TimeTest, DurationConstructors) {
+  EXPECT_EQ(Duration::microseconds(5).us(), 5);
+  EXPECT_EQ(Duration::milliseconds(2).us(), 2'000);
+  EXPECT_EQ(Duration::seconds(3).us(), 3'000'000);
+}
+
+TEST(TimeTest, FromSecondsRoundsToNearestMicrosecond) {
+  EXPECT_EQ(Duration::fromSeconds(0.0000014).us(), 1);
+  EXPECT_EQ(Duration::fromSeconds(0.0000016).us(), 2);
+  EXPECT_EQ(Duration::fromSeconds(-0.0000014).us(), -1);
+}
+
+TEST(TimeTest, DurationArithmetic) {
+  const Duration a = Duration::milliseconds(3);
+  const Duration b = Duration::milliseconds(2);
+  EXPECT_EQ((a + b).us(), 5'000);
+  EXPECT_EQ((a - b).us(), 1'000);
+  EXPECT_EQ((b * 4).us(), 8'000);
+}
+
+TEST(TimeTest, DurationComparison) {
+  EXPECT_LT(Duration::microseconds(1), Duration::microseconds(2));
+  EXPECT_EQ(Duration::seconds(1), Duration::milliseconds(1000));
+}
+
+TEST(TimeTest, TimePointArithmetic) {
+  const TimePoint t = TimePoint::fromUs(100);
+  EXPECT_EQ((t + Duration::microseconds(50)).us(), 150);
+  EXPECT_EQ((TimePoint::fromUs(150) - t).us(), 50);
+}
+
+TEST(TimeTest, ToSeconds) {
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(1500).toSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(TimePoint::fromUs(2'000'000).toSeconds(), 2.0);
+}
+
+// --------------------------------------------------------------- simulator
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.now().us(), 0);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule(Duration::microseconds(30), [&] { order.push_back(3); });
+  simulator.schedule(Duration::microseconds(10), [&] { order.push_back(1); });
+  simulator.schedule(Duration::microseconds(20), [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EqualTimestampsRunFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule(Duration::microseconds(5),
+                       [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator simulator;
+  TimePoint seen;
+  simulator.schedule(Duration::milliseconds(7), [&] { seen = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(seen.us(), 7'000);
+  EXPECT_EQ(simulator.now().us(), 7'000);
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule(Duration::microseconds(1), [&] {
+    order.push_back(1);
+    simulator.schedule(Duration::microseconds(1), [&] { order.push_back(2); });
+  });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBound) {
+  Simulator simulator;
+  int ran = 0;
+  simulator.schedule(Duration::microseconds(10), [&] { ++ran; });
+  simulator.schedule(Duration::microseconds(20), [&] { ++ran; });
+  simulator.schedule(Duration::microseconds(30), [&] { ++ran; });
+  simulator.run(TimePoint::fromUs(20));
+  EXPECT_EQ(ran, 2);  // the event exactly at the bound still runs
+  simulator.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  bool ran = false;
+  const EventHandle handle =
+      simulator.schedule(Duration::microseconds(5), [&] { ran = true; });
+  simulator.cancel(handle);
+  simulator.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelAfterExecutionIsNoOp) {
+  Simulator simulator;
+  bool ran = false;
+  const EventHandle handle =
+      simulator.schedule(Duration::microseconds(5), [&] { ran = true; });
+  simulator.run();
+  EXPECT_TRUE(ran);
+  EXPECT_NO_THROW(simulator.cancel(handle));
+}
+
+TEST(SimulatorTest, CancelDefaultHandleIsNoOp) {
+  Simulator simulator;
+  EXPECT_NO_THROW(simulator.cancel(EventHandle{}));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator simulator;
+  bool ran = false;
+  simulator.schedule(Duration::microseconds(-10), [&] { ran = true; });
+  simulator.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(simulator.now().us(), 0);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator simulator;
+  int ran = 0;
+  simulator.schedule(Duration::microseconds(1), [&] { ++ran; });
+  simulator.schedule(Duration::microseconds(2), [&] { ++ran; });
+  EXPECT_TRUE(simulator.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(simulator.step());
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(simulator.step());
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator simulator;
+  for (int i = 0; i < 5; ++i) {
+    simulator.schedule(Duration::microseconds(i), [] {});
+  }
+  simulator.run();
+  EXPECT_EQ(simulator.executedEvents(), 5u);
+}
+
+TEST(SimulatorTest, RunReturnsExecutedCount) {
+  Simulator simulator;
+  for (int i = 0; i < 3; ++i) {
+    simulator.schedule(Duration::microseconds(i), [] {});
+  }
+  EXPECT_EQ(simulator.run(), 3u);
+}
+
+TEST(SimulatorTest, NullCallbackIsRejected) {
+  Simulator simulator;
+  EXPECT_THROW(simulator.schedule(Duration{}, nullptr),
+               common::AssertionError);
+}
+
+// Property: for any random set of schedule times, execution is sorted.
+class SimulatorOrderProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SimulatorOrderProperty, ExecutionOrderIsSortedByTime) {
+  Rng rng{GetParam()};
+  Simulator simulator;
+  std::vector<std::int64_t> executed;
+  for (int i = 0; i < 200; ++i) {
+    const auto when = rng.uniformInt(0, 1000);
+    simulator.schedule(Duration::microseconds(when), [&executed, &simulator] {
+      executed.push_back(simulator.now().us());
+    });
+  }
+  simulator.run();
+  ASSERT_EQ(executed.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(executed.begin(), executed.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOrderProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformRealStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniformReal(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng{7};
+  int heads = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (rng.bernoulli(0.5)) ++heads;
+  }
+  EXPECT_GT(heads, 4'500);
+  EXPECT_LT(heads, 5'500);
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng{7};
+  std::vector<bool> hit(10, false);
+  for (int i = 0; i < 1000; ++i) hit[rng.index(10)] = true;
+  EXPECT_TRUE(std::all_of(hit.begin(), hit.end(), [](bool b) { return b; }));
+}
+
+TEST(SeedSequenceTest, NamedStreamsAreIndependent) {
+  const SeedSequence seeds{99};
+  EXPECT_NE(seeds.deriveSeed("medium"), seeds.deriveSeed("crypto"));
+  EXPECT_NE(seeds.deriveSeed("a"), seeds.deriveSeed("b"));
+}
+
+TEST(SeedSequenceTest, SameNameSameSeed) {
+  const SeedSequence seeds{99};
+  EXPECT_EQ(seeds.deriveSeed("medium"), seeds.deriveSeed("medium"));
+}
+
+TEST(SeedSequenceTest, DifferentMastersDiverge) {
+  EXPECT_NE(SeedSequence{1}.deriveSeed("x"), SeedSequence{2}.deriveSeed("x"));
+}
+
+TEST(SeedSequenceTest, StreamsReproduce) {
+  const SeedSequence seeds{5};
+  Rng a = seeds.stream("s");
+  Rng b = seeds.stream("s");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+}  // namespace
+}  // namespace blackdp::sim

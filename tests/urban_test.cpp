@@ -1,0 +1,318 @@
+// Urban grid geometry, turn-by-turn mobility, zone tracking, and the
+// end-to-end urban BlackDP flow (paper §VI future work).
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "mobility/urban.hpp"
+#include "mobility/urban_mobility.hpp"
+#include "mobility/zone_tracking.hpp"
+#include "scenario/urban_scenario.hpp"
+
+namespace blackdp {
+namespace {
+
+using mobility::Heading;
+using mobility::Position;
+using mobility::UrbanGrid;
+
+// -------------------------------------------------------------------- grid
+
+TEST(UrbanGridTest, Dimensions) {
+  const UrbanGrid grid{4, 3, 500.0};
+  EXPECT_EQ(grid.intersectionsX(), 5u);
+  EXPECT_EQ(grid.intersectionsY(), 4u);
+  EXPECT_EQ(grid.zoneCount(), 20u);
+  EXPECT_DOUBLE_EQ(grid.width(), 2000.0);
+  EXPECT_DOUBLE_EQ(grid.height(), 1500.0);
+}
+
+TEST(UrbanGridTest, InvalidDimensionsThrow) {
+  EXPECT_THROW((UrbanGrid{0, 3, 500.0}), std::invalid_argument);
+  EXPECT_THROW((UrbanGrid{3, 3, 0.0}), std::invalid_argument);
+}
+
+TEST(UrbanGridTest, ZoneIdsRoundTrip) {
+  const UrbanGrid grid{4, 4, 500.0};
+  for (std::uint32_t iy = 0; iy < grid.intersectionsY(); ++iy) {
+    for (std::uint32_t ix = 0; ix < grid.intersectionsX(); ++ix) {
+      const auto zone = grid.zoneIdAt(ix, iy);
+      const auto [rx, ry] = grid.gridCoordinates(zone);
+      EXPECT_EQ(rx, ix);
+      EXPECT_EQ(ry, iy);
+    }
+  }
+}
+
+TEST(UrbanGridTest, ZoneOfIsNearestIntersection) {
+  const UrbanGrid grid{4, 4, 500.0};
+  // (600, 400) is nearest to intersection (1, 1) at (500, 500).
+  EXPECT_EQ(grid.zoneOf(Position{600.0, 400.0}), grid.zoneIdAt(1, 1));
+  // (200, 100) is nearest to (0, 0).
+  EXPECT_EQ(grid.zoneOf(Position{200.0, 100.0}), grid.zoneIdAt(0, 0));
+  // Off-grid.
+  EXPECT_FALSE(grid.zoneOf(Position{-10.0, 0.0}).has_value());
+  EXPECT_FALSE(grid.zoneOf(Position{0.0, 3000.0}).has_value());
+}
+
+TEST(UrbanGridTest, ZoneCenterIsIntersection) {
+  const UrbanGrid grid{4, 4, 500.0};
+  const auto zone = grid.zoneIdAt(2, 3);
+  const Position c = grid.zoneCenter(zone);
+  EXPECT_DOUBLE_EQ(c.x, 1000.0);
+  EXPECT_DOUBLE_EQ(c.y, 1500.0);
+}
+
+TEST(UrbanGridTest, ExitsRespectBorders) {
+  const UrbanGrid grid{2, 2, 500.0};
+  EXPECT_EQ(grid.exitsFrom(0, 0).size(), 2u);  // N, E
+  EXPECT_EQ(grid.exitsFrom(1, 1).size(), 4u);  // interior
+  EXPECT_EQ(grid.exitsFrom(2, 0).size(), 2u);  // N, W
+  EXPECT_EQ(grid.exitsFrom(1, 2).size(), 3u);  // E, S, W
+}
+
+TEST(UrbanGridTest, IsOnStreetDetectsGridLines) {
+  const UrbanGrid grid{4, 4, 500.0};
+  EXPECT_TRUE(grid.isOnStreet(Position{250.0, 500.0}));   // on y=500 street
+  EXPECT_TRUE(grid.isOnStreet(Position{500.0, 321.0}));   // on x=500 street
+  EXPECT_FALSE(grid.isOnStreet(Position{250.0, 250.0}));  // mid-block
+}
+
+TEST(UrbanGridTest, NeighborTowardFollowsXAxis) {
+  const UrbanGrid grid{4, 4, 500.0};
+  EXPECT_EQ(grid.neighborToward(grid.zoneIdAt(1, 2),
+                                mobility::Direction::kEastbound),
+            grid.zoneIdAt(2, 2));
+  EXPECT_EQ(grid.neighborToward(grid.zoneIdAt(1, 2),
+                                mobility::Direction::kWestbound),
+            grid.zoneIdAt(0, 2));
+  EXPECT_FALSE(grid.neighborToward(grid.zoneIdAt(4, 0),
+                                   mobility::Direction::kEastbound)
+                   .has_value());
+  EXPECT_FALSE(grid.neighborToward(grid.zoneIdAt(0, 0),
+                                   mobility::Direction::kWestbound)
+                   .has_value());
+}
+
+TEST(UrbanGridTest, HeadingHelpers) {
+  EXPECT_EQ(opposite(Heading::kNorth), Heading::kSouth);
+  EXPECT_EQ(opposite(Heading::kEast), Heading::kWest);
+  const auto [nx, ny] = unitVector(Heading::kNorth);
+  EXPECT_DOUBLE_EQ(nx, 0.0);
+  EXPECT_DOUBLE_EQ(ny, 1.0);
+}
+
+// ----------------------------------------------------------------- motion
+
+TEST(Motion2dTest, VelocityFormMovesBothAxes) {
+  const auto m = mobility::LinearMotion::withVelocity({100.0, 200.0}, 3.0,
+                                                      -4.0, sim::TimePoint{});
+  const Position p = m.positionAt(sim::TimePoint::fromUs(2'000'000));
+  EXPECT_DOUBLE_EQ(p.x, 106.0);
+  EXPECT_DOUBLE_EQ(p.y, 192.0);
+  EXPECT_DOUBLE_EQ(m.speedMps(), 5.0);
+}
+
+TEST(Motion2dTest, WhenAtYMirrorsWhenAtX) {
+  const auto m = mobility::LinearMotion::withVelocity({0.0, 0.0}, 0.0, 10.0,
+                                                      sim::TimePoint{});
+  const auto when = m.whenAtY(50.0);
+  ASSERT_TRUE(when.has_value());
+  EXPECT_EQ(when->us(), 5'000'000);
+  EXPECT_FALSE(m.whenAtY(-1.0).has_value());
+  EXPECT_FALSE(m.whenAtX(1.0).has_value());  // no x velocity
+}
+
+// ------------------------------------------------------------ zone change
+
+TEST(ZoneTrackingTest, FindsHighwayBoundary) {
+  const mobility::Highway highway{10'000.0, 200.0, 1'000.0};
+  const mobility::LinearMotion motion{{900.0, 100.0}, 25.0,
+                                      mobility::Direction::kEastbound,
+                                      sim::TimePoint{}};
+  const auto change =
+      mobility::nextZoneChange(motion, highway, sim::TimePoint{});
+  ASSERT_TRUE(change.has_value());
+  // 100 m to the boundary at 25 m/s = 4 s.
+  EXPECT_NEAR(change->when.toSeconds(), 4.0, 0.1);
+  EXPECT_EQ(change->into, common::ClusterId{2});
+}
+
+TEST(ZoneTrackingTest, FindsUrbanZoneBoundaryOnVerticalStreet) {
+  const UrbanGrid grid{4, 4, 500.0};
+  // Northbound along x=500 from the (1,0) intersection: the Voronoi
+  // boundary to zone (1,1) is at y=250.
+  const auto motion = mobility::LinearMotion::withVelocity({500.0, 0.0}, 0.0,
+                                                           10.0,
+                                                           sim::TimePoint{});
+  const auto change = mobility::nextZoneChange(motion, grid, sim::TimePoint{});
+  ASSERT_TRUE(change.has_value());
+  EXPECT_NEAR(change->when.toSeconds(), 25.0, 0.2);
+  EXPECT_EQ(change->into, grid.zoneIdAt(1, 1));
+}
+
+TEST(ZoneTrackingTest, DetectsLeavingTheMap) {
+  const mobility::Highway highway{10'000.0, 200.0, 1'000.0};
+  const mobility::LinearMotion motion{{9'950.0, 100.0}, 25.0,
+                                      mobility::Direction::kEastbound,
+                                      sim::TimePoint{}};
+  const auto change =
+      mobility::nextZoneChange(motion, highway, sim::TimePoint{});
+  ASSERT_TRUE(change.has_value());
+  EXPECT_FALSE(change->into.has_value());
+}
+
+TEST(ZoneTrackingTest, StationaryNeverChanges) {
+  const mobility::Highway highway{10'000.0, 200.0, 1'000.0};
+  EXPECT_FALSE(mobility::nextZoneChange(
+                   mobility::LinearMotion::stationary({500.0, 100.0}),
+                   highway, sim::TimePoint{})
+                   .has_value());
+}
+
+// --------------------------------------------------------------- mobility
+
+TEST(UrbanMobilityTest, DrivesLegsAndTurnsAtIntersections) {
+  sim::Simulator simulator;
+  const UrbanGrid grid{4, 4, 500.0};
+  mobility::LinearMotion current;
+  mobility::UrbanMobilityController driver{
+      simulator, grid, 10.0, sim::Rng{5},
+      [&current](const mobility::LinearMotion& motion) { current = motion; }};
+  int legs = 0;
+  driver.setLegCallback([&legs] { ++legs; });
+  driver.start(0, 0, Heading::kEast);
+
+  // 500 m legs at 10 m/s: after 160 s at least 3 legs happened.
+  simulator.run(simulator.now() + sim::Duration::seconds(160));
+  EXPECT_GE(driver.legsDriven(), 3u);
+  EXPECT_EQ(static_cast<std::uint64_t>(legs), driver.legsDriven());
+
+  // The vehicle is always on a street.
+  const Position p = current.positionAt(simulator.now());
+  EXPECT_TRUE(grid.isOnStreet(p, 1.0))
+      << "off-street at (" << p.x << "," << p.y << ")";
+}
+
+TEST(UrbanMobilityTest, StaysOnGridForever) {
+  sim::Simulator simulator;
+  const UrbanGrid grid{3, 3, 400.0};
+  mobility::LinearMotion current;
+  mobility::UrbanMobilityController driver{
+      simulator, grid, 15.0, sim::Rng{11},
+      [&current](const mobility::LinearMotion& motion) { current = motion; }};
+  driver.start(1, 1, Heading::kNorth);
+  // Absolute deadlines: the clock only advances on executed events, so
+  // relative now()+Δ windows could re-cover the same empty span.
+  for (int i = 1; i <= 50; ++i) {
+    simulator.run(sim::TimePoint::fromUs(static_cast<std::int64_t>(i) *
+                                         20'000'000));
+    EXPECT_TRUE(grid.contains(current.positionAt(simulator.now())));
+  }
+  EXPECT_GE(driver.legsDriven(), 30u);
+}
+
+TEST(UrbanMobilityTest, StopHaltsTurning) {
+  sim::Simulator simulator;
+  const UrbanGrid grid{3, 3, 400.0};
+  mobility::LinearMotion current;
+  mobility::UrbanMobilityController driver{
+      simulator, grid, 10.0, sim::Rng{5},
+      [&current](const mobility::LinearMotion& motion) { current = motion; }};
+  driver.start(0, 0, Heading::kEast);
+  simulator.run(simulator.now() + sim::Duration::seconds(10));
+  driver.stop();
+  const auto legs = driver.legsDriven();
+  simulator.run(simulator.now() + sim::Duration::seconds(200));
+  EXPECT_EQ(driver.legsDriven(), legs);
+}
+
+TEST(UrbanMobilityTest, InvalidInitialHeadingAsserts) {
+  sim::Simulator simulator;
+  const UrbanGrid grid{3, 3, 400.0};
+  mobility::UrbanMobilityController driver{
+      simulator, grid, 10.0, sim::Rng{5}, [](const mobility::LinearMotion&) {}};
+  EXPECT_THROW(driver.start(0, 0, Heading::kWest), common::AssertionError);
+}
+
+// ------------------------------------------------------------ urban world
+
+TEST(UrbanScenarioTest, BuildsGridWorld) {
+  scenario::UrbanConfig config;
+  config.seed = 3;
+  config.attack = scenario::AttackType::kNone;
+  scenario::UrbanScenario world(config);
+  EXPECT_EQ(world.rsus().size(), 25u);  // 5x5 intersections
+  EXPECT_EQ(world.vehicles().size(), config.vehicleCount);
+}
+
+TEST(UrbanScenarioTest, VehiclesJoinZonesAndMigrate) {
+  scenario::UrbanConfig config;
+  config.seed = 4;
+  config.attack = scenario::AttackType::kNone;
+  scenario::UrbanScenario world(config);
+  world.runFor(sim::Duration::seconds(1));
+  std::size_t joined = 0;
+  for (auto& vehicle : world.vehicles()) {
+    if (vehicle->membership->currentCluster()) ++joined;
+  }
+  EXPECT_EQ(joined, world.vehicles().size());
+
+  // After enough driving, zone migrations have happened.
+  world.runFor(sim::Duration::seconds(120));
+  std::uint64_t leaves = 0;
+  for (auto& vehicle : world.vehicles()) {
+    leaves += vehicle->membership->stats().leavesSent;
+  }
+  EXPECT_GT(leaves, 10u);
+}
+
+TEST(UrbanScenarioTest, HonestVerificationSucceeds) {
+  scenario::UrbanConfig config;
+  config.seed = 5;
+  config.attack = scenario::AttackType::kNone;
+  scenario::UrbanScenario world(config);
+  const core::VerificationReport report = world.runVerification();
+  EXPECT_EQ(report.outcome, core::Outcome::kRouteVerified);
+  EXPECT_FALSE(report.reported);
+}
+
+TEST(UrbanScenarioTest, SingleBlackHoleDetectedOnTheGrid) {
+  scenario::UrbanConfig config;
+  config.seed = 6;
+  config.attack = scenario::AttackType::kSingle;
+  scenario::UrbanScenario world(config);
+  const core::VerificationReport report = world.runVerification();
+  EXPECT_EQ(report.outcome, core::Outcome::kAttackerConfirmed);
+  const scenario::DetectionSummary summary = world.detectionSummary();
+  EXPECT_TRUE(summary.confirmedOnAttacker);
+  EXPECT_FALSE(summary.falsePositive);
+  EXPECT_EQ(world.taNetwork().revocations().size(), 1u);
+}
+
+TEST(UrbanScenarioTest, CooperativePairDetectedOnTheGrid) {
+  scenario::UrbanConfig config;
+  config.seed = 7;
+  config.attack = scenario::AttackType::kCooperative;
+  scenario::UrbanScenario world(config);
+  const core::VerificationReport report = world.runVerification();
+  EXPECT_EQ(report.outcome, core::Outcome::kAttackerConfirmed);
+  const scenario::DetectionSummary summary = world.detectionSummary();
+  EXPECT_TRUE(summary.confirmedOnAttacker);
+  EXPECT_FALSE(summary.falsePositive);
+}
+
+TEST(UrbanScenarioTest, DeterministicReplay) {
+  const auto run = [] {
+    scenario::UrbanConfig config;
+    config.seed = 8;
+    config.attack = scenario::AttackType::kSingle;
+    scenario::UrbanScenario world(config);
+    const core::VerificationReport report = world.runVerification();
+    return std::tuple{report.outcome, report.suspect,
+                      world.simulator().executedEvents()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace blackdp

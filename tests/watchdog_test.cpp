@@ -1,0 +1,121 @@
+// Watchdog forwarding observation: overheard handoffs, retransmission
+// credit, drop charges, and gray hole exposure.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/gray_hole_agent.hpp"
+#include "baselines/watchdog.hpp"
+#include "net/node.hpp"
+
+namespace blackdp::baselines {
+namespace {
+
+net::MediumConfig quietMedium() {
+  net::MediumConfig c;
+  c.maxJitter = sim::Duration{};
+  return c;
+}
+
+/// Line 0 — 1 — 2 (800 m spacing: the ends are out of mutual range, so the
+/// middle node must forward), with a watchdog on node 0 watching its own
+/// handoffs to node 1.
+class WatchdogRig {
+ public:
+  explicit WatchdogRig(bool middleIsGrayHole, double dropProbability = 1.0)
+      : medium_{simulator_, sim::Rng{7}, quietMedium()} {
+    for (std::size_t i = 0; i < 3; ++i) {
+      nodes_.push_back(std::make_unique<net::BasicNode>(
+          simulator_, medium_,
+          common::NodeId{static_cast<std::uint32_t>(i + 1)},
+          mobility::LinearMotion::stationary(
+              {800.0 * static_cast<double>(i), 0.0})));
+      nodes_[i]->setLocalAddress(common::Address{100 + i});
+    }
+    agents_.push_back(std::make_unique<aodv::AodvAgent>(simulator_, *nodes_[0]));
+    if (middleIsGrayHole) {
+      attack::GrayHoleConfig config;
+      config.dropProbability = dropProbability;
+      agents_.push_back(std::make_unique<attack::GrayHoleAgent>(
+          simulator_, *nodes_[1], config, sim::Rng{3}));
+    } else {
+      agents_.push_back(
+          std::make_unique<aodv::AodvAgent>(simulator_, *nodes_[1]));
+    }
+    agents_.push_back(std::make_unique<aodv::AodvAgent>(simulator_, *nodes_[2]));
+    watchdog_ = std::make_unique<Watchdog>(simulator_, *nodes_[0]);
+  }
+
+  void establishAndSend(int packets) {
+    bool found = false;
+    agents_[0]->findRoute(common::Address{102}, [&](bool ok) { found = ok; });
+    simulator_.run(simulator_.now() + sim::Duration::seconds(5));
+    ASSERT_TRUE(found);
+    for (int i = 0; i < packets; ++i) {
+      (void)agents_[0]->sendData(common::Address{102});
+    }
+    simulator_.run(simulator_.now() + sim::Duration::seconds(5));
+  }
+
+  sim::Simulator simulator_;
+  net::WirelessMedium medium_;
+  std::vector<std::unique_ptr<net::BasicNode>> nodes_;
+  std::vector<std::unique_ptr<aodv::AodvAgent>> agents_;
+  std::unique_ptr<Watchdog> watchdog_;
+};
+
+TEST(WatchdogTest, HonestForwarderEarnsTrust) {
+  WatchdogRig rig{/*middleIsGrayHole=*/false};
+  rig.establishAndSend(20);
+  EXPECT_GE(rig.watchdog_->stats().forwardsObserved, 20u);
+  EXPECT_EQ(rig.watchdog_->stats().dropsCharged, 0u);
+  EXPECT_GT(rig.watchdog_->trust().trust(common::Address{101}), 0.9);
+  EXPECT_TRUE(rig.watchdog_->suspects().empty());
+}
+
+TEST(WatchdogTest, FullGrayHoleGetsCharged) {
+  WatchdogRig rig{/*middleIsGrayHole=*/true, 1.0};
+  rig.establishAndSend(20);
+  EXPECT_GE(rig.watchdog_->stats().dropsCharged, 15u);
+  EXPECT_LT(rig.watchdog_->trust().trust(common::Address{101}), 0.25);
+  const auto suspects = rig.watchdog_->suspects();
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], common::Address{101});
+}
+
+TEST(WatchdogTest, PartialGrayHoleStillExposed) {
+  WatchdogRig rig{/*middleIsGrayHole=*/true, 0.7};
+  rig.establishAndSend(60);
+  EXPECT_GT(rig.watchdog_->stats().dropsCharged, 25u);
+  EXPECT_GT(rig.watchdog_->stats().forwardsObserved, 5u);
+  EXPECT_TRUE(rig.watchdog_->trust().isMalicious(common::Address{101}));
+}
+
+TEST(WatchdogTest, DeliveryToFinalDestinationIsNotWatched) {
+  // A handoff to the packet's own destination owes no retransmission.
+  WatchdogRig rig{/*middleIsGrayHole=*/false};
+  bool found = false;
+  rig.agents_[0]->findRoute(common::Address{101}, [&](bool ok) { found = ok; });
+  rig.simulator_.run(rig.simulator_.now() + sim::Duration::seconds(5));
+  ASSERT_TRUE(found);
+  (void)rig.agents_[0]->sendData(common::Address{101});
+  rig.simulator_.run(rig.simulator_.now() + sim::Duration::seconds(2));
+  EXPECT_EQ(rig.watchdog_->stats().handoffsWatched, 0u);
+  EXPECT_EQ(rig.watchdog_->stats().dropsCharged, 0u);
+}
+
+TEST(WatchdogTest, VerdictRequiresEvidenceVolume) {
+  WatchdogRig rig{/*middleIsGrayHole=*/true, 1.0};
+  bool found = false;
+  rig.agents_[0]->findRoute(common::Address{102}, [&](bool ok) { found = ok; });
+  rig.simulator_.run(rig.simulator_.now() + sim::Duration::seconds(5));
+  ASSERT_TRUE(found);
+  // Two drops are suspicious but below the minObservations bar.
+  (void)rig.agents_[0]->sendData(common::Address{102});
+  (void)rig.agents_[0]->sendData(common::Address{102});
+  rig.simulator_.run(rig.simulator_.now() + sim::Duration::seconds(2));
+  EXPECT_FALSE(rig.watchdog_->trust().isMalicious(common::Address{101}));
+}
+
+}  // namespace
+}  // namespace blackdp::baselines
