@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: build and test the plain configuration, then repeat under
+# AddressSanitizer + UBSan (the discrete-event core is all callbacks and
+# shared_ptr payload fan-out — exactly the code ASan/UBSan are good at).
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+
+for preset in default asan-ubsan; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "CI: both configurations green."

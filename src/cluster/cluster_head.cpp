@@ -17,7 +17,29 @@ ClusterHead::ClusterHead(sim::Simulator& simulator, net::BasicNode& node,
   backbone_.attach(clusterId_, *this);
 }
 
-ClusterHead::~ClusterHead() { backbone_.detach(clusterId_); }
+ClusterHead::~ClusterHead() {
+  if (!crashed_) backbone_.detach(clusterId_);
+}
+
+void ClusterHead::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  backbone_.detach(clusterId_);
+  node_.detachFromMedium();
+  // Volatile member table is lost; what a rebooted RSU could recover from
+  // persistent logs is modelled as the history table.
+  for (const auto& [addr, record] : members_) history_[addr] = record;
+  members_.clear();
+}
+
+void ClusterHead::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++stats_.recoveries;
+  node_.attachToMedium();
+  backbone_.attach(clusterId_, *this);
+}
 
 bool ClusterHead::onFrame(const net::Frame& frame) {
   if (const auto* jreq = net::payloadAs<JoinRequest>(frame.payload)) {
@@ -58,6 +80,7 @@ void ClusterHead::handleJoin(const JoinRequest& jreq) {
   // Newly joined vehicles are told about certificates revoked but not yet
   // expired (paper §III-B2).
   jrep->activeRevocations = revocations_.active();
+  jrep->neighbors = neighborAnnouncement_;
   node_.sendTo(jreq.vehicle, jrep);
 }
 
@@ -111,6 +134,11 @@ void ClusterHead::sendOnBackbone(common::ClusterId to, net::PayloadPtr payload) 
 void ClusterHead::onBackboneMessage(common::ClusterId from,
                                     const net::PayloadPtr& payload) {
   if (backboneHook_) backboneHook_(from, payload);
+}
+
+void ClusterHead::onBackboneSendFailed(common::ClusterId to,
+                                       const net::PayloadPtr& payload) {
+  if (backboneFailureHook_) backboneFailureHook_(to, payload);
 }
 
 }  // namespace blackdp::cluster

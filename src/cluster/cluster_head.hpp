@@ -34,6 +34,8 @@ struct ClusterHeadStats {
   std::uint64_t joinsIgnored{0};   ///< JREQ for a position outside the segment
   std::uint64_t leaves{0};
   std::uint64_t revocationsAnnounced{0};
+  std::uint64_t crashes{0};
+  std::uint64_t recoveries{0};
 };
 
 class ClusterHead : public net::BackboneEndpoint {
@@ -45,6 +47,10 @@ class ClusterHead : public net::BackboneEndpoint {
   /// (forwarded d_req, detection responses).
   using BackboneHook =
       std::function<void(common::ClusterId from, const net::PayloadPtr&)>;
+  /// Invoked when a backbone send by this CH could not be delivered; the
+  /// detector uses it to degrade gracefully instead of losing the session.
+  using BackboneFailureHook =
+      std::function<void(common::ClusterId to, const net::PayloadPtr&)>;
 
   /// The RSU node is created by the caller (stationary at its zone's
   /// centre) and must outlive the cluster head.
@@ -90,12 +96,34 @@ class ClusterHead : public net::BackboneEndpoint {
   // ---- extension hooks ----
   void setFrameHook(FrameHook hook) { frameHook_ = std::move(hook); }
   void setBackboneHook(BackboneHook hook) { backboneHook_ = std::move(hook); }
+  void setBackboneFailureHook(BackboneFailureHook hook) {
+    backboneFailureHook_ = std::move(hook);
+  }
+
+  // ---- failover ----
+  /// Advertises the adjacent cluster heads in every JREP so members can
+  /// re-home when this CH dies. Off (empty) by default — the wire format and
+  /// byte counters of an unfaulted run stay identical to the seed.
+  void setNeighborAnnouncement(std::vector<NeighborChInfo> neighbors) {
+    neighborAnnouncement_ = std::move(neighbors);
+  }
+
+  // ---- fault injection ----
+  /// RSU failure: off the air, off the backbone, volatile member table lost
+  /// (members move to the history table, mirroring what a rebooted RSU could
+  /// reconstruct from persistent logs). Idempotent.
+  void crash();
+  /// RSU recovery: back on the air and the backbone. Members must re-join.
+  void recover();
+  [[nodiscard]] bool isCrashed() const { return crashed_; }
 
   /// Sends a payload to a peer CH over the wired backbone.
   void sendOnBackbone(common::ClusterId to, net::PayloadPtr payload);
 
   void onBackboneMessage(common::ClusterId from,
                          const net::PayloadPtr& payload) override;
+  void onBackboneSendFailed(common::ClusterId to,
+                            const net::PayloadPtr& payload) override;
 
   [[nodiscard]] const ClusterHeadStats& stats() const { return stats_; }
   [[nodiscard]] net::BasicNode& node() { return node_; }
@@ -117,6 +145,9 @@ class ClusterHead : public net::BackboneEndpoint {
   ClusterHeadStats stats_;
   FrameHook frameHook_;
   BackboneHook backboneHook_;
+  BackboneFailureHook backboneFailureHook_;
+  std::vector<NeighborChInfo> neighborAnnouncement_;
+  bool crashed_{false};
 };
 
 }  // namespace blackdp::cluster

@@ -12,6 +12,11 @@ MembershipClient::MembershipClient(sim::Simulator& simulator,
                                    const mobility::ZoneMap& zones)
     : simulator_{simulator}, node_{node}, zones_{zones} {
   node_.addHandler([this](const net::Frame& frame) { return onFrame(frame); });
+  // Registered in the constructor so that on a failed unicast to a dead CH
+  // the re-homing below runs before components registered later (the source
+  // verifier retries against the *new* CH address).
+  node_.addFailureHandler(
+      [this](const net::Frame& frame) { onSendFailed(frame); });
 }
 
 void MembershipClient::start() {
@@ -26,6 +31,7 @@ bool MembershipClient::onFrame(const net::Frame& frame) {
     if (jrep->vehicle != node_.localAddress()) return true;
     currentCluster_ = jrep->cluster;
     clusterHead_ = jrep->clusterHeadAddress;
+    fallbacks_ = jrep->neighbors;
     ++stats_.joinsConfirmed;
     for (const auto& notice : jrep->activeRevocations) {
       if (blacklist_.insert(notice.pseudonym).second) {
@@ -43,6 +49,25 @@ bool MembershipClient::onFrame(const net::Frame& frame) {
     return true;
   }
   return false;
+}
+
+void MembershipClient::onSendFailed(const net::Frame& frame) {
+  // A unicast to the cluster head went unACKed — the CH is crashed or out of
+  // range. Re-home to the next advertised neighbor CH (if any) so retries by
+  // upper layers go somewhere alive. Each candidate is consumed: if it too is
+  // dead, the next failure rotates onward.
+  if (!clusterHead_ || frame.dst != *clusterHead_) return;
+  if (fallbacks_.empty()) return;
+  const NeighborChInfo next = fallbacks_.front();
+  fallbacks_.erase(fallbacks_.begin());
+  currentCluster_ = next.cluster;
+  clusterHead_ = next.address;
+  ++stats_.chFailovers;
+  if (onJoined_) onJoined_(next.cluster, next.address);
+}
+
+void MembershipClient::blacklistLocally(common::Address address) {
+  if (blacklist_.insert(address).second) ++stats_.localBlacklists;
 }
 
 void MembershipClient::sendJoin() {

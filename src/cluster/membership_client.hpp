@@ -10,6 +10,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_set>
+#include <vector>
 
 #include "cluster/messages.hpp"
 #include "mobility/zone_map.hpp"
@@ -22,6 +23,8 @@ struct MembershipStats {
   std::uint64_t joinsConfirmed{0};
   std::uint64_t leavesSent{0};
   std::uint64_t revocationsLearned{0};
+  std::uint64_t chFailovers{0};        ///< re-homed to a neighbor CH
+  std::uint64_t localBlacklists{0};    ///< quarantined without TA revocation
 };
 
 class MembershipClient {
@@ -48,11 +51,22 @@ class MembershipClient {
     return clusterHead_;
   }
 
-  /// True iff `address` has been blacklisted via a revocation announcement.
+  /// True iff `address` has been blacklisted via a revocation announcement
+  /// or a local quarantine decision.
   [[nodiscard]] bool isBlacklisted(common::Address address) const {
     return blacklist_.contains(address);
   }
   [[nodiscard]] std::size_t blacklistSize() const { return blacklist_.size(); }
+
+  /// Local quarantine: blacklists `address` on this vehicle only, without a
+  /// TA revocation. The degraded isolation mode the source verifier falls
+  /// back to when no cluster head is reachable.
+  void blacklistLocally(common::Address address);
+
+  /// Neighbor CHs advertised in the latest JREP (failover candidates).
+  [[nodiscard]] const std::vector<NeighborChInfo>& fallbackHeads() const {
+    return fallbacks_;
+  }
 
   void setJoinedCallback(JoinedCallback cb) { onJoined_ = std::move(cb); }
   void setExitCallback(ExitCallback cb) { onExit_ = std::move(cb); }
@@ -67,6 +81,7 @@ class MembershipClient {
 
  private:
   bool onFrame(const net::Frame& frame);
+  void onSendFailed(const net::Frame& frame);
   void sendJoin();
   void scheduleBoundaryCrossing();
   void onBoundaryCrossing();
@@ -76,6 +91,7 @@ class MembershipClient {
   const mobility::ZoneMap& zones_;
   std::optional<common::ClusterId> currentCluster_;
   std::optional<common::Address> clusterHead_;
+  std::vector<NeighborChInfo> fallbacks_;
   std::unordered_set<common::Address> blacklist_;
   MembershipStats stats_;
   JoinedCallback onJoined_;

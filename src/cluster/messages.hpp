@@ -25,19 +25,29 @@ class JoinRequest final : public net::Payload {
   [[nodiscard]] std::uint32_t sizeBytes() const override { return 56; }
 };
 
+/// Adjacent cluster head advertised in a JREP (failover candidate).
+struct NeighborChInfo {
+  common::ClusterId cluster{};
+  common::Address address{};
+};
+
 /// JREP: carries the cluster head identity the vehicle must include in
 /// subsequent packets, plus the currently active revocation notices so a
-/// newly joined vehicle learns about attackers immediately.
+/// newly joined vehicle learns about attackers immediately. When CH failover
+/// is enabled the reply also advertises the adjacent cluster heads so a
+/// member losing its CH can re-home without re-discovery.
 class JoinReply final : public net::Payload {
  public:
   common::Address vehicle{};            ///< addressee
   common::ClusterId cluster{};
   common::Address clusterHeadAddress{};
   std::vector<crypto::RevocationNotice> activeRevocations{};
+  std::vector<NeighborChInfo> neighbors{};  ///< empty unless failover enabled
 
   [[nodiscard]] std::string_view typeName() const override { return "jrep"; }
   [[nodiscard]] std::uint32_t sizeBytes() const override {
-    return 40 + static_cast<std::uint32_t>(activeRevocations.size()) * 24;
+    return 40 + static_cast<std::uint32_t>(activeRevocations.size()) * 24 +
+           static_cast<std::uint32_t>(neighbors.size()) * 12;
   }
 };
 

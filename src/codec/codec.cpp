@@ -162,6 +162,11 @@ void encodeBody(common::ByteWriter& w, const cluster::JoinReply& m) {
   for (const crypto::RevocationNotice& notice : m.activeRevocations) {
     writeNotice(w, notice);
   }
+  w.writeU32(static_cast<std::uint32_t>(m.neighbors.size()));
+  for (const cluster::NeighborChInfo& neighbor : m.neighbors) {
+    w.writeId(neighbor.cluster);
+    w.writeId(neighbor.address);
+  }
 }
 
 void encodeBody(common::ByteWriter& w, const cluster::LeaveNotice& m) {
@@ -325,6 +330,13 @@ PayloadPtr decodePayload(common::ByteReader& r) {
       const std::uint32_t count = r.readU32();
       for (std::uint32_t i = 0; i < count; ++i) {
         m->activeRevocations.push_back(readNotice(r));
+      }
+      const std::uint32_t neighborCount = r.readU32();
+      for (std::uint32_t i = 0; i < neighborCount; ++i) {
+        cluster::NeighborChInfo neighbor;
+        neighbor.cluster = r.readId<common::ClusterId>();
+        neighbor.address = r.readId<common::Address>();
+        m->neighbors.push_back(neighbor);
       }
       return m;
     }

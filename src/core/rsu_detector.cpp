@@ -31,6 +31,10 @@ RsuDetector::RsuDetector(sim::Simulator& simulator,
       [this](common::ClusterId from, const net::PayloadPtr& payload) {
         onBackbone(from, payload);
       });
+  ch_.setBackboneFailureHook(
+      [this](common::ClusterId to, const net::PayloadPtr& payload) {
+        onBackboneSendFailed(to, payload);
+      });
 }
 
 common::Address RsuDetector::allocProbeAddress() {
@@ -62,6 +66,39 @@ void RsuDetector::onBackbone(common::ClusterId from,
     return;
   }
   if (const auto* result = net::payloadAs<DetectionResult>(payload)) {
+    relayResult(*result);
+    return;
+  }
+}
+
+void RsuDetector::onBackboneSendFailed(common::ClusterId to,
+                                       const net::PayloadPtr& payload) {
+  (void)to;
+  if (const auto* fwd = net::payloadAs<ForwardedDetection>(payload)) {
+    // The target CH is dead or unreachable: re-adopt the session and probe
+    // from here over the air (one cluster is within radio range of this
+    // RSU). forwardCount is pinned at the cap so a failed probe terminates
+    // as kUnreachable instead of bouncing the session around a dead region.
+    ++stats_.forwardsFailed;
+    Session session;
+    session.id = fwd->session;
+    session.suspect = fwd->suspect;
+    session.reporters.push_back({fwd->reporter, fwd->reporterCluster});
+    session.stage = fwd->stage;
+    session.rrep1Seq = fwd->lastSeenSeq;
+    session.packets = fwd->packetsSoFar;
+    session.forwardCount = config_.maxForwards;
+    session.degraded = true;
+    session.retriesLeft =
+        fwd->stage == 0 ? config_.probeRetries : config_.stageRetries;
+    session.startedAt = fwd->startedAt;
+    beginProbing(std::move(session));
+    return;
+  }
+  if (const auto* result = net::payloadAs<DetectionResult>(payload)) {
+    // The reporter's CH is dead: best-effort verdict delivery over the air
+    // (the reporter may still be within this RSU's radio range).
+    ++stats_.resultRelaysFailed;
     relayResult(*result);
     return;
   }
@@ -119,7 +156,8 @@ void RsuDetector::adoptForwarded(const ForwardedDetection& fwd) {
   session.rrep1Seq = fwd.lastSeenSeq;
   session.packets = fwd.packetsSoFar;
   session.forwardCount = fwd.forwardCount;
-  session.retriesLeft = config_.probeRetries;
+  session.retriesLeft =
+      fwd.stage == 0 ? config_.probeRetries : config_.stageRetries;
   session.startedAt = fwd.startedAt;
   placeSession(std::move(session));
 }
@@ -192,7 +230,7 @@ void RsuDetector::beginProbing(Session session) {
 void RsuDetector::sendProbe(common::Address target, Session& session) {
   auto rreq = std::make_shared<aodv::RouteRequest>();
   rreq->rreqId = common::RreqId{nextProbeRreqId_++};
-  session.probeRreqId = rreq->rreqId.value();
+  session.stageRreqIds.push_back(rreq->rreqId.value());
   rreq->origin = session.disposable;
   rreq->originSeq = 1;
   rreq->destination = session.fakeDestination;
@@ -230,6 +268,11 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
   Session& session = it->second;
 
   if (session.stage == 2) {
+    if (session.retriesLeft > 0) {
+      --session.retriesLeft;
+      sendProbe(session.accomplice, session);
+      return;
+    }
     // Teammate stayed silent: the primary attacker is still confirmed.
     Session done = std::move(session);
     active_.erase(it);
@@ -238,7 +281,7 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
     return;
   }
 
-  if (!ch_.isMember(suspect)) {
+  if (!ch_.isMember(suspect) && !session.degraded) {
     // The suspect moved on mid-probe (flee scenario): hand the session,
     // including probe state, to the next cluster head.
     Session moved = std::move(session);
@@ -254,7 +297,9 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
     return;
   }
 
-  if (session.stage == 0 && session.retriesLeft > 0) {
+  // Retry budget: stage 0 uses probeRetries (seed behaviour); stages 1/2
+  // use stageRetries, reset on every stage advance.
+  if (session.retriesLeft > 0) {
     --session.retriesLeft;
     sendProbe(suspect, session);
     return;
@@ -270,11 +315,15 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
 
 void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
                                    const net::Frame& frame) {
-  // Match the reply to a session by its probe request id.
+  // Match the reply against the current stage's probe generation (original
+  // or any retransmission); replies to an earlier stage's probes no longer
+  // match — their ids were cleared on the stage advance.
   const auto it = std::find_if(
       active_.begin(), active_.end(), [&](const auto& kv) {
-        return kv.second.probeRreqId == rrep.rreqId.value() &&
-               kv.second.fakeDestination == rrep.destination;
+        const Session& s = kv.second;
+        return s.fakeDestination == rrep.destination &&
+               std::find(s.stageRreqIds.begin(), s.stageRreqIds.end(),
+                         rrep.rreqId.value()) != s.stageRreqIds.end();
       });
   if (it == active_.end()) return;
   Session& session = it->second;
@@ -288,7 +337,9 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
       // completes the detection (paper's 8-packet scenario).
       session.rrep1Seq = rrep.destSeq;
       session.stage = 1;
-      if (!ch_.isMember(session.suspect)) {
+      session.stageRreqIds.clear();
+      session.retriesLeft = config_.stageRetries;
+      if (!ch_.isMember(session.suspect) && !session.degraded) {
         Session moved = std::move(session);
         active_.erase(it);
         ch_.node().removeAlias(moved.disposable);
@@ -321,6 +372,8 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
         // The suspect named a teammate: probe it the same way (§III-B1).
         session.accomplice = rrep.claimedNextHop;
         session.stage = 2;
+        session.stageRreqIds.clear();
+        session.retriesLeft = config_.stageRetries;
         sendProbe(session.accomplice, session);
         return;
       }

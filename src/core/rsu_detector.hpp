@@ -40,6 +40,10 @@ struct DetectorConfig {
   /// RREQ₁ resends after silence before concluding (paper Fig. 5's
   /// no-attacker case spends 2 probe packets).
   int probeRetries{1};
+  /// Retry budget for the later probe stages (RREQ₂/RREQ₃) under lossy
+  /// conditions. 0 (default) replays the seed behaviour: a lost stage-1/2
+  /// probe ends the session on its first timeout.
+  int stageRetries{0};
   /// Upper bound on CH→CH session forwards (chasing a moving suspect).
   std::uint8_t maxForwards{3};
 };
@@ -68,6 +72,8 @@ struct DetectorStats {
   std::uint64_t probesSent{0};
   std::uint64_t confirmations{0};
   std::uint64_t isolations{0};
+  std::uint64_t forwardsFailed{0};      ///< backbone forward undeliverable
+  std::uint64_t resultRelaysFailed{0};  ///< backbone result undeliverable
 };
 
 class RsuDetector {
@@ -101,10 +107,16 @@ class RsuDetector {
     aodv::SeqNum rreq2Seq{0};
     common::Address disposable{};
     common::Address fakeDestination{};
-    std::uint32_t probeRreqId{0};
+    /// Probe ids of the *current* stage (original + retransmissions) — a
+    /// late reply to any of them matches; replies to earlier stages do not.
+    std::vector<std::uint32_t> stageRreqIds;
     int retriesLeft{0};
     std::uint32_t packets{0};
     std::uint8_t forwardCount{0};
+    /// Adopted after a backbone forward failed (target CH dead): probe the
+    /// suspect over the air from here and skip the membership-based
+    /// forwarding logic — there is nowhere left to hand the session.
+    bool degraded{false};
     common::Address accomplice{common::kNullAddress};
     std::uint32_t timerGen{0};
     sim::TimePoint startedAt{};
@@ -112,6 +124,7 @@ class RsuDetector {
 
   bool onFrame(const net::Frame& frame);
   void onBackbone(common::ClusterId from, const net::PayloadPtr& payload);
+  void onBackboneSendFailed(common::ClusterId to, const net::PayloadPtr& payload);
 
   void handleDreq(const DetectionRequest& dreq);
   void adoptForwarded(const ForwardedDetection& fwd);

@@ -15,6 +15,7 @@ std::string_view toString(Outcome outcome) {
     case Outcome::kAttackerConfirmed: return "attacker-confirmed";
     case Outcome::kSuspectNotConfirmed: return "suspect-not-confirmed";
     case Outcome::kNoRoute: return "no-route";
+    case Outcome::kLocallyQuarantined: return "locally-quarantined";
   }
   return "?";
 }
@@ -45,6 +46,21 @@ SourceVerifier::SourceVerifier(sim::Simulator& simulator, net::BasicNode& node,
     return !membership_.isBlacklisted(rrep.replier);
   });
   node_.addHandler([this](const net::Frame& frame) { return onFrame(frame); });
+  // Delivery feedback for d_req reports. With hardening off (no retries, no
+  // local quarantine) the handler is inert and a lost report plays out via
+  // the response timeout, exactly as in the unhardened protocol. Note the
+  // membership client's own failure handler registered before this one: by
+  // the time a retry fires the client may already have re-homed to a
+  // neighbor CH, and sendDreq() re-reads the CH address.
+  node_.addFailureHandler([this](const net::Frame& frame) {
+    if (config_.dreqRetries == 0 && !config_.localQuarantine) return;
+    const auto* dreq = net::payloadAs<DetectionRequest>(frame.payload);
+    if (dreq == nullptr) return;
+    if (!session_ || !session_->reported || dreq->suspect != session_->suspect) {
+      return;
+    }
+    onDreqSendFailed();
+  });
 }
 
 void SourceVerifier::establishVerifiedRoute(common::Address destination,
@@ -213,33 +229,72 @@ void SourceVerifier::onHelloReply(const AuthHello& hello) {
 void SourceVerifier::reportSuspect(const CachedRrep& suspectRrep) {
   Session& s = *session_;
   s.suspect = suspectRrep.rrep.replier;
+  s.suspectCluster = suspectRrep.rrep.replierCluster;
   s.reported = true;
+  s.dreqRetriesLeft = config_.dreqRetries;
 
-  const auto chAddress = membership_.clusterHeadAddress();
-  const auto myCluster = membership_.currentCluster();
-  if (!chAddress || !myCluster) {
-    // Not registered with any cluster head (should not happen on a covered
-    // highway); the report cannot be delivered.
-    finish(Outcome::kSuspectNotConfirmed);
-    return;
-  }
-
-  auto dreq = std::make_shared<DetectionRequest>();
-  dreq->reporter = node_.localAddress();
-  dreq->reporterCluster = *myCluster;
-  dreq->suspect = s.suspect;
-  dreq->suspectCluster = suspectRrep.rrep.replierCluster;
-  if (agent_.credentials()) {
-    dreq->envelope =
-        makeEnvelope(dreq->canonicalBytes(), *agent_.credentials(), engine_);
-  }
-  node_.sendTo(*chAddress, dreq);
+  if (!sendDreq()) return;  // no CH known; session already finished
 
   s.responseTimer = simulator_.schedule(config_.responseTimeout, [this] {
     if (session_ && session_->reported) {
       finish(Outcome::kSuspectNotConfirmed);
     }
   });
+}
+
+bool SourceVerifier::sendDreq() {
+  Session& s = *session_;
+  // Re-read per attempt: a membership failover between attempts redirects
+  // the report to the neighbor CH.
+  const auto chAddress = membership_.clusterHeadAddress();
+  const auto myCluster = membership_.currentCluster();
+  if (!chAddress || !myCluster) {
+    // Not registered with any cluster head; the report cannot be delivered.
+    degradeToLocal();
+    return false;
+  }
+
+  ++s.dreqAttempts;
+  auto dreq = std::make_shared<DetectionRequest>();
+  dreq->reporter = node_.localAddress();
+  dreq->reporterCluster = *myCluster;
+  dreq->suspect = s.suspect;
+  dreq->suspectCluster = s.suspectCluster;
+  if (agent_.credentials()) {
+    dreq->envelope =
+        makeEnvelope(dreq->canonicalBytes(), *agent_.credentials(), engine_);
+  }
+  node_.sendTo(*chAddress, dreq);
+  return true;
+}
+
+void SourceVerifier::onDreqSendFailed() {
+  Session& s = *session_;
+  if (s.dreqRetriesLeft > 0) {
+    --s.dreqRetriesLeft;
+    // Exponential backoff, capped: base, 2·base, 4·base, …, cap.
+    const int attempt = config_.dreqRetries - s.dreqRetriesLeft;
+    sim::Duration delay = config_.dreqRetryBase;
+    for (int i = 1; i < attempt && delay < config_.dreqRetryCap; ++i) {
+      delay = delay * 2;
+    }
+    if (delay > config_.dreqRetryCap) delay = config_.dreqRetryCap;
+    s.dreqRetryTimer = simulator_.schedule(delay, [this] {
+      if (session_ && session_->reported) sendDreq();
+    });
+    return;
+  }
+  degradeToLocal();
+}
+
+void SourceVerifier::degradeToLocal() {
+  Session& s = *session_;
+  if (config_.localQuarantine && s.suspect != common::kNullAddress) {
+    membership_.blacklistLocally(s.suspect);
+    finish(Outcome::kLocallyQuarantined);
+    return;
+  }
+  finish(Outcome::kSuspectNotConfirmed);
 }
 
 bool SourceVerifier::onFrame(const net::Frame& frame) {
@@ -269,6 +324,7 @@ bool SourceVerifier::onFrame(const net::Frame& frame) {
         session_->reported = false;
         session_->suspect = common::kNullAddress;
         session_->helloProbes = 0;
+        simulator_.cancel(session_->dreqRetryTimer);
         agent_.invalidateRoute(session_->destination);
         startRound();
       } else {
@@ -315,6 +371,7 @@ void SourceVerifier::finish(Outcome outcome) {
   Session& s = *session_;
   simulator_.cancel(s.helloTimer);
   simulator_.cancel(s.responseTimer);
+  simulator_.cancel(s.dreqRetryTimer);
 
   // Unless the route was positively verified, drop it: the source must not
   // keep routing data into a suspicious or unverified path.
@@ -330,6 +387,7 @@ void SourceVerifier::finish(Outcome outcome) {
   report.discoveryRounds = s.round - 1;
   report.helloProbes = s.helloProbes;
   report.reported = s.reported;
+  report.dreqAttempts = s.dreqAttempts;
 
   Callback callback = std::move(s.callback);
   session_.reset();

@@ -30,6 +30,7 @@ enum class Outcome {
   kAttackerConfirmed,    ///< CH confirmed the black hole and isolated it
   kSuspectNotConfirmed,  ///< reported, but the CH could not confirm
   kNoRoute,              ///< discovery failed (includes prevented attacks)
+  kLocallyQuarantined,   ///< no CH reachable; suspect blacklisted locally
 };
 
 [[nodiscard]] std::string_view toString(Outcome outcome);
@@ -42,6 +43,7 @@ struct VerificationReport {
   int discoveryRounds{0};
   int helloProbes{0};
   bool reported{false};  ///< a d_req was sent
+  int dreqAttempts{0};   ///< d_req transmissions (1 + retries)
 };
 
 struct VerifierConfig {
@@ -52,6 +54,16 @@ struct VerifierConfig {
   /// has no verified route — it restarts verification from a fresh
   /// discovery, up to this many times.
   int maxRestarts{2};
+  /// Retransmissions of an unACKed d_req, with capped exponential backoff.
+  /// Each attempt re-reads the CH address, so a membership failover between
+  /// attempts redirects the report to the neighbor CH. 0 (default) replays
+  /// the seed behaviour exactly: one shot, then the response timeout.
+  int dreqRetries{0};
+  sim::Duration dreqRetryBase{sim::Duration::milliseconds(500)};
+  sim::Duration dreqRetryCap{sim::Duration::seconds(4)};
+  /// Degraded isolation when no CH is reachable after all retries: blacklist
+  /// the suspect locally (this vehicle only) instead of giving up.
+  bool localQuarantine{false};
 };
 
 class SourceVerifier {
@@ -88,10 +100,14 @@ class SourceVerifier {
     std::uint64_t awaitedHelloId{0};
     sim::EventHandle helloTimer{};
     sim::EventHandle responseTimer{};
+    sim::EventHandle dreqRetryTimer{};
     bool reported{false};
     common::Address suspect{common::kNullAddress};
+    common::ClusterId suspectCluster{};
     Verdict chVerdict{Verdict::kNotConfirmed};
     int restartsLeft{0};
+    int dreqRetriesLeft{0};
+    int dreqAttempts{0};
   };
 
   void onRrep(const aodv::RouteReply& rrep, const net::Frame& frame);
@@ -102,6 +118,12 @@ class SourceVerifier {
   void onHelloTimeout();
   void onHelloReply(const AuthHello& hello);
   void reportSuspect(const CachedRrep& suspectRrep);
+  /// One d_req transmission toward the current CH. Returns false when no CH
+  /// is known at all (the session was finished via the degraded path).
+  bool sendDreq();
+  void onDreqSendFailed();
+  /// All delivery attempts failed: local quarantine or give up.
+  void degradeToLocal();
   void finish(Outcome outcome);
 
   bool onFrame(const net::Frame& frame);

@@ -1,0 +1,95 @@
+#include "fault/fault_injector.hpp"
+
+#include <utility>
+
+namespace blackdp::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, sim::Rng rng,
+                             FaultPlan plan)
+    : simulator_{simulator}, rng_{rng}, plan_{std::move(plan)} {
+  burstBad_.assign(plan_.burstLoss.size(), false);
+}
+
+void FaultInjector::install(net::WirelessMedium& medium,
+                            net::Backbone& backbone) {
+  medium.setFaultHook(this);
+  backbone.setLinkFilter([this](common::ClusterId from, common::ClusterId to) {
+    return linkUp(from, to);
+  });
+}
+
+void FaultInjector::registerRsu(common::ClusterId cluster,
+                                cluster::ClusterHead& head) {
+  rsus_[cluster] = &head;
+  scheduleRsuEvents(cluster);
+}
+
+void FaultInjector::scheduleRsuEvents(common::ClusterId cluster) {
+  for (const RsuCrashEvent& event : plan_.rsuCrashes) {
+    if (event.cluster != cluster) continue;
+    simulator_.scheduleAt(event.at, [this, cluster] {
+      if (const auto it = rsus_.find(cluster); it != rsus_.end()) {
+        it->second->crash();
+        ++stats_.rsuCrashes;
+      }
+    });
+    if (event.recoverAt) {
+      simulator_.scheduleAt(*event.recoverAt, [this, cluster] {
+        if (const auto it = rsus_.find(cluster); it != rsus_.end()) {
+          it->second->recover();
+          ++stats_.rsuRecoveries;
+        }
+      });
+    }
+  }
+}
+
+bool FaultInjector::linkUp(common::ClusterId from,
+                           common::ClusterId to) const {
+  const sim::TimePoint now = simulator_.now();
+  for (const BackboneLinkDownEvent& event : plan_.backboneLinksDown) {
+    if (now < event.from || now >= event.until) continue;
+    if ((from == event.a && to == event.b) ||
+        (from == event.b && to == event.a)) {
+      return false;
+    }
+  }
+  for (const BackbonePartitionEvent& event : plan_.backbonePartitions) {
+    if (now < event.from || now >= event.until) continue;
+    if ((from <= event.boundary) != (to <= event.boundary)) return false;
+  }
+  return true;
+}
+
+bool FaultInjector::dropDelivery(common::NodeId /*sender*/,
+                                 common::NodeId /*receiver*/,
+                                 const mobility::Position& senderPos,
+                                 const mobility::Position& receiverPos) {
+  const sim::TimePoint now = simulator_.now();
+  for (const JamZoneEvent& zone : plan_.jamZones) {
+    if (now < zone.from || now >= zone.until) continue;
+    const bool senderIn = senderPos.x >= zone.xMin && senderPos.x <= zone.xMax;
+    const bool receiverIn =
+        receiverPos.x >= zone.xMin && receiverPos.x <= zone.xMax;
+    if (senderIn || receiverIn) {
+      ++stats_.framesJammed;
+      return true;
+    }
+  }
+  bool lost = false;
+  // Every active chain advances once per delivery decision (the channels are
+  // independent processes); the frame is lost if any active chain says so.
+  for (std::size_t i = 0; i < plan_.burstLoss.size(); ++i) {
+    const BurstLossEvent& event = plan_.burstLoss[i];
+    if (now < event.from || now >= event.until) continue;
+    const GilbertElliott& ge = event.channel;
+    bool bad = burstBad_[i];
+    bad = bad ? !rng_.bernoulli(ge.pBadToGood) : rng_.bernoulli(ge.pGoodToBad);
+    burstBad_[i] = bad;
+    if (rng_.bernoulli(bad ? ge.lossBad : ge.lossGood)) lost = true;
+  }
+  if (lost) ++stats_.framesBurstLost;
+  return lost;
+}
+
+}  // namespace blackdp::fault

@@ -1,0 +1,72 @@
+// Fault injector.
+//
+// Replays a FaultPlan on the simulator clock: crashes and recovers registered
+// RSUs at their scheduled instants, answers the backbone's link filter from
+// the link-down / partition windows, and implements the medium's fault hook
+// (jam zones checked first, then each active Gilbert–Elliott burst channel).
+// All randomness comes from the injector's own named stream, so installing an
+// injector with an empty plan — or none at all — leaves every other stream,
+// and therefore the whole simulation, bit-for-bit unchanged.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_head.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/backbone.hpp"
+#include "net/medium.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace blackdp::fault {
+
+struct FaultStats {
+  std::uint64_t rsuCrashes{0};
+  std::uint64_t rsuRecoveries{0};
+  std::uint64_t framesJammed{0};      ///< per-receiver jam-zone drops
+  std::uint64_t framesBurstLost{0};   ///< per-receiver Gilbert–Elliott drops
+};
+
+class FaultInjector final : public net::MediumFaultHook {
+ public:
+  FaultInjector(sim::Simulator& simulator, sim::Rng rng, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs the medium hook and the backbone link filter. The injector must
+  /// outlive both (in scenarios it does: it is destroyed with the world).
+  void install(net::WirelessMedium& medium, net::Backbone& backbone);
+
+  /// Registers a cluster head for the plan's crash/recovery schedule. Events
+  /// naming unregistered clusters are ignored (plans can be reused across
+  /// topologies of different sizes).
+  void registerRsu(common::ClusterId cluster, cluster::ClusterHead& head);
+
+  /// Backbone link state at `now` (true = up). Exposed for tests; the
+  /// backbone consults it through the installed filter.
+  [[nodiscard]] bool linkUp(common::ClusterId from, common::ClusterId to) const;
+
+  /// net::MediumFaultHook — one decision per (frame, receiver) delivery.
+  bool dropDelivery(common::NodeId sender, common::NodeId receiver,
+                    const mobility::Position& senderPos,
+                    const mobility::Position& receiverPos) override;
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void scheduleRsuEvents(common::ClusterId cluster);
+
+  sim::Simulator& simulator_;
+  sim::Rng rng_;
+  FaultPlan plan_;
+  FaultStats stats_;
+  std::unordered_map<common::ClusterId, cluster::ClusterHead*> rsus_;
+  /// One chain state per burst event; advanced transition-then-draw.
+  std::vector<bool> burstBad_;
+};
+
+}  // namespace blackdp::fault

@@ -1,5 +1,7 @@
 #include "net/backbone.hpp"
 
+#include <utility>
+
 #include "common/assert.hpp"
 
 namespace blackdp::net {
@@ -11,15 +13,48 @@ void Backbone::attach(common::ClusterId cluster, BackboneEndpoint& endpoint) {
 
 void Backbone::detach(common::ClusterId cluster) { endpoints_.erase(cluster); }
 
+void Backbone::notifySendFailed(common::ClusterId from, common::ClusterId to,
+                                PayloadPtr payload) {
+  simulator_.schedule(latency_,
+                      [this, from, to, payload = std::move(payload)] {
+                        if (const auto it = endpoints_.find(from);
+                            it != endpoints_.end()) {
+                          it->second->onBackboneSendFailed(to, payload);
+                        }
+                        if (onSendFailure_) onSendFailure_(from, to, payload);
+                      });
+}
+
 void Backbone::send(common::ClusterId from, common::ClusterId to,
                     PayloadPtr payload) {
   BDP_ASSERT_MSG(payload != nullptr, "backbone message without payload");
-  BDP_ASSERT_MSG(endpoints_.contains(from), "backbone send from unattached CH");
+  // A CH that crashed with a send still queued must not abort the run: the
+  // message is dropped (there is no one to notify — the sender is gone).
+  if (!endpoints_.contains(from)) {
+    ++stats_.sendsFromUnattached;
+    ++stats_.messagesDropped;
+    if (onSendFailure_) onSendFailure_(from, to, payload);
+    return;
+  }
   ++stats_.messagesSent;
   stats_.bytesSent += payload->sizeBytes();
+  if (linkFilter_ && !linkFilter_(from, to)) {
+    ++stats_.linkBlocked;
+    ++stats_.messagesDropped;
+    notifySendFailed(from, to, std::move(payload));
+    return;
+  }
   simulator_.schedule(latency_, [this, from, to, payload = std::move(payload)] {
     const auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) return;
+    if (it == endpoints_.end()) {
+      ++stats_.messagesDropped;
+      if (const auto fromIt = endpoints_.find(from);
+          fromIt != endpoints_.end()) {
+        fromIt->second->onBackboneSendFailed(to, payload);
+      }
+      if (onSendFailure_) onSendFailure_(from, to, payload);
+      return;
+    }
     it->second->onBackboneMessage(from, payload);
   });
 }

@@ -2,12 +2,17 @@
 //
 // The paper's RSUs "connect to each other via high speed links to form
 // sequential static clusters"; TAs hang off the same infrastructure. The
-// backbone is reliable, low-latency, and addressed by cluster id. Detection
-// requests forwarded between CHs (d_req) and detection responses relayed back
-// to the originator's CH travel here.
+// backbone is low-latency and addressed by cluster id. Detection requests
+// forwarded between CHs (d_req) and detection responses relayed back to the
+// originator's CH travel here. Delivery is reliable *between attached
+// endpoints over an intact link*: a crashed/detached CH or a fault-injected
+// link cut drops the message — counted in BackboneStats and surfaced to the
+// sending endpoint (and an optional global callback) so failover logic has a
+// signal to act on instead of waiting forever.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "net/frame.hpp"
@@ -21,15 +26,34 @@ class BackboneEndpoint {
   virtual ~BackboneEndpoint() = default;
   virtual void onBackboneMessage(common::ClusterId from,
                                  const PayloadPtr& payload) = 0;
+  /// A message this endpoint sent could not be delivered (target detached or
+  /// crashed, link cut). Fires after the backbone latency, like a transport
+  /// timeout. Default: ignore.
+  virtual void onBackboneSendFailed(common::ClusterId to,
+                                    const PayloadPtr& payload) {
+    (void)to;
+    (void)payload;
+  }
 };
 
 struct BackboneStats {
   std::uint64_t messagesSent{0};
   std::uint64_t bytesSent{0};
+  std::uint64_t messagesDropped{0};      ///< target detached at delivery time
+  std::uint64_t linkBlocked{0};          ///< dropped by the fault-layer link filter
+  std::uint64_t sendsFromUnattached{0};  ///< send() from a detached/crashed CH
 };
 
 class Backbone {
  public:
+  /// Fault-layer hook: false ⇒ the from→to link is currently cut.
+  using LinkFilter =
+      std::function<bool(common::ClusterId from, common::ClusterId to)>;
+  /// Global observer for every failed send (tests, metrics). The sending
+  /// endpoint's onBackboneSendFailed() fires regardless.
+  using SendFailureCallback = std::function<void(
+      common::ClusterId from, common::ClusterId to, const PayloadPtr&)>;
+
   Backbone(sim::Simulator& simulator,
            sim::Duration latency = sim::Duration::milliseconds(2))
       : simulator_{simulator}, latency_{latency} {}
@@ -39,17 +63,33 @@ class Backbone {
 
   void attach(common::ClusterId cluster, BackboneEndpoint& endpoint);
   void detach(common::ClusterId cluster);
+  [[nodiscard]] bool isAttached(common::ClusterId cluster) const {
+    return endpoints_.contains(cluster);
+  }
 
-  /// Reliable unicast between cluster heads.
+  /// Unicast between cluster heads. Reliable between attached endpoints over
+  /// an intact link; otherwise the message is dropped, counted, and reported
+  /// back to the sender via onBackboneSendFailed() after the latency.
   void send(common::ClusterId from, common::ClusterId to, PayloadPtr payload);
+
+  void setLinkFilter(LinkFilter filter) { linkFilter_ = std::move(filter); }
+  void setSendFailureCallback(SendFailureCallback callback) {
+    onSendFailure_ = std::move(callback);
+  }
 
   [[nodiscard]] const BackboneStats& stats() const { return stats_; }
 
  private:
+  /// Schedules the failure notification for a message that will not arrive.
+  void notifySendFailed(common::ClusterId from, common::ClusterId to,
+                        PayloadPtr payload);
+
   sim::Simulator& simulator_;
   sim::Duration latency_;
   BackboneStats stats_;
   std::unordered_map<common::ClusterId, BackboneEndpoint*> endpoints_;
+  LinkFilter linkFilter_;
+  SendFailureCallback onSendFailure_;
 };
 
 }  // namespace blackdp::net

@@ -1,6 +1,7 @@
 #include "net/medium.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,9 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
 
   // MAC ACK model for unicast frames: unreachable addressee → sender gets
   // a transmission-failure callback after the (ACK-timeout-like) latency.
+  // A reachable addressee whose delivery the fault layer eats below fails
+  // the same way (no ACK came back through the burst/jam).
+  std::optional<common::NodeId> addressee;
   if (!frame.isBroadcast()) {
     const auto ownerIt = addressOwner_.find(frame.dst);
     const bool reachable =
@@ -54,7 +58,9 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
                                     radioIt->second->radioPosition()) <=
                      config_.transmissionRangeM;
         }();
-    if (!reachable) {
+    if (reachable) {
+      addressee = ownerIt->second;
+    } else {
       ++stats_.sendFailures;
       simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
         const auto it = radios_.find(sender);
@@ -70,8 +76,21 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [nodeId, radio] : receivers) {
     if (nodeId == sender) continue;
-    if (mobility::distance(origin, radio->radioPosition()) >
+    const mobility::Position receiverPos = radio->radioPosition();
+    if (mobility::distance(origin, receiverPos) >
         config_.transmissionRangeM) {
+      continue;
+    }
+    if (faultHook_ != nullptr &&
+        faultHook_->dropDelivery(sender, nodeId, origin, receiverPos)) {
+      ++stats_.framesFaultDropped;
+      if (addressee && nodeId == *addressee) {
+        ++stats_.sendFailures;
+        simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
+          const auto it = radios_.find(sender);
+          if (it != radios_.end()) it->second->onSendFailed(frame);
+        });
+      }
       continue;
     }
     if (config_.lossProbability > 0.0 &&

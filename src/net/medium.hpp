@@ -44,10 +44,26 @@ struct MediumConfig {
   double lossProbability{0.0};
 };
 
+/// Channel-impairment hook (the fault-injection layer implements it).
+/// Consulted once per (frame, receiver) delivery decision, *before* the
+/// medium's own i.i.d. loss draw, so an uninstalled or never-dropping hook
+/// leaves the medium's RNG stream — and thus the whole simulation — exactly
+/// as without it.
+class MediumFaultHook {
+ public:
+  virtual ~MediumFaultHook() = default;
+
+  /// True ⇒ this delivery is lost to an injected fault (burst fade, jamming).
+  virtual bool dropDelivery(common::NodeId sender, common::NodeId receiver,
+                            const mobility::Position& senderPos,
+                            const mobility::Position& receiverPos) = 0;
+};
+
 struct MediumStats {
   std::uint64_t framesSent{0};        ///< transmissions initiated
   std::uint64_t framesDelivered{0};   ///< per-receiver deliveries
   std::uint64_t framesLost{0};        ///< per-receiver random losses
+  std::uint64_t framesFaultDropped{0};  ///< per-receiver fault-layer drops
   std::uint64_t sendFailures{0};      ///< unicast frames with no reachable owner
   std::uint64_t bytesSent{0};
 };
@@ -83,6 +99,14 @@ class WirelessMedium {
   void bindAddress(common::Address address, common::NodeId owner);
   void unbindAddress(common::Address address);
 
+  /// Installs (or, with nullptr, removes) the fault-layer hook. The hook
+  /// must outlive the medium or be removed first. A fault-dropped *unicast*
+  /// frame additionally fails the MAC ACK: the sender's onSendFailed() fires,
+  /// unlike for the medium's own i.i.d. losses, which stay silent — a real
+  /// MAC retries through short fades, but a burst/jam outlives the retry
+  /// window, so only the fault layer surfaces as transmission failure.
+  void setFaultHook(MediumFaultHook* hook) { faultHook_ = hook; }
+
   /// True iff a and b are currently within transmission range.
   [[nodiscard]] bool inRange(common::NodeId a, common::NodeId b) const;
 
@@ -96,6 +120,7 @@ class WirelessMedium {
   MediumStats stats_;
   std::unordered_map<common::NodeId, Radio*> radios_;
   std::unordered_map<common::Address, common::NodeId> addressOwner_;
+  MediumFaultHook* faultHook_{nullptr};
 };
 
 }  // namespace blackdp::net

@@ -42,6 +42,16 @@ void BasicNode::detachFromMedium() {
   }
 }
 
+void BasicNode::attachToMedium() {
+  if (attached_) return;
+  medium_.attach(id_, *this);
+  attached_ = true;
+  if (address_ != common::kNullAddress) medium_.bindAddress(address_, id_);
+  for (const common::Address alias : aliases_) {
+    medium_.bindAddress(alias, id_);
+  }
+}
+
 void BasicNode::addFailureHandler(FailureHandler handler) {
   BDP_ASSERT(handler != nullptr);
   failureHandlers_.push_back(std::move(handler));

@@ -89,6 +89,9 @@ class BasicNode : public Radio, public LinkLayer {
 
   /// Takes the node off the air (flee / shutdown). Idempotent.
   void detachFromMedium();
+  /// Puts the node back on the air (recovery after a crash), rebinding its
+  /// current address and aliases. Idempotent.
+  void attachToMedium();
   [[nodiscard]] bool isAttached() const { return attached_; }
 
   void onFrame(const Frame& frame) override;

@@ -9,6 +9,7 @@
 #include "core/rsu_detector.hpp"
 #include "core/source_verifier.hpp"
 #include "crypto/trusted_authority.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/medium.hpp"
 
 namespace blackdp::scenario {
@@ -54,6 +55,14 @@ struct ScenarioConfig {
   std::optional<int> forcedFleeMode{};  // values of attack::FleeMode
   /// Attacker answers Hello probes with a forged reply instead of dropping.
   bool attackerFakesHelloReply{false};
+
+  // --- robustness / fault injection ---
+  /// Scheduled infrastructure faults. Empty (default) = no fault layer is
+  /// installed and the run replays the unfaulted seed bit-for-bit.
+  fault::FaultPlan faults{};
+  /// CHs advertise their neighbors in JREPs and vehicles re-home to them on
+  /// CH silence. Off by default (seed wire format).
+  bool chFailover{false};
 
   // --- component configs ---
   net::MediumConfig medium{};

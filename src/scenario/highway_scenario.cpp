@@ -34,6 +34,11 @@ HighwayScenario::HighwayScenario(ScenarioConfig config)
   medium_ = std::make_unique<net::WirelessMedium>(
       simulator_, seeds_.stream("medium"), mediumConfig);
   backbone_ = std::make_unique<net::Backbone>(simulator_);
+  if (!config_.faults.empty()) {
+    faultInjector_ = std::make_unique<fault::FaultInjector>(
+        simulator_, seeds_.stream("faults"), config_.faults);
+    faultInjector_->install(*medium_, *backbone_);
+  }
   buildWorld();
 }
 
@@ -57,6 +62,23 @@ void HighwayScenario::buildWorld() {
     rsu->node->setLocalAddress(common::Address{kRsuAddressBase + c});
     rsu->head = std::make_unique<cluster::ClusterHead>(
         simulator_, *rsu->node, *backbone_, highway_, rsu->cluster);
+    if (config_.chFailover) {
+      // Advertise the adjacent CHs (next in travel direction first) so
+      // members can re-home when this RSU dies.
+      std::vector<cluster::NeighborChInfo> neighbors;
+      if (c + 1 <= highway_.clusterCount()) {
+        neighbors.push_back({common::ClusterId{c + 1},
+                             common::Address{kRsuAddressBase + c + 1}});
+      }
+      if (c >= 2) {
+        neighbors.push_back({common::ClusterId{c - 1},
+                             common::Address{kRsuAddressBase + c - 1}});
+      }
+      rsu->head->setNeighborAnnouncement(std::move(neighbors));
+    }
+    if (faultInjector_) {
+      faultInjector_->registerRsu(rsu->cluster, *rsu->head);
+    }
     rsu->detector = std::make_unique<core::RsuDetector>(
         simulator_, *rsu->head, *taNetwork_, *engine_, config_.detector);
     // Revocation notices from the TA reach every CH (blacklist + member

@@ -22,6 +22,7 @@
 #include "cluster/membership_client.hpp"
 #include "core/rsu_detector.hpp"
 #include "core/source_verifier.hpp"
+#include "fault/fault_injector.hpp"
 #include "net/backbone.hpp"
 #include "scenario/config.hpp"
 
@@ -79,6 +80,10 @@ class HighwayScenario {
   [[nodiscard]] crypto::CryptoEngine& engine() { return *engine_; }
   [[nodiscard]] net::WirelessMedium& medium() { return *medium_; }
   [[nodiscard]] net::Backbone& backbone() { return *backbone_; }
+  /// Non-null iff the config carries a non-empty FaultPlan.
+  [[nodiscard]] fault::FaultInjector* faultInjector() {
+    return faultInjector_.get();
+  }
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
   [[nodiscard]] std::vector<std::unique_ptr<VehicleEntity>>& vehicles() {
@@ -166,6 +171,7 @@ class HighwayScenario {
   std::unique_ptr<crypto::TaNetwork> taNetwork_;
   std::unique_ptr<net::WirelessMedium> medium_;
   std::unique_ptr<net::Backbone> backbone_;
+  std::unique_ptr<fault::FaultInjector> faultInjector_;
   std::vector<common::TaId> taIds_;
   std::vector<std::unique_ptr<RsuEntity>> rsus_;
   std::vector<std::unique_ptr<VehicleEntity>> vehicles_;

@@ -1,0 +1,425 @@
+// Fault-injection subsystem: plan replay on the simulator clock, jam zones,
+// Gilbert–Elliott bursts, backbone link windows, RSU crash/recovery, the
+// protocol-hardening fallbacks, and the seed-determinism guarantee.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster_head.hpp"
+#include "cluster/membership_client.hpp"
+#include "fault/fault_injector.hpp"
+#include "scenario/highway_scenario.hpp"
+
+namespace blackdp {
+namespace {
+
+class Ping final : public net::Payload {
+ public:
+  [[nodiscard]] std::string_view typeName() const override { return "ping"; }
+};
+
+// ------------------------------------------------------------- plan algebra
+
+TEST(FaultPlanTest, GilbertElliottMeanLoss) {
+  fault::GilbertElliott iid{0.0, 0.25, 0.3, 0.9};
+  EXPECT_DOUBLE_EQ(iid.meanLoss(), 0.3);  // never leaves the good state
+
+  fault::GilbertElliott symmetric{0.25, 0.25, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(symmetric.meanLoss(), 0.5);
+
+  EXPECT_TRUE(fault::FaultPlan{}.empty());
+  fault::FaultPlan plan;
+  plan.jamZones.push_back({});
+  EXPECT_FALSE(plan.empty());
+}
+
+// ------------------------------------------------------- injector mechanics
+
+TEST(FaultInjectorTest, JamZoneDropsByPositionAndWindow) {
+  sim::Simulator simulator;
+  fault::FaultPlan plan;
+  fault::JamZoneEvent jam;
+  jam.xMin = 100.0;
+  jam.xMax = 200.0;
+  jam.from = sim::TimePoint::fromUs(1'000'000);
+  jam.until = sim::TimePoint::fromUs(2'000'000);
+  plan.jamZones.push_back(jam);
+  fault::FaultInjector injector{simulator, sim::Rng{1}, std::move(plan)};
+
+  const auto drop = [&](double senderX, double receiverX) {
+    return injector.dropDelivery(common::NodeId{1}, common::NodeId{2},
+                                 {senderX, 0.0}, {receiverX, 0.0});
+  };
+
+  bool before = true, senderIn = false, receiverIn = false, outside = true,
+       after = true;
+  simulator.scheduleAt(sim::TimePoint::fromUs(500'000),
+                       [&] { before = drop(150.0, 150.0); });
+  simulator.scheduleAt(sim::TimePoint::fromUs(1'500'000), [&] {
+    senderIn = drop(150.0, 900.0);
+    receiverIn = drop(900.0, 150.0);
+    outside = drop(900.0, 950.0);
+  });
+  // [from, until): at `until` exactly the zone is clear again.
+  simulator.scheduleAt(sim::TimePoint::fromUs(2'000'000),
+                       [&] { after = drop(150.0, 150.0); });
+  simulator.run();
+
+  EXPECT_FALSE(before);
+  EXPECT_TRUE(senderIn);
+  EXPECT_TRUE(receiverIn);
+  EXPECT_FALSE(outside);
+  EXPECT_FALSE(after);
+  EXPECT_EQ(injector.stats().framesJammed, 2u);
+}
+
+TEST(FaultInjectorTest, BurstChainAdvancesTransitionThenDraw) {
+  // pGoodToBad = pBadToGood = 1 makes the chain flip every delivery; with
+  // lossGood = 0 and lossBad = 1 the drops alternate deterministically,
+  // starting in bad (the chain transitions before it draws).
+  sim::Simulator simulator;
+  fault::FaultPlan plan;
+  fault::BurstLossEvent burst;
+  burst.channel = fault::GilbertElliott{1.0, 1.0, 0.0, 1.0};
+  plan.burstLoss.push_back(burst);
+  fault::FaultInjector injector{simulator, sim::Rng{1}, std::move(plan)};
+
+  std::vector<bool> outcomes;
+  for (int i = 0; i < 6; ++i) {
+    outcomes.push_back(injector.dropDelivery(common::NodeId{1},
+                                             common::NodeId{2}, {0.0, 0.0},
+                                             {10.0, 0.0}));
+  }
+  EXPECT_EQ(outcomes, (std::vector<bool>{true, false, true, false, true,
+                                         false}));
+  EXPECT_EQ(injector.stats().framesBurstLost, 3u);
+}
+
+TEST(FaultInjectorTest, BackboneLinkAndPartitionWindows) {
+  sim::Simulator simulator;
+  fault::FaultPlan plan;
+  fault::BackboneLinkDownEvent cut;
+  cut.a = common::ClusterId{2};
+  cut.b = common::ClusterId{3};
+  cut.from = sim::TimePoint::fromUs(1'000'000);
+  cut.until = sim::TimePoint::fromUs(2'000'000);
+  plan.backboneLinksDown.push_back(cut);
+  fault::BackbonePartitionEvent split;
+  split.boundary = common::ClusterId{5};
+  split.from = sim::TimePoint::fromUs(3'000'000);
+  split.until = sim::TimePoint::fromUs(4'000'000);
+  plan.backbonePartitions.push_back(split);
+  fault::FaultInjector injector{simulator, sim::Rng{1}, std::move(plan)};
+
+  const auto up = [&](std::uint32_t from, std::uint32_t to) {
+    return injector.linkUp(common::ClusterId{from}, common::ClusterId{to});
+  };
+
+  EXPECT_TRUE(up(2, 3));  // t = 0: before the cut
+  simulator.scheduleAt(sim::TimePoint::fromUs(1'500'000), [&] {
+    EXPECT_FALSE(up(2, 3));
+    EXPECT_FALSE(up(3, 2));  // cuts are bidirectional
+    EXPECT_TRUE(up(2, 4));
+  });
+  simulator.scheduleAt(sim::TimePoint::fromUs(2'000'000),
+                       [&] { EXPECT_TRUE(up(2, 3)); });
+  simulator.scheduleAt(sim::TimePoint::fromUs(3'500'000), [&] {
+    EXPECT_FALSE(up(5, 6));  // severed across the boundary, both ways
+    EXPECT_FALSE(up(6, 5));
+    EXPECT_TRUE(up(1, 5));  // same side
+    EXPECT_TRUE(up(6, 7));
+  });
+  simulator.run();
+}
+
+// ------------------------------------------------- cluster-level fault play
+
+/// Table-I highway with all cluster heads registered with a fault injector.
+class FaultWorld {
+ public:
+  explicit FaultWorld(fault::FaultPlan plan)
+      : highway_{10'000.0, 200.0, 1'000.0},
+        medium_{simulator_, sim::Rng{3}, mediumConfig()},
+        backbone_{simulator_},
+        injector_{simulator_, sim::Rng{99}, std::move(plan)} {
+    injector_.install(medium_, backbone_);
+    for (std::uint32_t c = 1; c <= highway_.clusterCount(); ++c) {
+      auto node = std::make_unique<net::BasicNode>(
+          simulator_, medium_, common::NodeId{1000 + c},
+          mobility::LinearMotion::stationary(
+              highway_.clusterCenter(common::ClusterId{c})));
+      node->setLocalAddress(common::Address{100 + c});
+      heads_.push_back(std::make_unique<cluster::ClusterHead>(
+          simulator_, *node, backbone_, highway_, common::ClusterId{c}));
+      injector_.registerRsu(common::ClusterId{c}, *heads_.back());
+      headNodes_.push_back(std::move(node));
+    }
+  }
+
+  struct Vehicle {
+    std::unique_ptr<net::BasicNode> node;
+    std::unique_ptr<cluster::MembershipClient> membership;
+  };
+
+  Vehicle makeVehicle(std::uint32_t id, double x) {
+    Vehicle v;
+    v.node = std::make_unique<net::BasicNode>(
+        simulator_, medium_, common::NodeId{id},
+        mobility::LinearMotion::stationary({x, 100.0}));
+    v.node->setLocalAddress(common::Address{id});
+    v.membership = std::make_unique<cluster::MembershipClient>(
+        simulator_, *v.node, highway_);
+    return v;
+  }
+
+  [[nodiscard]] cluster::ClusterHead& head(std::uint32_t c) {
+    return *heads_[c - 1];
+  }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] net::WirelessMedium& medium() { return medium_; }
+  [[nodiscard]] net::Backbone& backbone() { return backbone_; }
+  [[nodiscard]] fault::FaultInjector& injector() { return injector_; }
+
+  void runFor(sim::Duration d) { simulator_.run(simulator_.now() + d); }
+
+ private:
+  static net::MediumConfig mediumConfig() {
+    net::MediumConfig c;
+    c.maxJitter = sim::Duration{};
+    return c;
+  }
+
+  sim::Simulator simulator_;
+  mobility::Highway highway_;
+  net::WirelessMedium medium_;
+  net::Backbone backbone_;
+  fault::FaultInjector injector_;
+  std::vector<std::unique_ptr<net::BasicNode>> headNodes_;
+  std::vector<std::unique_ptr<cluster::ClusterHead>> heads_;
+};
+
+TEST(FaultWorldTest, RsuCrashAndRecoveryFollowPlan) {
+  fault::FaultPlan plan;
+  fault::RsuCrashEvent crash;
+  crash.cluster = common::ClusterId{3};
+  crash.at = sim::TimePoint::fromUs(1'000'000);
+  crash.recoverAt = sim::TimePoint::fromUs(2'000'000);
+  plan.rsuCrashes.push_back(crash);
+  FaultWorld world{std::move(plan)};
+
+  auto v = world.makeVehicle(1, 2'500.0);
+  v.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+  ASSERT_TRUE(world.head(3).isMember(common::Address{1}));
+
+  world.runFor(sim::Duration::milliseconds(1'490));  // t = 1.5 s
+  EXPECT_TRUE(world.head(3).isCrashed());
+  EXPECT_EQ(world.head(3).stats().crashes, 1u);
+  EXPECT_EQ(world.injector().stats().rsuCrashes, 1u);
+  // Soft state is lost: members move to the history table, the RSU is off
+  // the air and off the backbone.
+  EXPECT_FALSE(world.head(3).isMember(common::Address{1}));
+  EXPECT_TRUE(world.head(3).isFormerMember(common::Address{1}));
+  EXPECT_FALSE(world.medium().isAttached(common::NodeId{1003}));
+  EXPECT_FALSE(world.backbone().isAttached(common::ClusterId{3}));
+
+  // A unicast to the dead CH now fails at the MAC.
+  int failures = 0;
+  v.node->addFailureHandler([&](const net::Frame&) { ++failures; });
+  v.node->sendTo(common::Address{103}, net::makePayload<Ping>());
+  world.runFor(sim::Duration::milliseconds(10));
+  EXPECT_EQ(failures, 1);
+
+  world.runFor(sim::Duration::milliseconds(1'000));  // t = 2.5 s
+  EXPECT_FALSE(world.head(3).isCrashed());
+  EXPECT_EQ(world.head(3).stats().recoveries, 1u);
+  EXPECT_EQ(world.injector().stats().rsuRecoveries, 1u);
+  EXPECT_TRUE(world.medium().isAttached(common::NodeId{1003}));
+  EXPECT_TRUE(world.backbone().isAttached(common::ClusterId{3}));
+
+  // Back in business: a fresh join is accepted.
+  auto v2 = world.makeVehicle(2, 2'600.0);
+  v2.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+  EXPECT_TRUE(world.head(3).isMember(common::Address{2}));
+}
+
+TEST(FaultWorldTest, ChFailoverRehomesToAdvertisedNeighbor) {
+  fault::FaultPlan plan;
+  fault::RsuCrashEvent crash;
+  crash.cluster = common::ClusterId{3};
+  crash.at = sim::TimePoint::fromUs(1'000'000);
+  plan.rsuCrashes.push_back(crash);
+  FaultWorld world{std::move(plan)};
+  world.head(3).setNeighborAnnouncement(
+      {{common::ClusterId{4}, common::Address{104}},
+       {common::ClusterId{2}, common::Address{102}}});
+
+  auto v = world.makeVehicle(1, 2'500.0);
+  v.membership->start();
+  world.runFor(sim::Duration::milliseconds(10));
+  ASSERT_EQ(v.membership->clusterHeadAddress(), common::Address{103});
+  ASSERT_EQ(v.membership->fallbackHeads().size(), 2u);
+
+  world.runFor(sim::Duration::milliseconds(1'490));  // CH 3 is down
+  v.node->sendTo(common::Address{103}, net::makePayload<Ping>());
+  world.runFor(sim::Duration::milliseconds(10));
+
+  EXPECT_EQ(v.membership->stats().chFailovers, 1u);
+  EXPECT_EQ(v.membership->clusterHeadAddress(), common::Address{104});
+  EXPECT_EQ(v.membership->currentCluster(), common::ClusterId{4});
+  // The consumed candidate is gone; the second one remains.
+  EXPECT_EQ(v.membership->fallbackHeads().size(), 1u);
+}
+
+// ------------------------------------------------------ full-scenario wires
+
+TEST(FaultScenarioTest, EmptyPlanInstallsNoFaultLayer) {
+  scenario::ScenarioConfig config;
+  config.seed = 41;
+  config.attack = scenario::AttackType::kNone;
+  scenario::HighwayScenario world(config);
+  EXPECT_EQ(world.faultInjector(), nullptr);
+}
+
+TEST(FaultScenarioTest, InertPlanLeavesTrafficIdentical) {
+  // An installed injector whose events never fire inside the run window must
+  // not perturb a single RNG stream: the traffic counters match an
+  // injector-free run exactly.
+  scenario::ScenarioConfig base;
+  base.seed = 42;
+  base.attack = scenario::AttackType::kNone;
+
+  scenario::ScenarioConfig faulted = base;
+  fault::RsuCrashEvent lateCrash;
+  lateCrash.cluster = common::ClusterId{9};
+  lateCrash.at = sim::TimePoint::fromUs(1'000'000'000);  // beyond the window
+  faulted.faults.rsuCrashes.push_back(lateCrash);
+
+  scenario::HighwayScenario plain(base);
+  scenario::HighwayScenario withInjector(faulted);
+  ASSERT_EQ(plain.faultInjector(), nullptr);
+  ASSERT_NE(withInjector.faultInjector(), nullptr);
+  plain.runFor(sim::Duration::seconds(2));
+  withInjector.runFor(sim::Duration::seconds(2));
+
+  const auto& a = plain.medium().stats();
+  const auto& b = withInjector.medium().stats();
+  EXPECT_EQ(a.framesSent, b.framesSent);
+  EXPECT_EQ(a.framesDelivered, b.framesDelivered);
+  EXPECT_EQ(a.framesLost, b.framesLost);
+  EXPECT_EQ(a.bytesSent, b.bytesSent);
+  EXPECT_EQ(b.framesFaultDropped, 0u);
+  EXPECT_EQ(plain.backbone().stats().messagesSent,
+            withInjector.backbone().stats().messagesSent);
+}
+
+TEST(FaultScenarioTest, DeterministicReplayUnderFaults) {
+  scenario::ScenarioConfig config;
+  config.seed = 43;
+  config.attack = scenario::AttackType::kNone;
+  fault::BurstLossEvent burst;
+  burst.channel = fault::GilbertElliott{0.05, 0.2, 0.0, 0.8};
+  config.faults.burstLoss.push_back(burst);
+  fault::RsuCrashEvent crash;
+  crash.cluster = common::ClusterId{3};
+  crash.at = sim::TimePoint::fromUs(1'000'000);
+  crash.recoverAt = sim::TimePoint::fromUs(2'000'000);
+  config.faults.rsuCrashes.push_back(crash);
+  fault::JamZoneEvent jam;
+  jam.xMin = 1'200.0;
+  jam.xMax = 1'800.0;
+  jam.from = sim::TimePoint::fromUs(500'000);
+  jam.until = sim::TimePoint::fromUs(1'500'000);
+  config.faults.jamZones.push_back(jam);
+
+  scenario::HighwayScenario first(config);
+  scenario::HighwayScenario second(config);
+  first.runFor(sim::Duration::seconds(3));
+  second.runFor(sim::Duration::seconds(3));
+
+  const auto& ma = first.medium().stats();
+  const auto& mb = second.medium().stats();
+  EXPECT_GT(ma.framesFaultDropped, 0u);
+  EXPECT_EQ(ma.framesSent, mb.framesSent);
+  EXPECT_EQ(ma.framesDelivered, mb.framesDelivered);
+  EXPECT_EQ(ma.framesLost, mb.framesLost);
+  EXPECT_EQ(ma.framesFaultDropped, mb.framesFaultDropped);
+  EXPECT_EQ(ma.sendFailures, mb.sendFailures);
+  EXPECT_EQ(ma.bytesSent, mb.bytesSent);
+
+  const auto& ba = first.backbone().stats();
+  const auto& bb = second.backbone().stats();
+  EXPECT_EQ(ba.messagesSent, bb.messagesSent);
+  EXPECT_EQ(ba.bytesSent, bb.bytesSent);
+  EXPECT_EQ(ba.messagesDropped, bb.messagesDropped);
+  EXPECT_EQ(ba.linkBlocked, bb.linkBlocked);
+
+  const auto& fa = first.faultInjector()->stats();
+  const auto& fb = second.faultInjector()->stats();
+  EXPECT_EQ(fa.rsuCrashes, fb.rsuCrashes);
+  EXPECT_EQ(fa.rsuRecoveries, fb.rsuRecoveries);
+  EXPECT_EQ(fa.framesJammed, fb.framesJammed);
+  EXPECT_EQ(fa.framesBurstLost, fb.framesBurstLost);
+}
+
+TEST(FaultScenarioTest, LocalQuarantineWhenNoChReachable) {
+  // Every RSU dark from the start: the verifier cannot report to any CH and
+  // degrades to a local blacklist decision instead of giving up.
+  scenario::ScenarioConfig config;
+  config.seed = 44;
+  config.attack = scenario::AttackType::kSingle;
+  config.attackerCluster = common::ClusterId{2};
+  config.evasion.firstEvasiveCluster = 99;
+  config.verifier.localQuarantine = true;
+  for (std::uint32_t c = 1; c <= 10; ++c) {
+    fault::RsuCrashEvent crash;
+    crash.cluster = common::ClusterId{c};
+    crash.at = sim::TimePoint{};
+    config.faults.rsuCrashes.push_back(crash);
+  }
+
+  scenario::HighwayScenario world(config);
+  const auto report = world.runVerification();
+
+  EXPECT_EQ(report.outcome, core::Outcome::kLocallyQuarantined);
+  EXPECT_TRUE(report.reported);
+  EXPECT_TRUE(world.isAttackerPseudonym(report.suspect));
+  EXPECT_TRUE(world.source().membership->isBlacklisted(report.suspect));
+  EXPECT_GE(world.source().membership->stats().localBlacklists, 1u);
+}
+
+TEST(FaultScenarioTest, ForwardFailureReadoptsSessionLocally) {
+  // The suspect's home CH is dead, so CH 1's backbone forward bounces; the
+  // detector re-adopts the session and finishes it from here instead of
+  // silently losing the report.
+  scenario::ScenarioConfig config;
+  config.seed = 45;
+  config.attack = scenario::AttackType::kSingle;
+  config.attackerCluster = common::ClusterId{2};
+  config.evasion.firstEvasiveCluster = 99;
+  fault::RsuCrashEvent crash;
+  crash.cluster = common::ClusterId{2};
+  crash.at = sim::TimePoint::fromUs(200'000);  // after the joins settle
+  config.faults.rsuCrashes.push_back(crash);
+
+  scenario::HighwayScenario world(config);
+  world.runFor(sim::Duration::milliseconds(500));
+  auto* reporter = world.findHonestVehicleIn(common::ClusterId{1});
+  ASSERT_NE(reporter, nullptr);
+  world.injectDetectionRequest(*reporter, world.primaryAttacker()->address(),
+                               common::ClusterId{2});
+  world.runFor(sim::Duration::seconds(3));
+
+  const auto& stats = world.rsu(common::ClusterId{1}).detector->stats();
+  EXPECT_EQ(stats.sessionsForwarded, 1u);
+  EXPECT_EQ(stats.forwardsFailed, 1u);
+  // The re-adopted session runs to a verdict on CH 1 (over-the-air probes;
+  // silence or replies both conclude it) instead of leaking.
+  EXPECT_EQ(world.rsu(common::ClusterId{1}).detector->activeSessions(), 0u);
+  EXPECT_FALSE(
+      world.rsu(common::ClusterId{1}).detector->completedSessions().empty());
+}
+
+}  // namespace
+}  // namespace blackdp

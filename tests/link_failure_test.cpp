@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "attack/gray_hole_agent.hpp"
+#include "fault/fault_injector.hpp"
 #include "net/node.hpp"
 #include "scenario/highway_scenario.hpp"
 
@@ -335,6 +336,95 @@ TEST(DataBurstTest, BlackDpRestoresDelivery) {
   const auto burst = world.sendDataBurst(50);
   EXPECT_GE(burst.pdr(), 0.9);
   EXPECT_EQ(world.primaryAttacker()->agent->stats().dataForwarded, 0u);
+}
+
+// -------------------------------------------- fault layer vs. MAC feedback
+
+TEST_F(MacFeedbackTest, BurstLossFailsUnicastAck) {
+  // A fault-layer drop outlives the MAC retry window, so — unlike the
+  // medium's own i.i.d. losses — it surfaces as a transmission failure.
+  fault::FaultPlan plan;
+  fault::BurstLossEvent burst;
+  burst.channel = fault::GilbertElliott{0.0, 1.0, 1.0, 1.0};  // always lose
+  plan.burstLoss.push_back(burst);
+  fault::FaultInjector injector{simulator_, sim::Rng{7}, std::move(plan)};
+  medium_.setFaultHook(&injector);
+
+  net::BasicNode a{simulator_, medium_, common::NodeId{1},
+                   mobility::LinearMotion::stationary({0.0, 0.0})};
+  net::BasicNode b{simulator_, medium_, common::NodeId{2},
+                   mobility::LinearMotion::stationary({10.0, 0.0})};
+  a.setLocalAddress(common::Address{1});
+  b.setLocalAddress(common::Address{2});
+  int failures = 0;
+  int received = 0;
+  a.addFailureHandler([&](const net::Frame&) { ++failures; });
+  b.addHandler([&](const net::Frame&) {
+    ++received;
+    return true;
+  });
+  a.sendTo(common::Address{2}, net::makePayload<Ping>());
+  simulator_.run();
+
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(failures, 1);  // in range and bound, but the burst ate the frame
+  EXPECT_EQ(medium_.stats().framesFaultDropped, 1u);
+  EXPECT_EQ(medium_.stats().sendFailures, 1u);
+  EXPECT_EQ(injector.stats().framesBurstLost, 1u);
+  medium_.setFaultHook(nullptr);
+}
+
+TEST_F(MacFeedbackTest, IidLossStaysSilentUnderFaultHook) {
+  // Control: with a hook installed that never drops, an i.i.d. medium loss
+  // still does not fail the MAC ACK (the addressee was reachable at send
+  // time and a real MAC rides out short fades).
+  fault::FaultInjector injector{simulator_, sim::Rng{7}, fault::FaultPlan{}};
+  net::MediumConfig lossy = quietMedium();
+  lossy.lossProbability = 1.0;
+  net::WirelessMedium medium{simulator_, sim::Rng{2}, lossy};
+  medium.setFaultHook(&injector);
+
+  net::BasicNode a{simulator_, medium, common::NodeId{1},
+                   mobility::LinearMotion::stationary({0.0, 0.0})};
+  net::BasicNode b{simulator_, medium, common::NodeId{2},
+                   mobility::LinearMotion::stationary({10.0, 0.0})};
+  a.setLocalAddress(common::Address{1});
+  b.setLocalAddress(common::Address{2});
+  int failures = 0;
+  a.addFailureHandler([&](const net::Frame&) { ++failures; });
+  a.sendTo(common::Address{2}, net::makePayload<Ping>());
+  simulator_.run();
+
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(medium.stats().framesLost, 1u);
+  EXPECT_EQ(medium.stats().framesFaultDropped, 0u);
+  medium.setFaultHook(nullptr);
+}
+
+TEST_F(MacFeedbackTest, MidFlightDetachSuppressesDeliveryWithoutAckFailure) {
+  // The addressee was attached and in range at transmission time, so the
+  // MAC ACK succeeded; detaching before the per-hop latency elapses only
+  // suppresses the delivery (crash semantics, not a NACK).
+  net::BasicNode a{simulator_, medium_, common::NodeId{1},
+                   mobility::LinearMotion::stationary({0.0, 0.0})};
+  net::BasicNode b{simulator_, medium_, common::NodeId{2},
+                   mobility::LinearMotion::stationary({10.0, 0.0})};
+  a.setLocalAddress(common::Address{1});
+  b.setLocalAddress(common::Address{2});
+  int failures = 0;
+  int received = 0;
+  a.addFailureHandler([&](const net::Frame&) { ++failures; });
+  b.addHandler([&](const net::Frame&) {
+    ++received;
+    return true;
+  });
+  a.sendTo(common::Address{2}, net::makePayload<Ping>());
+  b.detachFromMedium();  // while the frame is in flight
+  simulator_.run();
+
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(medium_.stats().framesDelivered, 0u);
 }
 
 }  // namespace

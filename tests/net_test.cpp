@@ -266,7 +266,12 @@ class RecordingEndpoint final : public BackboneEndpoint {
                          const PayloadPtr& payload) override {
     received.emplace_back(from, payload);
   }
+  void onBackboneSendFailed(common::ClusterId to,
+                            const PayloadPtr& payload) override {
+    sendFailures.emplace_back(to, payload);
+  }
   std::vector<std::pair<common::ClusterId, PayloadPtr>> received;
+  std::vector<std::pair<common::ClusterId, PayloadPtr>> sendFailures;
 };
 
 TEST(BackboneTest, DeliversBetweenClusters) {
@@ -285,7 +290,7 @@ TEST(BackboneTest, DeliversBetweenClusters) {
   EXPECT_TRUE(a.received.empty());
 }
 
-TEST(BackboneTest, UnknownDestinationDropsSilently) {
+TEST(BackboneTest, UnknownDestinationCountsDropAndNotifiesSender) {
   sim::Simulator simulator;
   Backbone backbone{simulator};
   RecordingEndpoint a;
@@ -293,14 +298,55 @@ TEST(BackboneTest, UnknownDestinationDropsSilently) {
   EXPECT_NO_THROW(backbone.send(common::ClusterId{1}, common::ClusterId{9},
                                 makePayload<Ping>()));
   simulator.run();
+  EXPECT_EQ(backbone.stats().messagesDropped, 1u);
+  ASSERT_EQ(a.sendFailures.size(), 1u);
+  EXPECT_EQ(a.sendFailures[0].first, common::ClusterId{9});
 }
 
-TEST(BackboneTest, SendFromUnattachedAsserts) {
+TEST(BackboneTest, SendFromUnattachedIsRecoverable) {
+  // A CH that crashed with a send still queued must not abort the run: the
+  // message is counted as dropped and reported via the global callback.
   sim::Simulator simulator;
   Backbone backbone{simulator};
-  EXPECT_THROW(backbone.send(common::ClusterId{1}, common::ClusterId{2},
-                             makePayload<Ping>()),
-               common::AssertionError);
+  int failures = 0;
+  backbone.setSendFailureCallback(
+      [&](common::ClusterId from, common::ClusterId to, const PayloadPtr&) {
+        ++failures;
+        EXPECT_EQ(from, common::ClusterId{1});
+        EXPECT_EQ(to, common::ClusterId{2});
+      });
+  EXPECT_NO_THROW(backbone.send(common::ClusterId{1}, common::ClusterId{2},
+                                makePayload<Ping>()));
+  simulator.run();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(backbone.stats().sendsFromUnattached, 1u);
+  EXPECT_EQ(backbone.stats().messagesDropped, 1u);
+  EXPECT_EQ(backbone.stats().messagesSent, 0u);
+}
+
+TEST(BackboneTest, LinkFilterBlocksAndNotifies) {
+  sim::Simulator simulator;
+  Backbone backbone{simulator};
+  RecordingEndpoint a;
+  RecordingEndpoint b;
+  backbone.attach(common::ClusterId{1}, a);
+  backbone.attach(common::ClusterId{2}, b);
+  bool linkUp = false;
+  backbone.setLinkFilter(
+      [&](common::ClusterId, common::ClusterId) { return linkUp; });
+  backbone.send(common::ClusterId{1}, common::ClusterId{2},
+                makePayload<Ping>());
+  simulator.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(backbone.stats().linkBlocked, 1u);
+  ASSERT_EQ(a.sendFailures.size(), 1u);
+
+  linkUp = true;
+  backbone.send(common::ClusterId{1}, common::ClusterId{2},
+                makePayload<Ping>());
+  simulator.run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(a.sendFailures.size(), 1u);
 }
 
 TEST(BackboneTest, CountsTraffic) {
