@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
 #include "scenario/experiments.hpp"
 
 int main(int argc, char** argv) {
@@ -25,6 +26,16 @@ int main(int argc, char** argv) {
 
   const std::vector<scenario::BaselineCell> cells =
       scenario::runBaselineComparison(trials, /*seedBase=*/424242);
+
+  obs::MetricsRegistry registry;
+  for (const scenario::BaselineCell& cell : cells) {
+    const std::string prefix = "baseline." + cell.detector + "." +
+                               std::string{scenario::toString(cell.attack)};
+    obs::addConfusion(registry, prefix, cell.matrix);
+    registry.counter(prefix + ".trials_with_comparison")
+        .add(cell.trialsWithComparison);
+  }
+  obs::writeBenchJson("ablation_baselines", registry.snapshot());
 
   Table table({"Attack", "Detector", "Recall (TPR)", "FP count",
                ">=2 RREPs to compare"});

@@ -22,7 +22,9 @@
 
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
+#include "scenario/telemetry.hpp"
 
 namespace {
 
@@ -72,7 +74,8 @@ struct TrialResult {
   double latencyMs{-1.0};
 };
 
-TrialResult faultTrial(ScenarioConfig config) {
+TrialResult faultTrial(ScenarioConfig config,
+                       obs::MetricsRegistry* registry = nullptr) {
   HighwayScenario world(std::move(config));
   (void)world.runVerification();
   TrialResult r;
@@ -81,6 +84,7 @@ TrialResult faultTrial(ScenarioConfig config) {
   r.falsePositive = summary.falsePositive;
   r.latencyMs = confirmationLatencyMs(world);
   r.pdr = world.sendDataBurst(kPacketsPerTrial).pdr();
+  if (registry) scenario::collectWorldMetrics(*registry, world);
   return r;
 }
 
@@ -107,6 +111,7 @@ int main(int argc, char** argv) {
       {"heavy", {0.10, 0.10, 0.0, 0.9}},
   };
 
+  obs::MetricsRegistry registry;
   Table sweep({"Burst loss", "Mean loss", "Detection", "FP", "PDR",
                "Latency (ms)"});
   metrics::RunningStat detectNone, detectHeavy;
@@ -120,12 +125,16 @@ int main(int argc, char** argv) {
         burst.channel = intensity.channel;
         config.faults.burstLoss.push_back(burst);
       }
-      const TrialResult r = faultTrial(std::move(config));
+      const TrialResult r = faultTrial(std::move(config), &registry);
       detected.add(r.detected ? 1.0 : 0.0);
       falsePos.add(r.falsePositive ? 1.0 : 0.0);
       pdr.add(r.pdr);
       if (r.latencyMs >= 0.0) latency.add(r.latencyMs);
     }
+    const std::string prefix = std::string{"faults.burst."} + intensity.label;
+    obs::addRunningStat(registry, prefix + ".detected", detected);
+    obs::addRunningStat(registry, prefix + ".pdr", pdr);
+    obs::addRunningStat(registry, prefix + ".latency_ms", latency);
     sweep.addRow({intensity.label,
                   Table::percent(intensity.channel.meanLoss()),
                   Table::percent(detected.mean()),
@@ -158,6 +167,12 @@ int main(int argc, char** argv) {
     failoverDetect.add(r.detected ? 1.0 : 0.0);
     if (r.latencyMs >= 0.0) failoverLatency.add(r.latencyMs);
   }
+  obs::addRunningStat(registry, "faults.crash.no_failover.detected",
+                      baselineDetect);
+  obs::addRunningStat(registry, "faults.crash.failover.detected",
+                      failoverDetect);
+  obs::addRunningStat(registry, "faults.crash.failover.latency_ms",
+                      failoverLatency);
 
   std::cout << "\nRSU 1 crashed at 600 ms (source's own CH):\n";
   Table crashTable({"Treatment", "Detection", "Latency (ms)"});
@@ -191,6 +206,8 @@ int main(int argc, char** argv) {
   std::cout << "\nEvery RSU dark from t = 0: the source locally quarantined "
                "the attacker in "
             << Table::percent(quarantined.mean()) << " of trials.\n";
+  obs::addRunningStat(registry, "faults.quarantine.isolated", quarantined);
+  obs::writeBenchJson("ablation_faults", registry.snapshot());
 
   const bool ok = detectNone.mean() >= detectHeavy.mean() &&
                   detectNone.mean() > 0.8 &&

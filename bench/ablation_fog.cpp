@@ -11,6 +11,7 @@
 
 #include "core/ch_load_model.hpp"
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
 #include "sim/rng.hpp"
 
 int main() {
@@ -34,6 +35,7 @@ int main() {
   }
   Table table(headers);
 
+  obs::MetricsRegistry registry;
   double aloneAt600 = 0.0;
   double fog3At600 = 0.0;
   for (const double rate : arrivalRates) {
@@ -55,6 +57,11 @@ int main() {
       simulator.run();
 
       const double wait = model.stats().meanWaitMs();
+      registry
+          .gauge("fog.wait_ms.rate" +
+                 std::to_string(static_cast<int>(rate)) + ".fog" +
+                 std::to_string(fog))
+          .set(wait);
       row.push_back(Table::num(wait, 2));
       if (rate == 600 && fog == 0) aloneAt600 = wait;
       if (rate == 600 && fog == 3) fog3At600 = wait;
@@ -68,6 +75,7 @@ int main() {
             << Table::num(aloneAt600, 1) << " ms and growing with the "
             << "backlog); three fog nodes bring it to "
             << Table::num(fog3At600, 2) << " ms.\n";
+  obs::writeBenchJson("ablation_fog", registry.snapshot());
 
   const bool ok = aloneAt600 > 50.0 && fog3At600 < 5.0;
   std::cout << (ok ? "\nshape check: PASS (fog offloading moves the "

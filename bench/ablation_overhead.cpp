@@ -7,6 +7,7 @@
 
 #include "core/secure.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
 
 namespace {
@@ -131,6 +132,46 @@ void BM_VerificationTableDedup(benchmark::State& state) {
 }
 BENCHMARK(BM_VerificationTableDedup)->Arg(1)->Arg(4)->Arg(8);
 
+/// Deterministic companion workload for the BENCH JSON: one congested-cluster
+/// dedup world (8 reporters), so the timing-free dedup factor is archived
+/// alongside the google-benchmark timings on stdout.
+void writeDedupMetrics() {
+  obs::MetricsRegistry registry;
+  scenario::ScenarioConfig config;
+  config.seed = 99 + 8;
+  config.attack = scenario::AttackType::kSingle;
+  config.attackerCluster = common::ClusterId{1};
+  config.evasion.firstEvasiveCluster = 99;
+  scenario::HighwayScenario world(config);
+  world.runFor(sim::Duration::milliseconds(500));
+
+  const common::Address suspect = world.primaryAttacker()->address();
+  std::uint32_t filed = 0;
+  for (auto& vehicle : world.vehicles()) {
+    if (filed >= 8) break;
+    if (vehicle->isAttacker()) continue;
+    if (vehicle->membership->currentCluster() != common::ClusterId{1}) {
+      continue;
+    }
+    world.injectDetectionRequest(*vehicle, suspect, common::ClusterId{1});
+    ++filed;
+  }
+  world.runFor(sim::Duration::seconds(5));
+  const core::DetectorStats stats =
+      world.rsu(common::ClusterId{1}).detector->stats();
+  registry.counter("overhead.dedup.reports_filed").add(filed);
+  registry.counter("overhead.dedup.probes_sent").add(stats.probesSent);
+  registry.counter("overhead.dedup.deduplicated").add(stats.dreqDeduplicated);
+  obs::writeBenchJson("ablation_overhead", registry.snapshot());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeDedupMetrics();
+  return 0;
+}

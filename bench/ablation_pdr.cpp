@@ -17,6 +17,7 @@
 
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
 
 namespace {
@@ -107,6 +108,16 @@ int main(int argc, char** argv) {
   row("black hole, BlackDP", defended);
   row("gray hole x6 (50% drop), BlackDP", gray);
   table.print(std::cout);
+
+  obs::MetricsRegistry registry;
+  obs::addRunningStat(registry, "pdr.honest", honest);
+  obs::addRunningStat(registry, "pdr.blackhole_plain", plain);
+  obs::addRunningStat(registry, "pdr.blackhole_blackdp", defended);
+  obs::addRunningStat(registry, "pdr.grayhole_blackdp", gray);
+  registry.gauge("pdr.blackdp_recovery")
+      .set(defended.mean() - plain.mean());
+  registry.gauge("pdr.grayhole_cost").set(honest.mean() - gray.mean());
+  obs::writeBenchJson("ablation_pdr", registry.snapshot());
 
   std::cout << "\nBlackDP recovers the black hole's damage ("
             << Table::percent(plain.mean()) << " -> "

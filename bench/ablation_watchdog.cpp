@@ -14,6 +14,7 @@
 #include "baselines/watchdog.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
 
 int main(int argc, char** argv) {
@@ -118,6 +119,18 @@ int main(int argc, char** argv) {
                 std::to_string(honestFlags)});
   table.addRow({"total drops charged", std::to_string(dropsCharged)});
   table.print(std::cout);
+
+  obs::MetricsRegistry registry;
+  registry.counter("watchdog.trials").add(trials);
+  registry.counter("watchdog.trials_with_exposure").add(trialsWithExposure);
+  registry.counter("watchdog.gray_flagged").add(grayFlagged);
+  registry.counter("watchdog.blackdp_confirmed_gray")
+      .add(blackdpConfirmedGray);
+  registry.counter("watchdog.honest_flags").add(honestFlags);
+  registry.counter("watchdog.drops_charged").add(dropsCharged);
+  obs::addRunningStat(registry, "watchdog.observers_per_trial",
+                      observersPerTrial);
+  obs::writeBenchJson("ablation_watchdog", registry.snapshot());
 
   std::cout << "\nwatchdogs catch what BlackDP structurally cannot; their "
                "noise is why the paper\nroutes verdicts through trusted "

@@ -10,7 +10,9 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "metrics/confusion.hpp"
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
 #include "scenario/experiments.hpp"
 
 int main(int argc, char** argv) {
@@ -23,8 +25,10 @@ int main(int argc, char** argv) {
   std::cout << "Figure 4 — single and cooperative black hole attacks ("
             << trials << " repetitions per treatment)\n\n";
 
+  obs::MetricsRegistry registry;
   const std::vector<scenario::Fig4Cell> cells =
-      scenario::runFig4Sweep(trials, /*seedBase=*/20170605);
+      scenario::runFig4Sweep(trials, /*seedBase=*/20170605, nullptr,
+                             &registry);
 
   for (const scenario::AttackType attack :
        {scenario::AttackType::kSingle, scenario::AttackType::kCooperative}) {
@@ -42,6 +46,28 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << '\n';
   }
+
+  // One confusion matrix per attack type feeds the shared bench-JSON path
+  // (per-stage latency histograms were folded in trial by trial above).
+  for (const scenario::AttackType attack :
+       {scenario::AttackType::kSingle, scenario::AttackType::kCooperative}) {
+    metrics::ConfusionMatrix matrix;
+    for (const scenario::Fig4Cell& cell : cells) {
+      if (cell.attack != attack) continue;
+      matrix += metrics::ConfusionMatrix::fromCounts(
+          cell.detected, cell.falsePositives, cell.trials - cell.falsePositives,
+          cell.trials - cell.detected);
+      registry
+          .gauge(std::string{"fig4."} + std::string{scenario::toString(attack)} +
+                 ".cluster" + std::to_string(cell.cluster.value()) + ".accuracy")
+          .set(cell.detectionAccuracy());
+    }
+    obs::addConfusion(registry,
+                      std::string{"fig4."} +
+                          std::string{scenario::toString(attack)},
+                      matrix);
+  }
+  obs::writeBenchJson("fig4_detection", registry.snapshot());
 
   // Paper-shape sanity summary.
   bool ok = true;

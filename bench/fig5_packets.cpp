@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <iostream>
 
+#include "core/telemetry.hpp"
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
 #include "scenario/experiments.hpp"
 
 int main() {
@@ -15,6 +17,7 @@ int main() {
 
   std::cout << "Figure 5 — detection packets per scenario\n\n";
 
+  obs::MetricsRegistry registry;
   Table table({"Scenario", "Detection packets", "Latency", "Verdict"});
   std::uint32_t noneMin = ~0u, noneMax = 0;
   std::uint32_t singleMin = ~0u, singleMax = 0;
@@ -22,6 +25,7 @@ int main() {
 
   for (const scenario::Fig5Case& c : scenario::fig5Cases()) {
     const scenario::Fig5Result result = scenario::runFig5Case(c, /*seed=*/11);
+    core::recordSessionTelemetry(registry, result.record);
     table.addRow({result.label, std::to_string(result.detectionPackets),
                   Table::num(result.latency.toSeconds() * 1000.0, 1) + " ms",
                   std::string(core::toString(result.verdict))});
@@ -49,6 +53,18 @@ int main() {
                  std::to_string(coopMin) + "-" + std::to_string(coopMax),
                  "8-11"});
   ranges.print(std::cout);
+
+  const auto packetRange = [&](const char* key, std::uint32_t lo,
+                               std::uint32_t hi) {
+    registry.gauge(std::string{"fig5."} + key + ".packets_min")
+        .set(static_cast<double>(lo));
+    registry.gauge(std::string{"fig5."} + key + ".packets_max")
+        .set(static_cast<double>(hi));
+  };
+  packetRange("none", noneMin, noneMax);
+  packetRange("single", singleMin, singleMax);
+  packetRange("cooperative", coopMin, coopMax);
+  obs::writeBenchJson("fig5_packets", registry.snapshot());
 
   const bool ok = noneMin >= 4 && noneMax <= 6 && singleMin >= 6 &&
                   singleMax <= 9 && coopMin >= 8 && coopMax <= 11;

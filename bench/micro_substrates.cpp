@@ -2,7 +2,9 @@
 // fan-out, AODV route-discovery latency, and full scenario construction.
 #include <benchmark/benchmark.h>
 
+#include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
+#include "scenario/telemetry.hpp"
 
 namespace {
 
@@ -108,6 +110,28 @@ void BM_FullDetectionTrial(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDetectionTrial);
 
+/// Deterministic companion workload for the BENCH JSON: one full detection
+/// trial, folded through the shared telemetry path (traffic counters plus
+/// per-stage latency histograms).
+void writeTrialMetrics() {
+  obs::MetricsRegistry registry;
+  scenario::ScenarioConfig config;
+  config.seed = 1;
+  config.attack = scenario::AttackType::kSingle;
+  config.attackerCluster = common::ClusterId{2};
+  scenario::HighwayScenario world(config);
+  (void)world.runVerification();
+  scenario::collectWorldMetrics(registry, world);
+  obs::writeBenchJson("micro_substrates", registry.snapshot());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeTrialMetrics();
+  return 0;
+}

@@ -12,7 +12,9 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "metrics/confusion.hpp"
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
 #include "scenario/experiments.hpp"
 
 int main(int argc, char** argv) {
@@ -28,14 +30,14 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> fleets{40, 70, 100, 150};
   const std::vector<double> ranges{600.0, 800.0, 1000.0};
 
+  obs::MetricsRegistry registry;
   Table table({"#Vehicles", "Range", "Detection accuracy", "False positives",
                "Attacks launched"});
   bool fpClean = true;
   double accuracyAtTableI = 0.0;
   for (const std::uint32_t fleet : fleets) {
     for (const double range : ranges) {
-      std::uint32_t detected = 0;
-      std::uint32_t falsePositives = 0;
+      metrics::ConfusionMatrix matrix;
       std::uint32_t launched = 0;
       for (std::uint32_t t = 0; t < trials; ++t) {
         scenario::ScenarioConfig config;
@@ -55,27 +57,37 @@ int main(int argc, char** argv) {
         const scenario::DetectionSummary summary = world.detectionSummary();
         if (world.primaryAttacker()->attacker->attackStats().rrepsForged > 0) {
           ++launched;
+          if (summary.confirmedOnAttacker) {
+            matrix.addTruePositive();
+          } else {
+            matrix.addFalseNegative();
+          }
+        } else {
+          // The attack never reached the victim's discovery (partitioned
+          // network): a negative trial, correctly left unflagged.
+          matrix.addTrueNegative();
         }
-        if (summary.confirmedOnAttacker) ++detected;
         if (summary.falsePositive) {
-          ++falsePositives;
+          matrix.addFalsePositive();
           fpClean = false;
         }
       }
       // Accuracy over trials where the attack actually reached the victim's
       // discovery (in partitioned networks it cannot).
-      const double accuracy =
-          launched == 0 ? 0.0
-                        : static_cast<double>(detected) /
-                              static_cast<double>(launched);
+      const double accuracy = launched == 0 ? 0.0 : matrix.recall();
       if (fleet == 100 && range == 1000.0) accuracyAtTableI = accuracy;
+      const std::string prefix = "sweep.v" + std::to_string(fleet) + ".r" +
+                                 std::to_string(static_cast<int>(range));
+      obs::addConfusion(registry, prefix, matrix);
+      registry.counter(prefix + ".attacks_launched").add(launched);
       table.addRow({std::to_string(fleet), Table::num(range, 0) + " m",
                     Table::percent(accuracy),
-                    std::to_string(falsePositives),
+                    std::to_string(matrix.fp()),
                     std::to_string(launched) + "/" + std::to_string(trials)});
     }
   }
   table.print(std::cout);
+  obs::writeBenchJson("sensitivity_sweep", registry.snapshot());
 
   std::cout << "\nfalse positives across the whole sweep: "
             << (fpClean ? "0" : "NONZERO") << '\n';

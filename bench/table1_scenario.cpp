@@ -4,7 +4,9 @@
 #include <iostream>
 
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
+#include "scenario/telemetry.hpp"
 
 int main() {
   using namespace blackdp;
@@ -57,6 +59,13 @@ int main() {
   std::cout << "total CH member entries   : " << memberTotal << '\n';
   std::cout << "frames on the air so far  : "
             << world.medium().stats().framesSent << '\n';
+
+  obs::MetricsRegistry registry;
+  scenario::collectWorldMetrics(registry, world);
+  registry.gauge("table1.vehicles_joined").set(static_cast<double>(joined));
+  registry.gauge("table1.member_entries")
+      .set(static_cast<double>(memberTotal));
+  obs::writeBenchJson("table1_scenario", registry.snapshot());
 
   // The paper's coverage requirement: p = l / r RSUs cover the highway.
   const bool covered =

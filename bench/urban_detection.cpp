@@ -11,24 +11,21 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "metrics/confusion.hpp"
 #include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
+#include "scenario/telemetry.hpp"
 #include "scenario/urban_scenario.hpp"
 
 namespace {
 
 using namespace blackdp;
 
-struct Cell {
-  std::uint32_t ix, iy;
-  scenario::AttackType attack;
-  std::uint32_t trials{0};
-  std::uint32_t detected{0};
-  std::uint32_t falsePositives{0};
-};
-
-Cell runCell(scenario::AttackType attack, std::uint32_t ix, std::uint32_t iy,
-             std::uint32_t trials, std::uint64_t seedBase) {
-  Cell cell{ix, iy, attack, trials, 0, 0};
+metrics::ConfusionMatrix runCell(scenario::AttackType attack, std::uint32_t ix,
+                                 std::uint32_t iy, std::uint32_t trials,
+                                 std::uint64_t seedBase,
+                                 obs::MetricsRegistry& registry) {
+  metrics::ConfusionMatrix matrix;
   for (std::uint32_t t = 0; t < trials; ++t) {
     scenario::UrbanConfig config;
     config.seed = seedBase + 131 * (iy * 16 + ix) + t +
@@ -39,10 +36,19 @@ Cell runCell(scenario::AttackType attack, std::uint32_t ix, std::uint32_t iy,
     scenario::UrbanScenario world(config);
     (void)world.runVerification();
     const scenario::DetectionSummary summary = world.detectionSummary();
-    if (summary.confirmedOnAttacker) ++cell.detected;
-    if (summary.falsePositive) ++cell.falsePositives;
+    if (summary.confirmedOnAttacker) {
+      matrix.addTruePositive();
+    } else {
+      matrix.addFalseNegative();
+    }
+    if (summary.falsePositive) {
+      matrix.addFalsePositive();
+    } else {
+      matrix.addTrueNegative();
+    }
+    scenario::collectWorldMetrics(registry, world);
   }
-  return cell;
+  return matrix;
 }
 
 }  // namespace
@@ -60,33 +66,37 @@ int main(int argc, char** argv) {
       {1, 1}, {2, 2}, {1, 3}, {3, 1}, {2, 0},
   };
 
+  obs::MetricsRegistry registry;
   Table table({"Attack", "Attacker intersection", "Detection accuracy",
                "False positives"});
-  std::uint32_t totalDetected = 0;
-  std::uint32_t totalTrials = 0;
-  std::uint32_t totalFp = 0;
+  metrics::ConfusionMatrix total;
   for (const scenario::AttackType attack :
        {scenario::AttackType::kSingle, scenario::AttackType::kCooperative}) {
     for (const auto& [ix, iy] : placements) {
-      const Cell cell = runCell(attack, ix, iy, trials, 20260706);
+      const metrics::ConfusionMatrix cell =
+          runCell(attack, ix, iy, trials, 20260706, registry);
       table.addRow({std::string(scenario::toString(attack)),
                     "(" + std::to_string(ix) + "," + std::to_string(iy) + ")",
-                    Table::percent(static_cast<double>(cell.detected) /
-                                   static_cast<double>(cell.trials)),
-                    std::to_string(cell.falsePositives)});
-      totalDetected += cell.detected;
-      totalTrials += cell.trials;
-      totalFp += cell.falsePositives;
+                    Table::percent(cell.recall()),
+                    std::to_string(cell.fp())});
+      obs::addConfusion(registry,
+                        "urban." + std::string{scenario::toString(attack)} +
+                            "." + std::to_string(ix) + "_" +
+                            std::to_string(iy),
+                        cell);
+      total += cell;
     }
   }
   table.print(std::cout);
 
-  const double overall =
-      static_cast<double>(totalDetected) / static_cast<double>(totalTrials);
-  std::cout << "\noverall detection accuracy: " << Table::percent(overall)
-            << ", false positives: " << totalFp << '\n';
+  obs::addConfusion(registry, "urban.total", total);
+  obs::writeBenchJson("urban_detection", registry.snapshot());
 
-  const bool ok = overall >= 0.9 && totalFp == 0;
+  const double overall = total.recall();
+  std::cout << "\noverall detection accuracy: " << Table::percent(overall)
+            << ", false positives: " << total.fp() << '\n';
+
+  const bool ok = overall >= 0.9 && total.fp() == 0;
   std::cout << (ok ? "shape check: PASS (highway result carries over to the "
                      "urban grid)\n"
                    : "shape check: FAIL\n");

@@ -7,17 +7,39 @@
 // RREQ₁/RREQ₂ probe pair plus one teammate probe, then isolates both
 // certificates at the TA.
 //
-//   $ ./examples/cooperative_blackhole [seed]
+// With `--trace <path>` the run records a structured event trace and writes
+// it as JSONL (plus a Chrome trace_event timeline next to it, `.chrome.json`)
+// for `tools/trace_report` / chrome://tracing.
+//
+//   $ ./examples/cooperative_blackhole [seed] [--trace run.jsonl]
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
 #include "scenario/highway_scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace blackdp;
 
+  std::uint64_t seed = 7;
+  std::string tracePath;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      tracePath = argv[++i];
+    } else {
+      seed = std::strtoull(arg.c_str(), nullptr, 10);
+    }
+  }
+
+  obs::MemoryRecorder recorder;
+  obs::ScopedTraceRecorder scoped{tracePath.empty() ? nullptr : &recorder};
+
   scenario::ScenarioConfig config;
-  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  config.seed = seed;
   config.attack = scenario::AttackType::kCooperative;
   config.attackerCluster = common::ClusterId{2};
   // The primary answers the source's secure Hello with a forged reply
@@ -52,6 +74,15 @@ int main(int argc, char** argv) {
   std::cout << "revocations issued by the TA: "
             << world.taNetwork().revocations().size()
             << " (primary + teammate)\n";
+
+  if (!tracePath.empty()) {
+    std::ofstream jsonl{tracePath};
+    obs::writeJsonl(recorder.events(), jsonl);
+    std::ofstream chrome{tracePath + ".chrome.json"};
+    obs::writeChromeTrace(recorder.events(), chrome);
+    std::cout << "\ntrace: " << recorder.size() << " events -> " << tracePath
+              << " (timeline: " << tracePath << ".chrome.json)\n";
+  }
 
   const bool ok =
       summary.verdict == core::Verdict::kCooperativeBlackHole &&

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: build and test the plain configuration, then repeat under
 # AddressSanitizer + UBSan (the discrete-event core is all callbacks and
-# shared_ptr payload fan-out — exactly the code ASan/UBSan are good at).
+# shared_ptr payload fan-out — exactly the code ASan/UBSan are good at),
+# then run the bench smoke pass: one small run per bench family, each
+# writing a BENCH_<name>.json that is validated against the schema, plus a
+# traced example run fed through trace_report.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -18,4 +21,27 @@ for preset in default asan-ubsan; do
   ctest --preset "$preset" -j "$jobs"
 done
 
-echo "CI: both configurations green."
+echo "==== bench smoke ===="
+out="build/bench-out"
+rm -rf "$out" && mkdir -p "$out"
+export BLACKDP_BENCH_OUT="$PWD/$out"
+(
+  cd build
+  ./bench/table1_scenario
+  ./bench/fig4_detection 2
+  ./bench/fig5_packets
+  ./bench/ablation_baselines 5
+  ./bench/ablation_pdr 2
+  ./bench/ablation_watchdog 2
+  ./bench/ablation_fog
+  ./bench/ablation_faults 2
+  ./bench/urban_detection 2
+  ./bench/sensitivity_sweep 3
+  ./bench/ablation_overhead --benchmark_min_time=0.01
+  ./bench/micro_substrates --benchmark_min_time=0.01
+  ./examples/cooperative_blackhole 7 --trace "$BLACKDP_BENCH_OUT"/coop_trace.jsonl
+  ./tools/trace_report "$BLACKDP_BENCH_OUT"/coop_trace.jsonl
+) > "$out/bench-smoke.log"
+python3 scripts/validate_bench_json.py "$out"/BENCH_*.json
+
+echo "CI: both configurations green, bench smoke validated."

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json files against the schema (version 1).
+
+Stdlib only — CI runs this straight after the bench smoke pass:
+
+    python3 scripts/validate_bench_json.py bench-out/BENCH_*.json
+
+Schema (src/obs/bench_json.hpp):
+
+    {
+      "bench": "<name>",
+      "schema_version": 1,
+      "metrics": {
+        "counters":   {"<name>": <non-negative int>, ...},
+        "gauges":     {"<name>": <number>, ...},
+        "histograms": {"<name>": {"edges": [...], "counts": [...],
+                                  "count": n, "sum": x,
+                                  "min": x, "max": x}, ...}
+      }
+    }
+
+Checked invariants: required keys, value types, strictly increasing
+histogram edges, len(counts) == len(edges) + 1 (implicit overflow bucket),
+and sum(counts) == count.
+"""
+
+import json
+import pathlib
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def fail(path, message):
+    raise SystemExit(f"{path}: {message}")
+
+
+def check_number(path, name, value):
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(path, f"{name}: expected a number, got {type(value).__name__}")
+
+
+def check_histogram(path, name, hist):
+    if not isinstance(hist, dict):
+        fail(path, f"histogram {name}: expected an object")
+    for key in ("edges", "counts", "count", "sum", "min", "max"):
+        if key not in hist:
+            fail(path, f"histogram {name}: missing key {key!r}")
+    edges, counts = hist["edges"], hist["counts"]
+    if not isinstance(edges, list) or not isinstance(counts, list):
+        fail(path, f"histogram {name}: edges/counts must be arrays")
+    for edge in edges:
+        check_number(path, f"histogram {name} edge", edge)
+    if any(b <= a for a, b in zip(edges, edges[1:])):
+        fail(path, f"histogram {name}: edges not strictly increasing")
+    if len(counts) != len(edges) + 1:
+        fail(path, f"histogram {name}: expected {len(edges) + 1} buckets "
+                   f"(edges + overflow), got {len(counts)}")
+    for count in counts:
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            fail(path, f"histogram {name}: counts must be non-negative ints")
+    if sum(counts) != hist["count"]:
+        fail(path, f"histogram {name}: sum(counts) {sum(counts)} != "
+                   f"count {hist['count']}")
+
+
+def validate(path):
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        fail(path, f"not valid JSON: {error}")
+
+    for key in ("bench", "schema_version", "metrics"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        fail(path, "'bench' must be a non-empty string")
+    if path.name != f"BENCH_{doc['bench']}.json":
+        fail(path, f"file name does not match bench name {doc['bench']!r}")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        fail(path, f"schema_version {doc['schema_version']} != "
+                   f"{SCHEMA_VERSION}")
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        fail(path, "'metrics' must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics or not isinstance(metrics[section], dict):
+            fail(path, f"metrics.{section} missing or not an object")
+
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(path, f"counter {name}: expected a non-negative int")
+    for name, value in metrics["gauges"].items():
+        check_number(path, f"gauge {name}", value)
+    for name, hist in metrics["histograms"].items():
+        check_histogram(path, name, hist)
+
+    total = sum(len(metrics[s]) for s in ("counters", "gauges", "histograms"))
+    print(f"{path}: OK ({total} metrics)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit("usage: validate_bench_json.py BENCH_*.json ...")
+    for arg in argv[1:]:
+        validate(pathlib.Path(arg))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -4,8 +4,22 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace blackdp::aodv {
+namespace {
+
+void traceAodv(sim::Simulator& simulator, net::BasicNode& node, obs::AodvOp op,
+               common::Address a, common::Address b = {},
+               std::uint64_t value = 0) {
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({simulator.now().us(), obs::EventKind::kAodv,
+                static_cast<std::uint8_t>(op), node.id().value(), 0, a.value(),
+                b.value(), 0, value});
+  }
+}
+
+}  // namespace
 
 AodvAgent::AodvAgent(sim::Simulator& simulator, net::BasicNode& node,
                      AodvConfig config)
@@ -133,6 +147,7 @@ void AodvAgent::findRoute(common::Address destination,
   pending.retriesLeft = config_.rreqRetries;
   pending.currentTtl =
       config_.expandingRing ? config_.ttlStart : config_.initialTtl;
+  traceAodv(simulator_, node_, obs::AodvOp::kDiscoveryStart, destination);
   startDiscoveryRound(destination);
 }
 
@@ -157,6 +172,8 @@ void AodvAgent::startDiscoveryRound(common::Address destination) {
   checkAndRecordRreq(rreq->origin, rreq->rreqId);
 
   ++stats_.rreqOriginated;
+  traceAodv(simulator_, node_, obs::AodvOp::kRreqFlood, destination, {},
+            rreq->ttl);
   node_.broadcast(rreq);
 
   simulator_.schedule(config_.rrepWaitWindow, [this, destination] {
@@ -170,6 +187,8 @@ void AodvAgent::onDiscoveryWindow(common::Address destination) {
 
   if (table_.activeRoute(destination, simulator_.now())) {
     ++stats_.discoveriesSucceeded;
+    traceAodv(simulator_, node_, obs::AodvOp::kDiscoverySucceeded,
+              destination);
     auto callbacks = std::move(it->second.callbacks);
     pending_.erase(it);
     for (auto& cb : callbacks) cb(true);
@@ -188,6 +207,7 @@ void AodvAgent::onDiscoveryWindow(common::Address destination) {
     return;
   }
   ++stats_.discoveriesFailed;
+  traceAodv(simulator_, node_, obs::AodvOp::kDiscoveryFailed, destination);
   auto callbacks = std::move(it->second.callbacks);
   pending_.erase(it);
   for (auto& cb : callbacks) cb(false);
@@ -313,6 +333,8 @@ void AodvAgent::handleRrep(const RouteReply& rrep, const net::Frame& frame) {
 
   if (rrep.origin == node_.localAddress()) {
     ++stats_.rrepReceived;
+    traceAodv(simulator_, node_, obs::AodvOp::kRrepReceived, rrep.destination,
+              rrep.replier, rrep.hopCount);
     if (rrepObserver_) rrepObserver_(rrep, frame);
     return;
   }

@@ -1,8 +1,22 @@
 #include "cluster/cluster_head.hpp"
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace blackdp::cluster {
+namespace {
+
+void traceCh(sim::Simulator& simulator, net::BasicNode& node,
+             common::ClusterId cluster, obs::ChTableOp op,
+             common::Address vehicle = {}) {
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({simulator.now().us(), obs::EventKind::kChTable,
+                static_cast<std::uint8_t>(op), node.id().value(),
+                cluster.value(), vehicle.value()});
+  }
+}
+
+}  // namespace
 
 ClusterHead::ClusterHead(sim::Simulator& simulator, net::BasicNode& node,
                          net::Backbone& backbone,
@@ -25,6 +39,7 @@ void ClusterHead::crash() {
   if (crashed_) return;
   crashed_ = true;
   ++stats_.crashes;
+  traceCh(simulator_, node_, clusterId_, obs::ChTableOp::kCrashed);
   backbone_.detach(clusterId_);
   node_.detachFromMedium();
   // Volatile member table is lost; what a rebooted RSU could recover from
@@ -37,6 +52,7 @@ void ClusterHead::recover() {
   if (!crashed_) return;
   crashed_ = false;
   ++stats_.recoveries;
+  traceCh(simulator_, node_, clusterId_, obs::ChTableOp::kRecovered);
   node_.attachToMedium();
   backbone_.attach(clusterId_, *this);
 }
@@ -72,6 +88,8 @@ void ClusterHead::handleJoin(const JoinRequest& jreq) {
   members_[jreq.vehicle] = record;
   history_.erase(jreq.vehicle);
   ++stats_.joinsAccepted;
+  traceCh(simulator_, node_, clusterId_, obs::ChTableOp::kMemberJoined,
+          jreq.vehicle);
 
   auto jrep = std::make_shared<JoinReply>();
   jrep->vehicle = jreq.vehicle;
@@ -90,6 +108,8 @@ void ClusterHead::handleLeave(const LeaveNotice& leave) {
   history_[leave.vehicle] = it->second;
   members_.erase(it);
   ++stats_.leaves;
+  traceCh(simulator_, node_, clusterId_, obs::ChTableOp::kMemberLeft,
+          leave.vehicle);
 }
 
 std::vector<common::Address> ClusterHead::members() const {
@@ -124,6 +144,8 @@ void ClusterHead::applyRevocation(const crypto::RevocationNotice& notice) {
   auto announcement = std::make_shared<RevocationAnnouncement>();
   announcement->notice = notice;
   ++stats_.revocationsAnnounced;
+  traceCh(simulator_, node_, clusterId_, obs::ChTableOp::kRevocationApplied,
+          notice.pseudonym);
   node_.broadcast(announcement);
 }
 

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace blackdp::common {
 
@@ -26,6 +27,9 @@ class Logging {
   static LogLevel level() { return level_; }
   static void setLevel(LogLevel level) { level_ = level; }
 
+  /// The installed sink; nullptr when the stderr default is active.
+  static const Sink& sink() { return sink_; }
+
   /// Replaces the sink (default writes to stderr). Pass nullptr to restore
   /// the default.
   static void setSink(Sink sink);
@@ -36,6 +40,30 @@ class Logging {
  private:
   static LogLevel level_;
   static Sink sink_;
+};
+
+/// RAII save/restore of the global level + sink, so a test that installs a
+/// capture sink (or raises the level) cannot leak it into later tests when
+/// it fails or returns early.
+class ScopedLogging {
+ public:
+  ScopedLogging() : level_{Logging::level()}, sink_{Logging::sink()} {}
+  /// Convenience: save, then immediately apply the given configuration.
+  ScopedLogging(LogLevel level, Logging::Sink sink) : ScopedLogging() {
+    Logging::setLevel(level);
+    Logging::setSink(std::move(sink));
+  }
+  ~ScopedLogging() {
+    Logging::setLevel(level_);
+    Logging::setSink(std::move(sink_));
+  }
+
+  ScopedLogging(const ScopedLogging&) = delete;
+  ScopedLogging& operator=(const ScopedLogging&) = delete;
+
+ private:
+  LogLevel level_;
+  Logging::Sink sink_;
 };
 
 namespace detail {

@@ -4,11 +4,34 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace blackdp::core {
 
 namespace {
 constexpr std::string_view kLog = "detector";
+
+void traceDetector(sim::Simulator& simulator, cluster::ClusterHead& ch,
+                   obs::DetectorOp op, common::DetectionSessionId session,
+                   common::Address suspect, common::Address other = {},
+                   std::uint64_t value = 0, std::string detail = {}) {
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({simulator.now().us(), obs::EventKind::kDetector,
+                static_cast<std::uint8_t>(op), ch.node().id().value(),
+                ch.clusterId().value(), suspect.value(), other.value(),
+                session.value(), value, std::move(detail)});
+  }
+}
+
+void traceTable(sim::Simulator& simulator, cluster::ClusterHead& ch,
+                obs::ChTableOp op, common::DetectionSessionId session,
+                common::Address suspect) {
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({simulator.now().us(), obs::EventKind::kChTable,
+                static_cast<std::uint8_t>(op), ch.node().id().value(),
+                ch.clusterId().value(), suspect.value(), 0, session.value()});
+  }
+}
 
 /// Disposable identities and fake destinations live in a reserved address
 /// range far above the TA's pseudonym counter, so they can never collide
@@ -92,6 +115,9 @@ void RsuDetector::onBackboneSendFailed(common::ClusterId to,
     session.retriesLeft =
         fwd->stage == 0 ? config_.probeRetries : config_.stageRetries;
     session.startedAt = fwd->startedAt;
+    traceDetector(simulator_, ch_, obs::DetectorOp::kAdoptedDegraded,
+                  session.id, session.suspect, fwd->reporter,
+                  static_cast<std::uint64_t>(session.stage));
     beginProbing(std::move(session));
     return;
   }
@@ -115,6 +141,8 @@ void RsuDetector::handleDreq(const DetectionRequest& dreq) {
       simulator_.now(), &ch_.revocations());
   if (!check.ok) {
     ++stats_.dreqRejectedAuth;
+    traceDetector(simulator_, ch_, obs::DetectorOp::kDreqRejected, {},
+                  dreq.suspect, dreq.reporter, 0, std::string{check.reason});
     BDP_LOG(kDebug, kLog) << "d_req rejected: " << check.reason;
     return;
   }
@@ -124,6 +152,10 @@ void RsuDetector::handleDreq(const DetectionRequest& dreq) {
     ++stats_.dreqDeduplicated;
     it->second.reporters.push_back({dreq.reporter, dreq.reporterCluster});
     it->second.packets += 1;  // the received d_req
+    traceDetector(simulator_, ch_, obs::DetectorOp::kDreqDeduplicated,
+                  it->second.id, dreq.suspect, dreq.reporter);
+    traceTable(simulator_, ch_, obs::ChTableOp::kVerificationMerge,
+               it->second.id, dreq.suspect);
     return;
   }
 
@@ -136,6 +168,8 @@ void RsuDetector::handleDreq(const DetectionRequest& dreq) {
   session.packets = 1;  // the received d_req
   session.retriesLeft = config_.probeRetries;
   session.startedAt = simulator_.now();
+  traceDetector(simulator_, ch_, obs::DetectorOp::kDreqReceived, session.id,
+                session.suspect, dreq.reporter);
 
   if (!ch_.isMember(dreq.suspect) && dreq.suspectCluster != ch_.clusterId() &&
       dreq.suspectCluster.value() != 0) {
@@ -159,6 +193,9 @@ void RsuDetector::adoptForwarded(const ForwardedDetection& fwd) {
   session.retriesLeft =
       fwd.stage == 0 ? config_.probeRetries : config_.stageRetries;
   session.startedAt = fwd.startedAt;
+  traceDetector(simulator_, ch_, obs::DetectorOp::kSessionAdopted, session.id,
+                session.suspect, fwd.reporter,
+                static_cast<std::uint64_t>(session.stage));
   placeSession(std::move(session));
 }
 
@@ -186,9 +223,18 @@ std::optional<common::ClusterId> RsuDetector::guessNextCluster(
 
 void RsuDetector::forwardSession(Session session, common::ClusterId target) {
   ++stats_.sessionsForwarded;
+  BDP_ASSERT(!session.reporters.empty());
+  // A disposable identity is assigned iff the session sat in this CH's
+  // verification table (mid-probe flee handover): record the table erase.
+  if (session.disposable != common::kNullAddress) {
+    traceTable(simulator_, ch_, obs::ChTableOp::kVerificationErase, session.id,
+               session.suspect);
+  }
+  traceDetector(simulator_, ch_, obs::DetectorOp::kSessionForwarded,
+                session.id, session.suspect,
+                session.reporters.front().address, target.value());
   auto fwd = std::make_shared<ForwardedDetection>();
   fwd->session = session.id;
-  BDP_ASSERT(!session.reporters.empty());
   fwd->reporter = session.reporters.front().address;
   fwd->reporterCluster = session.reporters.front().cluster;
   fwd->suspect = session.suspect;
@@ -214,6 +260,8 @@ void RsuDetector::beginProbing(Session session) {
     reporters.insert(reporters.end(), session.reporters.begin(),
                      session.reporters.end());
     existing->second.packets += session.packets;
+    traceTable(simulator_, ch_, obs::ChTableOp::kVerificationMerge,
+               existing->second.id, session.suspect);
     return;
   }
 
@@ -224,6 +272,13 @@ void RsuDetector::beginProbing(Session session) {
   const common::Address suspect = session.suspect;
   auto [it, inserted] = active_.emplace(suspect, std::move(session));
   BDP_ASSERT_MSG(inserted, "duplicate active session for suspect");
+  traceDetector(simulator_, ch_, obs::DetectorOp::kSessionOpened,
+                it->second.id, suspect,
+                it->second.reporters.empty()
+                    ? common::Address{}
+                    : it->second.reporters.front().address);
+  traceTable(simulator_, ch_, obs::ChTableOp::kVerificationInsert,
+             it->second.id, suspect);
   sendProbe(suspect, it->second);
 }
 
@@ -250,6 +305,10 @@ void RsuDetector::sendProbe(common::Address target, Session& session) {
 
   ++stats_.probesSent;
   session.packets += 1;
+  if (!session.probeStartedAt) session.probeStartedAt = simulator_.now();
+  traceDetector(simulator_, ch_, obs::DetectorOp::kProbeSent, session.id,
+                session.suspect, target,
+                static_cast<std::uint64_t>(session.stage));
   ch_.node().sendFromAlias(session.disposable, target, std::move(rreq));
   armTimer(session);
 }
@@ -266,6 +325,9 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
   const auto it = active_.find(suspect);
   if (it == active_.end() || it->second.timerGen != gen) return;
   Session& session = it->second;
+  traceDetector(simulator_, ch_, obs::DetectorOp::kProbeTimeout, session.id,
+                session.suspect, {},
+                static_cast<std::uint64_t>(session.stage));
 
   if (session.stage == 2) {
     if (session.retriesLeft > 0) {
@@ -329,6 +391,9 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
   Session& session = it->second;
   session.packets += 1;
   ++session.timerGen;  // disarm the pending timeout
+  traceDetector(simulator_, ch_, obs::DetectorOp::kProbeReply, session.id,
+                session.suspect, frame.src,
+                static_cast<std::uint64_t>(session.stage));
 
   switch (session.stage) {
     case 0: {
@@ -400,10 +465,20 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
 
 void RsuDetector::finishSession(Session session, Verdict verdict) {
   ch_.node().removeAlias(session.disposable);
+  if (session.disposable != common::kNullAddress) {
+    traceTable(simulator_, ch_, obs::ChTableOp::kVerificationErase, session.id,
+               session.suspect);
+  }
+  traceDetector(simulator_, ch_, obs::DetectorOp::kVerdict, session.id,
+                session.suspect, session.accomplice,
+                static_cast<std::uint64_t>(verdict),
+                std::string{toString(verdict)});
 
+  std::optional<sim::TimePoint> isolatedAt;
   if (verdict == Verdict::kSingleBlackHole ||
       verdict == Verdict::kCooperativeBlackHole) {
     isolate(session, verdict);
+    isolatedAt = simulator_.now();
   }
 
   // Answer every reporter; account for the packets each answer costs.
@@ -430,14 +505,22 @@ void RsuDetector::finishSession(Session session, Verdict verdict) {
     }
   }
 
-  completed_.push_back(SessionRecord{
-      session.id, session.suspect,
-      session.reporters.empty() ? common::kNullAddress
-                                : session.reporters.front().address,
-      verdict,
-      verdict == Verdict::kCooperativeBlackHole ? session.accomplice
-                                                : common::kNullAddress,
-      session.packets, session.startedAt, simulator_.now()});
+  SessionRecord record;
+  record.id = session.id;
+  record.suspect = session.suspect;
+  record.reporter = session.reporters.empty()
+                        ? common::kNullAddress
+                        : session.reporters.front().address;
+  record.verdict = verdict;
+  record.accomplice = verdict == Verdict::kCooperativeBlackHole
+                          ? session.accomplice
+                          : common::kNullAddress;
+  record.packetsUsed = session.packets;
+  record.startedAt = session.startedAt;
+  record.endedAt = simulator_.now();
+  record.probeStartedAt = session.probeStartedAt;
+  record.isolatedAt = isolatedAt;
+  completed_.push_back(std::move(record));
 }
 
 void RsuDetector::isolate(const Session& session, Verdict verdict) {
@@ -446,6 +529,10 @@ void RsuDetector::isolate(const Session& session, Verdict verdict) {
   // (which blacklist, announce to members, and inform newly joined
   // vehicles via JREP).
   ++stats_.isolations;
+  traceDetector(simulator_, ch_, obs::DetectorOp::kIsolated, session.id,
+                session.suspect,
+                verdict == Verdict::kCooperativeBlackHole ? session.accomplice
+                                                          : common::Address{});
   taNetwork_.reportMisbehaviour(session.suspect);
   if (verdict == Verdict::kCooperativeBlackHole &&
       session.accomplice != common::kNullAddress) {
@@ -454,6 +541,8 @@ void RsuDetector::isolate(const Session& session, Verdict verdict) {
 }
 
 void RsuDetector::relayResult(const DetectionResult& result) {
+  traceDetector(simulator_, ch_, obs::DetectorOp::kResultRelayed,
+                result.session, result.suspect, result.reporter);
   auto response = std::make_shared<DetectionResponse>();
   response->reporter = result.reporter;
   response->suspect = result.suspect;

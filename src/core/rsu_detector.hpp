@@ -59,6 +59,11 @@ struct SessionRecord {
   std::uint32_t packetsUsed{0};
   sim::TimePoint startedAt{};  ///< first CH accepted the d_req
   sim::TimePoint endedAt{};    ///< verdict reached
+  /// First probe out of the *finishing* CH; unset when no probe was sent
+  /// (e.g. the session terminated as kUnreachable before probing).
+  std::optional<sim::TimePoint> probeStartedAt{};
+  /// Revocation requested at the TA; unset for unconfirmed verdicts.
+  std::optional<sim::TimePoint> isolatedAt{};
 
   [[nodiscard]] sim::Duration latency() const { return endedAt - startedAt; }
 };
@@ -120,6 +125,7 @@ class RsuDetector {
     common::Address accomplice{common::kNullAddress};
     std::uint32_t timerGen{0};
     sim::TimePoint startedAt{};
+    std::optional<sim::TimePoint> probeStartedAt{};
   };
 
   bool onFrame(const net::Frame& frame);

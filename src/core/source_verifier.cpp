@@ -2,12 +2,24 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace blackdp::core {
 
 namespace {
 constexpr std::string_view kLog = "verifier";
+
+void traceVerifier(sim::Simulator& simulator, net::BasicNode& node,
+                   obs::VerifierOp op, common::Address a = {},
+                   common::Address b = {}, std::uint64_t value = 0,
+                   std::string detail = {}) {
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({simulator.now().us(), obs::EventKind::kVerifier,
+                static_cast<std::uint8_t>(op), node.id().value(), 0, a.value(),
+                b.value(), 0, value, std::move(detail)});
+  }
 }
+}  // namespace
 
 std::string_view toString(Outcome outcome) {
   switch (outcome) {
@@ -81,6 +93,9 @@ void SourceVerifier::establishVerifiedRoute(common::Address destination,
 void SourceVerifier::startRound() {
   session_->cache.clear();
   session_->chosen.reset();
+  traceVerifier(simulator_, node_, obs::VerifierOp::kRoundStarted,
+                session_->destination, {},
+                static_cast<std::uint64_t>(session_->round));
   agent_.findRoute(session_->destination,
                    [this](bool success) { onDiscoveryDone(success); });
 }
@@ -122,6 +137,9 @@ void SourceVerifier::onDiscoveryDone(bool success) {
   const CachedRrep& chosen = *session_->chosen;
   BDP_LOG(kDebug, kLog) << "chose rrep from " << chosen.rrep.replier
                         << " seq=" << chosen.rrep.destSeq;
+  traceVerifier(simulator_, node_, obs::VerifierOp::kRrepChosen,
+                session_->destination, chosen.rrep.replier,
+                chosen.rrep.destSeq);
 
   if (chosen.rrep.replier == session_->destination) {
     // The destination itself replied: verify the secure RREP directly.
@@ -177,6 +195,8 @@ void SourceVerifier::sendHello() {
         makeEnvelope(hello->canonicalBytes(), *agent_.credentials(), engine_);
   }
   s.awaitedHelloId = hello->helloId;
+  traceVerifier(simulator_, node_, obs::VerifierOp::kHelloSent, s.destination,
+                {}, hello->helloId);
 
   if (!agent_.sendData(s.destination, hello, 0)) {
     // Route evaporated under us; treat as a failed round.
@@ -195,6 +215,8 @@ void SourceVerifier::sendHello() {
 void SourceVerifier::onHelloTimeout() {
   Session& s = *session_;
   s.awaitedHelloId = 0;
+  traceVerifier(simulator_, node_, obs::VerifierOp::kHelloTimeout,
+                s.destination, {}, static_cast<std::uint64_t>(s.round));
   if (s.round <= 2) {
     // First silent Hello: redo the route discovery (§III-B1) and try again.
     agent_.invalidateRoute(s.destination);
@@ -232,6 +254,8 @@ void SourceVerifier::reportSuspect(const CachedRrep& suspectRrep) {
   s.suspectCluster = suspectRrep.rrep.replierCluster;
   s.reported = true;
   s.dreqRetriesLeft = config_.dreqRetries;
+  s.suspectedAt = simulator_.now();
+  traceVerifier(simulator_, node_, obs::VerifierOp::kSuspected, s.suspect);
 
   if (!sendDreq()) return;  // no CH known; session already finished
 
@@ -264,12 +288,17 @@ bool SourceVerifier::sendDreq() {
     dreq->envelope =
         makeEnvelope(dreq->canonicalBytes(), *agent_.credentials(), engine_);
   }
+  if (!s.dreqFirstSentAt) s.dreqFirstSentAt = simulator_.now();
+  traceVerifier(simulator_, node_, obs::VerifierOp::kDreqSent, s.suspect,
+                *chAddress, static_cast<std::uint64_t>(s.dreqAttempts));
   node_.sendTo(*chAddress, dreq);
   return true;
 }
 
 void SourceVerifier::onDreqSendFailed() {
   Session& s = *session_;
+  traceVerifier(simulator_, node_, obs::VerifierOp::kDreqSendFailed,
+                s.suspect);
   if (s.dreqRetriesLeft > 0) {
     --s.dreqRetriesLeft;
     // Exponential backoff, capped: base, 2·base, 4·base, …, cap.
@@ -291,6 +320,8 @@ void SourceVerifier::degradeToLocal() {
   Session& s = *session_;
   if (config_.localQuarantine && s.suspect != common::kNullAddress) {
     membership_.blacklistLocally(s.suspect);
+    traceVerifier(simulator_, node_, obs::VerifierOp::kLocalQuarantine,
+                  s.suspect);
     finish(Outcome::kLocallyQuarantined);
     return;
   }
@@ -307,6 +338,10 @@ bool SourceVerifier::onFrame(const net::Frame& frame) {
   }
   simulator_.cancel(session_->responseTimer);
   session_->chVerdict = response->verdict;
+  traceVerifier(simulator_, node_, obs::VerifierOp::kVerdictReceived,
+                session_->suspect, {},
+                static_cast<std::uint64_t>(response->verdict),
+                std::string{toString(response->verdict)});
   switch (response->verdict) {
     case Verdict::kSingleBlackHole:
     case Verdict::kCooperativeBlackHole:
@@ -324,6 +359,8 @@ bool SourceVerifier::onFrame(const net::Frame& frame) {
         session_->reported = false;
         session_->suspect = common::kNullAddress;
         session_->helloProbes = 0;
+        session_->suspectedAt.reset();
+        session_->dreqFirstSentAt.reset();
         simulator_.cancel(session_->dreqRetryTimer);
         agent_.invalidateRoute(session_->destination);
         startRound();
@@ -388,6 +425,13 @@ void SourceVerifier::finish(Outcome outcome) {
   report.helloProbes = s.helloProbes;
   report.reported = s.reported;
   report.dreqAttempts = s.dreqAttempts;
+  report.suspectedAt = s.suspectedAt;
+  report.dreqFirstSentAt = s.dreqFirstSentAt;
+  report.finishedAt = simulator_.now();
+
+  traceVerifier(simulator_, node_, obs::VerifierOp::kFinished, s.suspect, {},
+                static_cast<std::uint64_t>(outcome),
+                std::string{toString(outcome)});
 
   Callback callback = std::move(s.callback);
   session_.reset();

@@ -44,6 +44,10 @@ struct VerificationReport {
   int helloProbes{0};
   bool reported{false};  ///< a d_req was sent
   int dreqAttempts{0};   ///< d_req transmissions (1 + retries)
+  // Stage timestamps for latency accounting; unset when the stage never ran.
+  std::optional<sim::TimePoint> suspectedAt{};     ///< formal suspicion
+  std::optional<sim::TimePoint> dreqFirstSentAt{};  ///< first d_req out
+  sim::TimePoint finishedAt{};                     ///< callback time
 };
 
 struct VerifierConfig {
@@ -108,6 +112,8 @@ class SourceVerifier {
     int restartsLeft{0};
     int dreqRetriesLeft{0};
     int dreqAttempts{0};
+    std::optional<sim::TimePoint> suspectedAt{};
+    std::optional<sim::TimePoint> dreqFirstSentAt{};
   };
 
   void onRrep(const aodv::RouteReply& rrep, const net::Frame& frame);

@@ -1,0 +1,79 @@
+#include "core/telemetry.hpp"
+
+#include <string>
+
+namespace blackdp::core {
+namespace {
+
+double toMs(sim::Duration d) { return static_cast<double>(d.us()) / 1000.0; }
+
+obs::Histogram& latencyHistogram(obs::MetricsRegistry& registry,
+                                 std::string_view stage) {
+  std::string name{"detect.latency."};
+  name += stage;
+  name += "_ms";
+  return registry.histogram(name, obs::latencyBucketsMs());
+}
+
+}  // namespace
+
+void recordSessionTelemetry(obs::MetricsRegistry& registry,
+                            const SessionRecord& record) {
+  registry.counter("detect.sessions_completed").add();
+  registry
+      .counter(std::string{"detect.verdict."} +
+               std::string{toString(record.verdict)})
+      .add();
+  registry.histogram("detect.session_packets", {2, 4, 6, 8, 10, 12, 16, 24})
+      .observe(static_cast<double>(record.packetsUsed));
+
+  if (record.probeStartedAt) {
+    latencyHistogram(registry, "dreq_to_probe")
+        .observe(toMs(*record.probeStartedAt - record.startedAt));
+    latencyHistogram(registry, "probe_to_verdict")
+        .observe(toMs(record.endedAt - *record.probeStartedAt));
+  }
+  if (record.isolatedAt) {
+    latencyHistogram(registry, "verdict_to_isolation")
+        .observe(toMs(*record.isolatedAt - record.endedAt));
+  }
+  latencyHistogram(registry, "total")
+      .observe(toMs(record.endedAt - record.startedAt));
+}
+
+void recordVerifierTelemetry(obs::MetricsRegistry& registry,
+                             const VerificationReport& report) {
+  registry.counter("verify.reports").add();
+  registry
+      .counter(std::string{"verify.outcome."} +
+               std::string{toString(report.outcome)})
+      .add();
+  registry.counter("verify.discovery_rounds")
+      .add(static_cast<std::uint64_t>(
+          report.discoveryRounds > 0 ? report.discoveryRounds : 0));
+  registry.counter("verify.hello_probes")
+      .add(static_cast<std::uint64_t>(
+          report.helloProbes > 0 ? report.helloProbes : 0));
+  if (report.reported) registry.counter("verify.dreq_reported").add();
+
+  if (report.suspectedAt && report.dreqFirstSentAt) {
+    latencyHistogram(registry, "suspicion_to_dreq")
+        .observe(toMs(*report.dreqFirstSentAt - *report.suspectedAt));
+  }
+}
+
+void recordDetectorStats(obs::MetricsRegistry& registry,
+                         const DetectorStats& stats) {
+  registry.counter("detect.dreq_received").add(stats.dreqReceived);
+  registry.counter("detect.dreq_rejected_auth").add(stats.dreqRejectedAuth);
+  registry.counter("detect.dreq_deduplicated").add(stats.dreqDeduplicated);
+  registry.counter("detect.sessions_adopted").add(stats.sessionsAdopted);
+  registry.counter("detect.sessions_forwarded").add(stats.sessionsForwarded);
+  registry.counter("detect.probes_sent").add(stats.probesSent);
+  registry.counter("detect.confirmations").add(stats.confirmations);
+  registry.counter("detect.isolations").add(stats.isolations);
+  registry.counter("detect.forwards_failed").add(stats.forwardsFailed);
+  registry.counter("detect.result_relays_failed").add(stats.resultRelaysFailed);
+}
+
+}  // namespace blackdp::core

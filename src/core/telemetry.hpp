@@ -1,0 +1,36 @@
+// Detection telemetry: folds BlackDP protocol results into the metrics
+// registry through one shared vocabulary, so every bench and scenario
+// reports the same counter / histogram names (BENCH_*.json, §DESIGN 6).
+//
+//   detect.latency.suspicion_to_dreq_ms   verifier: formal suspicion → d_req
+//   detect.latency.dreq_to_probe_ms       CH: d_req accepted → first probe
+//   detect.latency.probe_to_verdict_ms    CH: first probe → verdict
+//   detect.latency.verdict_to_isolation_ms
+//   detect.latency.total_ms               d_req accepted → session end
+//
+// plus detect.verdict.<name>, verify.outcome.<name> counters and the
+// DetectorStats mirror (detect.dreq_received, detect.probes_sent, ...).
+#pragma once
+
+#include "core/rsu_detector.hpp"
+#include "core/source_verifier.hpp"
+#include "obs/registry.hpp"
+
+namespace blackdp::core {
+
+/// Folds one completed CH detection session into the per-stage latency
+/// histograms and the detect.verdict.* counters.
+void recordSessionTelemetry(obs::MetricsRegistry& registry,
+                            const SessionRecord& record);
+
+/// Folds one reporter-side verification report into verify.outcome.*
+/// counters and the suspicion→d_req stage histogram.
+void recordVerifierTelemetry(obs::MetricsRegistry& registry,
+                             const VerificationReport& report);
+
+/// Mirrors cumulative DetectorStats into detect.* counters (set-once per
+/// run: call after the simulation, not per event).
+void recordDetectorStats(obs::MetricsRegistry& registry,
+                         const DetectorStats& stats);
+
+}  // namespace blackdp::core

@@ -2,7 +2,20 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace blackdp::fault {
+namespace {
+
+void traceFault(sim::Simulator& simulator, obs::FaultOp op,
+                common::ClusterId cluster) {
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({simulator.now().us(), obs::EventKind::kFault,
+                static_cast<std::uint8_t>(op), 0, cluster.value()});
+  }
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(sim::Simulator& simulator, sim::Rng rng,
                              FaultPlan plan)
@@ -29,6 +42,7 @@ void FaultInjector::scheduleRsuEvents(common::ClusterId cluster) {
     if (event.cluster != cluster) continue;
     simulator_.scheduleAt(event.at, [this, cluster] {
       if (const auto it = rsus_.find(cluster); it != rsus_.end()) {
+        traceFault(simulator_, obs::FaultOp::kRsuCrash, cluster);
         it->second->crash();
         ++stats_.rsuCrashes;
       }
@@ -36,6 +50,7 @@ void FaultInjector::scheduleRsuEvents(common::ClusterId cluster) {
     if (event.recoverAt) {
       simulator_.scheduleAt(*event.recoverAt, [this, cluster] {
         if (const auto it = rsus_.find(cluster); it != rsus_.end()) {
+          traceFault(simulator_, obs::FaultOp::kRsuRecovery, cluster);
           it->second->recover();
           ++stats_.rsuRecoveries;
         }
@@ -61,10 +76,10 @@ bool FaultInjector::linkUp(common::ClusterId from,
   return true;
 }
 
-bool FaultInjector::dropDelivery(common::NodeId /*sender*/,
-                                 common::NodeId /*receiver*/,
-                                 const mobility::Position& senderPos,
-                                 const mobility::Position& receiverPos) {
+obs::DropCause FaultInjector::dropDelivery(
+    common::NodeId /*sender*/, common::NodeId /*receiver*/,
+    const mobility::Position& senderPos,
+    const mobility::Position& receiverPos) {
   const sim::TimePoint now = simulator_.now();
   for (const JamZoneEvent& zone : plan_.jamZones) {
     if (now < zone.from || now >= zone.until) continue;
@@ -73,7 +88,7 @@ bool FaultInjector::dropDelivery(common::NodeId /*sender*/,
         receiverPos.x >= zone.xMin && receiverPos.x <= zone.xMax;
     if (senderIn || receiverIn) {
       ++stats_.framesJammed;
-      return true;
+      return obs::DropCause::kJam;
     }
   }
   bool lost = false;
@@ -88,8 +103,9 @@ bool FaultInjector::dropDelivery(common::NodeId /*sender*/,
     burstBad_[i] = bad;
     if (rng_.bernoulli(bad ? ge.lossBad : ge.lossGood)) lost = true;
   }
-  if (lost) ++stats_.framesBurstLost;
-  return lost;
+  if (!lost) return obs::DropCause::kNone;
+  ++stats_.framesBurstLost;
+  return obs::DropCause::kBurstLoss;
 }
 
 }  // namespace blackdp::fault

@@ -49,10 +49,11 @@ class FaultInjector final : public net::MediumFaultHook {
   /// backbone consults it through the installed filter.
   [[nodiscard]] bool linkUp(common::ClusterId from, common::ClusterId to) const;
 
-  /// net::MediumFaultHook — one decision per (frame, receiver) delivery.
-  bool dropDelivery(common::NodeId sender, common::NodeId receiver,
-                    const mobility::Position& senderPos,
-                    const mobility::Position& receiverPos) override;
+  /// net::MediumFaultHook — one decision per (frame, receiver) delivery,
+  /// attributing any drop to its fault (kJam or kBurstLoss).
+  obs::DropCause dropDelivery(common::NodeId sender, common::NodeId receiver,
+                              const mobility::Position& senderPos,
+                              const mobility::Position& receiverPos) override;
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }

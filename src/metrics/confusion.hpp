@@ -17,6 +17,19 @@ class ConfusionMatrix {
   void addTrueNegative() { ++tn_; }
   void addFalseNegative() { ++fn_; }
 
+  /// Builds a matrix from pre-aggregated cell counts (e.g. a Fig4Cell).
+  [[nodiscard]] static ConfusionMatrix fromCounts(std::uint64_t tp,
+                                                  std::uint64_t fp,
+                                                  std::uint64_t tn,
+                                                  std::uint64_t fn) {
+    ConfusionMatrix m;
+    m.tp_ = tp;
+    m.fp_ = fp;
+    m.tn_ = tn;
+    m.fn_ = fn;
+    return m;
+  }
+
   [[nodiscard]] std::uint64_t tp() const { return tp_; }
   [[nodiscard]] std::uint64_t fp() const { return fp_; }
   [[nodiscard]] std::uint64_t tn() const { return tn_; }

@@ -3,8 +3,22 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace blackdp::net {
+namespace {
+
+void traceBackbone(sim::Simulator& simulator, obs::EventKind kind,
+                   std::uint8_t op, common::ClusterId from,
+                   common::ClusterId to, const PayloadPtr& payload) {
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({simulator.now().us(), kind, op, 0, from.value(),
+                static_cast<std::uint64_t>(to.value()), 0, 0,
+                payload->sizeBytes(), std::string{payload->typeName()}});
+  }
+}
+
+}  // namespace
 
 void Backbone::attach(common::ClusterId cluster, BackboneEndpoint& endpoint) {
   const auto [it, inserted] = endpoints_.emplace(cluster, &endpoint);
@@ -33,14 +47,21 @@ void Backbone::send(common::ClusterId from, common::ClusterId to,
   if (!endpoints_.contains(from)) {
     ++stats_.sendsFromUnattached;
     ++stats_.messagesDropped;
+    traceBackbone(simulator_, obs::EventKind::kBackboneDrop,
+                  static_cast<std::uint8_t>(obs::DropCause::kSenderCrashed),
+                  from, to, payload);
     if (onSendFailure_) onSendFailure_(from, to, payload);
     return;
   }
   ++stats_.messagesSent;
   stats_.bytesSent += payload->sizeBytes();
+  traceBackbone(simulator_, obs::EventKind::kBackboneTx, 0, from, to, payload);
   if (linkFilter_ && !linkFilter_(from, to)) {
     ++stats_.linkBlocked;
     ++stats_.messagesDropped;
+    traceBackbone(simulator_, obs::EventKind::kBackboneDrop,
+                  static_cast<std::uint8_t>(obs::DropCause::kLinkCut), from,
+                  to, payload);
     notifySendFailed(from, to, std::move(payload));
     return;
   }
@@ -48,6 +69,10 @@ void Backbone::send(common::ClusterId from, common::ClusterId to,
     const auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
       ++stats_.messagesDropped;
+      ++stats_.deadEndpointDrops;
+      traceBackbone(simulator_, obs::EventKind::kBackboneDrop,
+                    static_cast<std::uint8_t>(obs::DropCause::kDeadEndpoint),
+                    from, to, payload);
       if (const auto fromIt = endpoints_.find(from);
           fromIt != endpoints_.end()) {
         fromIt->second->onBackboneSendFailed(to, payload);
@@ -55,6 +80,9 @@ void Backbone::send(common::ClusterId from, common::ClusterId to,
       if (onSendFailure_) onSendFailure_(from, to, payload);
       return;
     }
+    ++stats_.messagesDelivered;
+    traceBackbone(simulator_, obs::EventKind::kBackboneRx, 0, from, to,
+                  payload);
     it->second->onBackboneMessage(from, payload);
   });
 }

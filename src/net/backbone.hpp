@@ -39,9 +39,11 @@ class BackboneEndpoint {
 struct BackboneStats {
   std::uint64_t messagesSent{0};
   std::uint64_t bytesSent{0};
-  std::uint64_t messagesDropped{0};      ///< target detached at delivery time
+  std::uint64_t messagesDelivered{0};
+  std::uint64_t messagesDropped{0};      ///< every undelivered message
   std::uint64_t linkBlocked{0};          ///< dropped by the fault-layer link filter
   std::uint64_t sendsFromUnattached{0};  ///< send() from a detached/crashed CH
+  std::uint64_t deadEndpointDrops{0};    ///< target detached at delivery time
 };
 
 class Backbone {

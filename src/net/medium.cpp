@@ -6,8 +6,22 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace blackdp::net {
+namespace {
+
+void traceFrame(sim::Simulator& simulator, obs::EventKind kind,
+                std::uint8_t op, common::NodeId node, const Frame& frame) {
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({simulator.now().us(), kind, op, node.value(), 0,
+                frame.src.value(), frame.dst.value(), 0,
+                frame.payload->sizeBytes(),
+                std::string{frame.payload->typeName()}});
+  }
+}
+
+}  // namespace
 
 WirelessMedium::WirelessMedium(sim::Simulator& simulator, sim::Rng rng,
                                MediumConfig config)
@@ -39,6 +53,7 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
 
   ++stats_.framesSent;
   stats_.bytesSent += frame.payload->sizeBytes();
+  traceFrame(simulator_, obs::EventKind::kFrameTx, 0, sender, frame);
 
   const mobility::Position origin = senderIt->second->radioPosition();
 
@@ -62,6 +77,9 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
       addressee = ownerIt->second;
     } else {
       ++stats_.sendFailures;
+      traceFrame(simulator_, obs::EventKind::kFrameSendFailed,
+                 static_cast<std::uint8_t>(obs::DropCause::kUnreachable),
+                 sender, frame);
       simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
         const auto it = radios_.find(sender);
         if (it != radios_.end()) it->second->onSendFailed(frame);
@@ -81,21 +99,33 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
         config_.transmissionRangeM) {
       continue;
     }
-    if (faultHook_ != nullptr &&
-        faultHook_->dropDelivery(sender, nodeId, origin, receiverPos)) {
-      ++stats_.framesFaultDropped;
-      if (addressee && nodeId == *addressee) {
-        ++stats_.sendFailures;
-        simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
-          const auto it = radios_.find(sender);
-          if (it != radios_.end()) it->second->onSendFailed(frame);
-        });
+    if (faultHook_ != nullptr) {
+      const obs::DropCause cause =
+          faultHook_->dropDelivery(sender, nodeId, origin, receiverPos);
+      if (cause != obs::DropCause::kNone) {
+        ++stats_.framesFaultDropped;
+        if (cause == obs::DropCause::kBurstLoss) ++stats_.framesBurstDropped;
+        if (cause == obs::DropCause::kJam) ++stats_.framesJamDropped;
+        traceFrame(simulator_, obs::EventKind::kFrameDrop,
+                   static_cast<std::uint8_t>(cause), nodeId, frame);
+        if (addressee && nodeId == *addressee) {
+          ++stats_.sendFailures;
+          traceFrame(simulator_, obs::EventKind::kFrameSendFailed,
+                     static_cast<std::uint8_t>(cause), sender, frame);
+          simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
+            const auto it = radios_.find(sender);
+            if (it != radios_.end()) it->second->onSendFailed(frame);
+          });
+        }
+        continue;
       }
-      continue;
     }
     if (config_.lossProbability > 0.0 &&
         rng_.bernoulli(config_.lossProbability)) {
       ++stats_.framesLost;
+      traceFrame(simulator_, obs::EventKind::kFrameDrop,
+                 static_cast<std::uint8_t>(obs::DropCause::kRandomLoss),
+                 nodeId, frame);
       continue;
     }
     sim::Duration latency = config_.perHopLatency;
@@ -109,6 +139,7 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
       const auto it = radios_.find(nodeId);
       if (it == radios_.end()) return;
       ++stats_.framesDelivered;
+      traceFrame(simulator_, obs::EventKind::kFrameRx, 0, nodeId, frame);
       it->second->onFrame(frame);
     });
   }

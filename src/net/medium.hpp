@@ -14,6 +14,7 @@
 
 #include "mobility/motion.hpp"
 #include "net/frame.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -53,10 +54,12 @@ class MediumFaultHook {
  public:
   virtual ~MediumFaultHook() = default;
 
-  /// True ⇒ this delivery is lost to an injected fault (burst fade, jamming).
-  virtual bool dropDelivery(common::NodeId sender, common::NodeId receiver,
-                            const mobility::Position& senderPos,
-                            const mobility::Position& receiverPos) = 0;
+  /// Anything but kNone ⇒ this delivery is lost to an injected fault, and
+  /// the returned cause attributes the drop (kBurstLoss, kJam, ...).
+  virtual obs::DropCause dropDelivery(
+      common::NodeId sender, common::NodeId receiver,
+      const mobility::Position& senderPos,
+      const mobility::Position& receiverPos) = 0;
 };
 
 struct MediumStats {
@@ -64,6 +67,8 @@ struct MediumStats {
   std::uint64_t framesDelivered{0};   ///< per-receiver deliveries
   std::uint64_t framesLost{0};        ///< per-receiver random losses
   std::uint64_t framesFaultDropped{0};  ///< per-receiver fault-layer drops
+  std::uint64_t framesBurstDropped{0};  ///< ... of which burst fades
+  std::uint64_t framesJamDropped{0};    ///< ... of which jam-zone losses
   std::uint64_t sendFailures{0};      ///< unicast frames with no reachable owner
   std::uint64_t bytesSent{0};
 };

@@ -1,0 +1,57 @@
+#include "obs/bench_json.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "obs/json.hpp"
+
+namespace blackdp::obs {
+
+std::string benchJson(std::string_view name, const Snapshot& snapshot) {
+  std::string out;
+  out += "{\n  \"bench\": ";
+  appendJsonString(out, name);
+  out += ",\n  \"schema_version\": ";
+  appendJsonNumber(out, static_cast<std::int64_t>(kBenchJsonSchemaVersion));
+  out += ",\n  \"metrics\": ";
+
+  // Re-indent the snapshot body under the "metrics" key.
+  const std::string body = snapshot.toJson();
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    out.push_back(body[i]);
+    if (body[i] == '\n' && i + 1 < body.size()) out += "  ";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string writeBenchJson(std::string_view name, const Snapshot& snapshot,
+                           std::string_view outDir) {
+  std::string dir{outDir};
+  if (dir.empty()) {
+    if (const char* env = std::getenv("BLACKDP_BENCH_OUT")) dir = env;
+  }
+  if (dir.empty()) dir = ".";
+
+  std::string path = dir;
+  if (path.back() != '/') path += '/';
+  path += "BENCH_";
+  path += name;
+  path += ".json";
+
+  std::ofstream os{path};
+  if (!os) {
+    BDP_LOG(kWarn, "obs") << "cannot write " << path;
+    return {};
+  }
+  os << benchJson(name, snapshot);
+  if (!os) {
+    BDP_LOG(kWarn, "obs") << "short write to " << path;
+    return {};
+  }
+  BDP_LOG(kInfo, "obs") << "wrote " << path;
+  return path;
+}
+
+}  // namespace blackdp::obs

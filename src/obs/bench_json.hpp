@@ -1,0 +1,35 @@
+// The BENCH_<name>.json contract.
+//
+// Every bench funnels its results into a MetricsRegistry and ends with one
+// writeBenchJson call; CI validates the emitted file against
+// scripts/validate_bench_json.py and archives it. Schema (version 1):
+//
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//   }
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace blackdp::obs {
+
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+/// Renders the full document for `snapshot` under bench `name`.
+[[nodiscard]] std::string benchJson(std::string_view name,
+                                    const Snapshot& snapshot);
+
+/// Writes `BENCH_<name>.json` into `outDir` and returns its path. The
+/// directory is taken from the BLACKDP_BENCH_OUT environment variable when
+/// `outDir` is empty, falling back to the current directory. Returns an
+/// empty string (after logging a warning) when the file cannot be written —
+/// benches still print their tables either way.
+std::string writeBenchJson(std::string_view name, const Snapshot& snapshot,
+                           std::string_view outDir = {});
+
+}  // namespace blackdp::obs

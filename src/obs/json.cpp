@@ -1,0 +1,276 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace blackdp::obs {
+namespace {
+
+void appendUtf8(std::string& out, std::uint32_t codepoint) {
+  if (codepoint < 0x80) {
+    out.push_back(static_cast<char>(codepoint));
+  } else if (codepoint < 0x800) {
+    out.push_back(static_cast<char>(0xc0u | (codepoint >> 6)));
+    out.push_back(static_cast<char>(0x80u | (codepoint & 0x3fu)));
+  } else {
+    out.push_back(static_cast<char>(0xe0u | (codepoint >> 12)));
+    out.push_back(static_cast<char>(0x80u | ((codepoint >> 6) & 0x3fu)));
+    out.push_back(static_cast<char>(0x80u | (codepoint & 0x3fu)));
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_{text} {}
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool done() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  char take() { return text_[pos_++]; }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Parses a quoted string (cursor on the opening quote) into `out`.
+  bool parseString(std::string& out) {
+    if (!consume('"')) return false;
+    while (!done()) {
+      char c = take();
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (done()) return false;
+        char esc = take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            std::uint32_t code = 0;
+            for (int i = 0; i < 4; ++i) {
+              if (done()) return false;
+              char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<std::uint32_t>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<std::uint32_t>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<std::uint32_t>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            appendUtf8(out, code);
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  /// Parses a numeric token (cursor on its first character) verbatim.
+  bool parseNumberToken(std::string& out) {
+    bool any = false;
+    if (!done() && (peek() == '-' || peek() == '+')) out.push_back(take());
+    while (!done()) {
+      char c = peek();
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '-' || c == '+') {
+        out.push_back(take());
+        any = true;
+      } else {
+        break;
+      }
+    }
+    return any;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+void appendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void appendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buf{};
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  if (ec != std::errc{}) {
+    out += "null";
+    return;
+  }
+  out.append(buf.data(), ptr);
+}
+
+void appendJsonNumber(std::string& out, std::uint64_t value) {
+  std::array<char, 24> buf{};
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  (void)ec;
+  out.append(buf.data(), ptr);
+}
+
+void appendJsonNumber(std::string& out, std::int64_t value) {
+  std::array<char, 24> buf{};
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  (void)ec;
+  out.append(buf.data(), ptr);
+}
+
+std::optional<FlatJsonObject> FlatJsonObject::parse(std::string_view text) {
+  Cursor cur{text};
+  cur.skipSpace();
+  if (!cur.consume('{')) return std::nullopt;
+
+  FlatJsonObject obj;
+  cur.skipSpace();
+  if (cur.consume('}')) {
+    cur.skipSpace();
+    return cur.done() ? std::optional{std::move(obj)} : std::nullopt;
+  }
+
+  while (true) {
+    cur.skipSpace();
+    Field field;
+    if (!cur.parseString(field.key)) return std::nullopt;
+    cur.skipSpace();
+    if (!cur.consume(':')) return std::nullopt;
+    cur.skipSpace();
+    if (cur.done()) return std::nullopt;
+    if (cur.peek() == '"') {
+      field.type = FieldType::kString;
+      if (!cur.parseString(field.text)) return std::nullopt;
+    } else if (cur.peek() == '{' || cur.peek() == '[') {
+      return std::nullopt;  // nesting is out of scope for trace lines
+    } else {
+      field.type = FieldType::kNumber;
+      if (!cur.parseNumberToken(field.text)) return std::nullopt;
+    }
+    // Last occurrence of a duplicate key wins.
+    bool replaced = false;
+    for (auto& existing : obj.fields_) {
+      if (existing.key == field.key) {
+        existing = field;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) obj.fields_.push_back(std::move(field));
+
+    cur.skipSpace();
+    if (cur.consume('}')) break;
+    if (!cur.consume(',')) return std::nullopt;
+  }
+  cur.skipSpace();
+  if (!cur.done()) return std::nullopt;
+  return obj;
+}
+
+const FlatJsonObject::Field* FlatJsonObject::find(std::string_view key) const {
+  for (const auto& field : fields_) {
+    if (field.key == key) return &field;
+  }
+  return nullptr;
+}
+
+std::optional<std::string_view> FlatJsonObject::string(
+    std::string_view key) const {
+  const Field* field = find(key);
+  if (field == nullptr || field->type != FieldType::kString) {
+    return std::nullopt;
+  }
+  return std::string_view{field->text};
+}
+
+std::optional<std::uint64_t> FlatJsonObject::u64(std::string_view key) const {
+  const Field* field = find(key);
+  if (field == nullptr || field->type != FieldType::kNumber) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  const char* begin = field->text.data();
+  const char* end = begin + field->text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> FlatJsonObject::i64(std::string_view key) const {
+  const Field* field = find(key);
+  if (field == nullptr || field->type != FieldType::kNumber) {
+    return std::nullopt;
+  }
+  std::int64_t value = 0;
+  const char* begin = field->text.data();
+  const char* end = begin + field->text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> FlatJsonObject::number(std::string_view key) const {
+  const Field* field = find(key);
+  if (field == nullptr || field->type != FieldType::kNumber) {
+    return std::nullopt;
+  }
+  double value = 0.0;
+  const char* begin = field->text.data();
+  const char* end = begin + field->text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace blackdp::obs

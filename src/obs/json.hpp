@@ -1,0 +1,55 @@
+// Minimal JSON support for the observability exporters.
+//
+// The repo deliberately has no third-party JSON dependency; the exporters
+// only ever need (a) escaped string / shortest-round-trip number output and
+// (b) parsing of flat one-level objects (one JSONL trace line). Both live
+// here. The parser rejects nesting — trace lines are flat by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blackdp::obs {
+
+/// Appends `s` as a quoted, escaped JSON string.
+void appendJsonString(std::string& out, std::string_view s);
+
+/// Appends a double using the shortest representation that round-trips
+/// (std::to_chars); non-finite values become `null`.
+void appendJsonNumber(std::string& out, double value);
+
+void appendJsonNumber(std::string& out, std::uint64_t value);
+void appendJsonNumber(std::string& out, std::int64_t value);
+
+/// One parsed flat JSON object: string keys mapping to scalar values
+/// (strings or numbers). Duplicate keys keep the last occurrence.
+class FlatJsonObject {
+ public:
+  /// Parses `{"k": v, ...}` with scalar values only. Returns nullopt on any
+  /// syntax error, nesting, or trailing garbage.
+  [[nodiscard]] static std::optional<FlatJsonObject> parse(
+      std::string_view text);
+
+  [[nodiscard]] std::optional<std::string_view> string(
+      std::string_view key) const;
+  [[nodiscard]] std::optional<std::uint64_t> u64(std::string_view key) const;
+  [[nodiscard]] std::optional<std::int64_t> i64(std::string_view key) const;
+  [[nodiscard]] std::optional<double> number(std::string_view key) const;
+
+ private:
+  enum class FieldType : std::uint8_t { kString, kNumber };
+  struct Field {
+    std::string key;
+    FieldType type;
+    std::string text;  ///< unescaped string, or the raw numeric token
+  };
+
+  [[nodiscard]] const Field* find(std::string_view key) const;
+
+  std::vector<Field> fields_;
+};
+
+}  // namespace blackdp::obs

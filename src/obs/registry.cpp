@@ -1,0 +1,213 @@
+#include "obs/registry.hpp"
+
+#include <utility>
+
+#include "metrics/confusion.hpp"
+#include "metrics/stats.hpp"
+#include "obs/json.hpp"
+
+namespace blackdp::obs {
+namespace {
+
+void appendIndent(std::string& out, int spaces) {
+  out.append(static_cast<std::size_t>(spaces), ' ');
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upperEdges)
+    : edges_{std::move(upperEdges)}, counts_(edges_.size() + 1, 0) {}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = edges_.size();  // overflow unless an edge holds it
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (value <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  sum_ += value;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upperEdges) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string{name}, Histogram{std::move(upperEdges)})
+             .first;
+  }
+  return it->second;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter.value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge.value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Snapshot::HistogramData data;
+    data.edges = hist.edges();
+    data.counts = hist.counts();
+    data.count = hist.count();
+    data.sum = hist.sum();
+    data.min = hist.min();
+    data.max = hist.max();
+    snap.histograms.emplace(name, std::move(data));
+  }
+  return snap;
+}
+
+std::string Snapshot::toJson(int indent) const {
+  std::string out;
+  const int l1 = indent;
+  const int l2 = indent * 2;
+  const int l3 = indent * 3;
+
+  out += "{\n";
+  appendIndent(out, l1);
+  out += "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    appendIndent(out, l2);
+    appendJsonString(out, name);
+    out += ": ";
+    appendJsonNumber(out, value);
+  }
+  if (!first) {
+    out += "\n";
+    appendIndent(out, l1);
+  }
+  out += "},\n";
+
+  appendIndent(out, l1);
+  out += "\"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    appendIndent(out, l2);
+    appendJsonString(out, name);
+    out += ": ";
+    appendJsonNumber(out, value);
+  }
+  if (!first) {
+    out += "\n";
+    appendIndent(out, l1);
+  }
+  out += "},\n";
+
+  appendIndent(out, l1);
+  out += "\"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    appendIndent(out, l2);
+    appendJsonString(out, name);
+    out += ": {\n";
+
+    appendIndent(out, l3);
+    out += "\"edges\": [";
+    for (std::size_t i = 0; i < hist.edges.size(); ++i) {
+      if (i != 0) out += ", ";
+      appendJsonNumber(out, hist.edges[i]);
+    }
+    out += "],\n";
+
+    appendIndent(out, l3);
+    out += "\"counts\": [";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i != 0) out += ", ";
+      appendJsonNumber(out, hist.counts[i]);
+    }
+    out += "],\n";
+
+    appendIndent(out, l3);
+    out += "\"count\": ";
+    appendJsonNumber(out, hist.count);
+    out += ",\n";
+    appendIndent(out, l3);
+    out += "\"sum\": ";
+    appendJsonNumber(out, hist.sum);
+    out += ",\n";
+    appendIndent(out, l3);
+    out += "\"min\": ";
+    appendJsonNumber(out, hist.min);
+    out += ",\n";
+    appendIndent(out, l3);
+    out += "\"max\": ";
+    appendJsonNumber(out, hist.max);
+    out += "\n";
+
+    appendIndent(out, l2);
+    out += "}";
+  }
+  if (!first) {
+    out += "\n";
+    appendIndent(out, l1);
+  }
+  out += "}\n";
+  out += "}";
+  return out;
+}
+
+void addConfusion(MetricsRegistry& registry, std::string_view prefix,
+                  const metrics::ConfusionMatrix& matrix) {
+  const std::string base{prefix};
+  registry.counter(base + ".tp").add(matrix.tp());
+  registry.counter(base + ".fp").add(matrix.fp());
+  registry.counter(base + ".tn").add(matrix.tn());
+  registry.counter(base + ".fn").add(matrix.fn());
+  registry.gauge(base + ".accuracy").set(matrix.accuracy());
+  registry.gauge(base + ".precision").set(matrix.precision());
+  registry.gauge(base + ".recall").set(matrix.recall());
+  registry.gauge(base + ".false_positive_rate")
+      .set(matrix.falsePositiveRate());
+  registry.gauge(base + ".false_negative_rate")
+      .set(matrix.falseNegativeRate());
+}
+
+void addRunningStat(MetricsRegistry& registry, std::string_view prefix,
+                    const metrics::RunningStat& stat) {
+  const std::string base{prefix};
+  registry.counter(base + ".count").add(stat.count());
+  registry.gauge(base + ".mean").set(stat.mean());
+  registry.gauge(base + ".min").set(stat.min());
+  registry.gauge(base + ".max").set(stat.max());
+  registry.gauge(base + ".stddev").set(stat.stddev());
+  registry.gauge(base + ".ci95").set(stat.ci95());
+}
+
+const std::vector<double>& latencyBucketsMs() {
+  static const std::vector<double> kEdges{1.0,   2.0,   5.0,    10.0,   20.0,
+                                          50.0,  100.0, 200.0,  500.0,  1000.0,
+                                          2000.0, 5000.0, 10000.0};
+  return kEdges;
+}
+
+}  // namespace blackdp::obs

@@ -1,0 +1,131 @@
+// Named metrics: counters, gauges, fixed-bucket histograms.
+//
+// A MetricsRegistry is a passive container a bench or scenario owns; the
+// instrumented code never sees it. At the end of a run the owner folds
+// whatever it measured (medium/backbone stats, confusion matrices, stage
+// latencies) into one registry and snapshots it to JSON — that snapshot is
+// the `BENCH_<name>.json` contract CI validates.
+//
+// Names are dotted paths ("medium.frames_sent", "detect.latency.total_ms").
+// Lookups create on first use; metric handles stay valid for the registry's
+// lifetime (std::map storage — no reallocation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blackdp::metrics {
+class ConfusionMatrix;
+class RunningStat;
+}  // namespace blackdp::metrics
+
+namespace blackdp::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// value <= edges[i] (and > edges[i-1]); one implicit overflow bucket
+/// collects everything above the last edge, so counts().size() ==
+/// edges().size() + 1.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upperEdges);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// 0 when empty.
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_{0};
+  double sum_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Immutable copy of a registry's state, serialisable to JSON.
+struct Snapshot {
+  struct HistogramData {
+    std::vector<double> edges;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count{0};
+    double sum{0.0};
+    double min{0.0};
+    double max{0.0};
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Renders `{"counters": {...}, "gauges": {...}, "histograms": {...}}`
+  /// pretty-printed at `indent` leading spaces per level, starting the
+  /// opening brace at the current position.
+  [[nodiscard]] std::string toJson(int indent = 2) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the named counter, creating it on first use.
+  Counter& counter(std::string_view name);
+  /// Returns the named gauge, creating it on first use.
+  Gauge& gauge(std::string_view name);
+  /// Returns the named histogram, creating it with `upperEdges` on first
+  /// use; later calls ignore the edges argument and return the existing one.
+  Histogram& histogram(std::string_view name, std::vector<double> upperEdges);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Folds a confusion matrix in under `prefix`: raw cell counters
+/// (`<prefix>.tp` ...) plus derived-rate gauges (`<prefix>.accuracy` ...).
+void addConfusion(MetricsRegistry& registry, std::string_view prefix,
+                  const metrics::ConfusionMatrix& matrix);
+
+/// Folds a RunningStat in under `prefix`: a `<prefix>.count` counter plus
+/// mean/min/max/stddev/ci95 gauges.
+void addRunningStat(MetricsRegistry& registry, std::string_view prefix,
+                    const metrics::RunningStat& stat);
+
+/// The shared bucket edges (milliseconds) for every per-stage
+/// detection-latency histogram, so stage histograms are comparable across
+/// benches: 1,2,5 decades from 1 ms to 10 s.
+[[nodiscard]] const std::vector<double>& latencyBucketsMs();
+
+}  // namespace blackdp::obs

@@ -1,0 +1,186 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <ostream>
+
+namespace blackdp::obs {
+namespace {
+
+std::string eventLabel(const TraceEvent& event) {
+  std::string label{toString(event.kind)};
+  const std::string_view op = opName(event.kind, event.op);
+  if (!op.empty()) {
+    label += '/';
+    label += op;
+  }
+  if ((event.kind == EventKind::kDetector &&
+       (event.op == static_cast<std::uint8_t>(DetectorOp::kProbeSent) ||
+        event.op == static_cast<std::uint8_t>(DetectorOp::kProbeReply) ||
+        event.op == static_cast<std::uint8_t>(DetectorOp::kProbeTimeout)))) {
+    label += " #" + std::to_string(event.value);
+  }
+  if (!event.detail.empty()) {
+    label += " (" + event.detail + ")";
+  }
+  return label;
+}
+
+std::string formatMs(std::int64_t us) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.3f",
+                static_cast<double>(us) / 1000.0);
+  return std::string{buf.data()};
+}
+
+void printStage(std::ostream& os, const char* name, std::int64_t fromUs,
+                std::int64_t toUs, bool& any) {
+  if (fromUs < 0 || toUs < 0) return;
+  os << (any ? ", " : "  stage latencies: ") << name << ' '
+     << formatMs(toUs - fromUs) << " ms";
+  any = true;
+}
+
+}  // namespace
+
+TraceReport buildReport(const std::vector<TraceEvent>& events) {
+  TraceReport report;
+  report.eventCount = events.size();
+  if (!events.empty()) {
+    report.firstUs = events.front().atUs;
+    report.lastUs = events.back().atUs;
+  }
+
+  std::map<std::uint64_t, SessionTimeline> sessions;
+  // Reporter-side verifier events, keyed by suspect address; a session's
+  // prologue is stitched in from these after the CH-side pass.
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> verifierBySuspect;
+
+  for (const auto& event : events) {
+    ++report.eventsByKind[std::string{toString(event.kind)}];
+    if (event.kind == EventKind::kFrameDrop ||
+        event.kind == EventKind::kBackboneDrop) {
+      ++report.dropsByCause[std::string{
+          toString(static_cast<DropCause>(event.op))}];
+    }
+    if (event.kind == EventKind::kVerifier && event.a != 0) {
+      verifierBySuspect[event.a].push_back(&event);
+    }
+    if ((event.kind == EventKind::kDetector ||
+         event.kind == EventKind::kChTable) &&
+        event.session != 0) {
+      auto& timeline = sessions[event.session];
+      timeline.session = event.session;
+      timeline.entries.push_back({event.atUs, event.node, eventLabel(event)});
+      if (event.kind != EventKind::kDetector) continue;
+      switch (static_cast<DetectorOp>(event.op)) {
+        case DetectorOp::kDreqReceived:
+        case DetectorOp::kSessionOpened:
+          if (timeline.suspect == 0) timeline.suspect = event.a;
+          if (timeline.reporter == 0) timeline.reporter = event.b;
+          break;
+        case DetectorOp::kProbeSent:
+          if (timeline.probeAtUs < 0) timeline.probeAtUs = event.atUs;
+          break;
+        case DetectorOp::kVerdict:
+          timeline.verdictAtUs = event.atUs;
+          timeline.verdict = event.detail;
+          break;
+        case DetectorOp::kIsolated:
+          timeline.isolatedAtUs = event.atUs;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  for (auto& [id, timeline] : sessions) {
+    if (timeline.suspect == 0 || timeline.entries.empty()) continue;
+    const std::int64_t sessionStartUs = timeline.entries.front().atUs;
+    const auto it = verifierBySuspect.find(timeline.suspect);
+    if (it == verifierBySuspect.end()) continue;
+    for (const TraceEvent* event : it->second) {
+      if (event->atUs > sessionStartUs) continue;
+      timeline.entries.push_back(
+          {event->atUs, event->node, eventLabel(*event)});
+      const auto op = static_cast<VerifierOp>(event->op);
+      if (op == VerifierOp::kSuspected) {
+        timeline.suspectedAtUs = event->atUs;
+      } else if (op == VerifierOp::kDreqSent) {
+        timeline.dreqAtUs = event->atUs;
+      }
+    }
+  }
+
+  report.sessions.reserve(sessions.size());
+  for (auto& [id, timeline] : sessions) {
+    std::stable_sort(
+        timeline.entries.begin(), timeline.entries.end(),
+        [](const auto& lhs, const auto& rhs) { return lhs.atUs < rhs.atUs; });
+    report.sessions.push_back(std::move(timeline));
+  }
+  return report;
+}
+
+void printReport(const TraceReport& report, std::ostream& os) {
+  os << "trace: " << report.eventCount << " events";
+  if (report.eventCount > 0) {
+    os << ", " << formatMs(report.firstUs) << " ms .. "
+       << formatMs(report.lastUs) << " ms";
+  }
+  os << "\n";
+
+  if (!report.eventsByKind.empty()) {
+    os << "events by kind:\n";
+    for (const auto& [kind, count] : report.eventsByKind) {
+      os << "  " << kind << ": " << count << "\n";
+    }
+  }
+  if (!report.dropsByCause.empty()) {
+    os << "drops by cause:\n";
+    for (const auto& [cause, count] : report.dropsByCause) {
+      os << "  " << cause << ": " << count << "\n";
+    }
+  }
+
+  std::size_t complete = 0;
+  for (const auto& session : report.sessions) {
+    if (session.complete()) ++complete;
+  }
+  os << "detection sessions: " << report.sessions.size() << " (" << complete
+     << " complete)\n";
+
+  for (const auto& session : report.sessions) {
+    os << "\nsession " << session.session << ": suspect=" << session.suspect
+       << " reporter=" << session.reporter;
+    if (!session.verdict.empty()) os << " verdict=" << session.verdict;
+    os << (session.complete() ? " [complete]" : " [incomplete]") << "\n";
+
+    bool any = false;
+    printStage(os, "suspicion->d_req", session.suspectedAtUs, session.dreqAtUs,
+               any);
+    printStage(os, "d_req->probe", session.dreqAtUs, session.probeAtUs, any);
+    printStage(os, "probe->verdict", session.probeAtUs, session.verdictAtUs,
+               any);
+    printStage(os, "verdict->isolation", session.verdictAtUs,
+               session.isolatedAtUs, any);
+    printStage(os, "total", session.suspectedAtUs,
+               session.isolatedAtUs >= 0 ? session.isolatedAtUs
+                                         : session.verdictAtUs,
+               any);
+    if (any) os << "\n";
+
+    os << "  timeline:\n";
+    for (const auto& entry : session.entries) {
+      std::array<char, 32> buf{};
+      std::snprintf(buf.data(), buf.size(), "%10lld",
+                    static_cast<long long>(entry.atUs));
+      os << "  " << buf.data() << " us  node " << entry.node << "  "
+         << entry.label << "\n";
+    }
+  }
+}
+
+}  // namespace blackdp::obs

@@ -1,0 +1,64 @@
+// Trace analysis: per-session detection timelines and summary statistics.
+//
+// Pure functions over an event vector, kept apart from the trace_report CLI
+// so the reconstruction logic is unit-testable against synthetic and real
+// traces alike.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace blackdp::obs {
+
+/// One detection session reconstructed from a trace: the CH-side events
+/// carrying its DetectionSessionId plus the reporter-side verifier events
+/// for the same suspect that led up to it.
+struct SessionTimeline {
+  std::uint64_t session{0};
+  std::uint64_t suspect{0};
+  std::uint64_t reporter{0};
+  std::string verdict;  ///< detail of the kVerdict event, if any
+
+  struct Entry {
+    std::int64_t atUs{0};
+    std::uint32_t node{0};
+    std::string label;
+  };
+  std::vector<Entry> entries;  ///< time-ordered
+
+  // Stage timestamps in simulated µs; -1 when the stage never happened.
+  std::int64_t suspectedAtUs{-1};  ///< verifier formally suspected (Hello)
+  std::int64_t dreqAtUs{-1};       ///< d_req sent by the reporter
+  std::int64_t probeAtUs{-1};      ///< first CH probe RREQ out
+  std::int64_t verdictAtUs{-1};    ///< CH verdict
+  std::int64_t isolatedAtUs{-1};   ///< revocation requested at the TA
+
+  /// True when the suspicion → d_req → probe → verdict chain is complete.
+  [[nodiscard]] bool complete() const {
+    return suspectedAtUs >= 0 && dreqAtUs >= 0 && probeAtUs >= 0 &&
+           verdictAtUs >= 0;
+  }
+};
+
+struct TraceReport {
+  std::size_t eventCount{0};
+  std::int64_t firstUs{0};
+  std::int64_t lastUs{0};
+  std::map<std::string, std::uint64_t> eventsByKind;
+  std::map<std::string, std::uint64_t> dropsByCause;  ///< medium + backbone
+  std::vector<SessionTimeline> sessions;              ///< by session id
+};
+
+/// Reconstructs sessions and summary counts from a (time-ordered) trace.
+[[nodiscard]] TraceReport buildReport(const std::vector<TraceEvent>& events);
+
+/// Renders the report: totals, drop attribution, and one timeline block per
+/// session with stage latencies.
+void printReport(const TraceReport& report, std::ostream& os);
+
+}  // namespace blackdp::obs

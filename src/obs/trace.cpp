@@ -1,0 +1,138 @@
+#include "obs/trace.hpp"
+
+namespace blackdp::obs {
+
+TraceRecorder* Trace::recorder_ = nullptr;
+
+std::string_view toString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFrameTx: return "frame-tx";
+    case EventKind::kFrameRx: return "frame-rx";
+    case EventKind::kFrameDrop: return "frame-drop";
+    case EventKind::kFrameSendFailed: return "frame-send-failed";
+    case EventKind::kBackboneTx: return "backbone-tx";
+    case EventKind::kBackboneRx: return "backbone-rx";
+    case EventKind::kBackboneDrop: return "backbone-drop";
+    case EventKind::kAodv: return "aodv";
+    case EventKind::kVerifier: return "verifier";
+    case EventKind::kDetector: return "detector";
+    case EventKind::kChTable: return "ch-table";
+    case EventKind::kFault: return "fault";
+    case EventKind::kSimRun: return "sim-run";
+  }
+  return "?";
+}
+
+std::string_view toString(DropCause cause) {
+  switch (cause) {
+    case DropCause::kNone: return "none";
+    case DropCause::kRandomLoss: return "random-loss";
+    case DropCause::kBurstLoss: return "burst-loss";
+    case DropCause::kJam: return "jam";
+    case DropCause::kLinkCut: return "link-cut";
+    case DropCause::kDeadEndpoint: return "dead-endpoint";
+    case DropCause::kSenderCrashed: return "sender-crashed";
+    case DropCause::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+std::string_view toString(AodvOp op) {
+  switch (op) {
+    case AodvOp::kDiscoveryStart: return "discovery-start";
+    case AodvOp::kRreqFlood: return "rreq-flood";
+    case AodvOp::kRrepReceived: return "rrep-received";
+    case AodvOp::kDiscoverySucceeded: return "discovery-succeeded";
+    case AodvOp::kDiscoveryFailed: return "discovery-failed";
+  }
+  return "?";
+}
+
+std::string_view toString(VerifierOp op) {
+  switch (op) {
+    case VerifierOp::kRoundStarted: return "round-started";
+    case VerifierOp::kRrepChosen: return "rrep-chosen";
+    case VerifierOp::kHelloSent: return "hello-sent";
+    case VerifierOp::kHelloTimeout: return "hello-timeout";
+    case VerifierOp::kSuspected: return "suspected";
+    case VerifierOp::kDreqSent: return "dreq-sent";
+    case VerifierOp::kDreqSendFailed: return "dreq-send-failed";
+    case VerifierOp::kLocalQuarantine: return "local-quarantine";
+    case VerifierOp::kVerdictReceived: return "verdict-received";
+    case VerifierOp::kFinished: return "finished";
+  }
+  return "?";
+}
+
+std::string_view toString(DetectorOp op) {
+  switch (op) {
+    case DetectorOp::kDreqReceived: return "dreq-received";
+    case DetectorOp::kDreqRejected: return "dreq-rejected";
+    case DetectorOp::kDreqDeduplicated: return "dreq-deduplicated";
+    case DetectorOp::kSessionOpened: return "session-opened";
+    case DetectorOp::kSessionForwarded: return "session-forwarded";
+    case DetectorOp::kSessionAdopted: return "session-adopted";
+    case DetectorOp::kAdoptedDegraded: return "adopted-degraded";
+    case DetectorOp::kProbeSent: return "probe-sent";
+    case DetectorOp::kProbeReply: return "probe-reply";
+    case DetectorOp::kProbeTimeout: return "probe-timeout";
+    case DetectorOp::kVerdict: return "verdict";
+    case DetectorOp::kIsolated: return "isolated";
+    case DetectorOp::kResultRelayed: return "result-relayed";
+  }
+  return "?";
+}
+
+std::string_view toString(ChTableOp op) {
+  switch (op) {
+    case ChTableOp::kMemberJoined: return "member-joined";
+    case ChTableOp::kMemberLeft: return "member-left";
+    case ChTableOp::kRevocationApplied: return "revocation-applied";
+    case ChTableOp::kCrashed: return "crashed";
+    case ChTableOp::kRecovered: return "recovered";
+    case ChTableOp::kVerificationInsert: return "verification-insert";
+    case ChTableOp::kVerificationMerge: return "verification-merge";
+    case ChTableOp::kVerificationErase: return "verification-erase";
+  }
+  return "?";
+}
+
+std::string_view toString(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRsuCrash: return "rsu-crash";
+    case FaultOp::kRsuRecovery: return "rsu-recovery";
+  }
+  return "?";
+}
+
+std::string_view toString(SimRunOp op) {
+  switch (op) {
+    case SimRunOp::kRunBegin: return "run-begin";
+    case SimRunOp::kRunEnd: return "run-end";
+  }
+  return "?";
+}
+
+std::string_view opName(EventKind kind, std::uint8_t op) {
+  switch (kind) {
+    case EventKind::kFrameTx:
+    case EventKind::kFrameRx:
+      return "";
+    case EventKind::kFrameDrop:
+    case EventKind::kFrameSendFailed:
+    case EventKind::kBackboneDrop:
+      return toString(static_cast<DropCause>(op));
+    case EventKind::kBackboneTx:
+    case EventKind::kBackboneRx:
+      return "";
+    case EventKind::kAodv: return toString(static_cast<AodvOp>(op));
+    case EventKind::kVerifier: return toString(static_cast<VerifierOp>(op));
+    case EventKind::kDetector: return toString(static_cast<DetectorOp>(op));
+    case EventKind::kChTable: return toString(static_cast<ChTableOp>(op));
+    case EventKind::kFault: return toString(static_cast<FaultOp>(op));
+    case EventKind::kSimRun: return toString(static_cast<SimRunOp>(op));
+  }
+  return "";
+}
+
+}  // namespace blackdp::obs

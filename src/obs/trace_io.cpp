@@ -1,0 +1,173 @@
+#include "obs/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace blackdp::obs {
+namespace {
+
+// Upper bound on sub-operation enumerators per kind; reverse lookup scans
+// this range. Generously above every enum's size.
+constexpr std::uint8_t kMaxOps = 32;
+
+void appendField(std::string& out, std::string_view key, std::uint64_t value,
+                 bool omitZero = true) {
+  if (omitZero && value == 0) return;
+  out += ",\"";
+  out += key;
+  out += "\":";
+  appendJsonNumber(out, value);
+}
+
+}  // namespace
+
+std::string toJsonLine(const TraceEvent& event) {
+  std::string out;
+  out += "{\"t\":";
+  appendJsonNumber(out, event.atUs);
+  out += ",\"kind\":";
+  appendJsonString(out, toString(event.kind));
+  const std::string_view op = opName(event.kind, event.op);
+  if (!op.empty()) {
+    out += ",\"op\":";
+    appendJsonString(out, op);
+  }
+  appendField(out, "node", event.node);
+  appendField(out, "cluster", event.cluster);
+  appendField(out, "a", event.a);
+  appendField(out, "b", event.b);
+  appendField(out, "session", event.session);
+  appendField(out, "value", event.value);
+  if (!event.detail.empty()) {
+    out += ",\"detail\":";
+    appendJsonString(out, event.detail);
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<TraceEvent> parseJsonLine(std::string_view line) {
+  const auto obj = FlatJsonObject::parse(line);
+  if (!obj) return std::nullopt;
+
+  const auto at = obj->i64("t");
+  const auto kindName = obj->string("kind");
+  if (!at || !kindName) return std::nullopt;
+  const auto kind = kindFromString(*kindName);
+  if (!kind) return std::nullopt;
+
+  TraceEvent event;
+  event.atUs = *at;
+  event.kind = *kind;
+  if (const auto opLabel = obj->string("op")) {
+    const auto op = opFromName(*kind, *opLabel);
+    if (!op) return std::nullopt;
+    event.op = *op;
+  }
+  event.node = static_cast<std::uint32_t>(obj->u64("node").value_or(0));
+  event.cluster = static_cast<std::uint32_t>(obj->u64("cluster").value_or(0));
+  event.a = obj->u64("a").value_or(0);
+  event.b = obj->u64("b").value_or(0);
+  event.session = obj->u64("session").value_or(0);
+  event.value = obj->u64("value").value_or(0);
+  if (const auto detail = obj->string("detail")) {
+    event.detail = std::string{*detail};
+  }
+  return event;
+}
+
+void writeJsonl(const std::vector<TraceEvent>& events, std::ostream& os) {
+  for (const auto& event : events) {
+    os << toJsonLine(event) << '\n';
+  }
+}
+
+std::vector<TraceEvent> readJsonl(std::istream& is) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t lineNumber = 0;
+  while (std::getline(is, line)) {
+    ++lineNumber;
+    if (line.empty()) continue;
+    auto event = parseJsonLine(line);
+    if (!event) {
+      throw std::runtime_error{"malformed trace line " +
+                               std::to_string(lineNumber)};
+    }
+    events.push_back(std::move(*event));
+  }
+  return events;
+}
+
+void writeChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& os) {
+  os << "[";
+  bool first = true;
+  for (const auto& event : events) {
+    std::string line;
+    line += first ? "\n" : ",\n";
+    first = false;
+    line += "{\"name\":";
+    const std::string_view op = opName(event.kind, event.op);
+    std::string name{toString(event.kind)};
+    if (!op.empty()) {
+      name += '/';
+      name += op;
+    }
+    appendJsonString(line, name);
+    line += ",\"cat\":";
+    appendJsonString(line, toString(event.kind));
+    line += ",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
+    appendJsonNumber(line, static_cast<std::uint64_t>(event.node));
+    line += ",\"ts\":";
+    appendJsonNumber(line, event.atUs);
+    line += ",\"args\":{";
+    bool firstArg = true;
+    const auto arg = [&](std::string_view key, std::uint64_t value) {
+      if (value == 0) return;
+      if (!firstArg) line += ",";
+      firstArg = false;
+      appendJsonString(line, key);
+      line += ":";
+      appendJsonNumber(line, value);
+    };
+    arg("cluster", event.cluster);
+    arg("a", event.a);
+    arg("b", event.b);
+    arg("session", event.session);
+    arg("value", event.value);
+    if (!event.detail.empty()) {
+      if (!firstArg) line += ",";
+      firstArg = false;
+      line += "\"detail\":";
+      appendJsonString(line, event.detail);
+    }
+    line += "}}";
+    os << line;
+  }
+  os << "\n]\n";
+}
+
+std::optional<EventKind> kindFromString(std::string_view name) {
+  constexpr std::uint8_t kKindCount =
+      static_cast<std::uint8_t>(EventKind::kSimRun) + 1;
+  for (std::uint8_t i = 0; i < kKindCount; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    if (toString(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint8_t> opFromName(EventKind kind, std::string_view name) {
+  if (name.empty() || name == "?") return std::nullopt;
+  for (std::uint8_t op = 0; op < kMaxOps; ++op) {
+    if (opName(kind, op) == name) return op;
+  }
+  return std::nullopt;
+}
+
+}  // namespace blackdp::obs

@@ -1,0 +1,45 @@
+// Trace exporters and the JSONL reader.
+//
+// Two on-disk formats:
+//  - JSONL: one flat object per event, lossless (reads back equal), the
+//    format trace_report consumes.
+//  - Chrome trace_event: a JSON array of instant events loadable in
+//    chrome://tracing / Perfetto; ts is the simulated microsecond, tid the
+//    emitting node. Export-only.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace blackdp::obs {
+
+/// One compact JSON object (no trailing newline). Zero-valued generic
+/// slots and empty details are omitted; parsing restores the defaults, so
+/// toJsonLine/parseJsonLine round-trip exactly.
+[[nodiscard]] std::string toJsonLine(const TraceEvent& event);
+
+/// Inverse of toJsonLine. Nullopt on syntax errors, unknown kind/op names,
+/// or missing required fields ("t", "kind").
+[[nodiscard]] std::optional<TraceEvent> parseJsonLine(std::string_view line);
+
+/// Writes one JSONL line per event.
+void writeJsonl(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// Reads a JSONL stream, skipping blank lines. Throws std::runtime_error
+/// naming the 1-based line number of the first malformed line.
+[[nodiscard]] std::vector<TraceEvent> readJsonl(std::istream& is);
+
+/// Writes a Chrome trace_event JSON document (array-of-events form).
+void writeChromeTrace(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// Reverse lookups used by the JSONL reader (exposed for tests).
+[[nodiscard]] std::optional<EventKind> kindFromString(std::string_view name);
+[[nodiscard]] std::optional<std::uint8_t> opFromName(EventKind kind,
+                                                     std::string_view name);
+
+}  // namespace blackdp::obs

@@ -2,6 +2,7 @@
 
 #include "baselines/rrep_detectors.hpp"
 #include "common/assert.hpp"
+#include "core/telemetry.hpp"
 
 namespace blackdp::scenario {
 
@@ -27,7 +28,8 @@ std::uint64_t trialSeed(std::uint64_t seedBase, std::uint32_t cluster,
 
 Fig4Cell runFig4Cell(AttackType attack, common::ClusterId cluster,
                      std::uint32_t trials, std::uint64_t seedBase,
-                     const ScenarioConfig& base) {
+                     const ScenarioConfig& base,
+                     obs::MetricsRegistry* registry) {
   Fig4Cell cell;
   cell.cluster = cluster;
   cell.attack = attack;
@@ -40,8 +42,14 @@ Fig4Cell runFig4Cell(AttackType attack, common::ClusterId cluster,
     config.attackerCluster = cluster;
 
     HighwayScenario scenario(config);
-    (void)scenario.runVerification();
+    const core::VerificationReport report = scenario.runVerification();
     const DetectionSummary summary = scenario.detectionSummary();
+    if (registry) {
+      core::recordVerifierTelemetry(*registry, report);
+      for (const core::SessionRecord& record : summary.sessions) {
+        core::recordSessionTelemetry(*registry, record);
+      }
+    }
 
     if (summary.falsePositive) ++cell.falsePositives;
     if (summary.confirmedOnAttacker) {
@@ -57,13 +65,14 @@ Fig4Cell runFig4Cell(AttackType attack, common::ClusterId cluster,
 
 std::vector<Fig4Cell> runFig4Sweep(
     std::uint32_t trials, std::uint64_t seedBase,
-    const std::function<void(const Fig4Cell&)>& onCell) {
+    const std::function<void(const Fig4Cell&)>& onCell,
+    obs::MetricsRegistry* registry) {
   std::vector<Fig4Cell> cells;
   for (const AttackType attack :
        {AttackType::kSingle, AttackType::kCooperative}) {
     for (std::uint32_t c = 1; c <= 10; ++c) {
-      cells.push_back(
-          runFig4Cell(attack, common::ClusterId{c}, trials, seedBase));
+      cells.push_back(runFig4Cell(attack, common::ClusterId{c}, trials,
+                                  seedBase, {}, registry));
       if (onCell) onCell(cells.back());
     }
   }
@@ -142,7 +151,7 @@ Fig5Result runFig5Case(const Fig5Case& c, std::uint64_t seed) {
 
   const core::SessionRecord* record = findSession();
   return Fig5Result{c.label, record->packetsUsed, record->verdict,
-                    record->latency()};
+                    record->latency(), *record};
 }
 
 // ------------------------------------------------- baseline ablation (§V)

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "metrics/confusion.hpp"
+#include "obs/registry.hpp"
 #include "scenario/highway_scenario.hpp"
 
 namespace blackdp::scenario {
@@ -44,15 +45,19 @@ struct Fig4Cell {
 };
 
 /// Runs `trials` seeded repetitions of one (cluster, attack-type) treatment.
+/// With a registry, every trial's verifier report and completed detection
+/// sessions fold into it (per-stage latency histograms, verdict counters).
 [[nodiscard]] Fig4Cell runFig4Cell(AttackType attack, common::ClusterId cluster,
                                    std::uint32_t trials,
                                    std::uint64_t seedBase,
-                                   const ScenarioConfig& base = {});
+                                   const ScenarioConfig& base = {},
+                                   obs::MetricsRegistry* registry = nullptr);
 
 /// Full sweep: clusters 1..10 × {single, cooperative}.
 [[nodiscard]] std::vector<Fig4Cell> runFig4Sweep(
     std::uint32_t trials, std::uint64_t seedBase,
-    const std::function<void(const Fig4Cell&)>& onCell = nullptr);
+    const std::function<void(const Fig4Cell&)>& onCell = nullptr,
+    obs::MetricsRegistry* registry = nullptr);
 
 // ---------------------------------------------------------------- Figure 5
 
@@ -69,6 +74,9 @@ struct Fig5Result {
   core::Verdict verdict{core::Verdict::kNotConfirmed};
   /// d_req accepted → verdict reached, at the detecting CH chain.
   sim::Duration latency{};
+  /// The full completed-session record (stage timestamps included), for
+  /// telemetry folding via core::recordSessionTelemetry.
+  core::SessionRecord record{};
 };
 
 /// Scripted packet-count measurement for one placement.

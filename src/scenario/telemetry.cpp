@@ -1,0 +1,72 @@
+#include "scenario/telemetry.hpp"
+
+#include "core/telemetry.hpp"
+#include "scenario/highway_scenario.hpp"
+#include "scenario/urban_scenario.hpp"
+
+namespace blackdp::scenario {
+
+void addMediumStats(obs::MetricsRegistry& registry,
+                    const net::MediumStats& stats) {
+  registry.counter("medium.frames_sent").add(stats.framesSent);
+  registry.counter("medium.frames_delivered").add(stats.framesDelivered);
+  registry.counter("medium.frames_lost").add(stats.framesLost);
+  registry.counter("medium.frames_fault_dropped").add(stats.framesFaultDropped);
+  registry.counter("medium.frames_burst_dropped").add(stats.framesBurstDropped);
+  registry.counter("medium.frames_jam_dropped").add(stats.framesJamDropped);
+  registry.counter("medium.send_failures").add(stats.sendFailures);
+  registry.counter("medium.bytes_sent").add(stats.bytesSent);
+}
+
+void addBackboneStats(obs::MetricsRegistry& registry,
+                      const net::BackboneStats& stats) {
+  registry.counter("backbone.messages_sent").add(stats.messagesSent);
+  registry.counter("backbone.bytes_sent").add(stats.bytesSent);
+  registry.counter("backbone.messages_delivered").add(stats.messagesDelivered);
+  registry.counter("backbone.messages_dropped").add(stats.messagesDropped);
+  registry.counter("backbone.link_blocked").add(stats.linkBlocked);
+  registry.counter("backbone.sends_from_unattached")
+      .add(stats.sendsFromUnattached);
+  registry.counter("backbone.dead_endpoint_drops").add(stats.deadEndpointDrops);
+}
+
+void addFaultStats(obs::MetricsRegistry& registry,
+                   const fault::FaultStats& stats) {
+  registry.counter("fault.rsu_crashes").add(stats.rsuCrashes);
+  registry.counter("fault.rsu_recoveries").add(stats.rsuRecoveries);
+  registry.counter("fault.frames_jammed").add(stats.framesJammed);
+  registry.counter("fault.frames_burst_lost").add(stats.framesBurstLost);
+}
+
+namespace {
+
+template <typename Rsus>
+void collectDetectors(obs::MetricsRegistry& registry, Rsus& rsus) {
+  // DetectorStats folds in via add(), so per-RSU calls aggregate naturally.
+  for (const auto& rsu : rsus) {
+    core::recordDetectorStats(registry, rsu->detector->stats());
+    for (const auto& record : rsu->detector->completedSessions()) {
+      core::recordSessionTelemetry(registry, record);
+    }
+  }
+}
+
+}  // namespace
+
+void collectWorldMetrics(obs::MetricsRegistry& registry,
+                         HighwayScenario& world) {
+  addMediumStats(registry, world.medium().stats());
+  addBackboneStats(registry, world.backbone().stats());
+  if (auto* injector = world.faultInjector()) {
+    addFaultStats(registry, injector->stats());
+  }
+  collectDetectors(registry, world.rsus());
+}
+
+void collectWorldMetrics(obs::MetricsRegistry& registry, UrbanScenario& world) {
+  addMediumStats(registry, world.medium().stats());
+  addBackboneStats(registry, world.backbone().stats());
+  collectDetectors(registry, world.rsus());
+}
+
+}  // namespace blackdp::scenario

@@ -1,0 +1,35 @@
+// World-level metrics collection: folds a scenario's substrate stats
+// (medium, backbone, faults) and every RSU's detector activity into a
+// MetricsRegistry, so all benches snapshot the same names into
+// BENCH_<name>.json instead of keeping private tally structs.
+#pragma once
+
+#include "fault/fault_injector.hpp"
+#include "net/backbone.hpp"
+#include "net/medium.hpp"
+#include "obs/registry.hpp"
+
+namespace blackdp::scenario {
+
+class HighwayScenario;
+class UrbanScenario;
+
+/// medium.* counters (frames sent/delivered plus per-cause drop counts).
+void addMediumStats(obs::MetricsRegistry& registry,
+                    const net::MediumStats& stats);
+
+/// backbone.* counters.
+void addBackboneStats(obs::MetricsRegistry& registry,
+                      const net::BackboneStats& stats);
+
+/// fault.* counters.
+void addFaultStats(obs::MetricsRegistry& registry,
+                   const fault::FaultStats& stats);
+
+/// Everything at once: substrate stats, aggregated detector stats across
+/// all RSUs, and per-stage latency telemetry for every completed session.
+void collectWorldMetrics(obs::MetricsRegistry& registry,
+                         HighwayScenario& world);
+void collectWorldMetrics(obs::MetricsRegistry& registry, UrbanScenario& world);
+
+}  // namespace blackdp::scenario

@@ -57,6 +57,7 @@ class UrbanScenario {
   [[nodiscard]] const mobility::UrbanGrid& grid() const { return grid_; }
   [[nodiscard]] crypto::TaNetwork& taNetwork() { return *taNetwork_; }
   [[nodiscard]] net::WirelessMedium& medium() { return *medium_; }
+  [[nodiscard]] net::Backbone& backbone() { return *backbone_; }
   [[nodiscard]] std::vector<std::unique_ptr<VehicleEntity>>& vehicles() {
     return vehicles_;
   }

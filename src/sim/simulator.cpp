@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace blackdp::sim {
 
@@ -22,6 +23,11 @@ void Simulator::cancel(EventHandle handle) {
 }
 
 std::size_t Simulator::run(TimePoint until) {
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({now_.us(), obs::EventKind::kSimRun,
+                static_cast<std::uint8_t>(obs::SimRunOp::kRunBegin), 0, 0, 0,
+                0, 0, queue_.size()});
+  }
   std::size_t ran = 0;
   while (!queue_.empty()) {
     const Event& top = queue_.top();
@@ -31,6 +37,11 @@ std::size_t Simulator::run(TimePoint until) {
   if (now_ < until && queue_.empty()) {
     // Clock does not advance past the last event when the queue drains; the
     // caller asked to run *until* a bound, not to sleep to it.
+  }
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({now_.us(), obs::EventKind::kSimRun,
+                static_cast<std::uint8_t>(obs::SimRunOp::kRunEnd), 0, 0, 0, 0,
+                0, ran});
   }
   return ran;
 }

@@ -244,20 +244,32 @@ TEST(HexTest, EmptyIsEmpty) {
 
 TEST(LoggingTest, SinkReceivesMessagesAtOrAboveLevel) {
   std::vector<std::string> captured;
-  Logging::setSink([&](LogLevel, std::string_view component,
-                       std::string_view message) {
-    captured.push_back(std::string(component) + ": " + std::string(message));
-  });
-  Logging::setLevel(LogLevel::kInfo);
+  const ScopedLogging scoped{
+      LogLevel::kInfo,
+      [&](LogLevel, std::string_view component, std::string_view message) {
+        captured.push_back(std::string(component) + ": " +
+                           std::string(message));
+      }};
 
   BDP_LOG(kDebug, "test") << "hidden";
   BDP_LOG(kInfo, "test") << "visible " << 42;
 
-  Logging::setLevel(LogLevel::kOff);
-  Logging::setSink(nullptr);
-
   ASSERT_EQ(captured.size(), 1u);
   EXPECT_EQ(captured[0], "test: visible 42");
+}
+
+TEST(LoggingTest, ScopedLoggingRestoresLevelAndSink) {
+  const LogLevel before = Logging::level();
+  const bool hadSink = static_cast<bool>(Logging::sink());
+  {
+    const ScopedLogging scoped{LogLevel::kTrace,
+                               [](LogLevel, std::string_view,
+                                  std::string_view) {}};
+    EXPECT_EQ(Logging::level(), LogLevel::kTrace);
+    EXPECT_TRUE(static_cast<bool>(Logging::sink()));
+  }
+  EXPECT_EQ(Logging::level(), before);
+  EXPECT_EQ(static_cast<bool>(Logging::sink()), hadSink);
 }
 
 TEST(LoggingTest, LevelNamesAreStable) {

@@ -47,8 +47,12 @@ TEST(FaultInjectorTest, JamZoneDropsByPositionAndWindow) {
   fault::FaultInjector injector{simulator, sim::Rng{1}, std::move(plan)};
 
   const auto drop = [&](double senderX, double receiverX) {
-    return injector.dropDelivery(common::NodeId{1}, common::NodeId{2},
-                                 {senderX, 0.0}, {receiverX, 0.0});
+    const obs::DropCause cause = injector.dropDelivery(
+        common::NodeId{1}, common::NodeId{2}, {senderX, 0.0},
+        {receiverX, 0.0});
+    EXPECT_TRUE(cause == obs::DropCause::kNone ||
+                cause == obs::DropCause::kJam);
+    return cause != obs::DropCause::kNone;
   };
 
   bool before = true, senderIn = false, receiverIn = false, outside = true,
@@ -86,9 +90,11 @@ TEST(FaultInjectorTest, BurstChainAdvancesTransitionThenDraw) {
 
   std::vector<bool> outcomes;
   for (int i = 0; i < 6; ++i) {
-    outcomes.push_back(injector.dropDelivery(common::NodeId{1},
-                                             common::NodeId{2}, {0.0, 0.0},
-                                             {10.0, 0.0}));
+    const obs::DropCause cause = injector.dropDelivery(
+        common::NodeId{1}, common::NodeId{2}, {0.0, 0.0}, {10.0, 0.0});
+    EXPECT_TRUE(cause == obs::DropCause::kNone ||
+                cause == obs::DropCause::kBurstLoss);
+    outcomes.push_back(cause != obs::DropCause::kNone);
   }
   EXPECT_EQ(outcomes, (std::vector<bool>{true, false, true, false, true,
                                          false}));

@@ -1,0 +1,166 @@
+// End-to-end observability tests against real scenario runs:
+//  - the determinism contract (recording on/off changes no traffic byte),
+//  - the acceptance timeline (a cooperative-black-hole trace reconstructs
+//    the full suspicion → d_req → probe → verdict → isolation chain through
+//    the JSONL round trip),
+//  - drop-cause attribution reconciling with the fault injector's own
+//    counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
+#include "scenario/highway_scenario.hpp"
+#include "scenario/telemetry.hpp"
+
+namespace {
+
+using namespace blackdp;
+
+scenario::ScenarioConfig cooperativeConfig(std::uint64_t seed) {
+  scenario::ScenarioConfig config;
+  config.seed = seed;
+  config.attack = scenario::AttackType::kCooperative;
+  config.attackerCluster = common::ClusterId{2};
+  config.attackerFakesHelloReply = true;
+  return config;
+}
+
+// ----------------------------------------------------- determinism contract
+
+TEST(TraceDeterminismTest, RecorderOnOffLeavesTrafficIdentical) {
+  // Same seed, one run recording everything, one run recording nothing: the
+  // trace layer must not perturb a single RNG draw or event. Extends the
+  // InertPlanLeavesTrafficIdentical pattern to the recorder itself.
+  const auto run = [](bool record) {
+    obs::MemoryRecorder recorder;
+    obs::ScopedTraceRecorder scoped{record ? &recorder : nullptr};
+    scenario::HighwayScenario world(cooperativeConfig(42));
+    (void)world.runVerification();
+    (void)world.sendDataBurst(50);
+    return std::pair{world.medium().stats(), world.backbone().stats()};
+  };
+
+  const auto [mediumOff, backboneOff] = run(false);
+  const auto [mediumOn, backboneOn] = run(true);
+
+  EXPECT_EQ(mediumOff.framesSent, mediumOn.framesSent);
+  EXPECT_EQ(mediumOff.framesDelivered, mediumOn.framesDelivered);
+  EXPECT_EQ(mediumOff.framesLost, mediumOn.framesLost);
+  EXPECT_EQ(mediumOff.bytesSent, mediumOn.bytesSent);
+  EXPECT_EQ(backboneOff.messagesSent, backboneOn.messagesSent);
+  EXPECT_EQ(backboneOff.messagesDelivered, backboneOn.messagesDelivered);
+  EXPECT_EQ(backboneOff.bytesSent, backboneOn.bytesSent);
+}
+
+TEST(TraceDeterminismTest, RecordedRunsReplayIdentically) {
+  const auto trace = [](std::uint64_t seed) {
+    obs::MemoryRecorder recorder;
+    obs::ScopedTraceRecorder scoped{&recorder};
+    scenario::HighwayScenario world(cooperativeConfig(seed));
+    (void)world.runVerification();
+    return recorder.events();
+  };
+  EXPECT_EQ(trace(7), trace(7));
+}
+
+// ------------------------------------------------------ acceptance timeline
+
+TEST(TraceTimelineTest, CooperativeRunReconstructsFullChain) {
+  obs::MemoryRecorder recorder;
+  {
+    obs::ScopedTraceRecorder scoped{&recorder};
+    scenario::HighwayScenario world(cooperativeConfig(7));
+    const core::VerificationReport report = world.runVerification();
+    ASSERT_EQ(report.outcome, core::Outcome::kAttackerConfirmed);
+    ASSERT_EQ(world.detectionSummary().verdict,
+              core::Verdict::kCooperativeBlackHole);
+  }
+
+  // Through the on-disk format: write JSONL, read it back, reconstruct.
+  std::stringstream stream;
+  obs::writeJsonl(recorder.events(), stream);
+  const std::vector<obs::TraceEvent> loaded = obs::readJsonl(stream);
+  EXPECT_EQ(loaded, recorder.events());
+
+  const obs::TraceReport report = obs::buildReport(loaded);
+  ASSERT_FALSE(report.sessions.empty());
+
+  bool foundComplete = false;
+  for (const obs::SessionTimeline& session : report.sessions) {
+    if (session.verdict != "cooperative-black-hole") continue;
+    foundComplete = true;
+    EXPECT_TRUE(session.complete());
+    EXPECT_GE(session.isolatedAtUs, session.verdictAtUs);
+    // Stages in causal order.
+    EXPECT_LE(session.suspectedAtUs, session.dreqAtUs);
+    EXPECT_LT(session.dreqAtUs, session.probeAtUs);
+    EXPECT_LT(session.probeAtUs, session.verdictAtUs);
+    // The probe pair: RREQ₁ and RREQ₂ (plus the teammate probe) show up as
+    // distinct probe-sent entries.
+    std::size_t probes = 0;
+    for (const auto& entry : session.entries) {
+      if (entry.label.find("probe-sent") != std::string::npos) ++probes;
+    }
+    EXPECT_GE(probes, 2u);
+  }
+  EXPECT_TRUE(foundComplete);
+
+  // The CH verification table saw the session in and out.
+  EXPECT_GE(report.eventsByKind.at("ch-table"), 2u);
+}
+
+// -------------------------------------------------- drop-cause attribution
+
+TEST(DropCauseTest, MediumDropCountsReconcileWithInjectedFaults) {
+  scenario::ScenarioConfig config;
+  config.seed = 42;
+  config.attack = scenario::AttackType::kNone;
+  fault::JamZoneEvent jam;
+  jam.xMin = 1'200.0;
+  jam.xMax = 1'800.0;
+  jam.from = sim::TimePoint::fromUs(200'000);
+  jam.until = sim::TimePoint::fromUs(1'500'000);
+  config.faults.jamZones.push_back(jam);
+  fault::BurstLossEvent burst;
+  burst.channel = fault::GilbertElliott{0.05, 0.2, 0.0, 0.8};
+  config.faults.burstLoss.push_back(burst);
+
+  obs::MemoryRecorder recorder;
+  obs::ScopedTraceRecorder scoped{&recorder};
+  scenario::HighwayScenario world(config);
+  world.runFor(sim::Duration::seconds(2));
+
+  ASSERT_NE(world.faultInjector(), nullptr);
+  const fault::FaultStats& faults = world.faultInjector()->stats();
+  const net::MediumStats& medium = world.medium().stats();
+
+  // Every fault-layer drop the injector charged shows up, cause-tagged, in
+  // the medium's books — nothing double-counted, nothing untagged.
+  EXPECT_EQ(medium.framesJamDropped, faults.framesJammed);
+  EXPECT_EQ(medium.framesBurstDropped, faults.framesBurstLost);
+  EXPECT_EQ(medium.framesFaultDropped,
+            medium.framesJamDropped + medium.framesBurstDropped);
+  EXPECT_GT(medium.framesFaultDropped, 0u);
+
+  // And the trace agrees event-for-event with the counters.
+  std::uint64_t jamEvents = 0;
+  std::uint64_t burstEvents = 0;
+  std::uint64_t randomEvents = 0;
+  for (const obs::TraceEvent& event : recorder.events()) {
+    if (event.kind != obs::EventKind::kFrameDrop) continue;
+    switch (static_cast<obs::DropCause>(event.op)) {
+      case obs::DropCause::kJam: ++jamEvents; break;
+      case obs::DropCause::kBurstLoss: ++burstEvents; break;
+      case obs::DropCause::kRandomLoss: ++randomEvents; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(jamEvents, faults.framesJammed);
+  EXPECT_EQ(burstEvents, faults.framesBurstLost);
+  EXPECT_EQ(randomEvents, medium.framesLost);
+}
+
+}  // namespace

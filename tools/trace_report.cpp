@@ -1,0 +1,41 @@
+// trace_report — offline analysis of a BlackDP JSONL trace.
+//
+// Loads a trace written by an instrumented run (e.g.
+// `examples/cooperative_blackhole --trace run.jsonl`), reconstructs every
+// detection session's timeline (suspicion → d_req → probe pair → verdict →
+// isolation) and prints per-stage latencies plus event and drop-cause
+// totals.
+//
+//   $ ./tools/trace_report run.jsonl
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/report.hpp"
+#include "obs/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string{argv[1]} == "--help") {
+    std::cerr << "usage: trace_report <trace.jsonl>\n"
+                 "  Prints per-session detection timelines and stage-latency\n"
+                 "  summaries from a JSONL trace (see --trace on the "
+                 "examples).\n";
+    return argc == 2 ? 0 : 2;
+  }
+
+  std::ifstream in{argv[1]};
+  if (!in) {
+    std::cerr << "trace_report: cannot open " << argv[1] << '\n';
+    return 2;
+  }
+
+  try {
+    const auto events = blackdp::obs::readJsonl(in);
+    const auto report = blackdp::obs::buildReport(events);
+    blackdp::obs::printReport(report, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_report: " << e.what() << '\n';
+    return 2;
+  }
+  return 0;
+}
