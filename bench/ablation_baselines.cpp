@@ -13,19 +13,25 @@
 #include "metrics/table.hpp"
 #include "obs/bench_json.hpp"
 #include "scenario/experiments.hpp"
+#include "sim/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace blackdp;
   using metrics::Table;
 
+  const obs::BenchTimer timer;
+  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
   const std::uint32_t trials =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 60;
   std::cout << "Ablation A — BlackDP vs. source-side baselines (" << trials
             << " trials per treatment, attacker in cluster 2)\n\n";
 
+  // The PEAK baseline is stateful across a treatment's discoveries, so the
+  // comparison parallelises at the attack-treatment level only (two tasks).
   const std::vector<scenario::BaselineCell> cells =
-      scenario::runBaselineComparison(trials, /*seedBase=*/424242);
+      scenario::runBaselineComparison(trials, /*seedBase=*/424242,
+                                      common::ClusterId{2}, &runner);
 
   obs::MetricsRegistry registry;
   for (const scenario::BaselineCell& cell : cells) {
@@ -35,7 +41,7 @@ int main(int argc, char** argv) {
     registry.counter(prefix + ".trials_with_comparison")
         .add(cell.trialsWithComparison);
   }
-  obs::writeBenchJson("ablation_baselines", registry.snapshot());
+  obs::writeBenchJson("ablation_baselines", registry.snapshot(), timer.info());
 
   Table table({"Attack", "Detector", "Recall (TPR)", "FP count",
                ">=2 RREPs to compare"});

@@ -25,6 +25,7 @@
 #include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
 #include "scenario/telemetry.hpp"
+#include "sim/parallel.hpp"
 
 namespace {
 
@@ -75,7 +76,7 @@ struct TrialResult {
 };
 
 TrialResult faultTrial(ScenarioConfig config,
-                       obs::MetricsRegistry* registry = nullptr) {
+                       obs::Snapshot* worldMetrics = nullptr) {
   HighwayScenario world(std::move(config));
   (void)world.runVerification();
   TrialResult r;
@@ -84,7 +85,11 @@ TrialResult faultTrial(ScenarioConfig config,
   r.falsePositive = summary.falsePositive;
   r.latencyMs = confirmationLatencyMs(world);
   r.pdr = world.sendDataBurst(kPacketsPerTrial).pdr();
-  if (registry) scenario::collectWorldMetrics(*registry, world);
+  if (worldMetrics) {
+    obs::MetricsRegistry local;
+    scenario::collectWorldMetrics(local, world);
+    *worldMetrics = local.snapshot();
+  }
   return r;
 }
 
@@ -92,12 +97,14 @@ TrialResult faultTrial(ScenarioConfig config,
 
 int main(int argc, char** argv) {
   using metrics::Table;
+  const obs::BenchTimer timer;
+  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
   const std::uint32_t trials =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 10;
 
   std::cout << "Ablation F — detection under infrastructure faults (" << trials
-            << " trials per cell)\n\n";
+            << " trials per cell, " << runner.jobs() << " jobs)\n\n";
 
   // ---- 1. burst-loss intensity sweep --------------------------------------
   struct Intensity {
@@ -112,20 +119,39 @@ int main(int argc, char** argv) {
   };
 
   obs::MetricsRegistry registry;
+
+  // Flatten (intensity × trial); each task carries its world metrics out as
+  // a snapshot so the fold below stays in submission order.
+  struct BurstOutcome {
+    TrialResult result;
+    obs::Snapshot world;
+  };
+  const std::vector<BurstOutcome> burstOutcomes = runner.map<BurstOutcome>(
+      intensities.size() * trials, [&](std::size_t i) {
+        const Intensity& intensity = intensities[i / trials];
+        ScenarioConfig config =
+            baseConfig(7000 + static_cast<std::uint64_t>(i % trials));
+        enableHardening(config);
+        if (intensity.channel.meanLoss() > 0.0) {
+          fault::BurstLossEvent burst;
+          burst.channel = intensity.channel;
+          config.faults.burstLoss.push_back(burst);
+        }
+        BurstOutcome outcome;
+        outcome.result = faultTrial(std::move(config), &outcome.world);
+        return outcome;
+      });
+
   Table sweep({"Burst loss", "Mean loss", "Detection", "FP", "PDR",
                "Latency (ms)"});
   metrics::RunningStat detectNone, detectHeavy;
-  for (const auto& intensity : intensities) {
+  for (std::size_t cell = 0; cell < intensities.size(); ++cell) {
+    const Intensity& intensity = intensities[cell];
     metrics::RunningStat detected, falsePos, pdr, latency;
     for (std::uint32_t t = 0; t < trials; ++t) {
-      ScenarioConfig config = baseConfig(7000 + t);
-      enableHardening(config);
-      if (intensity.channel.meanLoss() > 0.0) {
-        fault::BurstLossEvent burst;
-        burst.channel = intensity.channel;
-        config.faults.burstLoss.push_back(burst);
-      }
-      const TrialResult r = faultTrial(std::move(config), &registry);
+      const BurstOutcome& outcome = burstOutcomes[cell * trials + t];
+      registry.merge(outcome.world);
+      const TrialResult& r = outcome.result;
       detected.add(r.detected ? 1.0 : 0.0);
       falsePos.add(r.falsePositive ? 1.0 : 0.0);
       pdr.add(r.pdr);
@@ -150,7 +176,7 @@ int main(int argc, char** argv) {
   // The source's own CH (cluster 1) dies at 600 ms — after the joins, before
   // the report. suspectCluster 2 stays alive, so once the d_req reaches any
   // CH the probing itself is unimpaired.
-  const auto crashTrial = [&](std::uint64_t seed, bool hardened) {
+  const auto crashTrial = [](std::uint64_t seed, bool hardened) {
     ScenarioConfig config = baseConfig(seed);
     if (hardened) enableHardening(config);
     fault::RsuCrashEvent crash;
@@ -160,12 +186,23 @@ int main(int argc, char** argv) {
     return faultTrial(std::move(config));
   };
 
+  struct CrashOutcome {
+    TrialResult baseline;
+    TrialResult hardened;
+  };
+  const std::vector<CrashOutcome> crashOutcomes =
+      runner.map<CrashOutcome>(trials, [&](std::size_t t) {
+        const std::uint64_t seed = 7100 + t;
+        return CrashOutcome{crashTrial(seed, false), crashTrial(seed, true)};
+      });
+
   metrics::RunningStat baselineDetect, failoverDetect, failoverLatency;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    baselineDetect.add(crashTrial(7100 + t, false).detected ? 1.0 : 0.0);
-    const TrialResult r = crashTrial(7100 + t, true);
-    failoverDetect.add(r.detected ? 1.0 : 0.0);
-    if (r.latencyMs >= 0.0) failoverLatency.add(r.latencyMs);
+  for (const CrashOutcome& outcome : crashOutcomes) {
+    baselineDetect.add(outcome.baseline.detected ? 1.0 : 0.0);
+    failoverDetect.add(outcome.hardened.detected ? 1.0 : 0.0);
+    if (outcome.hardened.latencyMs >= 0.0) {
+      failoverLatency.add(outcome.hardened.latencyMs);
+    }
   }
   obs::addRunningStat(registry, "faults.crash.no_failover.detected",
                       baselineDetect);
@@ -186,28 +223,31 @@ int main(int argc, char** argv) {
   crashTable.print(std::cout);
 
   // ---- 3. zero-CH local quarantine ----------------------------------------
+  // int, not bool: vector<bool> packs bits, which would race across workers.
+  const std::vector<int> isolatedTrials =
+      runner.map<int>(trials, [](std::size_t t) {
+        ScenarioConfig config = baseConfig(7200 + t);
+        config.verifier.localQuarantine = true;
+        for (std::uint32_t c = 1; c <= 10; ++c) {
+          fault::RsuCrashEvent crash;
+          crash.cluster = common::ClusterId{c};
+          config.faults.rsuCrashes.push_back(crash);
+        }
+        HighwayScenario world(std::move(config));
+        const auto report = world.runVerification();
+        return report.outcome == core::Outcome::kLocallyQuarantined &&
+               world.isAttackerPseudonym(report.suspect) &&
+               world.source().membership->isBlacklisted(report.suspect);
+      });
   metrics::RunningStat quarantined;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    ScenarioConfig config = baseConfig(7200 + t);
-    config.verifier.localQuarantine = true;
-    for (std::uint32_t c = 1; c <= 10; ++c) {
-      fault::RsuCrashEvent crash;
-      crash.cluster = common::ClusterId{c};
-      config.faults.rsuCrashes.push_back(crash);
-    }
-    HighwayScenario world(std::move(config));
-    const auto report = world.runVerification();
-    const bool isolated =
-        report.outcome == core::Outcome::kLocallyQuarantined &&
-        world.isAttackerPseudonym(report.suspect) &&
-        world.source().membership->isBlacklisted(report.suspect);
-    quarantined.add(isolated ? 1.0 : 0.0);
+  for (const int isolated : isolatedTrials) {
+    quarantined.add(isolated != 0 ? 1.0 : 0.0);
   }
   std::cout << "\nEvery RSU dark from t = 0: the source locally quarantined "
                "the attacker in "
             << Table::percent(quarantined.mean()) << " of trials.\n";
   obs::addRunningStat(registry, "faults.quarantine.isolated", quarantined);
-  obs::writeBenchJson("ablation_faults", registry.snapshot());
+  obs::writeBenchJson("ablation_faults", registry.snapshot(), timer.info());
 
   const bool ok = detectNone.mean() >= detectHeavy.mean() &&
                   detectNone.mean() > 0.8 &&

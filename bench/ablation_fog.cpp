@@ -12,11 +12,15 @@
 #include "core/ch_load_model.hpp"
 #include "metrics/table.hpp"
 #include "obs/bench_json.hpp"
+#include "sim/parallel.hpp"
 #include "sim/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace blackdp;
   using metrics::Table;
+
+  const obs::BenchTimer timer;
+  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
 
   // 2 ms per verification → a lone RSU saturates at 500 verifications/s.
   const std::vector<double> arrivalRates{100, 300, 450, 600, 1000, 2000};
@@ -26,7 +30,7 @@ int main() {
   std::cout << "Ablation E — CH authentication queueing (2 ms/verification, "
                "Poisson arrivals,\n"
             << kJobs << " verifications per cell; mean queueing wait in "
-                        "ms)\n\n";
+                        "ms; " << runner.jobs() << " jobs)\n\n";
 
   std::vector<std::string> headers{"Arrivals/s"};
   for (const std::uint32_t fog : fogPools) {
@@ -35,28 +39,38 @@ int main() {
   }
   Table table(headers);
 
+  // Every (rate × fog pool) cell owns its simulator and RNG — fan the 24
+  // cells across the pool and fold the waits back in grid order.
+  const std::vector<double> waits = runner.map<double>(
+      arrivalRates.size() * fogPools.size(), [&](std::size_t i) {
+        const double rate = arrivalRates[i / fogPools.size()];
+        const std::uint32_t fog = fogPools[i % fogPools.size()];
+        sim::Simulator simulator;
+        core::ChLoadConfig config;
+        config.fogNodes = fog;
+        core::ChLoadModel model{simulator, config};
+        sim::Rng rng{42};
+
+        // Poisson arrivals: exponential gaps.
+        sim::TimePoint at;
+        for (int j = 0; j < kJobs; ++j) {
+          const double gap = -std::log(rng.uniformReal(1e-12, 1.0)) / rate;
+          at = at + sim::Duration::fromSeconds(gap);
+          simulator.scheduleAt(at, [&model] { model.submit([] {}); });
+        }
+        simulator.run();
+        return model.stats().meanWaitMs();
+      });
+
   obs::MetricsRegistry registry;
   double aloneAt600 = 0.0;
   double fog3At600 = 0.0;
-  for (const double rate : arrivalRates) {
+  for (std::size_t r = 0; r < arrivalRates.size(); ++r) {
+    const double rate = arrivalRates[r];
     std::vector<std::string> row{Table::num(rate, 0)};
-    for (const std::uint32_t fog : fogPools) {
-      sim::Simulator simulator;
-      core::ChLoadConfig config;
-      config.fogNodes = fog;
-      core::ChLoadModel model{simulator, config};
-      sim::Rng rng{42};
-
-      // Poisson arrivals: exponential gaps.
-      sim::TimePoint at;
-      for (int j = 0; j < kJobs; ++j) {
-        const double gap = -std::log(rng.uniformReal(1e-12, 1.0)) / rate;
-        at = at + sim::Duration::fromSeconds(gap);
-        simulator.scheduleAt(at, [&model] { model.submit([] {}); });
-      }
-      simulator.run();
-
-      const double wait = model.stats().meanWaitMs();
+    for (std::size_t f = 0; f < fogPools.size(); ++f) {
+      const std::uint32_t fog = fogPools[f];
+      const double wait = waits[r * fogPools.size() + f];
       registry
           .gauge("fog.wait_ms.rate" +
                  std::to_string(static_cast<int>(rate)) + ".fog" +
@@ -75,7 +89,7 @@ int main() {
             << Table::num(aloneAt600, 1) << " ms and growing with the "
             << "backlog); three fog nodes bring it to "
             << Table::num(fog3At600, 2) << " ms.\n";
-  obs::writeBenchJson("ablation_fog", registry.snapshot());
+  obs::writeBenchJson("ablation_fog", registry.snapshot(), timer.info());
 
   const bool ok = aloneAt600 > 50.0 && fog3At600 < 5.0;
   std::cout << (ok ? "\nshape check: PASS (fog offloading moves the "

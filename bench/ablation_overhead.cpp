@@ -135,7 +135,7 @@ BENCHMARK(BM_VerificationTableDedup)->Arg(1)->Arg(4)->Arg(8);
 /// Deterministic companion workload for the BENCH JSON: one congested-cluster
 /// dedup world (8 reporters), so the timing-free dedup factor is archived
 /// alongside the google-benchmark timings on stdout.
-void writeDedupMetrics() {
+void writeDedupMetrics(const obs::BenchTimer& timer) {
   obs::MetricsRegistry registry;
   scenario::ScenarioConfig config;
   config.seed = 99 + 8;
@@ -162,16 +162,17 @@ void writeDedupMetrics() {
   registry.counter("overhead.dedup.reports_filed").add(filed);
   registry.counter("overhead.dedup.probes_sent").add(stats.probesSent);
   registry.counter("overhead.dedup.deduplicated").add(stats.dreqDeduplicated);
-  obs::writeBenchJson("ablation_overhead", registry.snapshot());
+  obs::writeBenchJson("ablation_overhead", registry.snapshot(), timer.info());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::BenchTimer timer;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  writeDedupMetrics();
+  writeDedupMetrics(timer);
   return 0;
 }

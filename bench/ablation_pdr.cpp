@@ -19,6 +19,7 @@
 #include "metrics/table.hpp"
 #include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
+#include "sim/parallel.hpp"
 
 namespace {
 
@@ -80,22 +81,41 @@ double grayholeBlackdpTrial(std::uint64_t seed, double dropProbability) {
 
 int main(int argc, char** argv) {
   using metrics::Table;
+  const obs::BenchTimer timer;
+  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
   const std::uint32_t trials =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 15;
 
   std::cout << "Ablation C — packet delivery ratio (" << trials
-            << " trials x " << kPacketsPerTrial << " packets)\n\n";
+            << " trials x " << kPacketsPerTrial << " packets, "
+            << runner.jobs() << " jobs)\n\n";
+
+  // Flatten (trial × 4 treatments); every task owns one world, so the four
+  // PDR streams fold back in the same order the serial loop produced.
+  struct TrialPdr {
+    double honest{0.0};
+    double plain{0.0};
+    double defended{0.0};
+    double gray{0.0};
+  };
+  const std::vector<TrialPdr> pdrs =
+      runner.map<TrialPdr>(trials, [](std::size_t i) {
+        const std::uint64_t seed = 9000 + i;
+        return TrialPdr{honestTrial(seed), blackholeNoDefenceTrial(seed),
+                        blackholeBlackdpTrial(seed),
+                        grayholeBlackdpTrial(seed, 0.5)};
+      });
 
   metrics::RunningStat honest;
   metrics::RunningStat plain;
   metrics::RunningStat defended;
   metrics::RunningStat gray;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    honest.add(honestTrial(9000 + t));
-    plain.add(blackholeNoDefenceTrial(9000 + t));
-    defended.add(blackholeBlackdpTrial(9000 + t));
-    gray.add(grayholeBlackdpTrial(9000 + t, 0.5));
+  for (const TrialPdr& pdr : pdrs) {
+    honest.add(pdr.honest);
+    plain.add(pdr.plain);
+    defended.add(pdr.defended);
+    gray.add(pdr.gray);
   }
 
   Table table({"Treatment", "Mean PDR", "Min", "Max"});
@@ -117,7 +137,7 @@ int main(int argc, char** argv) {
   registry.gauge("pdr.blackdp_recovery")
       .set(defended.mean() - plain.mean());
   registry.gauge("pdr.grayhole_cost").set(honest.mean() - gray.mean());
-  obs::writeBenchJson("ablation_pdr", registry.snapshot());
+  obs::writeBenchJson("ablation_pdr", registry.snapshot(), timer.info());
 
   std::cout << "\nBlackDP recovers the black hole's damage ("
             << Table::percent(plain.mean()) << " -> "

@@ -16,25 +16,37 @@
 #include "metrics/table.hpp"
 #include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
+#include "sim/parallel.hpp"
+
+namespace {
+
+/// One trial's foldable tallies.
+struct WatchdogTrial {
+  bool exposed{false};
+  bool flaggedWhileExposed{false};
+  std::uint32_t blackdpConfirmedGray{0};
+  std::uint64_t honestFlags{0};
+  std::uint64_t dropsCharged{0};
+  std::uint32_t observers{0};
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace blackdp;
   using metrics::Table;
 
+  const obs::BenchTimer timer;
+  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
   const std::uint32_t trials =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 10;
   std::cout << "Ablation D — watchdog vs. the gray hole (" << trials
-            << " trials)\n\n";
+            << " trials, " << runner.jobs() << " jobs)\n\n";
 
-  std::uint32_t grayFlagged = 0;
-  std::uint32_t trialsWithExposure = 0;
-  std::uint32_t blackdpConfirmedGray = 0;
-  std::uint64_t honestFlags = 0;
-  std::uint64_t dropsCharged = 0;
-  metrics::RunningStat observersPerTrial;
-
-  for (std::uint32_t t = 0; t < trials; ++t) {
+  const std::vector<WatchdogTrial> outcomes = runner.map<WatchdogTrial>(
+      trials, [](std::size_t t) {
+    WatchdogTrial outcome;
     scenario::ScenarioConfig config;
     config.seed = 7000 + t;
     config.attack = scenario::AttackType::kNone;
@@ -63,11 +75,9 @@ int main(int argc, char** argv) {
     (void)world.sendDataBurst(150);
 
     // Did any gray hole actually carry (and eat) traffic this trial?
-    bool exposed = false;
     for (const scenario::VehicleEntity* hole : holes) {
-      if (hole->grayHole->grayStats().dataSeen >= 20) exposed = true;
+      if (hole->grayHole->grayStats().dataSeen >= 20) outcome.exposed = true;
     }
-    if (exposed) ++trialsWithExposure;
 
     // BlackDP's view: report every gray hole, probe, get nothing.
     for (std::size_t h = 0; h < holes.size(); ++h) {
@@ -80,26 +90,40 @@ int main(int argc, char** argv) {
       if (world.isAttackerPseudonym(s.suspect) &&
           (s.verdict == core::Verdict::kSingleBlackHole ||
            s.verdict == core::Verdict::kCooperativeBlackHole)) {
-        ++blackdpConfirmedGray;
+        ++outcome.blackdpConfirmedGray;
       }
     }
 
     // Watchdog view: any gray hole flagged by any sender-side watchdog?
-    std::uint32_t observers = 0;
     bool flagged = false;
     for (const auto& watchdog : watchdogs) {
-      dropsCharged += watchdog->stats().dropsCharged;
+      outcome.dropsCharged += watchdog->stats().dropsCharged;
       for (const common::Address& suspect : watchdog->suspects()) {
         if (world.isAttackerPseudonym(suspect)) {
           flagged = true;
-          ++observers;
+          ++outcome.observers;
         } else {
-          ++honestFlags;
+          ++outcome.honestFlags;
         }
       }
     }
-    if (flagged && exposed) ++grayFlagged;
-    observersPerTrial.add(observers);
+    outcome.flaggedWhileExposed = flagged && outcome.exposed;
+    return outcome;
+  });
+
+  std::uint32_t grayFlagged = 0;
+  std::uint32_t trialsWithExposure = 0;
+  std::uint32_t blackdpConfirmedGray = 0;
+  std::uint64_t honestFlags = 0;
+  std::uint64_t dropsCharged = 0;
+  metrics::RunningStat observersPerTrial;
+  for (const WatchdogTrial& outcome : outcomes) {
+    if (outcome.exposed) ++trialsWithExposure;
+    if (outcome.flaggedWhileExposed) ++grayFlagged;
+    blackdpConfirmedGray += outcome.blackdpConfirmedGray;
+    honestFlags += outcome.honestFlags;
+    dropsCharged += outcome.dropsCharged;
+    observersPerTrial.add(outcome.observers);
   }
 
   Table table({"Metric", "Value"});
@@ -130,7 +154,7 @@ int main(int argc, char** argv) {
   registry.counter("watchdog.drops_charged").add(dropsCharged);
   obs::addRunningStat(registry, "watchdog.observers_per_trial",
                       observersPerTrial);
-  obs::writeBenchJson("ablation_watchdog", registry.snapshot());
+  obs::writeBenchJson("ablation_watchdog", registry.snapshot(), timer.info());
 
   std::cout << "\nwatchdogs catch what BlackDP structurally cannot; their "
                "noise is why the paper\nroutes verdicts through trusted "

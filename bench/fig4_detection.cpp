@@ -14,21 +14,25 @@
 #include "metrics/table.hpp"
 #include "obs/bench_json.hpp"
 #include "scenario/experiments.hpp"
+#include "sim/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace blackdp;
   using metrics::Table;
 
+  const obs::BenchTimer timer;
+  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
   const std::uint32_t trials =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 150;
   std::cout << "Figure 4 — single and cooperative black hole attacks ("
-            << trials << " repetitions per treatment)\n\n";
+            << trials << " repetitions per treatment, " << runner.jobs()
+            << " jobs)\n\n";
 
   obs::MetricsRegistry registry;
   const std::vector<scenario::Fig4Cell> cells =
       scenario::runFig4Sweep(trials, /*seedBase=*/20170605, nullptr,
-                             &registry);
+                             &registry, &runner);
 
   for (const scenario::AttackType attack :
        {scenario::AttackType::kSingle, scenario::AttackType::kCooperative}) {
@@ -67,7 +71,7 @@ int main(int argc, char** argv) {
                           std::string{scenario::toString(attack)},
                       matrix);
   }
-  obs::writeBenchJson("fig4_detection", registry.snapshot());
+  obs::writeBenchJson("fig4_detection", registry.snapshot(), timer.info());
 
   // Paper-shape sanity summary.
   bool ok = true;

@@ -10,12 +10,24 @@
 #include "metrics/table.hpp"
 #include "obs/bench_json.hpp"
 #include "scenario/experiments.hpp"
+#include "sim/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace blackdp;
   using metrics::Table;
 
-  std::cout << "Figure 5 — detection packets per scenario\n\n";
+  const obs::BenchTimer timer;
+  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
+  std::cout << "Figure 5 — detection packets per scenario (" << runner.jobs()
+            << " jobs)\n\n";
+
+  // Each placement is an independent scripted world; run them across the
+  // pool and fold the results in case order.
+  const std::vector<scenario::Fig5Case> cases = scenario::fig5Cases();
+  const std::vector<scenario::Fig5Result> results =
+      runner.map<scenario::Fig5Result>(cases.size(), [&](std::size_t i) {
+        return scenario::runFig5Case(cases[i], /*seed=*/11);
+      });
 
   obs::MetricsRegistry registry;
   Table table({"Scenario", "Detection packets", "Latency", "Verdict"});
@@ -23,8 +35,9 @@ int main() {
   std::uint32_t singleMin = ~0u, singleMax = 0;
   std::uint32_t coopMin = ~0u, coopMax = 0;
 
-  for (const scenario::Fig5Case& c : scenario::fig5Cases()) {
-    const scenario::Fig5Result result = scenario::runFig5Case(c, /*seed=*/11);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const scenario::Fig5Case& c = cases[i];
+    const scenario::Fig5Result& result = results[i];
     core::recordSessionTelemetry(registry, result.record);
     table.addRow({result.label, std::to_string(result.detectionPackets),
                   Table::num(result.latency.toSeconds() * 1000.0, 1) + " ms",
@@ -64,7 +77,7 @@ int main() {
   packetRange("none", noneMin, noneMax);
   packetRange("single", singleMin, singleMax);
   packetRange("cooperative", coopMin, coopMax);
-  obs::writeBenchJson("fig5_packets", registry.snapshot());
+  obs::writeBenchJson("fig5_packets", registry.snapshot(), timer.info());
 
   const bool ok = noneMin >= 4 && noneMax <= 6 && singleMin >= 6 &&
                   singleMax <= 9 && coopMin >= 8 && coopMax <= 11;

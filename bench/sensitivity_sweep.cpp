@@ -9,85 +9,55 @@
 // everywhere); very sparse fleets with short ranges partition the highway
 // and the *attack itself* cannot reach the victim, so trials degrade to
 // no-route rather than to missed detections.
+//
+// Trials fan out across worker threads (--jobs N / BLACKDP_JOBS, default
+// hardware concurrency); the merged metrics are identical for any job
+// count.
 #include <cstdlib>
 #include <iostream>
 
-#include "metrics/confusion.hpp"
 #include "metrics/table.hpp"
 #include "obs/bench_json.hpp"
 #include "scenario/experiments.hpp"
+#include "sim/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace blackdp;
   using metrics::Table;
 
+  const obs::BenchTimer timer;
+  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
   const std::uint32_t trials =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 40;
   std::cout << "Sensitivity — detection vs. density and radio range ("
-            << trials << " trials per cell, single black hole, cluster 2)\n\n";
+            << trials << " trials per cell, single black hole, cluster 2, "
+            << runner.jobs() << " jobs)\n\n";
 
   const std::vector<std::uint32_t> fleets{40, 70, 100, 150};
   const std::vector<double> ranges{600.0, 800.0, 1000.0};
 
   obs::MetricsRegistry registry;
+  const std::vector<scenario::SensitivityCell> cells =
+      scenario::runSensitivitySweep(fleets, ranges, trials, 31'000, runner,
+                                    &registry);
+
   Table table({"#Vehicles", "Range", "Detection accuracy", "False positives",
                "Attacks launched"});
   bool fpClean = true;
   double accuracyAtTableI = 0.0;
-  for (const std::uint32_t fleet : fleets) {
-    for (const double range : ranges) {
-      metrics::ConfusionMatrix matrix;
-      std::uint32_t launched = 0;
-      for (std::uint32_t t = 0; t < trials; ++t) {
-        scenario::ScenarioConfig config;
-        config.seed = 31'000 + 977 * fleet + static_cast<std::uint64_t>(range) +
-                      t;
-        config.vehicleCount = fleet;
-        config.transmissionRangeM = range;
-        // Keep the paper's geometric invariant: cluster length = range, so
-        // every RSU covers its segment.
-        config.clusterLengthM = range;
-        config.attack = scenario::AttackType::kSingle;
-        config.attackerCluster = common::ClusterId{2};
-        config.evasion.firstEvasiveCluster = 99;
-
-        scenario::HighwayScenario world(config);
-        (void)world.runVerification();
-        const scenario::DetectionSummary summary = world.detectionSummary();
-        if (world.primaryAttacker()->attacker->attackStats().rrepsForged > 0) {
-          ++launched;
-          if (summary.confirmedOnAttacker) {
-            matrix.addTruePositive();
-          } else {
-            matrix.addFalseNegative();
-          }
-        } else {
-          // The attack never reached the victim's discovery (partitioned
-          // network): a negative trial, correctly left unflagged.
-          matrix.addTrueNegative();
-        }
-        if (summary.falsePositive) {
-          matrix.addFalsePositive();
-          fpClean = false;
-        }
-      }
-      // Accuracy over trials where the attack actually reached the victim's
-      // discovery (in partitioned networks it cannot).
-      const double accuracy = launched == 0 ? 0.0 : matrix.recall();
-      if (fleet == 100 && range == 1000.0) accuracyAtTableI = accuracy;
-      const std::string prefix = "sweep.v" + std::to_string(fleet) + ".r" +
-                                 std::to_string(static_cast<int>(range));
-      obs::addConfusion(registry, prefix, matrix);
-      registry.counter(prefix + ".attacks_launched").add(launched);
-      table.addRow({std::to_string(fleet), Table::num(range, 0) + " m",
-                    Table::percent(accuracy),
-                    std::to_string(matrix.fp()),
-                    std::to_string(launched) + "/" + std::to_string(trials)});
-    }
+  for (const scenario::SensitivityCell& cell : cells) {
+    if (cell.matrix.fp() > 0) fpClean = false;
+    const double accuracy = cell.detectionAccuracy();
+    if (cell.fleet == 100 && cell.rangeM == 1000.0) accuracyAtTableI = accuracy;
+    table.addRow({std::to_string(cell.fleet),
+                  Table::num(cell.rangeM, 0) + " m", Table::percent(accuracy),
+                  std::to_string(cell.matrix.fp()),
+                  std::to_string(cell.attacksLaunched) + "/" +
+                      std::to_string(cell.trials)});
   }
   table.print(std::cout);
-  obs::writeBenchJson("sensitivity_sweep", registry.snapshot());
+  obs::writeBenchJson("sensitivity_sweep", registry.snapshot(), timer.info());
 
   std::cout << "\nfalse positives across the whole sweep: "
             << (fpClean ? "0" : "NONZERO") << '\n';

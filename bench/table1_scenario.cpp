@@ -12,6 +12,7 @@ int main() {
   using namespace blackdp;
   using metrics::Table;
 
+  const obs::BenchTimer timer;
   scenario::ScenarioConfig config;
   config.seed = 7;
   config.attack = scenario::AttackType::kNone;
@@ -65,7 +66,7 @@ int main() {
   registry.gauge("table1.vehicles_joined").set(static_cast<double>(joined));
   registry.gauge("table1.member_entries")
       .set(static_cast<double>(memberTotal));
-  obs::writeBenchJson("table1_scenario", registry.snapshot());
+  obs::writeBenchJson("table1_scenario", registry.snapshot(), timer.info());
 
   // The paper's coverage requirement: p = l / r RSUs cover the highway.
   const bool covered =

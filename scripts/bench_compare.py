@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json files (schema v2) and gate on throughput.
+
+Stdlib only — CI runs this after the bench smoke pass against a committed
+baseline:
+
+    python3 scripts/bench_compare.py bench/baselines/BENCH_micro_substrates.json \
+        build/bench-out/BENCH_micro_substrates.json [--max-regression 75]
+
+Prints the wall-clock / throughput delta plus every deterministic metric
+(counter, gauge, histogram count/sum) that differs between the two files,
+then exits nonzero iff the candidate's frames_per_second dropped more than
+--max-regression percent below the baseline.
+
+Only throughput gates. The deterministic `metrics` subtree is expected to be
+identical when both files come from the same code and workload; differences
+are printed as context for a human, not failed on, because the baseline is
+refreshed deliberately whenever a bench's workload changes. Wall-clock noise
+between CI runners is why the default tolerance is generous (75 %): the gate
+exists to catch catastrophic slowdowns — losing the spatial grid, an
+accidental O(n²) — not single-digit jitter.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as error:
+        raise SystemExit(f"{path}: {error}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{path}: not valid JSON: {error}")
+    for key in ("bench", "schema_version", "wall_clock_seconds",
+                "throughput", "metrics"):
+        if key not in doc:
+            raise SystemExit(f"{path}: missing top-level key {key!r} "
+                             "(run validate_bench_json.py first)")
+    return doc
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def flatten_metrics(metrics):
+    """One comparable scalar per line: counters, gauges, histogram count/sum."""
+    flat = {}
+    for name, value in metrics.get("counters", {}).items():
+        flat[f"counter {name}"] = value
+    for name, value in metrics.get("gauges", {}).items():
+        flat[f"gauge {name}"] = value
+    for name, hist in metrics.get("histograms", {}).items():
+        flat[f"histogram {name}.count"] = hist.get("count")
+        flat[f"histogram {name}.sum"] = hist.get("sum")
+    return flat
+
+
+def print_metric_deltas(baseline, candidate):
+    base = flatten_metrics(baseline["metrics"])
+    cand = flatten_metrics(candidate["metrics"])
+    changed = []
+    for name in sorted(set(base) | set(cand)):
+        b, c = base.get(name), cand.get(name)
+        if b != c:
+            changed.append((name, b, c))
+    if not changed:
+        print("metrics: identical "
+              f"({len(base)} comparable values)")
+        return
+    print(f"metrics: {len(changed)} difference(s) "
+          "(informational — not gated):")
+    for name, b, c in changed:
+        print(f"  {name}: {fmt(b)} -> {fmt(c)}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH json files; fail on throughput regression.")
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("candidate", type=pathlib.Path)
+    parser.add_argument("--max-regression", type=float, default=75.0,
+                        metavar="PCT",
+                        help="maximum tolerated frames_per_second drop below "
+                             "the baseline, in percent (default: %(default)s)")
+    args = parser.parse_args(argv[1:])
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    if baseline["bench"] != candidate["bench"]:
+        raise SystemExit(f"bench name mismatch: {baseline['bench']!r} vs "
+                         f"{candidate['bench']!r}")
+    if baseline["schema_version"] != candidate["schema_version"]:
+        raise SystemExit(f"schema_version mismatch: "
+                         f"{baseline['schema_version']} vs "
+                         f"{candidate['schema_version']}")
+
+    print(f"bench: {baseline['bench']}")
+    b_wall = baseline["wall_clock_seconds"]
+    c_wall = candidate["wall_clock_seconds"]
+    print(f"wall_clock_seconds: {b_wall:.3f} -> {c_wall:.3f}")
+
+    b_fps = baseline["throughput"]["frames_per_second"]
+    c_fps = candidate["throughput"]["frames_per_second"]
+    b_frames = baseline["throughput"]["frames_delivered"]
+    c_frames = candidate["throughput"]["frames_delivered"]
+    print(f"frames_delivered: {b_frames} -> {c_frames}")
+    print(f"frames_per_second: {b_fps:.1f} -> {c_fps:.1f}")
+
+    print_metric_deltas(baseline, candidate)
+
+    if b_fps <= 0:
+        print("throughput gate: skipped (baseline frames_per_second is 0)")
+        return 0
+
+    drop_pct = (b_fps - c_fps) / b_fps * 100.0
+    print(f"throughput delta: {-drop_pct:+.1f}% "
+          f"(tolerance: -{args.max_regression:.1f}%)")
+    if drop_pct > args.max_regression:
+        print(f"FAIL: frames_per_second regressed {drop_pct:.1f}% "
+              f"(> {args.max_regression:.1f}% allowed)", file=sys.stderr)
+        return 1
+    print("throughput gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,20 +28,23 @@ export BLACKDP_BENCH_OUT="$PWD/$out"
 (
   cd build
   ./bench/table1_scenario
-  ./bench/fig4_detection 2
-  ./bench/fig5_packets
-  ./bench/ablation_baselines 5
-  ./bench/ablation_pdr 2
-  ./bench/ablation_watchdog 2
-  ./bench/ablation_fog
-  ./bench/ablation_faults 2
-  ./bench/urban_detection 2
-  ./bench/sensitivity_sweep 3
+  ./bench/fig4_detection 2 --jobs "$jobs"
+  ./bench/fig5_packets --jobs "$jobs"
+  ./bench/ablation_baselines 5 --jobs "$jobs"
+  ./bench/ablation_pdr 2 --jobs "$jobs"
+  ./bench/ablation_watchdog 2 --jobs "$jobs"
+  ./bench/ablation_fog --jobs "$jobs"
+  ./bench/ablation_faults 2 --jobs "$jobs"
+  ./bench/urban_detection 2 --jobs "$jobs"
+  ./bench/sensitivity_sweep 3 --jobs "$jobs"
   ./bench/ablation_overhead --benchmark_min_time=0.01
   ./bench/micro_substrates --benchmark_min_time=0.01
   ./examples/cooperative_blackhole 7 --trace "$BLACKDP_BENCH_OUT"/coop_trace.jsonl
   ./tools/trace_report "$BLACKDP_BENCH_OUT"/coop_trace.jsonl
 ) > "$out/bench-smoke.log"
 python3 scripts/validate_bench_json.py "$out"/BENCH_*.json
+python3 scripts/bench_compare.py \
+  bench/baselines/BENCH_micro_substrates.json \
+  "$out"/BENCH_micro_substrates.json
 
-echo "CI: both configurations green, bench smoke validated."
+echo "CI: both configurations green, bench smoke validated and compared."

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json files against the schema (version 1).
+"""Validate BENCH_<name>.json files against the schema (version 2).
 
 Stdlib only — CI runs this straight after the bench smoke pass:
 
@@ -9,7 +9,12 @@ Schema (src/obs/bench_json.hpp):
 
     {
       "bench": "<name>",
-      "schema_version": 1,
+      "schema_version": 2,
+      "wall_clock_seconds": <non-negative number>,
+      "throughput": {
+        "frames_delivered": <non-negative int>,
+        "frames_per_second": <non-negative number>
+      },
       "metrics": {
         "counters":   {"<name>": <non-negative int>, ...},
         "gauges":     {"<name>": <number>, ...},
@@ -21,14 +26,15 @@ Schema (src/obs/bench_json.hpp):
 
 Checked invariants: required keys, value types, strictly increasing
 histogram edges, len(counts) == len(edges) + 1 (implicit overflow bucket),
-and sum(counts) == count.
+sum(counts) == count, and frames_per_second consistent with
+frames_delivered / wall_clock_seconds.
 """
 
 import json
 import pathlib
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def fail(path, message):
@@ -64,13 +70,43 @@ def check_histogram(path, name, hist):
                    f"count {hist['count']}")
 
 
+def check_throughput(path, doc):
+    wall = doc["wall_clock_seconds"]
+    check_number(path, "wall_clock_seconds", wall)
+    if wall < 0:
+        fail(path, f"wall_clock_seconds must be non-negative, got {wall}")
+
+    throughput = doc["throughput"]
+    if not isinstance(throughput, dict):
+        fail(path, "'throughput' must be an object")
+    for key in ("frames_delivered", "frames_per_second"):
+        if key not in throughput:
+            fail(path, f"throughput missing key {key!r}")
+    frames = throughput["frames_delivered"]
+    if not isinstance(frames, int) or isinstance(frames, bool) or frames < 0:
+        fail(path, "throughput.frames_delivered: expected a non-negative int")
+    fps = throughput["frames_per_second"]
+    check_number(path, "throughput.frames_per_second", fps)
+    if fps < 0:
+        fail(path, f"frames_per_second must be non-negative, got {fps}")
+    if wall > 0:
+        expected = frames / wall
+        tolerance = max(1e-6, 1e-9 * expected)
+        if abs(fps - expected) > tolerance:
+            fail(path, f"frames_per_second {fps} inconsistent with "
+                       f"frames_delivered/wall_clock_seconds ({expected})")
+    elif fps != 0:
+        fail(path, "frames_per_second must be 0 when wall_clock_seconds is 0")
+
+
 def validate(path):
     try:
         doc = json.loads(path.read_text())
     except json.JSONDecodeError as error:
         fail(path, f"not valid JSON: {error}")
 
-    for key in ("bench", "schema_version", "metrics"):
+    for key in ("bench", "schema_version", "wall_clock_seconds",
+                "throughput", "metrics"):
         if key not in doc:
             fail(path, f"missing top-level key {key!r}")
     if not isinstance(doc["bench"], str) or not doc["bench"]:
@@ -80,6 +116,8 @@ def validate(path):
     if doc["schema_version"] != SCHEMA_VERSION:
         fail(path, f"schema_version {doc['schema_version']} != "
                    f"{SCHEMA_VERSION}")
+
+    check_throughput(path, doc)
 
     metrics = doc["metrics"]
     if not isinstance(metrics, dict):
@@ -97,7 +135,9 @@ def validate(path):
         check_histogram(path, name, hist)
 
     total = sum(len(metrics[s]) for s in ("counters", "gauges", "histograms"))
-    print(f"{path}: OK ({total} metrics)")
+    print(f"{path}: OK ({total} metrics, "
+          f"{doc['throughput']['frames_delivered']} frames in "
+          f"{doc['wall_clock_seconds']:.3f}s)")
 
 
 def main(argv):

@@ -1,6 +1,7 @@
 #include "common/logging.hpp"
 
 #include <iostream>
+#include <mutex>
 
 namespace blackdp::common {
 
@@ -24,6 +25,11 @@ void Logging::setSink(Sink sink) { sink_ = std::move(sink); }
 void Logging::emit(LogLevel level, std::string_view component,
                    std::string_view message) {
   if (level < level_) return;
+  // Level/sink configuration stays main-thread-only (set once at startup);
+  // the emission itself is serialised so parallel trial workers cannot
+  // interleave half-lines or race a capturing test sink.
+  static std::mutex mutex;
+  const std::scoped_lock lock{mutex};
   if (sink_) {
     sink_(level, component, message);
     return;

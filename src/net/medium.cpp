@@ -1,9 +1,9 @@
 #include "net/medium.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <utility>
-#include <vector>
 
 #include "common/assert.hpp"
 #include "obs/trace.hpp"
@@ -21,18 +21,45 @@ void traceFrame(sim::Simulator& simulator, obs::EventKind kind,
   }
 }
 
+/// Packs a signed 2-D cell coordinate into one hash key.
+std::uint64_t cellKey(std::int64_t cx, std::int64_t cy) {
+  const auto ux = static_cast<std::uint32_t>(static_cast<std::int32_t>(cx));
+  const auto uy = static_cast<std::uint32_t>(static_cast<std::int32_t>(cy));
+  return (static_cast<std::uint64_t>(ux) << 32) | uy;
+}
+
 }  // namespace
 
 WirelessMedium::WirelessMedium(sim::Simulator& simulator, sim::Rng rng,
                                MediumConfig config)
-    : simulator_{simulator}, rng_{rng}, config_{config} {}
+    : simulator_{simulator}, rng_{rng}, config_{config} {
+  BDP_ASSERT_MSG(config_.transmissionRangeM > 0.0,
+                 "transmission range must be positive");
+}
 
 void WirelessMedium::attach(common::NodeId node, Radio& radio) {
   const auto [it, inserted] = radios_.emplace(node, &radio);
   BDP_ASSERT_MSG(inserted, "node attached twice");
+  const auto pos = std::lower_bound(
+      receivers_.begin(), receivers_.end(), node,
+      [](const auto& entry, common::NodeId id) { return entry.first < id; });
+  receivers_.insert(pos, {node, &radio});
+  gridValid_ = false;  // indices into receivers_ shifted
 }
 
-void WirelessMedium::detach(common::NodeId node) { radios_.erase(node); }
+void WirelessMedium::detach(common::NodeId node) {
+  radios_.erase(node);
+  const auto pos = std::lower_bound(
+      receivers_.begin(), receivers_.end(), node,
+      [](const auto& entry, common::NodeId id) { return entry.first < id; });
+  if (pos != receivers_.end() && pos->first == node) receivers_.erase(pos);
+  // A detached node must not keep ownership of any receive address: a later
+  // re-use of the address binds it to its new owner, and until then unicasts
+  // to it fail the MAC ACK as unreachable rather than consulting a ghost.
+  std::erase_if(addressOwner_,
+                [node](const auto& entry) { return entry.second == node; });
+  gridValid_ = false;
+}
 
 void WirelessMedium::bindAddress(common::Address address,
                                  common::NodeId owner) {
@@ -44,6 +71,60 @@ void WirelessMedium::bindAddress(common::Address address,
 
 void WirelessMedium::unbindAddress(common::Address address) {
   addressOwner_.erase(address);
+}
+
+std::int64_t WirelessMedium::cellOf(double coordinate) const {
+  return static_cast<std::int64_t>(
+      std::floor(coordinate / config_.transmissionRangeM));
+}
+
+void WirelessMedium::maybeRefreshGrid() {
+  const sim::TimePoint now = simulator_.now();
+  if (gridValid_) {
+    // A node may have drifted at most maxNodeSpeedMps * age metres since the
+    // build. As long as that stays within one cell (= one transmission
+    // range), the 5×5 neighborhood scan below still covers every node that
+    // can possibly be in range, so the grid stays exact.
+    const double driftM =
+        (now - gridBuiltAt_).toSeconds() * config_.maxNodeSpeedMps;
+    if (driftM <= config_.transmissionRangeM) return;
+  }
+  cells_.clear();
+  for (std::uint32_t i = 0; i < receivers_.size(); ++i) {
+    const mobility::Position p = receivers_[i].second->radioPosition();
+    cells_[cellKey(cellOf(p.x), cellOf(p.y))].push_back(i);
+  }
+  gridBuiltAt_ = now;
+  gridValid_ = true;
+  ++stats_.gridRebuilds;
+}
+
+void WirelessMedium::collectCandidates(const mobility::Position& origin) {
+  gridCandidates_.clear();
+  const std::int64_t ocx = cellOf(origin.x);
+  const std::int64_t ocy = cellOf(origin.y);
+  // ±2 cells: ±1 because an in-range node's true cell is at most one cell
+  // away, plus ±1 of permitted drift since the grid was built.
+  for (std::int64_t cx = ocx - 2; cx <= ocx + 2; ++cx) {
+    for (std::int64_t cy = ocy - 2; cy <= ocy + 2; ++cy) {
+      const auto it = cells_.find(cellKey(cx, cy));
+      if (it == cells_.end()) continue;
+      gridCandidates_.insert(gridCandidates_.end(), it->second.begin(),
+                             it->second.end());
+    }
+  }
+  // Indices ascend within each cell; sorting the handful of candidates
+  // restores the global ascending-node-id visiting order the RNG contract
+  // requires.
+  std::sort(gridCandidates_.begin(), gridCandidates_.end());
+}
+
+void WirelessMedium::scheduleSendFailure(common::NodeId sender,
+                                         const Frame& frame) {
+  simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
+    const auto it = radios_.find(sender);
+    if (it != radios_.end()) it->second->onSendFailed(frame);
+  });
 }
 
 void WirelessMedium::send(common::NodeId sender, Frame frame) {
@@ -69,9 +150,7 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
         [&] {
           const auto radioIt = radios_.find(ownerIt->second);
           return radioIt != radios_.end() &&
-                 mobility::distance(origin,
-                                    radioIt->second->radioPosition()) <=
-                     config_.transmissionRangeM;
+                 withinRange(origin, radioIt->second->radioPosition());
         }();
     if (reachable) {
       addressee = ownerIt->second;
@@ -80,25 +159,18 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
       traceFrame(simulator_, obs::EventKind::kFrameSendFailed,
                  static_cast<std::uint8_t>(obs::DropCause::kUnreachable),
                  sender, frame);
-      simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
-        const auto it = radios_.find(sender);
-        if (it != radios_.end()) it->second->onSendFailed(frame);
-      });
+      scheduleSendFailure(sender, frame);
     }
   }
-  // Receivers are visited in node-id order so that jitter draws (and thus
-  // the whole simulation) are independent of hash-map iteration order.
-  std::vector<std::pair<common::NodeId, Radio*>> receivers(radios_.begin(),
-                                                           radios_.end());
-  std::sort(receivers.begin(), receivers.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (const auto& [nodeId, radio] : receivers) {
-    if (nodeId == sender) continue;
+
+  // One delivery decision per candidate receiver. Out-of-range candidates
+  // are skipped before any RNG draw, so the grid path (which merely proposes
+  // a superset of the in-range nodes) and the linear scan consume the RNG
+  // stream identically.
+  const auto visit = [&](common::NodeId nodeId, Radio* radio) {
+    if (nodeId == sender) return;
     const mobility::Position receiverPos = radio->radioPosition();
-    if (mobility::distance(origin, receiverPos) >
-        config_.transmissionRangeM) {
-      continue;
-    }
+    if (!withinRange(origin, receiverPos)) return;
     if (faultHook_ != nullptr) {
       const obs::DropCause cause =
           faultHook_->dropDelivery(sender, nodeId, origin, receiverPos);
@@ -112,12 +184,9 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
           ++stats_.sendFailures;
           traceFrame(simulator_, obs::EventKind::kFrameSendFailed,
                      static_cast<std::uint8_t>(cause), sender, frame);
-          simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
-            const auto it = radios_.find(sender);
-            if (it != radios_.end()) it->second->onSendFailed(frame);
-          });
+          scheduleSendFailure(sender, frame);
         }
-        continue;
+        return;
       }
     }
     if (config_.lossProbability > 0.0 &&
@@ -126,7 +195,7 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
       traceFrame(simulator_, obs::EventKind::kFrameDrop,
                  static_cast<std::uint8_t>(obs::DropCause::kRandomLoss),
                  nodeId, frame);
-      continue;
+      return;
     }
     sim::Duration latency = config_.perHopLatency;
     if (config_.maxJitter > sim::Duration{}) {
@@ -135,13 +204,23 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
     }
     // Deliver only if the receiver is still attached at delivery time
     // (a vehicle may leave the highway while the frame is in flight).
-    simulator_.schedule(latency, [this, nodeId = nodeId, frame] {
+    simulator_.schedule(latency, [this, nodeId, frame] {
       const auto it = radios_.find(nodeId);
       if (it == radios_.end()) return;
       ++stats_.framesDelivered;
       traceFrame(simulator_, obs::EventKind::kFrameRx, 0, nodeId, frame);
       it->second->onFrame(frame);
     });
+  };
+
+  if (config_.spatialGrid) {
+    maybeRefreshGrid();
+    collectCandidates(origin);
+    for (const std::uint32_t index : gridCandidates_) {
+      visit(receivers_[index].first, receivers_[index].second);
+    }
+  } else {
+    for (const auto& [nodeId, radio] : receivers_) visit(nodeId, radio);
   }
 }
 
@@ -149,9 +228,8 @@ bool WirelessMedium::inRange(common::NodeId a, common::NodeId b) const {
   const auto ita = radios_.find(a);
   const auto itb = radios_.find(b);
   if (ita == radios_.end() || itb == radios_.end()) return false;
-  return mobility::distance(ita->second->radioPosition(),
-                            itb->second->radioPosition()) <=
-         config_.transmissionRangeM;
+  return withinRange(ita->second->radioPosition(),
+                     itb->second->radioPosition());
 }
 
 }  // namespace blackdp::net

@@ -7,10 +7,20 @@
 // jitter (the jitter provides the tie-breaking the paper's "replies as fast
 // as it can" behaviour races against). Optional i.i.d. frame loss supports
 // failure-injection tests.
+//
+// Hot path: receivers live in a node-id-ordered array maintained on
+// attach/detach (rare), and a uniform spatial grid keyed by
+// cell = ⌊pos / transmissionRange⌋ narrows each send to the sender's cell
+// neighborhood instead of the whole fleet. Both the grid and the plain
+// linear scan visit in-range receivers in strictly ascending node-id order
+// and draw from the RNG for exactly the same receiver sequence, so a run
+// replays byte-identically whichever path is active (pinned by
+// medium_grid_test).
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "mobility/motion.hpp"
 #include "net/frame.hpp"
@@ -43,6 +53,15 @@ struct MediumConfig {
   sim::Duration perHopLatency{sim::Duration::microseconds(500)};
   sim::Duration maxJitter{sim::Duration::microseconds(100)};
   double lossProbability{0.0};
+  /// Spatial-grid receiver index (cell size = transmission range). Off =
+  /// plain linear scan over the id-ordered receiver array. Both paths are
+  /// byte-identical; the grid only changes how candidates are found.
+  bool spatialGrid{true};
+  /// Upper bound on how fast any attached node moves. The grid is rebuilt
+  /// before a node could have drifted more than one cell since the last
+  /// build, which keeps the 5×5-cell candidate neighborhood exact. Table I
+  /// tops out at 90 km/h = 25 m/s; the default leaves headroom.
+  double maxNodeSpeedMps{50.0};
 };
 
 /// Channel-impairment hook (the fault-injection layer implements it).
@@ -71,6 +90,7 @@ struct MediumStats {
   std::uint64_t framesJamDropped{0};    ///< ... of which jam-zone losses
   std::uint64_t sendFailures{0};      ///< unicast frames with no reachable owner
   std::uint64_t bytesSent{0};
+  std::uint64_t gridRebuilds{0};      ///< spatial-grid refreshes
 };
 
 class WirelessMedium {
@@ -85,7 +105,8 @@ class WirelessMedium {
   void attach(common::NodeId node, Radio& radio);
 
   /// Detaches (e.g. vehicle left the highway). Pending deliveries to the
-  /// node are suppressed.
+  /// node are suppressed, and every address bound to the node is unbound —
+  /// a re-used address routes to its new owner, never to a ghost.
   void detach(common::NodeId node);
 
   [[nodiscard]] bool isAttached(common::NodeId node) const {
@@ -115,17 +136,50 @@ class WirelessMedium {
   /// True iff a and b are currently within transmission range.
   [[nodiscard]] bool inRange(common::NodeId a, common::NodeId b) const;
 
+  /// Drops the cached spatial grid. Must be called whenever a node's
+  /// position changes discontinuously (teleport-style setMotion) or faster
+  /// than MediumConfig::maxNodeSpeedMps; BasicNode::setMotion does this
+  /// automatically. Cheap — the grid rebuilds lazily on the next send.
+  void invalidateGrid() { gridValid_ = false; }
+
   [[nodiscard]] const MediumStats& stats() const { return stats_; }
   [[nodiscard]] const MediumConfig& config() const { return config_; }
 
  private:
+  /// The one distance-vs-transmissionRange predicate: send's receiver scan,
+  /// the unicast MAC ACK model, and inRange() all funnel through it so the
+  /// grid path cannot drift from the ACK model.
+  [[nodiscard]] bool withinRange(const mobility::Position& a,
+                                 const mobility::Position& b) const {
+    return mobility::distance(a, b) <= config_.transmissionRangeM;
+  }
+
+  [[nodiscard]] std::int64_t cellOf(double coordinate) const;
+  /// Rebuilds the grid unless it is still fresh (drift bounded by one cell).
+  void maybeRefreshGrid();
+  /// Fills `gridCandidates_` with indices into `receivers_` (ascending, and
+  /// therefore ascending node-id) for the 5×5-cell neighborhood of `origin`.
+  void collectCandidates(const mobility::Position& origin);
+
+  void scheduleSendFailure(common::NodeId sender, const Frame& frame);
+
   sim::Simulator& simulator_;
   sim::Rng rng_;
   MediumConfig config_;
   MediumStats stats_;
   std::unordered_map<common::NodeId, Radio*> radios_;
+  /// Same radios, kept in ascending node-id order (updated on attach/detach,
+  /// which are rare) so sends never copy + sort the whole fleet.
+  std::vector<std::pair<common::NodeId, Radio*>> receivers_;
   std::unordered_map<common::Address, common::NodeId> addressOwner_;
   MediumFaultHook* faultHook_{nullptr};
+
+  /// Spatial grid: packed (cellX, cellY) → indices into receivers_,
+  /// ascending within each cell by construction.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+  std::vector<std::uint32_t> gridCandidates_;  ///< per-send scratch
+  sim::TimePoint gridBuiltAt_{};
+  bool gridValid_{false};
 };
 
 }  // namespace blackdp::net

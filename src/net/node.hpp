@@ -63,7 +63,14 @@ class BasicNode : public Radio, public LinkLayer {
                      PayloadPtr payload);
 
   [[nodiscard]] const mobility::LinearMotion& motion() const { return motion_; }
-  void setMotion(mobility::LinearMotion motion) { motion_ = motion; }
+  /// Replaces the trajectory. Motion changes may be discontinuous (the
+  /// scenario teleports fleeing attackers), so the medium's spatial grid is
+  /// invalidated — its bounded-drift freshness argument only covers smooth
+  /// motion.
+  void setMotion(mobility::LinearMotion motion) {
+    motion_ = motion;
+    medium_.invalidateGrid();
+  }
 
   /// Current position (exact, from the trajectory).
   [[nodiscard]] mobility::Position radioPosition() const override {

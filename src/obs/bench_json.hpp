@@ -2,15 +2,27 @@
 //
 // Every bench funnels its results into a MetricsRegistry and ends with one
 // writeBenchJson call; CI validates the emitted file against
-// scripts/validate_bench_json.py and archives it. Schema (version 1):
+// scripts/validate_bench_json.py and archives it. Schema (version 2):
 //
 //   {
 //     "bench": "<name>",
-//     "schema_version": 1,
+//     "schema_version": 2,
+//     "wall_clock_seconds": <real elapsed time of the bench process>,
+//     "throughput": {
+//       "frames_delivered": <total medium deliveries across all trials>,
+//       "frames_per_second": <frames_delivered / wall_clock_seconds>
+//     },
 //     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
 //   }
+//
+// The "metrics" subtree is fully deterministic (seeded trials, merged in
+// submission order — identical for any --jobs value); wall clock and
+// throughput are the one machine-dependent sidecar, kept top-level so
+// determinism checks and bench_compare.py can treat them separately.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -18,11 +30,41 @@
 
 namespace blackdp::obs {
 
-inline constexpr int kBenchJsonSchemaVersion = 1;
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
+/// The non-deterministic sidecar of a bench run: real elapsed time and the
+/// simulated work done in it. With framesDelivered == 0 the writer derives
+/// the total from the snapshot's "*.frames_delivered" counters, so benches
+/// that fold medium stats get throughput for free.
+struct BenchRunInfo {
+  double wallClockSeconds{0.0};
+  std::uint64_t framesDelivered{0};
+};
+
+/// Steady-clock stopwatch; benches start one at the top of main and hand
+/// `timer.info()` (or `timer.info(framesDelivered)`) to writeBenchJson.
+class BenchTimer {
+ public:
+  BenchTimer() : start_{std::chrono::steady_clock::now()} {}
+
+  [[nodiscard]] double elapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  [[nodiscard]] BenchRunInfo info(std::uint64_t framesDelivered = 0) const {
+    return {elapsedSeconds(), framesDelivered};
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Renders the full document for `snapshot` under bench `name`.
 [[nodiscard]] std::string benchJson(std::string_view name,
-                                    const Snapshot& snapshot);
+                                    const Snapshot& snapshot,
+                                    const BenchRunInfo& info = {});
 
 /// Writes `BENCH_<name>.json` into `outDir` and returns its path. The
 /// directory is taken from the BLACKDP_BENCH_OUT environment variable when
@@ -30,6 +72,7 @@ inline constexpr int kBenchJsonSchemaVersion = 1;
 /// empty string (after logging a warning) when the file cannot be written —
 /// benches still print their tables either way.
 std::string writeBenchJson(std::string_view name, const Snapshot& snapshot,
+                           const BenchRunInfo& info = {},
                            std::string_view outDir = {});
 
 }  // namespace blackdp::obs

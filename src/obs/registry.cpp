@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/assert.hpp"
 #include "metrics/confusion.hpp"
 #include "metrics/stats.hpp"
 #include "obs/json.hpp"
@@ -33,6 +34,17 @@ void Histogram::observe(double value) {
   ++count_;
 }
 
+void Histogram::mergeFrom(const Snapshot::HistogramData& data) {
+  BDP_ASSERT_MSG(data.edges == edges_, "merging histograms with different "
+                                       "bucket edges");
+  if (data.count == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += data.counts[i];
+  if (count_ == 0 || data.min < min_) min_ = data.min;
+  if (count_ == 0 || data.max > max_) max_ = data.max;
+  count_ += data.count;
+  sum_ += data.sum;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -57,6 +69,15 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
              .first;
   }
   return it->second;
+}
+
+void MetricsRegistry::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counter(name).add(value);
+  for (const auto& [name, value] : other.gauges) gauge(name).set(value);
+  for (const auto& [name, data] : other.histograms) {
+    Histogram& hist = histogram(name, data.edges);
+    hist.mergeFrom(data);
+  }
 }
 
 Snapshot MetricsRegistry::snapshot() const {

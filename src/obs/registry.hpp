@@ -42,6 +42,27 @@ class Gauge {
   double value_{0.0};
 };
 
+/// Immutable copy of a registry's state, serialisable to JSON.
+struct Snapshot {
+  struct HistogramData {
+    std::vector<double> edges;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count{0};
+    double sum{0.0};
+    double min{0.0};
+    double max{0.0};
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Renders `{"counters": {...}, "gauges": {...}, "histograms": {...}}`
+  /// pretty-printed at `indent` leading spaces per level, starting the
+  /// opening brace at the current position.
+  [[nodiscard]] std::string toJson(int indent = 2) const;
+};
+
 /// Fixed-bucket histogram. Bucket i counts observations with
 /// value <= edges[i] (and > edges[i-1]); one implicit overflow bucket
 /// collects everything above the last edge, so counts().size() ==
@@ -51,6 +72,10 @@ class Histogram {
   explicit Histogram(std::vector<double> upperEdges);
 
   void observe(double value);
+
+  /// Adds a snapshotted histogram bucket-wise; `data.edges` must equal this
+  /// histogram's edges.
+  void mergeFrom(const Snapshot::HistogramData& data);
 
   [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
@@ -74,27 +99,6 @@ class Histogram {
   double max_{0.0};
 };
 
-/// Immutable copy of a registry's state, serialisable to JSON.
-struct Snapshot {
-  struct HistogramData {
-    std::vector<double> edges;
-    std::vector<std::uint64_t> counts;
-    std::uint64_t count{0};
-    double sum{0.0};
-    double min{0.0};
-    double max{0.0};
-  };
-
-  std::map<std::string, std::uint64_t> counters;
-  std::map<std::string, double> gauges;
-  std::map<std::string, HistogramData> histograms;
-
-  /// Renders `{"counters": {...}, "gauges": {...}, "histograms": {...}}`
-  /// pretty-printed at `indent` leading spaces per level, starting the
-  /// opening brace at the current position.
-  [[nodiscard]] std::string toJson(int indent = 2) const;
-};
-
 class MetricsRegistry {
  public:
   /// Returns the named counter, creating it on first use.
@@ -104,6 +108,14 @@ class MetricsRegistry {
   /// Returns the named histogram, creating it with `upperEdges` on first
   /// use; later calls ignore the edges argument and return the existing one.
   Histogram& histogram(std::string_view name, std::vector<double> upperEdges);
+
+  /// Folds another registry's snapshot in: counters add, gauges overwrite
+  /// (last writer wins, matching what re-running the producing code against
+  /// this registry would do), histograms add bucket-wise (edges of
+  /// same-named histograms must match). This is how the parallel trial
+  /// runner merges per-trial registries — always in submission order, so
+  /// the merged result is independent of the worker count.
+  void merge(const Snapshot& other);
 
   [[nodiscard]] Snapshot snapshot() const;
 

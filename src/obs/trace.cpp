@@ -2,7 +2,7 @@
 
 namespace blackdp::obs {
 
-TraceRecorder* Trace::recorder_ = nullptr;
+thread_local TraceRecorder* Trace::recorder_ = nullptr;
 
 std::string_view toString(EventKind kind) {
   switch (kind) {

@@ -54,19 +54,25 @@ class MemoryRecorder final : public TraceRecorder {
   std::vector<TraceEvent> events_;
 };
 
-/// Global recorder registry. Not thread-safe by design (single-threaded
-/// simulator; benches install once at startup).
+/// Per-thread recorder registry. Each simulator is single-threaded, but the
+/// parallel trial runner (sim/parallel.hpp) executes independent simulators
+/// on worker threads concurrently — a thread-local slot keeps installation
+/// race-free and lets each trial record into its own sink without seeing its
+/// neighbours' events. The null fast path is still one TLS load and branch.
 class Trace {
  public:
-  /// The installed recorder, or nullptr (the default, near-zero-cost path).
+  /// The recorder installed on THIS thread, or nullptr (the default,
+  /// near-zero-cost path).
   [[nodiscard]] static TraceRecorder* active() { return recorder_; }
 
-  /// Installs (or with nullptr removes) the recorder. The recorder must
-  /// outlive its installation; prefer ScopedTraceRecorder.
+  /// Installs (or with nullptr removes) the calling thread's recorder. The
+  /// recorder must outlive its installation; prefer ScopedTraceRecorder.
+  /// A recorder installed on the main thread is NOT visible to pool
+  /// workers — install per worker (or trace with --jobs 1).
   static void install(TraceRecorder* recorder) { recorder_ = recorder; }
 
  private:
-  static TraceRecorder* recorder_;
+  static thread_local TraceRecorder* recorder_;
 };
 
 /// RAII install/restore, so a throwing test cannot leak its recorder into

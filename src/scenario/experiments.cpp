@@ -63,18 +63,93 @@ Fig4Cell runFig4Cell(AttackType attack, common::ClusterId cluster,
   return cell;
 }
 
+namespace {
+
+/// One Fig. 4 trial's foldable outcome. Telemetry is carried as a snapshot
+/// of a trial-local registry so the caller can merge in submission order.
+struct Fig4TrialOutcome {
+  bool falsePositive{false};
+  bool confirmedOnAttacker{false};
+  obs::Snapshot telemetry;
+};
+
+Fig4TrialOutcome runFig4Trial(AttackType attack, common::ClusterId cluster,
+                              std::uint64_t seed, bool wantTelemetry) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.attack = attack;
+  config.attackerCluster = cluster;
+
+  HighwayScenario scenario(config);
+  const core::VerificationReport report = scenario.runVerification();
+  const DetectionSummary summary = scenario.detectionSummary();
+
+  Fig4TrialOutcome outcome;
+  outcome.falsePositive = summary.falsePositive;
+  outcome.confirmedOnAttacker = summary.confirmedOnAttacker;
+  if (wantTelemetry) {
+    obs::MetricsRegistry local;
+    core::recordVerifierTelemetry(local, report);
+    for (const core::SessionRecord& record : summary.sessions) {
+      core::recordSessionTelemetry(local, record);
+    }
+    outcome.telemetry = local.snapshot();
+  }
+  return outcome;
+}
+
+}  // namespace
+
 std::vector<Fig4Cell> runFig4Sweep(
     std::uint32_t trials, std::uint64_t seedBase,
     const std::function<void(const Fig4Cell&)>& onCell,
-    obs::MetricsRegistry* registry) {
-  std::vector<Fig4Cell> cells;
+    obs::MetricsRegistry* registry, const sim::ParallelRunner* runner) {
+  struct Treatment {
+    AttackType attack;
+    common::ClusterId cluster;
+  };
+  std::vector<Treatment> treatments;
   for (const AttackType attack :
        {AttackType::kSingle, AttackType::kCooperative}) {
     for (std::uint32_t c = 1; c <= 10; ++c) {
-      cells.push_back(runFig4Cell(attack, common::ClusterId{c}, trials,
-                                  seedBase, {}, registry));
-      if (onCell) onCell(cells.back());
+      treatments.push_back({attack, common::ClusterId{c}});
     }
+  }
+
+  // Flatten to (treatment × trial) so small sweeps still fill every worker.
+  const sim::ParallelRunner inlineRunner{1};
+  const sim::ParallelRunner& pool = runner ? *runner : inlineRunner;
+  const std::vector<Fig4TrialOutcome> outcomes =
+      pool.map<Fig4TrialOutcome>(treatments.size() * trials, [&](std::size_t i) {
+        const Treatment& treatment = treatments[i / trials];
+        const auto trial = static_cast<std::uint32_t>(i % trials);
+        return runFig4Trial(
+            treatment.attack, treatment.cluster,
+            trialSeed(seedBase, treatment.cluster.value(), treatment.attack,
+                      trial),
+            registry != nullptr);
+      });
+
+  // Fold in submission order: identical for any worker count, and identical
+  // cell counts to the serial runFig4Cell loop.
+  std::vector<Fig4Cell> cells;
+  for (std::size_t t = 0; t < treatments.size(); ++t) {
+    Fig4Cell cell;
+    cell.cluster = treatments[t].cluster;
+    cell.attack = treatments[t].attack;
+    cell.trials = trials;
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      const Fig4TrialOutcome& outcome = outcomes[t * trials + trial];
+      if (registry) registry->merge(outcome.telemetry);
+      if (outcome.falsePositive) ++cell.falsePositives;
+      if (outcome.confirmedOnAttacker) {
+        ++cell.detected;
+      } else {
+        ++cell.prevented;
+      }
+    }
+    cells.push_back(cell);
+    if (onCell) onCell(cells.back());
   }
   return cells;
 }
@@ -156,13 +231,14 @@ Fig5Result runFig5Case(const Fig5Case& c, std::uint64_t seed) {
 
 // ------------------------------------------------- baseline ablation (§V)
 
-std::vector<BaselineCell> runBaselineComparison(
-    std::uint32_t trials, std::uint64_t seedBase,
-    common::ClusterId attackerCluster) {
-  std::vector<BaselineCell> cells;
+namespace {
 
-  for (const AttackType attack :
-       {AttackType::kSingle, AttackType::kCooperative}) {
+/// One attack treatment's full baseline run. Kept whole (not per-trial):
+/// the PEAK detector accumulates state across the treatment's discoveries,
+/// so splitting trials would change its classifications.
+std::vector<BaselineCell> runBaselineTreatment(
+    AttackType attack, std::uint32_t trials, std::uint64_t seedBase,
+    common::ClusterId attackerCluster) {
     BaselineCell blackdp{"blackdp", attack, {}, 0};
     BaselineCell jaiswal{"first-rrep-comparison", attack, {}, 0};
     BaselineCell peakCell{"peak", attack, {}, 0};
@@ -238,11 +314,128 @@ std::vector<BaselineCell> runBaselineComparison(
       }
     }
 
+    std::vector<BaselineCell> cells;
     cells.push_back(std::move(blackdp));
     cells.push_back(std::move(jaiswal));
     cells.push_back(std::move(peakCell));
     cells.push_back(std::move(tanSmall));
     cells.push_back(std::move(tan));
+    return cells;
+}
+
+}  // namespace
+
+std::vector<BaselineCell> runBaselineComparison(
+    std::uint32_t trials, std::uint64_t seedBase,
+    common::ClusterId attackerCluster, const sim::ParallelRunner* runner) {
+  const std::vector<AttackType> attacks{AttackType::kSingle,
+                                        AttackType::kCooperative};
+  const sim::ParallelRunner inlineRunner{1};
+  const sim::ParallelRunner& pool = runner ? *runner : inlineRunner;
+  const std::vector<std::vector<BaselineCell>> perAttack =
+      pool.map<std::vector<BaselineCell>>(attacks.size(), [&](std::size_t i) {
+        return runBaselineTreatment(attacks[i], trials, seedBase,
+                                    attackerCluster);
+      });
+
+  std::vector<BaselineCell> cells;
+  for (const std::vector<BaselineCell>& treatment : perAttack) {
+    cells.insert(cells.end(), treatment.begin(), treatment.end());
+  }
+  return cells;
+}
+
+// ------------------------------------------------------ sensitivity sweep
+
+namespace {
+
+struct SensitivityTrialOutcome {
+  bool launched{false};   ///< the forged RREP reached the victim's discovery
+  bool confirmed{false};  ///< detection confirmed on the true attacker
+  bool falsePositive{false};
+};
+
+SensitivityTrialOutcome runSensitivityTrial(std::uint32_t fleet, double rangeM,
+                                            std::uint64_t seed) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.vehicleCount = fleet;
+  config.transmissionRangeM = rangeM;
+  // Keep the paper's geometric invariant: cluster length = range, so every
+  // RSU covers its segment.
+  config.clusterLengthM = rangeM;
+  config.attack = AttackType::kSingle;
+  config.attackerCluster = common::ClusterId{2};
+  config.evasion.firstEvasiveCluster = 99;
+
+  HighwayScenario world(config);
+  (void)world.runVerification();
+  const DetectionSummary summary = world.detectionSummary();
+
+  SensitivityTrialOutcome outcome;
+  outcome.launched =
+      world.primaryAttacker()->attacker->attackStats().rrepsForged > 0;
+  outcome.confirmed = summary.confirmedOnAttacker;
+  outcome.falsePositive = summary.falsePositive;
+  return outcome;
+}
+
+}  // namespace
+
+std::vector<SensitivityCell> runSensitivitySweep(
+    const std::vector<std::uint32_t>& fleets, const std::vector<double>& ranges,
+    std::uint32_t trials, std::uint64_t seedBase,
+    const sim::ParallelRunner& runner, obs::MetricsRegistry* registry) {
+  struct Point {
+    std::uint32_t fleet;
+    double rangeM;
+  };
+  std::vector<Point> grid;
+  for (const std::uint32_t fleet : fleets) {
+    for (const double range : ranges) grid.push_back({fleet, range});
+  }
+
+  const std::vector<SensitivityTrialOutcome> outcomes =
+      runner.map<SensitivityTrialOutcome>(
+          grid.size() * trials, [&](std::size_t i) {
+            const Point& point = grid[i / trials];
+            const auto trial = static_cast<std::uint32_t>(i % trials);
+            const std::uint64_t seed =
+                seedBase + 977 * point.fleet +
+                static_cast<std::uint64_t>(point.rangeM) + trial;
+            return runSensitivityTrial(point.fleet, point.rangeM, seed);
+          });
+
+  std::vector<SensitivityCell> cells;
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    SensitivityCell cell;
+    cell.fleet = grid[g].fleet;
+    cell.rangeM = grid[g].rangeM;
+    cell.trials = trials;
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      const SensitivityTrialOutcome& outcome = outcomes[g * trials + trial];
+      if (outcome.launched) {
+        ++cell.attacksLaunched;
+        if (outcome.confirmed) {
+          cell.matrix.addTruePositive();
+        } else {
+          cell.matrix.addFalseNegative();
+        }
+      } else {
+        // The attack never reached the victim's discovery (partitioned
+        // network): a negative trial, correctly left unflagged.
+        cell.matrix.addTrueNegative();
+      }
+      if (outcome.falsePositive) cell.matrix.addFalsePositive();
+    }
+    if (registry) {
+      const std::string prefix =
+          "sweep.v" + std::to_string(cell.fleet) + ".r" +
+          std::to_string(static_cast<int>(cell.rangeM));
+      obs::addConfusion(*registry, prefix, cell.matrix);
+      registry->counter(prefix + ".attacks_launched").add(cell.attacksLaunched);
+    }
+    cells.push_back(std::move(cell));
   }
   return cells;
 }

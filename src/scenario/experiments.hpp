@@ -13,6 +13,7 @@
 #include "metrics/confusion.hpp"
 #include "obs/registry.hpp"
 #include "scenario/highway_scenario.hpp"
+#include "sim/parallel.hpp"
 
 namespace blackdp::scenario {
 
@@ -53,11 +54,16 @@ struct Fig4Cell {
                                    const ScenarioConfig& base = {},
                                    obs::MetricsRegistry* registry = nullptr);
 
-/// Full sweep: clusters 1..10 × {single, cooperative}.
+/// Full sweep: clusters 1..10 × {single, cooperative}. With a runner, the
+/// flattened (treatment × trial) grid fans out across its workers; trial
+/// results — including per-trial telemetry snapshots when a registry is
+/// given — fold in submission order, so the cells and the registry contents
+/// are independent of the worker count.
 [[nodiscard]] std::vector<Fig4Cell> runFig4Sweep(
     std::uint32_t trials, std::uint64_t seedBase,
     const std::function<void(const Fig4Cell&)>& onCell = nullptr,
-    obs::MetricsRegistry* registry = nullptr);
+    obs::MetricsRegistry* registry = nullptr,
+    const sim::ParallelRunner* runner = nullptr);
 
 // ---------------------------------------------------------------- Figure 5
 
@@ -97,9 +103,42 @@ struct BaselineCell {
 };
 
 /// Runs BlackDP and the §V source-side baselines over the same seeded
-/// treatments and grades each against ground truth.
+/// treatments and grades each against ground truth. The PEAK baseline is
+/// stateful across a treatment's discoveries by design, so the runner may
+/// only fan out at the attack-treatment level (two tasks), never per trial.
 [[nodiscard]] std::vector<BaselineCell> runBaselineComparison(
     std::uint32_t trials, std::uint64_t seedBase,
-    common::ClusterId attackerCluster = common::ClusterId{2});
+    common::ClusterId attackerCluster = common::ClusterId{2},
+    const sim::ParallelRunner* runner = nullptr);
+
+// ------------------------------------------------------ sensitivity sweep
+
+struct SensitivityCell {
+  std::uint32_t fleet{0};
+  double rangeM{0.0};
+  std::uint32_t trials{0};
+  /// Trials in which the black hole's forged RREP actually reached the
+  /// victim's discovery (sparse fleets with short ranges partition the
+  /// highway and the attack never launches).
+  std::uint32_t attacksLaunched{0};
+  metrics::ConfusionMatrix matrix;
+
+  /// Recall over the trials where the attack launched; 0 when none did.
+  [[nodiscard]] double detectionAccuracy() const {
+    return attacksLaunched == 0 ? 0.0 : matrix.recall();
+  }
+};
+
+/// Detection robustness across vehicle density × DSRC range, a single black
+/// hole in cluster 2 (per-trial seed: seedBase + 977·fleet + range + trial).
+/// Trials fan out across the runner's workers and fold in submission order;
+/// with a registry, each cell's confusion matrix and launch counter fold in
+/// under "sweep.v<fleet>.r<range>". Output is bit-identical for any worker
+/// count — the jobs-independence test pins this.
+[[nodiscard]] std::vector<SensitivityCell> runSensitivitySweep(
+    const std::vector<std::uint32_t>& fleets, const std::vector<double>& ranges,
+    std::uint32_t trials, std::uint64_t seedBase,
+    const sim::ParallelRunner& runner,
+    obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace blackdp::scenario

@@ -16,6 +16,7 @@ void addMediumStats(obs::MetricsRegistry& registry,
   registry.counter("medium.frames_jam_dropped").add(stats.framesJamDropped);
   registry.counter("medium.send_failures").add(stats.sendFailures);
   registry.counter("medium.bytes_sent").add(stats.bytesSent);
+  registry.counter("medium.grid_rebuilds").add(stats.gridRebuilds);
 }
 
 void addBackboneStats(obs::MetricsRegistry& registry,

@@ -1,0 +1,89 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace blackdp::sim {
+
+unsigned resolveJobCount(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("BLACKDP_JOBS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+unsigned consumeJobsFlag(int& argc, char** argv) {
+  unsigned jobs = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      const long parsed = std::strtol(argv[i + 1], nullptr, 10);
+      if (parsed > 0) jobs = static_cast<unsigned>(parsed);
+      ++i;  // swallow the value
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      const long parsed = std::strtol(arg.c_str() + 7, nullptr, 10);
+      if (parsed > 0) jobs = static_cast<unsigned>(parsed);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return jobs;
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs) : jobs_{resolveJobCount(jobs)} {}
+
+void ParallelRunner::forEachIndex(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex failureMutex;
+  std::exception_ptr failure;
+  std::size_t failureIndex = std::numeric_limits<std::size_t>::max();
+
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      try {
+        fn(index);
+      } catch (...) {
+        const std::scoped_lock lock{failureMutex};
+        // Keep the lowest-indexed failure so the rethrown exception is the
+        // same whatever the interleaving.
+        if (index < failureIndex) {
+          failureIndex = index;
+          failure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace blackdp::sim

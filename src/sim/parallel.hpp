@@ -1,0 +1,67 @@
+// Parallel trial runner.
+//
+// Benches and sweeps repeat the same seeded experiment hundreds of times;
+// the trials are embarrassingly parallel (each owns its simulator, RNG
+// streams, scenario, and metrics), so the runner fans them out across a
+// pool of std::thread workers and the caller folds the per-trial results
+// *in submission order*. That ordering is the whole determinism contract:
+// results are produced into a slot per index, never appended as they
+// finish, so the merged output is bit-identical for any worker count.
+//
+// Rules for task bodies:
+//   - own every stateful object (Simulator, SeedSequence, scenario world,
+//     MetricsRegistry) — never share one between tasks;
+//   - process-global observability is per-thread: a TraceRecorder installed
+//     on the main thread is invisible inside a task (obs::Trace is
+//     thread-local), and logging level/sink must not be reconfigured while
+//     tasks run (emission itself is serialised);
+//   - fold RNG-bearing results on the caller's thread after run()/map()
+//     returns, in index order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace blackdp::sim {
+
+/// Resolves a worker count: `requested` when nonzero, else the BLACKDP_JOBS
+/// environment variable, else std::thread::hardware_concurrency(); never
+/// less than 1.
+[[nodiscard]] unsigned resolveJobCount(unsigned requested = 0);
+
+/// Strips every `--jobs N` / `--jobs=N` from argv (so benches can keep
+/// parsing their positional arguments untouched) and returns the last
+/// requested value, or 0 when the flag is absent.
+[[nodiscard]] unsigned consumeJobsFlag(int& argc, char** argv);
+
+class ParallelRunner {
+ public:
+  /// `jobs` as per resolveJobCount (0 = env / hardware default).
+  explicit ParallelRunner(unsigned jobs = 0);
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Runs fn(0) ... fn(count-1) across the pool and blocks until all have
+  /// finished. With one job everything runs inline on the caller's thread.
+  /// If any task throws, the exception of the lowest-indexed failing task is
+  /// rethrown here after all workers have stopped.
+  void forEachIndex(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) const;
+
+  /// forEachIndex, collecting one result per index. Results come back in
+  /// index order regardless of which worker ran what — fold them left to
+  /// right for thread-count-independent output.
+  template <typename R>
+  [[nodiscard]] std::vector<R> map(
+      std::size_t count, const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> results(count);
+    forEachIndex(count, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+ private:
+  unsigned jobs_{1};
+};
+
+}  // namespace blackdp::sim

@@ -1,0 +1,248 @@
+// Pins the spatial-grid medium's determinism contract: the grid is a pure
+// lookup accelerator. Whichever path finds the candidates (cell neighborhood
+// or full linear scan), the in-range receivers are visited in strictly
+// ascending node-id order and the RNG stream is consumed for exactly the
+// same receiver sequence — so grid and linear runs replay byte-identically,
+// including a full seeded scenario's trace.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/medium.hpp"
+#include "obs/trace.hpp"
+#include "scenario/highway_scenario.hpp"
+#include "sim/rng.hpp"
+
+namespace blackdp {
+namespace {
+
+using net::Frame;
+using net::MediumConfig;
+using net::Radio;
+using net::WirelessMedium;
+
+class Ping final : public net::Payload {
+ public:
+  [[nodiscard]] std::string_view typeName() const override { return "ping"; }
+};
+
+/// Radio that appends its node id to a shared delivery log on every frame,
+/// capturing the exact receiver visit order.
+class LoggingRadio final : public Radio {
+ public:
+  LoggingRadio(std::uint32_t id, std::vector<std::uint32_t>& log)
+      : id_{id}, log_{&log} {}
+
+  [[nodiscard]] mobility::Position radioPosition() const override {
+    return where;
+  }
+  void onFrame(const Frame&) override { log_->push_back(id_); }
+  void onSendFailed(const Frame&) override { ++sendFailures; }
+
+  mobility::Position where{};
+  std::uint32_t sendFailures{0};
+
+ private:
+  std::uint32_t id_;
+  std::vector<std::uint32_t>* log_;
+};
+
+/// One randomized broadcast workload: `fleet` radios scattered over a square,
+/// several senders broadcasting, some mid-run drift and one teleport. Returns
+/// the delivery log and final stats.
+struct WorkloadResult {
+  std::vector<std::uint32_t> deliveries;
+  net::MediumStats stats;
+};
+
+WorkloadResult runWorkload(bool spatialGrid, std::uint32_t fleet,
+                           double lossProbability) {
+  MediumConfig config;
+  config.transmissionRangeM = 500.0;
+  config.spatialGrid = spatialGrid;
+  config.lossProbability = lossProbability;
+
+  sim::Simulator simulator;
+  WirelessMedium medium{simulator, sim::Rng{99}, config};
+
+  WorkloadResult result;
+  std::vector<LoggingRadio> radios;
+  radios.reserve(fleet);
+  sim::Rng placement{2024};  // same scatter for both paths
+  for (std::uint32_t i = 0; i < fleet; ++i) {
+    radios.emplace_back(i + 1, result.deliveries);
+    radios.back().where =
+        mobility::Position{placement.uniformReal(0.0, 4'000.0),
+                           placement.uniformReal(0.0, 4'000.0)};
+    medium.attach(common::NodeId{i + 1}, radios.back());
+  }
+
+  const auto broadcastFrom = [&](std::uint32_t origin) {
+    medium.send(common::NodeId{origin},
+                Frame{common::Address{origin}, common::kBroadcastAddress,
+                      net::makePayload<Ping>()});
+    simulator.run();
+  };
+
+  for (std::uint32_t origin = 1; origin <= fleet; origin += 7) {
+    broadcastFrom(origin);
+  }
+
+  // Bounded drift (under maxNodeSpeedMps × elapsed is moot here because the
+  // positions are re-read per send; nudge everyone within one cell).
+  for (auto& radio : radios) radio.where.x += 40.0;
+  broadcastFrom(1);
+  broadcastFrom(fleet / 2 + 1);
+
+  // Teleport: discontinuous jump across many cells must be safe after
+  // invalidateGrid() (the BasicNode::setMotion hook in the full stack).
+  radios[0].where = mobility::Position{3'900.0, 3'900.0};
+  medium.invalidateGrid();
+  broadcastFrom(1);
+  broadcastFrom(fleet);
+
+  result.stats = medium.stats();
+  return result;
+}
+
+TEST(MediumGridTest, GridAndLinearScanDeliverIdentically) {
+  for (const double loss : {0.0, 0.3}) {
+    const WorkloadResult grid = runWorkload(true, 200, loss);
+    const WorkloadResult linear = runWorkload(false, 200, loss);
+
+    // Same receivers, same visit order, same RNG stream (loss draws line up).
+    EXPECT_EQ(grid.deliveries, linear.deliveries) << "loss=" << loss;
+    EXPECT_EQ(grid.stats.framesSent, linear.stats.framesSent);
+    EXPECT_EQ(grid.stats.framesDelivered, linear.stats.framesDelivered);
+    EXPECT_EQ(grid.stats.framesLost, linear.stats.framesLost);
+    EXPECT_EQ(grid.stats.bytesSent, linear.stats.bytesSent);
+    EXPECT_GT(grid.deliveries.size(), 0u);
+    EXPECT_GT(grid.stats.gridRebuilds, 0u);
+    EXPECT_EQ(linear.stats.gridRebuilds, 0u);
+  }
+}
+
+TEST(MediumGridTest, DeliveryOrderIsAscendingNodeId) {
+  // Within one broadcast every delivery carries the same timestamp, so the
+  // per-send segments of the log must each be ascending.
+  MediumConfig config;
+  config.transmissionRangeM = 500.0;
+  config.maxJitter = sim::Duration{};  // keep delivery order = visit order
+  sim::Simulator simulator;
+  WirelessMedium medium{simulator, sim::Rng{5}, config};
+
+  std::vector<std::uint32_t> log;
+  std::vector<LoggingRadio> radios;
+  radios.reserve(64);
+  sim::Rng placement{77};
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    radios.emplace_back(i + 1, log);
+    radios.back().where = mobility::Position{
+        placement.uniformReal(0.0, 900.0), placement.uniformReal(0.0, 900.0)};
+    medium.attach(common::NodeId{i + 1}, radios.back());
+  }
+  for (const std::uint32_t origin : {1u, 17u, 40u, 64u}) {
+    const std::size_t begin = log.size();
+    medium.send(common::NodeId{origin},
+                Frame{common::Address{origin}, common::kBroadcastAddress,
+                      net::makePayload<Ping>()});
+    simulator.run();
+    ASSERT_GT(log.size(), begin);
+    for (std::size_t i = begin + 1; i < log.size(); ++i) {
+      EXPECT_LT(log[i - 1], log[i]) << "broadcast from " << origin;
+    }
+  }
+}
+
+TEST(MediumGridTest, SeedScenarioReplaysByteIdenticallyGridVsLinear) {
+  // The full protocol stack on the paper's highway world: the recorded trace
+  // (every tx/rx/drop/verdict event, timestamps included) must be identical
+  // with the grid on and off.
+  const auto run = [](bool spatialGrid) {
+    obs::MemoryRecorder recorder;
+    obs::ScopedTraceRecorder scoped{&recorder};
+    scenario::ScenarioConfig config;
+    config.seed = 20260805;
+    config.attack = scenario::AttackType::kCooperative;
+    config.attackerCluster = common::ClusterId{2};
+    config.medium.spatialGrid = spatialGrid;
+    scenario::HighwayScenario world(config);
+    (void)world.runVerification();
+    (void)world.sendDataBurst(50);
+    return std::pair{recorder.events(), world.medium().stats()};
+  };
+
+  const auto [gridTrace, gridStats] = run(true);
+  const auto [linearTrace, linearStats] = run(false);
+
+  ASSERT_FALSE(gridTrace.empty());
+  EXPECT_EQ(gridTrace, linearTrace);
+  EXPECT_EQ(gridStats.framesSent, linearStats.framesSent);
+  EXPECT_EQ(gridStats.framesDelivered, linearStats.framesDelivered);
+  EXPECT_EQ(gridStats.framesLost, linearStats.framesLost);
+  EXPECT_EQ(gridStats.bytesSent, linearStats.bytesSent);
+  EXPECT_GT(gridStats.gridRebuilds, 0u);
+}
+
+TEST(MediumGridTest, DetachUnbindsAddressesAndReusedAddressRoutesToNewOwner) {
+  MediumConfig config;
+  config.maxJitter = sim::Duration{};
+  sim::Simulator simulator;
+  WirelessMedium medium{simulator, sim::Rng{3}, config};
+
+  std::vector<std::uint32_t> log;
+  LoggingRadio sender{1, log};
+  LoggingRadio old{2, log};
+  LoggingRadio fresh{3, log};
+  sender.where = {0.0, 0.0};
+  old.where = {100.0, 0.0};
+  fresh.where = {200.0, 0.0};
+  medium.attach(common::NodeId{1}, sender);
+  medium.attach(common::NodeId{2}, old);
+  medium.bindAddress(common::Address{55}, common::NodeId{2});
+
+  // Owner present: the unicast ACKs (no send failure).
+  medium.send(common::NodeId{1}, Frame{common::Address{1}, common::Address{55},
+                                       net::makePayload<Ping>()});
+  simulator.run();
+  EXPECT_EQ(sender.sendFailures, 0u);
+
+  // Detach must drop the stale address binding: with no owner, the MAC ACK
+  // model reports the transmission failed.
+  medium.detach(common::NodeId{2});
+  medium.send(common::NodeId{1}, Frame{common::Address{1}, common::Address{55},
+                                       net::makePayload<Ping>()});
+  simulator.run();
+  EXPECT_EQ(sender.sendFailures, 1u);
+
+  // A re-used address routes to its new owner, never to the ghost.
+  medium.attach(common::NodeId{3}, fresh);
+  medium.bindAddress(common::Address{55}, common::NodeId{3});
+  medium.send(common::NodeId{1}, Frame{common::Address{1}, common::Address{55},
+                                       net::makePayload<Ping>()});
+  simulator.run();
+  EXPECT_EQ(sender.sendFailures, 1u);  // unchanged: the send succeeded
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back(), 3u);
+}
+
+TEST(MediumGridTest, InRangeAgreesWithDeliveryPredicate) {
+  MediumConfig config;
+  config.transmissionRangeM = 300.0;
+  sim::Simulator simulator;
+  WirelessMedium medium{simulator, sim::Rng{4}, config};
+  std::vector<std::uint32_t> log;
+  LoggingRadio a{1, log};
+  LoggingRadio b{2, log};
+  a.where = {0.0, 0.0};
+  b.where = {300.0, 0.0};  // exactly at range: inclusive
+  medium.attach(common::NodeId{1}, a);
+  medium.attach(common::NodeId{2}, b);
+  EXPECT_TRUE(medium.inRange(common::NodeId{1}, common::NodeId{2}));
+  b.where = {300.1, 0.0};
+  EXPECT_FALSE(medium.inRange(common::NodeId{1}, common::NodeId{2}));
+}
+
+}  // namespace
+}  // namespace blackdp

@@ -145,13 +145,90 @@ TEST(RegistryTest, SnapshotJsonHasAllThreeSections) {
   EXPECT_NE(json.find("\"counts\": [1, 0]"), std::string::npos);
 }
 
+TEST(RegistryTest, MergeAddsCountersOverwritesGaugesAndFoldsHistograms) {
+  obs::MetricsRegistry a;
+  a.counter("c").add(2);
+  a.gauge("g").set(1.0);
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  a.histogram("h", {1.0, 2.0}).observe(9.0);
+
+  obs::MetricsRegistry b;
+  b.counter("c").add(3);
+  b.counter("only_b").add(1);
+  b.gauge("g").set(4.0);
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+
+  a.merge(b.snapshot());
+  const obs::Snapshot merged = a.snapshot();
+  EXPECT_EQ(merged.counters.at("c"), 5u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 4.0);  // last writer wins
+  const auto& hist = merged.histograms.at("h");
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_EQ(hist.counts[0], 1u);  // 0.5
+  EXPECT_EQ(hist.counts[1], 1u);  // 1.5
+  EXPECT_EQ(hist.counts[2], 1u);  // 9.0 overflow
+  EXPECT_DOUBLE_EQ(hist.sum, 11.0);
+  EXPECT_DOUBLE_EQ(hist.min, 0.5);
+  EXPECT_DOUBLE_EQ(hist.max, 9.0);
+}
+
+TEST(RegistryTest, MergeSequenceMatchesSerialFold) {
+  // Folding three per-trial snapshots in submission order must equal one
+  // registry fed the same observations serially — the parallel runner's
+  // merge contract.
+  obs::MetricsRegistry serial;
+  obs::MetricsRegistry merged;
+  for (int trial = 0; trial < 3; ++trial) {
+    obs::MetricsRegistry local;
+    for (obs::MetricsRegistry* r : {&serial, &local}) {
+      r->counter("n").add(static_cast<std::uint64_t>(trial) + 1);
+      r->gauge("last").set(trial);
+      r->histogram("h", {10.0}).observe(trial * 5.0);
+    }
+    merged.merge(local.snapshot());
+  }
+  EXPECT_EQ(serial.snapshot().toJson(), merged.snapshot().toJson());
+}
+
 TEST(BenchJsonTest, DocumentCarriesNameAndSchemaVersion) {
   obs::MetricsRegistry registry;
   registry.counter("x").add(7);
   const std::string doc = obs::benchJson("demo", registry.snapshot());
   EXPECT_NE(doc.find("\"bench\": \"demo\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(doc.find("\"x\": 7"), std::string::npos);
+}
+
+TEST(BenchJsonTest, WallClockAndThroughputAreTopLevel) {
+  obs::MetricsRegistry registry;
+  registry.counter("medium.frames_delivered").add(500);
+  const std::string doc =
+      obs::benchJson("demo", registry.snapshot(), {2.0, 1000});
+  EXPECT_NE(doc.find("\"wall_clock_seconds\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"frames_delivered\": 1000"), std::string::npos);
+  EXPECT_NE(doc.find("\"frames_per_second\": 500"), std::string::npos);
+  // The sidecar lives OUTSIDE "metrics", which stays deterministic.
+  EXPECT_LT(doc.find("\"throughput\""), doc.find("\"metrics\""));
+}
+
+TEST(BenchJsonTest, FramesDeliveredDerivedFromCountersWhenUnset) {
+  obs::MetricsRegistry registry;
+  registry.counter("medium.frames_delivered").add(300);
+  registry.counter("treatmentA.medium.frames_delivered").add(200);
+  registry.counter("unrelated_frames_delivered").add(999);  // no dot prefix
+  registry.counter("medium.frames_sent").add(777);
+  const std::string doc =
+      obs::benchJson("demo", registry.snapshot(), {1.0, 0});
+  EXPECT_NE(doc.find("\"frames_delivered\": 500"), std::string::npos);
+  EXPECT_NE(doc.find("\"frames_per_second\": 500"), std::string::npos);
+}
+
+TEST(BenchJsonTest, ZeroWallClockYieldsZeroRate) {
+  obs::MetricsRegistry registry;
+  const std::string doc = obs::benchJson("demo", registry.snapshot());
+  EXPECT_NE(doc.find("\"wall_clock_seconds\": 0"), std::string::npos);
+  EXPECT_NE(doc.find("\"frames_per_second\": 0"), std::string::npos);
 }
 
 // -------------------------------------------------------------------- json

@@ -1,0 +1,172 @@
+// Pins the parallel trial runner's determinism contract: results come back
+// slotted by submission index, so a fold over them is bit-identical for any
+// worker count — including the full sensitivity sweep's merged metrics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "scenario/experiments.hpp"
+#include "sim/parallel.hpp"
+
+namespace blackdp {
+namespace {
+
+/// Restores (or clears) BLACKDP_JOBS on scope exit so tests can't leak env
+/// state into each other.
+class ScopedJobsEnv {
+ public:
+  explicit ScopedJobsEnv(const char* value) {
+    if (const char* prev = std::getenv("BLACKDP_JOBS")) previous_ = prev;
+    if (value != nullptr) {
+      ::setenv("BLACKDP_JOBS", value, 1);
+    } else {
+      ::unsetenv("BLACKDP_JOBS");
+    }
+  }
+  ~ScopedJobsEnv() {
+    if (previous_.empty()) {
+      ::unsetenv("BLACKDP_JOBS");
+    } else {
+      ::setenv("BLACKDP_JOBS", previous_.c_str(), 1);
+    }
+  }
+  ScopedJobsEnv(const ScopedJobsEnv&) = delete;
+  ScopedJobsEnv& operator=(const ScopedJobsEnv&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+TEST(ResolveJobCountTest, ExplicitRequestWins) {
+  const ScopedJobsEnv env{"7"};
+  EXPECT_EQ(sim::resolveJobCount(3), 3u);
+}
+
+TEST(ResolveJobCountTest, FallsBackToEnvironmentVariable) {
+  const ScopedJobsEnv env{"5"};
+  EXPECT_EQ(sim::resolveJobCount(0), 5u);
+}
+
+TEST(ResolveJobCountTest, IgnoresGarbageEnvironmentValue) {
+  const ScopedJobsEnv env{"banana"};
+  const unsigned resolved = sim::resolveJobCount(0);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  EXPECT_EQ(resolved, hardware > 0 ? hardware : 1u);
+}
+
+TEST(ResolveJobCountTest, NeverReturnsZero) {
+  const ScopedJobsEnv env{nullptr};
+  EXPECT_GE(sim::resolveJobCount(0), 1u);
+}
+
+TEST(ConsumeJobsFlagTest, StripsSeparateAndEqualsFormsLastWins) {
+  std::vector<std::string> storage = {"bench",   "10",        "--jobs", "2",
+                                      "extra",   "--jobs=6"};
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (std::string& s : storage) argv.push_back(s.data());
+  int argc = static_cast<int>(argv.size());
+
+  const unsigned jobs = sim::consumeJobsFlag(argc, argv.data());
+
+  EXPECT_EQ(jobs, 6u);
+  ASSERT_EQ(argc, 3);  // positional arguments survive untouched, in order
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "10");
+  EXPECT_STREQ(argv[2], "extra");
+}
+
+TEST(ConsumeJobsFlagTest, ReturnsZeroWhenAbsent) {
+  std::vector<std::string> storage = {"bench", "40"};
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  int argc = static_cast<int>(argv.size());
+  EXPECT_EQ(sim::consumeJobsFlag(argc, argv.data()), 0u);
+  EXPECT_EQ(argc, 2);
+}
+
+TEST(ParallelRunnerTest, MapReturnsResultsInSubmissionOrder) {
+  const sim::ParallelRunner runner{4};
+  const std::vector<std::size_t> results =
+      runner.map<std::size_t>(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 257u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ParallelRunnerTest, ForEachIndexRunsEveryTaskExactlyOnce) {
+  const sim::ParallelRunner runner{4};
+  std::vector<std::atomic<int>> hits(100);
+  runner.forEachIndex(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelRunnerTest, LowestIndexedFailureIsRethrown) {
+  const sim::ParallelRunner runner{4};
+  EXPECT_THROW(
+      {
+        try {
+          runner.forEachIndex(64, [](std::size_t i) {
+            if (i >= 10) throw std::runtime_error("task " + std::to_string(i));
+          });
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task 10");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ParallelRunnerTest, SingleJobRunsInline) {
+  const sim::ParallelRunner runner{1};
+  EXPECT_EQ(runner.jobs(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  runner.forEachIndex(8, [caller](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+/// The jobs-count-independence pin from the issue: the smallest sensitivity-
+/// sweep grid merged at --jobs 1 and --jobs 4 must produce identical cells
+/// AND an identical merged metrics JSON document.
+TEST(ParallelRunnerTest, SensitivitySweepIsJobCountIndependent) {
+  const std::vector<std::uint32_t> fleets = {40};
+  const std::vector<double> ranges = {600.0};
+  constexpr std::uint32_t kTrials = 4;
+  constexpr std::uint64_t kSeedBase = 31'000;
+
+  const auto sweep = [&](unsigned jobs) {
+    obs::MetricsRegistry registry;
+    const sim::ParallelRunner runner{jobs};
+    const std::vector<scenario::SensitivityCell> cells =
+        scenario::runSensitivitySweep(fleets, ranges, kTrials, kSeedBase,
+                                      runner, &registry);
+    return std::pair{cells, registry.snapshot().toJson()};
+  };
+
+  const auto [serialCells, serialJson] = sweep(1);
+  const auto [parallelCells, parallelJson] = sweep(4);
+
+  ASSERT_EQ(serialCells.size(), 1u);
+  ASSERT_EQ(parallelCells.size(), 1u);
+  EXPECT_EQ(serialCells[0].fleet, parallelCells[0].fleet);
+  EXPECT_EQ(serialCells[0].rangeM, parallelCells[0].rangeM);
+  EXPECT_EQ(serialCells[0].trials, parallelCells[0].trials);
+  EXPECT_EQ(serialCells[0].attacksLaunched, parallelCells[0].attacksLaunched);
+  EXPECT_EQ(serialCells[0].matrix.tp(), parallelCells[0].matrix.tp());
+  EXPECT_EQ(serialCells[0].matrix.fp(), parallelCells[0].matrix.fp());
+  EXPECT_EQ(serialCells[0].matrix.tn(), parallelCells[0].matrix.tn());
+  EXPECT_EQ(serialCells[0].matrix.fn(), parallelCells[0].matrix.fn());
+  EXPECT_EQ(serialJson, parallelJson);
+  EXPECT_EQ(serialCells[0].trials, kTrials);
+}
+
+}  // namespace
+}  // namespace blackdp
