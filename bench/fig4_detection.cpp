@@ -7,77 +7,73 @@
 // in clusters 1-7; accuracy drops and FN rises through clusters 8-10 (the
 // certificate-renewal clusters where attackers may act legitimately, renew
 // pseudonyms, or flee); FP stays 0 everywhere.
+//
+// The grid is the built-in "fig4" campaign spec — this binary is a thin
+// front-end over the campaign engine (same treatments, seeds, manifest and
+// BENCH_fig4.json as `campaign_run fig4`), keeping only the per-attack
+// tables and the shape check.
 #include <cstdlib>
 #include <iostream>
 
-#include "metrics/confusion.hpp"
+#include "campaign/builtin.hpp"
+#include "campaign/runner.hpp"
 #include "metrics/table.hpp"
-#include "obs/bench_json.hpp"
-#include "scenario/experiments.hpp"
 #include "sim/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace blackdp;
   using metrics::Table;
 
-  const obs::BenchTimer timer;
-  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
+  campaign::CampaignOptions options;
+  options.jobs = sim::consumeJobsFlag(argc, argv);
+  options.log = &std::cout;
   const std::uint32_t trials =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 150;
-  std::cout << "Figure 4 — single and cooperative black hole attacks ("
-            << trials << " repetitions per treatment, " << runner.jobs()
-            << " jobs)\n\n";
 
-  obs::MetricsRegistry registry;
-  const std::vector<scenario::Fig4Cell> cells =
-      scenario::runFig4Sweep(trials, /*seedBase=*/20170605, nullptr,
-                             &registry, &runner);
+  std::optional<campaign::CampaignSpec> spec =
+      campaign::parseCampaignSpec(campaign::findBuiltinSpec("fig4")->json);
+  if (!spec) return 2;
+  spec->trials = trials;
+  std::cout << "Figure 4 — single and cooperative black hole attacks ("
+            << trials << " repetitions per treatment)\n\n";
+
+  const campaign::CampaignResult result =
+      campaign::CampaignRunner{options}.run(*spec);
 
   for (const scenario::AttackType attack :
        {scenario::AttackType::kSingle, scenario::AttackType::kCooperative}) {
     std::cout << "attack type: " << scenario::toString(attack) << "\n";
     Table table({"Cluster", "Detection accuracy", "False positives",
                  "False negatives", "Prevented (undetected)"});
-    for (const scenario::Fig4Cell& cell : cells) {
-      if (cell.attack != attack) continue;
-      table.addRow({std::to_string(cell.cluster.value()),
-                    Table::percent(cell.detectionAccuracy()),
-                    Table::percent(cell.falsePositiveRate()),
-                    Table::percent(cell.falseNegativeRate()),
-                    std::to_string(cell.prevented)});
+    for (const campaign::TreatmentCell& cell : result.cells) {
+      const scenario::ScenarioConfig& config = cell.treatment.config.scenario;
+      if (config.attack != attack) continue;
+      const auto rate = [&](std::uint32_t count) {
+        return cell.trials == 0 ? 0.0
+                                : static_cast<double>(count) /
+                                      static_cast<double>(cell.trials);
+      };
+      // The verifier never routes data through an unverified claim, so an
+      // undetected attacker still failed to establish its black hole.
+      table.addRow({std::to_string(config.attackerCluster->value()),
+                    Table::percent(rate(cell.detected)),
+                    Table::percent(rate(cell.falsePositives)),
+                    Table::percent(rate(cell.trials - cell.detected)),
+                    std::to_string(cell.trials - cell.detected)});
     }
     table.print(std::cout);
     std::cout << '\n';
   }
 
-  // One confusion matrix per attack type feeds the shared bench-JSON path
-  // (per-stage latency histograms were folded in trial by trial above).
-  for (const scenario::AttackType attack :
-       {scenario::AttackType::kSingle, scenario::AttackType::kCooperative}) {
-    metrics::ConfusionMatrix matrix;
-    for (const scenario::Fig4Cell& cell : cells) {
-      if (cell.attack != attack) continue;
-      matrix += metrics::ConfusionMatrix::fromCounts(
-          cell.detected, cell.falsePositives, cell.trials - cell.falsePositives,
-          cell.trials - cell.detected);
-      registry
-          .gauge(std::string{"fig4."} + std::string{scenario::toString(attack)} +
-                 ".cluster" + std::to_string(cell.cluster.value()) + ".accuracy")
-          .set(cell.detectionAccuracy());
-    }
-    obs::addConfusion(registry,
-                      std::string{"fig4."} +
-                          std::string{scenario::toString(attack)},
-                      matrix);
-  }
-  obs::writeBenchJson("fig4_detection", registry.snapshot(), timer.info());
-
   // Paper-shape sanity summary.
   bool ok = true;
-  for (const scenario::Fig4Cell& cell : cells) {
-    if (cell.falsePositives != 0) ok = false;                  // FP must be 0
-    if (cell.cluster.value() <= 7 && cell.detected != cell.trials) ok = false;
+  for (const campaign::TreatmentCell& cell : result.cells) {
+    if (cell.falsePositives != 0) ok = false;  // FP must be 0
+    if (cell.treatment.config.scenario.attackerCluster->value() <= 7 &&
+        cell.detected != cell.trials) {
+      ok = false;
+    }
   }
   std::cout << (ok ? "shape check: PASS (0% FP everywhere, 100% accuracy in "
                      "clusters 1-7)\n"

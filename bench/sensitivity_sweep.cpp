@@ -10,54 +10,59 @@
 // and the *attack itself* cannot reach the victim, so trials degrade to
 // no-route rather than to missed detections.
 //
-// Trials fan out across worker threads (--jobs N / BLACKDP_JOBS, default
-// hardware concurrency); the merged metrics are identical for any job
+// The grid is the built-in "sensitivity" campaign spec — this binary is a
+// thin front-end over the campaign engine (same treatments, seeds, manifest
+// and BENCH_sensitivity.json as `campaign_run sensitivity`), keeping only
+// the table rendering and the shape check. Trials fan out across worker
+// threads (--jobs N / BLACKDP_JOBS); the results are identical for any job
 // count.
 #include <cstdlib>
 #include <iostream>
 
+#include "campaign/builtin.hpp"
+#include "campaign/runner.hpp"
 #include "metrics/table.hpp"
-#include "obs/bench_json.hpp"
-#include "scenario/experiments.hpp"
 #include "sim/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace blackdp;
   using metrics::Table;
 
-  const obs::BenchTimer timer;
-  const sim::ParallelRunner runner{sim::consumeJobsFlag(argc, argv)};
+  campaign::CampaignOptions options;
+  options.jobs = sim::consumeJobsFlag(argc, argv);
+  options.log = &std::cout;
   const std::uint32_t trials =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 40;
-  std::cout << "Sensitivity — detection vs. density and radio range ("
-            << trials << " trials per cell, single black hole, cluster 2, "
-            << runner.jobs() << " jobs)\n\n";
 
-  const std::vector<std::uint32_t> fleets{40, 70, 100, 150};
-  const std::vector<double> ranges{600.0, 800.0, 1000.0};
+  std::optional<campaign::CampaignSpec> spec = campaign::parseCampaignSpec(
+      campaign::findBuiltinSpec("sensitivity")->json);
+  if (!spec) return 2;
+  spec->trials = trials;
+  std::cout << "Sensitivity — detection vs. density and radio range (" << trials
+            << " trials per cell, single black hole, cluster 2)\n\n";
 
-  obs::MetricsRegistry registry;
-  const std::vector<scenario::SensitivityCell> cells =
-      scenario::runSensitivitySweep(fleets, ranges, trials, 31'000, runner,
-                                    &registry);
+  const campaign::CampaignResult result =
+      campaign::CampaignRunner{options}.run(*spec);
 
   Table table({"#Vehicles", "Range", "Detection accuracy", "False positives",
                "Attacks launched"});
   bool fpClean = true;
   double accuracyAtTableI = 0.0;
-  for (const scenario::SensitivityCell& cell : cells) {
+  for (const campaign::TreatmentCell& cell : result.cells) {
     if (cell.matrix.fp() > 0) fpClean = false;
     const double accuracy = cell.detectionAccuracy();
-    if (cell.fleet == 100 && cell.rangeM == 1000.0) accuracyAtTableI = accuracy;
-    table.addRow({std::to_string(cell.fleet),
-                  Table::num(cell.rangeM, 0) + " m", Table::percent(accuracy),
-                  std::to_string(cell.matrix.fp()),
+    const scenario::ScenarioConfig& config = cell.treatment.config.scenario;
+    if (config.vehicleCount == 100 && config.transmissionRangeM == 1000.0) {
+      accuracyAtTableI = accuracy;
+    }
+    table.addRow({std::to_string(config.vehicleCount),
+                  Table::num(config.transmissionRangeM, 0) + " m",
+                  Table::percent(accuracy), std::to_string(cell.matrix.fp()),
                   std::to_string(cell.attacksLaunched) + "/" +
                       std::to_string(cell.trials)});
   }
   table.print(std::cout);
-  obs::writeBenchJson("sensitivity_sweep", registry.snapshot(), timer.info());
 
   std::cout << "\nfalse positives across the whole sweep: "
             << (fpClean ? "0" : "NONZERO") << '\n';

@@ -47,4 +47,22 @@ python3 scripts/bench_compare.py \
   bench/baselines/BENCH_micro_substrates.json \
   "$out"/BENCH_micro_substrates.json
 
-echo "CI: both configurations green, bench smoke validated and compared."
+echo "==== campaign smoke ===="
+# Exercise the campaign engine end to end: run the tiny built-in spec with
+# a pinned sidecar, validate the manifest + bench JSON, then truncate the
+# manifest mid-campaign and check --resume reproduces the exact same bytes.
+campdir="$out/campaign"
+mkdir -p "$campdir"
+build/tools/campaign_run smoke --jobs 2 --out "$campdir" --pin-sidecar
+python3 scripts/validate_bench_json.py \
+  "$campdir"/smoke.manifest.jsonl "$campdir"/BENCH_smoke.json
+cp "$campdir"/smoke.manifest.jsonl "$campdir"/smoke.full.jsonl
+head -n 3 "$campdir"/smoke.manifest.jsonl > "$campdir"/smoke.tmp.jsonl
+mv "$campdir"/smoke.tmp.jsonl "$campdir"/smoke.manifest.jsonl
+cp "$campdir"/BENCH_smoke.json "$campdir"/BENCH_smoke.full.json
+build/tools/campaign_run smoke --jobs 1 --out "$campdir" --pin-sidecar --resume
+cmp "$campdir"/smoke.manifest.jsonl "$campdir"/smoke.full.jsonl
+cmp "$campdir"/BENCH_smoke.json "$campdir"/BENCH_smoke.full.json
+rm "$campdir"/smoke.full.jsonl "$campdir"/BENCH_smoke.full.json
+
+echo "CI: both configurations green, bench + campaign smoke validated."

@@ -1,9 +1,18 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json files against the schema (version 2).
+"""Validate BENCH_<name>.json files and campaign manifests.
 
 Stdlib only — CI runs this straight after the bench smoke pass:
 
     python3 scripts/validate_bench_json.py bench-out/BENCH_*.json
+    python3 scripts/validate_bench_json.py bench-out/smoke.manifest.jsonl
+
+Arguments ending in `.manifest.jsonl` are validated as campaign manifests
+(src/campaign/manifest.hpp): a header line naming the campaign, its
+experiment kind, seed, trials-per-treatment and treatment count, then one
+flat JSON row per completed trial. Checked invariants: required keys,
+strictly increasing trial ids, trial == treatment * trials + rep, one config
+hash per treatment, and each row's seed matching the SplitMix64 derivation
+contract seed = derive(derive(campaign_seed, hash_bits), rep).
 
 Schema (src/obs/bench_json.hpp):
 
@@ -140,11 +149,127 @@ def validate(path):
           f"{doc['wall_clock_seconds']:.3f}s)")
 
 
+# ------------------------------------------------- campaign manifests
+
+MANIFEST_VERSION = 1
+MASK64 = (1 << 64) - 1
+
+MANIFEST_HEADER_KEYS = ("manifest", "manifest_version", "campaign",
+                        "experiment", "seed", "trials", "treatments")
+MANIFEST_ROW_KEYS = ("trial", "treatment", "rep", "seed", "config_hash",
+                     "label", "attack_launched", "confirmed_on_attacker",
+                     "false_positive", "detection_packets", "verdict",
+                     "frames_delivered", "telemetry")
+
+
+def derive_trial_seed(campaign_seed, index):
+    """Mirror of sim::deriveTrialSeed (SplitMix64 jump + finalizer)."""
+    z = (campaign_seed + (index + 1) * 0x9E3779B97F4A7C15) & MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return z ^ (z >> 31)
+
+
+def check_uint(path, name, value):
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        fail(path, f"{name}: expected a non-negative int")
+
+
+def validate_manifest(path):
+    lines = path.read_text().splitlines()
+    if not lines:
+        fail(path, "empty manifest")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        fail(path, f"header is not valid JSON: {error}")
+    for key in MANIFEST_HEADER_KEYS:
+        if key not in header:
+            fail(path, f"header missing key {key!r}")
+    if header["manifest"] != "campaign":
+        fail(path, f"not a campaign manifest: {header['manifest']!r}")
+    if header["manifest_version"] != MANIFEST_VERSION:
+        fail(path, f"manifest_version {header['manifest_version']} != "
+                   f"{MANIFEST_VERSION}")
+    for key in ("seed", "trials", "treatments"):
+        check_uint(path, f"header {key}", header[key])
+    trials = header["trials"]
+    if trials < 1:
+        fail(path, "header trials must be >= 1")
+    total = header["treatments"] * trials
+
+    last_trial = -1
+    hash_per_treatment = {}
+    for line_no, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(path, f"line {line_no}: not valid JSON: {error}")
+        for key in MANIFEST_ROW_KEYS:
+            if key not in row:
+                fail(path, f"line {line_no}: missing key {key!r}")
+        for key in ("trial", "treatment", "rep", "seed", "detection_packets",
+                    "frames_delivered", "attack_launched",
+                    "confirmed_on_attacker", "false_positive"):
+            check_uint(path, f"line {line_no} {key}", row[key])
+
+        trial = row["trial"]
+        if trial <= last_trial:
+            fail(path, f"line {line_no}: trial ids not strictly increasing "
+                       f"({trial} after {last_trial})")
+        last_trial = trial
+        if trial >= total:
+            fail(path, f"line {line_no}: trial {trial} out of range "
+                       f"(matrix holds {total})")
+        if row["treatment"] != trial // trials or row["rep"] != trial % trials:
+            fail(path, f"line {line_no}: trial {trial} inconsistent with "
+                       f"treatment {row['treatment']} / rep {row['rep']}")
+
+        config_hash = row["config_hash"]
+        if (not isinstance(config_hash, str) or len(config_hash) != 16
+                or any(c not in "0123456789abcdef" for c in config_hash)):
+            fail(path, f"line {line_no}: config_hash must be 16 lowercase "
+                       f"hex digits")
+        known = hash_per_treatment.setdefault(row["treatment"], config_hash)
+        if known != config_hash:
+            fail(path, f"line {line_no}: treatment {row['treatment']} has "
+                       f"conflicting config hashes {known} / {config_hash}")
+
+        expected_seed = derive_trial_seed(
+            derive_trial_seed(header["seed"], int(config_hash, 16)),
+            row["rep"])
+        if row["seed"] != expected_seed:
+            fail(path, f"line {line_no}: seed {row['seed']} violates the "
+                       f"derivation contract (expected {expected_seed})")
+
+        try:
+            telemetry = json.loads(row["telemetry"])
+        except json.JSONDecodeError as error:
+            fail(path, f"line {line_no}: telemetry is not valid JSON: "
+                       f"{error}")
+        for section in ("counters", "gauges", "histograms"):
+            if section not in telemetry:
+                fail(path, f"line {line_no}: telemetry missing {section!r}")
+
+    done = last_trial + 1
+    print(f"{path}: OK (campaign {header['campaign']!r}, "
+          f"{len(hash_per_treatment)}/{header['treatments']} treatments seen, "
+          f"{done if done == total else f'{done} of {total}'} trials)")
+
+
 def main(argv):
     if len(argv) < 2:
-        raise SystemExit("usage: validate_bench_json.py BENCH_*.json ...")
+        raise SystemExit(
+            "usage: validate_bench_json.py [BENCH_*.json | *.manifest.jsonl] "
+            "...")
     for arg in argv[1:]:
-        validate(pathlib.Path(arg))
+        path = pathlib.Path(arg)
+        if path.name.endswith(".manifest.jsonl"):
+            validate_manifest(path)
+        else:
+            validate(path)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,24 @@
+// Built-in campaign specs: the paper's evaluation grids, embedded so
+// `campaign_run fig4` works without a spec file on disk. Each builtin is
+// mirrored by `campaigns/<name>.json` in the repo (the test suite pins the
+// two in sync by comparing expanded treatment hashes).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace blackdp::campaign {
+
+struct BuiltinSpec {
+  std::string_view name;
+  std::string_view description;
+  std::string_view json;
+};
+
+/// All embedded specs, in listing order.
+[[nodiscard]] const std::vector<BuiltinSpec>& builtinSpecs();
+
+/// nullptr when no builtin has that name.
+[[nodiscard]] const BuiltinSpec* findBuiltinSpec(std::string_view name);
+
+}  // namespace blackdp::campaign

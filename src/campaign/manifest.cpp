@@ -1,0 +1,257 @@
+#include "campaign/manifest.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace blackdp::campaign {
+
+namespace {
+
+void appendField(std::string& out, std::string_view key) {
+  if (out.back() != '{') out += ',';
+  obs::appendJsonString(out, key);
+  out += ':';
+}
+
+void appendU64(std::string& out, std::string_view key, std::uint64_t value) {
+  appendField(out, key);
+  obs::appendJsonNumber(out, value);
+}
+
+void appendString(std::string& out, std::string_view key,
+                  std::string_view value) {
+  appendField(out, key);
+  obs::appendJsonString(out, value);
+}
+
+}  // namespace
+
+std::string manifestHeaderLine(const CampaignSpec& spec,
+                               std::size_t treatmentCount) {
+  std::string out = "{";
+  appendString(out, "manifest", "campaign");
+  appendU64(out, "manifest_version",
+            static_cast<std::uint64_t>(kManifestVersion));
+  appendString(out, "campaign", spec.name);
+  appendString(out, "experiment", toString(spec.experiment));
+  appendU64(out, "seed", spec.seed);
+  appendU64(out, "trials", spec.trials);
+  appendU64(out, "treatments", static_cast<std::uint64_t>(treatmentCount));
+  out += '}';
+  return out;
+}
+
+std::string manifestRowLine(const TrialRecord& record) {
+  std::string out = "{";
+  appendU64(out, "trial", record.trial);
+  appendU64(out, "treatment", record.treatment);
+  appendU64(out, "rep", record.rep);
+  appendU64(out, "seed", record.seed);
+  appendString(out, "config_hash", record.configHash);
+  appendString(out, "label", record.label);
+  appendU64(out, "attack_launched", record.attackLaunched ? 1 : 0);
+  appendU64(out, "confirmed_on_attacker", record.confirmedOnAttacker ? 1 : 0);
+  appendU64(out, "false_positive", record.falsePositive ? 1 : 0);
+  appendU64(out, "detection_packets", record.detectionPackets);
+  appendString(out, "verdict", record.verdict);
+  appendU64(out, "frames_delivered", record.framesDelivered);
+  appendString(out, "telemetry", record.telemetry.toJson());
+  out += '}';
+  return out;
+}
+
+std::optional<ManifestHeader> parseManifestHeader(std::string_view line) {
+  const std::optional<obs::FlatJsonObject> obj =
+      obs::FlatJsonObject::parse(line);
+  if (!obj) return std::nullopt;
+  if (obj->string("manifest").value_or("") != "campaign") return std::nullopt;
+  if (obj->u64("manifest_version").value_or(0) !=
+      static_cast<std::uint64_t>(kManifestVersion)) {
+    return std::nullopt;
+  }
+  ManifestHeader header;
+  const std::optional<std::string_view> campaign = obj->string("campaign");
+  const std::optional<std::string_view> experiment = obj->string("experiment");
+  const std::optional<std::uint64_t> seed = obj->u64("seed");
+  const std::optional<std::uint64_t> trials = obj->u64("trials");
+  const std::optional<std::uint64_t> treatments = obj->u64("treatments");
+  if (!campaign || !experiment || !seed || !trials || !treatments) {
+    return std::nullopt;
+  }
+  header.campaign = *campaign;
+  header.experiment = *experiment;
+  header.seed = *seed;
+  header.trials = static_cast<std::uint32_t>(*trials);
+  header.treatments = static_cast<std::uint32_t>(*treatments);
+  return header;
+}
+
+std::optional<TrialRecord> parseManifestRow(std::string_view line) {
+  const std::optional<obs::FlatJsonObject> obj =
+      obs::FlatJsonObject::parse(line);
+  if (!obj) return std::nullopt;
+
+  TrialRecord record;
+  const std::optional<std::uint64_t> trial = obj->u64("trial");
+  const std::optional<std::uint64_t> treatment = obj->u64("treatment");
+  const std::optional<std::uint64_t> rep = obj->u64("rep");
+  const std::optional<std::uint64_t> seed = obj->u64("seed");
+  const std::optional<std::string_view> hash = obj->string("config_hash");
+  const std::optional<std::string_view> label = obj->string("label");
+  const std::optional<std::uint64_t> launched = obj->u64("attack_launched");
+  const std::optional<std::uint64_t> confirmed =
+      obj->u64("confirmed_on_attacker");
+  const std::optional<std::uint64_t> fp = obj->u64("false_positive");
+  const std::optional<std::uint64_t> packets = obj->u64("detection_packets");
+  const std::optional<std::string_view> verdict = obj->string("verdict");
+  const std::optional<std::uint64_t> frames = obj->u64("frames_delivered");
+  const std::optional<std::string_view> telemetry = obj->string("telemetry");
+  if (!trial || !treatment || !rep || !seed || !hash || !label || !launched ||
+      !confirmed || !fp || !packets || !verdict || !frames || !telemetry) {
+    return std::nullopt;
+  }
+  std::optional<obs::Snapshot> snapshot = parseSnapshotJson(*telemetry);
+  if (!snapshot) return std::nullopt;
+
+  record.trial = *trial;
+  record.treatment = static_cast<std::uint32_t>(*treatment);
+  record.rep = static_cast<std::uint32_t>(*rep);
+  record.seed = *seed;
+  record.configHash = *hash;
+  record.label = *label;
+  record.attackLaunched = *launched != 0;
+  record.confirmedOnAttacker = *confirmed != 0;
+  record.falsePositive = *fp != 0;
+  record.detectionPackets = static_cast<std::uint32_t>(*packets);
+  record.verdict = *verdict;
+  record.framesDelivered = *frames;
+  record.telemetry = std::move(*snapshot);
+  return record;
+}
+
+std::optional<obs::Snapshot> parseSnapshotJson(std::string_view text) {
+  const std::optional<obs::JsonValue> doc = obs::JsonValue::parse(text);
+  if (!doc || !doc->isObject()) return std::nullopt;
+  const obs::JsonValue* counters = doc->find("counters");
+  const obs::JsonValue* gauges = doc->find("gauges");
+  const obs::JsonValue* histograms = doc->find("histograms");
+  if (counters == nullptr || !counters->isObject() || gauges == nullptr ||
+      !gauges->isObject() || histograms == nullptr ||
+      !histograms->isObject()) {
+    return std::nullopt;
+  }
+
+  obs::Snapshot snapshot;
+  for (const auto& [name, value] : counters->members()) {
+    const std::optional<std::uint64_t> count = value.asU64();
+    if (!count) return std::nullopt;
+    snapshot.counters[name] = *count;
+  }
+  for (const auto& [name, value] : gauges->members()) {
+    const std::optional<double> number = value.asNumber();
+    if (!number) return std::nullopt;
+    snapshot.gauges[name] = *number;
+  }
+  for (const auto& [name, value] : histograms->members()) {
+    obs::Snapshot::HistogramData data;
+    const obs::JsonValue* edges = value.find("edges");
+    const obs::JsonValue* bucketCounts = value.find("counts");
+    const obs::JsonValue* count = value.find("count");
+    const obs::JsonValue* sum = value.find("sum");
+    const obs::JsonValue* min = value.find("min");
+    const obs::JsonValue* max = value.find("max");
+    if (edges == nullptr || !edges->isArray() || bucketCounts == nullptr ||
+        !bucketCounts->isArray() || count == nullptr || sum == nullptr ||
+        min == nullptr || max == nullptr) {
+      return std::nullopt;
+    }
+    for (const obs::JsonValue& edge : edges->items()) {
+      const std::optional<double> number = edge.asNumber();
+      if (!number) return std::nullopt;
+      data.edges.push_back(*number);
+    }
+    for (const obs::JsonValue& bucket : bucketCounts->items()) {
+      const std::optional<std::uint64_t> number = bucket.asU64();
+      if (!number) return std::nullopt;
+      data.counts.push_back(*number);
+    }
+    const std::optional<std::uint64_t> total = count->asU64();
+    const std::optional<double> sumValue = sum->asNumber();
+    const std::optional<double> minValue = min->asNumber();
+    const std::optional<double> maxValue = max->asNumber();
+    if (!total || !sumValue || !minValue || !maxValue) return std::nullopt;
+    data.count = *total;
+    data.sum = *sumValue;
+    data.min = *minValue;
+    data.max = *maxValue;
+    snapshot.histograms[name] = std::move(data);
+  }
+  return snapshot;
+}
+
+std::optional<ManifestContents> readManifest(const std::string& path,
+                                             std::string* error) {
+  std::ifstream in{path};
+  if (!in) {
+    if (error != nullptr) error->clear();
+    return std::nullopt;
+  }
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    if (error != nullptr) *error = path + ": empty manifest";
+    return std::nullopt;
+  }
+  std::optional<ManifestHeader> header = parseManifestHeader(line);
+  if (!header) {
+    if (error != nullptr) *error = path + ": bad manifest header";
+    return std::nullopt;
+  }
+
+  ManifestContents contents;
+  contents.header = std::move(*header);
+  std::size_t lineNo = 1;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::optional<TrialRecord> record = parseManifestRow(line);
+    if (!record) {
+      // A malformed line marks the truncation point of an interrupted
+      // write; everything before it is still good.
+      contents.truncatedAtLine = lineNo;
+      break;
+    }
+    contents.rows.push_back(std::move(*record));
+  }
+  return contents;
+}
+
+ManifestWriter::ManifestWriter(const std::string& path,
+                               const std::string& preamble,
+                               std::vector<std::uint64_t> expectedIds)
+    : out_{path, std::ios::trunc}, expectedIds_{std::move(expectedIds)} {
+  if (!out_) {
+    BDP_LOG(kWarn, "campaign") << "cannot write manifest " << path;
+    return;
+  }
+  out_ << preamble;
+  out_.flush();
+  ok_ = true;
+}
+
+void ManifestWriter::add(std::uint64_t trialId, std::string line) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (!ok_) return;
+  pending_.emplace(trialId, std::move(line));
+  while (cursor_ < expectedIds_.size()) {
+    const auto it = pending_.find(expectedIds_[cursor_]);
+    if (it == pending_.end()) break;
+    out_ << it->second << '\n';
+    pending_.erase(it);
+    ++cursor_;
+  }
+  out_.flush();
+}
+
+}  // namespace blackdp::campaign

@@ -1,0 +1,115 @@
+// Campaign manifest: one JSONL file per campaign run.
+//
+// Line 1 is the header (campaign name, experiment, seed, trials-per-
+// treatment, treatment count); every following line is one completed trial:
+// its matrix coordinates, derived seed, treatment config hash, confusion
+// booleans, and the trial's full telemetry snapshot embedded as an escaped
+// JSON string. Rows are flat (FlatJsonObject-parseable) and are streamed in
+// trial-id order — a contiguous-prefix flusher holds back out-of-order
+// completions — so an interrupted manifest is always a clean, resumable
+// prefix and the finished file is byte-identical for any worker count.
+//
+// --resume reads the manifest back, verifies each row's config hash and
+// seed against the freshly expanded spec (a changed spec is an error, not a
+// silent partial rerun), and re-folds the recorded outcomes so the final
+// aggregate is bit-identical to an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "obs/registry.hpp"
+
+namespace blackdp::campaign {
+
+inline constexpr int kManifestVersion = 1;
+
+/// One completed trial, exactly as a manifest row carries it.
+struct TrialRecord {
+  std::uint64_t trial{0};
+  std::uint32_t treatment{0};
+  std::uint32_t rep{0};
+  std::uint64_t seed{0};
+  std::string configHash;
+  std::string label;
+  bool attackLaunched{false};
+  bool confirmedOnAttacker{false};
+  bool falsePositive{false};
+  std::uint32_t detectionPackets{0};
+  std::string verdict;
+  std::uint64_t framesDelivered{0};
+  obs::Snapshot telemetry;
+};
+
+struct ManifestHeader {
+  std::string campaign;
+  std::string experiment;
+  std::uint64_t seed{0};
+  std::uint32_t trials{0};
+  std::uint32_t treatments{0};
+};
+
+/// Compact single-line serialisations (no trailing newline).
+[[nodiscard]] std::string manifestHeaderLine(const CampaignSpec& spec,
+                                             std::size_t treatmentCount);
+[[nodiscard]] std::string manifestRowLine(const TrialRecord& record);
+
+[[nodiscard]] std::optional<ManifestHeader> parseManifestHeader(
+    std::string_view line);
+[[nodiscard]] std::optional<TrialRecord> parseManifestRow(
+    std::string_view line);
+
+/// Snapshot JSON round-trip for the embedded telemetry (the writer side is
+/// obs::Snapshot::toJson). Number rendering is std::to_chars both ways, so
+/// parse(toJson(s)) == s exactly.
+[[nodiscard]] std::optional<obs::Snapshot> parseSnapshotJson(
+    std::string_view text);
+
+/// A manifest read back from disk: the header plus every parseable row (in
+/// file order). Reading stops at the first malformed line — a mid-write
+/// truncation point — and `truncatedAtLine` records it (0 = clean file).
+struct ManifestContents {
+  ManifestHeader header;
+  std::vector<TrialRecord> rows;
+  std::size_t truncatedAtLine{0};
+};
+
+/// nullopt when the file does not exist or has no valid header (and, when
+/// `error` is non-null, why).
+[[nodiscard]] std::optional<ManifestContents> readManifest(
+    const std::string& path, std::string* error = nullptr);
+
+/// Streams rows in trial-id order: completions arrive in any order from the
+/// worker pool, but a row is only written once every earlier expected id has
+/// been written, so the on-disk file is always an ordered prefix.
+class ManifestWriter {
+ public:
+  /// Opens `path` for writing (truncating), writes `preamble` (header +
+  /// any resumed rows, newline-terminated), and expects one add() per id in
+  /// `expectedIds` (must be sorted ascending).
+  ManifestWriter(const std::string& path, const std::string& preamble,
+                 std::vector<std::uint64_t> expectedIds);
+
+  /// True when the file opened; a failed writer swallows add() calls (the
+  /// campaign still runs, it just is not resumable).
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  /// Thread-safe; flushes the contiguous prefix of buffered rows.
+  void add(std::uint64_t trialId, std::string line);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+  bool ok_{false};
+  std::vector<std::uint64_t> expectedIds_;
+  std::size_t cursor_{0};
+  std::map<std::uint64_t, std::string> pending_;
+};
+
+}  // namespace blackdp::campaign

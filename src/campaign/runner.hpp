@@ -1,0 +1,97 @@
+// Campaign execution: fan a spec's trial matrix out over the parallel trial
+// runner, stream the manifest, fold the aggregate.
+//
+// Determinism contract: the aggregate (per-treatment cells, merged metrics
+// registry, manifest contents) is a pure function of the spec — independent
+// of worker count, and independent of whether the campaign ran in one piece
+// or was interrupted and resumed any number of times. Trials fold in trial-
+// id order; resumed trials re-fold from their recorded manifest rows, whose
+// embedded telemetry snapshots round-trip byte-exactly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "campaign/spec.hpp"
+#include "metrics/confusion.hpp"
+#include "obs/registry.hpp"
+
+namespace blackdp::campaign {
+
+/// One treatment's folded outcome.
+struct TreatmentCell {
+  Treatment treatment;
+  std::uint32_t trials{0};
+  /// Trials where the attacker's forged RREP reached a discovery (always 0
+  /// for attack=none treatments).
+  std::uint32_t attacksLaunched{0};
+  /// Trials confirming a true attacker.
+  std::uint32_t detected{0};
+  /// Trials confirming an honest node.
+  std::uint32_t falsePositives{0};
+  /// Graded confusion: launched→TP/FN, unlaunched/no-attacker→TN, plus FP.
+  metrics::ConfusionMatrix matrix;
+  /// Detection-packet range across the cell's trials (fig5 experiments).
+  std::uint32_t packetsMin{0};
+  std::uint32_t packetsMax{0};
+
+  [[nodiscard]] double detectionAccuracy() const {
+    return attacksLaunched == 0 ? 0.0 : matrix.recall();
+  }
+};
+
+struct CampaignOptions {
+  /// Worker count as per sim::resolveJobCount (0 = env / hardware default).
+  unsigned jobs{0};
+  /// Output directory for the manifest and BENCH_<name>.json; empty = the
+  /// BLACKDP_BENCH_OUT environment variable, falling back to ".".
+  std::string outDir;
+  /// Skip trials already recorded in the manifest (error if the manifest
+  /// disagrees with the spec's matrix, seeds, or config hashes).
+  bool resume{false};
+  /// Expand and report the matrix without running any trial.
+  bool dryRun{false};
+  /// Write BENCH_<name>.json with a zeroed wall-clock sidecar so the whole
+  /// file — not just its metrics subtree — is byte-reproducible.
+  bool pinSidecar{false};
+  bool writeManifest{true};
+  bool writeBench{true};
+  /// Progress lines (campaign banner, resume counts); nullptr = silent.
+  std::ostream* log{nullptr};
+};
+
+struct CampaignResult {
+  std::vector<TreatmentCell> cells;
+  /// The merged deterministic metrics (what BENCH_<name>.json's "metrics"
+  /// subtree serialises).
+  obs::Snapshot snapshot;
+  std::string manifestPath;
+  std::string benchPath;
+  std::uint64_t trialsTotal{0};
+  std::uint64_t trialsRun{0};      ///< executed this invocation
+  std::uint64_t trialsResumed{0};  ///< re-folded from the manifest
+  std::uint64_t framesDelivered{0};
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Runs (or resumes) the campaign. Throws std::runtime_error on spec
+  /// expansion failures and on manifest/spec mismatches under --resume.
+  [[nodiscard]] CampaignResult run(const CampaignSpec& spec) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+/// Executes one trial of the spec's experiment kind and returns its
+/// manifest record (exposed for tests pinning single-trial behaviour).
+[[nodiscard]] TrialRecord runTrial(const CampaignSpec& spec,
+                                   const Treatment& treatment,
+                                   std::uint32_t rep);
+
+}  // namespace blackdp::campaign

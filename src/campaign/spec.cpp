@@ -1,0 +1,526 @@
+#include "campaign/spec.hpp"
+
+#include <algorithm>
+
+#include "sim/rng.hpp"
+
+namespace blackdp::campaign {
+
+namespace {
+
+void setError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+std::string renderNumber(double value) {
+  std::string out;
+  obs::appendJsonNumber(out, value);
+  return out;
+}
+
+std::string renderNumber(std::uint64_t value) {
+  std::string out;
+  obs::appendJsonNumber(out, value);
+  return out;
+}
+
+std::string renderBool(bool value) { return value ? "true" : "false"; }
+
+bool readPositiveDouble(const obs::JsonValue& value, double* out) {
+  const std::optional<double> number = value.asNumber();
+  if (!number || *number <= 0.0) return false;
+  *out = *number;
+  return true;
+}
+
+bool readUnit(const obs::JsonValue& value, double* out) {
+  const std::optional<double> number = value.asNumber();
+  if (!number || *number < 0.0 || *number > 1.0) return false;
+  *out = *number;
+  return true;
+}
+
+bool readU32(const obs::JsonValue& value, std::uint32_t* out) {
+  const std::optional<std::uint64_t> number = value.asU64();
+  if (!number || *number > 0xffffffffull) return false;
+  *out = static_cast<std::uint32_t>(*number);
+  return true;
+}
+
+bool readSmallInt(const obs::JsonValue& value, int* out) {
+  const std::optional<std::int64_t> number = value.asI64();
+  if (!number || *number < 0 || *number > 1000) return false;
+  *out = static_cast<int>(*number);
+  return true;
+}
+
+bool readBool(const obs::JsonValue& value, bool* out) {
+  if (!value.isBool()) return false;
+  *out = value.asBool();
+  return true;
+}
+
+/// One knob: a spec key, its setter, and the canonical renderer of its
+/// effective value (the hash covers render() of every knob, defaults
+/// included, so explicit-default and absent hash identically).
+struct Knob {
+  std::string_view key;
+  bool (*apply)(ResolvedConfig&, const obs::JsonValue&);
+  std::string (*render)(const ResolvedConfig&);
+};
+
+// Keep this table sorted by key: its order is the canonical hash order.
+const Knob kKnobs[] = {
+    {"attack",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       if (!v.isString()) return false;
+       const std::string& s = v.asString();
+       if (s == "none") {
+         c.scenario.attack = scenario::AttackType::kNone;
+       } else if (s == "single") {
+         c.scenario.attack = scenario::AttackType::kSingle;
+       } else if (s == "cooperative") {
+         c.scenario.attack = scenario::AttackType::kCooperative;
+       } else {
+         return false;
+       }
+       return true;
+     },
+     [](const ResolvedConfig& c) {
+       return std::string{scenario::toString(c.scenario.attack)};
+     }},
+    {"attacker_cluster",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       std::uint32_t cluster = 0;
+       if (!readU32(v, &cluster)) return false;
+       if (cluster == 0) {
+         c.scenario.attackerCluster.reset();  // random placement
+       } else {
+         c.scenario.attackerCluster = common::ClusterId{cluster};
+       }
+       return true;
+     },
+     [](const ResolvedConfig& c) {
+       return c.scenario.attackerCluster
+                  ? renderNumber(static_cast<std::uint64_t>(
+                        c.scenario.attackerCluster->value()))
+                  : std::string{"random"};
+     }},
+    {"ch_failover",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readBool(v, &c.scenario.chFailover);
+     },
+     [](const ResolvedConfig& c) { return renderBool(c.scenario.chFailover); }},
+    {"cluster_length_m",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readPositiveDouble(v, &c.scenario.clusterLengthM);
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(c.scenario.clusterLengthM);
+     }},
+    {"dreq_retries",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readSmallInt(v, &c.scenario.verifier.dreqRetries);
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(
+           static_cast<std::uint64_t>(c.scenario.verifier.dreqRetries));
+     }},
+    {"fault_preset",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       if (!v.isString()) return false;
+       const std::vector<std::string>& names = faultPresetNames();
+       if (std::find(names.begin(), names.end(), v.asString()) == names.end()) {
+         return false;
+       }
+       c.faultPreset = v.asString();
+       c.scenario.faults = makeFaultPreset(c.faultPreset);
+       return true;
+     },
+     [](const ResolvedConfig& c) { return c.faultPreset; }},
+    {"first_evasive_cluster",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readU32(v, &c.scenario.evasion.firstEvasiveCluster);
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(static_cast<std::uint64_t>(
+           c.scenario.evasion.firstEvasiveCluster));
+     }},
+    {"flees",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readBool(v, &c.fig5.flees);
+     },
+     [](const ResolvedConfig& c) { return renderBool(c.fig5.flees); }},
+    {"highway_length_m",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readPositiveDouble(v, &c.scenario.highwayLengthM);
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(c.scenario.highwayLengthM);
+     }},
+    {"local_quarantine",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readBool(v, &c.scenario.verifier.localQuarantine);
+     },
+     [](const ResolvedConfig& c) {
+       return renderBool(c.scenario.verifier.localQuarantine);
+     }},
+    {"loss_probability",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readUnit(v, &c.scenario.medium.lossProbability);
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(c.scenario.medium.lossProbability);
+     }},
+    {"max_restarts",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readSmallInt(v, &c.scenario.verifier.maxRestarts);
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(
+           static_cast<std::uint64_t>(c.scenario.verifier.maxRestarts));
+     }},
+    {"max_speed_kmh",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readPositiveDouble(v, &c.scenario.maxSpeedKmh);
+     },
+     [](const ResolvedConfig& c) { return renderNumber(c.scenario.maxSpeedKmh); }},
+    {"min_speed_kmh",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readPositiveDouble(v, &c.scenario.minSpeedKmh);
+     },
+     [](const ResolvedConfig& c) { return renderNumber(c.scenario.minSpeedKmh); }},
+    {"probe_retries",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readSmallInt(v, &c.scenario.detector.probeRetries);
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(
+           static_cast<std::uint64_t>(c.scenario.detector.probeRetries));
+     }},
+    {"response_timeout_s",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       double seconds = 0.0;
+       if (!readPositiveDouble(v, &seconds)) return false;
+       c.scenario.verifier.responseTimeout = sim::Duration::fromSeconds(seconds);
+       return true;
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(c.scenario.verifier.responseTimeout.toSeconds());
+     }},
+    {"stage_retries",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readSmallInt(v, &c.scenario.detector.stageRetries);
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(
+           static_cast<std::uint64_t>(c.scenario.detector.stageRetries));
+     }},
+    {"suspect_in_reporter_cluster",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readBool(v, &c.fig5.suspectInReporterCluster);
+     },
+     [](const ResolvedConfig& c) {
+       return renderBool(c.fig5.suspectInReporterCluster);
+     }},
+    {"transmission_range_m",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readPositiveDouble(v, &c.scenario.transmissionRangeM);
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(c.scenario.transmissionRangeM);
+     }},
+    {"trial_timeout_s",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       double seconds = 0.0;
+       if (!readPositiveDouble(v, &seconds)) return false;
+       c.scenario.trialTimeout = sim::Duration::fromSeconds(seconds);
+       return true;
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(c.scenario.trialTimeout.toSeconds());
+     }},
+    {"vehicle_count",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       std::uint32_t count = 0;
+       if (!readU32(v, &count) || count < 3) return false;  // src + dst + 1
+       c.scenario.vehicleCount = count;
+       return true;
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(static_cast<std::uint64_t>(c.scenario.vehicleCount));
+     }},
+};
+
+const Knob* findKnob(std::string_view key) {
+  for (const Knob& knob : kKnobs) {
+    if (knob.key == key) return &knob;
+  }
+  return nullptr;
+}
+
+/// FNV-1a over the canonical knob text, with the SplitMix64 avalanche so
+/// nearby configs land far apart. Stable across platforms and runs.
+std::uint64_t hash64(std::string_view text) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+std::string toHex16(std::uint64_t bits) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[bits & 0xf];
+    bits >>= 4;
+  }
+  return out;
+}
+
+/// "key=value\n" for every knob in table order — the hashed canonical form.
+std::string canonicalConfigText(const ResolvedConfig& config) {
+  std::string out;
+  for (const Knob& knob : kKnobs) {
+    out += knob.key;
+    out += '=';
+    out += knob.render(config);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view toString(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kDetection: return "detection";
+    case ExperimentKind::kFig5: return "fig5";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string>& knobKeys() {
+  static const std::vector<std::string> keys = [] {
+    std::vector<std::string> out;
+    for (const Knob& knob : kKnobs) out.emplace_back(knob.key);
+    return out;
+  }();
+  return keys;
+}
+
+std::string renderKnob(const ResolvedConfig& config, std::string_view key) {
+  const Knob* knob = findKnob(key);
+  return knob != nullptr ? knob->render(config) : std::string{};
+}
+
+bool applyKnob(ResolvedConfig& config, std::string_view key,
+               const obs::JsonValue& value, std::string* error) {
+  const Knob* knob = findKnob(key);
+  if (knob == nullptr) {
+    setError(error, "unknown knob \"" + std::string{key} + "\"");
+    return false;
+  }
+  if (!knob->apply(config, value)) {
+    setError(error, "bad value for knob \"" + std::string{key} + "\"");
+    return false;
+  }
+  return true;
+}
+
+const std::vector<std::string>& faultPresetNames() {
+  static const std::vector<std::string> names = {
+      "none", "burst_light", "burst_medium", "burst_heavy", "rsu2_flap",
+      "jam_mid"};
+  return names;
+}
+
+fault::FaultPlan makeFaultPreset(std::string_view name) {
+  fault::FaultPlan plan;
+  // Burst intensities mirror bench/ablation_faults' Gilbert–Elliott sweep.
+  if (name == "burst_light") {
+    plan.burstLoss.push_back({{0.02, 0.20, 0.0, 0.9}, sim::TimePoint{}});
+  } else if (name == "burst_medium") {
+    plan.burstLoss.push_back({{0.05, 0.15, 0.0, 0.9}, sim::TimePoint{}});
+  } else if (name == "burst_heavy") {
+    plan.burstLoss.push_back({{0.10, 0.10, 0.0, 0.9}, sim::TimePoint{}});
+  } else if (name == "rsu2_flap") {
+    // The attacker-side RSU goes dark mid-run and recovers.
+    plan.rsuCrashes.push_back({common::ClusterId{2},
+                               sim::TimePoint::fromUs(5'000'000),
+                               sim::TimePoint::fromUs(20'000'000)});
+  } else if (name == "jam_mid") {
+    plan.jamZones.push_back({4'000.0, 6'000.0,
+                             sim::TimePoint::fromUs(2'000'000),
+                             sim::TimePoint::fromUs(20'000'000)});
+  }
+  return plan;
+}
+
+std::optional<CampaignSpec> parseCampaignSpec(std::string_view text,
+                                              std::string* error) {
+  const std::optional<obs::JsonValue> doc = obs::JsonValue::parse(text);
+  if (!doc || !doc->isObject()) {
+    setError(error, "spec is not a JSON object");
+    return std::nullopt;
+  }
+
+  static const std::vector<std::string> kTopKeys = {
+      "name", "experiment", "seed", "trials", "base", "axes"};
+  for (const auto& [key, value] : doc->members()) {
+    if (std::find(kTopKeys.begin(), kTopKeys.end(), key) == kTopKeys.end()) {
+      setError(error, "unknown spec key \"" + key + "\"");
+      return std::nullopt;
+    }
+  }
+
+  CampaignSpec spec;
+  const obs::JsonValue* name = doc->find("name");
+  if (name == nullptr || !name->isString() || name->asString().empty()) {
+    setError(error, "spec needs a non-empty \"name\"");
+    return std::nullopt;
+  }
+  spec.name = name->asString();
+
+  if (const obs::JsonValue* experiment = doc->find("experiment")) {
+    if (experiment->asString() == "detection") {
+      spec.experiment = ExperimentKind::kDetection;
+    } else if (experiment->asString() == "fig5") {
+      spec.experiment = ExperimentKind::kFig5;
+    } else {
+      setError(error, "unknown experiment \"" + experiment->asString() + "\"");
+      return std::nullopt;
+    }
+  }
+
+  if (const obs::JsonValue* seed = doc->find("seed")) {
+    const std::optional<std::uint64_t> value = seed->asU64();
+    if (!value) {
+      setError(error, "\"seed\" must be a non-negative integer");
+      return std::nullopt;
+    }
+    spec.seed = *value;
+  }
+
+  if (const obs::JsonValue* trials = doc->find("trials")) {
+    const std::optional<std::uint64_t> value = trials->asU64();
+    if (!value || *value == 0 || *value > 1'000'000) {
+      setError(error, "\"trials\" must be in [1, 1000000]");
+      return std::nullopt;
+    }
+    spec.trials = static_cast<std::uint32_t>(*value);
+  }
+
+  if (const obs::JsonValue* base = doc->find("base")) {
+    if (!base->isObject()) {
+      setError(error, "\"base\" must be an object of knobs");
+      return std::nullopt;
+    }
+    spec.base = *base;
+  }
+
+  if (const obs::JsonValue* axes = doc->find("axes")) {
+    if (!axes->isArray()) {
+      setError(error, "\"axes\" must be an array");
+      return std::nullopt;
+    }
+    for (const obs::JsonValue& entry : axes->items()) {
+      const obs::JsonValue* key = entry.find("key");
+      const obs::JsonValue* values = entry.find("values");
+      if (!entry.isObject() || key == nullptr || !key->isString() ||
+          key->asString().empty() || values == nullptr || !values->isArray() ||
+          values->items().empty()) {
+        setError(error, "each axis needs a \"key\" and non-empty \"values\"");
+        return std::nullopt;
+      }
+      spec.axes.push_back(Axis{key->asString(), values->items()});
+    }
+  }
+
+  // Validate knob application (base + every axis value) eagerly so a bad
+  // spec fails at load, not mid-campaign.
+  std::string expandError;
+  if (!expandTreatments(spec, &expandError)) {
+    setError(error, expandError);
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<std::vector<Treatment>> expandTreatments(
+    const CampaignSpec& spec, std::string* error) {
+  ResolvedConfig base;
+  if (spec.base.isObject()) {
+    for (const auto& [key, value] : spec.base.members()) {
+      if (!applyKnob(base, key, value, error)) return std::nullopt;
+    }
+  }
+
+  std::size_t count = 1;
+  for (const Axis& axis : spec.axes) {
+    if (count > 1'000'000 / axis.values.size()) {
+      setError(error, "treatment matrix larger than 1000000");
+      return std::nullopt;
+    }
+    count *= axis.values.size();
+  }
+
+  std::vector<Treatment> treatments;
+  treatments.reserve(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    Treatment treatment;
+    treatment.index = static_cast<std::uint32_t>(index);
+    treatment.config = base;
+
+    // Decompose the flat index with the first axis outermost.
+    std::size_t rem = index;
+    std::size_t stride = count;
+    std::string label;
+    for (const Axis& axis : spec.axes) {
+      stride /= axis.values.size();
+      const obs::JsonValue& value = axis.values[rem / stride];
+      rem %= stride;
+
+      const auto appendLabel = [&label, &treatment](std::string_view key) {
+        if (!label.empty()) label += ',';
+        label += key;
+        label += '=';
+        label += renderKnob(treatment.config, key);
+      };
+      if (value.isObject()) {
+        // Bundle axis: each member is a knob swept together (e.g. range and
+        // cluster length); the axis key is just the bundle's name.
+        for (const auto& [key, member] : value.members()) {
+          if (!applyKnob(treatment.config, key, member, error)) {
+            return std::nullopt;
+          }
+          appendLabel(key);
+        }
+      } else {
+        if (!applyKnob(treatment.config, axis.key, value, error)) {
+          return std::nullopt;
+        }
+        appendLabel(axis.key);
+      }
+    }
+    treatment.label = label.empty() ? "base" : label;
+    treatment.configHashBits = hash64(canonicalConfigText(treatment.config));
+    treatment.configHash = toHex16(treatment.configHashBits);
+    treatments.push_back(std::move(treatment));
+  }
+  return treatments;
+}
+
+std::uint64_t trialSeed(const CampaignSpec& spec, const Treatment& treatment,
+                        std::uint32_t rep) {
+  return sim::deriveTrialSeed(
+      sim::deriveTrialSeed(spec.seed, treatment.configHashBits), rep);
+}
+
+}  // namespace blackdp::campaign

@@ -1,0 +1,132 @@
+// Declarative experiment campaigns (spec side).
+//
+// A CampaignSpec is the JSON description of a whole evaluation grid: a named
+// experiment kind, a campaign seed, a repetition count, a set of base knob
+// overrides, and sweep axes whose cartesian product expands into a
+// deterministic treatment matrix. The paper's Fig. 4 grid (attack type ×
+// attacker cluster × 150 trials), Fig. 5's scripted placements, and the
+// density×range sensitivity sweep are all instances — a new study is a JSON
+// file, not a new bench binary.
+//
+// Spec grammar (all knobs optional; unknown keys are errors):
+//
+//   {
+//     "name": "fig4",                  // bench/manifest name
+//     "experiment": "detection",       // or "fig5"
+//     "seed": 20170605,                // campaign seed
+//     "trials": 150,                   // repetitions per treatment
+//     "base": { "<knob>": <value>, ... },
+//     "axes": [
+//       {"key": "<knob>", "values": [v, ...]},          // scalar axis
+//       {"key": "<label>", "values": [{...}, ...]}      // object axis:
+//     ]                                //   each value sets several knobs
+//   }
+//
+// Seed-derivation contract: a treatment is hashed over the *full* resolved
+// knob set (defaults filled in), so a knob pinned at its default value by an
+// axis hashes identically to the axis being absent; the per-trial master
+// seed is deriveTrialSeed(deriveTrialSeed(campaignSeed, configHash), rep).
+// Adding an axis therefore never perturbs the seeds — or the results — of
+// treatments whose resolved configuration is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "scenario/config.hpp"
+
+namespace blackdp::campaign {
+
+enum class ExperimentKind : std::uint8_t {
+  kDetection,  ///< seeded HighwayScenario::runVerification + grading
+  kFig5,       ///< scripted Fig. 5 placement, detection packets counted
+};
+
+[[nodiscard]] std::string_view toString(ExperimentKind kind);
+
+/// Fig. 5 scripted-placement knobs (kFig5 experiments only).
+struct Fig5Knobs {
+  bool suspectInReporterCluster{true};
+  bool flees{false};
+};
+
+/// Fully resolved per-treatment configuration: the scenario plus the
+/// campaign-level sidecars the ScenarioConfig cannot carry canonically.
+struct ResolvedConfig {
+  scenario::ScenarioConfig scenario{};
+  std::string faultPreset{"none"};
+  Fig5Knobs fig5{};
+};
+
+/// One sweep axis: a knob key with the values it takes, or (object-valued)
+/// a label with knob bundles — e.g. range and cluster length swept together.
+struct Axis {
+  std::string key;
+  std::vector<obs::JsonValue> values;
+};
+
+struct CampaignSpec {
+  std::string name;
+  ExperimentKind experiment{ExperimentKind::kDetection};
+  std::uint64_t seed{1};
+  std::uint32_t trials{1};
+  obs::JsonValue base;  ///< object of knob overrides (or null)
+  std::vector<Axis> axes;
+};
+
+/// One expanded treatment: its position in the matrix, a human label
+/// ("attack=single,attacker_cluster=2"), the canonical 64-bit hash of the
+/// full resolved knob set, and the resolved configuration itself.
+struct Treatment {
+  std::uint32_t index{0};
+  std::string label;
+  std::string configHash;  ///< 16 lowercase hex digits of configHashBits
+  std::uint64_t configHashBits{0};
+  ResolvedConfig config;
+};
+
+/// Parses a campaign spec document. On failure returns nullopt and, when
+/// `error` is non-null, stores a one-line diagnostic.
+[[nodiscard]] std::optional<CampaignSpec> parseCampaignSpec(
+    std::string_view text, std::string* error = nullptr);
+
+/// Applies one knob to a resolved config; false (with *error) on an unknown
+/// key or a type/value mismatch.
+bool applyKnob(ResolvedConfig& config, std::string_view key,
+               const obs::JsonValue& value, std::string* error = nullptr);
+
+/// Every knob key the grammar accepts, in canonical (hash) order.
+[[nodiscard]] const std::vector<std::string>& knobKeys();
+
+/// Canonical text of one knob's effective value in `config` (used for
+/// hashing, labels, and the --dry-run matrix listing).
+[[nodiscard]] std::string renderKnob(const ResolvedConfig& config,
+                                     std::string_view key);
+
+/// The canned fault plans the "fault_preset" knob names. Unknown names are
+/// rejected by applyKnob; "none" is the empty plan.
+[[nodiscard]] const std::vector<std::string>& faultPresetNames();
+[[nodiscard]] fault::FaultPlan makeFaultPreset(std::string_view name);
+
+/// Expands the axes' cartesian product (first axis outermost) into the
+/// deterministic treatment list. nullopt (with *error) when a knob fails to
+/// apply.
+[[nodiscard]] std::optional<std::vector<Treatment>> expandTreatments(
+    const CampaignSpec& spec, std::string* error = nullptr);
+
+/// Global trial id of (treatment, rep) in the flattened matrix.
+[[nodiscard]] inline std::uint64_t trialId(const CampaignSpec& spec,
+                                           std::uint32_t treatment,
+                                           std::uint32_t rep) {
+  return static_cast<std::uint64_t>(treatment) * spec.trials + rep;
+}
+
+/// The per-trial master seed (see the seed-derivation contract above).
+[[nodiscard]] std::uint64_t trialSeed(const CampaignSpec& spec,
+                                      const Treatment& treatment,
+                                      std::uint32_t rep);
+
+}  // namespace blackdp::campaign

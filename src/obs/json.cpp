@@ -5,6 +5,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 
 namespace blackdp::obs {
 namespace {
@@ -90,6 +91,13 @@ class Cursor {
       }
     }
     return false;  // unterminated
+  }
+
+  /// Consumes `keyword` verbatim (cursor on its first character).
+  bool consumeKeyword(std::string_view keyword) {
+    if (text_.substr(pos_, keyword.size()) != keyword) return false;
+    pos_ += keyword.size();
+    return true;
   }
 
   /// Parses a numeric token (cursor on its first character) verbatim.
@@ -258,6 +266,131 @@ std::optional<std::int64_t> FlatJsonObject::i64(std::string_view key) const {
   auto [ptr, ec] = std::from_chars(begin, end, value);
   if (ec != std::errc{} || ptr != end) return std::nullopt;
   return value;
+}
+
+namespace {
+
+constexpr int kMaxJsonDepth = 64;
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  Cursor cur{text};
+
+  // Recursive descent over the full grammar; depth-capped so hostile inputs
+  // cannot blow the stack.
+  const std::function<bool(JsonValue&, int)> parseValue = [&](JsonValue& out,
+                                                              int depth) {
+    if (depth > kMaxJsonDepth) return false;
+    cur.skipSpace();
+    if (cur.done()) return false;
+    const char c = cur.peek();
+    if (c == '"') {
+      out.type_ = Type::kString;
+      return cur.parseString(out.scalar_);
+    }
+    if (c == '{') {
+      out.type_ = Type::kObject;
+      cur.take();
+      cur.skipSpace();
+      if (cur.consume('}')) return true;
+      while (true) {
+        cur.skipSpace();
+        std::string key;
+        if (!cur.parseString(key)) return false;
+        cur.skipSpace();
+        if (!cur.consume(':')) return false;
+        JsonValue member;
+        if (!parseValue(member, depth + 1)) return false;
+        // Last occurrence of a duplicate key wins.
+        bool replaced = false;
+        for (auto& existing : out.members_) {
+          if (existing.first == key) {
+            existing.second = std::move(member);
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) out.members_.emplace_back(std::move(key), std::move(member));
+        cur.skipSpace();
+        if (cur.consume('}')) return true;
+        if (!cur.consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      out.type_ = Type::kArray;
+      cur.take();
+      cur.skipSpace();
+      if (cur.consume(']')) return true;
+      while (true) {
+        JsonValue item;
+        if (!parseValue(item, depth + 1)) return false;
+        out.items_.push_back(std::move(item));
+        cur.skipSpace();
+        if (cur.consume(']')) return true;
+        if (!cur.consume(',')) return false;
+      }
+    }
+    if (c == 't') {
+      out.type_ = Type::kBool;
+      out.bool_ = true;
+      return cur.consumeKeyword("true");
+    }
+    if (c == 'f') {
+      out.type_ = Type::kBool;
+      out.bool_ = false;
+      return cur.consumeKeyword("false");
+    }
+    if (c == 'n') {
+      out.type_ = Type::kNull;
+      return cur.consumeKeyword("null");
+    }
+    out.type_ = Type::kNumber;
+    return cur.parseNumberToken(out.scalar_);
+  };
+
+  JsonValue root;
+  if (!parseValue(root, 0)) return std::nullopt;
+  cur.skipSpace();
+  if (!cur.done()) return std::nullopt;
+  return root;
+}
+
+std::optional<double> JsonValue::asNumber() const {
+  if (type_ != Type::kNumber) return std::nullopt;
+  double value = 0.0;
+  const char* begin = scalar_.data();
+  const char* end = begin + scalar_.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> JsonValue::asU64() const {
+  if (type_ != Type::kNumber) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* begin = scalar_.data();
+  const char* end = begin + scalar_.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> JsonValue::asI64() const {
+  if (type_ != Type::kNumber) return std::nullopt;
+  std::int64_t value = 0;
+  const char* begin = scalar_.data();
+  const char* end = begin + scalar_.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
 }
 
 std::optional<double> FlatJsonObject::number(std::string_view key) const {

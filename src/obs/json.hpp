@@ -1,9 +1,11 @@
-// Minimal JSON support for the observability exporters.
+// Minimal JSON support for the observability exporters and readers.
 //
-// The repo deliberately has no third-party JSON dependency; the exporters
-// only ever need (a) escaped string / shortest-round-trip number output and
-// (b) parsing of flat one-level objects (one JSONL trace line). Both live
-// here. The parser rejects nesting — trace lines are flat by construction.
+// The repo deliberately has no third-party JSON dependency; this header
+// holds (a) escaped string / shortest-round-trip number output, (b) a flat
+// one-level object parser (one JSONL trace or manifest line — rejects
+// nesting by construction), and (c) a small recursive-descent JsonValue
+// reader for the few places that consume nested documents (campaign specs,
+// embedded metrics snapshots).
 #pragma once
 
 #include <cstdint>
@@ -50,6 +52,63 @@ class FlatJsonObject {
   [[nodiscard]] const Field* find(std::string_view key) const;
 
   std::vector<Field> fields_;
+};
+
+/// One parsed JSON value of any shape (recursive-descent reader). Object
+/// members preserve document order; a duplicate key keeps the last
+/// occurrence. Numbers keep their raw token so 64-bit integers survive the
+/// round-trip exactly. Nesting is capped at 64 levels.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  /// Parses one complete document (trailing garbage rejected). Returns
+  /// nullopt on any syntax error.
+  [[nodiscard]] static std::optional<JsonValue> parse(std::string_view text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool isNull() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool isBool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool isNumber() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool isString() const { return type_ == Type::kString; }
+  [[nodiscard]] bool isArray() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool isObject() const { return type_ == Type::kObject; }
+
+  /// false for non-bool values.
+  [[nodiscard]] bool asBool() const {
+    return type_ == Type::kBool && bool_;
+  }
+  /// nullopt unless the value is a number (and, for the integer accessors,
+  /// the token is an in-range integer).
+  [[nodiscard]] std::optional<double> asNumber() const;
+  [[nodiscard]] std::optional<std::uint64_t> asU64() const;
+  [[nodiscard]] std::optional<std::int64_t> asI64() const;
+  /// Empty for non-string values.
+  [[nodiscard]] const std::string& asString() const { return scalar_; }
+
+  /// Array elements (empty for non-arrays).
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in document order (empty for non-objects).
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const {
+    return members_;
+  }
+  /// Member lookup on an object; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  Type type_{Type::kNull};
+  bool bool_{false};
+  std::string scalar_;  ///< unescaped string, or the raw numeric token
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace blackdp::obs

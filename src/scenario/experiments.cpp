@@ -345,99 +345,4 @@ std::vector<BaselineCell> runBaselineComparison(
   return cells;
 }
 
-// ------------------------------------------------------ sensitivity sweep
-
-namespace {
-
-struct SensitivityTrialOutcome {
-  bool launched{false};   ///< the forged RREP reached the victim's discovery
-  bool confirmed{false};  ///< detection confirmed on the true attacker
-  bool falsePositive{false};
-};
-
-SensitivityTrialOutcome runSensitivityTrial(std::uint32_t fleet, double rangeM,
-                                            std::uint64_t seed) {
-  ScenarioConfig config;
-  config.seed = seed;
-  config.vehicleCount = fleet;
-  config.transmissionRangeM = rangeM;
-  // Keep the paper's geometric invariant: cluster length = range, so every
-  // RSU covers its segment.
-  config.clusterLengthM = rangeM;
-  config.attack = AttackType::kSingle;
-  config.attackerCluster = common::ClusterId{2};
-  config.evasion.firstEvasiveCluster = 99;
-
-  HighwayScenario world(config);
-  (void)world.runVerification();
-  const DetectionSummary summary = world.detectionSummary();
-
-  SensitivityTrialOutcome outcome;
-  outcome.launched =
-      world.primaryAttacker()->attacker->attackStats().rrepsForged > 0;
-  outcome.confirmed = summary.confirmedOnAttacker;
-  outcome.falsePositive = summary.falsePositive;
-  return outcome;
-}
-
-}  // namespace
-
-std::vector<SensitivityCell> runSensitivitySweep(
-    const std::vector<std::uint32_t>& fleets, const std::vector<double>& ranges,
-    std::uint32_t trials, std::uint64_t seedBase,
-    const sim::ParallelRunner& runner, obs::MetricsRegistry* registry) {
-  struct Point {
-    std::uint32_t fleet;
-    double rangeM;
-  };
-  std::vector<Point> grid;
-  for (const std::uint32_t fleet : fleets) {
-    for (const double range : ranges) grid.push_back({fleet, range});
-  }
-
-  const std::vector<SensitivityTrialOutcome> outcomes =
-      runner.map<SensitivityTrialOutcome>(
-          grid.size() * trials, [&](std::size_t i) {
-            const Point& point = grid[i / trials];
-            const auto trial = static_cast<std::uint32_t>(i % trials);
-            const std::uint64_t seed =
-                seedBase + 977 * point.fleet +
-                static_cast<std::uint64_t>(point.rangeM) + trial;
-            return runSensitivityTrial(point.fleet, point.rangeM, seed);
-          });
-
-  std::vector<SensitivityCell> cells;
-  for (std::size_t g = 0; g < grid.size(); ++g) {
-    SensitivityCell cell;
-    cell.fleet = grid[g].fleet;
-    cell.rangeM = grid[g].rangeM;
-    cell.trials = trials;
-    for (std::uint32_t trial = 0; trial < trials; ++trial) {
-      const SensitivityTrialOutcome& outcome = outcomes[g * trials + trial];
-      if (outcome.launched) {
-        ++cell.attacksLaunched;
-        if (outcome.confirmed) {
-          cell.matrix.addTruePositive();
-        } else {
-          cell.matrix.addFalseNegative();
-        }
-      } else {
-        // The attack never reached the victim's discovery (partitioned
-        // network): a negative trial, correctly left unflagged.
-        cell.matrix.addTrueNegative();
-      }
-      if (outcome.falsePositive) cell.matrix.addFalsePositive();
-    }
-    if (registry) {
-      const std::string prefix =
-          "sweep.v" + std::to_string(cell.fleet) + ".r" +
-          std::to_string(static_cast<int>(cell.rangeM));
-      obs::addConfusion(*registry, prefix, cell.matrix);
-      registry->counter(prefix + ".attacks_launched").add(cell.attacksLaunched);
-    }
-    cells.push_back(std::move(cell));
-  }
-  return cells;
-}
-
 }  // namespace blackdp::scenario

@@ -111,34 +111,8 @@ struct BaselineCell {
     common::ClusterId attackerCluster = common::ClusterId{2},
     const sim::ParallelRunner* runner = nullptr);
 
-// ------------------------------------------------------ sensitivity sweep
-
-struct SensitivityCell {
-  std::uint32_t fleet{0};
-  double rangeM{0.0};
-  std::uint32_t trials{0};
-  /// Trials in which the black hole's forged RREP actually reached the
-  /// victim's discovery (sparse fleets with short ranges partition the
-  /// highway and the attack never launches).
-  std::uint32_t attacksLaunched{0};
-  metrics::ConfusionMatrix matrix;
-
-  /// Recall over the trials where the attack launched; 0 when none did.
-  [[nodiscard]] double detectionAccuracy() const {
-    return attacksLaunched == 0 ? 0.0 : matrix.recall();
-  }
-};
-
-/// Detection robustness across vehicle density × DSRC range, a single black
-/// hole in cluster 2 (per-trial seed: seedBase + 977·fleet + range + trial).
-/// Trials fan out across the runner's workers and fold in submission order;
-/// with a registry, each cell's confusion matrix and launch counter fold in
-/// under "sweep.v<fleet>.r<range>". Output is bit-identical for any worker
-/// count — the jobs-independence test pins this.
-[[nodiscard]] std::vector<SensitivityCell> runSensitivitySweep(
-    const std::vector<std::uint32_t>& fleets, const std::vector<double>& ranges,
-    std::uint32_t trials, std::uint64_t seedBase,
-    const sim::ParallelRunner& runner,
-    obs::MetricsRegistry* registry = nullptr);
+// The density × range sensitivity sweep that used to live here is now the
+// built-in "sensitivity" campaign spec (src/campaign/) — the bench is a thin
+// front-end over the campaign engine.
 
 }  // namespace blackdp::scenario

@@ -47,6 +47,21 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Derives the master seed for one trial of a campaign from the campaign
+/// seed and the trial's index (SplitMix64: a fixed-increment jump to the
+/// index, then the avalanche finaliser). Each index gets an independent,
+/// well-mixed seed as a pure function of (campaignSeed, trialIndex) — no
+/// shared generator state — so trials can be computed in any order, on any
+/// worker, and adding trials or axes never perturbs the seeds of existing
+/// ones.
+[[nodiscard]] constexpr std::uint64_t deriveTrialSeed(
+    std::uint64_t campaignSeed, std::uint64_t trialIndex) {
+  std::uint64_t z = campaignSeed + (trialIndex + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Derives independent child seeds/streams from a master seed by hashing the
 /// stream name (FNV-1a) into the seed. Deterministic across platforms.
 class SeedSequence {

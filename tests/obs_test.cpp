@@ -257,6 +257,52 @@ TEST(JsonTest, FlatObjectRejectsNestingAndGarbage) {
   EXPECT_FALSE(obs::FlatJsonObject::parse("not json").has_value());
 }
 
+TEST(JsonTest, JsonValueParsesNestedDocuments) {
+  const auto doc = obs::JsonValue::parse(
+      R"({"name":"x","n":3,"neg":-2.5,"flag":true,"null":null,)"
+      R"("list":[1,"two",{"three":3}],"obj":{"a":{"b":[false]}}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->isObject());
+  EXPECT_EQ(doc->find("name")->asString(), "x");
+  EXPECT_EQ(doc->find("n")->asU64(), 3u);
+  EXPECT_EQ(doc->find("neg")->asNumber(), -2.5);
+  EXPECT_EQ(doc->find("flag")->asBool(), true);
+  EXPECT_TRUE(doc->find("null")->isNull());
+  const obs::JsonValue* list = doc->find("list");
+  ASSERT_TRUE(list != nullptr && list->isArray());
+  ASSERT_EQ(list->items().size(), 3u);
+  EXPECT_EQ(list->items()[0].asI64(), 1);
+  EXPECT_EQ(list->items()[1].asString(), "two");
+  EXPECT_EQ(list->items()[2].find("three")->asU64(), 3u);
+  EXPECT_EQ(doc->find("obj")->find("a")->find("b")->items()[0].asBool(),
+            false);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonTest, JsonValueRejectsMalformedAndTooDeep) {
+  EXPECT_FALSE(obs::JsonValue::parse("").has_value());
+  EXPECT_FALSE(obs::JsonValue::parse("{").has_value());
+  EXPECT_FALSE(obs::JsonValue::parse(R"({"a":1,})").has_value());
+  EXPECT_FALSE(obs::JsonValue::parse(R"([1 2])").has_value());
+  EXPECT_FALSE(obs::JsonValue::parse(R"({"a":1} x)").has_value());
+  EXPECT_FALSE(obs::JsonValue::parse("tru").has_value());
+  // Depth cap: 100 nested arrays exceed kMaxJsonDepth.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(obs::JsonValue::parse(deep).has_value());
+}
+
+TEST(JsonTest, JsonValueNumbersRoundTripExactly) {
+  // Snapshot round-trips through manifest rows rely on to_chars/from_chars
+  // shortest-representation exactness.
+  const auto doc = obs::JsonValue::parse(R"([0.1, 1e-3, 18446744073709551615])");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->items()[0].asNumber(), 0.1);
+  EXPECT_EQ(doc->items()[1].asNumber(), 1e-3);
+  EXPECT_EQ(doc->items()[2].asU64(), 18446744073709551615ull);
+  EXPECT_FALSE(doc->items()[0].asU64().has_value());
+}
+
 // ---------------------------------------------------------------- trace IO
 
 TEST(TraceIoTest, JsonLineGolden) {
