@@ -35,6 +35,7 @@ export BLACKDP_BENCH_OUT="$PWD/$out"
   ./bench/ablation_watchdog 2 --jobs "$jobs"
   ./bench/ablation_fog --jobs "$jobs"
   ./bench/ablation_faults 2 --jobs "$jobs"
+  ./bench/ablation_adversarial 3 --jobs "$jobs"
   ./bench/urban_detection 2 --jobs "$jobs"
   ./bench/sensitivity_sweep 3 --jobs "$jobs"
   ./bench/ablation_overhead --benchmark_min_time=0.01
@@ -65,4 +66,19 @@ cmp "$campdir"/smoke.manifest.jsonl "$campdir"/smoke.full.jsonl
 cmp "$campdir"/BENCH_smoke.json "$campdir"/BENCH_smoke.full.json
 rm "$campdir"/smoke.full.jsonl "$campdir"/BENCH_smoke.full.json
 
-echo "CI: both configurations green, bench + campaign smoke validated."
+echo "==== soak smoke ===="
+# Time-boxed chaos soak: randomized adversarial trials, every invariant must
+# hold. On failure soak_run prints one replay line per violation
+# (soak_run --seed S --trial K); the log is kept for upload as an artifact.
+soaklog="$out/soak-smoke.log"
+build/tools/soak_run --seconds 20 --jobs "$jobs" --seed 1 | tee "$soaklog"
+# Negative control: an injected honest-isolation violation must be caught,
+# reported with a replay seed, and fail the run.
+if build/tools/soak_run --trials 1 --seed 1 --inject-violation --quiet \
+    >> "$soaklog"; then
+  echo "soak_run --inject-violation did NOT fail — harness is blind" >&2
+  exit 1
+fi
+grep -q "replay: soak_run --seed" "$soaklog"
+
+echo "CI: both configurations green, bench + campaign + soak smoke validated."

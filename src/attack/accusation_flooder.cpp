@@ -1,0 +1,78 @@
+#include "attack/accusation_flooder.hpp"
+
+#include "common/logging.hpp"
+#include "core/secure.hpp"
+
+namespace blackdp::attack {
+
+namespace {
+/// Real vehicle pseudonyms live far below the RSU/probe reserved ranges;
+/// accusing a disposable probe identity would only expose the flooder.
+constexpr std::uint64_t kPlausibleVictimCeiling = 1ull << 32;
+}  // namespace
+
+AccusationFlooderAgent::AccusationFlooderAgent(
+    sim::Simulator& simulator, net::BasicNode& node,
+    cluster::MembershipClient& membership, const crypto::CryptoEngine& engine,
+    FlooderConfig config, sim::Rng rng)
+    : aodv::AodvAgent{simulator, node},
+      membership_{membership},
+      engine_{engine},
+      flooderConfig_{config},
+      rng_{rng} {
+  node.setPromiscuousTap([this](const net::Frame& frame) { observe(frame); });
+  simulator.schedule(flooderConfig_.start, [this] { tick(); });
+}
+
+void AccusationFlooderAgent::observe(const net::Frame& frame) {
+  const common::Address src = frame.src;
+  if (src == common::kNullAddress || src == common::kBroadcastAddress ||
+      src == node().localAddress() ||
+      src.value() >= kPlausibleVictimCeiling) {
+    return;
+  }
+  if (victimSet_.insert(src.value()).second) victims_.push_back(src);
+}
+
+void AccusationFlooderAgent::tick() {
+  if (sent_ >= flooderConfig_.maxAccusations) return;  // chain ends here
+
+  const auto chAddress = membership_.clusterHeadAddress();
+  const auto cluster = membership_.currentCluster();
+  if (chAddress && cluster) {
+    // Never accuse the CH we report to — it knows it is not a black hole.
+    std::vector<common::Address> pool;
+    for (const common::Address v : victims_) {
+      if (v != *chAddress) pool.push_back(v);
+    }
+    const bool replay = lastDreq_ != nullptr &&
+                        rng_.bernoulli(flooderConfig_.replayProbability);
+    if (replay) {
+      ++flooderStats_.replaysSent;
+      ++sent_;
+      node().sendTo(*chAddress, lastDreq_);
+    } else if (!pool.empty()) {
+      auto dreq = std::make_shared<core::DetectionRequest>();
+      dreq->reporter = node().localAddress();
+      dreq->reporterCluster = *cluster;
+      dreq->suspect = pool[rng_.index(pool.size())];
+      dreq->suspectCluster = *cluster;
+      dreq->nonce = nextNonce_++;
+      if (credentials()) {
+        dreq->envelope = core::makeEnvelope(dreq->canonicalBytes(),
+                                            *credentials(), engine_);
+      }
+      ++flooderStats_.accusationsSent;
+      ++sent_;
+      BDP_LOG(kDebug, "attack")
+          << "flooder accusing " << dreq->suspect << " to " << *chAddress;
+      lastDreq_ = dreq;
+      node().sendTo(*chAddress, std::move(dreq));
+    }
+  }
+  if (sent_ < flooderConfig_.maxAccusations) {
+    simulator().schedule(flooderConfig_.interval, [this] { tick(); });
+  }
+}
+
+}  // namespace blackdp::attack

@@ -1,0 +1,76 @@
+// Accusation flooder: weaponizing the detection channel itself.
+//
+// A certified-but-compromised vehicle that files forged d_reqs against
+// honest neighbours it has overheard, trying to get them quarantined (or at
+// least to drown the CH's verification table in junk sessions). Every
+// accusation carries a valid signature — the reporter IS enrolled — so
+// envelope verification alone cannot stop it. Some transmissions replay the
+// previous signed d_req verbatim (captured-message replay), which a nonce
+// cache must catch.
+//
+// Against a naive detector this cannot cause a false quarantine (an honest
+// suspect stays silent under probing → kNotConfirmed), but it costs a full
+// probe ladder per accusation and the flooder itself is never punished. The
+// hardened detector rate-limits the reporter, rejects replays, demerits it
+// on every exoneration, and ultimately quarantines it as a liar.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "aodv/agent.hpp"
+#include "cluster/membership_client.hpp"
+#include "core/messages.hpp"
+#include "sim/rng.hpp"
+
+namespace blackdp::attack {
+
+struct FlooderConfig {
+  /// First accusation goes out this long after construction (lets the
+  /// flooder enroll and overhear some victims first).
+  sim::Duration start{sim::Duration::seconds(2)};
+  sim::Duration interval{sim::Duration::milliseconds(500)};
+  /// Total transmissions (fresh + replayed); the timer chain ends after
+  /// this many, so the simulation can terminate.
+  std::uint32_t maxAccusations{40};
+  /// P(resend the previous signed d_req verbatim instead of forging a new
+  /// one) — exercises the replay defense.
+  double replayProbability{0.25};
+};
+
+struct FlooderStats {
+  std::uint64_t accusationsSent{0};  ///< freshly forged d_reqs
+  std::uint64_t replaysSent{0};      ///< verbatim retransmissions
+};
+
+class AccusationFlooderAgent final : public aodv::AodvAgent {
+ public:
+  AccusationFlooderAgent(sim::Simulator& simulator, net::BasicNode& node,
+                         cluster::MembershipClient& membership,
+                         const crypto::CryptoEngine& engine,
+                         FlooderConfig config, sim::Rng rng);
+
+  [[nodiscard]] const FlooderStats& flooderStats() const {
+    return flooderStats_;
+  }
+  [[nodiscard]] std::size_t victimPoolSize() const { return victims_.size(); }
+
+ private:
+  void observe(const net::Frame& frame);
+  void tick();
+
+  cluster::MembershipClient& membership_;
+  const crypto::CryptoEngine& engine_;
+  FlooderConfig flooderConfig_;
+  sim::Rng rng_;
+  FlooderStats flooderStats_;
+  /// Overheard honest addresses, in first-heard order for deterministic
+  /// victim draws.
+  std::vector<common::Address> victims_;
+  std::unordered_set<std::uint64_t> victimSet_;
+  std::shared_ptr<core::DetectionRequest> lastDreq_;
+  std::uint64_t nextNonce_{1};
+  std::uint32_t sent_{0};
+};
+
+}  // namespace blackdp::attack

@@ -1,0 +1,70 @@
+#include "attack/selective_black_hole.hpp"
+
+#include "common/logging.hpp"
+
+namespace blackdp::attack {
+
+SelectiveBlackHoleAgent::SelectiveBlackHoleAgent(sim::Simulator& simulator,
+                                                net::BasicNode& node,
+                                                AttackRole role,
+                                                BlackHoleConfig config,
+                                                sim::Rng rng,
+                                                aodv::AodvConfig aodvConfig)
+    : BlackHoleAgent{simulator, node, role, config, rng, aodvConfig} {
+  node.setPromiscuousTap([this](const net::Frame& frame) { observe(frame); });
+}
+
+void SelectiveBlackHoleAgent::remember(common::Address address) {
+  if (address == common::kNullAddress ||
+      address == common::kBroadcastAddress ||
+      address == node().localAddress()) {
+    return;
+  }
+  overheard_.insert(address.value());
+}
+
+void SelectiveBlackHoleAgent::observe(const net::Frame& frame) {
+  // Every transmitter within radio range betrays its address; protocol
+  // payloads betray the endpoints they speak about. RREQ *destinations* are
+  // deliberately not harvested here — see handleRreq.
+  remember(frame.src);
+  if (const auto* rreq = net::payloadAs<aodv::RouteRequest>(frame.payload)) {
+    remember(rreq->origin);
+  } else if (const auto* rrep =
+                 net::payloadAs<aodv::RouteReply>(frame.payload)) {
+    remember(rrep->origin);
+    remember(rrep->destination);
+    remember(rrep->replier);
+  } else if (const auto* data =
+                 net::payloadAs<aodv::DataPacket>(frame.payload)) {
+    remember(data->origin);
+    remember(data->destination);
+  }
+}
+
+void SelectiveBlackHoleAgent::handleRreq(const aodv::RouteRequest& rreq,
+                                         const net::Frame& frame) {
+  if (rreq.origin == node().localAddress()) return;
+
+  // Decide on the cache as it stood BEFORE this request, then admit the
+  // destination (broadcast floods only): the first genuine discovery runs
+  // clean and the AODV retry gets attacked, while a prober that repeats its
+  // own invented destination learns nothing.
+  const bool known = overheard_.count(rreq.destination.value()) > 0;
+  if (frame.isBroadcast()) remember(rreq.destination);
+
+  if (!known) {
+    ++selectiveStats_.probesIgnored;
+    BDP_LOG(kDebug, "attack")
+        << "selective: ignoring rreq for unheard " << rreq.destination;
+    // Blend in: participate in the flood like an honest router with no
+    // route; stay silent toward unicast (probe-shaped) requests.
+    if (frame.isBroadcast()) aodv::AodvAgent::handleRreq(rreq, frame);
+    return;
+  }
+
+  ++selectiveStats_.cachedAttacks;
+  BlackHoleAgent::handleRreq(rreq, frame);
+}
+
+}  // namespace blackdp::attack

@@ -1,0 +1,64 @@
+// Selective (probe-evading) black hole.
+//
+// The naive detector's RREQ₁ uses a fake destination from a reserved address
+// range no vehicle has ever transmitted from. This attacker exploits exactly
+// that: it runs in promiscuous mode, maintains a cache of every address it
+// has overheard on the air (frame sources, RREQ origins, RREP endpoints,
+// data endpoints), and only forges replies for destinations already in that
+// cache — a request for an address nobody has ever used is treated as a
+// probe and ignored.
+//
+// Cache admission rules (the selectivity hinges on them):
+//  - the destination of a *broadcast* RREQ is cached AFTER the current
+//    request is decided. A genuine discovery therefore primes the cache on
+//    its first flood and gets attacked on the AODV retry; the naive
+//    detector's unicast TTL-1 probes never enter the cache, so repeating
+//    them is futile.
+//  - unicast RREQ destinations are never cached: a request addressed only
+//    to this node is precisely what a probe looks like.
+//
+// What defeats it: the hardened detector's type-B rounds probe with a real
+// address the attacker has provably overheard (the reporter whose discovery
+// it answered), carrying an impossibly fresh sequence number — the cache
+// check passes, the attacker forges, and the forgery is the violation.
+#pragma once
+
+#include <unordered_set>
+
+#include "attack/black_hole_agent.hpp"
+
+namespace blackdp::attack {
+
+struct SelectiveStats {
+  std::uint64_t probesIgnored{0};     ///< requests for never-heard addresses
+  std::uint64_t cachedAttacks{0};     ///< forgeries allowed by the cache
+};
+
+class SelectiveBlackHoleAgent final : public BlackHoleAgent {
+ public:
+  SelectiveBlackHoleAgent(sim::Simulator& simulator, net::BasicNode& node,
+                          AttackRole role, BlackHoleConfig config,
+                          sim::Rng rng,
+                          aodv::AodvConfig aodvConfig = fastAodvConfig());
+
+  [[nodiscard]] const SelectiveStats& selectiveStats() const {
+    return selectiveStats_;
+  }
+  [[nodiscard]] std::size_t overheardCount() const { return overheard_.size(); }
+  [[nodiscard]] bool knowsAddress(common::Address address) const {
+    return overheard_.count(address.value()) > 0;
+  }
+
+ protected:
+  void handleRreq(const aodv::RouteRequest& rreq,
+                  const net::Frame& frame) override;
+
+ private:
+  void observe(const net::Frame& frame);
+  void remember(common::Address address);
+
+  std::unordered_set<std::uint64_t> overheard_;
+  SelectiveStats selectiveStats_;
+};
+
+}  // namespace blackdp::attack

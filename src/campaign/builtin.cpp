@@ -60,6 +60,26 @@ constexpr std::string_view kSensitivityJson = R"json({
   ]
 })json";
 
+// Adversarial-robustness grid: naive/selective attacker x naive/hardened
+// detector, with and without accusation flooders riding along. Evasion is
+// disabled so every miss is the selective attacker's probe-cache filtering,
+// not a renewal/act-legit draw. The v2 knobs (detector_hardened,
+// accusation_flooders, attack=selective) hash only when non-default, so the
+// naive/naive corner reproduces the classic treatment hashes and seeds.
+constexpr std::string_view kAdversarialJson = R"json({
+  "name": "adversarial",
+  "experiment": "detection",
+  "seed": 47000,
+  "trials": 30,
+  "base": {"attacker_cluster": 2, "first_evasive_cluster": 99,
+           "verify_rounds": 2},
+  "axes": [
+    {"key": "attack", "values": ["single", "selective"]},
+    {"key": "detector_hardened", "values": [false, true]},
+    {"key": "accusation_flooders", "values": [0, 2]}
+  ]
+})json";
+
 // CI smoke: 2 treatments x 2 reps of a small dense fleet — exercises the
 // full engine (expansion, manifest, resume, bench JSON) in seconds.
 constexpr std::string_view kSmokeJson = R"json({
@@ -82,6 +102,9 @@ const std::vector<BuiltinSpec>& builtinSpecs() {
       {"fig5", "Fig. 5 scripted placements: detection packet counts",
        kFig5Json},
       {"sensitivity", "density x radio-range robustness sweep", kSensitivityJson},
+      {"adversarial",
+       "attacker sophistication x detector hardening x accusation flooding",
+       kAdversarialJson},
       {"smoke", "tiny 4-trial CI smoke campaign", kSmokeJson},
   };
   return specs;

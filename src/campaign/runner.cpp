@@ -25,7 +25,8 @@ TrialRecord runDetectionTrial(const Treatment& treatment, TrialRecord record) {
   config.seed = record.seed;
 
   scenario::HighwayScenario world(config);
-  const core::VerificationReport report = world.runVerification();
+  const core::VerificationReport report = world.runVerification(
+      static_cast<int>(treatment.config.verifyRounds));
   const scenario::DetectionSummary summary = world.detectionSummary();
 
   const scenario::VehicleEntity* attacker = world.primaryAttacker();

@@ -67,10 +67,28 @@ struct Knob {
   std::string_view key;
   bool (*apply)(ResolvedConfig&, const obs::JsonValue&);
   std::string (*render)(const ResolvedConfig&);
+  /// Knobs added after the treatment-hash contract was pinned. A v2 knob is
+  /// hashed only when its effective value differs from the default, so every
+  /// pre-existing treatment hash — and therefore every per-trial seed — is
+  /// preserved. (Pinning a v2 knob at its default still hashes identically
+  /// to leaving it out, same as v1 knobs.)
+  bool v2{false};
 };
 
 // Keep this table sorted by key: its order is the canonical hash order.
 const Knob kKnobs[] = {
+    {"accusation_flooders",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       std::uint32_t count = 0;
+       if (!readU32(v, &count) || count > 100) return false;
+       c.scenario.accusationFlooders = count;
+       return true;
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(
+           static_cast<std::uint64_t>(c.scenario.accusationFlooders));
+     },
+     /*v2=*/true},
     {"attack",
      [](ResolvedConfig& c, const obs::JsonValue& v) {
        if (!v.isString()) return false;
@@ -81,6 +99,9 @@ const Knob kKnobs[] = {
          c.scenario.attack = scenario::AttackType::kSingle;
        } else if (s == "cooperative") {
          c.scenario.attack = scenario::AttackType::kCooperative;
+       } else if (s == "selective") {
+         // v2 value: never rendered by v1 specs, so old hashes are safe.
+         c.scenario.attack = scenario::AttackType::kSelective;
        } else {
          return false;
        }
@@ -118,6 +139,14 @@ const Knob kKnobs[] = {
      [](const ResolvedConfig& c) {
        return renderNumber(c.scenario.clusterLengthM);
      }},
+    {"detector_hardened",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       return readBool(v, &c.scenario.detector.hardening.enabled);
+     },
+     [](const ResolvedConfig& c) {
+       return renderBool(c.scenario.detector.hardening.enabled);
+     },
+     /*v2=*/true},
     {"dreq_retries",
      [](ResolvedConfig& c, const obs::JsonValue& v) {
        return readSmallInt(v, &c.scenario.verifier.dreqRetries);
@@ -240,6 +269,17 @@ const Knob kKnobs[] = {
      [](const ResolvedConfig& c) {
        return renderNumber(c.scenario.trialTimeout.toSeconds());
      }},
+    {"verify_rounds",
+     [](ResolvedConfig& c, const obs::JsonValue& v) {
+       std::uint32_t rounds = 0;
+       if (!readU32(v, &rounds) || rounds < 1 || rounds > 10) return false;
+       c.verifyRounds = rounds;
+       return true;
+     },
+     [](const ResolvedConfig& c) {
+       return renderNumber(static_cast<std::uint64_t>(c.verifyRounds));
+     },
+     /*v2=*/true},
     {"vehicle_count",
      [](ResolvedConfig& c, const obs::JsonValue& v) {
        std::uint32_t count = 0;
@@ -285,12 +325,16 @@ std::string toHex16(std::uint64_t bits) {
 }
 
 /// "key=value\n" for every knob in table order — the hashed canonical form.
+/// v2 knobs appear only when set away from their default (see Knob::v2).
 std::string canonicalConfigText(const ResolvedConfig& config) {
+  static const ResolvedConfig kDefaults{};
   std::string out;
   for (const Knob& knob : kKnobs) {
+    std::string value = knob.render(config);
+    if (knob.v2 && value == knob.render(kDefaults)) continue;
     out += knob.key;
     out += '=';
-    out += knob.render(config);
+    out += value;
     out += '\n';
   }
   return out;

@@ -59,6 +59,10 @@ struct ResolvedConfig {
   scenario::ScenarioConfig scenario{};
   std::string faultPreset{"none"};
   Fig5Knobs fig5{};
+  /// Back-to-back verified establishments per detection trial (v2 knob):
+  /// round 2+ exposes cache-gated selective black holes that sit out the
+  /// first discovery.
+  std::uint32_t verifyRounds{1};
 };
 
 /// One sweep axis: a knob key with the values it takes, or (object-valued)

@@ -196,6 +196,7 @@ void encodeBody(common::ByteWriter& w, const core::DetectionRequest& m) {
   w.writeId(m.reporterCluster);
   w.writeId(m.suspect);
   w.writeId(m.suspectCluster);
+  w.writeU64(m.nonce);
   writeEnvelope(w, m.envelope);
 }
 
@@ -366,6 +367,7 @@ PayloadPtr decodePayload(common::ByteReader& r) {
       m->reporterCluster = r.readId<common::ClusterId>();
       m->suspect = r.readId<common::Address>();
       m->suspectCluster = r.readId<common::ClusterId>();
+      m->nonce = r.readU64();
       m->envelope = readEnvelope(r);
       return m;
     }

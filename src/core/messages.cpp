@@ -30,6 +30,7 @@ common::Bytes DetectionRequest::canonicalBytes() const {
   w.writeId(reporterCluster);
   w.writeId(suspect);
   w.writeId(suspectCluster);
+  w.writeU64(nonce);
   return std::move(w).take();
 }
 

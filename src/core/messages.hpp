@@ -56,6 +56,10 @@ class DetectionRequest final : public net::Payload {
   common::ClusterId reporterCluster{};
   common::Address suspect{};
   common::ClusterId suspectCluster{};
+  /// Anti-replay nonce, fresh per transmission and covered by the envelope
+  /// signature. 0 = legacy unstamped report (hardened detectors admit it;
+  /// they cannot tell a replay from a retry without one).
+  std::uint64_t nonce{0};
   /// Reporter authentication (the RSU verifies reports come from certified
   /// nodes, §III-C).
   std::optional<aodv::SecureEnvelope> envelope{};

@@ -1,0 +1,54 @@
+#include "core/reporter_ledger.hpp"
+
+namespace blackdp::core {
+
+bool ReporterLedger::admitAccusation(common::Address reporter,
+                                     sim::TimePoint now) {
+  Entry& e = entry(reporter);
+  if (e.quarantined) return false;
+  while (!e.recent.empty() && now - e.recent.front() > config_.window) {
+    e.recent.pop_front();
+  }
+  if (e.recent.size() >= config_.windowMax) return false;
+  e.recent.push_back(now);
+  return true;
+}
+
+bool ReporterLedger::admitNonce(common::Address reporter, std::uint64_t nonce) {
+  if (nonce == 0) return true;
+  Entry& e = entry(reporter);
+  if (!e.nonces.insert(nonce).second) return false;
+  e.nonceOrder.push_back(nonce);
+  if (e.nonceOrder.size() > config_.nonceCacheMax) {
+    e.nonces.erase(e.nonceOrder.front());
+    e.nonceOrder.pop_front();
+  }
+  return true;
+}
+
+bool ReporterLedger::demerit(common::Address reporter) {
+  Entry& e = entry(reporter);
+  ++e.demerits;
+  if (!e.quarantined && e.demerits >= config_.demeritThreshold) {
+    e.quarantined = true;
+    return true;
+  }
+  return false;
+}
+
+void ReporterLedger::credit(common::Address reporter) {
+  Entry& e = entry(reporter);
+  if (e.demerits > 0) --e.demerits;
+}
+
+int ReporterLedger::demeritScore(common::Address reporter) const {
+  const auto it = entries_.find(reporter);
+  return it == entries_.end() ? 0 : it->second.demerits;
+}
+
+bool ReporterLedger::isQuarantined(common::Address reporter) const {
+  const auto it = entries_.find(reporter);
+  return it != entries_.end() && it->second.quarantined;
+}
+
+}  // namespace blackdp::core

@@ -1,0 +1,83 @@
+// Reporter reputation ledger (accusation-channel defense).
+//
+// The d_req channel is itself an attack surface: a compromised-but-certified
+// vehicle can flood forged reports against honest nodes to weaponize the
+// quarantine machinery (cf. Sen et al.; Baadache & Belmehdi). Each hardened
+// detector keeps one ledger over the reporters it has heard from:
+//
+//  - rate limiting: at most `windowMax` accusations per reporter within a
+//    sliding `window`;
+//  - replay protection: a bounded per-reporter cache of d_req nonces — a
+//    re-sent (captured) d_req is rejected even though its signature verifies;
+//  - demerit score: every accusation whose suspect passes a full probe
+//    campaign with zero violations costs the accuser one demerit; a
+//    confirmed accusation earns one credit (floor 0). Crossing
+//    `demeritThreshold` marks the reporter a liar, exactly once — the
+//    detector then quarantines it through the TA like any other attacker.
+//
+// The ledger is pure bookkeeping (no simulator, no I/O), so its state
+// machine is property-testable in isolation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace blackdp::core {
+
+struct ReporterLedgerConfig {
+  /// Demerits at which a reporter is declared a liar.
+  int demeritThreshold{5};
+  /// Accusations admitted per reporter within `window`.
+  std::uint32_t windowMax{8};
+  sim::Duration window{sim::Duration::seconds(10)};
+  /// Per-reporter replay-cache capacity (oldest nonce evicted first).
+  std::size_t nonceCacheMax{64};
+};
+
+class ReporterLedger {
+ public:
+  explicit ReporterLedger(ReporterLedgerConfig config = {})
+      : config_{config} {}
+
+  /// Sliding-window rate limit. Returns false (and does not record the
+  /// accusation) when the reporter is over budget or already quarantined.
+  [[nodiscard]] bool admitAccusation(common::Address reporter,
+                                     sim::TimePoint now);
+
+  /// Replay check. Returns false when this (reporter, nonce) pair was seen
+  /// before; nonce 0 (legacy unstamped d_req) is always admitted.
+  [[nodiscard]] bool admitNonce(common::Address reporter, std::uint64_t nonce);
+
+  /// Charges one demerit (exoneration of the accused). Returns true exactly
+  /// when this demerit crosses the liar threshold — the caller quarantines.
+  [[nodiscard]] bool demerit(common::Address reporter);
+
+  /// Rewards a confirmed accusation: one demerit forgiven (floor 0).
+  void credit(common::Address reporter);
+
+  [[nodiscard]] int demeritScore(common::Address reporter) const;
+  [[nodiscard]] bool isQuarantined(common::Address reporter) const;
+  [[nodiscard]] std::size_t trackedReporters() const { return entries_.size(); }
+  [[nodiscard]] const ReporterLedgerConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::deque<sim::TimePoint> recent;  ///< accusation times inside `window`
+    std::deque<std::uint64_t> nonceOrder;
+    std::unordered_set<std::uint64_t> nonces;
+    int demerits{0};
+    bool quarantined{false};
+  };
+
+  Entry& entry(common::Address reporter) { return entries_[reporter]; }
+
+  ReporterLedgerConfig config_;
+  std::unordered_map<common::Address, Entry> entries_;
+};
+
+}  // namespace blackdp::core

@@ -48,7 +48,9 @@ RsuDetector::RsuDetector(sim::Simulator& simulator,
       ch_{clusterHead},
       taNetwork_{taNetwork},
       engine_{engine},
-      config_{config} {
+      config_{config},
+      ledger_{config.hardening.ledger},
+      probeRng_{config.probeSeed} {
   ch_.setFrameHook([this](const net::Frame& frame) { return onFrame(frame); });
   ch_.setBackboneHook(
       [this](common::ClusterId from, const net::PayloadPtr& payload) {
@@ -145,6 +147,31 @@ void RsuDetector::handleDreq(const DetectionRequest& dreq) {
                   dreq.suspect, dreq.reporter, 0, std::string{check.reason});
     BDP_LOG(kDebug, kLog) << "d_req rejected: " << check.reason;
     return;
+  }
+
+  // Accusation-channel defense (hardened only): the d_req passed signature
+  // verification, but a compromised-yet-certified reporter can still flood
+  // forged accusations or replay captured ones. Quarantined-liar and
+  // rate-limit rejections share one counter; replays get their own.
+  if (config_.hardening.enabled) {
+    if (ledger_.isQuarantined(dreq.reporter)) {
+      ++stats_.dreqRateLimited;
+      traceDetector(simulator_, ch_, obs::DetectorOp::kDreqRateLimited, {},
+                    dreq.suspect, dreq.reporter, 0, "reporter-quarantined");
+      return;
+    }
+    if (!ledger_.admitNonce(dreq.reporter, dreq.nonce)) {
+      ++stats_.dreqReplayed;
+      traceDetector(simulator_, ch_, obs::DetectorOp::kDreqReplayed, {},
+                    dreq.suspect, dreq.reporter, dreq.nonce);
+      return;
+    }
+    if (!ledger_.admitAccusation(dreq.reporter, simulator_.now())) {
+      ++stats_.dreqRateLimited;
+      traceDetector(simulator_, ch_, obs::DetectorOp::kDreqRateLimited, {},
+                    dreq.suspect, dreq.reporter, 0, "over-rate");
+      return;
+    }
   }
 
   // Verification-table dedup: concurrent reports against one suspect merge.
@@ -265,9 +292,18 @@ void RsuDetector::beginProbing(Session session) {
     return;
   }
 
-  session.disposable = allocProbeAddress();
-  session.fakeDestination = allocProbeAddress();
-  ch_.node().addAlias(session.disposable);
+  // Hardened campaigns only start from stage 0; a mid-probe handover
+  // (stage 1) continues with the naive ladder so the probe-state transfer
+  // semantics stay exactly the paper's.
+  session.hardened = config_.hardening.enabled && session.stage == 0;
+  if (!session.hardened) {
+    session.disposable = allocProbeAddress();
+    session.fakeDestination = allocProbeAddress();
+    ch_.node().addAlias(session.disposable);
+    if (config_.recordProbeIdentities) {
+      probeIdentityLog_.push_back({session.disposable, session.fakeDestination});
+    }
+  }
 
   const common::Address suspect = session.suspect;
   auto [it, inserted] = active_.emplace(suspect, std::move(session));
@@ -279,7 +315,115 @@ void RsuDetector::beginProbing(Session session) {
                     : it->second.reporters.front().address);
   traceTable(simulator_, ch_, obs::ChTableOp::kVerificationInsert,
              it->second.id, suspect);
+  armSweep();
+  if (it->second.hardened) {
+    scheduleHardenedRound(it->second);
+    return;
+  }
   sendProbe(suspect, it->second);
+}
+
+// Hardened campaign ------------------------------------------------------
+
+void RsuDetector::scheduleHardenedRound(Session& session) {
+  const std::uint32_t gen = ++session.timerGen;
+  const auto jitter = sim::Duration::microseconds(
+      probeRng_.uniformInt(0, config_.hardening.probeJitterMax.us()));
+  simulator_.schedule(jitter, [this, suspect = session.suspect, gen] {
+    const auto it = active_.find(suspect);
+    if (it == active_.end() || it->second.timerGen != gen) return;
+    sendHardenedProbe(it->second);
+  });
+}
+
+common::Address RsuDetector::pickRealDestination(const Session& session) {
+  // The reporter is the strongest candidate: the suspect answered its route
+  // discovery, so the reporter is certainly in the suspect's overheard
+  // neighborhood — a selective evader cannot claim ignorance of it.
+  for (const Reporter& reporter : session.reporters) {
+    if (reporter.address != session.suspect &&
+        reporter.address != common::kNullAddress) {
+      return reporter.address;
+    }
+  }
+  std::vector<common::Address> candidates;
+  for (const common::Address member : ch_.members()) {
+    if (member != session.suspect) candidates.push_back(member);
+  }
+  if (candidates.empty()) return common::kNullAddress;
+  return candidates[probeRng_.index(candidates.size())];
+}
+
+void RsuDetector::sendHardenedProbe(Session& session) {
+  // Fresh disposable identity and destination every round: the suspect can
+  // never correlate rounds, and identities are single-use by construction.
+  ch_.node().removeAlias(session.disposable);
+  session.disposable = allocProbeAddress();
+  ch_.node().addAlias(session.disposable);
+
+  auto rreq = std::make_shared<aodv::RouteRequest>();
+  rreq->rreqId = common::RreqId{nextProbeRreqId_++};
+  session.stageRreqIds.clear();  // one countable reply per round
+  session.stageRreqIds.push_back(rreq->rreqId.value());
+  rreq->origin = session.disposable;
+  rreq->originSeq = 1;
+  rreq->ttl = 1;
+
+  common::Address destination = common::kNullAddress;
+  if (session.round % 2 == 0) destination = pickRealDestination(session);
+  if (destination != common::kNullAddress) {
+    // Type B: a destination the suspect has plausibly overheard, with a
+    // sequence number no honest cache can match — only a forger replies.
+    rreq->destSeq = config_.hardening.inflatedSeq;
+    rreq->unknownDestSeq = false;
+    rreq->inquireNextHop = true;
+  } else {
+    // Type A: invented destination from the plausible vehicle address
+    // space; unknown sequence number, like a genuine first discovery.
+    destination = common::Address{static_cast<std::uint64_t>(probeRng_.uniformInt(
+        static_cast<std::int64_t>(config_.hardening.plausibleAddressLo),
+        static_cast<std::int64_t>(config_.hardening.plausibleAddressHi)))};
+    rreq->destSeq = 0;
+    rreq->unknownDestSeq = true;
+  }
+  session.fakeDestination = destination;
+  rreq->destination = destination;
+  if (config_.recordProbeIdentities) {
+    probeIdentityLog_.push_back({session.disposable, destination});
+  }
+
+  ++stats_.probesSent;
+  session.packets += 1;
+  if (!session.probeStartedAt) session.probeStartedAt = simulator_.now();
+  traceDetector(simulator_, ch_, obs::DetectorOp::kProbeSent, session.id,
+                session.suspect, session.suspect,
+                static_cast<std::uint64_t>(session.round));
+  ch_.node().sendFromAlias(session.disposable, session.suspect,
+                           std::move(rreq));
+  armTimer(session);
+}
+
+void RsuDetector::exonerateReporters(const Session& session) {
+  ++stats_.exonerations;
+  traceDetector(simulator_, ch_, obs::DetectorOp::kExonerated, session.id,
+                session.suspect, {},
+                static_cast<std::uint64_t>(session.round));
+  for (const Reporter& reporter : session.reporters) {
+    const bool crossed = ledger_.demerit(reporter.address);
+    ++stats_.reporterDemerits;
+    traceDetector(simulator_, ch_, obs::DetectorOp::kReporterDemerited,
+                  session.id, session.suspect, reporter.address,
+                  static_cast<std::uint64_t>(
+                      ledger_.demeritScore(reporter.address)));
+    if (crossed) {
+      // The accuser is a systematic liar: quarantine it through the TA
+      // exactly like a confirmed black hole.
+      ++stats_.reportersQuarantined;
+      traceDetector(simulator_, ch_, obs::DetectorOp::kReporterQuarantined,
+                    session.id, session.suspect, reporter.address);
+      taNetwork_.reportMisbehaviour(reporter.address);
+    }
+  }
 }
 
 void RsuDetector::sendProbe(common::Address target, Session& session) {
@@ -345,7 +489,8 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
 
   if (!ch_.isMember(suspect) && !session.degraded) {
     // The suspect moved on mid-probe (flee scenario): hand the session,
-    // including probe state, to the next cluster head.
+    // including probe state, to the next cluster head. Hardened campaigns
+    // forward at stage 0 (the next CH restarts its own campaign).
     Session moved = std::move(session);
     active_.erase(it);
     ch_.node().removeAlias(moved.disposable);
@@ -356,6 +501,24 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
       }
     }
     finishSession(std::move(moved), Verdict::kUnreachable);
+    return;
+  }
+
+  if (session.hardened) {
+    // A silent round: no violation. Rounds are the redundancy mechanism, so
+    // there are no per-round retries — move straight to the next round.
+    ++session.round;
+    if (session.round < config_.hardening.probeRounds) {
+      scheduleHardenedRound(session);
+      return;
+    }
+    Session done = std::move(session);
+    active_.erase(it);
+    if (done.violations == 0) {
+      // Full campaign, zero violations: the accusation was baseless.
+      exonerateReporters(done);
+    }
+    finishSession(std::move(done), Verdict::kNotConfirmed);
     return;
   }
 
@@ -394,6 +557,61 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
   traceDetector(simulator_, ch_, obs::DetectorOp::kProbeReply, session.id,
                 session.suspect, frame.src,
                 static_cast<std::uint64_t>(session.stage));
+
+  if (session.hardened && session.stage == 0) {
+    // Only the suspect can incriminate itself: a third party answering the
+    // (unicast) probe — e.g. an accusation flooder trying to frame the
+    // suspect — is ignored outright.
+    if (frame.src != session.suspect) return;
+    session.stageRreqIds.clear();  // duplicates of this round don't recount
+    ++session.violations;
+    ++stats_.probeViolations;
+    traceDetector(simulator_, ch_, obs::DetectorOp::kProbeViolation,
+                  session.id, session.suspect, frame.src,
+                  static_cast<std::uint64_t>(session.round));
+    if (rrep.claimedNextHop != common::kNullAddress &&
+        rrep.claimedNextHop != session.suspect) {
+      session.accomplice = rrep.claimedNextHop;
+    }
+    if (session.violations >= config_.hardening.violationQuorum) {
+      ++stats_.confirmations;
+      if (session.accomplice != common::kNullAddress) {
+        // Teammate probe must use a destination that does not exist: with a
+        // real one, an honest "teammate" holding a genuine route could be
+        // framed by replying legitimately. It also gets its own disposable
+        // identity — identities stay single-use even across the stage-2
+        // escalation, so the accomplice can't link it to earlier rounds.
+        ch_.node().removeAlias(session.disposable);
+        session.disposable = allocProbeAddress();
+        ch_.node().addAlias(session.disposable);
+        session.fakeDestination = allocProbeAddress();
+        session.stage = 2;
+        session.stageRreqIds.clear();
+        session.retriesLeft = config_.stageRetries;
+        if (config_.recordProbeIdentities) {
+          probeIdentityLog_.push_back(
+              {session.disposable, session.fakeDestination});
+        }
+        sendProbe(session.accomplice, session);
+        return;
+      }
+      Session done = std::move(session);
+      active_.erase(it);
+      finishSession(std::move(done), Verdict::kSingleBlackHole);
+      return;
+    }
+    ++session.round;
+    if (session.round < config_.hardening.probeRounds) {
+      scheduleHardenedRound(session);
+      return;
+    }
+    // Rounds exhausted below quorum: suspicious but unconfirmed. The
+    // reporters are *not* demerited — the suspect did violate.
+    Session done = std::move(session);
+    active_.erase(it);
+    finishSession(std::move(done), Verdict::kNotConfirmed);
+    return;
+  }
 
   switch (session.stage) {
     case 0: {
@@ -479,6 +697,12 @@ void RsuDetector::finishSession(Session session, Verdict verdict) {
       verdict == Verdict::kCooperativeBlackHole) {
     isolate(session, verdict);
     isolatedAt = simulator_.now();
+    if (session.hardened) {
+      // Confirmed accusations buy back reporter reputation.
+      for (const Reporter& reporter : session.reporters) {
+        ledger_.credit(reporter.address);
+      }
+    }
   }
 
   // Answer every reporter; account for the packets each answer costs.
@@ -538,6 +762,40 @@ void RsuDetector::isolate(const Session& session, Verdict verdict) {
       session.accomplice != common::kNullAddress) {
     taNetwork_.reportMisbehaviour(session.accomplice);
   }
+}
+
+// ------------------------------------------------------- TTL sweep & relay
+
+void RsuDetector::armSweep() {
+  // Lazy: the sweep timer exists only while the verification table is
+  // non-empty, so an idle detector never keeps Simulator::run() alive.
+  if (config_.sessionTtl.us() <= 0 || sweepArmed_ || active_.empty()) return;
+  sweepArmed_ = true;
+  simulator_.schedule(config_.sessionTtl, [this] { onSweep(); });
+}
+
+void RsuDetector::onSweep() {
+  sweepArmed_ = false;
+  const sim::TimePoint now = simulator_.now();
+  std::vector<common::Address> stale;
+  for (const auto& [suspect, session] : active_) {
+    if (now - session.startedAt >= config_.sessionTtl) {
+      stale.push_back(suspect);
+    }
+  }
+  for (const common::Address suspect : stale) {
+    const auto it = active_.find(suspect);
+    Session done = std::move(it->second);
+    active_.erase(it);
+    ++stats_.expiredSessions;
+    traceTable(simulator_, ch_, obs::ChTableOp::kVerificationExpired, done.id,
+               done.suspect);
+    // The probe never concluded (suspect unreachable, timers lost to a
+    // crash/recovery window, …): answer the reporters rather than leaking
+    // the entry forever.
+    finishSession(std::move(done), Verdict::kUnreachable);
+  }
+  armSweep();
 }
 
 void RsuDetector::relayResult(const DetectionResult& result) {

@@ -29,10 +29,53 @@
 
 #include "cluster/cluster_head.hpp"
 #include "core/messages.hpp"
+#include "core/reporter_ledger.hpp"
 #include "core/secure.hpp"
 #include "sim/rng.hpp"
 
 namespace blackdp::core {
+
+/// Adversarially hardened probing (all off by default; the naive ladder
+/// above replays the paper exactly).
+///
+/// The naive probe is evadable: its fake destination comes from a reserved
+/// address range no vehicle has ever heard of, so a *selective* black hole
+/// that only answers RREQs for destinations it has overheard stays silent
+/// and passes. The hardened campaign randomizes K-of-N rounds:
+///
+///   type B (even rounds) — destination is a *real* member the suspect has
+///     plausibly overheard (preferring the reporter, whose discovery the
+///     suspect answered), with an absurdly inflated destination sequence
+///     number. No honest node can have a route that fresh, so any reply
+///     from the suspect is an AODV-impossible claim.
+///   type A (odd rounds)  — an invented destination drawn from the plausible
+///     vehicle address space (not the reserved probe range), unknown
+///     sequence number: the classic non-existent-destination probe, but
+///     indistinguishable from a genuine discovery.
+///
+/// Each round uses a fresh disposable identity and destination and a
+/// jittered send time. Violations only count when the reply's link-layer
+/// source is the suspect itself (nobody can be framed by third-party
+/// replies). Reaching `violationQuorum` confirms; a full campaign with zero
+/// violations exonerates the suspect and demerits every accuser.
+struct DetectorHardening {
+  bool enabled{false};
+  /// N — probe rounds per campaign (alternating B,A,B,…).
+  int probeRounds{3};
+  /// K — violations that confirm the suspect.
+  int violationQuorum{2};
+  /// Uniform random delay added before each round's probe.
+  sim::Duration probeJitterMax{sim::Duration::milliseconds(120)};
+  /// Destination sequence number for type-B rounds; far above anything a
+  /// vehicle can legitimately have cached.
+  aodv::SeqNum inflatedSeq{0x20000000};
+  /// Invented type-A destinations are drawn from this (inclusive) range of
+  /// the plausible vehicle address space.
+  std::uint64_t plausibleAddressLo{0x10000000};
+  std::uint64_t plausibleAddressHi{0x1FFFFFFF};
+  /// Reporter rate-limit / replay / demerit policy.
+  ReporterLedgerConfig ledger{};
+};
 
 struct DetectorConfig {
   /// How long a probe waits for the suspect's RREP.
@@ -46,6 +89,18 @@ struct DetectorConfig {
   int stageRetries{0};
   /// Upper bound on CH→CH session forwards (chasing a moving suspect).
   std::uint8_t maxForwards{3};
+  /// Anti-evasion probe campaign + accusation-channel defense (default off).
+  DetectorHardening hardening{};
+  /// Verification-table TTL: sessions older than this are expired as
+  /// kUnreachable by a lazy sweep. 0 (default) disables the sweep entirely
+  /// (seed behaviour; sessions always terminate via probe timeouts).
+  sim::Duration sessionTtl{};
+  /// Seed of the detector's private random stream (round jitter, type-A/B
+  /// destination draws). Derive per-CH from the scenario seed.
+  std::uint64_t probeSeed{0};
+  /// Keep a log of every (disposable identity, probe destination) pair for
+  /// invariant checking (soak harness); off by default to save memory.
+  bool recordProbeIdentities{false};
 };
 
 /// Completed-session record (the finishing CH keeps it; packetsUsed includes
@@ -79,6 +134,21 @@ struct DetectorStats {
   std::uint64_t isolations{0};
   std::uint64_t forwardsFailed{0};      ///< backbone forward undeliverable
   std::uint64_t resultRelaysFailed{0};  ///< backbone result undeliverable
+  // --- hardening (all zero when DetectorHardening is off) ---
+  std::uint64_t dreqRateLimited{0};  ///< over reporter budget / quarantined
+  std::uint64_t dreqReplayed{0};     ///< nonce seen before
+  std::uint64_t probeViolations{0};  ///< per-round AODV-impossible replies
+  std::uint64_t exonerations{0};     ///< campaigns with zero violations
+  std::uint64_t reporterDemerits{0};
+  std::uint64_t reportersQuarantined{0};
+  std::uint64_t expiredSessions{0};  ///< TTL-swept verification entries
+};
+
+/// One probe identity the detector has put on the air (for invariant
+/// checking: disposable identities must never be reused).
+struct ProbeIdentity {
+  common::Address disposable{};
+  common::Address destination{};
 };
 
 class RsuDetector {
@@ -96,6 +166,14 @@ class RsuDetector {
   [[nodiscard]] const DetectorStats& stats() const { return stats_; }
   /// Verification-table size (active sessions).
   [[nodiscard]] std::size_t activeSessions() const { return active_.size(); }
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+  /// Reporter reputation state (rate limits, replay cache, demerits).
+  [[nodiscard]] const ReporterLedger& reporterLedger() const { return ledger_; }
+  /// Every (disposable, destination) pair sent, when
+  /// `recordProbeIdentities` is on; empty otherwise.
+  [[nodiscard]] const std::vector<ProbeIdentity>& probeIdentities() const {
+    return probeIdentityLog_;
+  }
 
  private:
   struct Reporter {
@@ -126,6 +204,11 @@ class RsuDetector {
     std::uint32_t timerGen{0};
     sim::TimePoint startedAt{};
     std::optional<sim::TimePoint> probeStartedAt{};
+    /// Hardened K-of-N campaign state (stage stays 0 while rounds run;
+    /// stage 2 is reused for the teammate probe after quorum).
+    bool hardened{false};
+    int round{0};
+    int violations{0};
   };
 
   bool onFrame(const net::Frame& frame);
@@ -143,6 +226,23 @@ class RsuDetector {
   void armTimer(Session& session);
   void onProbeTimeout(common::Address suspect, std::uint32_t gen);
   void handleProbeReply(const aodv::RouteReply& rrep, const net::Frame& frame);
+
+  // Hardened campaign (see DetectorHardening).
+  /// Schedules the current round's probe after a jittered delay.
+  void scheduleHardenedRound(Session& session);
+  /// Puts one round's probe on the air under a fresh disposable identity.
+  void sendHardenedProbe(Session& session);
+  /// A type-B destination the suspect has plausibly overheard (reporter
+  /// first, then a random member ≠ suspect); null → fall back to type A.
+  [[nodiscard]] common::Address pickRealDestination(const Session& session);
+  /// Campaign ended with zero violations: demerit (and possibly quarantine)
+  /// every accuser.
+  void exonerateReporters(const Session& session);
+
+  // Verification-table TTL sweep (lazy: armed only while sessions exist,
+  // so an idle detector never keeps the simulator alive).
+  void armSweep();
+  void onSweep();
 
   /// Hands the session to the CH of an adjacent / reported cluster.
   void forwardSession(Session session, common::ClusterId target);
@@ -167,6 +267,10 @@ class RsuDetector {
   std::uint64_t nextSessionLocal_{1};
   std::uint64_t nextProbeAddress_{1};
   std::uint32_t nextProbeRreqId_{1};
+  ReporterLedger ledger_;
+  sim::Rng probeRng_;
+  std::vector<ProbeIdentity> probeIdentityLog_;
+  bool sweepArmed_{false};
 };
 
 }  // namespace blackdp::core

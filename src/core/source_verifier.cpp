@@ -284,6 +284,7 @@ bool SourceVerifier::sendDreq() {
   dreq->reporterCluster = *myCluster;
   dreq->suspect = s.suspect;
   dreq->suspectCluster = s.suspectCluster;
+  dreq->nonce = nextNonce_++;
   if (agent_.credentials()) {
     dreq->envelope =
         makeEnvelope(dreq->canonicalBytes(), *agent_.credentials(), engine_);

@@ -145,6 +145,9 @@ class SourceVerifier {
   VerifierConfig config_;
   std::optional<Session> session_;
   std::uint64_t nextHelloId_{1};
+  /// d_req anti-replay nonces; fresh per transmission (retries re-sign, so a
+  /// hardened CH can tell a captured replay from an honest retransmission).
+  std::uint64_t nextNonce_{1};
 };
 
 }  // namespace blackdp::core

@@ -18,8 +18,17 @@ std::string eventLabel(const TraceEvent& event) {
   if ((event.kind == EventKind::kDetector &&
        (event.op == static_cast<std::uint8_t>(DetectorOp::kProbeSent) ||
         event.op == static_cast<std::uint8_t>(DetectorOp::kProbeReply) ||
-        event.op == static_cast<std::uint8_t>(DetectorOp::kProbeTimeout)))) {
+        event.op == static_cast<std::uint8_t>(DetectorOp::kProbeTimeout) ||
+        event.op == static_cast<std::uint8_t>(DetectorOp::kProbeViolation)))) {
     label += " #" + std::to_string(event.value);
+  }
+  if (event.kind == EventKind::kDetector &&
+      (event.op == static_cast<std::uint8_t>(DetectorOp::kReporterDemerited) ||
+       event.op ==
+           static_cast<std::uint8_t>(DetectorOp::kReporterQuarantined) ||
+       event.op == static_cast<std::uint8_t>(DetectorOp::kDreqRateLimited) ||
+       event.op == static_cast<std::uint8_t>(DetectorOp::kDreqReplayed))) {
+    label += " reporter=" + std::to_string(event.b);
   }
   if (!event.detail.empty()) {
     label += " (" + event.detail + ")";
@@ -67,6 +76,29 @@ TraceReport buildReport(const std::vector<TraceEvent>& events) {
     if (event.kind == EventKind::kVerifier && event.a != 0) {
       verifierBySuspect[event.a].push_back(&event);
     }
+    if (event.kind == EventKind::kDetector) {
+      // Accusation-channel totals — counted even for events without a
+      // session (rate-limit / replay rejections happen pre-session).
+      switch (static_cast<DetectorOp>(event.op)) {
+        case DetectorOp::kDreqRateLimited:
+          ++report.accusationDefense.rateLimited;
+          break;
+        case DetectorOp::kDreqReplayed:
+          ++report.accusationDefense.replayed;
+          break;
+        case DetectorOp::kExonerated:
+          ++report.accusationDefense.exonerations;
+          break;
+        case DetectorOp::kReporterDemerited:
+          ++report.accusationDefense.demerits;
+          break;
+        case DetectorOp::kReporterQuarantined:
+          ++report.accusationDefense.reportersQuarantined;
+          break;
+        default:
+          break;
+      }
+    }
     if ((event.kind == EventKind::kDetector ||
          event.kind == EventKind::kChTable) &&
         event.session != 0) {
@@ -89,6 +121,18 @@ TraceReport buildReport(const std::vector<TraceEvent>& events) {
           break;
         case DetectorOp::kIsolated:
           timeline.isolatedAtUs = event.atUs;
+          break;
+        case DetectorOp::kProbeViolation:
+          ++timeline.probeViolations;
+          break;
+        case DetectorOp::kExonerated:
+          timeline.exoneratedAtUs = event.atUs;
+          break;
+        case DetectorOp::kReporterDemerited:
+          ++timeline.reporterDemerits;
+          break;
+        case DetectorOp::kReporterQuarantined:
+          timeline.quarantinedReporters.push_back(event.b);
           break;
         default:
           break;
@@ -145,6 +189,17 @@ void printReport(const TraceReport& report, std::ostream& os) {
     }
   }
 
+  if (report.accusationDefense.any()) {
+    const auto& d = report.accusationDefense;
+    os << "accusation defense:\n"
+       << "  d_req rate-limited: " << d.rateLimited << "\n"
+       << "  d_req replays rejected: " << d.replayed << "\n"
+       << "  suspects exonerated: " << d.exonerations << "\n"
+       << "  reporter demerits: " << d.demerits << "\n"
+       << "  reporters quarantined as liars: " << d.reportersQuarantined
+       << "\n";
+  }
+
   std::size_t complete = 0;
   for (const auto& session : report.sessions) {
     if (session.complete()) ++complete;
@@ -171,6 +226,23 @@ void printReport(const TraceReport& report, std::ostream& os) {
                                          : session.verdictAtUs,
                any);
     if (any) os << "\n";
+
+    if (session.probeViolations > 0 || session.exoneratedAtUs >= 0 ||
+        session.reporterDemerits > 0) {
+      os << "  hardened campaign: " << session.probeViolations
+         << " probe violation(s)";
+      if (session.exoneratedAtUs >= 0) {
+        os << ", suspect exonerated at " << formatMs(session.exoneratedAtUs)
+           << " ms, " << session.reporterDemerits << " accuser demerit(s)";
+      }
+      if (!session.quarantinedReporters.empty()) {
+        os << ", quarantined liar(s):";
+        for (const std::uint64_t liar : session.quarantinedReporters) {
+          os << ' ' << liar;
+        }
+      }
+      os << "\n";
+    }
 
     os << "  timeline:\n";
     for (const auto& entry : session.entries) {

@@ -37,6 +37,11 @@ struct SessionTimeline {
   std::int64_t probeAtUs{-1};      ///< first CH probe RREQ out
   std::int64_t verdictAtUs{-1};    ///< CH verdict
   std::int64_t isolatedAtUs{-1};   ///< revocation requested at the TA
+  // Accusation-channel defense (hardened detector only).
+  std::int64_t exoneratedAtUs{-1};  ///< suspect passed the probe campaign
+  std::uint64_t probeViolations{0};  ///< hardened rounds the suspect failed
+  std::uint64_t reporterDemerits{0};
+  std::vector<std::uint64_t> quarantinedReporters;  ///< liar addresses
 
   /// True when the suspicion → d_req → probe → verdict chain is complete.
   [[nodiscard]] bool complete() const {
@@ -52,6 +57,21 @@ struct TraceReport {
   std::map<std::string, std::uint64_t> eventsByKind;
   std::map<std::string, std::uint64_t> dropsByCause;  ///< medium + backbone
   std::vector<SessionTimeline> sessions;              ///< by session id
+
+  /// Accusation-channel totals across all sessions (all zero when the
+  /// hardened detector never engaged).
+  struct AccusationDefense {
+    std::uint64_t rateLimited{0};
+    std::uint64_t replayed{0};
+    std::uint64_t exonerations{0};
+    std::uint64_t demerits{0};
+    std::uint64_t reportersQuarantined{0};
+    [[nodiscard]] bool any() const {
+      return rateLimited + replayed + exonerations + demerits +
+                 reportersQuarantined >
+             0;
+    }
+  } accusationDefense;
 };
 
 /// Reconstructs sessions and summary counts from a (time-ordered) trace.

@@ -19,6 +19,7 @@ std::string_view toString(EventKind kind) {
     case EventKind::kChTable: return "ch-table";
     case EventKind::kFault: return "fault";
     case EventKind::kSimRun: return "sim-run";
+    case EventKind::kParallel: return "parallel";
   }
   return "?";
 }
@@ -79,6 +80,12 @@ std::string_view toString(DetectorOp op) {
     case DetectorOp::kVerdict: return "verdict";
     case DetectorOp::kIsolated: return "isolated";
     case DetectorOp::kResultRelayed: return "result-relayed";
+    case DetectorOp::kDreqRateLimited: return "dreq-rate-limited";
+    case DetectorOp::kDreqReplayed: return "dreq-replayed";
+    case DetectorOp::kProbeViolation: return "probe-violation";
+    case DetectorOp::kExonerated: return "exonerated";
+    case DetectorOp::kReporterDemerited: return "reporter-demerited";
+    case DetectorOp::kReporterQuarantined: return "reporter-quarantined";
   }
   return "?";
 }
@@ -93,6 +100,7 @@ std::string_view toString(ChTableOp op) {
     case ChTableOp::kVerificationInsert: return "verification-insert";
     case ChTableOp::kVerificationMerge: return "verification-merge";
     case ChTableOp::kVerificationErase: return "verification-erase";
+    case ChTableOp::kVerificationExpired: return "verification-expired";
   }
   return "?";
 }
@@ -109,6 +117,13 @@ std::string_view toString(SimRunOp op) {
   switch (op) {
     case SimRunOp::kRunBegin: return "run-begin";
     case SimRunOp::kRunEnd: return "run-end";
+  }
+  return "?";
+}
+
+std::string_view toString(ParallelOp op) {
+  switch (op) {
+    case ParallelOp::kWorkerFailure: return "worker-failure";
   }
   return "?";
 }
@@ -131,6 +146,7 @@ std::string_view opName(EventKind kind, std::uint8_t op) {
     case EventKind::kChTable: return toString(static_cast<ChTableOp>(op));
     case EventKind::kFault: return toString(static_cast<FaultOp>(op));
     case EventKind::kSimRun: return toString(static_cast<SimRunOp>(op));
+    case EventKind::kParallel: return toString(static_cast<ParallelOp>(op));
   }
   return "";
 }

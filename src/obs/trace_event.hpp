@@ -38,6 +38,7 @@ enum class EventKind : std::uint8_t {
   kChTable,          ///< cluster-head table operation; op = ChTableOp
   kFault,            ///< fault injector activation; op = FaultOp
   kSimRun,           ///< simulator run window; op = SimRunOp
+  kParallel,         ///< parallel-runner host event; op = ParallelOp
 };
 
 /// Why a frame or backbone message was not delivered. Also used as the
@@ -88,6 +89,12 @@ enum class DetectorOp : std::uint8_t {
   kVerdict,           ///< session concluded; value = Verdict
   kIsolated,          ///< revocation requested at the TA; a = suspect
   kResultRelayed,     ///< verdict relayed to the reporter over the air
+  kDreqRateLimited,   ///< reporter over its accusation budget; b = reporter
+  kDreqReplayed,      ///< nonce already seen for reporter; b = reporter
+  kProbeViolation,    ///< hardened probe round violated; value = round
+  kExonerated,        ///< suspect passed the probe campaign; a = suspect
+  kReporterDemerited,  ///< accuser charged a demerit; b = reporter
+  kReporterQuarantined,  ///< accuser crossed liar threshold; b = reporter
 };
 
 enum class ChTableOp : std::uint8_t {
@@ -99,6 +106,7 @@ enum class ChTableOp : std::uint8_t {
   kVerificationInsert,  ///< detector opened a table entry; a = suspect
   kVerificationMerge,   ///< concurrent report merged; a = suspect
   kVerificationErase,   ///< entry closed; a = suspect
+  kVerificationExpired,  ///< entry TTL-swept; a = suspect
 };
 
 enum class FaultOp : std::uint8_t {
@@ -111,6 +119,13 @@ enum class SimRunOp : std::uint8_t {
   kRunEnd,    ///< Simulator::run() returned; value = events executed
 };
 
+/// Host-side parallel-runner events. Emitted on the calling thread after the
+/// worker pool joins (workers themselves never touch the thread-local
+/// recorder), so they carry wall-clock-free atUs = 0.
+enum class ParallelOp : std::uint8_t {
+  kWorkerFailure,  ///< swallowed worker exception; value = job index
+};
+
 [[nodiscard]] std::string_view toString(EventKind kind);
 [[nodiscard]] std::string_view toString(DropCause cause);
 [[nodiscard]] std::string_view toString(AodvOp op);
@@ -119,6 +134,7 @@ enum class SimRunOp : std::uint8_t {
 [[nodiscard]] std::string_view toString(ChTableOp op);
 [[nodiscard]] std::string_view toString(FaultOp op);
 [[nodiscard]] std::string_view toString(SimRunOp op);
+[[nodiscard]] std::string_view toString(ParallelOp op);
 
 /// Human/exporter label for the sub-operation of `kind` stored in `op`.
 [[nodiscard]] std::string_view opName(EventKind kind, std::uint8_t op);

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "aodv/agent.hpp"
+#include "attack/accusation_flooder.hpp"
 #include "common/ids.hpp"
 #include "core/rsu_detector.hpp"
 #include "core/source_verifier.hpp"
@@ -14,7 +15,14 @@
 
 namespace blackdp::scenario {
 
-enum class AttackType : std::uint32_t { kNone, kSingle, kCooperative };
+enum class AttackType : std::uint32_t {
+  kNone,
+  kSingle,
+  kCooperative,
+  /// Probe-evading single black hole: only forges replies for destinations
+  /// it has overheard on the air (defeats the naive fake-destination probe).
+  kSelective,
+};
 
 [[nodiscard]] std::string_view toString(AttackType type);
 
@@ -55,6 +63,11 @@ struct ScenarioConfig {
   std::optional<int> forcedFleeMode{};  // values of attack::FleeMode
   /// Attacker answers Hello probes with a forged reply instead of dropping.
   bool attackerFakesHelloReply{false};
+  /// Certified-but-compromised vehicles flooding forged d_reqs against
+  /// honest members (spawned in the attacker cluster). 0 (default) spawns
+  /// none and replays the seed byte-for-byte.
+  std::uint32_t accusationFlooders{0};
+  attack::FlooderConfig flooder{};
 
   // --- robustness / fault injection ---
   /// Scheduled infrastructure faults. Empty (default) = no fault layer is

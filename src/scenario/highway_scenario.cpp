@@ -11,6 +11,7 @@ std::string_view toString(AttackType type) {
     case AttackType::kNone: return "none";
     case AttackType::kSingle: return "single";
     case AttackType::kCooperative: return "cooperative";
+    case AttackType::kSelective: return "selective";
   }
   return "?";
 }
@@ -79,8 +80,16 @@ void HighwayScenario::buildWorld() {
     if (faultInjector_) {
       faultInjector_->registerRsu(rsu->cluster, *rsu->head);
     }
+    // Each detector gets its own derived probe stream (jitter + hardened
+    // destination draws). deriveSeed is pure, so this never perturbs any
+    // other stream — with hardening off the stream is simply never drawn.
+    core::DetectorConfig detectorConfig = config_.detector;
+    if (detectorConfig.probeSeed == 0) {
+      detectorConfig.probeSeed =
+          seeds_.deriveSeed("detector-" + std::to_string(c));
+    }
     rsu->detector = std::make_unique<core::RsuDetector>(
-        simulator_, *rsu->head, *taNetwork_, *engine_, config_.detector);
+        simulator_, *rsu->head, *taNetwork_, *engine_, detectorConfig);
     // Revocation notices from the TA reach every CH (blacklist + member
     // announcement + JREP piggyback for newly joined vehicles).
     taNetwork_->subscribeRevocations(
@@ -191,6 +200,12 @@ void HighwayScenario::buildWorld() {
     addVehicle(pos, randomSpeed(), direction, false,
                attack::AttackRole::kSingle, {});
   }
+
+  // Accusation flooders ride on top of the fleet (spawned last so default
+  // configurations keep the placement stream's draw sequence untouched).
+  for (std::uint32_t i = 0; i < config_.accusationFlooders; ++i) {
+    spawnAccusationFlooder(attackerCluster, config_.flooder);
+  }
 }
 
 attack::BlackHoleConfig HighwayScenario::makeAttackConfig(
@@ -237,12 +252,22 @@ VehicleEntity& HighwayScenario::addVehicle(
       simulator_, *vehicle->node, highway_);
 
   if (isAttacker) {
-    auto agent = std::make_unique<attack::BlackHoleAgent>(
-        simulator_, *vehicle->node, role, attackConfig,
-        seeds_.stream("attacker-" +
-                      std::to_string(vehicle->nodeId.value())));
-    vehicle->attacker = agent.get();
-    vehicle->agent = std::move(agent);
+    sim::Rng attackerRng = seeds_.stream(
+        "attacker-" + std::to_string(vehicle->nodeId.value()));
+    if (config_.attack == AttackType::kSelective) {
+      auto agent = std::make_unique<attack::SelectiveBlackHoleAgent>(
+          simulator_, *vehicle->node, role, attackConfig,
+          std::move(attackerRng));
+      vehicle->selective = agent.get();
+      vehicle->attacker = agent.get();
+      vehicle->agent = std::move(agent);
+    } else {
+      auto agent = std::make_unique<attack::BlackHoleAgent>(
+          simulator_, *vehicle->node, role, attackConfig,
+          std::move(attackerRng));
+      vehicle->attacker = agent.get();
+      vehicle->agent = std::move(agent);
+    }
   } else {
     vehicle->agent = std::make_unique<aodv::AodvAgent>(
         simulator_, *vehicle->node, config_.aodv);
@@ -360,6 +385,52 @@ VehicleEntity& HighwayScenario::spawnGrayHole(
   return *vehicles_.back();
 }
 
+VehicleEntity& HighwayScenario::spawnAccusationFlooder(
+    common::ClusterId cluster, attack::FlooderConfig flooderConfig) {
+  auto vehicle = std::make_unique<VehicleEntity>();
+  vehicle->nodeId = common::NodeId{nextNodeId_++};
+  const mobility::Position position{
+      highway_.clusterBegin(cluster) +
+          rng_.uniformReal(0.3, 0.7) * highway_.clusterLength(),
+      rng_.uniformReal(2.0, highway_.width() - 2.0)};
+  const double speed = mobility::kmhToMps(
+      rng_.uniformReal(config_.minSpeedKmh, config_.maxSpeedKmh));
+  vehicle->node = std::make_unique<net::BasicNode>(
+      simulator_, *medium_, vehicle->nodeId,
+      mobility::LinearMotion{position, speed,
+                             mobility::Direction::kEastbound,
+                             simulator_.now()});
+  vehicle->membership = std::make_unique<cluster::MembershipClient>(
+      simulator_, *vehicle->node, highway_);
+
+  auto agent = std::make_unique<attack::AccusationFlooderAgent>(
+      simulator_, *vehicle->node, *vehicle->membership, *engine_,
+      flooderConfig,
+      seeds_.stream("flooder-" + std::to_string(vehicle->nodeId.value())));
+  vehicle->flooder = agent.get();
+  vehicle->agent = std::move(agent);
+
+  enroll(*vehicle);
+  vehicle->membership->setJoinedCallback(
+      [agentPtr = vehicle->agent.get()](common::ClusterId joined,
+                                        common::Address) {
+        agentPtr->setCurrentCluster(joined);
+      });
+  vehicle->membership->setExitCallback(
+      [node = vehicle->node.get()] { node->detachFromMedium(); });
+  vehicle->membership->start();
+  vehicles_.push_back(std::move(vehicle));
+  return *vehicles_.back();
+}
+
+std::size_t HighwayScenario::honestRevocations() const {
+  std::size_t count = 0;
+  for (const crypto::RevocationNotice& notice : taNetwork_->revocations()) {
+    if (!isAttackerPseudonym(notice.pseudonym)) ++count;
+  }
+  return count;
+}
+
 HighwayScenario::DataTransferResult HighwayScenario::sendDataBurst(
     std::uint32_t count, sim::Duration gap) {
   DataTransferResult result;
@@ -414,20 +485,23 @@ bool HighwayScenario::runUntil(const std::function<bool()>& predicate,
   return predicate();
 }
 
-core::VerificationReport HighwayScenario::runVerification() {
+core::VerificationReport HighwayScenario::runVerification(int rounds) {
+  BDP_ASSERT(rounds >= 1);
   // Let the fleet join its clusters first.
   runFor(sim::Duration::milliseconds(500));
 
   core::VerificationReport report;
-  bool done = false;
-  source_->verifier->establishVerifiedRoute(
-      destination_->address(), [&](const core::VerificationReport& r) {
-        report = r;
-        done = true;
-      });
-  const bool finished = runUntil([&] { return done; }, config_.trialTimeout);
-  BDP_ASSERT_MSG(finished, "verification did not complete within the trial "
-                           "timeout");
+  for (int round = 0; round < rounds; ++round) {
+    bool done = false;
+    source_->verifier->establishVerifiedRoute(
+        destination_->address(), [&](const core::VerificationReport& r) {
+          report = r;
+          done = true;
+        });
+    const bool finished = runUntil([&] { return done; }, config_.trialTimeout);
+    BDP_ASSERT_MSG(finished, "verification did not complete within the trial "
+                             "timeout");
+  }
   // Allow isolation / revocation propagation to finish.
   runFor(sim::Duration::seconds(2));
   return report;

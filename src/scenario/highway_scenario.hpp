@@ -16,8 +16,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "attack/accusation_flooder.hpp"
 #include "attack/black_hole_agent.hpp"
 #include "attack/gray_hole_agent.hpp"
+#include "attack/selective_black_hole.hpp"
 #include "cluster/cluster_head.hpp"
 #include "cluster/membership_client.hpp"
 #include "core/rsu_detector.hpp"
@@ -36,12 +38,17 @@ struct VehicleEntity {
   std::unique_ptr<aodv::AodvAgent> agent;
   /// Non-owning view when `agent` is a BlackHoleAgent.
   attack::BlackHoleAgent* attacker{nullptr};
+  /// Non-owning view when `agent` is (additionally) a
+  /// SelectiveBlackHoleAgent.
+  attack::SelectiveBlackHoleAgent* selective{nullptr};
   /// Non-owning view when `agent` is a GrayHoleAgent.
   attack::GrayHoleAgent* grayHole{nullptr};
+  /// Non-owning view when `agent` is an AccusationFlooderAgent.
+  attack::AccusationFlooderAgent* flooder{nullptr};
   std::unique_ptr<core::SourceVerifier> verifier;  ///< honest vehicles only
 
   [[nodiscard]] bool isAttacker() const {
-    return attacker != nullptr || grayHole != nullptr;
+    return attacker != nullptr || grayHole != nullptr || flooder != nullptr;
   }
   [[nodiscard]] common::Address address() const {
     return node->localAddress();
@@ -108,9 +115,12 @@ class HighwayScenario {
   bool runUntil(const std::function<bool()>& predicate, sim::Duration cap);
 
   /// The headline trial: the source establishes a verified route to the
-  /// destination; returns the verifier's report. Includes a settling run
-  /// for joins before and isolation propagation after.
-  [[nodiscard]] core::VerificationReport runVerification();
+  /// destination; returns the verifier's report (of the last round).
+  /// Includes a settling run for joins before and isolation propagation
+  /// after. `rounds > 1` repeats the establishment back-to-back — a
+  /// selective (cache-gated) black hole sits out the first discovery and
+  /// strikes the rediscovery, so single-round trials under-report it.
+  [[nodiscard]] core::VerificationReport runVerification(int rounds = 1);
 
   /// Collects all detector session records and grades them against ground
   /// truth.
@@ -134,6 +144,17 @@ class HighwayScenario {
   /// path between source and destination.
   VehicleEntity& spawnGrayHole(common::ClusterId cluster,
                                attack::GrayHoleConfig grayConfig);
+
+  /// Adds an accusation-flooding vehicle (certified, honest data plane,
+  /// forged d_reqs) to the fleet after construction. Also invoked by
+  /// buildWorld for `config.accusationFlooders`.
+  VehicleEntity& spawnAccusationFlooder(common::ClusterId cluster,
+                                        attack::FlooderConfig flooderConfig);
+
+  /// Ground-truth robustness check: revocation notices issued against
+  /// pseudonyms that never belonged to an attacker node (must stay 0 — no
+  /// honest vehicle may ever be isolated).
+  [[nodiscard]] std::size_t honestRevocations() const;
 
   /// Data-plane measurement: the source sends `count` packets to the
   /// destination, one every `gap`. Returns attempted vs. delivered counts

@@ -4,12 +4,30 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace blackdp::sim {
+
+namespace {
+
+std::string describeException(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
 
 unsigned resolveJobCount(unsigned requested) {
   if (requested > 0) return requested;
@@ -47,6 +65,7 @@ ParallelRunner::ParallelRunner(unsigned jobs) : jobs_{resolveJobCount(jobs)} {}
 
 void ParallelRunner::forEachIndex(
     std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  swallowedFailures_.clear();
   if (count == 0) return;
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
@@ -55,10 +74,13 @@ void ParallelRunner::forEachIndex(
     return;
   }
 
+  struct Failure {
+    std::size_t index;
+    std::exception_ptr error;
+  };
   std::atomic<std::size_t> next{0};
   std::mutex failureMutex;
-  std::exception_ptr failure;
-  std::size_t failureIndex = std::numeric_limits<std::size_t>::max();
+  std::vector<Failure> failures;
 
   const auto worker = [&] {
     while (true) {
@@ -68,12 +90,7 @@ void ParallelRunner::forEachIndex(
         fn(index);
       } catch (...) {
         const std::scoped_lock lock{failureMutex};
-        // Keep the lowest-indexed failure so the rethrown exception is the
-        // same whatever the interleaving.
-        if (index < failureIndex) {
-          failureIndex = index;
-          failure = std::current_exception();
-        }
+        failures.push_back({index, std::current_exception()});
       }
     }
   };
@@ -83,7 +100,31 @@ void ParallelRunner::forEachIndex(
   for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& thread : pool) thread.join();
 
-  if (failure) std::rethrow_exception(failure);
+  if (failures.empty()) return;
+
+  // Rethrow the lowest-indexed failure so the propagated exception is the
+  // same whatever the interleaving — but first record every OTHER failure
+  // (log + trace + metrics + swallowedFailures()), so a multi-failure run
+  // is never diagnosed blind from just the one rethrown exception.
+  std::sort(failures.begin(), failures.end(),
+            [](const Failure& x, const Failure& y) { return x.index < y.index; });
+  for (std::size_t i = 1; i < failures.size(); ++i) {
+    WorkerFailure swallowed{failures[i].index,
+                            describeException(failures[i].error)};
+    BDP_LOG(kWarn, "parallel")
+        << "task " << swallowed.index << " also failed (suppressed by task "
+        << failures.front().index << "): " << swallowed.what;
+    if (auto* tr = obs::Trace::active()) {
+      tr->record({0, obs::EventKind::kParallel,
+                  static_cast<std::uint8_t>(obs::ParallelOp::kWorkerFailure),
+                  0, 0, 0, 0, 0, swallowed.index, swallowed.what});
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("parallel.worker_failures").add(1);
+    }
+    swallowedFailures_.push_back(std::move(swallowed));
+  }
+  std::rethrow_exception(failures.front().error);
 }
 
 }  // namespace blackdp::sim

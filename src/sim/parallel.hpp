@@ -21,7 +21,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
+
+namespace blackdp::obs {
+class MetricsRegistry;
+}  // namespace blackdp::obs
 
 namespace blackdp::sim {
 
@@ -35,6 +40,13 @@ namespace blackdp::sim {
 /// requested value, or 0 when the flag is absent.
 [[nodiscard]] unsigned consumeJobsFlag(int& argc, char** argv);
 
+/// A worker exception that was caught but NOT rethrown by forEachIndex
+/// (only the lowest-indexed failing task's exception propagates).
+struct WorkerFailure {
+  std::size_t index{0};  ///< task index whose body threw
+  std::string what;      ///< exception message, or "unknown exception"
+};
+
 class ParallelRunner {
  public:
   /// `jobs` as per resolveJobCount (0 = env / hardware default).
@@ -42,12 +54,26 @@ class ParallelRunner {
 
   [[nodiscard]] unsigned jobs() const { return jobs_; }
 
+  /// Optional sink: every swallowed worker failure bumps the
+  /// `parallel.worker_failures` counter there (recorded on the calling
+  /// thread, before the rethrow). The registry must outlive the runner.
+  void setMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Runs fn(0) ... fn(count-1) across the pool and blocks until all have
   /// finished. With one job everything runs inline on the caller's thread.
   /// If any task throws, the exception of the lowest-indexed failing task is
-  /// rethrown here after all workers have stopped.
+  /// rethrown here after all workers have stopped. Failures of OTHER tasks
+  /// are never silently lost: each is logged, emitted as a
+  /// kParallel/kWorkerFailure trace event (calling thread's recorder), and
+  /// queryable via swallowedFailures() until the next run.
   void forEachIndex(std::size_t count,
                     const std::function<void(std::size_t)>& fn) const;
+
+  /// Failures from the most recent forEachIndex()/map() call that were not
+  /// rethrown, in task-index order. Empty when at most one task failed.
+  [[nodiscard]] const std::vector<WorkerFailure>& swallowedFailures() const {
+    return swallowedFailures_;
+  }
 
   /// forEachIndex, collecting one result per index. Results come back in
   /// index order regardless of which worker ran what — fold them left to
@@ -62,6 +88,9 @@ class ParallelRunner {
 
  private:
   unsigned jobs_{1};
+  obs::MetricsRegistry* metrics_{nullptr};
+  /// Reset at the start of each forEachIndex call (caller thread only).
+  mutable std::vector<WorkerFailure> swallowedFailures_;
 };
 
 }  // namespace blackdp::sim

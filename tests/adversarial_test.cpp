@@ -1,0 +1,225 @@
+// Adversarial-robustness end-to-end tests: probe-evading attackers vs. the
+// hardened detector, accusation flooding vs. the reporter-reputation
+// defenses, and pins that the new machinery is inert when switched off.
+#include <gtest/gtest.h>
+
+#include "scenario/highway_scenario.hpp"
+
+namespace blackdp::scenario {
+namespace {
+
+ScenarioConfig adversarialConfig(std::uint64_t seed, AttackType attack) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.attack = attack;
+  config.attackerCluster = common::ClusterId{2};
+  config.evasion.firstEvasiveCluster = 99;  // isolate the probe-evasion axis
+  return config;
+}
+
+void addFlooders(ScenarioConfig& config, std::uint32_t count) {
+  config.accusationFlooders = count;
+  config.flooder.start = sim::Duration::seconds(1);
+  config.flooder.interval = sim::Duration::milliseconds(300);
+  config.flooder.maxAccusations = 10;
+}
+
+struct FloodTally {
+  std::uint64_t rateLimited{0};
+  std::uint64_t replayed{0};
+  std::uint64_t exonerations{0};
+  std::uint64_t demerits{0};
+  std::uint64_t quarantined{0};
+};
+
+FloodTally tallyDetectors(HighwayScenario& world) {
+  FloodTally t;
+  for (const auto& rsu : world.rsus()) {
+    const core::DetectorStats& stats = rsu->detector->stats();
+    t.rateLimited += stats.dreqRateLimited;
+    t.replayed += stats.dreqReplayed;
+    t.exonerations += stats.exonerations;
+    t.demerits += stats.reporterDemerits;
+    t.quarantined += stats.reportersQuarantined;
+  }
+  return t;
+}
+
+// --- probe evasion -------------------------------------------------------
+
+TEST(SelectiveAttackerTest, SitsOutTheFirstDiscovery) {
+  HighwayScenario world(adversarialConfig(901, AttackType::kSelective));
+  const auto report = world.runVerification();  // single round
+  // The cache is cold on the first flood, so the route establishes
+  // honestly and nothing is ever suspected.
+  EXPECT_EQ(report.outcome, core::Outcome::kRouteVerified);
+  // No forgery, no suspicion, no detection session at all: the attack
+  // only manifests on a rediscovery (see EvadesTheNaiveDetector).
+  EXPECT_TRUE(world.detectionSummary().sessions.empty());
+  ASSERT_NE(world.primaryAttacker(), nullptr);
+  ASSERT_NE(world.primaryAttacker()->selective, nullptr);
+  EXPECT_EQ(world.primaryAttacker()->attacker->attackStats().rrepsForged, 0u);
+  EXPECT_GT(world.primaryAttacker()->selective->selectiveStats().probesIgnored,
+            0u);
+}
+
+TEST(SelectiveAttackerTest, EvadesTheNaiveDetector) {
+  HighwayScenario world(adversarialConfig(902, AttackType::kSelective));
+  (void)world.runVerification(/*rounds=*/2);
+  world.runFor(sim::Duration::seconds(10));
+
+  // The rediscovery IS attacked (cache is hot now)...
+  ASSERT_NE(world.primaryAttacker(), nullptr);
+  EXPECT_GT(world.primaryAttacker()
+                ->attacker->attackStats().rrepsForged,
+            0u);
+  // ...but the naive fake-destination probe is ignored as never-heard, so
+  // the session ends unconfirmed.
+  EXPECT_GT(world.primaryAttacker()->selective->selectiveStats().probesIgnored,
+            0u);
+  const DetectionSummary summary = world.detectionSummary();
+  EXPECT_FALSE(summary.confirmedOnAttacker);
+  EXPECT_FALSE(summary.falsePositive);
+}
+
+TEST(SelectiveAttackerTest, HardenedCampaignCatchesIt) {
+  ScenarioConfig config = adversarialConfig(903, AttackType::kSelective);
+  config.detector.hardening.enabled = true;
+  HighwayScenario world(std::move(config));
+  (void)world.runVerification(/*rounds=*/2);
+  world.runFor(sim::Duration::seconds(10));
+
+  const DetectionSummary summary = world.detectionSummary();
+  EXPECT_TRUE(summary.confirmedOnAttacker);
+  EXPECT_FALSE(summary.falsePositive);
+  EXPECT_EQ(world.honestRevocations(), 0u);
+}
+
+TEST(SelectiveAttackerTest, HardenedCampaignStillCatchesNaiveAttacker) {
+  ScenarioConfig config = adversarialConfig(904, AttackType::kSingle);
+  config.detector.hardening.enabled = true;
+  HighwayScenario world(std::move(config));
+  (void)world.runVerification(/*rounds=*/2);
+  world.runFor(sim::Duration::seconds(10));
+
+  const DetectionSummary summary = world.detectionSummary();
+  EXPECT_TRUE(summary.confirmedOnAttacker);
+  EXPECT_FALSE(summary.falsePositive);
+}
+
+// --- accusation flooding -------------------------------------------------
+
+TEST(AccusationFloodTest, NeverQuarantinesAnHonestVehicle) {
+  for (std::uint64_t seed = 910; seed < 915; ++seed) {
+    ScenarioConfig config = adversarialConfig(seed, AttackType::kNone);
+    config.detector.hardening.enabled = true;
+    addFlooders(config, 2);
+    HighwayScenario world(std::move(config));
+    (void)world.runVerification();
+    world.runFor(sim::Duration::seconds(20));
+
+    EXPECT_EQ(world.honestRevocations(), 0u) << "seed " << seed;
+    EXPECT_FALSE(world.detectionSummary().anyConfirmed) << "seed " << seed;
+  }
+}
+
+TEST(AccusationFloodTest, DefensesEngageAndQuarantineLiars) {
+  // Aggregated over a few seeds: every defense layer must demonstrably
+  // fire — rate limiting, nonce replay rejection, exoneration/demerits,
+  // and at least one flooder quarantined as a systematic liar.
+  FloodTally total;
+  for (std::uint64_t seed = 920; seed < 925; ++seed) {
+    ScenarioConfig config = adversarialConfig(seed, AttackType::kNone);
+    config.detector.hardening.enabled = true;
+    addFlooders(config, 2);
+    HighwayScenario world(std::move(config));
+    (void)world.runVerification();
+    world.runFor(sim::Duration::seconds(20));
+
+    EXPECT_EQ(world.honestRevocations(), 0u) << "seed " << seed;
+    const FloodTally t = tallyDetectors(world);
+    total.rateLimited += t.rateLimited;
+    total.replayed += t.replayed;
+    total.exonerations += t.exonerations;
+    total.demerits += t.demerits;
+    total.quarantined += t.quarantined;
+  }
+  EXPECT_GT(total.rateLimited, 0u);
+  EXPECT_GT(total.replayed, 0u);
+  EXPECT_GT(total.exonerations, 0u);
+  EXPECT_GT(total.demerits, 0u);
+  EXPECT_GT(total.quarantined, 0u);
+}
+
+TEST(AccusationFloodTest, RealAttackerStillDetectedThroughTheNoise) {
+  ScenarioConfig config = adversarialConfig(930, AttackType::kSingle);
+  config.detector.hardening.enabled = true;
+  addFlooders(config, 2);
+  HighwayScenario world(std::move(config));
+  (void)world.runVerification(/*rounds=*/2);
+  world.runFor(sim::Duration::seconds(20));
+
+  const DetectionSummary summary = world.detectionSummary();
+  EXPECT_TRUE(summary.confirmedOnAttacker);
+  EXPECT_FALSE(summary.falsePositive);
+  EXPECT_EQ(world.honestRevocations(), 0u);
+}
+
+// --- default-off pins ----------------------------------------------------
+
+// The adversarial knobs ship disabled; a seed-style scenario with the knobs
+// explicitly at their defaults must replay byte-identically to one that
+// never mentions them.
+TEST(DefaultOffPinTest, ExplicitDefaultsReplayByteIdentically) {
+  ScenarioConfig plain;
+  plain.seed = 941;
+  plain.attack = AttackType::kSingle;
+  plain.attackerCluster = common::ClusterId{2};
+  plain.evasion.firstEvasiveCluster = 99;
+
+  ScenarioConfig pinned = plain;
+  pinned.detector.hardening = core::DetectorHardening{};
+  pinned.accusationFlooders = 0;
+  pinned.detector.recordProbeIdentities = false;
+  ASSERT_FALSE(pinned.detector.hardening.enabled);
+
+  HighwayScenario a(plain);
+  HighwayScenario b(std::move(pinned));
+  (void)a.runVerification();
+  (void)b.runVerification();
+
+  EXPECT_EQ(a.medium().stats().framesDelivered,
+            b.medium().stats().framesDelivered);
+  EXPECT_EQ(a.medium().stats().framesSent, b.medium().stats().framesSent);
+  std::uint64_t probesA = 0, probesB = 0;
+  for (const auto& rsu : a.rsus()) probesA += rsu->detector->stats().probesSent;
+  for (const auto& rsu : b.rsus()) probesB += rsu->detector->stats().probesSent;
+  EXPECT_EQ(probesA, probesB);
+  EXPECT_EQ(a.detectionSummary().sessions.size(),
+            b.detectionSummary().sessions.size());
+}
+
+// Hardening ON must not create false accusations in the paper's own
+// scenarios: sweep seed trials of the fig-4 shape (single + cooperative,
+// early clusters) and require zero honest revocations and zero FPs.
+TEST(DefaultOffPinTest, HardeningAddsNoFalsePositivesInSeedScenarios) {
+  const AttackType kinds[] = {AttackType::kSingle, AttackType::kCooperative};
+  for (const AttackType attack : kinds) {
+    for (std::uint64_t seed = 950; seed < 953; ++seed) {
+      ScenarioConfig config = adversarialConfig(seed, attack);
+      config.detector.hardening.enabled = true;
+      HighwayScenario world(std::move(config));
+      (void)world.runVerification();
+      world.runFor(sim::Duration::seconds(5));
+
+      const DetectionSummary summary = world.detectionSummary();
+      EXPECT_TRUE(summary.confirmedOnAttacker)
+          << "seed " << seed << " attack " << static_cast<int>(attack);
+      EXPECT_FALSE(summary.falsePositive) << "seed " << seed;
+      EXPECT_EQ(world.honestRevocations(), 0u) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blackdp::scenario

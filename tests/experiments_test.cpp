@@ -76,6 +76,7 @@ TEST(Fig5Test, CaseListCoversPaperTreatments) {
       case AttackType::kNone: ++none; break;
       case AttackType::kSingle: ++single; break;
       case AttackType::kCooperative: ++coop; break;
+      case AttackType::kSelective: break;  // not part of the paper's Fig. 5
     }
   }
   EXPECT_EQ(none, 2);

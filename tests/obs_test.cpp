@@ -464,6 +464,61 @@ TEST(ReportTest, IncompleteSessionIsNotComplete) {
   EXPECT_EQ(report.sessions[0].probeAtUs, -1);
 }
 
+TEST(ReportTest, AccusationDefenseEventsAreTalliedAndPrinted) {
+  const auto op = [](auto o) { return static_cast<std::uint8_t>(o); };
+  // A forged accusation against honest 1001: rate-limit + replay rejections
+  // (pre-session, session id 0), then a session that exonerates the suspect,
+  // demerits reporter 1000, and quarantines it as a liar.
+  const std::vector<TraceEvent> events{
+      TraceEvent{50, EventKind::kDetector, op(DetectorOp::kDreqRateLimited),
+                 100002, 2, 1001, 1000, 0},
+      TraceEvent{60, EventKind::kDetector, op(DetectorOp::kDreqReplayed),
+                 100002, 2, 1001, 1000, 0},
+      TraceEvent{100, EventKind::kDetector, op(DetectorOp::kSessionOpened),
+                 100002, 2, 1001, 1000, 42},
+      TraceEvent{200, EventKind::kDetector, op(DetectorOp::kProbeSent), 100002,
+                 2, 1001, 1001, 42, 0},
+      TraceEvent{400, EventKind::kDetector, op(DetectorOp::kExonerated),
+                 100002, 2, 1001, 1000, 42},
+      TraceEvent{400, EventKind::kDetector, op(DetectorOp::kReporterDemerited),
+                 100002, 2, 1001, 1000, 42},
+      TraceEvent{400, EventKind::kDetector,
+                 op(DetectorOp::kReporterQuarantined), 100002, 2, 1001, 1000,
+                 42},
+  };
+  const obs::TraceReport report = obs::buildReport(events);
+  EXPECT_TRUE(report.accusationDefense.any());
+  EXPECT_EQ(report.accusationDefense.rateLimited, 1u);
+  EXPECT_EQ(report.accusationDefense.replayed, 1u);
+  EXPECT_EQ(report.accusationDefense.exonerations, 1u);
+  EXPECT_EQ(report.accusationDefense.demerits, 1u);
+  EXPECT_EQ(report.accusationDefense.reportersQuarantined, 1u);
+
+  ASSERT_EQ(report.sessions.size(), 1u);
+  const obs::SessionTimeline& session = report.sessions[0];
+  EXPECT_EQ(session.exoneratedAtUs, 400);
+  EXPECT_EQ(session.reporterDemerits, 1u);
+  ASSERT_EQ(session.quarantinedReporters.size(), 1u);
+  EXPECT_EQ(session.quarantinedReporters[0], 1000u);
+
+  std::stringstream out;
+  obs::printReport(report, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("accusation defense:"), std::string::npos);
+  EXPECT_NE(text.find("d_req rate-limited: 1"), std::string::npos);
+  EXPECT_NE(text.find("suspect exonerated at"), std::string::npos);
+  EXPECT_NE(text.find("quarantined liar(s): 1000"), std::string::npos);
+  EXPECT_NE(text.find("reporter=1000"), std::string::npos);
+}
+
+TEST(ReportTest, CleanTraceHasNoAccusationDefenseBlock) {
+  const obs::TraceReport report = obs::buildReport(syntheticDetectionTrace());
+  EXPECT_FALSE(report.accusationDefense.any());
+  std::stringstream out;
+  obs::printReport(report, out);
+  EXPECT_EQ(out.str().find("accusation defense:"), std::string::npos);
+}
+
 TEST(ReportTest, PrintedReportNamesTheStages) {
   std::stringstream out;
   obs::printReport(obs::buildReport(syntheticDetectionTrace()), out);

@@ -124,6 +124,41 @@ TEST(ParallelRunnerTest, LowestIndexedFailureIsRethrown) {
       std::runtime_error);
 }
 
+TEST(ParallelRunnerTest, SuppressedFailuresAreRecordedSortedByIndex) {
+  const sim::ParallelRunner runner{4};
+  try {
+    runner.forEachIndex(64, [](std::size_t i) {
+      if (i == 7 || i == 23 || i == 41) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected the lowest-indexed exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7");
+  }
+  // The two failures the rethrow suppressed are queryable, in index order,
+  // with their messages preserved.
+  const std::vector<sim::WorkerFailure>& swallowed = runner.swallowedFailures();
+  ASSERT_EQ(swallowed.size(), 2u);
+  EXPECT_EQ(swallowed[0].index, 23u);
+  EXPECT_EQ(swallowed[0].what, "task 23");
+  EXPECT_EQ(swallowed[1].index, 41u);
+  EXPECT_EQ(swallowed[1].what, "task 41");
+}
+
+TEST(ParallelRunnerTest, SwallowedFailuresResetOnTheNextRun) {
+  const sim::ParallelRunner runner{4};
+  try {
+    runner.forEachIndex(8, [](std::size_t i) {
+      if (i >= 2) throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(runner.swallowedFailures().empty());
+  runner.forEachIndex(8, [](std::size_t) {});
+  EXPECT_TRUE(runner.swallowedFailures().empty());
+}
+
 TEST(ParallelRunnerTest, SingleJobRunsInline) {
   const sim::ParallelRunner runner{1};
   EXPECT_EQ(runner.jobs(), 1u);

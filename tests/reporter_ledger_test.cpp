@@ -1,0 +1,187 @@
+// Property tests for the reporter-reputation state machine (the
+// accusation-channel defense). The ledger is pure bookkeeping, so every
+// transition is checked in isolation and against a reference model under
+// random interleavings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/reporter_ledger.hpp"
+#include "sim/rng.hpp"
+
+namespace blackdp::core {
+namespace {
+
+constexpr common::Address kReporter{0x501};
+constexpr common::Address kOther{0x502};
+
+sim::TimePoint at(std::int64_t ms) {
+  return sim::TimePoint::fromUs(ms * 1000);
+}
+
+TEST(ReporterLedgerTest, RateLimitWindowSlides) {
+  ReporterLedgerConfig config;
+  config.windowMax = 3;
+  config.window = sim::Duration::seconds(10);
+  ReporterLedger ledger{config};
+
+  EXPECT_TRUE(ledger.admitAccusation(kReporter, at(0)));
+  EXPECT_TRUE(ledger.admitAccusation(kReporter, at(100)));
+  EXPECT_TRUE(ledger.admitAccusation(kReporter, at(200)));
+  // Over budget inside the window.
+  EXPECT_FALSE(ledger.admitAccusation(kReporter, at(300)));
+  // A different reporter has its own budget.
+  EXPECT_TRUE(ledger.admitAccusation(kOther, at(300)));
+  // Once the first accusations age out of the window, budget returns.
+  EXPECT_TRUE(ledger.admitAccusation(kReporter, at(10'200)));
+}
+
+TEST(ReporterLedgerTest, RejectedAccusationsDoNotConsumeBudget) {
+  ReporterLedgerConfig config;
+  config.windowMax = 1;
+  config.window = sim::Duration::seconds(1);
+  ReporterLedger ledger{config};
+
+  EXPECT_TRUE(ledger.admitAccusation(kReporter, at(0)));
+  // Hammering while over budget must not extend the lockout.
+  for (int ms = 100; ms < 1000; ms += 100) {
+    EXPECT_FALSE(ledger.admitAccusation(kReporter, at(ms)));
+  }
+  EXPECT_TRUE(ledger.admitAccusation(kReporter, at(1'100)));
+}
+
+TEST(ReporterLedgerTest, DemeritCrossesThresholdExactlyOnce) {
+  ReporterLedgerConfig config;
+  config.demeritThreshold = 3;
+  ReporterLedger ledger{config};
+
+  EXPECT_FALSE(ledger.demerit(kReporter));
+  EXPECT_FALSE(ledger.demerit(kReporter));
+  EXPECT_FALSE(ledger.isQuarantined(kReporter));
+  // The crossing demerit reports true — and only that one, ever.
+  EXPECT_TRUE(ledger.demerit(kReporter));
+  EXPECT_TRUE(ledger.isQuarantined(kReporter));
+  EXPECT_FALSE(ledger.demerit(kReporter));
+  EXPECT_FALSE(ledger.demerit(kReporter));
+}
+
+TEST(ReporterLedgerTest, QuarantineBlocksFurtherAccusations) {
+  ReporterLedgerConfig config;
+  config.demeritThreshold = 1;
+  ReporterLedger ledger{config};
+
+  EXPECT_TRUE(ledger.admitAccusation(kReporter, at(0)));
+  EXPECT_TRUE(ledger.demerit(kReporter));
+  EXPECT_FALSE(ledger.admitAccusation(kReporter, at(50'000)));
+}
+
+TEST(ReporterLedgerTest, CreditForgivesButFloorsAtZero) {
+  ReporterLedgerConfig config;
+  config.demeritThreshold = 2;
+  ReporterLedger ledger{config};
+
+  ledger.credit(kReporter);  // floor: no negative score
+  EXPECT_EQ(ledger.demeritScore(kReporter), 0);
+
+  EXPECT_FALSE(ledger.demerit(kReporter));
+  ledger.credit(kReporter);
+  EXPECT_EQ(ledger.demeritScore(kReporter), 0);
+  // The forgiven demerit buys headroom before the threshold.
+  EXPECT_FALSE(ledger.demerit(kReporter));
+  EXPECT_TRUE(ledger.demerit(kReporter));
+}
+
+TEST(ReporterLedgerTest, NonceReplayRejectedPerReporter) {
+  ReporterLedger ledger;
+  EXPECT_TRUE(ledger.admitNonce(kReporter, 42));
+  EXPECT_FALSE(ledger.admitNonce(kReporter, 42));
+  // Nonces are scoped per reporter.
+  EXPECT_TRUE(ledger.admitNonce(kOther, 42));
+  // Legacy unstamped d_reqs (nonce 0) always pass.
+  EXPECT_TRUE(ledger.admitNonce(kReporter, 0));
+  EXPECT_TRUE(ledger.admitNonce(kReporter, 0));
+}
+
+TEST(ReporterLedgerTest, NonceCacheEvictsOldestFirst) {
+  ReporterLedgerConfig config;
+  config.nonceCacheMax = 4;
+  ReporterLedger ledger{config};
+
+  for (std::uint64_t n = 1; n <= 4; ++n) {
+    EXPECT_TRUE(ledger.admitNonce(kReporter, n));
+  }
+  EXPECT_FALSE(ledger.admitNonce(kReporter, 1));
+  // Nonce 5 evicts nonce 1 (oldest); a replay of 1 now slips through, which
+  // is the documented bounded-memory trade-off.
+  EXPECT_TRUE(ledger.admitNonce(kReporter, 5));
+  EXPECT_TRUE(ledger.admitNonce(kReporter, 1));
+  // Recent nonces are still rejected.
+  EXPECT_FALSE(ledger.admitNonce(kReporter, 5));
+}
+
+// Model-based property sweep: random demerit/credit interleavings must
+// always agree with a trivially correct reference model.
+TEST(ReporterLedgerTest, RandomInterleavingsMatchReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    sim::Rng rng{seed};
+    ReporterLedgerConfig config;
+    config.demeritThreshold = static_cast<int>(rng.uniformInt(1, 6));
+    ReporterLedger ledger{config};
+
+    int model = 0;
+    bool modelQuarantined = false;
+    int thresholdCrossings = 0;
+    for (int step = 0; step < 200; ++step) {
+      if (rng.bernoulli(0.6)) {
+        const bool crossed = ledger.demerit(kReporter);
+        ++model;
+        if (crossed) ++thresholdCrossings;
+        if (!modelQuarantined && model >= config.demeritThreshold) {
+          modelQuarantined = true;
+          EXPECT_TRUE(crossed) << "seed " << seed << " step " << step;
+        } else {
+          EXPECT_FALSE(crossed) << "seed " << seed << " step " << step;
+        }
+      } else {
+        ledger.credit(kReporter);
+        model = std::max(0, model - 1);
+      }
+      EXPECT_EQ(ledger.demeritScore(kReporter), model)
+          << "seed " << seed << " step " << step;
+      EXPECT_EQ(ledger.isQuarantined(kReporter), modelQuarantined)
+          << "seed " << seed << " step " << step;
+    }
+    EXPECT_LE(thresholdCrossings, 1) << "seed " << seed;
+  }
+}
+
+// Rate-limit property under random arrival times: the number of admitted
+// accusations inside any window never exceeds windowMax.
+TEST(ReporterLedgerTest, WindowBudgetNeverExceededUnderRandomArrivals) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng{seed * 977};
+    ReporterLedgerConfig config;
+    config.windowMax = static_cast<std::uint32_t>(rng.uniformInt(1, 5));
+    config.window = sim::Duration::seconds(5);
+    ReporterLedger ledger{config};
+
+    std::vector<sim::TimePoint> admitted;
+    std::int64_t nowMs = 0;
+    for (int step = 0; step < 300; ++step) {
+      nowMs += rng.uniformInt(0, 1'500);
+      if (ledger.admitAccusation(kReporter, at(nowMs))) {
+        admitted.push_back(at(nowMs));
+      }
+      // Count admissions inside the current window (inclusive semantics
+      // match the ledger: entries older than `window` are evicted).
+      std::size_t inWindow = 0;
+      for (const sim::TimePoint t : admitted) {
+        if (at(nowMs) - t <= config.window) ++inWindow;
+      }
+      EXPECT_LE(inWindow, config.windowMax) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blackdp::core

@@ -1,0 +1,115 @@
+// Chaos-soak driver.
+//
+//   soak_run --seconds 30                 # randomized soak within a budget
+//   soak_run --seconds 30 --jobs 8        # parallel trials
+//   soak_run --trials 12                  # fixed trial count instead
+//   soak_run --seed 42 --trial 7          # replay exactly one trial
+//   soak_run --inject-violation ...       # prove the harness catches bugs
+//
+// On any invariant violation the process prints one replay line per
+// violation — `soak_run --seed S --trial K` — and exits 1. The replay is a
+// pure function of (seed, trial): one thread, any machine, same violation.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "obs/trace_io.hpp"
+#include "soak/soak_runner.hpp"
+
+namespace {
+
+void printViolations(const blackdp::soak::SoakRunner& runner,
+                     const std::vector<blackdp::soak::SoakViolation>& violations,
+                     bool injected) {
+  for (const blackdp::soak::SoakViolation& v : violations) {
+    std::cout << "VIOLATION [" << v.invariant << "] trial " << v.trialIndex
+              << " (seed " << v.trialSeed << "): " << v.detail << "\n"
+              << "  replay: soak_run --seed "
+              << runner.options().masterSeed << " --trial " << v.trialIndex
+              << (injected ? " --inject-violation" : "") << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  blackdp::soak::SoakOptions options;
+  options.log = &std::cout;
+  std::optional<std::uint64_t> replayTrial;
+  std::string tracePath;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seconds") {
+      options.wallClockBudgetS = std::strtod(value(), nullptr);
+    } else if (arg == "--trials") {
+      options.maxTrials = std::strtoull(value(), nullptr, 10);
+      options.wallClockBudgetS = 1e9;  // trial count is the stop condition
+    } else if (arg == "--seed") {
+      options.masterSeed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--trial") {
+      replayTrial = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--trace") {
+      tracePath = value();
+    } else if (arg == "--inject-violation") {
+      options.injectViolation = true;
+    } else if (arg == "--quiet") {
+      options.log = nullptr;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: soak_run [--seconds N] [--trials N] [--seed S] "
+                   "[--jobs J] [--trial K] [--trace FILE] "
+                   "[--inject-violation] [--quiet]\n";
+      return 2;
+    }
+  }
+
+  const blackdp::soak::SoakRunner runner{options};
+
+  if (replayTrial) {
+    std::vector<blackdp::obs::TraceEvent> trace;
+    const blackdp::soak::SoakTrialReport report = runner.runTrial(
+        *replayTrial, tracePath.empty() ? nullptr : &trace);
+    std::cout << "replaying trial " << report.trialIndex << " (seed "
+              << report.trialSeed << "): " << report.description << "\n";
+    if (!tracePath.empty()) {
+      std::ofstream out{tracePath, std::ios::trunc};
+      if (!out) {
+        std::cerr << "cannot write trace to " << tracePath << "\n";
+        return 2;
+      }
+      blackdp::obs::writeJsonl(trace, out);
+      std::cout << "trace (" << trace.size() << " events) written to "
+                << tracePath << "\n";
+    }
+    printViolations(runner, report.violations, options.injectViolation);
+    if (report.violations.empty()) {
+      std::cout << "all invariants held.\n";
+      return 0;
+    }
+    return 1;
+  }
+
+  const blackdp::soak::SoakResult result = runner.run();
+  printViolations(runner, result.violations, options.injectViolation);
+  if (result.passed()) {
+    std::cout << "soak PASS: " << result.trialsRun
+              << " randomized trial(s), all invariants held.\n";
+    return 0;
+  }
+  std::cout << "soak FAIL: " << result.violations.size()
+            << " violation(s) across " << result.trialsRun << " trial(s).\n";
+  return 1;
+}
