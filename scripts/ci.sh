@@ -81,4 +81,41 @@ if build/tools/soak_run --trials 1 --seed 1 --inject-violation --quiet \
 fi
 grep -q "replay: soak_run --seed" "$soaklog"
 
-echo "CI: both configurations green, bench + campaign + soak smoke validated."
+echo "==== stream soak (checkpoint / kill / resume) ===="
+# Detector-as-a-service crash consistency. An uninterrupted checkpointed run
+# and a run killed between checkpoints then resumed must converge: identical
+# metrics JSON and a byte-identical final checkpoint. The recorded d_req
+# trace replayed through replay_serve must reproduce the recorded verdict
+# hash, and validate_bench_json.py audits the checkpoint manifest
+# (size + CRC-32 + envelope header per entry).
+streamdir="$out/stream"
+rm -rf "$streamdir" && mkdir -p "$streamdir"
+build/tools/soak_run --stream --epochs 40 --stream-seed 4242 \
+  --checkpoint-every 10 --checkpoint-dir "$streamdir/full" \
+  --trace "$streamdir/trace.jsonl" --json "$streamdir/metrics.full.json" \
+  --quiet
+python3 scripts/validate_bench_json.py "$streamdir/full/manifest.jsonl"
+# Kill after epoch 25 — between the epoch-20 and epoch-30 checkpoints — then
+# resume; the resumed run restarts from epoch 20 and must catch up exactly.
+build/tools/soak_run --stream --epochs 40 --stream-seed 4242 \
+  --checkpoint-every 10 --checkpoint-dir "$streamdir/cut" \
+  --stop-after 25 --quiet
+build/tools/soak_run --stream --epochs 40 --stream-seed 4242 \
+  --checkpoint-every 10 --checkpoint-dir "$streamdir/cut" \
+  --resume --json "$streamdir/metrics.resumed.json" --quiet
+cmp "$streamdir/metrics.full.json" "$streamdir/metrics.resumed.json"
+cmp "$streamdir/full/ckpt-000040.bdpc" "$streamdir/cut/ckpt-000040.bdpc"
+# Replay the recorded trace; the verdict timeline must hash to the same
+# value the recording run reported.
+expected_hash=$(python3 -c "import json, sys
+print(json.load(open(sys.argv[1]))['verdict_hash'])" \
+  "$streamdir/metrics.full.json")
+build/tools/replay_serve --trace "$streamdir/trace.jsonl" \
+  --stream-seed 4242 --expect-hash "$expected_hash" \
+  > "$streamdir/replay.log"
+# Flood leg: 600 one-second epochs (10 sim-minutes) of continuous d_req
+# ingest; the memory watermark must hold with zero table-growth violations.
+build/tools/soak_run --stream --epochs 600 --stream-seed 7 --quiet \
+  --json "$streamdir/metrics.flood.json" | tee -a "$soaklog"
+
+echo "CI: both configurations green, bench + campaign + soak + stream-soak validated."

@@ -6,6 +6,15 @@ Stdlib only — CI runs this straight after the bench smoke pass:
     python3 scripts/validate_bench_json.py bench-out/BENCH_*.json
     python3 scripts/validate_bench_json.py bench-out/smoke.manifest.jsonl
 
+Arguments named exactly `manifest.jsonl` are validated as stream-soak
+checkpoint manifests (src/soak/stream_soak.hpp): one flat JSON line per
+checkpoint, `{"epoch": N, "file": "ckpt-NNNNNN.bdpc", "bytes": B,
+"crc32": C, "seed": S}`. Each referenced file must exist next to the
+manifest, match the recorded size and CRC-32 (binascii.crc32 of the raw
+bytes), and open with the checkpoint envelope header (magic `BDPC`,
+schema version 1). Epochs must be strictly increasing and the seed
+constant — a manifest that fails any of these would break `--resume`.
+
 Arguments ending in `.manifest.jsonl` are validated as campaign manifests
 (src/campaign/manifest.hpp): a header line naming the campaign, its
 experiment kind, seed, trials-per-treatment and treatment count, then one
@@ -39,6 +48,7 @@ sum(counts) == count, and frames_per_second consistent with
 frames_delivered / wall_clock_seconds.
 """
 
+import binascii
 import json
 import pathlib
 import sys
@@ -259,14 +269,82 @@ def validate_manifest(path):
           f"{done if done == total else f'{done} of {total}'} trials)")
 
 
+CHECKPOINT_MAGIC = b"BDPC"
+CHECKPOINT_VERSION = 1
+CHECKPOINT_KEYS = ("epoch", "file", "bytes", "crc32", "seed")
+
+
+def validate_checkpoint_manifest(path):
+    lines = path.read_text().splitlines()
+    if not lines:
+        fail(path, "empty checkpoint manifest")
+    last_epoch = -1
+    seed = None
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(path, f"line {line_no}: not valid JSON: {error}")
+        for key in CHECKPOINT_KEYS:
+            if key not in entry:
+                fail(path, f"line {line_no}: missing key {key!r}")
+        for key in ("epoch", "bytes", "crc32", "seed"):
+            check_uint(path, f"line {line_no} {key}", entry[key])
+        if not isinstance(entry["file"], str):
+            fail(path, f"line {line_no}: file must be a string")
+
+        epoch = entry["epoch"]
+        if epoch <= last_epoch:
+            fail(path, f"line {line_no}: epochs not strictly increasing "
+                       f"({epoch} after {last_epoch})")
+        last_epoch = epoch
+        if entry["file"] != f"ckpt-{epoch:06d}.bdpc":
+            fail(path, f"line {line_no}: file {entry['file']!r} does not "
+                       f"match the ckpt-NNNNNN.bdpc naming for epoch {epoch}")
+        if seed is None:
+            seed = entry["seed"]
+        elif entry["seed"] != seed:
+            fail(path, f"line {line_no}: seed {entry['seed']} != {seed} "
+                       f"from the first entry")
+
+        ckpt = path.parent / entry["file"]
+        if not ckpt.is_file():
+            fail(path, f"line {line_no}: {entry['file']} is missing")
+        data = ckpt.read_bytes()
+        if len(data) != entry["bytes"]:
+            fail(path, f"line {line_no}: {entry['file']} is {len(data)} "
+                       f"bytes, manifest says {entry['bytes']}")
+        if binascii.crc32(data) != entry["crc32"]:
+            fail(path, f"line {line_no}: {entry['file']} CRC "
+                       f"{binascii.crc32(data)} != manifest "
+                       f"{entry['crc32']}")
+        if data[:4] != CHECKPOINT_MAGIC:
+            fail(path, f"line {line_no}: {entry['file']} lacks the "
+                       f"checkpoint magic {CHECKPOINT_MAGIC!r}")
+        if int.from_bytes(data[4:6], "big") != CHECKPOINT_VERSION:
+            fail(path, f"line {line_no}: {entry['file']} schema version "
+                       f"{int.from_bytes(data[4:6], 'big')} != "
+                       f"{CHECKPOINT_VERSION}")
+
+    if last_epoch < 0:
+        fail(path, "checkpoint manifest holds no entries")
+    count = sum(1 for line in lines if line.strip())
+    print(f"{path}: OK (checkpoint manifest, {count} checkpoints verified, "
+          f"last epoch {last_epoch}, seed {seed})")
+
+
 def main(argv):
     if len(argv) < 2:
         raise SystemExit(
-            "usage: validate_bench_json.py [BENCH_*.json | *.manifest.jsonl] "
-            "...")
+            "usage: validate_bench_json.py "
+            "[BENCH_*.json | *.manifest.jsonl | manifest.jsonl] ...")
     for arg in argv[1:]:
         path = pathlib.Path(arg)
-        if path.name.endswith(".manifest.jsonl"):
+        if path.name == "manifest.jsonl":
+            validate_checkpoint_manifest(path)
+        elif path.name.endswith(".manifest.jsonl"):
             validate_manifest(path)
         else:
             validate(path)

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "codec/checkpoint.hpp"
 #include "common/assert.hpp"
 #include "core/telemetry.hpp"
 #include "obs/bench_json.hpp"
@@ -286,14 +287,25 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
 
   // Canonical rewrite: after a resume the streamed file has resumed rows in
   // the preamble; rewriting in trial-id order makes the finished manifest
-  // byte-identical to an uninterrupted run's.
+  // byte-identical to an uninterrupted run's. Atomic (temp + rename): the
+  // manifest doubles as the campaign's resume checkpoint, so a kill during
+  // the rewrite must not tear it — either the streamed resumable file or
+  // the complete canonical one survives, never a prefix of the latter.
   if (options_.writeManifest) {
     writer.reset();
-    std::ofstream out{manifestPath, std::ios::trunc};
-    if (!out) fail(spec, "cannot rewrite manifest " + manifestPath);
-    out << manifestHeaderLine(spec, treatments->size()) << '\n';
+    std::string canonical = manifestHeaderLine(spec, treatments->size());
+    canonical += '\n';
     for (const TrialRecord* record : ordered) {
-      out << manifestRowLine(*record) << '\n';
+      canonical += manifestRowLine(*record);
+      canonical += '\n';
+    }
+    const common::Status wrote = codec::writeFileAtomic(
+        manifestPath,
+        {reinterpret_cast<const std::uint8_t*>(canonical.data()),
+         canonical.size()});
+    if (!wrote.ok()) {
+      fail(spec, "cannot rewrite manifest " + manifestPath + ": " +
+                     wrote.error().detail);
     }
     result.manifestPath = manifestPath;
   }

@@ -1,5 +1,9 @@
 #include "cluster/cluster_head.hpp"
 
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
 
@@ -161,6 +165,94 @@ void ClusterHead::onBackboneMessage(common::ClusterId from,
 void ClusterHead::onBackboneSendFailed(common::ClusterId to,
                                        const net::PayloadPtr& payload) {
   if (backboneFailureHook_) backboneFailureHook_(to, payload);
+}
+
+namespace {
+
+// Doubles travel as bit patterns: byte-exact round-trip, no locale/precision
+// surprises, and identical logical state always hashes to identical bytes.
+void writeMemberTable(
+    common::ByteWriter& w,
+    const std::unordered_map<common::Address, MemberRecord>& table) {
+  std::vector<common::Address> order;
+  order.reserve(table.size());
+  for (const auto& [addr, record] : table) order.push_back(addr);
+  std::sort(order.begin(), order.end());
+  w.writeU32(static_cast<std::uint32_t>(order.size()));
+  for (const common::Address addr : order) {
+    const MemberRecord& record = table.at(addr);
+    w.writeU64(addr.value());
+    w.writeI64(record.joinedAt.us());
+    w.writeU64(std::bit_cast<std::uint64_t>(record.lastPosition.x));
+    w.writeU64(std::bit_cast<std::uint64_t>(record.lastPosition.y));
+    w.writeU64(std::bit_cast<std::uint64_t>(record.speedMps));
+    w.writeU8(static_cast<std::uint8_t>(record.direction));
+  }
+}
+
+void readMemberTable(common::ByteReader& r,
+                     std::unordered_map<common::Address, MemberRecord>& table) {
+  table.clear();
+  const std::uint32_t count = r.readU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MemberRecord record;
+    record.vehicle = common::Address{r.readU64()};
+    record.joinedAt = sim::TimePoint::fromUs(r.readI64());
+    record.lastPosition.x = std::bit_cast<double>(r.readU64());
+    record.lastPosition.y = std::bit_cast<double>(r.readU64());
+    record.speedMps = std::bit_cast<double>(r.readU64());
+    record.direction = static_cast<mobility::Direction>(r.readU8());
+    table.emplace(record.vehicle, record);
+  }
+}
+
+}  // namespace
+
+void ClusterHead::saveState(common::ByteWriter& w) const {
+  writeMemberTable(w, members_);
+  writeMemberTable(w, history_);
+
+  std::vector<crypto::RevocationNotice> notices = revocations_.active();
+  std::sort(notices.begin(), notices.end(),
+            [](const crypto::RevocationNotice& a,
+               const crypto::RevocationNotice& b) { return a.serial < b.serial; });
+  w.writeU32(static_cast<std::uint32_t>(notices.size()));
+  for (const crypto::RevocationNotice& n : notices) {
+    w.writeU64(n.pseudonym.value());
+    w.writeU64(n.serial.value());
+    w.writeI64(n.certExpiry.us());
+  }
+
+  w.writeU64(stats_.joinsAccepted);
+  w.writeU64(stats_.joinsIgnored);
+  w.writeU64(stats_.leaves);
+  w.writeU64(stats_.revocationsAnnounced);
+  w.writeU64(stats_.crashes);
+  w.writeU64(stats_.recoveries);
+}
+
+void ClusterHead::restoreState(common::ByteReader& r) {
+  BDP_ASSERT_MSG(!crashed_, "restoring state into a crashed cluster head");
+  readMemberTable(r, members_);
+  readMemberTable(r, history_);
+
+  // The freshly built world starts with an empty store; add() is idempotent
+  // either way.
+  const std::uint32_t revCount = r.readU32();
+  for (std::uint32_t i = 0; i < revCount; ++i) {
+    crypto::RevocationNotice n;
+    n.pseudonym = common::Address{r.readU64()};
+    n.serial = common::CertSerial{r.readU64()};
+    n.certExpiry = sim::TimePoint::fromUs(r.readI64());
+    revocations_.add(n);
+  }
+
+  stats_.joinsAccepted = r.readU64();
+  stats_.joinsIgnored = r.readU64();
+  stats_.leaves = r.readU64();
+  stats_.revocationsAnnounced = r.readU64();
+  stats_.crashes = r.readU64();
+  stats_.recoveries = r.readU64();
 }
 
 }  // namespace blackdp::cluster

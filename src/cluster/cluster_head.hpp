@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/messages.hpp"
+#include "common/bytes.hpp"
 #include "crypto/revocation_store.hpp"
 #include "mobility/zone_map.hpp"
 #include "net/backbone.hpp"
@@ -128,6 +129,13 @@ class ClusterHead : public net::BackboneEndpoint {
   [[nodiscard]] const ClusterHeadStats& stats() const { return stats_; }
   [[nodiscard]] net::BasicNode& node() { return node_; }
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+  /// Checkpoint support: member + history tables (sorted by vehicle address
+  /// for canonical bytes), the revocation store, and counters. Hooks, the
+  /// neighbor announcement, and the node wiring are rebuilt from config by
+  /// the restoring world. Restoring into a crashed CH is a caller error.
+  void saveState(common::ByteWriter& w) const;
+  void restoreState(common::ByteReader& r);
 
  private:
   bool onFrame(const net::Frame& frame);

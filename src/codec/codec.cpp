@@ -91,7 +91,22 @@ crypto::RevocationNotice readNotice(common::ByteReader& r) {
 
 void encodePayload(common::ByteWriter& w, const Payload& payload);
 
-PayloadPtr decodePayload(common::ByteReader& r);
+/// Nested-payload depth cap (kData packets can carry an inner payload). A
+/// crafted frame nesting thousands of kData headers would otherwise recurse
+/// once per level and overflow the stack; honest traffic nests at most once.
+constexpr int kMaxPayloadDepth = 8;
+
+PayloadPtr decodePayload(common::ByteReader& r, int depth = 0);
+
+/// Verdicts travel as a u8; anything outside the enum's range is a forgery
+/// or corruption, not a value the detector should ever switch over.
+core::Verdict readVerdict(common::ByteReader& r) {
+  const std::uint8_t raw = r.readU8();
+  if (raw > static_cast<std::uint8_t>(core::Verdict::kUnreachable)) {
+    throw std::invalid_argument("codec: verdict out of range");
+  }
+  return static_cast<core::Verdict>(raw);
+}
 
 void encodeBody(common::ByteWriter& w, const aodv::RouteRequest& m) {
   w.writeU8(static_cast<std::uint8_t>(WireType::kRreq));
@@ -260,7 +275,10 @@ void encodePayload(common::ByteWriter& w, const Payload& payload) {
                               std::string(payload.typeName()));
 }
 
-PayloadPtr decodePayload(common::ByteReader& r) {
+PayloadPtr decodePayload(common::ByteReader& r, int depth) {
+  if (depth > kMaxPayloadDepth) {
+    throw std::invalid_argument("codec: payload nesting too deep");
+  }
   const auto tag = static_cast<WireType>(r.readU8());
   switch (tag) {
     case WireType::kRreq: {
@@ -304,7 +322,7 @@ PayloadPtr decodePayload(common::ByteReader& r) {
       m->packetId = r.readU64();
       m->hopsTraversed = r.readU8();
       m->bodyBytes = r.readU32();
-      if (r.readBool()) m->inner = decodePayload(r);
+      if (r.readBool()) m->inner = decodePayload(r, depth + 1);
       return m;
     }
     case WireType::kHelloBeacon: {
@@ -389,7 +407,7 @@ PayloadPtr decodePayload(common::ByteReader& r) {
       m->session = r.readId<common::DetectionSessionId>();
       m->reporter = r.readId<common::Address>();
       m->suspect = r.readId<common::Address>();
-      m->verdict = static_cast<core::Verdict>(r.readU8());
+      m->verdict = readVerdict(r);
       m->accomplice = r.readId<common::Address>();
       m->packetsUsed = r.readU32();
       return m;
@@ -398,7 +416,7 @@ PayloadPtr decodePayload(common::ByteReader& r) {
       auto m = std::make_shared<core::DetectionResponse>();
       m->reporter = r.readId<common::Address>();
       m->suspect = r.readId<common::Address>();
-      m->verdict = static_cast<core::Verdict>(r.readU8());
+      m->verdict = readVerdict(r);
       m->accomplice = r.readId<common::Address>();
       return m;
     }

@@ -1,10 +1,14 @@
 #include "core/reporter_ledger.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace blackdp::core {
 
 bool ReporterLedger::admitAccusation(common::Address reporter,
                                      sim::TimePoint now) {
   Entry& e = entry(reporter);
+  e.lastTouched = std::max(e.lastTouched, now);
   if (e.quarantined) return false;
   while (!e.recent.empty() && now - e.recent.front() > config_.window) {
     e.recent.pop_front();
@@ -14,9 +18,11 @@ bool ReporterLedger::admitAccusation(common::Address reporter,
   return true;
 }
 
-bool ReporterLedger::admitNonce(common::Address reporter, std::uint64_t nonce) {
+bool ReporterLedger::admitNonce(common::Address reporter, std::uint64_t nonce,
+                                sim::TimePoint now) {
   if (nonce == 0) return true;
   Entry& e = entry(reporter);
+  e.lastTouched = std::max(e.lastTouched, now);
   if (!e.nonces.insert(nonce).second) return false;
   e.nonceOrder.push_back(nonce);
   if (e.nonceOrder.size() > config_.nonceCacheMax) {
@@ -41,6 +47,21 @@ void ReporterLedger::credit(common::Address reporter) {
   if (e.demerits > 0) --e.demerits;
 }
 
+std::size_t ReporterLedger::evictIdle(sim::TimePoint now) {
+  if (config_.entryTtl == sim::Duration{}) return 0;
+  std::size_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& e = it->second;
+    if (!e.quarantined && now - e.lastTouched > config_.entryTtl) {
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 int ReporterLedger::demeritScore(common::Address reporter) const {
   const auto it = entries_.find(reporter);
   return it == entries_.end() ? 0 : it->second.demerits;
@@ -49,6 +70,56 @@ int ReporterLedger::demeritScore(common::Address reporter) const {
 bool ReporterLedger::isQuarantined(common::Address reporter) const {
   const auto it = entries_.find(reporter);
   return it != entries_.end() && it->second.quarantined;
+}
+
+std::size_t ReporterLedger::noncesCached() const {
+  std::size_t total = 0;
+  for (const auto& [reporter, e] : entries_) total += e.nonces.size();
+  return total;
+}
+
+void ReporterLedger::saveState(common::ByteWriter& w) const {
+  std::vector<common::Address> order;
+  order.reserve(entries_.size());
+  for (const auto& [reporter, e] : entries_) order.push_back(reporter);
+  std::sort(order.begin(), order.end());
+
+  w.writeU32(static_cast<std::uint32_t>(order.size()));
+  for (const common::Address reporter : order) {
+    const Entry& e = entries_.at(reporter);
+    w.writeU64(reporter.value());
+    w.writeU32(static_cast<std::uint32_t>(e.recent.size()));
+    for (const sim::TimePoint t : e.recent) w.writeI64(t.us());
+    // nonceOrder alone carries the cache; the set is rebuilt on restore.
+    w.writeU32(static_cast<std::uint32_t>(e.nonceOrder.size()));
+    for (const std::uint64_t n : e.nonceOrder) w.writeU64(n);
+    w.writeI64(e.demerits);
+    w.writeBool(e.quarantined);
+    w.writeI64(e.lastTouched.us());
+  }
+}
+
+void ReporterLedger::restoreState(common::ByteReader& r) {
+  entries_.clear();
+  const std::uint32_t count = r.readU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const common::Address reporter{r.readU64()};
+    Entry e;
+    const std::uint32_t recentCount = r.readU32();
+    for (std::uint32_t k = 0; k < recentCount; ++k) {
+      e.recent.push_back(sim::TimePoint::fromUs(r.readI64()));
+    }
+    const std::uint32_t nonceCount = r.readU32();
+    for (std::uint32_t k = 0; k < nonceCount; ++k) {
+      const std::uint64_t n = r.readU64();
+      e.nonceOrder.push_back(n);
+      e.nonces.insert(n);
+    }
+    e.demerits = static_cast<int>(r.readI64());
+    e.quarantined = r.readBool();
+    e.lastTouched = sim::TimePoint::fromUs(r.readI64());
+    entries_.emplace(reporter, std::move(e));
+  }
 }
 
 }  // namespace blackdp::core

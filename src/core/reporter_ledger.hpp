@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "sim/time.hpp"
 
@@ -37,6 +38,12 @@ struct ReporterLedgerConfig {
   sim::Duration window{sim::Duration::seconds(10)};
   /// Per-reporter replay-cache capacity (oldest nonce evicted first).
   std::size_t nonceCacheMax{64};
+  /// Streaming-service bound: entries idle longer than this are evicted by
+  /// evictIdle() (quarantined entries are kept — they are the verdicts the
+  /// ledger exists to remember, and their count is bounded by the attacker
+  /// population). 0 (default) disables eviction: batch trials are short and
+  /// their tests inspect the full ledger afterwards.
+  sim::Duration entryTtl{};
 };
 
 class ReporterLedger {
@@ -50,8 +57,11 @@ class ReporterLedger {
                                      sim::TimePoint now);
 
   /// Replay check. Returns false when this (reporter, nonce) pair was seen
-  /// before; nonce 0 (legacy unstamped d_req) is always admitted.
-  [[nodiscard]] bool admitNonce(common::Address reporter, std::uint64_t nonce);
+  /// before; nonce 0 (legacy unstamped d_req) is always admitted. `now`
+  /// refreshes the entry's idle clock for TTL eviction; callers without a
+  /// clock (unit tests) may omit it.
+  [[nodiscard]] bool admitNonce(common::Address reporter, std::uint64_t nonce,
+                                sim::TimePoint now = {});
 
   /// Charges one demerit (exoneration of the accused). Returns true exactly
   /// when this demerit crosses the liar threshold — the caller quarantines.
@@ -60,10 +70,22 @@ class ReporterLedger {
   /// Rewards a confirmed accusation: one demerit forgiven (floor 0).
   void credit(common::Address reporter);
 
+  /// Drops non-quarantined entries idle longer than config.entryTtl. No-op
+  /// (returns 0) when the TTL is 0. Returns the number of entries evicted.
+  std::size_t evictIdle(sim::TimePoint now);
+
   [[nodiscard]] int demeritScore(common::Address reporter) const;
   [[nodiscard]] bool isQuarantined(common::Address reporter) const;
   [[nodiscard]] std::size_t trackedReporters() const { return entries_.size(); }
+  /// Total nonces cached across all entries (memory-watermark input).
+  [[nodiscard]] std::size_t noncesCached() const;
   [[nodiscard]] const ReporterLedgerConfig& config() const { return config_; }
+
+  /// Checkpoint support. Entries are written sorted by reporter address so
+  /// identical logical state always serializes to identical bytes, whatever
+  /// the hash-map iteration order. restoreState replaces all entries.
+  void saveState(common::ByteWriter& w) const;
+  void restoreState(common::ByteReader& r);
 
  private:
   struct Entry {
@@ -72,6 +94,7 @@ class ReporterLedger {
     std::unordered_set<std::uint64_t> nonces;
     int demerits{0};
     bool quarantined{false};
+    sim::TimePoint lastTouched{};  ///< idle clock for TTL eviction
   };
 
   Entry& entry(common::Address reporter) { return entries_[reporter]; }

@@ -1,6 +1,7 @@
 #include "core/rsu_detector.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
@@ -160,7 +161,7 @@ void RsuDetector::handleDreq(const DetectionRequest& dreq) {
                     dreq.suspect, dreq.reporter, 0, "reporter-quarantined");
       return;
     }
-    if (!ledger_.admitNonce(dreq.reporter, dreq.nonce)) {
+    if (!ledger_.admitNonce(dreq.reporter, dreq.nonce, simulator_.now())) {
       ++stats_.dreqReplayed;
       traceDetector(simulator_, ch_, obs::DetectorOp::kDreqReplayed, {},
                     dreq.suspect, dreq.reporter, dreq.nonce);
@@ -329,9 +330,13 @@ void RsuDetector::scheduleHardenedRound(Session& session) {
   const std::uint32_t gen = ++session.timerGen;
   const auto jitter = sim::Duration::microseconds(
       probeRng_.uniformInt(0, config_.hardening.probeJitterMax.us()));
+  session.timerKind = 2;
+  session.timerDeadline = simulator_.now() + jitter;
+  session.timerArmSeq = ++*armSeqCounter_;
   simulator_.schedule(jitter, [this, suspect = session.suspect, gen] {
     const auto it = active_.find(suspect);
     if (it == active_.end() || it->second.timerGen != gen) return;
+    it->second.timerKind = 0;
     sendHardenedProbe(it->second);
   });
 }
@@ -459,6 +464,9 @@ void RsuDetector::sendProbe(common::Address target, Session& session) {
 
 void RsuDetector::armTimer(Session& session) {
   const std::uint32_t gen = ++session.timerGen;
+  session.timerKind = 1;
+  session.timerDeadline = simulator_.now() + config_.probeTimeout;
+  session.timerArmSeq = ++*armSeqCounter_;
   simulator_.schedule(config_.probeTimeout,
                       [this, suspect = session.suspect, gen] {
                         onProbeTimeout(suspect, gen);
@@ -469,6 +477,7 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
   const auto it = active_.find(suspect);
   if (it == active_.end() || it->second.timerGen != gen) return;
   Session& session = it->second;
+  session.timerKind = 0;  // this timer is being consumed
   traceDetector(simulator_, ch_, obs::DetectorOp::kProbeTimeout, session.id,
                 session.suspect, {},
                 static_cast<std::uint64_t>(session.stage));
@@ -554,6 +563,7 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
   Session& session = it->second;
   session.packets += 1;
   ++session.timerGen;  // disarm the pending timeout
+  session.timerKind = 0;
   traceDetector(simulator_, ch_, obs::DetectorOp::kProbeReply, session.id,
                 session.suspect, frame.src,
                 static_cast<std::uint64_t>(session.stage));
@@ -745,6 +755,13 @@ void RsuDetector::finishSession(Session session, Verdict verdict) {
   record.probeStartedAt = session.probeStartedAt;
   record.isolatedAt = isolatedAt;
   completed_.push_back(std::move(record));
+  ++completedTotal_;
+  if (config_.completedCap > 0 && completed_.size() > config_.completedCap) {
+    const std::size_t excess = completed_.size() - config_.completedCap;
+    completed_.erase(completed_.begin(),
+                     completed_.begin() + static_cast<std::ptrdiff_t>(excess));
+    stats_.completedEvicted += excess;
+  }
 }
 
 void RsuDetector::isolate(const Session& session, Verdict verdict) {
@@ -771,18 +788,25 @@ void RsuDetector::armSweep() {
   // non-empty, so an idle detector never keeps Simulator::run() alive.
   if (config_.sessionTtl.us() <= 0 || sweepArmed_ || active_.empty()) return;
   sweepArmed_ = true;
+  sweepDeadline_ = simulator_.now() + config_.sessionTtl;
+  sweepArmSeq_ = ++*armSeqCounter_;
   simulator_.schedule(config_.sessionTtl, [this] { onSweep(); });
 }
 
 void RsuDetector::onSweep() {
   sweepArmed_ = false;
   const sim::TimePoint now = simulator_.now();
+  // The idle-ledger TTL rides the same timer: one sweep bounds both tables.
+  stats_.ledgerEvictions += ledger_.evictIdle(now);
   std::vector<common::Address> stale;
   for (const auto& [suspect, session] : active_) {
     if (now - session.startedAt >= config_.sessionTtl) {
       stale.push_back(suspect);
     }
   }
+  // Address order, not hash-map order: a restored world's table has a
+  // different insertion history, and expiry processing must not depend on it.
+  std::sort(stale.begin(), stale.end());
   for (const common::Address suspect : stale) {
     const auto it = active_.find(suspect);
     Session done = std::move(it->second);
@@ -807,6 +831,266 @@ void RsuDetector::relayResult(const DetectionResult& result) {
   response->verdict = result.verdict;
   response->accomplice = result.accomplice;
   ch_.node().sendTo(result.reporter, std::move(response));
+}
+
+// ----------------------------------------------------- checkpoint / restore
+
+void RsuDetector::shareArmSequence(std::uint64_t* counter) {
+  armSeqCounter_ = counter != nullptr ? counter : &armSeqLocal_;
+}
+
+namespace {
+
+void writeOptionalTime(common::ByteWriter& w,
+                       const std::optional<sim::TimePoint>& t) {
+  w.writeBool(t.has_value());
+  w.writeI64(t ? t->us() : 0);
+}
+
+std::optional<sim::TimePoint> readOptionalTime(common::ByteReader& r) {
+  const bool has = r.readBool();
+  const std::int64_t us = r.readI64();
+  if (!has) return std::nullopt;
+  return sim::TimePoint::fromUs(us);
+}
+
+void writeRecord(common::ByteWriter& w, const SessionRecord& rec) {
+  w.writeId(rec.id);
+  w.writeId(rec.suspect);
+  w.writeId(rec.reporter);
+  w.writeU8(static_cast<std::uint8_t>(rec.verdict));
+  w.writeId(rec.accomplice);
+  w.writeU32(rec.packetsUsed);
+  w.writeI64(rec.startedAt.us());
+  w.writeI64(rec.endedAt.us());
+  writeOptionalTime(w, rec.probeStartedAt);
+  writeOptionalTime(w, rec.isolatedAt);
+}
+
+SessionRecord readRecord(common::ByteReader& r) {
+  SessionRecord rec;
+  rec.id = r.readId<common::DetectionSessionId>();
+  rec.suspect = r.readId<common::Address>();
+  rec.reporter = r.readId<common::Address>();
+  rec.verdict = static_cast<Verdict>(r.readU8());
+  rec.accomplice = r.readId<common::Address>();
+  rec.packetsUsed = r.readU32();
+  rec.startedAt = sim::TimePoint::fromUs(r.readI64());
+  rec.endedAt = sim::TimePoint::fromUs(r.readI64());
+  rec.probeStartedAt = readOptionalTime(r);
+  rec.isolatedAt = readOptionalTime(r);
+  return rec;
+}
+
+}  // namespace
+
+void RsuDetector::saveState(common::ByteWriter& w) const {
+  w.writeU64(stats_.dreqReceived);
+  w.writeU64(stats_.dreqRejectedAuth);
+  w.writeU64(stats_.dreqDeduplicated);
+  w.writeU64(stats_.sessionsAdopted);
+  w.writeU64(stats_.sessionsForwarded);
+  w.writeU64(stats_.probesSent);
+  w.writeU64(stats_.confirmations);
+  w.writeU64(stats_.isolations);
+  w.writeU64(stats_.forwardsFailed);
+  w.writeU64(stats_.resultRelaysFailed);
+  w.writeU64(stats_.dreqRateLimited);
+  w.writeU64(stats_.dreqReplayed);
+  w.writeU64(stats_.probeViolations);
+  w.writeU64(stats_.exonerations);
+  w.writeU64(stats_.reporterDemerits);
+  w.writeU64(stats_.reportersQuarantined);
+  w.writeU64(stats_.expiredSessions);
+  w.writeU64(stats_.completedEvicted);
+  w.writeU64(stats_.ledgerEvictions);
+
+  w.writeU64(completedTotal_);
+  w.writeU32(static_cast<std::uint32_t>(completed_.size()));
+  for (const SessionRecord& rec : completed_) writeRecord(w, rec);
+
+  w.writeU64(nextSessionLocal_);
+  w.writeU64(nextProbeAddress_);
+  w.writeU32(nextProbeRreqId_);
+  w.writeU64(armSeqLocal_);
+
+  // mt19937_64's stream operators are the only portable way to round-trip
+  // its 2.5 KB of internal state; the textual form is deterministic.
+  std::ostringstream rng;
+  rng << probeRng_.engine();
+  w.writeString(rng.str());
+
+  ledger_.saveState(w);
+
+  w.writeBool(sweepArmed_);
+  w.writeI64(sweepDeadline_.us());
+  w.writeU64(sweepArmSeq_);
+
+  std::vector<common::Address> order;
+  order.reserve(active_.size());
+  for (const auto& [suspect, session] : active_) order.push_back(suspect);
+  std::sort(order.begin(), order.end());
+  w.writeU32(static_cast<std::uint32_t>(order.size()));
+  for (const common::Address suspect : order) {
+    const Session& s = active_.at(suspect);
+    w.writeId(s.id);
+    w.writeId(s.suspect);
+    w.writeU32(static_cast<std::uint32_t>(s.reporters.size()));
+    for (const Reporter& rep : s.reporters) {
+      w.writeId(rep.address);
+      w.writeId(rep.cluster);
+    }
+    w.writeU8(static_cast<std::uint8_t>(s.stage));
+    w.writeU32(s.rrep1Seq);
+    w.writeU32(s.rreq2Seq);
+    w.writeId(s.disposable);
+    w.writeId(s.fakeDestination);
+    w.writeU32(static_cast<std::uint32_t>(s.stageRreqIds.size()));
+    for (const std::uint32_t id : s.stageRreqIds) w.writeU32(id);
+    w.writeI64(s.retriesLeft);
+    w.writeU32(s.packets);
+    w.writeU8(s.forwardCount);
+    w.writeBool(s.degraded);
+    w.writeId(s.accomplice);
+    w.writeU32(s.timerGen);
+    w.writeI64(s.startedAt.us());
+    writeOptionalTime(w, s.probeStartedAt);
+    w.writeBool(s.hardened);
+    w.writeI64(s.round);
+    w.writeI64(s.violations);
+    w.writeI64(s.timerDeadline.us());
+    w.writeU8(s.timerKind);
+    w.writeU64(s.timerArmSeq);
+  }
+
+  w.writeU32(static_cast<std::uint32_t>(probeIdentityLog_.size()));
+  for (const ProbeIdentity& pi : probeIdentityLog_) {
+    w.writeId(pi.disposable);
+    w.writeId(pi.destination);
+  }
+}
+
+void RsuDetector::restoreState(common::ByteReader& r,
+                               std::vector<PendingTimer>& rearm) {
+  stats_.dreqReceived = r.readU64();
+  stats_.dreqRejectedAuth = r.readU64();
+  stats_.dreqDeduplicated = r.readU64();
+  stats_.sessionsAdopted = r.readU64();
+  stats_.sessionsForwarded = r.readU64();
+  stats_.probesSent = r.readU64();
+  stats_.confirmations = r.readU64();
+  stats_.isolations = r.readU64();
+  stats_.forwardsFailed = r.readU64();
+  stats_.resultRelaysFailed = r.readU64();
+  stats_.dreqRateLimited = r.readU64();
+  stats_.dreqReplayed = r.readU64();
+  stats_.probeViolations = r.readU64();
+  stats_.exonerations = r.readU64();
+  stats_.reporterDemerits = r.readU64();
+  stats_.reportersQuarantined = r.readU64();
+  stats_.expiredSessions = r.readU64();
+  stats_.completedEvicted = r.readU64();
+  stats_.ledgerEvictions = r.readU64();
+
+  completedTotal_ = r.readU64();
+  completed_.clear();
+  const std::uint32_t recordCount = r.readU32();
+  completed_.reserve(recordCount);
+  for (std::uint32_t i = 0; i < recordCount; ++i) {
+    completed_.push_back(readRecord(r));
+  }
+
+  nextSessionLocal_ = r.readU64();
+  nextProbeAddress_ = r.readU64();
+  nextProbeRreqId_ = r.readU32();
+  armSeqLocal_ = r.readU64();
+
+  std::istringstream rng{r.readString()};
+  rng >> probeRng_.engine();
+  BDP_ASSERT_MSG(!rng.fail(), "corrupt probe RNG state in checkpoint");
+
+  ledger_.restoreState(r);
+
+  sweepArmed_ = r.readBool();
+  sweepDeadline_ = sim::TimePoint::fromUs(r.readI64());
+  sweepArmSeq_ = r.readU64();
+  if (sweepArmed_) {
+    rearm.push_back({sweepArmSeq_, sweepDeadline_, [this] { onSweep(); }});
+  }
+
+  active_.clear();
+  const std::uint32_t sessionCount = r.readU32();
+  for (std::uint32_t i = 0; i < sessionCount; ++i) {
+    Session s;
+    s.id = r.readId<common::DetectionSessionId>();
+    s.suspect = r.readId<common::Address>();
+    const std::uint32_t reporterCount = r.readU32();
+    for (std::uint32_t k = 0; k < reporterCount; ++k) {
+      Reporter rep;
+      rep.address = r.readId<common::Address>();
+      rep.cluster = r.readId<common::ClusterId>();
+      s.reporters.push_back(rep);
+    }
+    s.stage = r.readU8();
+    s.rrep1Seq = r.readU32();
+    s.rreq2Seq = r.readU32();
+    s.disposable = r.readId<common::Address>();
+    s.fakeDestination = r.readId<common::Address>();
+    const std::uint32_t rreqIdCount = r.readU32();
+    for (std::uint32_t k = 0; k < rreqIdCount; ++k) {
+      s.stageRreqIds.push_back(r.readU32());
+    }
+    s.retriesLeft = static_cast<int>(r.readI64());
+    s.packets = r.readU32();
+    s.forwardCount = r.readU8();
+    s.degraded = r.readBool();
+    s.accomplice = r.readId<common::Address>();
+    s.timerGen = r.readU32();
+    s.startedAt = sim::TimePoint::fromUs(r.readI64());
+    s.probeStartedAt = readOptionalTime(r);
+    s.hardened = r.readBool();
+    s.round = static_cast<int>(r.readI64());
+    s.violations = static_cast<int>(r.readI64());
+    s.timerDeadline = sim::TimePoint::fromUs(r.readI64());
+    s.timerKind = r.readU8();
+    s.timerArmSeq = r.readU64();
+
+    // The fresh world's CH node has no probe aliases yet; rebind so the
+    // suspect's replies still reach this detector.
+    if (s.disposable != common::kNullAddress) {
+      ch_.node().addAlias(s.disposable);
+    }
+
+    const common::Address suspect = s.suspect;
+    const std::uint32_t gen = s.timerGen;
+    if (s.timerKind == 1) {
+      rearm.push_back({s.timerArmSeq, s.timerDeadline,
+                       [this, suspect, gen] { onProbeTimeout(suspect, gen); }});
+    } else if (s.timerKind == 2) {
+      rearm.push_back({s.timerArmSeq, s.timerDeadline, [this, suspect, gen] {
+                         const auto it = active_.find(suspect);
+                         if (it == active_.end() || it->second.timerGen != gen) {
+                           return;
+                         }
+                         it->second.timerKind = 0;
+                         sendHardenedProbe(it->second);
+                       }});
+    }
+    // timerKind 0: no live timer (a reply disarmed it; the TTL sweep is the
+    // only way such a session ends — exactly as in the uninterrupted run).
+
+    active_.emplace(suspect, std::move(s));
+  }
+
+  probeIdentityLog_.clear();
+  const std::uint32_t logCount = r.readU32();
+  probeIdentityLog_.reserve(logCount);
+  for (std::uint32_t i = 0; i < logCount; ++i) {
+    ProbeIdentity pi;
+    pi.disposable = r.readId<common::Address>();
+    pi.destination = r.readId<common::Address>();
+    probeIdentityLog_.push_back(pi);
+  }
 }
 
 }  // namespace blackdp::core

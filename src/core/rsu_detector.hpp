@@ -23,6 +23,7 @@
 // are what bench/fig5_packets reports.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,11 @@ struct DetectorConfig {
   /// Keep a log of every (disposable identity, probe destination) pair for
   /// invariant checking (soak harness); off by default to save memory.
   bool recordProbeIdentities{false};
+  /// Bound on retained completed-session records (streaming service mode):
+  /// the oldest records are dropped once the vector exceeds the cap.
+  /// 0 (default, batch mode) keeps everything — short trials inspect the
+  /// full history afterwards. completedTotal() stays exact either way.
+  std::size_t completedCap{0};
 };
 
 /// Completed-session record (the finishing CH keeps it; packetsUsed includes
@@ -142,6 +148,8 @@ struct DetectorStats {
   std::uint64_t reporterDemerits{0};
   std::uint64_t reportersQuarantined{0};
   std::uint64_t expiredSessions{0};  ///< TTL-swept verification entries
+  std::uint64_t completedEvicted{0};  ///< records dropped by completedCap
+  std::uint64_t ledgerEvictions{0};   ///< idle ledger entries TTL-evicted
 };
 
 /// One probe identity the detector has put on the air (for invariant
@@ -149,6 +157,17 @@ struct DetectorStats {
 struct ProbeIdentity {
   common::Address disposable{};
   common::Address destination{};
+};
+
+/// A detector timer that was pending at checkpoint time, handed back from
+/// restoreState() so the restoring world can reschedule *all* detectors'
+/// timers in their original global arm order (armSeq ascending). Rescheduling
+/// per detector would break FIFO tie-breaks between detectors whose timers
+/// share a deadline.
+struct PendingTimer {
+  std::uint64_t armSeq{0};
+  sim::TimePoint deadline{};
+  std::function<void()> fire;
 };
 
 class RsuDetector {
@@ -174,6 +193,27 @@ class RsuDetector {
   [[nodiscard]] const std::vector<ProbeIdentity>& probeIdentities() const {
     return probeIdentityLog_;
   }
+  /// Exact number of sessions ever finished, independent of completedCap
+  /// eviction (completedSessions().size() may be smaller).
+  [[nodiscard]] std::uint64_t completedTotal() const { return completedTotal_; }
+  /// Mutable ledger access for checkpoint/restore and TTL-eviction tests.
+  [[nodiscard]] ReporterLedger& reporterLedger() { return ledger_; }
+
+  /// Points every timer arm at a world-shared sequence counter (pass nullptr
+  /// to fall back to the private one). Timers armed by *different* detectors
+  /// at the same deadline tie-break by scheduling order; a world that
+  /// checkpoints must record that global order, which a per-detector counter
+  /// cannot express. Call before any session is opened.
+  void shareArmSequence(std::uint64_t* counter);
+
+  /// Checkpoint support. saveState writes every dynamic field (verification
+  /// table sorted by suspect, completed records, stats, allocators, ledger,
+  /// probe RNG, sweep timer). restoreState replaces them and appends one
+  /// PendingTimer per live timer to `rearm` WITHOUT scheduling anything —
+  /// the caller sorts timers from all detectors by armSeq and schedules
+  /// them, reproducing the interrupted run's event order exactly.
+  void saveState(common::ByteWriter& w) const;
+  void restoreState(common::ByteReader& r, std::vector<PendingTimer>& rearm);
 
  private:
   struct Reporter {
@@ -209,6 +249,14 @@ class RsuDetector {
     bool hardened{false};
     int round{0};
     int violations{0};
+    /// Checkpoint metadata for the session's one live timer. The simulator
+    /// cannot serialize closures, so the detector records what it armed:
+    /// kind 0 = none (disarmed or consumed), 1 = probe timeout,
+    /// 2 = hardened-round jitter delay. restoreState() rebuilds the closure
+    /// from (kind, deadline) and replays the arm order via timerArmSeq.
+    sim::TimePoint timerDeadline{};
+    std::uint8_t timerKind{0};
+    std::uint64_t timerArmSeq{0};
   };
 
   bool onFrame(const net::Frame& frame);
@@ -264,6 +312,7 @@ class RsuDetector {
   /// Verification table, keyed by suspect.
   std::unordered_map<common::Address, Session> active_;
   std::vector<SessionRecord> completed_;
+  std::uint64_t completedTotal_{0};
   std::uint64_t nextSessionLocal_{1};
   std::uint64_t nextProbeAddress_{1};
   std::uint32_t nextProbeRreqId_{1};
@@ -271,6 +320,12 @@ class RsuDetector {
   sim::Rng probeRng_;
   std::vector<ProbeIdentity> probeIdentityLog_;
   bool sweepArmed_{false};
+  sim::TimePoint sweepDeadline_{};
+  std::uint64_t sweepArmSeq_{0};
+  /// Timer arm-order counter; points at armSeqLocal_ unless the world
+  /// shares one across detectors (see shareArmSequence).
+  std::uint64_t armSeqLocal_{0};
+  std::uint64_t* armSeqCounter_{&armSeqLocal_};
 };
 
 }  // namespace blackdp::core

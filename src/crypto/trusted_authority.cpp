@@ -1,5 +1,7 @@
 #include "crypto/trusted_authority.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace blackdp::crypto {
@@ -121,6 +123,44 @@ bool TaNetwork::validateCertificate(const Certificate& cert,
 void TaNetwork::subscribeRevocations(RevocationSubscriber subscriber) {
   BDP_ASSERT(subscriber != nullptr);
   subscribers_.push_back(std::move(subscriber));
+}
+
+void TaNetwork::saveState(common::ByteWriter& w) const {
+  std::vector<common::NodeId> paused(pausedNodes_.begin(), pausedNodes_.end());
+  std::sort(paused.begin(), paused.end());
+  w.writeU32(static_cast<std::uint32_t>(paused.size()));
+  for (const common::NodeId node : paused) w.writeU32(node.value());
+
+  w.writeU32(static_cast<std::uint32_t>(revocations_.size()));
+  for (const RevocationNotice& n : revocations_) {
+    w.writeU64(n.pseudonym.value());
+    w.writeU64(n.serial.value());
+    w.writeI64(n.certExpiry.us());
+  }
+
+  w.writeU64(nextPseudonym_);
+  w.writeU64(nextSerial_);
+}
+
+void TaNetwork::restoreState(common::ByteReader& r) {
+  pausedNodes_.clear();
+  const std::uint32_t pausedCount = r.readU32();
+  for (std::uint32_t i = 0; i < pausedCount; ++i) {
+    pausedNodes_.insert(common::NodeId{r.readU32()});
+  }
+
+  revocations_.clear();
+  const std::uint32_t revCount = r.readU32();
+  for (std::uint32_t i = 0; i < revCount; ++i) {
+    RevocationNotice n;
+    n.pseudonym = common::Address{r.readU64()};
+    n.serial = common::CertSerial{r.readU64()};
+    n.certExpiry = sim::TimePoint::fromUs(r.readI64());
+    revocations_.push_back(n);
+  }
+
+  nextPseudonym_ = r.readU64();
+  nextSerial_ = r.readU64();
 }
 
 }  // namespace blackdp::crypto

@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "crypto/certificate.hpp"
@@ -107,6 +108,13 @@ class TaNetwork {
   [[nodiscard]] const std::vector<RevocationNotice>& revocations() const {
     return revocations_;
   }
+
+  /// Checkpoint support for the TA network's *dynamic* state: paused nodes,
+  /// the revocation log, and the pseudonym/serial allocators. Issued
+  /// certificates and per-TA key material are setup-time state the restoring
+  /// world rebuilds from its config; they are deliberately not serialized.
+  void saveState(common::ByteWriter& w) const;
+  void restoreState(common::ByteReader& r);
 
  private:
   common::Result<Enrollment> issue(TrustedAuthority& ta, common::NodeId node);

@@ -145,6 +145,12 @@ class WirelessMedium {
   [[nodiscard]] const MediumStats& stats() const { return stats_; }
   [[nodiscard]] const MediumConfig& config() const { return config_; }
 
+  /// The medium's private jitter/loss stream. Exposed mutably for
+  /// checkpoint/restore only: the stream advances once per delivery, so a
+  /// restored world must resume it mid-sequence or every post-restore
+  /// tie-break would diverge from the uninterrupted run.
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
  private:
   /// The one distance-vs-transmissionRange predicate: send's receiver scan,
   /// the unicast MAC ACK model, and inRange() all funnel through it so the

@@ -1,0 +1,277 @@
+// Streaming-ingest detector world (detector-as-a-service mode).
+//
+// Batch scenarios (HighwayScenario) model a finite trial: vehicles drive,
+// attacks happen, the run ends and tests inspect the full history. A
+// *service* deployment is different: the detector fleet ingests an unbounded
+// d_req stream, must hold a hard memory watermark (no table may grow with
+// stream length), and must survive being killed at an arbitrary epoch
+// boundary and resumed from a checkpoint byte-identically.
+//
+// StreamWorld is the deterministic harness for that mode. Topology is
+// deliberately degenerate — one stationary driver node per cluster hosts
+// every population member (honest reporters, liar reporters, honest
+// suspects, black holes, accomplices) as an alias at the cluster centre and
+// answers the detector's probes in-character — because the subject under
+// test is the detector service (verification table, reporter ledger, CH
+// tables, TA state), not mobility. All latencies are zero, so every
+// injection's cascade completes within its own timestamp and an epoch
+// boundary is a natural cut: the only events crossing it are re-armable
+// detector timers, which checkpoint as (kind, deadline, armSeq) metadata.
+//
+// Determinism contract:
+//   - planEpoch(k) is a pure function of (seed, k): the injection schedule
+//     never depends on world state, so a resumed run plans exactly the
+//     epochs an uninterrupted run would have planned.
+//   - all cross-detector timer arms draw from one shared arm-sequence
+//     counter, so a checkpoint can replay the global FIFO order of timers
+//     that share a deadline.
+//   - saveCheckpoint() at epoch boundary k, restored into a freshly built
+//     world, replays epochs k.. byte-identically (pinned by tests and CI).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/checkpoint.hpp"
+#include "common/result.hpp"
+#include "core/rsu_detector.hpp"
+#include "crypto/trusted_authority.hpp"
+#include "mobility/highway.hpp"
+#include "net/backbone.hpp"
+#include "net/medium.hpp"
+#include "net/node.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace blackdp::scenario {
+
+/// Per-cluster population sizes. Every member is an alias on the cluster's
+/// driver node, enrolled at the TA and joined to the CH at t = 0.
+struct StreamPopulation {
+  std::uint32_t honestReporters{4};
+  std::uint32_t liarReporters{2};
+  std::uint32_t honestSuspects{2};
+  std::uint32_t blackHoles{2};
+  std::uint32_t accomplices{1};
+};
+
+/// Detector defaults for service mode: hardening + accusation-channel
+/// defense on, verification-table TTL sweep on, completed-record cap and
+/// idle-ledger TTL set — every table the stream can touch is bounded.
+[[nodiscard]] core::DetectorConfig streamDetectorDefaults();
+
+struct StreamConfig {
+  std::uint64_t seed{2024};
+  std::uint32_t clusters{3};
+  StreamPopulation population{};
+  /// d_req injections per cluster per epoch.
+  std::uint32_t dreqsPerEpoch{6};
+  sim::Duration epochLength{sim::Duration::seconds(1)};
+  /// Long-lived certificates: a service soak spans many nominal cert
+  /// lifetimes and re-enrollment is not the subject under test.
+  sim::Duration certificateLifetime{sim::Duration::seconds(7200)};
+  core::DetectorConfig detector{streamDetectorDefaults()};
+};
+
+/// What one injected d_req is (the recorded trace replays these).
+enum class InjectionKind : std::uint8_t {
+  kHonestAccusation = 0,  ///< honest reporter accuses a black hole
+  kFalseAccusation = 1,   ///< liar reporter accuses an honest suspect
+  kReplayedDreq = 2,      ///< byte-identical duplicate of an earlier d_req
+  kBadSignature = 3,      ///< envelope signature corrupted in flight
+  kUnknownSuspect = 4,    ///< invented suspect claimed in another cluster
+};
+inline constexpr std::size_t kInjectionKinds = 5;
+
+[[nodiscard]] std::string_view toString(InjectionKind kind);
+
+/// One planned d_req injection. Pure data: crafting the packet from a spec
+/// is deterministic, so the generator and the trace replayer share one code
+/// path and produce identical traffic.
+struct InjectionSpec {
+  std::uint32_t cluster{1};  ///< 1-based, reporter's home cluster
+  std::int64_t offsetUs{0};  ///< offset inside the epoch, 0 < offset < E
+  InjectionKind kind{InjectionKind::kHonestAccusation};
+  std::uint32_t reporterIndex{0};  ///< into the honest- or liar-reporter pool
+  std::uint32_t targetIndex{0};    ///< into the kind's target pool
+  std::uint64_t suspectAddr{0};    ///< kUnknownSuspect: invented address
+  std::uint32_t targetCluster{0};  ///< kUnknownSuspect: claimed cluster
+  std::uint64_t nonce{0};
+
+  friend bool operator==(const InjectionSpec&, const InjectionSpec&) = default;
+};
+
+/// One line of the recorded d_req trace (JSONL). `epoch` keys the line to
+/// its epoch so a replay drives the same specs through the same boundaries.
+void appendInjectionJson(std::string& out, std::uint64_t epoch,
+                         const InjectionSpec& spec);
+/// Parses a trace line. nullopt on malformed input.
+[[nodiscard]] std::optional<std::pair<std::uint64_t, InjectionSpec>>
+parseInjectionJson(std::string_view line);
+
+/// A verdict the stream population received (DetectionResponse timeline).
+/// Recorded only when verdict recording is on (replay server A/B diffing);
+/// the rolling hash and counters are always maintained.
+struct VerdictEvent {
+  std::int64_t timeUs{0};
+  std::uint64_t reporter{0};
+  std::uint64_t suspect{0};
+  std::uint8_t verdict{0};
+  std::uint64_t accomplice{0};
+
+  friend bool operator==(const VerdictEvent&, const VerdictEvent&) = default;
+};
+
+/// Aggregated deterministic counters. Two runs of the same (seed, epochs)
+/// — interrupted or not — must produce identical metrics; CI pins this.
+struct StreamMetrics {
+  std::uint64_t epochsRun{0};
+  std::uint64_t injectedByKind[kInjectionKinds]{};
+  std::uint64_t responsesByVerdict[4]{};
+  /// FNV-1a over every DetectionResponse (time, reporter, suspect, verdict,
+  /// accomplice) in delivery order: one number pins the whole timeline.
+  std::uint64_t verdictHash{14695981039346656037ull};
+  std::uint64_t revocationAnnouncements{0};
+  // Detector-fleet aggregates (sums over clusters).
+  std::uint64_t dreqReceived{0};
+  std::uint64_t dreqRejectedAuth{0};
+  std::uint64_t dreqRateLimited{0};
+  std::uint64_t dreqReplayed{0};
+  std::uint64_t dreqDeduplicated{0};
+  std::uint64_t probesSent{0};
+  std::uint64_t confirmations{0};
+  std::uint64_t isolations{0};
+  std::uint64_t exonerations{0};
+  std::uint64_t expiredSessions{0};
+  std::uint64_t completedTotal{0};
+  std::uint64_t completedEvicted{0};
+  std::uint64_t ledgerEvictions{0};
+  // Gauges (watermark inputs; bounded by checkInvariants()).
+  std::uint64_t activeSessions{0};
+  std::uint64_t trackedReporters{0};
+  std::uint64_t noncesCached{0};
+  std::uint64_t completedRetained{0};
+  std::uint64_t pendingEvents{0};
+
+  /// Flat JSON object with a stable key order (CI compares byte-wise).
+  [[nodiscard]] std::string toJson() const;
+};
+
+class StreamWorld {
+ public:
+  explicit StreamWorld(StreamConfig config);
+  ~StreamWorld();
+
+  StreamWorld(const StreamWorld&) = delete;
+  StreamWorld& operator=(const StreamWorld&) = delete;
+
+  [[nodiscard]] const StreamConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t clusterCount() const {
+    return config_.clusters;
+  }
+  /// Next epoch to run (== epochs completed so far).
+  [[nodiscard]] std::uint64_t nextEpoch() const { return nextEpoch_; }
+  [[nodiscard]] sim::TimePoint now() const { return simulator_.now(); }
+
+  /// The injection schedule for epoch k — a pure function of (seed, k).
+  [[nodiscard]] std::vector<InjectionSpec> planEpoch(std::uint64_t epoch) const;
+
+  /// Plans and runs the next epoch: schedules every injection, runs the
+  /// simulator to the epoch boundary, pins the clock there.
+  void runEpoch();
+  /// Replay path: runs the next epoch from an explicit spec list (recorded
+  /// trace) instead of planEpoch. Same crafting code, same boundaries.
+  void runEpochFromSpecs(const std::vector<InjectionSpec>& specs);
+
+  /// Serializes the whole detection-service state into one checkpoint
+  /// envelope. Call only at an epoch boundary (immediately after runEpoch).
+  [[nodiscard]] common::Bytes saveCheckpoint();
+  /// Restores a checkpoint into this world. The world must be freshly
+  /// built (no epoch run yet) with the same StreamConfig; a config or
+  /// version mismatch is a typed error and leaves the world untouched only
+  /// in the mismatch cases checked up front.
+  [[nodiscard]] common::Status restoreCheckpoint(
+      std::span<const std::uint8_t> blob);
+
+  [[nodiscard]] StreamMetrics metrics() const;
+
+  /// Hard memory-watermark invariants: every detector-service table is
+  /// bounded by the configured caps, independent of how many epochs have
+  /// streamed through. Returns human-readable violations (empty = healthy).
+  [[nodiscard]] std::vector<std::string> checkInvariants() const;
+
+  /// Retain the full DetectionResponse timeline (replay server A/B diff).
+  /// Off by default — a soak only keeps the rolling hash and counters.
+  void recordVerdicts(bool on) { recordVerdicts_ = on; }
+  [[nodiscard]] const std::vector<VerdictEvent>& verdictTimeline() const {
+    return verdictTimeline_;
+  }
+
+  [[nodiscard]] const core::RsuDetector& detector(std::uint32_t cluster) const;
+
+ private:
+  enum class Role : std::uint8_t {
+    kHonestReporter,
+    kLiarReporter,
+    kHonestSuspect,
+    kBlackHole,
+    kAccomplice,
+  };
+  struct Member {
+    common::NodeId nodeId{};
+    common::Address address{};
+    aodv::Credentials creds{};
+  };
+  struct ClusterWorld {
+    common::ClusterId id{};
+    std::unique_ptr<net::BasicNode> rsuNode;
+    std::unique_ptr<cluster::ClusterHead> head;
+    std::unique_ptr<core::RsuDetector> detector;
+    /// Hosts every population alias; answers probes in-character.
+    std::unique_ptr<net::BasicNode> driver;
+    std::vector<Member> honestReporters;
+    std::vector<Member> liarReporters;
+    std::vector<Member> honestSuspects;
+    std::vector<Member> blackHoles;
+    std::vector<Member> accomplices;
+    std::unordered_map<common::Address, Role> roles;
+  };
+
+  void buildWorld();
+  Member enrollMember(ClusterWorld& cw, common::TaId ta, common::NodeId nodeId);
+  bool onDriverFrame(ClusterWorld& cw, const net::Frame& frame);
+  void answerProbe(ClusterWorld& cw, const aodv::RouteRequest& rreq,
+                   common::Address probedAlias, bool supportive);
+  void injectFromSpec(const InjectionSpec& spec);
+  void runEpochInternal(const std::vector<InjectionSpec>& specs);
+  [[nodiscard]] std::uint64_t configHash() const;
+
+  StreamConfig config_;
+  sim::SeedSequence seeds_;
+  sim::Simulator simulator_;
+  mobility::Highway highway_;
+  std::unique_ptr<crypto::CryptoEngine> engine_;
+  std::unique_ptr<crypto::TaNetwork> taNetwork_;
+  std::unique_ptr<net::WirelessMedium> medium_;
+  std::unique_ptr<net::Backbone> backbone_;
+  std::vector<std::unique_ptr<ClusterWorld>> clusters_;
+
+  std::uint64_t nextEpoch_{0};
+  /// Shared timer arm-order counter (see RsuDetector::shareArmSequence).
+  std::uint64_t armSeq_{0};
+
+  // Stream-driver dynamic state (checkpointed in the kStream section).
+  std::uint64_t injectedByKind_[kInjectionKinds]{};
+  std::uint64_t responsesByVerdict_[4]{};
+  std::uint64_t verdictHash_{14695981039346656037ull};
+  std::uint64_t revocationAnnouncements_{0};
+
+  bool recordVerdicts_{false};
+  std::vector<VerdictEvent> verdictTimeline_;
+};
+
+}  // namespace blackdp::scenario

@@ -46,6 +46,19 @@ std::size_t Simulator::run(TimePoint until) {
   return ran;
 }
 
+void Simulator::fastForward(TimePoint to) {
+  if (to <= now_) return;
+  // Peek past tombstones: jumping over a live pending event would reorder
+  // causality (the event would then run "in the past").
+  while (!queue_.empty() && cancelled_.contains(queue_.top().seq)) {
+    cancelled_.erase(queue_.top().seq);
+    queue_.pop();
+  }
+  BDP_ASSERT_MSG(queue_.empty() || queue_.top().when >= to,
+                 "fastForward would skip a pending event");
+  now_ = to;
+}
+
 bool Simulator::step() {
   while (!queue_.empty()) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));

@@ -59,6 +59,13 @@ class Simulator {
   /// Runs at most one event; returns false if the queue is empty.
   bool step();
 
+  /// Advances the clock to `to` without running anything (earlier times are
+  /// a no-op). run(until) leaves now() at the last executed event, not at
+  /// `until`; checkpoint/restore needs the clock pinned to the epoch
+  /// boundary so state restored into a fresh simulator ages identically.
+  /// Must not skip over pending events — asserted.
+  void fastForward(TimePoint to);
+
   /// Number of events waiting (including cancelled tombstones).
   [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
 

@@ -281,5 +281,94 @@ TEST(CodecTest, EncodingIsDeterministic) {
   EXPECT_EQ(encodeFrame(frame), encodeFrame(frame));
 }
 
+// ------------------------------------------------- hardened decode paths
+
+namespace {
+
+/// A chain of DataPackets nested `depth` levels deep (depth 0 = no inner).
+std::shared_ptr<aodv::DataPacket> nestedData(int depth) {
+  auto packet = std::make_shared<aodv::DataPacket>();
+  packet->origin = common::Address{1};
+  packet->destination = common::Address{2};
+  packet->packetId = static_cast<std::uint64_t>(depth);
+  if (depth > 0) packet->inner = nestedData(depth - 1);
+  return packet;
+}
+
+}  // namespace
+
+TEST(CodecHardeningTest, ModestPayloadNestingRoundTrips) {
+  const net::Frame frame{common::Address{1}, common::Address{2},
+                         nestedData(3)};
+  const common::Bytes wire = encodeFrame(frame);
+  const auto decoded = decodeFrame({wire.data(), wire.size()});
+  ASSERT_TRUE(decoded.ok()) << decoded.error().code;
+  // Walk back down: every level survived.
+  auto packet =
+      std::dynamic_pointer_cast<const aodv::DataPacket>(decoded.value().payload);
+  int depth = 0;
+  while (packet->inner != nullptr) {
+    packet = std::dynamic_pointer_cast<const aodv::DataPacket>(packet->inner);
+    ASSERT_NE(packet, nullptr);
+    ++depth;
+  }
+  EXPECT_EQ(depth, 3);
+}
+
+TEST(CodecHardeningTest, RunawayPayloadNestingIsMalformedNotStackOverflow) {
+  // A crafted frame nesting far past any honest use (honest traffic nests
+  // once) must come back as a typed error instead of recursing per level.
+  const net::Frame frame{common::Address{1}, common::Address{2},
+                         nestedData(64)};
+  const common::Bytes wire = encodeFrame(frame);
+  const auto decoded = decodeFrame({wire.data(), wire.size()});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "malformed");
+  EXPECT_NE(decoded.error().detail.find("nesting"), std::string::npos);
+}
+
+TEST(CodecHardeningTest, VerdictOutOfRangeRejectedInDetectionResponse) {
+  auto response = std::make_shared<core::DetectionResponse>();
+  response->verdict = core::Verdict::kSingleBlackHole;
+  const net::Frame frame{common::Address{1}, common::Address{2}, response};
+  common::Bytes wire = encodeFrame(frame);
+  // Wire tail of a DetectionResponse: ... verdict(1) accomplice(8).
+  wire[wire.size() - 9] = 0x07;
+  const auto decoded = decodeFrame({wire.data(), wire.size()});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "malformed");
+  EXPECT_NE(decoded.error().detail.find("verdict"), std::string::npos);
+}
+
+TEST(CodecHardeningTest, VerdictOutOfRangeRejectedInDetectionResult) {
+  auto result = std::make_shared<core::DetectionResult>();
+  result->verdict = core::Verdict::kUnreachable;
+  const net::Frame frame{common::Address{1}, common::Address{2}, result};
+  common::Bytes wire = encodeFrame(frame);
+  // Wire tail of a DetectionResult: ... verdict(1) accomplice(8) packets(4).
+  wire[wire.size() - 13] = 0xFF;
+  const auto decoded = decodeFrame({wire.data(), wire.size()});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "malformed");
+}
+
+TEST(CodecHardeningTest, EveryTruncationOfADetectionRequestIsTyped) {
+  auto dreq = std::make_shared<core::DetectionRequest>();
+  dreq->reporter = common::Address{3};
+  dreq->suspect = common::Address{4};
+  dreq->nonce = 99;
+  dreq->envelope = sampleEnvelope();
+  const net::Frame frame{common::Address{1}, common::Address{2}, dreq};
+  const common::Bytes wire = encodeFrame(frame);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto decoded = decodeFrame({wire.data(), len});
+    ASSERT_FALSE(decoded.ok()) << "prefix length " << len;
+    const std::string& code = decoded.error().code;
+    EXPECT_TRUE(code == "truncated" || code == "bad-magic" ||
+                code == "bad-version" || code == "malformed")
+        << "prefix length " << len << " gave " << code;
+  }
+}
+
 }  // namespace
 }  // namespace blackdp::codec

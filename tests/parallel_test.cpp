@@ -6,11 +6,13 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "codec/checkpoint.hpp"
 #include "obs/registry.hpp"
 #include "sim/parallel.hpp"
 
@@ -166,6 +168,44 @@ TEST(ParallelRunnerTest, SingleJobRunsInline) {
   runner.forEachIndex(8, [caller](std::size_t) {
     EXPECT_EQ(std::this_thread::get_id(), caller);
   });
+}
+
+// A worker that dies while writing a checkpoint must propagate its exception
+// through forEachIndex AND leave the checkpoint file either absent or intact
+// — never a partial write, never a stray temp file (write-to-temp + atomic
+// rename). This is the campaign-manifest / stream-checkpoint crash contract.
+TEST(ParallelRunnerTest, WorkerExceptionDuringCheckpointWriteLeavesNoPartialFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path{::testing::TempDir()} / "blackdp_parallel_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "campaign.ckpt").string();
+  const common::Bytes original{1, 2, 3};
+  ASSERT_TRUE(codec::writeFileAtomic(path, original).ok());
+
+  const sim::ParallelRunner runner{4};
+  EXPECT_THROW(
+      runner.forEachIndex(4,
+                          [&](std::size_t i) {
+                            if (i != 2) return;
+                            // The hook fires after the temp write, before
+                            // the rename — the instant a kill would tear a
+                            // naive in-place rewrite.
+                            (void)codec::writeFileAtomic(
+                                path, common::Bytes{9, 9, 9, 9}, [] {
+                                  throw std::runtime_error{"disk failure"};
+                                });
+                          }),
+      std::runtime_error);
+
+  const auto read = codec::readFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), original);
+  for (const auto& entry : fs::directory_iterator{dir}) {
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << "partial checkpoint left behind: " << entry.path();
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

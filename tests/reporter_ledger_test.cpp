@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
 
+#include "common/bytes.hpp"
 #include "core/reporter_ledger.hpp"
 #include "sim/rng.hpp"
 
@@ -180,6 +182,148 @@ TEST(ReporterLedgerTest, WindowBudgetNeverExceededUnderRandomArrivals) {
       }
       EXPECT_LE(inWindow, config.windowMax) << "seed " << seed;
     }
+  }
+}
+
+// --- snapshot / restore semantics ------------------------------------------
+
+namespace {
+
+ReporterLedger reserialized(const ReporterLedger& ledger) {
+  common::ByteWriter w;
+  ledger.saveState(w);
+  const common::Bytes bytes = std::move(w).take();
+  ReporterLedger restored{ledger.config()};
+  common::ByteReader r{bytes};
+  restored.restoreState(r);
+  EXPECT_TRUE(r.exhausted());
+  return restored;
+}
+
+common::Bytes snapshotBytes(const ReporterLedger& ledger) {
+  common::ByteWriter w;
+  ledger.saveState(w);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+TEST(ReporterLedgerRestoreTest, ReplayedNoncesStayRejectedAcrossRestore) {
+  ReporterLedger ledger;
+  EXPECT_TRUE(ledger.admitNonce(kReporter, 42, at(10)));
+  EXPECT_TRUE(ledger.admitNonce(kReporter, 43, at(20)));
+
+  ReporterLedger restored = reserialized(ledger);
+  // The replay cache survived: a replayed d_req is NOT re-admitted after a
+  // checkpoint/restore cycle (the whole point of checkpointing the ledger).
+  EXPECT_FALSE(restored.admitNonce(kReporter, 42, at(30)));
+  EXPECT_FALSE(restored.admitNonce(kReporter, 43, at(30)));
+  EXPECT_TRUE(restored.admitNonce(kReporter, 44, at(30)));
+}
+
+TEST(ReporterLedgerRestoreTest, RateLimitWindowSurvivesRestore) {
+  ReporterLedgerConfig config;
+  config.windowMax = 2;
+  config.window = sim::Duration::seconds(10);
+  ReporterLedger ledger{config};
+  EXPECT_TRUE(ledger.admitAccusation(kReporter, at(0)));
+  EXPECT_TRUE(ledger.admitAccusation(kReporter, at(100)));
+
+  ReporterLedger restored = reserialized(ledger);
+  // Still over budget right after restore...
+  EXPECT_FALSE(restored.admitAccusation(kReporter, at(200)));
+  // ...and the window keeps sliding off the restored timestamps.
+  EXPECT_TRUE(restored.admitAccusation(kReporter, at(10'200)));
+}
+
+TEST(ReporterLedgerRestoreTest, QuarantineAndDemeritsSurviveRestore) {
+  ReporterLedgerConfig config;
+  config.demeritThreshold = 2;
+  ReporterLedger ledger{config};
+  EXPECT_FALSE(ledger.demerit(kReporter));
+  EXPECT_FALSE(ledger.demerit(kOther));
+  EXPECT_TRUE(ledger.demerit(kReporter));
+
+  ReporterLedger restored = reserialized(ledger);
+  EXPECT_TRUE(restored.isQuarantined(kReporter));
+  EXPECT_EQ(restored.demeritScore(kOther), 1);
+  EXPECT_FALSE(restored.admitAccusation(kReporter, at(999)));
+  // No double threshold-crossing after restore.
+  EXPECT_FALSE(restored.demerit(kReporter));
+}
+
+TEST(ReporterLedgerRestoreTest, SerializationIsCanonical) {
+  // Same logical state reached through different insertion orders must
+  // serialize to identical bytes (checkpoint byte-identity depends on it).
+  ReporterLedger a;
+  EXPECT_TRUE(a.admitNonce(kReporter, 1, at(5)));
+  EXPECT_TRUE(a.admitNonce(kOther, 2, at(5)));
+  ReporterLedger b;
+  EXPECT_TRUE(b.admitNonce(kOther, 2, at(5)));
+  EXPECT_TRUE(b.admitNonce(kReporter, 1, at(5)));
+  EXPECT_EQ(snapshotBytes(a), snapshotBytes(b));
+}
+
+// Property sweep: interrupt a random operation sequence with a
+// snapshot/restore cycle at a random point; the restored ledger must stay
+// outcome-identical with the uninterrupted one for the rest of the sequence,
+// and their final snapshots must be byte-identical.
+TEST(ReporterLedgerRestoreTest, RandomCutPointsAreOutcomeInvisible) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    sim::Rng rng{seed * 131};
+    ReporterLedgerConfig config;
+    config.windowMax = static_cast<std::uint32_t>(rng.uniformInt(1, 4));
+    config.window = sim::Duration::seconds(rng.uniformInt(1, 8));
+    config.demeritThreshold = static_cast<int>(rng.uniformInt(2, 5));
+    config.nonceCacheMax = static_cast<std::size_t>(rng.uniformInt(2, 6));
+    config.entryTtl = sim::Duration::seconds(rng.uniformInt(20, 40));
+
+    ReporterLedger uninterrupted{config};
+    ReporterLedger interrupted{config};
+    const std::int64_t cut = rng.uniformInt(20, 180);
+    std::int64_t nowMs = 0;
+    for (std::int64_t step = 0; step < 200; ++step) {
+      if (step == cut) {
+        interrupted = reserialized(interrupted);
+      }
+      nowMs += rng.uniformInt(0, 900);
+      const common::Address reporter{
+          static_cast<std::uint64_t>(0x600 + rng.uniformInt(0, 3))};
+      const int op = static_cast<int>(rng.uniformInt(0, 3));
+      switch (op) {
+        case 0:
+          EXPECT_EQ(uninterrupted.admitAccusation(reporter, at(nowMs)),
+                    interrupted.admitAccusation(reporter, at(nowMs)))
+              << "seed " << seed << " step " << step;
+          break;
+        case 1: {
+          const std::uint64_t nonce = static_cast<std::uint64_t>(
+              rng.uniformInt(1, 8));  // small pool: replays are common
+          EXPECT_EQ(uninterrupted.admitNonce(reporter, nonce, at(nowMs)),
+                    interrupted.admitNonce(reporter, nonce, at(nowMs)))
+              << "seed " << seed << " step " << step;
+          break;
+        }
+        case 2:
+          EXPECT_EQ(uninterrupted.demerit(reporter),
+                    interrupted.demerit(reporter))
+              << "seed " << seed << " step " << step;
+          break;
+        default:
+          uninterrupted.credit(reporter);
+          interrupted.credit(reporter);
+          break;
+      }
+      if (step % 40 == 39) {
+        uninterrupted.evictIdle(at(nowMs));
+        interrupted.evictIdle(at(nowMs));
+      }
+      EXPECT_EQ(uninterrupted.demeritScore(reporter),
+                interrupted.demeritScore(reporter))
+          << "seed " << seed << " step " << step;
+    }
+    EXPECT_EQ(snapshotBytes(uninterrupted), snapshotBytes(interrupted))
+        << "seed " << seed;
   }
 }
 

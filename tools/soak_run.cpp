@@ -1,4 +1,4 @@
-// Chaos-soak driver.
+// Chaos-soak driver, plus the streaming detector-service soak.
 //
 //   soak_run --seconds 30                 # randomized soak within a budget
 //   soak_run --seconds 30 --jobs 8        # parallel trials
@@ -6,9 +6,19 @@
 //   soak_run --seed 42 --trial 7          # replay exactly one trial
 //   soak_run --inject-violation ...       # prove the harness catches bugs
 //
+// Streaming mode (continuous d_req ingest with memory-watermark checking
+// and crash-consistent checkpointing; see src/soak/stream_soak.hpp):
+//
+//   soak_run --stream --epochs 600                       # 10-sim-minute flood
+//   soak_run --stream --epochs 40 --checkpoint-every 10
+//            --checkpoint-dir ckpts --json metrics.json  # checkpointed run
+//   soak_run --stream ... --stop-after 25                # emulated kill
+//   soak_run --stream ... --resume                       # continue from ckpt
+//   soak_run --stream ... --trace trace.jsonl            # record d_req trace
+//
 // On any invariant violation the process prints one replay line per
-// violation — `soak_run --seed S --trial K` — and exits 1. The replay is a
-// pure function of (seed, trial): one thread, any machine, same violation.
+// violation and exits 1. Replays are pure functions of the seed: one
+// thread, any machine, same violation.
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -18,8 +28,38 @@
 
 #include "obs/trace_io.hpp"
 #include "soak/soak_runner.hpp"
+#include "soak/stream_soak.hpp"
 
 namespace {
+
+int runStreamMode(const blackdp::soak::StreamSoakOptions& options,
+                  const std::string& jsonPath) {
+  const blackdp::soak::StreamSoakResult result =
+      blackdp::soak::runStreamSoak(options);
+  for (const blackdp::soak::StreamSoakViolation& v : result.violations) {
+    std::cout << "VIOLATION [" << v.invariant << "] epoch " << v.epoch << ": "
+              << v.detail << "\n";
+  }
+  if (!jsonPath.empty()) {
+    std::ofstream out{jsonPath, std::ios::trunc};
+    if (!out) {
+      std::cerr << "cannot write metrics to " << jsonPath << "\n";
+      return 2;
+    }
+    out << result.metricsJson << "\n";
+  }
+  if (result.passed()) {
+    std::cout << "stream soak PASS: epochs " << result.startEpoch << ".."
+              << result.endEpoch << ", all watermarks held.\n";
+    if (!result.lastCheckpointPath.empty()) {
+      std::cout << "last checkpoint: " << result.lastCheckpointPath << "\n";
+    }
+    return 0;
+  }
+  std::cout << "stream soak FAIL: " << result.violations.size()
+            << " violation(s).\n";
+  return 1;
+}
 
 void printViolations(const blackdp::soak::SoakRunner& runner,
                      const std::vector<blackdp::soak::SoakViolation>& violations,
@@ -41,6 +81,11 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> replayTrial;
   std::string tracePath;
 
+  bool streamMode = false;
+  blackdp::soak::StreamSoakOptions streamOptions;
+  streamOptions.log = &std::cout;
+  std::string jsonPath;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -50,7 +95,29 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--seconds") {
+    if (arg == "--stream") {
+      streamMode = true;
+    } else if (arg == "--epochs") {
+      streamOptions.epochs = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--stream-seed") {
+      streamOptions.stream.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--clusters") {
+      streamOptions.stream.clusters =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--dreqs-per-epoch") {
+      streamOptions.stream.dreqsPerEpoch =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--checkpoint-every") {
+      streamOptions.checkpointEvery = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--checkpoint-dir") {
+      streamOptions.checkpointDir = value();
+    } else if (arg == "--resume") {
+      streamOptions.resume = true;
+    } else if (arg == "--stop-after") {
+      streamOptions.stopAfter = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--json") {
+      jsonPath = value();
+    } else if (arg == "--seconds") {
       options.wallClockBudgetS = std::strtod(value(), nullptr);
     } else if (arg == "--trials") {
       options.maxTrials = std::strtoull(value(), nullptr, 10);
@@ -67,13 +134,23 @@ int main(int argc, char** argv) {
       options.injectViolation = true;
     } else if (arg == "--quiet") {
       options.log = nullptr;
+      streamOptions.log = nullptr;
     } else {
       std::cerr << "unknown argument: " << arg << "\n"
                 << "usage: soak_run [--seconds N] [--trials N] [--seed S] "
                    "[--jobs J] [--trial K] [--trace FILE] "
-                   "[--inject-violation] [--quiet]\n";
+                   "[--inject-violation] [--quiet]\n"
+                   "   or: soak_run --stream [--epochs N] [--stream-seed S] "
+                   "[--clusters C] [--dreqs-per-epoch D] "
+                   "[--checkpoint-every K] [--checkpoint-dir DIR] [--resume] "
+                   "[--stop-after E] [--trace FILE] [--json FILE] [--quiet]\n";
       return 2;
     }
+  }
+
+  if (streamMode) {
+    streamOptions.tracePath = tracePath;
+    return runStreamMode(streamOptions, jsonPath);
   }
 
   const blackdp::soak::SoakRunner runner{options};
