@@ -34,8 +34,16 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> headers{"Arrivals/s"};
   for (const std::uint32_t fog : fogPools) {
-    headers.push_back(fog == 0 ? "RSU alone"
-                               : "+" + std::to_string(fog) + " fog");
+    // append() instead of operator+ sidesteps a GCC 12 -Wrestrict false
+    // positive (PR 105329) in the inlined string-concat chain.
+    if (fog == 0) {
+      headers.emplace_back("RSU alone");
+    } else {
+      std::string label{"+"};
+      label.append(std::to_string(fog));
+      label.append(" fog");
+      headers.push_back(std::move(label));
+    }
   }
   Table table(headers);
 

@@ -2,6 +2,9 @@
 // fan-out, AODV route-discovery latency, and full scenario construction.
 #include <benchmark/benchmark.h>
 
+#include "aodv/messages.hpp"
+#include "common/address_registry.hpp"
+#include "net/payload_arena.hpp"
 #include "obs/bench_json.hpp"
 #include "scenario/highway_scenario.hpp"
 #include "scenario/telemetry.hpp"
@@ -122,6 +125,42 @@ BENCHMARK(BM_MediumSparseFleet)
     ->Args({500, 0})
     ->Args({500, 1})
     ->ArgNames({"fleet", "grid"});
+
+/// Dense-id interning: the per-frame address → owner lookup pattern. The
+/// registry is warm (every address already interned), so this times the
+/// steady-state path — splitmix64 mix + one or two linear probes — that
+/// replaced an unordered_map node walk in the medium and the AODV tables.
+void BM_AddressIntern(benchmark::State& state) {
+  const auto addresses = static_cast<std::uint64_t>(state.range(0));
+  common::AddressRegistry registry;
+  for (std::uint64_t i = 0; i < addresses; ++i) {
+    registry.intern(common::Address{1000 + i * 131});
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint32_t id =
+        registry.intern(common::Address{1000 + (i % addresses) * 131});
+    benchmark::DoNotOptimize(id);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressIntern)->Arg(128)->Arg(4096);
+
+/// Payload pool recycling: allocate + release one RREQ per iteration. After
+/// the first iteration the block comes from the thread-local free list, so
+/// this times the zero-malloc steady state of every over-the-air message.
+void BM_PayloadArena(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rreq = net::makeMutablePayload<aodv::RouteRequest>();
+    benchmark::DoNotOptimize(rreq.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+  const net::PayloadArena::Stats stats = net::PayloadArena::threadStats();
+  state.counters["slab_refills"] =
+      benchmark::Counter(static_cast<double>(stats.slabRefills));
+}
+BENCHMARK(BM_PayloadArena);
 
 /// Full Table-I world construction (110 nodes, enrollment, joins).
 void BM_ScenarioBuild(benchmark::State& state) {

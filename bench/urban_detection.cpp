@@ -108,8 +108,10 @@ int main(int argc, char** argv) {
       }
       registry.merge(outcome.world);
     }
+    // std::string lhs (not const char*) sidesteps a GCC 12 -Wrestrict false
+    // positive (PR 105329) in operator+(const char*, std::string&&).
     table.addRow({std::string(scenario::toString(placement.attack)),
-                  "(" + std::to_string(placement.ix) + "," +
+                  std::string{"("} + std::to_string(placement.ix) + "," +
                       std::to_string(placement.iy) + ")",
                   Table::percent(cell.recall()), std::to_string(cell.fp())});
     obs::addConfusion(registry,

@@ -10,15 +10,21 @@ baseline:
 Prints the wall-clock / throughput delta plus every deterministic metric
 (counter, gauge, histogram count/sum) that differs between the two files,
 then exits nonzero iff the candidate's frames_per_second dropped more than
---max-regression percent below the baseline.
+--max-regression percent below the baseline, or (when the baseline records
+throughput.allocations_per_frame) the candidate's allocations_per_frame
+rose more than --max-alloc-increase above the baseline.
 
-Only throughput gates. The deterministic `metrics` subtree is expected to be
-identical when both files come from the same code and workload; differences
-are printed as context for a human, not failed on, because the baseline is
-refreshed deliberately whenever a bench's workload changes. Wall-clock noise
-between CI runners is why the default tolerance is generous (75 %): the gate
-exists to catch catastrophic slowdowns — losing the spatial grid, an
-accidental O(n²) — not single-digit jitter.
+Throughput and allocations gate; nothing else does. The deterministic
+`metrics` subtree is expected to be identical when both files come from the
+same code and workload; differences are printed as context for a human, not
+failed on, because the baseline is refreshed deliberately whenever a bench's
+workload changes. Wall-clock noise between CI runners is why the default
+throughput tolerance is generous (75 %): that gate exists to catch
+catastrophic slowdowns — losing the spatial grid, an accidental O(n²) — not
+single-digit jitter. The allocation gate is tight (default 0.05
+allocs/frame) because allocation counts are deterministic, not wall-clock
+noise: a steady-state malloc sneaking back into the frame path is exactly
+the regression it exists to catch.
 """
 
 import argparse
@@ -88,6 +94,12 @@ def main(argv):
                         metavar="PCT",
                         help="maximum tolerated frames_per_second drop below "
                              "the baseline, in percent (default: %(default)s)")
+    parser.add_argument("--max-alloc-increase", type=float, default=0.05,
+                        metavar="ALLOCS",
+                        help="maximum tolerated allocations_per_frame rise "
+                             "above the baseline, absolute (default: "
+                             "%(default)s); only gates when the baseline "
+                             "records the field")
     args = parser.parse_args(argv[1:])
 
     baseline = load(args.baseline)
@@ -115,9 +127,32 @@ def main(argv):
 
     print_metric_deltas(baseline, candidate)
 
+    failed = False
+
+    b_apf = baseline["throughput"].get("allocations_per_frame")
+    c_apf = candidate["throughput"].get("allocations_per_frame")
+    if b_apf is None:
+        pass  # baseline never measured allocations; nothing to hold
+    elif c_apf is None:
+        print("FAIL: baseline records allocations_per_frame "
+              f"({b_apf:.4f}) but the candidate does not — the alloc hook "
+              "measurement was lost", file=sys.stderr)
+        failed = True
+    else:
+        print(f"allocations_per_frame: {b_apf:.4f} -> {c_apf:.4f} "
+              f"(tolerance: +{args.max_alloc_increase:.4f})")
+        if c_apf - b_apf > args.max_alloc_increase:
+            print(f"FAIL: allocations_per_frame rose {c_apf - b_apf:.4f} "
+                  f"(> {args.max_alloc_increase:.4f} allowed) — a "
+                  "steady-state allocation crept back into the frame path",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print("allocation gate: OK")
+
     if b_fps <= 0:
         print("throughput gate: skipped (baseline frames_per_second is 0)")
-        return 0
+        return 1 if failed else 0
 
     drop_pct = (b_fps - c_fps) / b_fps * 100.0
     print(f"throughput delta: {-drop_pct:+.1f}% "
@@ -125,9 +160,10 @@ def main(argv):
     if drop_pct > args.max_regression:
         print(f"FAIL: frames_per_second regressed {drop_pct:.1f}% "
               f"(> {args.max_regression:.1f}% allowed)", file=sys.stderr)
-        return 1
-    print("throughput gate: OK")
-    return 0
+        failed = True
+    else:
+        print("throughput gate: OK")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -40,6 +40,7 @@ export BLACKDP_BENCH_OUT="$PWD/$out"
   ./bench/sensitivity_sweep 3 --jobs "$jobs"
   ./bench/ablation_overhead --benchmark_min_time=0.01
   ./bench/micro_substrates --benchmark_min_time=0.01
+  ./bench/e2e_throughput --jobs "$jobs"
   ./examples/cooperative_blackhole 7 --trace "$BLACKDP_BENCH_OUT"/coop_trace.jsonl
   ./tools/trace_report "$BLACKDP_BENCH_OUT"/coop_trace.jsonl
 ) > "$out/bench-smoke.log"
@@ -47,6 +48,15 @@ python3 scripts/validate_bench_json.py "$out"/BENCH_*.json
 python3 scripts/bench_compare.py \
   bench/baselines/BENCH_micro_substrates.json \
   "$out"/BENCH_micro_substrates.json
+
+echo "==== perf smoke (e2e throughput + allocation gate) ===="
+# The e2e bench links the counting operator new/delete; bench_compare holds
+# both frames_per_second (generous, wall-clock noise) and
+# allocations_per_frame (tight — the zero-allocation steady state is a
+# correctness property of the arena/dense-id design, not a speed number).
+python3 scripts/bench_compare.py \
+  bench/baselines/BENCH_e2e_throughput.json \
+  "$out"/BENCH_e2e_throughput.json
 
 echo "==== campaign smoke ===="
 # Exercise the campaign engine end to end: run the tiny built-in spec with

@@ -31,7 +31,10 @@ Schema (src/obs/bench_json.hpp):
       "wall_clock_seconds": <non-negative number>,
       "throughput": {
         "frames_delivered": <non-negative int>,
-        "frames_per_second": <non-negative number>
+        "frames_per_second": <non-negative number>,
+        "allocations_per_frame": <non-negative number, optional — present
+                                  only when the bench linked the alloc hook
+                                  and measured a steady-state span>
       },
       "metrics": {
         "counters":   {"<name>": <non-negative int>, ...},
@@ -116,6 +119,13 @@ def check_throughput(path, doc):
                        f"frames_delivered/wall_clock_seconds ({expected})")
     elif fps != 0:
         fail(path, "frames_per_second must be 0 when wall_clock_seconds is 0")
+
+    if "allocations_per_frame" in throughput:
+        apf = throughput["allocations_per_frame"]
+        check_number(path, "throughput.allocations_per_frame", apf)
+        if apf < 0:
+            fail(path, "throughput.allocations_per_frame must be "
+                       f"non-negative, got {apf}")
 
 
 def validate(path):

@@ -64,17 +64,14 @@ void AodvAgent::onHelloTick() {
   const sim::TimePoint now = simulator_.now();
   const sim::Duration lifetime =
       config_.helloInterval * config_.allowedHelloLoss;
-  for (auto it = neighbours_.begin(); it != neighbours_.end();) {
-    if (now - it->second > lifetime) {
-      ++stats_.neighboursExpired;
-      table_.invalidateVia(it->first);
-      it = neighbours_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  neighbours_.eraseIf([&](common::Address neighbour, sim::TimePoint last) {
+    if (now - last <= lifetime) return false;
+    ++stats_.neighboursExpired;
+    table_.invalidateVia(neighbour);
+    return true;
+  });
 
-  auto hello = std::make_shared<HelloBeacon>();
+  auto hello = net::makeMutablePayload<HelloBeacon>();
   hello->origin = node_.localAddress();
   hello->originSeq = ownSeq_;
   ++stats_.hellosSent;
@@ -89,9 +86,9 @@ void AodvAgent::refreshNeighbour(common::Address neighbour) {
 }
 
 bool AodvAgent::isNeighbourAlive(common::Address neighbour) const {
-  const auto it = neighbours_.find(neighbour);
-  if (it == neighbours_.end()) return false;
-  return simulator_.now() - it->second <=
+  const sim::TimePoint* last = neighbours_.find(neighbour);
+  if (last == nullptr) return false;
+  return simulator_.now() - *last <=
          config_.helloInterval * config_.allowedHelloLoss;
 }
 
@@ -154,7 +151,7 @@ void AodvAgent::findRoute(common::Address destination,
 void AodvAgent::startDiscoveryRound(common::Address destination) {
   ++ownSeq_;  // RFC 3561 §6.1: bump own sequence number before an RREQ
 
-  auto rreq = std::make_shared<RouteRequest>();
+  auto rreq = net::makeMutablePayload<RouteRequest>();
   rreq->rreqId = common::RreqId{nextRreqId_++};
   rreq->origin = node_.localAddress();
   rreq->originSeq = ownSeq_;
@@ -163,10 +160,9 @@ void AodvAgent::startDiscoveryRound(common::Address destination) {
     rreq->destSeq = known->destSeq;
     rreq->unknownDestSeq = !known->validSeq;
   }
-  const auto pendingIt = pending_.find(destination);
-  rreq->ttl = pendingIt != pending_.end() && pendingIt->second.currentTtl > 0
-                  ? pendingIt->second.currentTtl
-                  : config_.initialTtl;
+  const PendingDiscovery* pend = pending_.find(destination);
+  rreq->ttl = pend != nullptr && pend->currentTtl > 0 ? pend->currentTtl
+                                                      : config_.initialTtl;
 
   // Remember our own flood so echoes are ignored.
   checkAndRecordRreq(rreq->origin, rreq->rreqId);
@@ -182,25 +178,24 @@ void AodvAgent::startDiscoveryRound(common::Address destination) {
 }
 
 void AodvAgent::onDiscoveryWindow(common::Address destination) {
-  const auto it = pending_.find(destination);
-  if (it == pending_.end()) return;
+  PendingDiscovery* pend = pending_.find(destination);
+  if (pend == nullptr) return;
 
   if (table_.activeRoute(destination, simulator_.now())) {
     ++stats_.discoveriesSucceeded;
     traceAodv(simulator_, node_, obs::AodvOp::kDiscoverySucceeded,
               destination);
-    auto callbacks = std::move(it->second.callbacks);
-    pending_.erase(it);
+    auto callbacks = std::move(pend->callbacks);
+    pending_.erase(destination);
     for (auto& cb : callbacks) cb(true);
     return;
   }
-  if (it->second.retriesLeft > 0) {
-    --it->second.retriesLeft;
+  if (pend->retriesLeft > 0) {
+    --pend->retriesLeft;
     if (config_.expandingRing) {
       // Widen the ring (§6.4) until the configured network diameter.
-      const unsigned widened =
-          it->second.currentTtl + config_.ttlIncrement;
-      it->second.currentTtl = static_cast<std::uint8_t>(
+      const unsigned widened = pend->currentTtl + config_.ttlIncrement;
+      pend->currentTtl = static_cast<std::uint8_t>(
           std::min<unsigned>(widened, config_.initialTtl));
     }
     startDiscoveryRound(destination);
@@ -208,21 +203,40 @@ void AodvAgent::onDiscoveryWindow(common::Address destination) {
   }
   ++stats_.discoveriesFailed;
   traceAodv(simulator_, node_, obs::AodvOp::kDiscoveryFailed, destination);
-  auto callbacks = std::move(it->second.callbacks);
-  pending_.erase(it);
+  auto callbacks = std::move(pend->callbacks);
+  pending_.erase(destination);
   for (auto& cb : callbacks) cb(false);
 }
 
 bool AodvAgent::checkAndRecordRreq(common::Address origin, common::RreqId id) {
-  const auto key = std::pair{origin.value(), id.value()};
   const sim::TimePoint now = simulator_.now();
-  // Lazy expiry of stale cache entries.
-  for (auto it = rreqSeen_.begin(); it != rreqSeen_.end();) {
-    it = (now >= it->second) ? rreqSeen_.erase(it) : std::next(it);
+  // Expiry = insertion time + a constant lifetime, so the FIFO front holds
+  // the oldest expiry: prune from the front until it is live and the cache
+  // is bounded by (flood rate × lifetime) without scanning live entries.
+  while (rreqSeenHead_ < rreqSeen_.size() &&
+         now >= rreqSeen_[rreqSeenHead_].expiresAt) {
+    ++rreqSeenHead_;
+    ++stats_.rreqSeenEvicted;
   }
-  const auto [it, inserted] =
-      rreqSeen_.emplace(key, now + config_.rreqCacheLifetime);
-  return !inserted;
+  if (rreqSeenHead_ == rreqSeen_.size()) {
+    rreqSeen_.clear();  // keeps capacity
+    rreqSeenHead_ = 0;
+  } else if (rreqSeenHead_ > 32 && rreqSeenHead_ > rreqSeen_.size() / 2) {
+    // Compact once the dead prefix dominates, keeping memory ∝ live entries.
+    rreqSeen_.erase(rreqSeen_.begin(),
+                    rreqSeen_.begin() + static_cast<std::ptrdiff_t>(
+                                            rreqSeenHead_));
+    rreqSeenHead_ = 0;
+  }
+  for (std::size_t i = rreqSeenHead_; i < rreqSeen_.size(); ++i) {
+    if (rreqSeen_[i].origin == origin.value() &&
+        rreqSeen_[i].id == id.value()) {
+      return true;
+    }
+  }
+  rreqSeen_.push_back(
+      RreqSeenEntry{origin.value(), id.value(), now + config_.rreqCacheLifetime});
+  return false;
 }
 
 // ------------------------------------------------------------------- RREQ
@@ -277,7 +291,7 @@ void AodvAgent::processRreqAsRouter(const RouteRequest& rreq,
 
   // Otherwise rebroadcast while TTL lasts.
   if (rreq.ttl <= 1) return;
-  auto fwd = std::make_shared<RouteRequest>(rreq);
+  auto fwd = net::makeMutablePayload<RouteRequest>(rreq);
   fwd->hopCount = static_cast<std::uint8_t>(rreq.hopCount + 1);
   fwd->ttl = static_cast<std::uint8_t>(rreq.ttl - 1);
   simulator_.schedule(config_.processingDelay, [this, fwd] {
@@ -289,7 +303,7 @@ void AodvAgent::processRreqAsRouter(const RouteRequest& rreq,
 void AodvAgent::replyToRreq(const RouteRequest& rreq, const net::Frame& frame,
                             SeqNum destSeq, std::uint8_t hopCount,
                             common::Address claimedNextHop) {
-  auto rrep = std::make_shared<RouteReply>();
+  auto rrep = net::makeMutablePayload<RouteReply>();
   rrep->rreqId = rreq.rreqId;
   rrep->origin = rreq.origin;
   rrep->destination = rreq.destination;
@@ -350,7 +364,7 @@ void AodvAgent::handleRrep(const RouteReply& rrep, const net::Frame& frame) {
   BDP_LOG(kTrace, "aodv") << node_.localAddress() << " forwarding rrep from "
                           << rrep.replier << " toward " << rrep.origin
                           << " via " << reverse->nextHop;
-  auto fwd = std::make_shared<RouteReply>(rrep);
+  auto fwd = net::makeMutablePayload<RouteReply>(rrep);
   fwd->hopCount = forward.hopCount;
   simulator_.schedule(config_.processingDelay,
                       [this, fwd, nextHop = reverse->nextHop] {
@@ -365,7 +379,7 @@ bool AodvAgent::sendData(common::Address destination, net::PayloadPtr inner,
                          std::uint32_t bodyBytes) {
   const auto route = table_.activeRoute(destination, simulator_.now());
   if (!route) return false;
-  auto packet = std::make_shared<DataPacket>();
+  auto packet = net::makeMutablePayload<DataPacket>();
   packet->origin = node_.localAddress();
   packet->destination = destination;
   packet->packetId = nextPacketId_++;
@@ -392,7 +406,7 @@ void AodvAgent::handleData(const DataPacket& packet, const net::Frame& frame) {
     sendRerr(packet);
     return;
   }
-  auto fwd = std::make_shared<DataPacket>(packet);
+  auto fwd = net::makeMutablePayload<DataPacket>(packet);
   fwd->hopsTraversed = static_cast<std::uint8_t>(packet.hopsTraversed + 1);
   simulator_.schedule(config_.processingDelay,
                       [this, fwd, nextHop = route->nextHop] {
@@ -404,7 +418,7 @@ void AodvAgent::handleData(const DataPacket& packet, const net::Frame& frame) {
 bool AodvAgent::shouldForwardData(const DataPacket&) { return true; }
 
 void AodvAgent::sendRerr(const DataPacket& packet) {
-  auto rerr = std::make_shared<RouteError>();
+  auto rerr = net::makeMutablePayload<RouteError>();
   rerr->destination = packet.destination;
   rerr->origin = packet.origin;
   if (const RouteEntry* entry = table_.find(packet.destination)) {
@@ -431,7 +445,7 @@ void AodvAgent::handleRerr(const RouteError& rerr, const net::Frame& frame) {
   if (rerr.origin == node_.localAddress()) return;
   // Relay toward the data originator.
   if (const auto reverse = table_.activeRoute(rerr.origin, simulator_.now())) {
-    node_.sendTo(reverse->nextHop, std::make_shared<RouteError>(rerr));
+    node_.sendTo(reverse->nextHop, net::makeMutablePayload<RouteError>(rerr));
   }
 }
 

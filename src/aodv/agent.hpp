@@ -12,12 +12,12 @@
 #pragma once
 
 #include <functional>
-#include <map>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "aodv/messages.hpp"
 #include "aodv/routing_table.hpp"
+#include "common/address_registry.hpp"
 #include "crypto/keys.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
@@ -65,6 +65,7 @@ struct AodvStats {
   std::uint64_t dataDropped{0};
   std::uint64_t discoveriesSucceeded{0};
   std::uint64_t discoveriesFailed{0};
+  std::uint64_t rreqSeenEvicted{0};  ///< dedup-cache entries TTL-pruned
 };
 
 /// Signing material for secure packets (BlackDP §III-B1). When present, the
@@ -114,6 +115,12 @@ class AodvAgent {
   [[nodiscard]] bool isNeighbourAlive(common::Address neighbour) const;
   [[nodiscard]] std::size_t neighbourCount() const {
     return neighbours_.size();
+  }
+
+  /// Live (unexpired) entries in the RREQ dedup cache — regression guard
+  /// that the cache stays bounded by the TTL window, not by run length.
+  [[nodiscard]] std::size_t rreqSeenSize() const {
+    return rreqSeen_.size() - rreqSeenHead_;
   }
 
   [[nodiscard]] RoutingTable& routingTable() { return table_; }
@@ -212,9 +219,20 @@ class AodvAgent {
   SeqNum ownSeq_{1};
   std::uint32_t nextRreqId_{1};
   std::uint64_t nextPacketId_{1};
-  std::unordered_map<common::Address, PendingDiscovery> pending_;
-  /// (origin, rreqId) → expiry of the dedup entry.
-  std::map<std::pair<std::uint64_t, std::uint32_t>, sim::TimePoint> rreqSeen_;
+  /// One RREQ flood seen from `origin` with id `id`, expiring at
+  /// `expiresAt`. Expiry = insertion time + a constant lifetime, so entries
+  /// expire in FIFO order and the cache is a vector pruned from the front.
+  struct RreqSeenEntry {
+    std::uint64_t origin;
+    std::uint32_t id;
+    sim::TimePoint expiresAt;
+  };
+
+  common::DenseAddressMap<PendingDiscovery> pending_;
+  /// RREQ dedup cache, FIFO over [rreqSeenHead_, size). TTL-pruned on every
+  /// insert so it tracks the flood rate × lifetime, never the run length.
+  std::vector<RreqSeenEntry> rreqSeen_;
+  std::size_t rreqSeenHead_{0};
   DeliveryHandler deliveryHandler_;
   RrepObserver rrepObserver_;
   RrepFilter rrepFilter_;
@@ -222,7 +240,7 @@ class AodvAgent {
   const crypto::CryptoEngine* engine_{nullptr};
   common::ClusterId currentCluster_{};
   /// neighbour address → last time we heard anything from it.
-  std::unordered_map<common::Address, sim::TimePoint> neighbours_;
+  common::DenseAddressMap<sim::TimePoint> neighbours_;
   bool helloRunning_{false};
 };
 

@@ -30,6 +30,9 @@ struct SecureEnvelope {
 /// BlackDP detector as a probe.
 class RouteRequest final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kRouteRequest;
+  RouteRequest() : Payload(kKind) {}
+
   common::RreqId rreqId{};
   common::Address origin{};
   SeqNum originSeq{0};
@@ -51,6 +54,9 @@ class RouteRequest final : public net::Payload {
 /// Route reply (RREP), unicast back along the reverse path.
 class RouteReply final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kRouteReply;
+  RouteReply() : Payload(kKind) {}
+
   common::RreqId rreqId{};          ///< request being answered
   common::Address origin{};         ///< RREQ originator (reply travels to it)
   common::Address destination{};    ///< route subject
@@ -83,6 +89,9 @@ class RouteReply final : public net::Payload {
 /// (core::AuthHello).
 class HelloBeacon final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kHelloBeacon;
+  HelloBeacon() : Payload(kKind) {}
+
   common::Address origin{};
   SeqNum originSeq{0};
 
@@ -94,6 +103,9 @@ class HelloBeacon final : public net::Payload {
 /// is gone/unroutable.
 class RouteError final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kRouteError;
+  RouteError() : Payload(kKind) {}
+
   common::Address destination{};
   SeqNum destSeq{0};
   common::Address origin{};  ///< data originator being informed
@@ -107,6 +119,9 @@ class RouteError final : public net::Payload {
 /// hop along established routes. A black hole simply never forwards these.
 class DataPacket final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kDataPacket;
+  DataPacket() : Payload(kKind) {}
+
   common::Address origin{};
   common::Address destination{};
   std::uint64_t packetId{0};

@@ -4,25 +4,23 @@ namespace blackdp::aodv {
 
 std::optional<RouteEntry> RoutingTable::activeRoute(
     common::Address destination, sim::TimePoint now) const {
-  const auto it = entries_.find(destination);
-  if (it == entries_.end()) return std::nullopt;
-  const RouteEntry& e = it->second;
-  if (!e.valid || now >= e.expiresAt) return std::nullopt;
-  return e;
+  const RouteEntry* e = entries_.find(destination);
+  if (e == nullptr) return std::nullopt;
+  if (!e->valid || now >= e->expiresAt) return std::nullopt;
+  return *e;
 }
 
 const RouteEntry* RoutingTable::find(common::Address destination) const {
-  const auto it = entries_.find(destination);
-  return it == entries_.end() ? nullptr : &it->second;
+  return entries_.find(destination);
 }
 
 bool RoutingTable::update(const RouteEntry& candidate, sim::TimePoint now) {
-  const auto it = entries_.find(candidate.destination);
-  if (it == entries_.end()) {
-    entries_.emplace(candidate.destination, candidate);
+  RouteEntry* existingPtr = entries_.find(candidate.destination);
+  if (existingPtr == nullptr) {
+    entries_[candidate.destination] = candidate;
     return true;
   }
-  RouteEntry& existing = it->second;
+  RouteEntry& existing = *existingPtr;
   const bool existingUsable = existing.valid && now < existing.expiresAt;
 
   bool accept = false;
@@ -48,43 +46,43 @@ void RoutingTable::install(const RouteEntry& entry) {
 }
 
 void RoutingTable::invalidate(common::Address destination) {
-  const auto it = entries_.find(destination);
-  if (it == entries_.end()) return;
-  it->second.valid = false;
+  RouteEntry* e = entries_.find(destination);
+  if (e == nullptr) return;
+  e->valid = false;
   // RFC 3561 §6.11: increment the sequence number so stale information
   // cannot resurrect the route.
-  it->second.destSeq += 1;
+  e->destSeq += 1;
 }
 
 std::size_t RoutingTable::invalidateVia(common::Address neighbor) {
   std::size_t count = 0;
-  for (auto& [dest, entry] : entries_) {
+  entries_.forEach([&](common::Address, RouteEntry& entry) {
     if (entry.valid && entry.nextHop == neighbor) {
       entry.valid = false;
       entry.destSeq += 1;
       ++count;
     }
-  }
+  });
   return count;
 }
 
 std::size_t RoutingTable::purgeExpired(sim::TimePoint now) {
   std::size_t removed = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (now >= it->second.expiresAt) {
-      it = entries_.erase(it);
+  entries_.eraseIf([&](common::Address, RouteEntry& entry) {
+    if (now >= entry.expiresAt) {
       ++removed;
-    } else {
-      ++it;
+      return true;
     }
-  }
+    return false;
+  });
   return removed;
 }
 
 std::vector<RouteEntry> RoutingTable::snapshot() const {
   std::vector<RouteEntry> out;
   out.reserve(entries_.size());
-  for (const auto& [addr, entry] : entries_) out.push_back(entry);
+  entries_.forEach(
+      [&](common::Address, const RouteEntry& entry) { out.push_back(entry); });
   return out;
 }
 

@@ -9,10 +9,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "aodv/seqnum.hpp"
+#include "common/address_registry.hpp"
 #include "common/ids.hpp"
 #include "sim/time.hpp"
 
@@ -64,7 +64,9 @@ class RoutingTable {
   [[nodiscard]] std::vector<RouteEntry> snapshot() const;
 
  private:
-  std::unordered_map<common::Address, RouteEntry> entries_;
+  /// Dense-slot map: per-packet next-hop lookups are one probe + one array
+  /// read, and purged destinations recycle their slots.
+  common::DenseAddressMap<RouteEntry> entries_;
 };
 
 }  // namespace blackdp::aodv

@@ -52,7 +52,7 @@ void AccusationFlooderAgent::tick() {
       ++sent_;
       node().sendTo(*chAddress, lastDreq_);
     } else if (!pool.empty()) {
-      auto dreq = std::make_shared<core::DetectionRequest>();
+      auto dreq = net::makeMutablePayload<core::DetectionRequest>();
       dreq->reporter = node().localAddress();
       dreq->reporterCluster = *cluster;
       dreq->suspect = pool[rng_.index(pool.size())];

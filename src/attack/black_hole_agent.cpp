@@ -150,7 +150,7 @@ void BlackHoleAgent::forgeHelloReply(const core::AuthHello& hello,
   // teammate) is the destination. The envelope is signed with the
   // attacker's own (valid!) certificate — the pseudonym mismatch is what
   // gives it away at the verifier.
-  auto reply = std::make_shared<core::AuthHello>();
+  auto reply = net::makeMutablePayload<core::AuthHello>();
   reply->helloId = hello.helloId;
   reply->origin = hello.origin;
   reply->destination = hello.destination;

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <utility>
 
 #include "aodv/agent.hpp"
 #include "core/messages.hpp"

@@ -95,7 +95,7 @@ void ClusterHead::handleJoin(const JoinRequest& jreq) {
   traceCh(simulator_, node_, clusterId_, obs::ChTableOp::kMemberJoined,
           jreq.vehicle);
 
-  auto jrep = std::make_shared<JoinReply>();
+  auto jrep = net::makeMutablePayload<JoinReply>();
   jrep->vehicle = jreq.vehicle;
   jrep->cluster = clusterId_;
   jrep->clusterHeadAddress = node_.localAddress();
@@ -145,7 +145,7 @@ void ClusterHead::applyRevocation(const crypto::RevocationNotice& notice) {
   if (members_.erase(notice.pseudonym) > 0) {
     history_.erase(notice.pseudonym);
   }
-  auto announcement = std::make_shared<RevocationAnnouncement>();
+  auto announcement = net::makeMutablePayload<RevocationAnnouncement>();
   announcement->notice = notice;
   ++stats_.revocationsAnnounced;
   traceCh(simulator_, node_, clusterId_, obs::ChTableOp::kRevocationApplied,

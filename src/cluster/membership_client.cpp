@@ -71,7 +71,7 @@ void MembershipClient::blacklistLocally(common::Address address) {
 }
 
 void MembershipClient::sendJoin() {
-  auto jreq = std::make_shared<JoinRequest>();
+  auto jreq = net::makeMutablePayload<JoinRequest>();
   jreq->vehicle = node_.localAddress();
   jreq->position = node_.radioPosition();
   jreq->speedMps = node_.motion().speedMps();
@@ -104,7 +104,7 @@ void MembershipClient::onBoundaryCrossing() {
 
   // Leaving the current cluster.
   if (currentCluster_ && clusterHead_ && newCluster != currentCluster_) {
-    auto leave = std::make_shared<LeaveNotice>();
+    auto leave = net::makeMutablePayload<LeaveNotice>();
     leave->vehicle = node_.localAddress();
     ++stats_.leavesSent;
     node_.sendTo(*clusterHead_, leave);

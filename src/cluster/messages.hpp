@@ -16,6 +16,9 @@ namespace blackdp::cluster {
 /// overlapped zones so the appropriate CH can claim the vehicle).
 class JoinRequest final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kJoinRequest;
+  JoinRequest() : Payload(kKind) {}
+
   common::Address vehicle{};
   mobility::Position position{};
   double speedMps{0.0};
@@ -38,6 +41,9 @@ struct NeighborChInfo {
 /// member losing its CH can re-home without re-discovery.
 class JoinReply final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kJoinReply;
+  JoinReply() : Payload(kKind) {}
+
   common::Address vehicle{};            ///< addressee
   common::ClusterId cluster{};
   common::Address clusterHeadAddress{};
@@ -54,6 +60,9 @@ class JoinReply final : public net::Payload {
 /// Leaving-cluster packet: the CH moves the member to its history table.
 class LeaveNotice final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kLeaveNotice;
+  LeaveNotice() : Payload(kKind) {}
+
   common::Address vehicle{};
 
   [[nodiscard]] std::string_view typeName() const override { return "leave"; }
@@ -63,6 +72,10 @@ class LeaveNotice final : public net::Payload {
 /// CH → members: a certificate has been revoked; blacklist its holder.
 class RevocationAnnouncement final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind =
+      net::PayloadKind::kRevocationAnnouncement;
+  RevocationAnnouncement() : Payload(kKind) {}
+
   crypto::RevocationNotice notice{};
 
   [[nodiscard]] std::string_view typeName() const override { return "revoke"; }

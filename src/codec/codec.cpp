@@ -282,7 +282,7 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
   const auto tag = static_cast<WireType>(r.readU8());
   switch (tag) {
     case WireType::kRreq: {
-      auto m = std::make_shared<aodv::RouteRequest>();
+      auto m = net::makeMutablePayload<aodv::RouteRequest>();
       m->rreqId = r.readId<common::RreqId>();
       m->origin = r.readId<common::Address>();
       m->originSeq = r.readU32();
@@ -295,7 +295,7 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
       return m;
     }
     case WireType::kRrep: {
-      auto m = std::make_shared<aodv::RouteReply>();
+      auto m = net::makeMutablePayload<aodv::RouteReply>();
       m->rreqId = r.readId<common::RreqId>();
       m->origin = r.readId<common::Address>();
       m->destination = r.readId<common::Address>();
@@ -309,14 +309,14 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
       return m;
     }
     case WireType::kRerr: {
-      auto m = std::make_shared<aodv::RouteError>();
+      auto m = net::makeMutablePayload<aodv::RouteError>();
       m->destination = r.readId<common::Address>();
       m->destSeq = r.readU32();
       m->origin = r.readId<common::Address>();
       return m;
     }
     case WireType::kData: {
-      auto m = std::make_shared<aodv::DataPacket>();
+      auto m = net::makeMutablePayload<aodv::DataPacket>();
       m->origin = r.readId<common::Address>();
       m->destination = r.readId<common::Address>();
       m->packetId = r.readU64();
@@ -326,13 +326,13 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
       return m;
     }
     case WireType::kHelloBeacon: {
-      auto m = std::make_shared<aodv::HelloBeacon>();
+      auto m = net::makeMutablePayload<aodv::HelloBeacon>();
       m->origin = r.readId<common::Address>();
       m->originSeq = r.readU32();
       return m;
     }
     case WireType::kJoinRequest: {
-      auto m = std::make_shared<cluster::JoinRequest>();
+      auto m = net::makeMutablePayload<cluster::JoinRequest>();
       m->vehicle = r.readId<common::Address>();
       m->position.x = static_cast<double>(r.readI64()) / 1000.0;
       m->position.y = static_cast<double>(r.readI64()) / 1000.0;
@@ -342,7 +342,7 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
       return m;
     }
     case WireType::kJoinReply: {
-      auto m = std::make_shared<cluster::JoinReply>();
+      auto m = net::makeMutablePayload<cluster::JoinReply>();
       m->vehicle = r.readId<common::Address>();
       m->cluster = r.readId<common::ClusterId>();
       m->clusterHeadAddress = r.readId<common::Address>();
@@ -360,17 +360,17 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
       return m;
     }
     case WireType::kLeaveNotice: {
-      auto m = std::make_shared<cluster::LeaveNotice>();
+      auto m = net::makeMutablePayload<cluster::LeaveNotice>();
       m->vehicle = r.readId<common::Address>();
       return m;
     }
     case WireType::kRevocationAnnouncement: {
-      auto m = std::make_shared<cluster::RevocationAnnouncement>();
+      auto m = net::makeMutablePayload<cluster::RevocationAnnouncement>();
       m->notice = readNotice(r);
       return m;
     }
     case WireType::kAuthHello: {
-      auto m = std::make_shared<core::AuthHello>();
+      auto m = net::makeMutablePayload<core::AuthHello>();
       m->helloId = r.readU64();
       m->origin = r.readId<common::Address>();
       m->destination = r.readId<common::Address>();
@@ -380,7 +380,7 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
       return m;
     }
     case WireType::kDetectionRequest: {
-      auto m = std::make_shared<core::DetectionRequest>();
+      auto m = net::makeMutablePayload<core::DetectionRequest>();
       m->reporter = r.readId<common::Address>();
       m->reporterCluster = r.readId<common::ClusterId>();
       m->suspect = r.readId<common::Address>();
@@ -390,7 +390,7 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
       return m;
     }
     case WireType::kForwardedDetection: {
-      auto m = std::make_shared<core::ForwardedDetection>();
+      auto m = net::makeMutablePayload<core::ForwardedDetection>();
       m->session = r.readId<common::DetectionSessionId>();
       m->reporter = r.readId<common::Address>();
       m->reporterCluster = r.readId<common::ClusterId>();
@@ -403,7 +403,7 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
       return m;
     }
     case WireType::kDetectionResult: {
-      auto m = std::make_shared<core::DetectionResult>();
+      auto m = net::makeMutablePayload<core::DetectionResult>();
       m->session = r.readId<common::DetectionSessionId>();
       m->reporter = r.readId<common::Address>();
       m->suspect = r.readId<common::Address>();
@@ -413,7 +413,7 @@ PayloadPtr decodePayload(common::ByteReader& r, int depth) {
       return m;
     }
     case WireType::kDetectionResponse: {
-      auto m = std::make_shared<core::DetectionResponse>();
+      auto m = net::makeMutablePayload<core::DetectionResponse>();
       m->reporter = r.readId<common::Address>();
       m->suspect = r.readId<common::Address>();
       m->verdict = readVerdict(r);

@@ -1,0 +1,276 @@
+// Dense address interning (the map-array idiom).
+//
+// Hot simulation paths key several tables by common::Address — a sparse,
+// pseudonymous 64-bit id. Hashing that id on every frame is the dominant
+// probe cost once payloads stop allocating, so:
+//
+//   - AddressRegistry interns addresses into dense u32 ids at attach/bind
+//     time. Structures that never remove keys (the medium's address->owner
+//     table) pair it with a flat vector indexed by dense id; the sparse
+//     Address survives only at codec/trace boundaries.
+//   - DenseKeyMap<Key, T> is the erase-capable variant used by per-agent
+//     routing/pending/neighbour tables and the detector/ledger: an
+//     open-addressing index over stable value slots, with freed slots
+//     recycled through a free list so memory tracks the peak *live*
+//     population, not every address ever seen.
+//
+// Determinism: iteration (forEach) walks value slots in insertion order
+// (with recycled slots keeping their position), which is a pure function of
+// the operation sequence — two runs of the same binary see identical orders.
+// No RNG is consumed anywhere here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/ids.hpp"
+
+namespace blackdp::common {
+
+/// Mixes a sparse 64-bit address into a table hash (splitmix64 finalizer).
+[[nodiscard]] constexpr std::uint64_t mixAddress(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Monotone interner: Address -> dense u32 id, never recycled. Use where
+/// keys are only ever added (or logically disabled, like an unbound
+/// address's owner slot) so a dense id stays valid for the table's lifetime.
+class AddressRegistry {
+ public:
+  static constexpr std::uint32_t kNoId = 0xffff'ffffu;
+
+  AddressRegistry() : buckets_(kInitialBuckets, Bucket{}) {}
+
+  /// Returns the existing id for `address` or assigns the next dense one.
+  std::uint32_t intern(Address address) {
+    const std::uint64_t key = address.value();
+    std::size_t i = mixAddress(key) & (buckets_.size() - 1);
+    while (buckets_[i].id != kNoId) {
+      if (buckets_[i].key == key) return buckets_[i].id;
+      i = (i + 1) & (buckets_.size() - 1);
+    }
+    const auto id = static_cast<std::uint32_t>(addresses_.size());
+    addresses_.push_back(address);
+    buckets_[i] = Bucket{key, id};
+    if ((addresses_.size() + 1) * 4 >= buckets_.size() * 3) grow();
+    return id;
+  }
+
+  /// kNoId when the address was never interned.
+  [[nodiscard]] std::uint32_t find(Address address) const {
+    const std::uint64_t key = address.value();
+    std::size_t i = mixAddress(key) & (buckets_.size() - 1);
+    while (buckets_[i].id != kNoId) {
+      if (buckets_[i].key == key) return buckets_[i].id;
+      i = (i + 1) & (buckets_.size() - 1);
+    }
+    return kNoId;
+  }
+
+  [[nodiscard]] Address addressOf(std::uint32_t id) const {
+    BDP_ASSERT(id < addresses_.size());
+    return addresses_[id];
+  }
+
+  /// Number of dense ids handed out.
+  [[nodiscard]] std::size_t size() const { return addresses_.size(); }
+
+ private:
+  struct Bucket {
+    std::uint64_t key{0};
+    std::uint32_t id{kNoId};
+  };
+  static constexpr std::size_t kInitialBuckets = 64;
+
+  void grow() {
+    std::vector<Bucket> old = std::move(buckets_);
+    buckets_.assign(old.size() * 2, Bucket{});
+    for (const Bucket& b : old) {
+      if (b.id == kNoId) continue;
+      std::size_t i = mixAddress(b.key) & (buckets_.size() - 1);
+      while (buckets_[i].id != kNoId) i = (i + 1) & (buckets_.size() - 1);
+      buckets_[i] = b;
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  std::vector<Address> addresses_;  ///< dense id -> sparse address
+};
+
+/// Erase-capable strong-id-keyed map over stable dense slots (works for
+/// Address, NodeId, or any StrongId). Lookup is one open-addressing probe
+/// plus a direct array access; values never move after insertion (holding a
+/// pointer across unrelated inserts is NOT safe — the slot vector may
+/// reallocate — but slot *indices* are stable and recycled only after an
+/// erase).
+template <typename Key, typename T>
+class DenseKeyMap {
+ public:
+  DenseKeyMap() : buckets_(kInitialBuckets, Bucket{}) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T* find(Key key) {
+    const std::uint32_t slot = findSlot(rawKey(key));
+    return slot == kEmpty ? nullptr : &slots_[slot].value;
+  }
+  [[nodiscard]] const T* find(Key key) const {
+    const std::uint32_t slot = findSlot(rawKey(key));
+    return slot == kEmpty ? nullptr : &slots_[slot].value;
+  }
+  [[nodiscard]] bool contains(Key key) const {
+    return findSlot(rawKey(key)) != kEmpty;
+  }
+
+  /// unordered_map-style: default-constructs on first access.
+  T& operator[](Key key) { return insertSlot(key)->value; }
+
+  /// True when an entry was removed. Frees the value immediately (the slot
+  /// is recycled by a later insert).
+  bool erase(Key key) {
+    const std::uint64_t raw = rawKey(key);
+    std::size_t i = mixAddress(raw) & (buckets_.size() - 1);
+    while (buckets_[i].slot != kEmpty) {
+      if (buckets_[i].slot != kTombstone && buckets_[i].key == raw) {
+        const std::uint32_t slot = buckets_[i].slot;
+        buckets_[i].slot = kTombstone;
+        ++tombstones_;
+        slots_[slot].present = false;
+        slots_[slot].value = T{};
+        freeSlots_.push_back(slot);
+        --size_;
+        return true;
+      }
+      i = (i + 1) & (buckets_.size() - 1);
+    }
+    return false;
+  }
+
+  /// Visits (Key, T&) over live entries in slot (insertion) order.
+  template <typename Fn>
+  void forEach(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.present) fn(slot.key, slot.value);
+    }
+  }
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.present) fn(slot.key, slot.value);
+    }
+  }
+
+  /// forEach with erase: `fn` returning true removes the entry.
+  template <typename Fn>
+  void eraseIf(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.present && fn(slot.key, slot.value)) erase(slot.key);
+    }
+  }
+
+  void clear() {
+    buckets_.assign(kInitialBuckets, Bucket{});
+    slots_.clear();
+    freeSlots_.clear();
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffff'ffffu;
+  static constexpr std::uint32_t kTombstone = 0xffff'fffeu;
+  static constexpr std::size_t kInitialBuckets = 16;
+
+  struct Bucket {
+    std::uint64_t key{0};
+    std::uint32_t slot{kEmpty};
+  };
+  struct Slot {
+    Key key{};
+    bool present{false};
+    T value{};
+  };
+
+  [[nodiscard]] static std::uint64_t rawKey(Key key) {
+    return static_cast<std::uint64_t>(key.value());
+  }
+
+  [[nodiscard]] std::uint32_t findSlot(std::uint64_t raw) const {
+    std::size_t i = mixAddress(raw) & (buckets_.size() - 1);
+    while (buckets_[i].slot != kEmpty) {
+      if (buckets_[i].slot != kTombstone && buckets_[i].key == raw) {
+        return buckets_[i].slot;
+      }
+      i = (i + 1) & (buckets_.size() - 1);
+    }
+    return kEmpty;
+  }
+
+  Slot* insertSlot(Key key) {
+    const std::uint64_t raw = rawKey(key);
+    std::size_t i = mixAddress(raw) & (buckets_.size() - 1);
+    std::size_t firstTomb = static_cast<std::size_t>(-1);
+    while (buckets_[i].slot != kEmpty) {
+      if (buckets_[i].slot == kTombstone) {
+        if (firstTomb == static_cast<std::size_t>(-1)) firstTomb = i;
+      } else if (buckets_[i].key == raw) {
+        return &slots_[buckets_[i].slot];
+      }
+      i = (i + 1) & (buckets_.size() - 1);
+    }
+    if (firstTomb != static_cast<std::size_t>(-1)) {
+      i = firstTomb;
+      --tombstones_;
+    }
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+      slot = freeSlots_.back();
+      freeSlots_.pop_back();
+      slots_[slot].key = key;
+      slots_[slot].present = true;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(Slot{key, true, T{}});
+    }
+    buckets_[i] = Bucket{raw, slot};
+    ++size_;
+    if ((size_ + tombstones_ + 1) * 4 >= buckets_.size() * 3) rehash();
+    return &slots_[slot];
+  }
+
+  void rehash() {
+    const std::size_t target =
+        size_ * 4 >= buckets_.size() ? buckets_.size() * 2 : buckets_.size();
+    std::vector<Bucket> fresh(target, Bucket{});
+    for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+      if (!slots_[s].present) continue;
+      const std::uint64_t raw = rawKey(slots_[s].key);
+      std::size_t i = mixAddress(raw) & (fresh.size() - 1);
+      while (fresh[i].slot != kEmpty) i = (i + 1) & (fresh.size() - 1);
+      fresh[i] = Bucket{raw, s};
+    }
+    buckets_ = std::move(fresh);
+    tombstones_ = 0;
+  }
+
+  std::vector<Bucket> buckets_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
+  std::size_t size_{0};
+  std::size_t tombstones_{0};
+};
+
+/// The address-keyed spelling used by routing/pending/neighbour tables, the
+/// detector's session table, and the reporter ledger.
+template <typename T>
+using DenseAddressMap = DenseKeyMap<Address, T>;
+
+}  // namespace blackdp::common

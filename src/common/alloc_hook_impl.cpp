@@ -1,0 +1,97 @@
+// Counting replacements for the global operator new/delete family.
+//
+// Built as an OBJECT library (`blackdp_alloc_hook`) so that linking it into
+// a binary is guaranteed to override both the libstdc++ allocators and the
+// weak inactive fallbacks in alloc_hook_stub.cpp. Every operator forwards to
+// malloc/free — allocation behaviour is unchanged, only counted.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_hook.hpp"
+
+namespace blackdp::common {
+namespace {
+
+thread_local AllocCounters tlsCounters;
+
+void* countedAlloc(std::size_t size, std::size_t align) {
+  ++tlsCounters.allocations;
+  if (size == 0) size = 1;
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void countedFree(void* p) {
+  if (p == nullptr) return;
+  ++tlsCounters.deallocations;
+  std::free(p);
+}
+
+}  // namespace
+
+AllocCounters threadAllocCounters() { return tlsCounters; }
+
+bool allocHookActive() { return true; }
+
+}  // namespace blackdp::common
+
+void* operator new(std::size_t size) {
+  return blackdp::common::countedAlloc(size, 0);
+}
+void* operator new[](std::size_t size) {
+  return blackdp::common::countedAlloc(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return blackdp::common::countedAlloc(size,
+                                       static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return blackdp::common::countedAlloc(size,
+                                       static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return blackdp::common::countedAlloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return blackdp::common::countedAlloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { blackdp::common::countedFree(p); }
+void operator delete[](void* p) noexcept { blackdp::common::countedFree(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  blackdp::common::countedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  blackdp::common::countedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  blackdp::common::countedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  blackdp::common::countedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  blackdp::common::countedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  blackdp::common::countedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  blackdp::common::countedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  blackdp::common::countedFree(p);
+}

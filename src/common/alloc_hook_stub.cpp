@@ -1,0 +1,13 @@
+#include "common/alloc_hook.hpp"
+
+// Weak fallbacks: linked binaries that do not pull in blackdp_alloc_hook get
+// an inactive hook. The strong definitions live in alloc_hook_impl.cpp,
+// which is an OBJECT library so its symbols always win when linked.
+
+namespace blackdp::common {
+
+__attribute__((weak)) AllocCounters threadAllocCounters() { return {}; }
+
+__attribute__((weak)) bool allocHookActive() { return false; }
+
+}  // namespace blackdp::common

@@ -34,6 +34,9 @@ enum class Verdict {
 /// Secure end-to-end Hello for destination authentication (§III-B1).
 class AuthHello final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind = net::PayloadKind::kAuthHello;
+  AuthHello() : Payload(kKind) {}
+
   std::uint64_t helloId{0};
   common::Address origin{};       ///< the verifying source
   common::Address destination{};  ///< the claimed destination
@@ -52,6 +55,10 @@ class AuthHello final : public net::Payload {
 /// d_req — the detection request a legitimate node sends to its cluster head.
 class DetectionRequest final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind =
+      net::PayloadKind::kDetectionRequest;
+  DetectionRequest() : Payload(kKind) {}
+
   common::Address reporter{};
   common::ClusterId reporterCluster{};
   common::Address suspect{};
@@ -75,6 +82,10 @@ class DetectionRequest final : public net::Payload {
 /// CH → CH: continue a detection in the receiving CH's cluster.
 class ForwardedDetection final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind =
+      net::PayloadKind::kForwardedDetection;
+  ForwardedDetection() : Payload(kKind) {}
+
   common::DetectionSessionId session{};
   common::Address reporter{};
   common::ClusterId reporterCluster{};
@@ -97,6 +108,10 @@ class ForwardedDetection final : public net::Payload {
 /// Detecting CH → reporter's CH: final verdict for relay to the reporter.
 class DetectionResult final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind =
+      net::PayloadKind::kDetectionResult;
+  DetectionResult() : Payload(kKind) {}
+
   common::DetectionSessionId session{};
   common::Address reporter{};
   common::Address suspect{};
@@ -111,6 +126,10 @@ class DetectionResult final : public net::Payload {
 /// CH → reporter (over the air): the verification verdict.
 class DetectionResponse final : public net::Payload {
  public:
+  static constexpr net::PayloadKind kKind =
+      net::PayloadKind::kDetectionResponse;
+  DetectionResponse() : Payload(kKind) {}
+
   common::Address reporter{};
   common::Address suspect{};
   Verdict verdict{Verdict::kNotConfirmed};

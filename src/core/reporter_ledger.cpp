@@ -50,43 +50,41 @@ void ReporterLedger::credit(common::Address reporter) {
 std::size_t ReporterLedger::evictIdle(sim::TimePoint now) {
   if (config_.entryTtl == sim::Duration{}) return 0;
   std::size_t evicted = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    const Entry& e = it->second;
-    if (!e.quarantined && now - e.lastTouched > config_.entryTtl) {
-      it = entries_.erase(it);
-      ++evicted;
-    } else {
-      ++it;
-    }
-  }
+  entries_.eraseIf([&](common::Address, const Entry& e) {
+    if (e.quarantined || now - e.lastTouched <= config_.entryTtl) return false;
+    ++evicted;
+    return true;
+  });
   return evicted;
 }
 
 int ReporterLedger::demeritScore(common::Address reporter) const {
-  const auto it = entries_.find(reporter);
-  return it == entries_.end() ? 0 : it->second.demerits;
+  const Entry* e = entries_.find(reporter);
+  return e == nullptr ? 0 : e->demerits;
 }
 
 bool ReporterLedger::isQuarantined(common::Address reporter) const {
-  const auto it = entries_.find(reporter);
-  return it != entries_.end() && it->second.quarantined;
+  const Entry* e = entries_.find(reporter);
+  return e != nullptr && e->quarantined;
 }
 
 std::size_t ReporterLedger::noncesCached() const {
   std::size_t total = 0;
-  for (const auto& [reporter, e] : entries_) total += e.nonces.size();
+  entries_.forEach(
+      [&](common::Address, const Entry& e) { total += e.nonces.size(); });
   return total;
 }
 
 void ReporterLedger::saveState(common::ByteWriter& w) const {
   std::vector<common::Address> order;
   order.reserve(entries_.size());
-  for (const auto& [reporter, e] : entries_) order.push_back(reporter);
+  entries_.forEach(
+      [&](common::Address reporter, const Entry&) { order.push_back(reporter); });
   std::sort(order.begin(), order.end());
 
   w.writeU32(static_cast<std::uint32_t>(order.size()));
   for (const common::Address reporter : order) {
-    const Entry& e = entries_.at(reporter);
+    const Entry& e = *entries_.find(reporter);
     w.writeU64(reporter.value());
     w.writeU32(static_cast<std::uint32_t>(e.recent.size()));
     for (const sim::TimePoint t : e.recent) w.writeI64(t.us());
@@ -118,7 +116,7 @@ void ReporterLedger::restoreState(common::ByteReader& r) {
     e.demerits = static_cast<int>(r.readI64());
     e.quarantined = r.readBool();
     e.lastTouched = sim::TimePoint::fromUs(r.readI64());
-    entries_.emplace(reporter, std::move(e));
+    entries_[reporter] = std::move(e);
   }
 }
 

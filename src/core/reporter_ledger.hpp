@@ -21,9 +21,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "common/address_registry.hpp"
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "sim/time.hpp"
@@ -100,7 +100,8 @@ class ReporterLedger {
   Entry& entry(common::Address reporter) { return entries_[reporter]; }
 
   ReporterLedgerConfig config_;
-  std::unordered_map<common::Address, Entry> entries_;
+  /// Dense-slot map: the per-d_req rate/replay checks probe once and index.
+  common::DenseAddressMap<Entry> entries_;
 };
 
 }  // namespace blackdp::core

@@ -176,14 +176,14 @@ void RsuDetector::handleDreq(const DetectionRequest& dreq) {
   }
 
   // Verification-table dedup: concurrent reports against one suspect merge.
-  if (const auto it = active_.find(dreq.suspect); it != active_.end()) {
+  if (Session* merged = active_.find(dreq.suspect)) {
     ++stats_.dreqDeduplicated;
-    it->second.reporters.push_back({dreq.reporter, dreq.reporterCluster});
-    it->second.packets += 1;  // the received d_req
+    merged->reporters.push_back({dreq.reporter, dreq.reporterCluster});
+    merged->packets += 1;  // the received d_req
     traceDetector(simulator_, ch_, obs::DetectorOp::kDreqDeduplicated,
-                  it->second.id, dreq.suspect, dreq.reporter);
+                  merged->id, dreq.suspect, dreq.reporter);
     traceTable(simulator_, ch_, obs::ChTableOp::kVerificationMerge,
-               it->second.id, dreq.suspect);
+               merged->id, dreq.suspect);
     return;
   }
 
@@ -261,7 +261,7 @@ void RsuDetector::forwardSession(Session session, common::ClusterId target) {
   traceDetector(simulator_, ch_, obs::DetectorOp::kSessionForwarded,
                 session.id, session.suspect,
                 session.reporters.front().address, target.value());
-  auto fwd = std::make_shared<ForwardedDetection>();
+  auto fwd = net::makeMutablePayload<ForwardedDetection>();
   fwd->session = session.id;
   fwd->reporter = session.reporters.front().address;
   fwd->reporterCluster = session.reporters.front().cluster;
@@ -282,14 +282,13 @@ void RsuDetector::beginProbing(Session session) {
   // can have a route.
   // A session for this suspect may already be running here (e.g. a second
   // CH forwarded its own report while ours is active): merge, don't restart.
-  if (const auto existing = active_.find(session.suspect);
-      existing != active_.end()) {
-    auto& reporters = existing->second.reporters;
+  if (Session* existing = active_.find(session.suspect)) {
+    auto& reporters = existing->reporters;
     reporters.insert(reporters.end(), session.reporters.begin(),
                      session.reporters.end());
-    existing->second.packets += session.packets;
+    existing->packets += session.packets;
     traceTable(simulator_, ch_, obs::ChTableOp::kVerificationMerge,
-               existing->second.id, session.suspect);
+               existing->id, session.suspect);
     return;
   }
 
@@ -307,21 +306,22 @@ void RsuDetector::beginProbing(Session session) {
   }
 
   const common::Address suspect = session.suspect;
-  auto [it, inserted] = active_.emplace(suspect, std::move(session));
-  BDP_ASSERT_MSG(inserted, "duplicate active session for suspect");
-  traceDetector(simulator_, ch_, obs::DetectorOp::kSessionOpened,
-                it->second.id, suspect,
-                it->second.reporters.empty()
-                    ? common::Address{}
-                    : it->second.reporters.front().address);
-  traceTable(simulator_, ch_, obs::ChTableOp::kVerificationInsert,
-             it->second.id, suspect);
+  BDP_ASSERT_MSG(!active_.contains(suspect),
+                 "duplicate active session for suspect");
+  Session& placed = active_[suspect];
+  placed = std::move(session);
+  traceDetector(simulator_, ch_, obs::DetectorOp::kSessionOpened, placed.id,
+                suspect,
+                placed.reporters.empty() ? common::Address{}
+                                         : placed.reporters.front().address);
+  traceTable(simulator_, ch_, obs::ChTableOp::kVerificationInsert, placed.id,
+             suspect);
   armSweep();
-  if (it->second.hardened) {
-    scheduleHardenedRound(it->second);
+  if (placed.hardened) {
+    scheduleHardenedRound(placed);
     return;
   }
-  sendProbe(suspect, it->second);
+  sendProbe(suspect, placed);
 }
 
 // Hardened campaign ------------------------------------------------------
@@ -334,10 +334,10 @@ void RsuDetector::scheduleHardenedRound(Session& session) {
   session.timerDeadline = simulator_.now() + jitter;
   session.timerArmSeq = ++*armSeqCounter_;
   simulator_.schedule(jitter, [this, suspect = session.suspect, gen] {
-    const auto it = active_.find(suspect);
-    if (it == active_.end() || it->second.timerGen != gen) return;
-    it->second.timerKind = 0;
-    sendHardenedProbe(it->second);
+    Session* live = active_.find(suspect);
+    if (live == nullptr || live->timerGen != gen) return;
+    live->timerKind = 0;
+    sendHardenedProbe(*live);
   });
 }
 
@@ -366,7 +366,7 @@ void RsuDetector::sendHardenedProbe(Session& session) {
   session.disposable = allocProbeAddress();
   ch_.node().addAlias(session.disposable);
 
-  auto rreq = std::make_shared<aodv::RouteRequest>();
+  auto rreq = net::makeMutablePayload<aodv::RouteRequest>();
   rreq->rreqId = common::RreqId{nextProbeRreqId_++};
   session.stageRreqIds.clear();  // one countable reply per round
   session.stageRreqIds.push_back(rreq->rreqId.value());
@@ -432,7 +432,7 @@ void RsuDetector::exonerateReporters(const Session& session) {
 }
 
 void RsuDetector::sendProbe(common::Address target, Session& session) {
-  auto rreq = std::make_shared<aodv::RouteRequest>();
+  auto rreq = net::makeMutablePayload<aodv::RouteRequest>();
   rreq->rreqId = common::RreqId{nextProbeRreqId_++};
   session.stageRreqIds.push_back(rreq->rreqId.value());
   rreq->origin = session.disposable;
@@ -474,9 +474,9 @@ void RsuDetector::armTimer(Session& session) {
 }
 
 void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
-  const auto it = active_.find(suspect);
-  if (it == active_.end() || it->second.timerGen != gen) return;
-  Session& session = it->second;
+  Session* live = active_.find(suspect);
+  if (live == nullptr || live->timerGen != gen) return;
+  Session& session = *live;
   session.timerKind = 0;  // this timer is being consumed
   traceDetector(simulator_, ch_, obs::DetectorOp::kProbeTimeout, session.id,
                 session.suspect, {},
@@ -490,7 +490,7 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
     }
     // Teammate stayed silent: the primary attacker is still confirmed.
     Session done = std::move(session);
-    active_.erase(it);
+    active_.erase(suspect);
     done.accomplice = common::kNullAddress;
     finishSession(std::move(done), Verdict::kSingleBlackHole);
     return;
@@ -501,7 +501,7 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
     // including probe state, to the next cluster head. Hardened campaigns
     // forward at stage 0 (the next CH restarts its own campaign).
     Session moved = std::move(session);
-    active_.erase(it);
+    active_.erase(suspect);
     ch_.node().removeAlias(moved.disposable);
     if (moved.forwardCount < config_.maxForwards) {
       if (const auto next = guessNextCluster(suspect)) {
@@ -522,7 +522,7 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
       return;
     }
     Session done = std::move(session);
-    active_.erase(it);
+    active_.erase(suspect);
     if (done.violations == 0) {
       // Full campaign, zero violations: the accusation was baseless.
       exonerateReporters(done);
@@ -543,7 +543,7 @@ void RsuDetector::onProbeTimeout(common::Address suspect, std::uint32_t gen) {
   // legitimately (or evaded); BlackDP prevents the attack but does not
   // confirm it.
   Session done = std::move(session);
-  active_.erase(it);
+  active_.erase(suspect);
   finishSession(std::move(done), Verdict::kNotConfirmed);
 }
 
@@ -552,15 +552,17 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
   // Match the reply against the current stage's probe generation (original
   // or any retransmission); replies to an earlier stage's probes no longer
   // match — their ids were cleared on the stage advance.
-  const auto it = std::find_if(
-      active_.begin(), active_.end(), [&](const auto& kv) {
-        const Session& s = kv.second;
-        return s.fakeDestination == rrep.destination &&
-               std::find(s.stageRreqIds.begin(), s.stageRreqIds.end(),
-                         rrep.rreqId.value()) != s.stageRreqIds.end();
-      });
-  if (it == active_.end()) return;
-  Session& session = it->second;
+  Session* match = nullptr;
+  active_.forEach([&](common::Address, Session& s) {
+    if (match == nullptr && s.fakeDestination == rrep.destination &&
+        std::find(s.stageRreqIds.begin(), s.stageRreqIds.end(),
+                  rrep.rreqId.value()) != s.stageRreqIds.end()) {
+      match = &s;
+    }
+  });
+  if (match == nullptr) return;
+  Session& session = *match;
+  const common::Address suspectKey = session.suspect;
   session.packets += 1;
   ++session.timerGen;  // disarm the pending timeout
   session.timerKind = 0;
@@ -606,7 +608,7 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
         return;
       }
       Session done = std::move(session);
-      active_.erase(it);
+      active_.erase(suspectKey);
       finishSession(std::move(done), Verdict::kSingleBlackHole);
       return;
     }
@@ -618,7 +620,7 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
     // Rounds exhausted below quorum: suspicious but unconfirmed. The
     // reporters are *not* demerited — the suspect did violate.
     Session done = std::move(session);
-    active_.erase(it);
+    active_.erase(suspectKey);
     finishSession(std::move(done), Verdict::kNotConfirmed);
     return;
   }
@@ -634,7 +636,7 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
       session.retriesLeft = config_.stageRetries;
       if (!ch_.isMember(session.suspect) && !session.degraded) {
         Session moved = std::move(session);
-        active_.erase(it);
+        active_.erase(suspectKey);
         ch_.node().removeAlias(moved.disposable);
         if (moved.forwardCount < config_.maxForwards) {
           if (const auto next = guessNextCluster(moved.suspect)) {
@@ -655,7 +657,7 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
       const bool violation = aodv::seqNewer(rrep.destSeq, session.rreq2Seq);
       if (!violation) {
         Session done = std::move(session);
-        active_.erase(it);
+        active_.erase(suspectKey);
         finishSession(std::move(done), Verdict::kNotConfirmed);
         return;
       }
@@ -671,7 +673,7 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
         return;
       }
       Session done = std::move(session);
-      active_.erase(it);
+      active_.erase(suspectKey);
       finishSession(std::move(done), Verdict::kSingleBlackHole);
       return;
     }
@@ -680,7 +682,7 @@ void RsuDetector::handleProbeReply(const aodv::RouteReply& rrep,
       // supports the primary attacker's claim — cooperative attack.
       if (frame.src != session.accomplice) return;
       Session done = std::move(session);
-      active_.erase(it);
+      active_.erase(suspectKey);
       finishSession(std::move(done), Verdict::kCooperativeBlackHole);
       return;
     }
@@ -718,7 +720,7 @@ void RsuDetector::finishSession(Session session, Verdict verdict) {
   // Answer every reporter; account for the packets each answer costs.
   for (const Reporter& reporter : session.reporters) {
     if (reporter.cluster == ch_.clusterId() || reporter.cluster.value() == 0) {
-      auto response = std::make_shared<DetectionResponse>();
+      auto response = net::makeMutablePayload<DetectionResponse>();
       response->reporter = reporter.address;
       response->suspect = session.suspect;
       response->verdict = verdict;
@@ -726,7 +728,7 @@ void RsuDetector::finishSession(Session session, Verdict verdict) {
       session.packets += 1;  // the over-the-air response
       ch_.node().sendTo(reporter.address, std::move(response));
     } else {
-      auto result = std::make_shared<DetectionResult>();
+      auto result = net::makeMutablePayload<DetectionResult>();
       result->session = session.id;
       result->reporter = reporter.address;
       result->suspect = session.suspect;
@@ -799,18 +801,17 @@ void RsuDetector::onSweep() {
   // The idle-ledger TTL rides the same timer: one sweep bounds both tables.
   stats_.ledgerEvictions += ledger_.evictIdle(now);
   std::vector<common::Address> stale;
-  for (const auto& [suspect, session] : active_) {
+  active_.forEach([&](common::Address suspect, const Session& session) {
     if (now - session.startedAt >= config_.sessionTtl) {
       stale.push_back(suspect);
     }
-  }
+  });
   // Address order, not hash-map order: a restored world's table has a
   // different insertion history, and expiry processing must not depend on it.
   std::sort(stale.begin(), stale.end());
   for (const common::Address suspect : stale) {
-    const auto it = active_.find(suspect);
-    Session done = std::move(it->second);
-    active_.erase(it);
+    Session done = std::move(*active_.find(suspect));
+    active_.erase(suspect);
     ++stats_.expiredSessions;
     traceTable(simulator_, ch_, obs::ChTableOp::kVerificationExpired, done.id,
                done.suspect);
@@ -825,7 +826,7 @@ void RsuDetector::onSweep() {
 void RsuDetector::relayResult(const DetectionResult& result) {
   traceDetector(simulator_, ch_, obs::DetectorOp::kResultRelayed,
                 result.session, result.suspect, result.reporter);
-  auto response = std::make_shared<DetectionResponse>();
+  auto response = net::makeMutablePayload<DetectionResponse>();
   response->reporter = result.reporter;
   response->suspect = result.suspect;
   response->verdict = result.verdict;
@@ -928,11 +929,12 @@ void RsuDetector::saveState(common::ByteWriter& w) const {
 
   std::vector<common::Address> order;
   order.reserve(active_.size());
-  for (const auto& [suspect, session] : active_) order.push_back(suspect);
+  active_.forEach(
+      [&](common::Address suspect, const Session&) { order.push_back(suspect); });
   std::sort(order.begin(), order.end());
   w.writeU32(static_cast<std::uint32_t>(order.size()));
   for (const common::Address suspect : order) {
-    const Session& s = active_.at(suspect);
+    const Session& s = *active_.find(suspect);
     w.writeId(s.id);
     w.writeId(s.suspect);
     w.writeU32(static_cast<std::uint32_t>(s.reporters.size()));
@@ -1068,18 +1070,16 @@ void RsuDetector::restoreState(common::ByteReader& r,
                        [this, suspect, gen] { onProbeTimeout(suspect, gen); }});
     } else if (s.timerKind == 2) {
       rearm.push_back({s.timerArmSeq, s.timerDeadline, [this, suspect, gen] {
-                         const auto it = active_.find(suspect);
-                         if (it == active_.end() || it->second.timerGen != gen) {
-                           return;
-                         }
-                         it->second.timerKind = 0;
-                         sendHardenedProbe(it->second);
+                         Session* live = active_.find(suspect);
+                         if (live == nullptr || live->timerGen != gen) return;
+                         live->timerKind = 0;
+                         sendHardenedProbe(*live);
                        }});
     }
     // timerKind 0: no live timer (a reply disarmed it; the TTL sweep is the
     // only way such a session ends — exactly as in the uninterrupted run).
 
-    active_.emplace(suspect, std::move(s));
+    active_[suspect] = std::move(s);
   }
 
   probeIdentityLog_.clear();

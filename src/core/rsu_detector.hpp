@@ -25,10 +25,10 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster_head.hpp"
+#include "common/address_registry.hpp"
 #include "core/messages.hpp"
 #include "core/reporter_ledger.hpp"
 #include "core/secure.hpp"
@@ -309,8 +309,9 @@ class RsuDetector {
   const crypto::CryptoEngine& engine_;
   DetectorConfig config_;
   DetectorStats stats_;
-  /// Verification table, keyed by suspect.
-  std::unordered_map<common::Address, Session> active_;
+  /// Verification table, keyed by suspect (dense slots; one probe + array
+  /// read per probe-reply match, slots recycled as sessions close).
+  common::DenseAddressMap<Session> active_;
   std::vector<SessionRecord> completed_;
   std::uint64_t completedTotal_{0};
   std::uint64_t nextSessionLocal_{1};

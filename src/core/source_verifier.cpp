@@ -186,7 +186,7 @@ void SourceVerifier::sendHello() {
   Session& s = *session_;
   ++s.helloProbes;
 
-  auto hello = std::make_shared<AuthHello>();
+  auto hello = net::makeMutablePayload<AuthHello>();
   hello->helloId = nextHelloId_++;
   hello->origin = node_.localAddress();
   hello->destination = s.destination;
@@ -279,7 +279,7 @@ bool SourceVerifier::sendDreq() {
   }
 
   ++s.dreqAttempts;
-  auto dreq = std::make_shared<DetectionRequest>();
+  auto dreq = net::makeMutablePayload<DetectionRequest>();
   dreq->reporter = node_.localAddress();
   dreq->reporterCluster = *myCluster;
   dreq->suspect = s.suspect;
@@ -387,7 +387,7 @@ void SourceVerifier::onDataDelivered(const aodv::DataPacket& packet,
 }
 
 void SourceVerifier::answerHello(const AuthHello& hello) {
-  auto reply = std::make_shared<AuthHello>();
+  auto reply = net::makeMutablePayload<AuthHello>();
   reply->helloId = hello.helloId;
   reply->origin = hello.origin;
   reply->destination = hello.destination;

@@ -38,8 +38,8 @@ WirelessMedium::WirelessMedium(sim::Simulator& simulator, sim::Rng rng,
 }
 
 void WirelessMedium::attach(common::NodeId node, Radio& radio) {
-  const auto [it, inserted] = radios_.emplace(node, &radio);
-  BDP_ASSERT_MSG(inserted, "node attached twice");
+  BDP_ASSERT_MSG(!radios_.contains(node), "node attached twice");
+  radios_[node] = &radio;
   const auto pos = std::lower_bound(
       receivers_.begin(), receivers_.end(), node,
       [](const auto& entry, common::NodeId id) { return entry.first < id; });
@@ -56,8 +56,9 @@ void WirelessMedium::detach(common::NodeId node) {
   // A detached node must not keep ownership of any receive address: a later
   // re-use of the address binds it to its new owner, and until then unicasts
   // to it fail the MAC ACK as unreachable rather than consulting a ghost.
-  std::erase_if(addressOwner_,
-                [node](const auto& entry) { return entry.second == node; });
+  for (std::uint32_t& owner : ownerOf_) {
+    if (owner == node.value()) owner = kUnbound;
+  }
   gridValid_ = false;
 }
 
@@ -66,11 +67,14 @@ void WirelessMedium::bindAddress(common::Address address,
   if (address == common::kNullAddress || address == common::kBroadcastAddress) {
     return;
   }
-  addressOwner_[address] = owner;
+  const std::uint32_t id = addressIds_.intern(address);
+  if (id >= ownerOf_.size()) ownerOf_.resize(id + 1, kUnbound);
+  ownerOf_[id] = owner.value();
 }
 
 void WirelessMedium::unbindAddress(common::Address address) {
-  addressOwner_.erase(address);
+  const std::uint32_t id = addressIds_.find(address);
+  if (id != common::AddressRegistry::kNoId) ownerOf_[id] = kUnbound;
 }
 
 std::int64_t WirelessMedium::cellOf(double coordinate) const {
@@ -122,21 +126,20 @@ void WirelessMedium::collectCandidates(const mobility::Position& origin) {
 void WirelessMedium::scheduleSendFailure(common::NodeId sender,
                                          const Frame& frame) {
   simulator_.schedule(config_.perHopLatency, [this, sender, frame] {
-    const auto it = radios_.find(sender);
-    if (it != radios_.end()) it->second->onSendFailed(frame);
+    if (Radio** radio = radios_.find(sender)) (*radio)->onSendFailed(frame);
   });
 }
 
 void WirelessMedium::send(common::NodeId sender, Frame frame) {
-  const auto senderIt = radios_.find(sender);
-  BDP_ASSERT_MSG(senderIt != radios_.end(), "send from unattached node");
+  Radio* const* senderRadio = radios_.find(sender);
+  BDP_ASSERT_MSG(senderRadio != nullptr, "send from unattached node");
   BDP_ASSERT_MSG(frame.payload != nullptr, "frame without payload");
 
   ++stats_.framesSent;
   stats_.bytesSent += frame.payload->sizeBytes();
   traceFrame(simulator_, obs::EventKind::kFrameTx, 0, sender, frame);
 
-  const mobility::Position origin = senderIt->second->radioPosition();
+  const mobility::Position origin = (*senderRadio)->radioPosition();
 
   // MAC ACK model for unicast frames: unreachable addressee → sender gets
   // a transmission-failure callback after the (ACK-timeout-like) latency.
@@ -144,16 +147,18 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
   // the same way (no ACK came back through the burst/jam).
   std::optional<common::NodeId> addressee;
   if (!frame.isBroadcast()) {
-    const auto ownerIt = addressOwner_.find(frame.dst);
+    const std::uint32_t dstId = addressIds_.find(frame.dst);
+    const std::uint32_t ownerValue =
+        dstId != common::AddressRegistry::kNoId ? ownerOf_[dstId] : kUnbound;
+    const common::NodeId owner{ownerValue};
     const bool reachable =
-        ownerIt != addressOwner_.end() &&
-        [&] {
-          const auto radioIt = radios_.find(ownerIt->second);
-          return radioIt != radios_.end() &&
-                 withinRange(origin, radioIt->second->radioPosition());
+        ownerValue != kUnbound && [&] {
+          Radio* const* radio = radios_.find(owner);
+          return radio != nullptr &&
+                 withinRange(origin, (*radio)->radioPosition());
         }();
     if (reachable) {
-      addressee = ownerIt->second;
+      addressee = owner;
     } else {
       ++stats_.sendFailures;
       traceFrame(simulator_, obs::EventKind::kFrameSendFailed,
@@ -205,11 +210,11 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
     // Deliver only if the receiver is still attached at delivery time
     // (a vehicle may leave the highway while the frame is in flight).
     simulator_.schedule(latency, [this, nodeId, frame] {
-      const auto it = radios_.find(nodeId);
-      if (it == radios_.end()) return;
+      Radio** live = radios_.find(nodeId);
+      if (live == nullptr) return;
       ++stats_.framesDelivered;
       traceFrame(simulator_, obs::EventKind::kFrameRx, 0, nodeId, frame);
-      it->second->onFrame(frame);
+      (*live)->onFrame(frame);
     });
   };
 
@@ -225,11 +230,10 @@ void WirelessMedium::send(common::NodeId sender, Frame frame) {
 }
 
 bool WirelessMedium::inRange(common::NodeId a, common::NodeId b) const {
-  const auto ita = radios_.find(a);
-  const auto itb = radios_.find(b);
-  if (ita == radios_.end() || itb == radios_.end()) return false;
-  return withinRange(ita->second->radioPosition(),
-                     itb->second->radioPosition());
+  Radio* const* ra = radios_.find(a);
+  Radio* const* rb = radios_.find(b);
+  if (ra == nullptr || rb == nullptr) return false;
+  return withinRange((*ra)->radioPosition(), (*rb)->radioPosition());
 }
 
 }  // namespace blackdp::net

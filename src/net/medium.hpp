@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/address_registry.hpp"
 #include "mobility/motion.hpp"
 #include "net/frame.hpp"
 #include "obs/trace_event.hpp"
@@ -113,6 +114,11 @@ class WirelessMedium {
     return radios_.contains(node);
   }
 
+  /// Dense ids handed out for bound addresses (monotone over the run).
+  [[nodiscard]] std::size_t internedAddresses() const {
+    return addressIds_.size();
+  }
+
   /// Transmits a frame from `sender`. Receivers are all other attached nodes
   /// within range of the sender's position now. For unicast frames the
   /// medium additionally models the MAC-level ACK: if the bound owner of
@@ -157,7 +163,13 @@ class WirelessMedium {
   /// grid path cannot drift from the ACK model.
   [[nodiscard]] bool withinRange(const mobility::Position& a,
                                  const mobility::Position& b) const {
-    return mobility::distance(a, b) <= config_.transmissionRangeM;
+    // Squared-distance compare: sqrt is monotone, so the accept set is the
+    // same as `distance(a, b) <= range`, minus one sqrt per candidate —
+    // the hottest arithmetic in the broadcast fan-out.
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return dx * dx + dy * dy <=
+           config_.transmissionRangeM * config_.transmissionRangeM;
   }
 
   [[nodiscard]] std::int64_t cellOf(double coordinate) const;
@@ -169,15 +181,26 @@ class WirelessMedium {
 
   void scheduleSendFailure(common::NodeId sender, const Frame& frame);
 
+  /// ownerOf_ slot value meaning "this address is not currently bound".
+  static constexpr std::uint32_t kUnbound = 0xffff'ffffu;
+
   sim::Simulator& simulator_;
   sim::Rng rng_;
   MediumConfig config_;
   MediumStats stats_;
-  std::unordered_map<common::NodeId, Radio*> radios_;
+  /// One open-addressing probe + array access per delivery-liveness check.
+  common::DenseKeyMap<common::NodeId, Radio*> radios_;
   /// Same radios, kept in ascending node-id order (updated on attach/detach,
   /// which are rare) so sends never copy + sort the whole fleet.
   std::vector<std::pair<common::NodeId, Radio*>> receivers_;
-  std::unordered_map<common::Address, common::NodeId> addressOwner_;
+  /// Address → owner, split map-array style: bindAddress interns the sparse
+  /// pseudonym into a dense id once, and the owner lives in a flat vector
+  /// indexed by that id. The unicast ACK lookup in send() is then a probe
+  /// over interned addresses plus one array read; unbinding just writes the
+  /// kUnbound sentinel (dense ids are never recycled — pseudonym churn is
+  /// bounded per run, so the vector tracks total distinct addresses).
+  common::AddressRegistry addressIds_;
+  std::vector<std::uint32_t> ownerOf_;  ///< dense address id -> NodeId value
   MediumFaultHook* faultHook_{nullptr};
 
   /// Spatial grid: packed (cellX, cellY) → indices into receivers_,

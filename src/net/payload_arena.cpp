@@ -1,0 +1,86 @@
+#include "net/payload_arena.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace blackdp::net {
+namespace {
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+struct ThreadCache {
+  FreeNode* freeList[PayloadArena::kClassCount]{};
+  PayloadArena::Stats stats{};
+};
+
+thread_local ThreadCache tlsCache;
+
+/// Immortal slab registry: keeps every slab reachable for the process
+/// lifetime (leak-checker clean, and the reason cross-thread frees are
+/// safe). Intentionally heap-allocated and never destroyed so the static
+/// pointer stays a live root through exit.
+std::vector<void*>& slabRegistry() {
+  static auto* registry = new std::vector<void*>();
+  return *registry;
+}
+std::mutex& slabMutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Carves one new slab into `classSize` blocks and returns them as a free
+/// list (already linked, head first).
+FreeNode* carveSlab(std::size_t classSize) {
+  void* slab = ::operator new(PayloadArena::kSlabBytes);
+  {
+    const std::lock_guard<std::mutex> lock{slabMutex()};
+    slabRegistry().push_back(slab);
+  }
+  auto* bytes = static_cast<unsigned char*>(slab);
+  const std::size_t count = PayloadArena::kSlabBytes / classSize;
+  FreeNode* head = nullptr;
+  // Link back-to-front so the free list hands blocks out in address order.
+  for (std::size_t i = count; i-- > 0;) {
+    auto* node = reinterpret_cast<FreeNode*>(bytes + i * classSize);
+    node->next = head;
+    head = node;
+  }
+  return head;
+}
+
+}  // namespace
+
+void* PayloadArena::allocate(std::size_t bytes) {
+  const std::size_t c = classIndex(bytes);
+  if (c >= kClassCount) {
+    ++tlsCache.stats.fallbackAllocs;
+    return ::operator new(bytes);
+  }
+  FreeNode*& head = tlsCache.freeList[c];
+  if (head == nullptr) {
+    head = carveSlab(kClassSizes[c]);
+    ++tlsCache.stats.slabRefills;
+  }
+  FreeNode* node = head;
+  head = node->next;
+  ++tlsCache.stats.poolAllocs;
+  return node;
+}
+
+void PayloadArena::deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  const std::size_t c = classIndex(bytes);
+  if (c >= kClassCount) {
+    ::operator delete(p);
+    return;
+  }
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = tlsCache.freeList[c];
+  tlsCache.freeList[c] = node;
+}
+
+PayloadArena::Stats PayloadArena::threadStats() { return tlsCache.stats; }
+
+}  // namespace blackdp::net

@@ -1,0 +1,89 @@
+// Fixed-slab payload pools.
+//
+// Every over-the-air message is a shared_ptr<const Payload>; allocating one
+// per packet was the single biggest steady-state heap consumer. The arena
+// recycles fixed-size blocks through per-thread, per-size-class free lists:
+//
+//   - Blocks come from immortal slabs (64 KiB chunks carved into one size
+//     class each). Slabs are registered in a process-global list and never
+//     freed — payload lifetime is unbounded (traces, checkpoints), and an
+//     immortal slab is what makes cross-thread frees safe: a block freed on
+//     another thread just joins that thread's free list.
+//   - makePayload/makeMutablePayload use std::allocate_shared with the
+//     ArenaAllocator, so the control block and the payload live in one
+//     pooled block and the ref-count release recycles it without touching
+//     operator new.
+//   - Requests above the largest class (1 KiB) fall through to operator
+//     new — no payload in the tree is that big today; the fallback keeps
+//     exotic future payloads correct rather than fast.
+//
+// Determinism: block reuse only changes *where* a payload lives, never any
+// simulation-visible value, and no RNG or time source is consulted here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace blackdp::net {
+
+class PayloadArena {
+ public:
+  /// Size classes in bytes; requests round up to the next class.
+  static constexpr std::size_t kClassSizes[] = {64, 128, 256, 512, 1024};
+  static constexpr std::size_t kClassCount = 5;
+  static constexpr std::size_t kMaxBlockBytes = 1024;
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  /// Pool statistics for this thread (micro-bench + test visibility).
+  struct Stats {
+    std::uint64_t poolAllocs{0};   ///< blocks handed out of a free list
+    std::uint64_t slabRefills{0};  ///< new slabs carved (each hits the heap)
+    std::uint64_t fallbackAllocs{0};  ///< oversized requests -> operator new
+  };
+
+  [[nodiscard]] static void* allocate(std::size_t bytes);
+  static void deallocate(void* p, std::size_t bytes) noexcept;
+
+  [[nodiscard]] static Stats threadStats();
+
+ private:
+  static constexpr std::size_t classIndex(std::size_t bytes) {
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      if (bytes <= kClassSizes[c]) return c;
+    }
+    return kClassCount;  // oversized
+  }
+};
+
+/// Stateless allocator adapter for std::allocate_shared. Single-object
+/// allocations go through the arena; array allocations (which
+/// allocate_shared never issues) fall back to operator new.
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+
+  ArenaAllocator() = default;
+  template <typename U>
+  // NOLINTNEXTLINE(google-explicit-constructor): allocator rebind requires it
+  ArenaAllocator(const ArenaAllocator<U>&) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 1) return static_cast<T*>(PayloadArena::allocate(sizeof(T)));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      PayloadArena::deallocate(p, sizeof(T));
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace blackdp::net

@@ -53,6 +53,10 @@ std::string benchJson(std::string_view name, const Snapshot& snapshot,
   appendJsonNumber(out, frames);
   out += ",\n    \"frames_per_second\": ";
   appendJsonNumber(out, fps);
+  if (info.allocationsPerFrame >= 0.0) {
+    out += ",\n    \"allocations_per_frame\": ";
+    appendJsonNumber(out, info.allocationsPerFrame);
+  }
   out += "\n  },\n  \"metrics\": ";
 
   // Re-indent the snapshot body under the "metrics" key.
@@ -69,9 +73,11 @@ std::string writeBenchJson(std::string_view name, const Snapshot& snapshot,
                            const BenchRunInfo& info, std::string_view outDir) {
   std::string dir{outDir};
   if (dir.empty()) {
-    if (const char* env = std::getenv("BLACKDP_BENCH_OUT")) dir = env;
+    // Temporary + move assignment sidesteps a GCC 12 -Wrestrict false
+    // positive (PR 105329) on char* assignment after inlining.
+    const char* env = std::getenv("BLACKDP_BENCH_OUT");
+    dir = std::string{env != nullptr && *env != '\0' ? env : "."};
   }
-  if (dir.empty()) dir = ".";
 
   std::string path = dir;
   if (path.back() != '/') path += '/';

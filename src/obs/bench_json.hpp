@@ -10,7 +10,9 @@
 //     "wall_clock_seconds": <real elapsed time of the bench process>,
 //     "throughput": {
 //       "frames_delivered": <total medium deliveries across all trials>,
-//       "frames_per_second": <frames_delivered / wall_clock_seconds>
+//       "frames_per_second": <frames_delivered / wall_clock_seconds>,
+//       "allocations_per_frame": <heap allocs per delivered frame; only
+//                                 present when the bench measured it>
 //     },
 //     "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
 //   }
@@ -39,6 +41,10 @@ inline constexpr int kBenchJsonSchemaVersion = 2;
 struct BenchRunInfo {
   double wallClockSeconds{0.0};
   std::uint64_t framesDelivered{0};
+  /// Heap allocations per delivered frame in the measured steady-state span,
+  /// from the common/alloc_hook counters. Negative means "not measured" and
+  /// the field is omitted from the JSON.
+  double allocationsPerFrame{-1.0};
 };
 
 /// Steady-clock stopwatch; benches start one at the top of main and hand

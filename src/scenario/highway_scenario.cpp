@@ -538,7 +538,7 @@ void HighwayScenario::injectDetectionRequest(VehicleEntity& reporter,
   const auto myCluster = reporter.membership->currentCluster();
   BDP_ASSERT_MSG(chAddress && myCluster,
                  "reporter has not joined a cluster yet");
-  auto dreq = std::make_shared<core::DetectionRequest>();
+  auto dreq = net::makeMutablePayload<core::DetectionRequest>();
   dreq->reporter = reporter.address();
   dreq->reporterCluster = *myCluster;
   dreq->suspect = suspect;

@@ -168,7 +168,7 @@ void StreamWorld::buildWorld() {
     const mobility::Position center = highway_.clusterCenter(world->id);
     auto join = [&](const std::vector<Member>& group) {
       for (const Member& member : group) {
-        auto jreq = std::make_shared<cluster::JoinRequest>();
+        auto jreq = net::makeMutablePayload<cluster::JoinRequest>();
         jreq->vehicle = member.address;
         jreq->position = center;
         jreq->speedMps = 0.0;
@@ -266,7 +266,7 @@ bool StreamWorld::onDriverFrame(ClusterWorld& cw, const net::Frame& frame) {
 
 void StreamWorld::answerProbe(ClusterWorld& cw, const aodv::RouteRequest& rreq,
                               common::Address probedAlias, bool supportive) {
-  auto rrep = std::make_shared<aodv::RouteReply>();
+  auto rrep = net::makeMutablePayload<aodv::RouteReply>();
   rrep->rreqId = rreq.rreqId;
   rrep->origin = rreq.origin;
   rrep->destination = rreq.destination;
@@ -389,7 +389,7 @@ void StreamWorld::injectFromSpec(const InjectionSpec& spec) {
   }
   BDP_ASSERT(reporter != nullptr);
 
-  auto dreq = std::make_shared<core::DetectionRequest>();
+  auto dreq = net::makeMutablePayload<core::DetectionRequest>();
   dreq->reporter = reporter->address;
   dreq->reporterCluster = cw.id;
   dreq->suspect = suspect;

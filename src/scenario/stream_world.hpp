@@ -176,6 +176,8 @@ class StreamWorld {
   /// Next epoch to run (== epochs completed so far).
   [[nodiscard]] std::uint64_t nextEpoch() const { return nextEpoch_; }
   [[nodiscard]] sim::TimePoint now() const { return simulator_.now(); }
+  /// The shared radio medium (bench instrumentation: frame counters).
+  [[nodiscard]] const net::WirelessMedium& medium() const { return *medium_; }
 
   /// The injection schedule for epoch k — a pure function of (seed, k).
   [[nodiscard]] std::vector<InjectionSpec> planEpoch(std::uint64_t epoch) const;

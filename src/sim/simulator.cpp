@@ -1,9 +1,16 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/assert.hpp"
 #include "obs/trace.hpp"
 
 namespace blackdp::sim {
+
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
 
 EventHandle Simulator::schedule(Duration delay, Callback fn) {
   if (delay < Duration{}) delay = Duration{};
@@ -11,32 +18,75 @@ EventHandle Simulator::schedule(Duration delay, Callback fn) {
 }
 
 EventHandle Simulator::scheduleAt(TimePoint when, Callback fn) {
-  BDP_ASSERT_MSG(fn != nullptr, "scheduled a null callback");
+  BDP_ASSERT_MSG(static_cast<bool>(fn), "scheduled a null callback");
   if (when < now_) when = now_;
   const std::uint64_t seq = nextSeq_++;
-  queue_.push(Event{when, seq, std::move(fn)});
+  std::uint32_t slot = 0;
+  if (!freeSlots_.empty()) {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  heapPush(HeapEntry{when, seq, slot});
   return EventHandle{seq};
 }
 
+void Simulator::heapPush(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::heapPopRoot() {
+  if (heap_.size() > 1) heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void Simulator::freeSlot(std::uint32_t slot) {
+  slots_[slot] = Callback{};
+  freeSlots_.push_back(slot);
+}
+
 void Simulator::cancel(EventHandle handle) {
-  if (handle.valid()) cancelled_.insert(handle.seq_);
+  if (!handle.valid()) return;
+  if (std::find(cancelled_.begin(), cancelled_.end(), handle.seq_) ==
+      cancelled_.end()) {
+    cancelled_.push_back(handle.seq_);
+  }
 }
 
 std::size_t Simulator::run(TimePoint until) {
   if (auto* tr = obs::Trace::active()) {
     tr->record({now_.us(), obs::EventKind::kSimRun,
                 static_cast<std::uint8_t>(obs::SimRunOp::kRunBegin), 0, 0, 0,
-                0, 0, queue_.size()});
+                0, 0, heap_.size()});
   }
   std::size_t ran = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > until) break;
+  while (!heap_.empty()) {
+    if (heap_.front().when > until) break;
     if (step()) ++ran;
-  }
-  if (now_ < until && queue_.empty()) {
-    // Clock does not advance past the last event when the queue drains; the
-    // caller asked to run *until* a bound, not to sleep to it.
   }
   if (auto* tr = obs::Trace::active()) {
     tr->record({now_.us(), obs::EventKind::kSimRun,
@@ -50,27 +100,41 @@ void Simulator::fastForward(TimePoint to) {
   if (to <= now_) return;
   // Peek past tombstones: jumping over a live pending event would reorder
   // causality (the event would then run "in the past").
-  while (!queue_.empty() && cancelled_.contains(queue_.top().seq)) {
-    cancelled_.erase(queue_.top().seq);
-    queue_.pop();
+  while (!heap_.empty()) {
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), heap_.front().seq);
+    if (it == cancelled_.end()) break;
+    *it = cancelled_.back();
+    cancelled_.pop_back();
+    freeSlot(heap_.front().slot);
+    heapPopRoot();
   }
-  BDP_ASSERT_MSG(queue_.empty() || queue_.top().when >= to,
+  BDP_ASSERT_MSG(heap_.empty() || heap_.front().when >= to,
                  "fastForward would skip a pending event");
   now_ = to;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // tombstone
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    heapPopRoot();
+    if (!cancelled_.empty()) {
+      const auto it = std::find(cancelled_.begin(), cancelled_.end(), top.seq);
+      if (it != cancelled_.end()) {
+        *it = cancelled_.back();
+        cancelled_.pop_back();
+        freeSlot(top.slot);
+        continue;  // tombstone
+      }
     }
-    BDP_ASSERT_MSG(ev.when >= now_, "event queue went backwards in time");
-    now_ = ev.when;
+    BDP_ASSERT_MSG(top.when >= now_, "event queue went backwards in time");
+    now_ = top.when;
     ++executed_;
-    ev.fn();
+    // Move the callable out and recycle its slot before invoking: the event
+    // may schedule again, and the freed slot is the one it should reuse.
+    Callback fn = std::move(slots_[top.slot]);
+    freeSlots_.push_back(top.slot);
+    fn();
     return true;
   }
   return false;

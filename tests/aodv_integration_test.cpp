@@ -418,5 +418,32 @@ TEST(AodvIntegrationTest, FloodDedupBoundsRebroadcasts) {
   }
 }
 
+TEST(AodvIntegrationTest, RreqSeenCacheStaysFlatAcrossFloods) {
+  // Regression guard for the dedup cache: before TTL pruning it grew by one
+  // entry per flood for the life of the agent. Drive floods for well past
+  // rreqCacheLifetime (10 s) of simulated time and check the live size is
+  // bounded by the TTL window, not by the flood count.
+  LineTopology net{3};
+  constexpr int kRounds = 60;
+  for (int round = 0; round < kRounds; ++round) {
+    net.agent(0).invalidateRoute(net.address(2));
+    EXPECT_TRUE(net.discover(0, 2));
+    // discover() drains the queue in ~150 ms of sim time; stretch each
+    // round so the 60 floods span several cache lifetimes.
+    net.simulator().fastForward(net.simulator().now() +
+                                sim::Duration::milliseconds(500));
+  }
+  const AodvAgent& middle = net.agent(1);
+  // Entries outside the 10 s lifetime were pruned...
+  EXPECT_GT(middle.stats().rreqSeenEvicted, 0u);
+  // ...so the live cache holds at most the floods of the last lifetime
+  // (~15 of the 60 rounds at ~650 ms per round), not the whole history.
+  EXPECT_LT(middle.rreqSeenSize(), kRounds / 2);
+  // Nothing vanished without being counted: evicted + live covers every
+  // recorded flood.
+  EXPECT_EQ(middle.rreqSeenSize() + middle.stats().rreqSeenEvicted,
+            static_cast<std::size_t>(kRounds));
+}
+
 }  // namespace
 }  // namespace blackdp::aodv

@@ -197,7 +197,11 @@ TEST(StreamSoakTest, WatermarkHoldsUnderFloodAndEvictionActuallyRuns) {
 class StreamSoakHarnessTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::path{::testing::TempDir()} / "blackdp_stream_soak";
+    // Per-test directory: ctest runs fixture cases as concurrent processes,
+    // and a shared directory makes their SetUp remove_all race.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::path{::testing::TempDir()} /
+           (std::string{"blackdp_stream_soak_"} + info->name());
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }
