@@ -1,0 +1,224 @@
+// The megacity gate: a national corridor (default 100 km, 10k vehicles,
+// join/leave churn, ~1% black holes) run twice — once monolithic
+// (--shards-a, default 1) and once partitioned (--shards-b, default 4) —
+// on the same thread pool.
+//
+// The bench asserts the tentpole guarantee end to end: both runs must be
+// BYTE-IDENTICAL on the deterministic surfaces (merged metrics JSON and the
+// canonical per-segment log); a mismatch is an exit-1 failure, not a
+// statistic. It then emits BENCH_megacity.json (schema v2) from the
+// partitioned run, with a "sharding" sidecar carrying the machine-dependent
+// half of the story: per-configuration fps, the speedup, per-shard busy
+// seconds and their balance ratio, and the envelope exchange volume.
+// scripts/bench_compare.py gates frames_per_second against the committed
+// baseline; CI additionally checks the baseline's speedup stays > 1.
+//
+// Flags: --segments N       corridor length in km (default 100)
+//        --vehicles N       fleet size (default 10000)
+//        --epochs N         1 s epochs to run (default 12: full churn window)
+//        --shards-a N       first partitioning (default 1)
+//        --shards-b N       second partitioning (default 4)
+//        --seed N           corridor seed (default 42)
+//        --jobs N           worker threads (also BLACKDP_JOBS)
+//        --surfaces-out-a F dump run A's metrics+log to file F (CI cmp)
+//        --surfaces-out-b F dump run B's metrics+log to file F (CI cmp)
+//        --no-json          skip writing BENCH_megacity.json
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/table.hpp"
+#include "obs/bench_json.hpp"
+#include "scenario/corridor_world.hpp"
+#include "sim/parallel.hpp"
+
+namespace {
+
+using namespace blackdp;
+
+std::uint32_t flagValue(int& argc, char** argv, std::string_view name,
+                        std::uint32_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] != name) continue;
+    std::uint32_t value = fallback;
+    if (i + 1 < argc) value = static_cast<std::uint32_t>(
+                          std::strtoul(argv[i + 1], nullptr, 10));
+    const int removed = i + 1 < argc ? 2 : 1;
+    for (int j = i; j + removed < argc; ++j) argv[j] = argv[j + removed];
+    argc -= removed;
+    return value;
+  }
+  return fallback;
+}
+
+std::string flagString(int& argc, char** argv, std::string_view name) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] != name) continue;
+    std::string value;
+    if (i + 1 < argc) value = argv[i + 1];
+    const int removed = i + 1 < argc ? 2 : 1;
+    for (int j = i; j + removed < argc; ++j) argv[j] = argv[j + removed];
+    argc -= removed;
+    return value;
+  }
+  return {};
+}
+
+bool flagPresent(int& argc, char** argv, std::string_view name) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] != name) continue;
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+    return true;
+  }
+  return false;
+}
+
+struct RunResult {
+  std::string metricsJson;
+  std::string canonicalLog;
+  std::uint64_t framesDelivered{0};
+  double runSeconds{0.0};
+  double fps{0.0};
+  shard::ShardStats stats;
+  obs::Snapshot snapshot;
+};
+
+RunResult runCorridor(const scenario::CorridorConfig& config,
+                      std::uint32_t shards, std::uint32_t epochs,
+                      sim::ThreadPool& pool) {
+  scenario::CorridorWorld world{config, shards, pool};
+  const auto begin = std::chrono::steady_clock::now();
+  world.run(epochs);
+  RunResult out;
+  out.runSeconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - begin)
+                       .count();
+  out.metricsJson = world.metricsJson();
+  out.canonicalLog = world.canonicalLog();
+  out.framesDelivered = world.framesDelivered();
+  out.fps = out.runSeconds > 0.0
+                ? static_cast<double>(out.framesDelivered) / out.runSeconds
+                : 0.0;
+  out.stats = world.shardStats();
+  out.snapshot = world.metricsSnapshot();
+  return out;
+}
+
+bool dumpSurfaces(const std::string& path, const RunResult& run) {
+  if (path.empty()) return true;
+  std::ofstream os{path};
+  if (!os) {
+    std::cerr << "megacity: cannot write " << path << '\n';
+    return false;
+  }
+  os << run.metricsJson << '\n' << run.canonicalLog;
+  return true;
+}
+
+std::string num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using metrics::Table;
+
+  const obs::BenchTimer timer;
+  const unsigned jobs = sim::resolveJobCount(sim::consumeJobsFlag(argc, argv));
+  scenario::CorridorConfig config;
+  config.segments = flagValue(argc, argv, "--segments", 100);
+  config.vehicles = flagValue(argc, argv, "--vehicles", 10'000);
+  config.seed = flagValue(argc, argv, "--seed", 42);
+  const std::uint32_t epochs = flagValue(argc, argv, "--epochs", 12);
+  const std::uint32_t shardsA = flagValue(argc, argv, "--shards-a", 1);
+  const std::uint32_t shardsB = flagValue(argc, argv, "--shards-b", 4);
+  const std::string outA = flagString(argc, argv, "--surfaces-out-a");
+  const std::string outB = flagString(argc, argv, "--surfaces-out-b");
+  const bool noJson = flagPresent(argc, argv, "--no-json");
+
+  const sim::ParallelRunner runner{jobs};
+  sim::ThreadPool& pool = runner.threadPool();
+
+  std::cout << "Megacity corridor: " << config.segments << " km, "
+            << config.vehicles << " vehicles, " << epochs << " epochs, "
+            << "shards " << shardsA << " vs " << shardsB << ", jobs " << jobs
+            << "\n\n";
+
+  const RunResult a = runCorridor(config, shardsA, epochs, pool);
+  const RunResult b = runCorridor(config, shardsB, epochs, pool);
+
+  const bool identical = a.metricsJson == b.metricsJson &&
+                         a.canonicalLog == b.canonicalLog &&
+                         a.framesDelivered == b.framesDelivered;
+  const double speedup = a.fps > 0.0 ? b.fps / a.fps : 0.0;
+
+  double busyMin = 0.0;
+  double busyMax = 0.0;
+  for (std::size_t s = 0; s < b.stats.busySeconds.size(); ++s) {
+    const double busy = b.stats.busySeconds[s];
+    if (s == 0 || busy < busyMin) busyMin = busy;
+    if (s == 0 || busy > busyMax) busyMax = busy;
+  }
+  const double balance = busyMax > 0.0 ? busyMin / busyMax : 0.0;
+
+  Table table({"Run", "Shards", "Frames", "Wall s", "Frames/s"});
+  table.addRow({"A", std::to_string(shardsA),
+                std::to_string(a.framesDelivered), Table::num(a.runSeconds, 3),
+                Table::num(a.fps, 0)});
+  table.addRow({"B", std::to_string(shardsB),
+                std::to_string(b.framesDelivered), Table::num(b.runSeconds, 3),
+                Table::num(b.fps, 0)});
+  table.print(std::cout);
+  std::cout << "\nidentical surfaces : " << (identical ? "yes" : "NO — BUG")
+            << "\nspeedup (B/A)      : " << Table::num(speedup, 2)
+            << "\nshard balance      : " << Table::num(balance, 3)
+            << "\nenvelopes exchanged: " << b.stats.envelopesExchanged << '\n';
+
+  const bool dumped = dumpSurfaces(outA, a) && dumpSurfaces(outB, b);
+
+  if (!noJson) {
+    std::string sidecar = "{\n    \"shards_a\": " + std::to_string(shardsA) +
+                          ",\n    \"shards_b\": " + std::to_string(shardsB) +
+                          ",\n    \"jobs\": " + std::to_string(jobs) +
+                          ",\n    \"segments\": " +
+                          std::to_string(config.segments) +
+                          ",\n    \"vehicles\": " +
+                          std::to_string(config.vehicles) +
+                          ",\n    \"epochs\": " + std::to_string(epochs) +
+                          ",\n    \"fps_shards_a\": " + num(a.fps) +
+                          ",\n    \"fps_shards_b\": " + num(b.fps) +
+                          ",\n    \"speedup\": " + num(speedup) +
+                          ",\n    \"balance_ratio\": " + num(balance) +
+                          ",\n    \"busy_seconds\": [";
+    for (std::size_t s = 0; s < b.stats.busySeconds.size(); ++s) {
+      if (s > 0) sidecar += ", ";
+      sidecar += num(b.stats.busySeconds[s]);
+    }
+    sidecar += "],\n    \"envelopes_exchanged\": " +
+               std::to_string(b.stats.envelopesExchanged) +
+               ",\n    \"identical\": " + (identical ? "true" : "false") +
+               "\n  }";
+
+    // Headline throughput is the partitioned run: frames over ITS wall
+    // clock, so frames_per_second == sharding.fps_shards_b.
+    obs::BenchRunInfo info;
+    info.wallClockSeconds = b.runSeconds;
+    info.framesDelivered = b.framesDelivered;
+    info.extraKey = "sharding";
+    info.extraJson = sidecar;
+    obs::writeBenchJson("megacity", b.snapshot, info);
+  }
+
+  const bool healthy = identical && dumped && a.framesDelivered > 0 &&
+                       timer.elapsedSeconds() > 0.0;
+  return healthy ? 0 : 1;
+}

@@ -147,6 +147,46 @@ void BM_AddressIntern(benchmark::State& state) {
 }
 BENCHMARK(BM_AddressIntern)->Arg(128)->Arg(4096);
 
+/// The megacity attach storm: 10k vehicles joining a fresh medium, the
+/// pattern CorridorShard construction + epoch-0 spawn produces. Arg toggles
+/// WirelessMedium::reserve (which pre-sizes the node table and the
+/// AddressRegistry/DenseKeyMap substrates) so the rehash-and-regrow cost the
+/// reservation removes is measured, not assumed.
+void BM_AttachStorm(benchmark::State& state) {
+  constexpr std::size_t kFleet = 10'000;
+  const bool reserve = state.range(0) != 0;
+
+  struct NullRadio final : net::Radio {
+    mobility::Position where{};
+    [[nodiscard]] mobility::Position radioPosition() const override {
+      return where;
+    }
+    void onFrame(const net::Frame&) override {}
+  };
+
+  std::vector<NullRadio> radios(kFleet);
+  for (std::size_t i = 0; i < kFleet; ++i) {
+    radios[i].where =
+        mobility::Position{static_cast<double>(i % 1000), 0.0};
+  }
+
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    net::WirelessMedium medium{simulator, sim::Rng{1}};
+    if (reserve) medium.reserve(kFleet, kFleet);
+    for (std::size_t i = 0; i < kFleet; ++i) {
+      medium.attach(common::NodeId{static_cast<std::uint32_t>(i + 1)},
+                    radios[i]);
+      medium.bindAddress(common::Address{0x1'0000'0000ull + i},
+                  common::NodeId{static_cast<std::uint32_t>(i + 1)});
+    }
+    benchmark::DoNotOptimize(medium.stats());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kFleet));
+}
+BENCHMARK(BM_AttachStorm)->Arg(0)->Arg(1)->ArgName("reserve");
+
 /// Payload pool recycling: allocate + release one RREQ per iteration. After
 /// the first iteration the block comes from the thread-local free list, so
 /// this times the zero-malloc steady state of every over-the-air message.

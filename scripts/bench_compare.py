@@ -127,6 +127,14 @@ def main(argv):
 
     print_metric_deltas(baseline, candidate)
 
+    if "sharding" in baseline and "sharding" in candidate:
+        b_sh, c_sh = baseline["sharding"], candidate["sharding"]
+        print(f"sharding.speedup: {b_sh['speedup']:.2f} -> "
+              f"{c_sh['speedup']:.2f} (informational — CI gates the "
+              "committed baseline's speedup separately)")
+        print(f"sharding.balance_ratio: {b_sh['balance_ratio']:.3f} -> "
+              f"{c_sh['balance_ratio']:.3f}")
+
     failed = False
 
     b_apf = baseline["throughput"].get("allocations_per_frame")

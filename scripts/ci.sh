@@ -41,6 +41,9 @@ export BLACKDP_BENCH_OUT="$PWD/$out"
   ./bench/ablation_overhead --benchmark_min_time=0.01
   ./bench/micro_substrates --benchmark_min_time=0.01
   ./bench/e2e_throughput --jobs "$jobs"
+  ./bench/megacity --segments 8 --vehicles 800 --epochs 6 --jobs "$jobs" \
+    --surfaces-out-a "$BLACKDP_BENCH_OUT"/megacity.shards1.txt \
+    --surfaces-out-b "$BLACKDP_BENCH_OUT"/megacity.shards4.txt
   ./examples/cooperative_blackhole 7 --trace "$BLACKDP_BENCH_OUT"/coop_trace.jsonl
   ./tools/trace_report "$BLACKDP_BENCH_OUT"/coop_trace.jsonl
 ) > "$out/bench-smoke.log"
@@ -57,6 +60,25 @@ echo "==== perf smoke (e2e throughput + allocation gate) ===="
 python3 scripts/bench_compare.py \
   bench/baselines/BENCH_e2e_throughput.json \
   "$out"/BENCH_e2e_throughput.json
+
+echo "==== megacity smoke (sharded corridor, shards=1 vs shards=4) ===="
+# The partition-invariance gate: both runs of the tiny corridor above dumped
+# their deterministic surfaces (metrics JSON + canonical per-segment log);
+# they must be byte-identical, or region partitioning has become observable.
+cmp "$out"/megacity.shards1.txt "$out"/megacity.shards4.txt
+python3 scripts/bench_compare.py \
+  bench/baselines/BENCH_megacity.json \
+  "$out"/BENCH_megacity.json
+# The committed baseline must demonstrate the point of the sharding: the
+# partitioned run strictly outruns the monolith on the baseline machine.
+python3 - <<'PY'
+import json
+side = json.load(open("bench/baselines/BENCH_megacity.json"))["sharding"]
+assert side["identical"] is True, "baseline surfaces were not identical"
+assert side["speedup"] > 1.0, f"baseline speedup {side['speedup']} <= 1.0"
+print(f"baseline: speedup {side['speedup']:.2f}, "
+      f"balance {side['balance_ratio']:.3f} — OK")
+PY
 
 echo "==== campaign smoke ===="
 # Exercise the campaign engine end to end: run the tiny built-in spec with

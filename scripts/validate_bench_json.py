@@ -49,6 +49,13 @@ Checked invariants: required keys, value types, strictly increasing
 histogram edges, len(counts) == len(edges) + 1 (implicit overflow bucket),
 sum(counts) == count, and frames_per_second consistent with
 frames_delivered / wall_clock_seconds.
+
+BENCH_megacity.json additionally carries a "sharding" sidecar (the
+machine-dependent half of the sharded-corridor story) which is required for
+that bench: positive shard counts, fps for both partitionings, speedup > 0,
+busy_seconds with one non-negative entry per shard of run B, balance_ratio
+in [0, 1], and identical == true — the byte-identity of shards=1 vs
+shards=N is part of the schema, not just a test.
 """
 
 import binascii
@@ -128,6 +135,52 @@ def check_throughput(path, doc):
                        f"non-negative, got {apf}")
 
 
+SHARDING_KEYS = ("shards_a", "shards_b", "jobs", "segments", "vehicles",
+                 "epochs", "fps_shards_a", "fps_shards_b", "speedup",
+                 "balance_ratio", "busy_seconds", "envelopes_exchanged",
+                 "identical")
+
+
+def check_sharding(path, doc):
+    if "sharding" not in doc:
+        fail(path, "bench megacity requires a 'sharding' sidecar")
+    sharding = doc["sharding"]
+    if not isinstance(sharding, dict):
+        fail(path, "'sharding' must be an object")
+    for key in SHARDING_KEYS:
+        if key not in sharding:
+            fail(path, f"sharding missing key {key!r}")
+    for key in ("shards_a", "shards_b", "jobs", "segments", "vehicles",
+                "epochs", "envelopes_exchanged"):
+        if (not isinstance(sharding[key], int) or isinstance(sharding[key], bool)
+                or sharding[key] < 0):
+            fail(path, f"sharding.{key}: expected a non-negative int")
+    for key in ("shards_a", "shards_b", "jobs", "segments", "vehicles",
+                "epochs"):
+        if sharding[key] < 1:
+            fail(path, f"sharding.{key} must be positive")
+    for key in ("fps_shards_a", "fps_shards_b", "speedup", "balance_ratio"):
+        check_number(path, f"sharding.{key}", sharding[key])
+        if sharding[key] < 0:
+            fail(path, f"sharding.{key} must be non-negative")
+    if sharding["speedup"] <= 0:
+        fail(path, "sharding.speedup must be > 0 (both runs completed)")
+    if not 0 <= sharding["balance_ratio"] <= 1:
+        fail(path, f"sharding.balance_ratio must be in [0, 1], got "
+                   f"{sharding['balance_ratio']}")
+    busy = sharding["busy_seconds"]
+    if not isinstance(busy, list) or len(busy) != sharding["shards_b"]:
+        fail(path, f"sharding.busy_seconds must be an array of "
+                   f"{sharding['shards_b']} entries (one per shard of run B)")
+    for entry in busy:
+        check_number(path, "sharding.busy_seconds entry", entry)
+        if entry < 0:
+            fail(path, "sharding.busy_seconds entries must be non-negative")
+    if sharding["identical"] is not True:
+        fail(path, "sharding.identical must be true — shards_a and shards_b "
+                   "produced different deterministic surfaces")
+
+
 def validate(path):
     try:
         doc = json.loads(path.read_text())
@@ -147,6 +200,8 @@ def validate(path):
                    f"{SCHEMA_VERSION}")
 
     check_throughput(path, doc)
+    if doc["bench"] == "megacity":
+        check_sharding(path, doc)
 
     metrics = doc["metrics"]
     if not isinstance(metrics, dict):

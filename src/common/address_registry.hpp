@@ -82,6 +82,16 @@ class AddressRegistry {
   /// Number of dense ids handed out.
   [[nodiscard]] std::size_t size() const { return addresses_.size(); }
 
+  /// Pre-sizes the table for `expected` distinct addresses so a bulk intern
+  /// storm (a 10k-vehicle scenario attaching its whole fleet) never grows the
+  /// bucket array or the dense-id vector mid-loop. Growing is amortised-cheap
+  /// but not free — every grow rehashes all entries. No-op when the table is
+  /// already large enough; safe with entries present.
+  void reserve(std::size_t expected) {
+    addresses_.reserve(expected);
+    while ((expected + 1) * 4 >= buckets_.size() * 3) grow();
+  }
+
  private:
   struct Bucket {
     std::uint64_t key{0};
@@ -184,6 +194,18 @@ class DenseKeyMap {
     tombstones_ = 0;
   }
 
+  /// Pre-sizes for `expected` live entries: reserves the stable slot vector
+  /// and widens the bucket array past the load-factor trigger, so a bulk
+  /// insert storm (scenario setup attaching thousands of nodes) runs without
+  /// a single mid-loop rehash or slot reallocation. Safe with entries
+  /// present; never shrinks.
+  void reserve(std::size_t expected) {
+    slots_.reserve(expected);
+    std::size_t target = buckets_.size();
+    while ((expected + tombstones_ + 1) * 4 >= target * 3) target *= 2;
+    if (target != buckets_.size()) rehashTo(target);
+  }
+
  private:
   static constexpr std::uint32_t kEmpty = 0xffff'ffffu;
   static constexpr std::uint32_t kTombstone = 0xffff'fffeu;
@@ -249,6 +271,10 @@ class DenseKeyMap {
   void rehash() {
     const std::size_t target =
         size_ * 4 >= buckets_.size() ? buckets_.size() * 2 : buckets_.size();
+    rehashTo(target);
+  }
+
+  void rehashTo(std::size_t target) {
     std::vector<Bucket> fresh(target, Bucket{});
     for (std::uint32_t s = 0; s < slots_.size(); ++s) {
       if (!slots_[s].present) continue;

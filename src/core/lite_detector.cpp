@@ -1,0 +1,149 @@
+#include "core/lite_detector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace blackdp::core {
+
+std::string_view toString(LiteVerdict verdict) {
+  switch (verdict) {
+    case LiteVerdict::kConfirmed: return "confirmed";
+    case LiteVerdict::kExonerated: return "exonerated";
+    case LiteVerdict::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+void LiteSessionState::serialize(common::ByteWriter& w) const {
+  w.writeId(suspect);
+  w.writeId(firstReporter);
+  w.writeI64(firstReportAtUs);
+  w.writeU32(violations);
+  w.writeU32(probesSent);
+  w.writeU32(forwards);
+  w.writeU8(travelDirection);
+}
+
+LiteSessionState LiteSessionState::deserialize(common::ByteReader& r) {
+  LiteSessionState s;
+  s.suspect = r.readId<common::Address>();
+  s.firstReporter = r.readId<common::Address>();
+  s.firstReportAtUs = r.readI64();
+  s.violations = r.readU32();
+  s.probesSent = r.readU32();
+  s.forwards = r.readU32();
+  s.travelDirection = r.readU8();
+  return s;
+}
+
+LiteDetector::LiteDetector(Config config, Hooks hooks)
+    : config_{config}, hooks_{std::move(hooks)} {
+  BDP_ASSERT_MSG(config_.probesToConfirm > 0 &&
+                     config_.probesToConfirm <= config_.maxProbes,
+                 "need 1 <= probesToConfirm <= maxProbes");
+}
+
+bool LiteDetector::report(common::Address suspect, common::Address reporter,
+                          std::int64_t nowUs, std::uint8_t travelDirection) {
+  if (sessions_.contains(suspect)) {
+    ++stats_.duplicateReports;
+    return false;
+  }
+  LiteSessionState& s = sessions_[suspect];
+  s.suspect = suspect;
+  s.firstReporter = reporter;
+  s.firstReportAtUs = nowUs;
+  s.travelDirection = travelDirection;
+  ++stats_.sessionsOpened;
+  return true;
+}
+
+void LiteDetector::conclude(const LiteSessionState& state,
+                            LiteVerdict verdict) {
+  switch (verdict) {
+    case LiteVerdict::kConfirmed: ++stats_.confirmed; break;
+    case LiteVerdict::kExonerated: ++stats_.exonerated; break;
+    case LiteVerdict::kUnreachable: ++stats_.unreachable; break;
+  }
+  if (hooks_.onVerdict) hooks_.onVerdict(state, verdict);
+}
+
+void LiteDetector::onProbeReply(common::Address suspect) {
+  LiteSessionState* s = sessions_.find(suspect);
+  if (s == nullptr) return;  // verdict already landed this epoch
+  ++s->violations;
+  ++stats_.violations;
+  if (s->violations >= config_.probesToConfirm) {
+    const LiteSessionState done = *s;
+    sessions_.erase(suspect);
+    conclude(done, LiteVerdict::kConfirmed);
+  }
+}
+
+void LiteDetector::onProbeUnreachable(common::Address suspect) {
+  LiteSessionState* s = sessions_.find(suspect);
+  if (s == nullptr) return;
+  ++stats_.probesUnreachable;
+  if (s->probesSent > 0) --s->probesSent;  // the round never happened
+}
+
+void LiteDetector::beginEpoch(
+    const std::function<bool(common::Address)>& present) {
+  sessions_.eraseIf([&](common::Address suspect, LiteSessionState& s) {
+    if (s.probesSent >= config_.maxProbes) {
+      conclude(s, LiteVerdict::kExonerated);
+      return true;
+    }
+    if (!present(suspect)) {
+      ++s.forwards;
+      if (s.forwards > config_.maxForwards) {
+        conclude(s, LiteVerdict::kUnreachable);
+      } else {
+        ++stats_.handoffsOut;
+        if (hooks_.onHandoff) hooks_.onHandoff(s);
+      }
+      return true;
+    }
+    ++s.probesSent;
+    ++stats_.probeRounds;
+    if (hooks_.sendProbe) hooks_.sendProbe(s);
+    return false;
+  });
+}
+
+void LiteDetector::adopt(const LiteSessionState& state) {
+  ++stats_.adopted;
+  LiteSessionState* existing = sessions_.find(state.suspect);
+  if (existing == nullptr) {
+    sessions_[state.suspect] = state;
+    return;
+  }
+  // The suspect migrated here and was re-reported locally before the
+  // handoff envelope caught up (it trails by one epoch). Merge the two
+  // sessions: earliest report wins the clock, evidence accumulates.
+  if (state.firstReportAtUs < existing->firstReportAtUs) {
+    existing->firstReportAtUs = state.firstReportAtUs;
+    existing->firstReporter = state.firstReporter;
+  }
+  existing->violations += state.violations;
+  existing->probesSent = std::max(existing->probesSent, state.probesSent);
+  existing->forwards = std::max(existing->forwards, state.forwards);
+  existing->travelDirection = state.travelDirection;
+  if (existing->violations >= config_.probesToConfirm) {
+    const LiteSessionState done = *existing;
+    sessions_.erase(state.suspect);
+    conclude(done, LiteVerdict::kConfirmed);
+  }
+}
+
+LiteSessionState LiteDetector::extract(common::Address suspect) {
+  LiteSessionState* s = sessions_.find(suspect);
+  BDP_ASSERT_MSG(s != nullptr, "extract of unknown suspect");
+  const LiteSessionState out = *s;
+  sessions_.erase(suspect);
+  return out;
+}
+
+}  // namespace blackdp::core

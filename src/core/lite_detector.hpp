@@ -1,0 +1,139 @@
+// Lightweight per-RSU black-hole probe detector with migratable sessions.
+//
+// The megacity corridor runs one LiteDetector per RSU segment. It implements
+// the paper's probe idea in its leanest form: a data-plane REPORT (missing
+// end-to-end ack) opens a session; each epoch the RSU sends the suspect ONE
+// probe for a nonexistent destination; a reply claiming that route is a
+// violation (black holes answer everything), silence is exculpatory. K
+// violations confirm, a full quiet campaign exonerates.
+//
+// What makes this detector "lite" is what it does NOT own: no timers, no
+// radio, no clock. The world drives it at epoch boundaries (beginEpoch) and
+// feeds it probe outcomes; all side effects go through Hooks. That inversion
+// is what lets a session MIGRATE: when the suspect has left the segment, the
+// session state — a few integers, serialisable with ByteWriter — is handed
+// to the world, shipped in a cross-shard envelope toward the suspect's
+// travel direction, and adopted by the neighbour RSU, where probing resumes
+// with violations and the original report timestamp intact. Detection
+// latency therefore stays measured from the FIRST report, wherever the
+// verdict eventually lands.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/address_registry.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace blackdp::core {
+
+enum class LiteVerdict : std::uint8_t {
+  kConfirmed,    ///< >= probesToConfirm probe violations
+  kExonerated,   ///< maxProbes silent rounds, too few violations
+  kUnreachable,  ///< suspect outran the handoff budget
+};
+
+[[nodiscard]] std::string_view toString(LiteVerdict verdict);
+
+/// The complete migratable state of one detection session.
+struct LiteSessionState {
+  common::Address suspect{};
+  common::Address firstReporter{};
+  std::int64_t firstReportAtUs{0};  ///< global clock; latency baseline
+  std::uint32_t violations{0};      ///< probe replies observed so far
+  std::uint32_t probesSent{0};      ///< probe rounds across ALL hosting RSUs
+  std::uint32_t forwards{0};        ///< handoffs consumed so far
+  std::uint8_t travelDirection{0};  ///< 0 = eastbound, 1 = westbound
+
+  void serialize(common::ByteWriter& w) const;
+  [[nodiscard]] static LiteSessionState deserialize(common::ByteReader& r);
+
+  friend bool operator==(const LiteSessionState&,
+                         const LiteSessionState&) = default;
+};
+
+class LiteDetector {
+ public:
+  struct Config {
+    std::uint32_t probesToConfirm{2};  ///< K violations -> kConfirmed
+    std::uint32_t maxProbes{4};        ///< quiet rounds -> kExonerated
+    std::uint32_t maxForwards{6};      ///< handoffs -> kUnreachable
+  };
+
+  /// All side effects. `sendProbe` transmits one fake-destination probe to
+  /// the suspect; `onVerdict` fires exactly once per session, after which
+  /// the session is gone; `onHandoff` receives the extracted state of an
+  /// absent suspect's session (the world ships it; the session is already
+  /// removed here).
+  struct Hooks {
+    std::function<void(const LiteSessionState&)> sendProbe;
+    std::function<void(const LiteSessionState&, LiteVerdict)> onVerdict;
+    std::function<void(const LiteSessionState&)> onHandoff;
+  };
+
+  /// Deterministic counters; the world folds them into its MetricsRegistry.
+  struct Stats {
+    std::uint64_t sessionsOpened{0};
+    std::uint64_t duplicateReports{0};
+    std::uint64_t probeRounds{0};
+    std::uint64_t violations{0};
+    std::uint64_t probesUnreachable{0};
+    std::uint64_t confirmed{0};
+    std::uint64_t exonerated{0};
+    std::uint64_t unreachable{0};
+    std::uint64_t handoffsOut{0};
+    std::uint64_t adopted{0};
+  };
+
+  LiteDetector(Config config, Hooks hooks);
+
+  /// Data-plane accusation. Opens a session (true) or merges into the
+  /// existing one for this suspect (false). No probe is sent here — probing
+  /// is paced to one round per epoch by beginEpoch.
+  bool report(common::Address suspect, common::Address reporter,
+              std::int64_t nowUs, std::uint8_t travelDirection);
+
+  /// The suspect answered a probe for a destination that does not exist:
+  /// a violation. May conclude the session (kConfirmed).
+  void onProbeReply(common::Address suspect);
+
+  /// The probe never reached the suspect (left mid-epoch). The round is
+  /// not evidence either way; it is refunded.
+  void onProbeUnreachable(common::Address suspect);
+
+  /// Epoch-boundary driver. For every session, in insertion order:
+  /// exonerate if the probe budget is spent; hand off (or give up) if
+  /// `present(suspect)` is false; otherwise send this epoch's probe round.
+  void beginEpoch(const std::function<bool(common::Address)>& present);
+
+  /// Installs a migrated session. If this detector already tracks the
+  /// suspect (local reports re-opened a session before the handoff envelope
+  /// caught up — it trails the migration by one epoch), the sessions merge:
+  /// the earliest report keeps the detection clock, violations accumulate,
+  /// probesSent/forwards take the max, and a merge that reaches the
+  /// confirmation threshold concludes immediately.
+  void adopt(const LiteSessionState& state);
+
+  /// Removes and returns the session for `suspect` (asserted to exist)
+  /// without any verdict — the test seam for migration plumbing.
+  [[nodiscard]] LiteSessionState extract(common::Address suspect);
+
+  [[nodiscard]] std::size_t activeSessions() const { return sessions_.size(); }
+  [[nodiscard]] const LiteSessionState* find(common::Address suspect) const {
+    return sessions_.find(suspect);
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void conclude(const LiteSessionState& state, LiteVerdict verdict);
+
+  Config config_;
+  Hooks hooks_;
+  common::DenseAddressMap<LiteSessionState> sessions_;
+  Stats stats_;
+};
+
+}  // namespace blackdp::core

@@ -44,6 +44,15 @@ enum class PayloadKind : std::uint8_t {
   kForwardedDetection,
   kDetectionResult,
   kDetectionResponse,
+  // scenario (megacity corridor)
+  kCorridorBeacon,
+  kCorridorDigest,
+  kCorridorData,
+  kCorridorAck,
+  kCorridorReport,
+  kCorridorProbe,
+  kCorridorProbeReply,
+  kCorridorIsolation,
 };
 
 /// Base class for every over-the-air message body.

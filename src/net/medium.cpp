@@ -37,6 +37,13 @@ WirelessMedium::WirelessMedium(sim::Simulator& simulator, sim::Rng rng,
                  "transmission range must be positive");
 }
 
+void WirelessMedium::reserve(std::size_t nodes, std::size_t addresses) {
+  radios_.reserve(nodes);
+  receivers_.reserve(nodes);
+  addressIds_.reserve(addresses);
+  ownerOf_.reserve(addresses);
+}
+
 void WirelessMedium::attach(common::NodeId node, Radio& radio) {
   BDP_ASSERT_MSG(!radios_.contains(node), "node attached twice");
   radios_[node] = &radio;

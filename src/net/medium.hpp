@@ -119,6 +119,12 @@ class WirelessMedium {
     return addressIds_.size();
   }
 
+  /// Pre-sizes the radio tables and the address interner for a fleet of
+  /// `nodes` radios binding `addresses` distinct receive addresses. Scenario
+  /// setup calls this before its attach storm so a 10k-vehicle corridor
+  /// never rehashes or reallocates mid-attach; steady state is untouched.
+  void reserve(std::size_t nodes, std::size_t addresses);
+
   /// Transmits a frame from `sender`. Receivers are all other attached nodes
   /// within range of the sender's position now. For unicast frames the
   /// medium additionally models the MAC-level ACK: if the bound owner of

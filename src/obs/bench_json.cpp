@@ -57,7 +57,14 @@ std::string benchJson(std::string_view name, const Snapshot& snapshot,
     out += ",\n    \"allocations_per_frame\": ";
     appendJsonNumber(out, info.allocationsPerFrame);
   }
-  out += "\n  },\n  \"metrics\": ";
+  out += "\n  },\n  ";
+  if (!info.extraKey.empty() && !info.extraJson.empty()) {
+    appendJsonString(out, info.extraKey);
+    out += ": ";
+    out += info.extraJson;
+    out += ",\n  ";
+  }
+  out += "\"metrics\": ";
 
   // Re-indent the snapshot body under the "metrics" key.
   const std::string body = snapshot.toJson();

@@ -45,6 +45,12 @@ struct BenchRunInfo {
   /// from the common/alloc_hook counters. Negative means "not measured" and
   /// the field is omitted from the JSON.
   double allocationsPerFrame{-1.0};
+  /// Optional extra machine-dependent top-level section, emitted between
+  /// "throughput" and "metrics" as `"<extraKey>": <extraJson>` when both are
+  /// non-empty. `extraJson` must be a pre-rendered JSON value (usually an
+  /// object); bench/megacity uses this for its "sharding" sidecar.
+  std::string extraKey;
+  std::string extraJson;
 };
 
 /// Steady-clock stopwatch; benches start one at the top of main and hand
@@ -60,7 +66,10 @@ class BenchTimer {
   }
 
   [[nodiscard]] BenchRunInfo info(std::uint64_t framesDelivered = 0) const {
-    return {elapsedSeconds(), framesDelivered};
+    BenchRunInfo out;
+    out.wallClockSeconds = elapsedSeconds();
+    out.framesDelivered = framesDelivered;
+    return out;
   }
 
  private:

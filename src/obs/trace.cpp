@@ -20,6 +20,7 @@ std::string_view toString(EventKind kind) {
     case EventKind::kFault: return "fault";
     case EventKind::kSimRun: return "sim-run";
     case EventKind::kParallel: return "parallel";
+    case EventKind::kShard: return "shard";
   }
   return "?";
 }
@@ -128,6 +129,14 @@ std::string_view toString(ParallelOp op) {
   return "?";
 }
 
+std::string_view toString(ShardOp op) {
+  switch (op) {
+    case ShardOp::kEpochRun: return "epoch-run";
+    case ShardOp::kExchange: return "exchange";
+  }
+  return "?";
+}
+
 std::string_view opName(EventKind kind, std::uint8_t op) {
   switch (kind) {
     case EventKind::kFrameTx:
@@ -147,6 +156,7 @@ std::string_view opName(EventKind kind, std::uint8_t op) {
     case EventKind::kFault: return toString(static_cast<FaultOp>(op));
     case EventKind::kSimRun: return toString(static_cast<SimRunOp>(op));
     case EventKind::kParallel: return toString(static_cast<ParallelOp>(op));
+    case EventKind::kShard: return toString(static_cast<ShardOp>(op));
   }
   return "";
 }

@@ -39,6 +39,7 @@ enum class EventKind : std::uint8_t {
   kFault,            ///< fault injector activation; op = FaultOp
   kSimRun,           ///< simulator run window; op = SimRunOp
   kParallel,         ///< parallel-runner host event; op = ParallelOp
+  kShard,            ///< sharded-simulation host event; op = ShardOp
 };
 
 /// Why a frame or backbone message was not delivered. Also used as the
@@ -126,6 +127,14 @@ enum class ParallelOp : std::uint8_t {
   kWorkerFailure,  ///< swallowed worker exception; value = job index
 };
 
+/// Sharded-simulation host events. Like ParallelOp, these are emitted on the
+/// coordinating thread (shard workers never touch the thread-local recorder);
+/// the shard id rides in `node`, the epoch in `value`.
+enum class ShardOp : std::uint8_t {
+  kEpochRun,  ///< one shard ran one epoch; node = shard, value = epoch
+  kExchange,  ///< epoch barrier merge; value = envelopes exchanged
+};
+
 [[nodiscard]] std::string_view toString(EventKind kind);
 [[nodiscard]] std::string_view toString(DropCause cause);
 [[nodiscard]] std::string_view toString(AodvOp op);
@@ -135,6 +144,7 @@ enum class ParallelOp : std::uint8_t {
 [[nodiscard]] std::string_view toString(FaultOp op);
 [[nodiscard]] std::string_view toString(SimRunOp op);
 [[nodiscard]] std::string_view toString(ParallelOp op);
+[[nodiscard]] std::string_view toString(ShardOp op);
 
 /// Human/exporter label for the sub-operation of `kind` stored in `op`.
 [[nodiscard]] std::string_view opName(EventKind kind, std::uint8_t op);

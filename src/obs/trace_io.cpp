@@ -154,7 +154,7 @@ void writeChromeTrace(const std::vector<TraceEvent>& events,
 
 std::optional<EventKind> kindFromString(std::string_view name) {
   constexpr std::uint8_t kKindCount =
-      static_cast<std::uint8_t>(EventKind::kParallel) + 1;
+      static_cast<std::uint8_t>(EventKind::kShard) + 1;
   for (std::uint8_t i = 0; i < kKindCount; ++i) {
     const auto kind = static_cast<EventKind>(i);
     if (toString(kind) == name) return kind;

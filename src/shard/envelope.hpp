@@ -1,0 +1,105 @@
+// Cross-shard epoch-exchange envelopes and the region partition plan.
+//
+// The sharded simulation partitions the corridor's segments into contiguous
+// regions, one shard per region. Inside an epoch the shards run fully
+// independent Simulators; the ONLY way state crosses a region boundary is an
+// Envelope handed over at the epoch barrier. Envelopes are addressed segment
+// to segment (not shard to shard), so the set of envelopes a run produces is
+// a property of the WORLD, independent of how segments are grouped into
+// shards — the root of the shards=1 ≡ shards=N byte-for-byte guarantee.
+//
+// Determinism contract:
+//   - `seq` numbers each source segment's emissions in emission order
+//     (0, 1, 2, ... per source segment per epoch);
+//   - the barrier merges all shards' outboxes into one canonical order,
+//     ascending (srcSegment, seq), before routing — any shard interleaving
+//     collapses to the same inbox sequence;
+//   - each shard receives its inbox already in canonical order and must
+//     apply envelopes in that order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace blackdp::shard {
+
+/// One unit of cross-segment state transfer, applied at an epoch boundary.
+/// `kind` and `body` are opaque to the shard layer: the world defines its own
+/// kind enum and serialises with common::ByteWriter.
+struct Envelope {
+  std::uint32_t srcSegment{0};  ///< emitting segment
+  std::uint32_t dstSegment{0};  ///< receiving segment
+  std::uint32_t seq{0};         ///< emission index within (srcSegment, epoch)
+  std::uint8_t kind{0};            ///< world-defined discriminator
+  std::vector<std::uint8_t> body;  ///< world-defined payload (ByteWriter)
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+/// Canonical merge order at the epoch barrier. Comparing only
+/// (srcSegment, seq) is total because seq is unique per source segment.
+[[nodiscard]] inline bool canonicalLess(const Envelope& x, const Envelope& y) {
+  if (x.srcSegment != y.srcSegment) return x.srcSegment < y.srcSegment;
+  return x.seq < y.seq;
+}
+
+/// Contiguous partition of `segments` corridor segments into `shards`
+/// regions. The first `segments % shards` regions get one extra segment, so
+/// region sizes differ by at most one — the static load-balance half of the
+/// per-shard balance metric.
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+
+  [[nodiscard]] static ShardPlan contiguous(std::uint32_t segments,
+                                            std::uint32_t shards) {
+    BDP_ASSERT_MSG(segments > 0, "plan needs at least one segment");
+    BDP_ASSERT_MSG(shards > 0 && shards <= segments,
+                   "plan needs 1..segments shards");
+    ShardPlan plan;
+    plan.segments_ = segments;
+    plan.first_.reserve(shards + 1);
+    const std::uint32_t base = segments / shards;
+    const std::uint32_t extra = segments % shards;
+    std::uint32_t next = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      plan.first_.push_back(next);
+      next += base + (s < extra ? 1 : 0);
+    }
+    plan.first_.push_back(next);
+    return plan;
+  }
+
+  [[nodiscard]] std::uint32_t segments() const { return segments_; }
+
+  [[nodiscard]] std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(first_.size()) - 1;
+  }
+
+  [[nodiscard]] std::uint32_t firstSegment(std::uint32_t shard) const {
+    return first_[shard];
+  }
+
+  [[nodiscard]] std::uint32_t segmentCount(std::uint32_t shard) const {
+    return first_[shard + 1] - first_[shard];
+  }
+
+  [[nodiscard]] std::uint32_t shardOf(std::uint32_t segment) const {
+    BDP_ASSERT_MSG(segment < segments_, "segment outside the plan");
+    // Regions are tiny in number (<= jobs); a linear scan beats binary
+    // search for the sizes in play and is branch-predictable.
+    std::uint32_t shard = 0;
+    while (first_[shard + 1] <= segment) ++shard;
+    return shard;
+  }
+
+ private:
+  std::uint32_t segments_{0};
+  /// first_[s] = first segment of shard s; one sentinel entry at the end.
+  std::vector<std::uint32_t> first_;
+};
+
+}  // namespace blackdp::shard

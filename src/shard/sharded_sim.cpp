@@ -1,0 +1,108 @@
+#include "shard/sharded_sim.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "obs/trace.hpp"
+
+namespace blackdp::shard {
+
+ShardedSimulation::ShardedSimulation(ShardPlan plan,
+                                     std::vector<ShardWorld*> worlds,
+                                     sim::ThreadPool& pool, Config config)
+    : plan_{std::move(plan)},
+      worlds_{std::move(worlds)},
+      pool_{pool},
+      config_{config} {
+  BDP_ASSERT_MSG(worlds_.size() == plan_.shards(),
+                 "one ShardWorld per plan region");
+  for (ShardWorld* world : worlds_) {
+    BDP_ASSERT_MSG(world != nullptr, "null ShardWorld");
+  }
+  inboxes_.resize(worlds_.size());
+  outboxes_.resize(worlds_.size());
+  stats_.busySeconds.assign(worlds_.size(), 0.0);
+}
+
+ShardedSimulation::ShardedSimulation(ShardPlan plan,
+                                     std::vector<ShardWorld*> worlds,
+                                     sim::ThreadPool& pool)
+    : ShardedSimulation{std::move(plan), std::move(worlds), pool, Config{}} {}
+
+void ShardedSimulation::runEpoch() {
+  const std::uint32_t shards = plan_.shards();
+  const std::uint32_t epoch = epoch_;
+
+  // Fan out: each shard applies its inbox and runs one epoch. Busy time is
+  // written into a private slot per shard — no sharing between workers.
+  std::vector<double> epochBusy(shards, 0.0);
+  pool_.parallelFor(shards, [&](std::size_t s) {
+    const auto begin = std::chrono::steady_clock::now();
+    outboxes_[s].clear();
+    worlds_[s]->runEpoch(epoch, std::span<const Envelope>{inboxes_[s]},
+                         outboxes_[s]);
+    epochBusy[s] = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - begin)
+                       .count();
+  });
+  if (!pool_.failures().empty()) {
+    std::rethrow_exception(pool_.failures().front().error);
+  }
+
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    stats_.busySeconds[s] += epochBusy[s];
+    if (auto* tr = obs::Trace::active()) {
+      tr->record({0, obs::EventKind::kShard,
+                  static_cast<std::uint8_t>(obs::ShardOp::kEpochRun), s, 0,
+                  outboxes_[s].size(), 0, 0, epoch});
+    }
+  }
+
+  // Barrier: merge every outbox into the canonical (srcSegment, seq) order.
+  // Shards emit in emission order, so within one source segment seq is
+  // already ascending; the sort only interleaves segments, and the validity
+  // sweep below rejects duplicate or out-of-plan envelopes outright.
+  merged_.clear();
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    for (Envelope& e : outboxes_[s]) merged_.push_back(std::move(e));
+    outboxes_[s].clear();
+  }
+  std::sort(merged_.begin(), merged_.end(), canonicalLess);
+  for (std::size_t i = 0; i < merged_.size(); ++i) {
+    const Envelope& e = merged_[i];
+    BDP_ASSERT_MSG(e.srcSegment < plan_.segments() &&
+                       e.dstSegment < plan_.segments(),
+                   "envelope outside the plan");
+    const std::uint32_t hops = e.dstSegment > e.srcSegment
+                                   ? e.dstSegment - e.srcSegment
+                                   : e.srcSegment - e.dstSegment;
+    BDP_ASSERT_MSG(hops <= config_.maxSegmentHops,
+                   "envelope travels further than the epoch-safety bound");
+    if (i > 0 && merged_[i - 1].srcSegment == e.srcSegment) {
+      BDP_ASSERT_MSG(merged_[i - 1].seq < e.seq,
+                     "duplicate envelope seq within a source segment");
+    }
+  }
+
+  // Route: canonical order is preserved per destination shard because the
+  // merged sequence is visited in order.
+  for (auto& inbox : inboxes_) inbox.clear();
+  for (Envelope& e : merged_) {
+    inboxes_[plan_.shardOf(e.dstSegment)].push_back(std::move(e));
+  }
+  stats_.envelopesExchanged += merged_.size();
+  if (auto* tr = obs::Trace::active()) {
+    tr->record({0, obs::EventKind::kShard,
+                static_cast<std::uint8_t>(obs::ShardOp::kExchange), 0, 0,
+                epoch, 0, 0, merged_.size()});
+  }
+  merged_.clear();
+
+  ++stats_.epochsRun;
+  ++epoch_;
+}
+
+}  // namespace blackdp::shard

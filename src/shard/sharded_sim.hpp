@@ -1,0 +1,103 @@
+// Region-partitioned simulation with deterministic epoch exchange.
+//
+// ShardedSimulation runs one ShardWorld per contiguous corridor region, each
+// owning a full private stack (Simulator, WirelessMedium, nodes, detectors,
+// metrics), and advances all of them in lock-step epochs on a shared
+// sim::ThreadPool. Within an epoch the shards never communicate; at the
+// epoch barrier every shard's outbox of Envelopes is merged into the
+// canonical (srcSegment, seq) order and routed to the owning shards' inboxes
+// for the next epoch.
+//
+// Determinism: because envelopes are segment-addressed and the merge order
+// is canonical, the inbox sequence each SEGMENT observes is independent of
+// the partition — running the same world as one shard or as N produces
+// byte-identical metrics and canonical traces (pinned by tests/shard_test
+// and the CI megacity smoke). The epoch length is chosen by the world so
+// that no physical interaction can cross a region boundary within one epoch
+// (epoch <= range / v_max); the shard layer enforces the structural half of
+// that argument by asserting every envelope travels at most
+// `maxSegmentHops` segments.
+//
+// Threading: epochs fan out through ThreadPool::parallelFor, so a
+// ShardedSimulation embedded in a parallel campaign trial degrades to
+// serial via the nested-parallelism guard instead of oversubscribing (the
+// jobs budget stays with the outermost level). Per-shard busy time is
+// accumulated for the load-balance sidecar of BENCH_megacity.json.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "shard/envelope.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace blackdp::shard {
+
+/// One region's world. Implementations own every stateful object of their
+/// region and must touch nothing shared from runEpoch (it runs on a pool
+/// worker; the thread-local trace recorder is not installed there).
+class ShardWorld {
+ public:
+  virtual ~ShardWorld() = default;
+
+  /// Advances the region's simulator across epoch `epoch`, applying `inbox`
+  /// (cross-boundary envelopes addressed to this region, already in
+  /// canonical order) at the epoch start and appending this epoch's outgoing
+  /// envelopes to `outbox` with per-source-segment emission-order `seq`.
+  virtual void runEpoch(std::uint32_t epoch, std::span<const Envelope> inbox,
+                        std::vector<Envelope>& outbox) = 0;
+};
+
+/// Aggregate, machine-dependent run statistics (NOT part of the
+/// deterministic metrics surface — busy seconds are wall clock).
+struct ShardStats {
+  std::uint64_t epochsRun{0};
+  std::uint64_t envelopesExchanged{0};
+  std::vector<double> busySeconds;  ///< per shard, summed over epochs
+};
+
+class ShardedSimulation {
+ public:
+  struct Config {
+    /// Maximum segments an envelope may travel (epoch-safety assert):
+    /// with epoch <= range / v_max nothing physical can move further than
+    /// one segment per epoch.
+    std::uint32_t maxSegmentHops{1};
+  };
+
+  /// `worlds` holds one ShardWorld per plan region (worlds[s] owns segments
+  /// [plan.firstSegment(s), plan.firstSegment(s) + plan.segmentCount(s))).
+  /// The pool is borrowed — typically sim::ParallelRunner::threadPool() —
+  /// and must outlive this object.
+  ShardedSimulation(ShardPlan plan, std::vector<ShardWorld*> worlds,
+                    sim::ThreadPool& pool, Config config);
+  ShardedSimulation(ShardPlan plan, std::vector<ShardWorld*> worlds,
+                    sim::ThreadPool& pool);
+
+  /// Runs one lock-step epoch across all shards, then exchanges envelopes.
+  /// Worker exceptions propagate after all shards have stopped (lowest shard
+  /// index wins, mirroring ParallelRunner).
+  void runEpoch();
+
+  void runEpochs(std::uint32_t count) {
+    for (std::uint32_t i = 0; i < count; ++i) runEpoch();
+  }
+
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] const ShardStats& stats() const { return stats_; }
+
+ private:
+  ShardPlan plan_;
+  std::vector<ShardWorld*> worlds_;
+  sim::ThreadPool& pool_;
+  Config config_;
+  std::uint32_t epoch_{0};
+  ShardStats stats_;
+  std::vector<std::vector<Envelope>> inboxes_;   ///< per shard, canonical order
+  std::vector<std::vector<Envelope>> outboxes_;  ///< per shard, emission order
+  std::vector<Envelope> merged_;                 ///< barrier scratch
+};
+
+}  // namespace blackdp::shard

@@ -63,51 +63,35 @@ unsigned consumeJobsFlag(int& argc, char** argv) {
 
 ParallelRunner::ParallelRunner(unsigned jobs) : jobs_{resolveJobCount(jobs)} {}
 
+ThreadPool& ParallelRunner::threadPool() const {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(jobs_);
+  return *pool_;
+}
+
 void ParallelRunner::forEachIndex(
     std::size_t count, const std::function<void(std::size_t)>& fn) const {
   swallowedFailures_.clear();
   if (count == 0) return;
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
-  if (workers <= 1) {
+  // Serial paths: one job, or a nested call from inside a pool worker (the
+  // jobs budget belongs to the outer level — degrade to inline, identical
+  // to jobs == 1, instead of oversubscribing).
+  if (workers <= 1 || ThreadPool::insideWorker()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
 
-  struct Failure {
-    std::size_t index;
-    std::exception_ptr error;
-  };
-  std::atomic<std::size_t> next{0};
-  std::mutex failureMutex;
-  std::vector<Failure> failures;
-
-  const auto worker = [&] {
-    while (true) {
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= count) return;
-      try {
-        fn(index);
-      } catch (...) {
-        const std::scoped_lock lock{failureMutex};
-        failures.push_back({index, std::current_exception()});
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& thread : pool) thread.join();
-
+  threadPool().parallelFor(count, fn);
+  const std::vector<ThreadPool::TaskFailure>& failures =
+      threadPool().failures();
   if (failures.empty()) return;
 
   // Rethrow the lowest-indexed failure so the propagated exception is the
   // same whatever the interleaving — but first record every OTHER failure
   // (log + trace + metrics + swallowedFailures()), so a multi-failure run
   // is never diagnosed blind from just the one rethrown exception.
-  std::sort(failures.begin(), failures.end(),
-            [](const Failure& x, const Failure& y) { return x.index < y.index; });
+  // parallelFor already sorted by task index.
   for (std::size_t i = 1; i < failures.size(); ++i) {
     WorkerFailure swallowed{failures[i].index,
                             describeException(failures[i].error)};

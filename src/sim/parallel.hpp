@@ -21,8 +21,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "sim/thread_pool.hpp"
 
 namespace blackdp::obs {
 class MetricsRegistry;
@@ -66,8 +69,23 @@ class ParallelRunner {
   /// are never silently lost: each is logged, emitted as a
   /// kParallel/kWorkerFailure trace event (calling thread's recorder), and
   /// queryable via swallowedFailures() until the next run.
+  ///
+  /// Nested-parallelism guard: called from inside a pool worker (a task body
+  /// that itself fans out — e.g. a sharded trial inside a parallel
+  /// campaign), the loop runs inline and serially on that worker, exactly
+  /// like jobs == 1. The jobs budget always stays with the outermost
+  /// parallel level; inner levels never oversubscribe the machine with
+  /// jobs_outer * jobs_inner threads. Submission-order folding is unaffected
+  /// (serial in index order IS submission order).
   void forEachIndex(std::size_t count,
                     const std::function<void(std::size_t)>& fn) const;
+
+  /// The runner's persistent worker pool, created on first use (so a
+  /// jobs == 1 runner never spawns a thread). Exposed for reuse by
+  /// shard::ShardedSimulation: one pool serves both the per-epoch shard
+  /// fan-out and any trial-level forEachIndex, and the shared
+  /// ThreadPool::insideWorker() flag keeps the two levels from nesting.
+  [[nodiscard]] ThreadPool& threadPool() const;
 
   /// Failures from the most recent forEachIndex()/map() call that were not
   /// rethrown, in task-index order. Empty when at most one task failed.
@@ -89,6 +107,8 @@ class ParallelRunner {
  private:
   unsigned jobs_{1};
   obs::MetricsRegistry* metrics_{nullptr};
+  /// Lazily created by threadPool() / the first parallel forEachIndex.
+  mutable std::unique_ptr<ThreadPool> pool_;
   /// Reset at the start of each forEachIndex call (caller thread only).
   mutable std::vector<WorkerFailure> swallowedFailures_;
 };

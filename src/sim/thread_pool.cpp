@@ -1,0 +1,156 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace blackdp::sim {
+
+namespace {
+thread_local bool tlInsideWorker = false;
+
+/// RAII set/restore of the nested-parallelism flag (the caller participates
+/// in its own parallelFor, so the flag must come back off afterwards).
+struct WorkerScope {
+  bool previous;
+  WorkerScope() : previous{tlInsideWorker} { tlInsideWorker = true; }
+  ~WorkerScope() { tlInsideWorker = previous; }
+  WorkerScope(const WorkerScope&) = delete;
+  WorkerScope& operator=(const WorkerScope&) = delete;
+};
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable wakeWorkers;
+  std::condition_variable jobDone;
+  std::vector<std::thread> threads;
+
+  // Current job, published under `mutex`; generation bumps wake the workers.
+  std::uint64_t generation{0};
+  std::size_t count{0};
+  const std::function<void(std::size_t)>* fn{nullptr};
+  std::atomic<std::size_t> next{0};
+  std::size_t activeWorkers{0};
+  bool shutdown{false};
+  bool jobInFlight{false};
+
+  std::mutex failureMutex;
+  std::vector<TaskFailure> rawFailures;
+
+  void workLoop() {
+    while (true) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      try {
+        (*fn)(index);
+      } catch (...) {
+        const std::scoped_lock lock{failureMutex};
+        rawFailures.push_back({index, std::current_exception()});
+      }
+    }
+  }
+
+  void workerThread() {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock lock{mutex};
+        wakeWorkers.wait(lock,
+                         [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+      }
+      {
+        WorkerScope scope;
+        workLoop();
+      }
+      {
+        const std::scoped_lock lock{mutex};
+        if (--activeWorkers == 0) jobDone.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned workers)
+    : impl_{new Impl}, workers_{workers == 0 ? 1u : workers} {
+  impl_->threads.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w) {
+    impl_->threads.emplace_back([this] { impl_->workerThread(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock{impl_->mutex};
+    impl_->shutdown = true;
+  }
+  impl_->wakeWorkers.notify_all();
+  for (std::thread& thread : impl_->threads) thread.join();
+  delete impl_;
+}
+
+bool ThreadPool::insideWorker() { return tlInsideWorker; }
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  failures_.clear();
+  if (count == 0) return;
+
+  // Nested call (or a one-worker pool): run inline on this thread. The
+  // nested path must not wait on the pool — the pool's workers may be the
+  // very threads executing the outer level.
+  if (tlInsideWorker || workers_ == 1 || count == 1) {
+    WorkerScope scope;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        failures_.push_back({i, std::current_exception()});
+      }
+    }
+    return;
+  }
+
+  {
+    std::scoped_lock lock{impl_->mutex};
+    BDP_ASSERT_MSG(!impl_->jobInFlight,
+                   "ThreadPool::parallelFor is not re-entrant from outside "
+                   "the pool — one job at a time");
+    impl_->jobInFlight = true;
+    impl_->count = count;
+    impl_->fn = &fn;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->activeWorkers = workers_ - 1;
+    impl_->rawFailures.clear();
+    ++impl_->generation;
+  }
+  impl_->wakeWorkers.notify_all();
+
+  {
+    WorkerScope scope;
+    impl_->workLoop();  // the caller is the workers_-th worker
+  }
+
+  {
+    std::unique_lock lock{impl_->mutex};
+    impl_->jobDone.wait(lock, [&] { return impl_->activeWorkers == 0; });
+    impl_->fn = nullptr;
+    impl_->jobInFlight = false;
+  }
+
+  failures_ = std::move(impl_->rawFailures);
+  impl_->rawFailures.clear();
+  std::sort(failures_.begin(), failures_.end(),
+            [](const TaskFailure& x, const TaskFailure& y) {
+              return x.index < y.index;
+            });
+}
+
+}  // namespace blackdp::sim

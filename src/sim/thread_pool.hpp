@@ -1,0 +1,79 @@
+// Persistent worker pool.
+//
+// ParallelRunner historically spawned fresh std::threads per forEachIndex
+// call — fine for minute-long trial sweeps, wasteful for the sharded
+// simulation, which fans out once per *epoch* (thousands of times per run).
+// ThreadPool keeps the workers alive between calls: one condition-variable
+// wakeup per parallelFor instead of thread creation, with the same atomic
+// next-index work-stealing loop, so work distribution (and therefore any
+// submission-order merge built on top) is identical to the per-call-thread
+// implementation.
+//
+// Nested-parallelism guard: every pool worker (and a caller participating in
+// a parallelFor) marks itself via a thread-local flag. A parallelFor issued
+// from inside a worker — e.g. a sharded trial running inside a parallel
+// campaign — executes inline on that worker instead of touching any pool.
+// The jobs budget therefore always stays with the OUTERMOST parallel level;
+// inner levels degrade to serial rather than oversubscribing the machine
+// (jobs_outer * jobs_inner threads). Regression-tested in parallel_test.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace blackdp::sim {
+
+class ThreadPool {
+ public:
+  /// A task body that threw inside parallelFor. Failures are collected, not
+  /// thrown — the caller decides the rethrow policy (ParallelRunner rethrows
+  /// the lowest index after recording the rest).
+  struct TaskFailure {
+    std::size_t index{0};
+    std::exception_ptr error;
+  };
+
+  /// `workers` >= 1. The calling thread participates in every parallelFor,
+  /// so the pool spawns workers-1 background threads.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// True on a thread currently executing a parallelFor task (pool worker or
+  /// participating caller). The flag is what makes nesting safe: see below.
+  [[nodiscard]] static bool insideWorker();
+
+  /// Runs fn(0) .. fn(count-1) across the pool and blocks until all have
+  /// finished. Work is handed out through an atomic next-index counter, so
+  /// any worker may run any index. Exceptions are caught per task and
+  /// returned via failures(), sorted by task index — parallelFor itself
+  /// never throws.
+  ///
+  /// Called from inside a worker (nested parallelism), the whole loop runs
+  /// inline on the calling thread in index order; the pool is not touched.
+  /// One parallelFor may be in flight at a time per pool (asserted); the
+  /// inline nested path is exempt, which is exactly what lets a sharded
+  /// simulation share its pool with the campaign runner that spawned it.
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// Failures from the most recent parallelFor, in task-index order.
+  [[nodiscard]] const std::vector<TaskFailure>& failures() const {
+    return failures_;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;           ///< pimpl: keeps <mutex>/<condition_variable> out of
+                         ///< every include site of this hot-ish header
+  unsigned workers_{1};
+  std::vector<TaskFailure> failures_;
+};
+
+}  // namespace blackdp::sim

@@ -203,8 +203,10 @@ TEST(BenchJsonTest, DocumentCarriesNameAndSchemaVersion) {
 TEST(BenchJsonTest, WallClockAndThroughputAreTopLevel) {
   obs::MetricsRegistry registry;
   registry.counter("medium.frames_delivered").add(500);
-  const std::string doc =
-      obs::benchJson("demo", registry.snapshot(), {2.0, 1000});
+  obs::BenchRunInfo info;
+  info.wallClockSeconds = 2.0;
+  info.framesDelivered = 1000;
+  const std::string doc = obs::benchJson("demo", registry.snapshot(), info);
   EXPECT_NE(doc.find("\"wall_clock_seconds\": 2"), std::string::npos);
   EXPECT_NE(doc.find("\"frames_delivered\": 1000"), std::string::npos);
   EXPECT_NE(doc.find("\"frames_per_second\": 500"), std::string::npos);
@@ -218,8 +220,9 @@ TEST(BenchJsonTest, FramesDeliveredDerivedFromCountersWhenUnset) {
   registry.counter("treatmentA.medium.frames_delivered").add(200);
   registry.counter("unrelated_frames_delivered").add(999);  // no dot prefix
   registry.counter("medium.frames_sent").add(777);
-  const std::string doc =
-      obs::benchJson("demo", registry.snapshot(), {1.0, 0});
+  obs::BenchRunInfo info;
+  info.wallClockSeconds = 1.0;
+  const std::string doc = obs::benchJson("demo", registry.snapshot(), info);
   EXPECT_NE(doc.find("\"frames_delivered\": 500"), std::string::npos);
   EXPECT_NE(doc.find("\"frames_per_second\": 500"), std::string::npos);
 }

@@ -208,5 +208,38 @@ TEST(ParallelRunnerTest, WorkerExceptionDuringCheckpointWriteLeavesNoPartialFile
   fs::remove_all(dir);
 }
 
+
+TEST(ParallelRunnerTest, NestedParallelismRunsInlineOnTheWorker) {
+  // A ShardedSimulation (or any other consumer of threadPool()) may itself
+  // live inside a parallel campaign trial. The nested call must degrade to
+  // serial on the worker thread instead of re-entering the pool — the jobs
+  // budget stays with the outermost level.
+  const sim::ParallelRunner runner{4};
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<int> nestedOffWorkerThread{0};
+  runner.forEachIndex(8, [&](std::size_t outer) {
+    EXPECT_TRUE(sim::ThreadPool::insideWorker());
+    const std::thread::id worker = std::this_thread::get_id();
+    runner.forEachIndex(8, [&, outer, worker](std::size_t inner) {
+      if (std::this_thread::get_id() != worker) ++nestedOffWorkerThread;
+      ++hits[outer * 8 + inner];
+    });
+  });
+  // Every nested task ran exactly once, and none escaped its worker.
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  EXPECT_EQ(nestedOffWorkerThread.load(), 0);
+}
+
+TEST(ParallelRunnerTest, ThreadPoolIsExposedAndSharedAcrossCalls) {
+  const sim::ParallelRunner runner{3};
+  sim::ThreadPool& pool = runner.threadPool();
+  EXPECT_EQ(&pool, &runner.threadPool());  // one pool per runner
+  EXPECT_EQ(pool.workers(), 3u);
+  std::atomic<int> ran{0};
+  pool.parallelFor(11, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 11);
+  EXPECT_TRUE(pool.failures().empty());
+}
+
 }  // namespace
 }  // namespace blackdp
