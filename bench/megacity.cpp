@@ -6,12 +6,17 @@
 // The bench asserts the tentpole guarantee end to end: both runs must be
 // BYTE-IDENTICAL on the deterministic surfaces (merged metrics JSON and the
 // canonical per-segment log); a mismatch is an exit-1 failure, not a
-// statistic. It then emits BENCH_megacity.json (schema v2) from the
-// partitioned run, with a "sharding" sidecar carrying the machine-dependent
-// half of the story: per-configuration fps, the speedup, per-shard busy
-// seconds and their balance ratio, and the envelope exchange volume.
+// statistic. A third leg re-runs the partitioned configuration with a
+// scripted mid-run shard crash (supervisor restart + envelope replay) while
+// checkpointing every other epoch — it must converge to the same surfaces,
+// with the checkpoint time reported as overhead. BENCH_megacity.json
+// (schema v2) carries two machine-dependent sidecars: "sharding"
+// (per-configuration fps, speedup, per-shard busy seconds and balance,
+// envelope volume) and "fault_tolerance" (checkpoint seconds/bytes, crash
+// epoch, restart/replay/recovery counters, identity verdict).
 // scripts/bench_compare.py gates frames_per_second against the committed
-// baseline; CI additionally checks the baseline's speedup stays > 1.
+// baseline and the checkpoint overhead against 5% of the leg's wall clock;
+// CI additionally checks the baseline's speedup stays > 1.
 //
 // Flags: --segments N       corridor length in km (default 100)
 //        --vehicles N       fleet size (default 10000)
@@ -32,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "metrics/table.hpp"
 #include "obs/bench_json.hpp"
 #include "scenario/corridor_world.hpp"
@@ -110,6 +116,57 @@ RunResult runCorridor(const scenario::CorridorConfig& config,
   return out;
 }
 
+/// The fault-tolerance leg: the partitioned corridor re-run with a scripted
+/// mid-run shard crash (supervisor restart + envelope replay) while writing
+/// an in-memory checkpoint every other epoch boundary. Its surfaces must
+/// still equal the healthy partitioned run's, and the checkpoint time is
+/// the overhead bench_compare.py gates (<= 5% of the leg's wall clock).
+struct FaultToleranceResult {
+  std::string metricsJson;
+  std::string canonicalLog;
+  double runSeconds{0.0};
+  double checkpointSeconds{0.0};
+  std::uint64_t checkpointsWritten{0};
+  std::uint64_t checkpointBytes{0};  ///< last checkpoint's size
+  std::uint32_t crashEpoch{0};
+  shard::ShardStats stats;
+};
+
+FaultToleranceResult runFaultTolerance(const scenario::CorridorConfig& base,
+                                       std::uint32_t shards,
+                                       std::uint32_t epochs,
+                                       sim::ThreadPool& pool) {
+  constexpr std::uint32_t kCheckpointEvery = 2;
+  FaultToleranceResult out;
+  out.crashEpoch = epochs / 2;
+
+  scenario::CorridorConfig config = base;
+  config.supervisionEvery = kCheckpointEvery;
+  config.faults.shardCrashes.push_back({out.crashEpoch, shards - 1});
+
+  scenario::CorridorWorld world{config, shards, pool};
+  const auto begin = std::chrono::steady_clock::now();
+  while (world.nextEpoch() < epochs) {
+    world.step();
+    if (world.nextEpoch() % kCheckpointEvery != 0) continue;
+    const auto ckptBegin = std::chrono::steady_clock::now();
+    const common::Bytes blob = world.saveCheckpoint();
+    out.checkpointSeconds += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - ckptBegin)
+                                 .count();
+    ++out.checkpointsWritten;
+    out.checkpointBytes = blob.size();
+  }
+  world.finish();
+  out.runSeconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - begin)
+                       .count();
+  out.metricsJson = world.metricsJson();
+  out.canonicalLog = world.canonicalLog();
+  out.stats = world.shardStats();
+  return out;
+}
+
 bool dumpSurfaces(const std::string& path, const RunResult& run) {
   if (path.empty()) return true;
   std::ofstream os{path};
@@ -155,10 +212,17 @@ int main(int argc, char** argv) {
 
   const RunResult a = runCorridor(config, shardsA, epochs, pool);
   const RunResult b = runCorridor(config, shardsB, epochs, pool);
+  const FaultToleranceResult ft =
+      runFaultTolerance(config, shardsB, epochs, pool);
 
   const bool identical = a.metricsJson == b.metricsJson &&
                          a.canonicalLog == b.canonicalLog &&
                          a.framesDelivered == b.framesDelivered;
+  // The crashed-and-restarted run must converge to the same surfaces: the
+  // supervisor replayed the retained envelopes, so the recovery is
+  // unobservable on the deterministic side.
+  const bool ftIdentical = ft.metricsJson == b.metricsJson &&
+                           ft.canonicalLog == b.canonicalLog;
   const double speedup = a.fps > 0.0 ? b.fps / a.fps : 0.0;
 
   double busyMin = 0.0;
@@ -182,6 +246,16 @@ int main(int argc, char** argv) {
             << "\nspeedup (B/A)      : " << Table::num(speedup, 2)
             << "\nshard balance      : " << Table::num(balance, 3)
             << "\nenvelopes exchanged: " << b.stats.envelopesExchanged << '\n';
+  std::cout << "\nFault tolerance (crash shard " << shardsB - 1 << " at epoch "
+            << ft.crashEpoch << ", checkpoint every 2):"
+            << "\n  recovered identical: " << (ftIdentical ? "yes" : "NO — BUG")
+            << "\n  restarts/replayed  : " << ft.stats.shardRestarts << " / "
+            << ft.stats.envelopesReplayed << " envelopes over "
+            << ft.stats.recoveryEpochs << " epochs"
+            << "\n  checkpoint overhead: " << Table::num(ft.checkpointSeconds, 3)
+            << " s of " << Table::num(ft.runSeconds, 3) << " s ("
+            << ft.checkpointsWritten << " checkpoints, last "
+            << ft.checkpointBytes << " bytes)\n";
 
   const bool dumped = dumpSurfaces(outA, a) && dumpSurfaces(outB, b);
 
@@ -208,17 +282,36 @@ int main(int argc, char** argv) {
                ",\n    \"identical\": " + (identical ? "true" : "false") +
                "\n  }";
 
+    const std::string faultSidecar =
+        "{\n    \"checkpoint_seconds\": " + num(ft.checkpointSeconds) +
+        ",\n    \"wall_clock_seconds\": " + num(ft.runSeconds) +
+        ",\n    \"checkpoints_written\": " +
+        std::to_string(ft.checkpointsWritten) +
+        ",\n    \"checkpoint_bytes\": " + std::to_string(ft.checkpointBytes) +
+        ",\n    \"crash_epoch\": " + std::to_string(ft.crashEpoch) +
+        ",\n    \"shard_restarts\": " +
+        std::to_string(ft.stats.shardRestarts) +
+        ",\n    \"recovery_epochs\": " +
+        std::to_string(ft.stats.recoveryEpochs) +
+        ",\n    \"envelopes_replayed\": " +
+        std::to_string(ft.stats.envelopesReplayed) +
+        ",\n    \"crc_rejects\": " + std::to_string(ft.stats.crcRejects) +
+        ",\n    \"identical\": " + (ftIdentical ? "true" : "false") +
+        "\n  }";
+
     // Headline throughput is the partitioned run: frames over ITS wall
     // clock, so frames_per_second == sharding.fps_shards_b.
     obs::BenchRunInfo info;
     info.wallClockSeconds = b.runSeconds;
     info.framesDelivered = b.framesDelivered;
-    info.extraKey = "sharding";
-    info.extraJson = sidecar;
+    info.addExtra("sharding", sidecar);
+    info.addExtra("fault_tolerance", faultSidecar);
     obs::writeBenchJson("megacity", b.snapshot, info);
   }
 
-  const bool healthy = identical && dumped && a.framesDelivered > 0 &&
+  const bool healthy = identical && ftIdentical && dumped &&
+                       a.framesDelivered > 0 && ft.stats.shardRestarts == 1 &&
+                       ft.stats.envelopesReplayed > 0 &&
                        timer.elapsedSeconds() > 0.0;
   return healthy ? 0 : 1;
 }

@@ -10,9 +10,11 @@ baseline:
 Prints the wall-clock / throughput delta plus every deterministic metric
 (counter, gauge, histogram count/sum) that differs between the two files,
 then exits nonzero iff the candidate's frames_per_second dropped more than
---max-regression percent below the baseline, or (when the baseline records
+--max-regression percent below the baseline, (when the baseline records
 throughput.allocations_per_frame) the candidate's allocations_per_frame
-rose more than --max-alloc-increase above the baseline.
+rose more than --max-alloc-increase above the baseline, or (when the
+baseline records a fault_tolerance sidecar) the candidate's checkpoint time
+exceeds --max-checkpoint-overhead percent of that leg's wall clock.
 
 Throughput and allocations gate; nothing else does. The deterministic
 `metrics` subtree is expected to be identical when both files come from the
@@ -100,6 +102,12 @@ def main(argv):
                              "above the baseline, absolute (default: "
                              "%(default)s); only gates when the baseline "
                              "records the field")
+    parser.add_argument("--max-checkpoint-overhead", type=float, default=5.0,
+                        metavar="PCT",
+                        help="maximum tolerated fault_tolerance checkpoint "
+                             "time as a percentage of that leg's wall clock "
+                             "(default: %(default)s); only gates when the "
+                             "baseline records a fault_tolerance sidecar")
     args = parser.parse_args(argv[1:])
 
     baseline = load(args.baseline)
@@ -157,6 +165,36 @@ def main(argv):
             failed = True
         else:
             print("allocation gate: OK")
+
+    b_ft = baseline.get("fault_tolerance")
+    c_ft = candidate.get("fault_tolerance")
+    if b_ft is None:
+        pass  # baseline predates the fault-tolerance leg; nothing to hold
+    elif c_ft is None:
+        print("FAIL: baseline records a fault_tolerance sidecar but the "
+              "candidate does not — the crash-and-recover leg was lost",
+              file=sys.stderr)
+        failed = True
+    else:
+        ckpt = c_ft["checkpoint_seconds"]
+        wall = c_ft["wall_clock_seconds"]
+        budget = args.max_checkpoint_overhead / 100.0 * wall
+        pct = ckpt / wall * 100.0 if wall > 0 else 0.0
+        print(f"fault_tolerance.checkpoint_seconds: "
+              f"{b_ft['checkpoint_seconds']:.4f} -> {ckpt:.4f} "
+              f"({pct:.2f}% of the leg's wall clock; "
+              f"tolerance: {args.max_checkpoint_overhead:.1f}%)")
+        print(f"fault_tolerance.envelopes_replayed: "
+              f"{b_ft['envelopes_replayed']} -> {c_ft['envelopes_replayed']}")
+        if wall > 0 and ckpt > budget:
+            print(f"FAIL: checkpointing cost {pct:.2f}% of the "
+                  "fault-tolerance leg's wall clock "
+                  f"(> {args.max_checkpoint_overhead:.1f}% allowed) — "
+                  "snapshots are no longer cheap enough to take every other "
+                  "epoch", file=sys.stderr)
+            failed = True
+        else:
+            print("checkpoint overhead gate: OK")
 
     if b_fps <= 0:
         print("throughput gate: skipped (baseline frames_per_second is 0)")

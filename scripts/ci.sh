@@ -150,4 +150,35 @@ build/tools/replay_serve --trace "$streamdir/trace.jsonl" \
 build/tools/soak_run --stream --epochs 600 --stream-seed 7 --quiet \
   --json "$streamdir/metrics.flood.json" | tee -a "$soaklog"
 
-echo "CI: both configurations green, bench + campaign + soak + stream-soak validated."
+echo "==== megacity kill/resume smoke (sharded checkpoint crash consistency) ===="
+# The fault-tolerance gate for the sharded corridor: an 8-segment run killed
+# mid-run (between checkpoints) and resumed from its last complete BDPC
+# checkpoint must reproduce the uninterrupted run's deterministic surfaces
+# (metrics JSON + canonical log, dumped into one file per run) AND its final
+# checkpoint, byte for byte. The chaos leg repeats the cycle at hashed kill
+# epochs. megacity/replay.txt records the deterministic replay recipe and is
+# uploaded with the soak artifacts on failure.
+megadir="$out/megacity"
+rm -rf "$megadir" && mkdir -p "$megadir"
+mega_args=(--megacity --segments 8 --vehicles 800 --shards 4 --epochs 6
+           --megacity-seed 4242 --checkpoint-every 2 --jobs "$jobs" --quiet)
+echo "replay: soak_run --megacity --megacity-seed 4242 --segments 8 \
+--vehicles 800 --shards 4 --epochs 6 --checkpoint-every 2" \
+  > "$megadir/replay.txt"
+build/tools/soak_run "${mega_args[@]}" --checkpoint-dir "$megadir/full" \
+  --surfaces-out "$megadir/surfaces.full.txt"
+python3 scripts/validate_bench_json.py "$megadir/full/manifest.jsonl"
+# Kill after epoch 3 — between the epoch-2 and epoch-4 checkpoints — then
+# resume; the resumed run restarts from epoch 2 and must catch up exactly.
+build/tools/soak_run "${mega_args[@]}" --checkpoint-dir "$megadir/cut" \
+  --stop-after 3
+build/tools/soak_run "${mega_args[@]}" --checkpoint-dir "$megadir/cut" \
+  --resume --surfaces-out "$megadir/surfaces.resumed.txt"
+cmp "$megadir/surfaces.full.txt" "$megadir/surfaces.resumed.txt"
+cmp "$megadir/full/ckpt-000006.bdpc" "$megadir/cut/ckpt-000006.bdpc"
+# Chaos leg: scripted kill/resume cycles at hashed epochs, each byte-compared
+# against an uninterrupted reference run in-process.
+build/tools/soak_run "${mega_args[@]}" --checkpoint-dir "$megadir/chaos" \
+  --chaos-kills 3 | tee -a "$soaklog"
+
+echo "CI: both configurations green, bench + campaign + soak + stream-soak + megacity validated."

@@ -56,6 +56,13 @@ that bench: positive shard counts, fps for both partitionings, speedup > 0,
 busy_seconds with one non-negative entry per shard of run B, balance_ratio
 in [0, 1], and identical == true — the byte-identity of shards=1 vs
 shards=N is part of the schema, not just a test.
+
+It also requires a "fault_tolerance" sidecar from the crash-and-recover
+leg: non-negative checkpoint/wall seconds with checkpoint_seconds <=
+wall_clock_seconds, checkpoints_written >= 1, shard_restarts == 1,
+envelopes_replayed >= 1 (the supervisor actually replayed something),
+crc_rejects == 0, and identical == true — a crashed-and-restarted shard
+must converge to the same deterministic surfaces.
 """
 
 import binascii
@@ -181,6 +188,49 @@ def check_sharding(path, doc):
                    "produced different deterministic surfaces")
 
 
+FAULT_TOLERANCE_KEYS = ("checkpoint_seconds", "wall_clock_seconds",
+                        "checkpoints_written", "checkpoint_bytes",
+                        "crash_epoch", "shard_restarts", "recovery_epochs",
+                        "envelopes_replayed", "crc_rejects", "identical")
+
+
+def check_fault_tolerance(path, doc):
+    if "fault_tolerance" not in doc:
+        fail(path, "bench megacity requires a 'fault_tolerance' sidecar")
+    ft = doc["fault_tolerance"]
+    if not isinstance(ft, dict):
+        fail(path, "'fault_tolerance' must be an object")
+    for key in FAULT_TOLERANCE_KEYS:
+        if key not in ft:
+            fail(path, f"fault_tolerance missing key {key!r}")
+    for key in ("checkpoints_written", "checkpoint_bytes", "crash_epoch",
+                "shard_restarts", "recovery_epochs", "envelopes_replayed",
+                "crc_rejects"):
+        if (not isinstance(ft[key], int) or isinstance(ft[key], bool)
+                or ft[key] < 0):
+            fail(path, f"fault_tolerance.{key}: expected a non-negative int")
+    for key in ("checkpoint_seconds", "wall_clock_seconds"):
+        check_number(path, f"fault_tolerance.{key}", ft[key])
+        if ft[key] < 0:
+            fail(path, f"fault_tolerance.{key} must be non-negative")
+    if ft["checkpoint_seconds"] > ft["wall_clock_seconds"]:
+        fail(path, "fault_tolerance.checkpoint_seconds exceeds the leg's "
+                   "wall_clock_seconds")
+    if ft["checkpoints_written"] < 1:
+        fail(path, "fault_tolerance.checkpoints_written must be >= 1")
+    if ft["shard_restarts"] != 1:
+        fail(path, "fault_tolerance.shard_restarts must be exactly 1 (one "
+                   "scripted crash, one supervisor restart)")
+    if ft["envelopes_replayed"] < 1:
+        fail(path, "fault_tolerance.envelopes_replayed must be >= 1 — the "
+                   "restart must actually replay missed envelopes")
+    if ft["crc_rejects"] != 0:
+        fail(path, "fault_tolerance.crc_rejects must be 0 on a healthy run")
+    if ft["identical"] is not True:
+        fail(path, "fault_tolerance.identical must be true — the recovered "
+                   "run produced different deterministic surfaces")
+
+
 def validate(path):
     try:
         doc = json.loads(path.read_text())
@@ -202,6 +252,7 @@ def validate(path):
     check_throughput(path, doc)
     if doc["bench"] == "megacity":
         check_sharding(path, doc)
+        check_fault_tolerance(path, doc)
 
     metrics = doc["metrics"]
     if not isinstance(metrics, dict):

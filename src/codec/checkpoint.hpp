@@ -44,6 +44,9 @@ enum class CheckpointTag : std::uint16_t {
   kTa = 3,       ///< TA network dynamic state (paused nodes, revocations)
   kCluster = 4,  ///< one per cluster: CH tables + detector state
   kStream = 5,   ///< stream-driver cursors, counters, verdict hash
+  kCorridorMeta = 6,      ///< megacity config hash, seed, epoch, shard count
+  kCorridorShard = 7,     ///< one per shard: segments, detectors, vehicles
+  kCorridorExchange = 8,  ///< in-flight cross-shard envelopes (per-shard inboxes)
 };
 
 struct CheckpointSection {

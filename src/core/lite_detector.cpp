@@ -138,6 +138,42 @@ void LiteDetector::adopt(const LiteSessionState& state) {
   }
 }
 
+void LiteDetector::saveState(common::ByteWriter& w) const {
+  w.writeU32(static_cast<std::uint32_t>(sessions_.size()));
+  sessions_.forEach([&](common::Address, const LiteSessionState& s) {
+    s.serialize(w);
+  });
+  w.writeU64(stats_.sessionsOpened);
+  w.writeU64(stats_.duplicateReports);
+  w.writeU64(stats_.probeRounds);
+  w.writeU64(stats_.violations);
+  w.writeU64(stats_.probesUnreachable);
+  w.writeU64(stats_.confirmed);
+  w.writeU64(stats_.exonerated);
+  w.writeU64(stats_.unreachable);
+  w.writeU64(stats_.handoffsOut);
+  w.writeU64(stats_.adopted);
+}
+
+void LiteDetector::restoreState(common::ByteReader& r) {
+  BDP_ASSERT_MSG(sessions_.empty(), "restoreState into a non-empty detector");
+  const std::uint32_t count = r.readU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const LiteSessionState s = LiteSessionState::deserialize(r);
+    sessions_[s.suspect] = s;
+  }
+  stats_.sessionsOpened = r.readU64();
+  stats_.duplicateReports = r.readU64();
+  stats_.probeRounds = r.readU64();
+  stats_.violations = r.readU64();
+  stats_.probesUnreachable = r.readU64();
+  stats_.confirmed = r.readU64();
+  stats_.exonerated = r.readU64();
+  stats_.unreachable = r.readU64();
+  stats_.handoffsOut = r.readU64();
+  stats_.adopted = r.readU64();
+}
+
 LiteSessionState LiteDetector::extract(common::Address suspect) {
   LiteSessionState* s = sessions_.find(suspect);
   BDP_ASSERT_MSG(s != nullptr, "extract of unknown suspect");

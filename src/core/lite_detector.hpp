@@ -120,6 +120,23 @@ class LiteDetector {
   /// without any verdict — the test seam for migration plumbing.
   [[nodiscard]] LiteSessionState extract(common::Address suspect);
 
+  /// Serializes every live session (insertion order — the same order
+  /// beginEpoch walks, so a restored detector probes in the original
+  /// sequence) followed by the stats block.
+  void saveState(common::ByteWriter& w) const;
+
+  /// Inverse of saveState; requires an empty, freshly constructed detector.
+  /// Throws std::out_of_range on truncated input.
+  void restoreState(common::ByteReader& r);
+
+  /// Read-only walk over live sessions in insertion order (soak
+  /// invariants inspect probe/forward budgets through this).
+  void forEachSession(
+      const std::function<void(const LiteSessionState&)>& fn) const {
+    sessions_.forEach(
+        [&](common::Address, const LiteSessionState& s) { fn(s); });
+  }
+
   [[nodiscard]] std::size_t activeSessions() const { return sessions_.size(); }
   [[nodiscard]] const LiteSessionState* find(common::Address suspect) const {
     return sessions_.find(suspect);

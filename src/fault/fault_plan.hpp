@@ -85,17 +85,40 @@ struct JamZoneEvent {
   sim::TimePoint until{endOfTime()};
 };
 
+/// A megacity shard process dies at the START of `epoch` (before running
+/// it): its in-memory world is discarded and the ShardedSimulation
+/// supervisor rebuilds it from the last snapshot, replaying the retained
+/// epoch inboxes. Epoch-indexed, not clock-indexed, because shard crashes
+/// are only observable at epoch barriers.
+struct ShardCrashEvent {
+  std::uint32_t epoch{0};
+  std::uint32_t shard{0};
+};
+
+/// A corridor segment's RSU goes dark during epochs [fromEpoch, untilEpoch):
+/// no digest broadcasts, no detector rounds, all received frames ignored.
+/// Cross-segment envelopes (revocation gossip, migrations, handoffs) still
+/// apply — the degraded-mode guarantee that neighbors keep isolating
+/// confirmed black holes inside the dark segment.
+struct SegmentRsuOutageEvent {
+  std::uint32_t segment{0};
+  std::uint32_t fromEpoch{0};
+  std::uint32_t untilEpoch{0};
+};
+
 struct FaultPlan {
   std::vector<RsuCrashEvent> rsuCrashes;
   std::vector<BackboneLinkDownEvent> backboneLinksDown;
   std::vector<BackbonePartitionEvent> backbonePartitions;
   std::vector<BurstLossEvent> burstLoss;
   std::vector<JamZoneEvent> jamZones;
+  std::vector<ShardCrashEvent> shardCrashes;
+  std::vector<SegmentRsuOutageEvent> rsuOutages;
 
   [[nodiscard]] bool empty() const {
     return rsuCrashes.empty() && backboneLinksDown.empty() &&
            backbonePartitions.empty() && burstLoss.empty() &&
-           jamZones.empty();
+           jamZones.empty() && shardCrashes.empty() && rsuOutages.empty();
   }
 };
 

@@ -58,10 +58,11 @@ std::string benchJson(std::string_view name, const Snapshot& snapshot,
     appendJsonNumber(out, info.allocationsPerFrame);
   }
   out += "\n  },\n  ";
-  if (!info.extraKey.empty() && !info.extraJson.empty()) {
-    appendJsonString(out, info.extraKey);
+  for (const BenchExtraSection& extra : info.extras) {
+    if (extra.key.empty() || extra.json.empty()) continue;
+    appendJsonString(out, extra.key);
     out += ": ";
-    out += info.extraJson;
+    out += extra.json;
     out += ",\n  ";
   }
   out += "\"metrics\": ";

@@ -27,12 +27,20 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "obs/registry.hpp"
 
 namespace blackdp::obs {
 
 inline constexpr int kBenchJsonSchemaVersion = 2;
+
+/// One pre-rendered machine-dependent top-level section of the document.
+struct BenchExtraSection {
+  std::string key;   ///< top-level JSON key, e.g. "sharding"
+  std::string json;  ///< pre-rendered JSON value
+};
 
 /// The non-deterministic sidecar of a bench run: real elapsed time and the
 /// simulated work done in it. With framesDelivered == 0 the writer derives
@@ -45,12 +53,16 @@ struct BenchRunInfo {
   /// from the common/alloc_hook counters. Negative means "not measured" and
   /// the field is omitted from the JSON.
   double allocationsPerFrame{-1.0};
-  /// Optional extra machine-dependent top-level section, emitted between
-  /// "throughput" and "metrics" as `"<extraKey>": <extraJson>` when both are
-  /// non-empty. `extraJson` must be a pre-rendered JSON value (usually an
-  /// object); bench/megacity uses this for its "sharding" sidecar.
-  std::string extraKey;
-  std::string extraJson;
+  /// Optional extra machine-dependent top-level sections, emitted between
+  /// "throughput" and "metrics" in order as `"<key>": <json>`. `json` must
+  /// be a pre-rendered JSON value (usually an object); bench/megacity emits
+  /// its "sharding" and "fault_tolerance" sidecars this way.
+  std::vector<BenchExtraSection> extras;
+
+  BenchRunInfo& addExtra(std::string key, std::string json) {
+    extras.push_back({std::move(key), std::move(json)});
+    return *this;
+  }
 };
 
 /// Steady-clock stopwatch; benches start one at the top of main and hand

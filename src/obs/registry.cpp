@@ -1,5 +1,6 @@
 #include "obs/registry.hpp"
 
+#include <bit>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -195,6 +196,81 @@ std::string Snapshot::toJson(int indent) const {
   out += "}\n";
   out += "}";
   return out;
+}
+
+namespace {
+
+// Doubles travel as IEEE-754 bit patterns: a snapshot restored from bytes
+// must merge into an empty registry byte-for-byte, and a decimal detour
+// would round histogram sums.
+void writeF64(common::ByteWriter& w, double v) {
+  w.writeU64(std::bit_cast<std::uint64_t>(v));
+}
+
+double readF64(common::ByteReader& r) {
+  return std::bit_cast<double>(r.readU64());
+}
+
+}  // namespace
+
+void serializeSnapshot(const Snapshot& snapshot, common::ByteWriter& writer) {
+  writer.writeU32(static_cast<std::uint32_t>(snapshot.counters.size()));
+  for (const auto& [name, value] : snapshot.counters) {
+    writer.writeString(name);
+    writer.writeU64(value);
+  }
+  writer.writeU32(static_cast<std::uint32_t>(snapshot.gauges.size()));
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer.writeString(name);
+    writeF64(writer, value);
+  }
+  writer.writeU32(static_cast<std::uint32_t>(snapshot.histograms.size()));
+  for (const auto& [name, hist] : snapshot.histograms) {
+    writer.writeString(name);
+    writer.writeU32(static_cast<std::uint32_t>(hist.edges.size()));
+    for (double edge : hist.edges) writeF64(writer, edge);
+    writer.writeU32(static_cast<std::uint32_t>(hist.counts.size()));
+    for (std::uint64_t count : hist.counts) writer.writeU64(count);
+    writer.writeU64(hist.count);
+    writeF64(writer, hist.sum);
+    writeF64(writer, hist.min);
+    writeF64(writer, hist.max);
+  }
+}
+
+Snapshot deserializeSnapshot(common::ByteReader& reader) {
+  Snapshot snapshot;
+  const std::uint32_t counters = reader.readU32();
+  for (std::uint32_t i = 0; i < counters; ++i) {
+    const std::string name = reader.readString();
+    snapshot.counters.emplace(name, reader.readU64());
+  }
+  const std::uint32_t gauges = reader.readU32();
+  for (std::uint32_t i = 0; i < gauges; ++i) {
+    const std::string name = reader.readString();
+    snapshot.gauges.emplace(name, readF64(reader));
+  }
+  const std::uint32_t histograms = reader.readU32();
+  for (std::uint32_t i = 0; i < histograms; ++i) {
+    const std::string name = reader.readString();
+    Snapshot::HistogramData data;
+    const std::uint32_t edges = reader.readU32();
+    data.edges.reserve(edges);
+    for (std::uint32_t j = 0; j < edges; ++j) {
+      data.edges.push_back(readF64(reader));
+    }
+    const std::uint32_t counts = reader.readU32();
+    data.counts.reserve(counts);
+    for (std::uint32_t j = 0; j < counts; ++j) {
+      data.counts.push_back(reader.readU64());
+    }
+    data.count = reader.readU64();
+    data.sum = readF64(reader);
+    data.min = readF64(reader);
+    data.max = readF64(reader);
+    snapshot.histograms.emplace(name, std::move(data));
+  }
+  return snapshot;
 }
 
 void addConfusion(MetricsRegistry& registry, std::string_view prefix,

@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.hpp"
+
 namespace blackdp::metrics {
 class ConfusionMatrix;
 class RunningStat;
@@ -124,6 +126,14 @@ class MetricsRegistry {
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
+
+/// Canonical byte form of a Snapshot (checkpoints). Doubles are written as
+/// their IEEE-754 bit patterns, so serialize -> deserialize -> merge into an
+/// empty registry reproduces the original snapshot byte-for-byte.
+void serializeSnapshot(const Snapshot& snapshot, common::ByteWriter& writer);
+
+/// Inverse of serializeSnapshot. Throws std::out_of_range on truncation.
+[[nodiscard]] Snapshot deserializeSnapshot(common::ByteReader& reader);
 
 /// Folds a confusion matrix in under `prefix`: raw cell counters
 /// (`<prefix>.tp` ...) plus derived-rate gauges (`<prefix>.accuracy` ...).

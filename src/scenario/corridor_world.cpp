@@ -1,11 +1,14 @@
 #include "scenario/corridor_world.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "common/address_registry.hpp"
 #include "common/bytes.hpp"
+#include "codec/checkpoint.hpp"
 #include "mobility/motion.hpp"
 #include "sim/rng.hpp"
 
@@ -36,6 +39,13 @@ void insertSorted(std::vector<common::Address>& sorted,
 }
 
 constexpr std::uint32_t kNeverDeparts = 0xffff'ffffu;
+
+/// Effective supervisor snapshot interval: explicit setting wins; otherwise
+/// supervision turns on (every 2 epochs) iff shard crashes are scripted.
+std::uint32_t effectiveSupervisionEvery(const CorridorConfig& config) {
+  if (config.supervisionEvery != 0) return config.supervisionEvery;
+  return config.faults.shardCrashes.empty() ? 0u : 2u;
+}
 
 net::MediumConfig corridorMediumConfig() {
   net::MediumConfig config;
@@ -105,6 +115,11 @@ std::string_view toString(CorridorLogKind kind) {
 struct CorridorShard::Vehicle {
   std::uint32_t id{0};
   VehicleSpec spec;
+  /// Time the current LinearMotion was anchored (spawn or migrate-in).
+  /// Checkpointed: a restored vehicle MUST re-anchor at this original
+  /// instant — anchoring at restore time would split one x = x0 + v*dt
+  /// into two float additions and break bit-identity.
+  std::int64_t anchorUs{0};
   std::unique_ptr<net::BasicNode> node;
   std::shared_ptr<const CorridorDigest> digest;
   std::vector<common::Address> blacklist;  ///< sorted; migrates with vehicle
@@ -265,13 +280,46 @@ const std::vector<CorridorLogRecord>& CorridorShard::segmentLog(
   return segments_[segment - firstSegment_]->log;
 }
 
-const net::MediumStats& CorridorShard::mediumStats() const {
-  return medium_.stats();
+net::MediumStats CorridorShard::mediumStats() const {
+  const net::MediumStats& live = medium_.stats();
+  net::MediumStats total = mediumBaseline_;
+  total.framesSent += live.framesSent;
+  total.framesDelivered += live.framesDelivered;
+  total.framesLost += live.framesLost;
+  total.framesFaultDropped += live.framesFaultDropped;
+  total.framesBurstDropped += live.framesBurstDropped;
+  total.framesJamDropped += live.framesJamDropped;
+  total.sendFailures += live.sendFailures;
+  total.bytesSent += live.bytesSent;
+  total.gridRebuilds += live.gridRebuilds;
+  return total;
+}
+
+bool CorridorShard::rsuDark(std::uint32_t segment, std::uint32_t epoch) const {
+  for (const fault::SegmentRsuOutageEvent& outage : config_.faults.rsuOutages) {
+    if (outage.segment == segment && epoch >= outage.fromEpoch &&
+        epoch < outage.untilEpoch) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CorridorShard::forEachSegment(
+    const std::function<void(std::uint32_t segment,
+                             const std::vector<common::Address>& isolated,
+                             const core::LiteDetector& detector)>& fn) const {
+  for (const auto& segment : segments_) {
+    fn(segment->index, segment->isolated, *segment->detector);
+  }
 }
 
 void CorridorShard::installRsuHandlers(Segment& segment) {
   Segment* seg = &segment;
   segment.rsu->addHandler([this, seg](const net::Frame& frame) {
+    // A dark RSU is off the air: frames are consumed but never observed, so
+    // no reports, no probes, no verdicts originate here during an outage.
+    if (rsuDark(seg->index, currentEpoch_)) return true;
     switch (frame.payload->kind()) {
       case net::PayloadKind::kCorridorBeacon:
         metrics_.counter("corridor.beacons").add(1);
@@ -306,35 +354,44 @@ void CorridorShard::installRsuHandlers(Segment& segment) {
         return false;
     }
   });
-  segment.rsu->addFailureHandler([seg](const net::Frame& frame) {
+  segment.rsu->addFailureHandler([this, seg](const net::Frame& frame) {
+    if (rsuDark(seg->index, currentEpoch_)) return;
     if (frame.payload->kind() == net::PayloadKind::kCorridorProbe) {
       seg->detector->onProbeUnreachable(frame.dst);
     }
   });
 }
 
-void CorridorShard::spawnVehicle(Segment& segment, std::uint32_t id,
+void CorridorShard::buildVehicle(Segment& segment, std::uint32_t id,
                                  std::vector<common::Address> blacklist,
-                                 CorridorLogKind logKind, std::uint32_t epoch) {
+                                 std::int64_t anchorUs) {
   auto vehicle = std::make_unique<Vehicle>();
   vehicle->id = id;
   vehicle->spec = vehicleSpec(config_, id);
+  vehicle->anchorUs = anchorUs;
   vehicle->blacklist = std::move(blacklist);
-  const double x = vehicleX(vehicle->spec, sim_.now().us());
+  const double x = vehicleX(vehicle->spec, anchorUs);
   const double vx = vehicle->spec.eastbound ? vehicle->spec.speedMps
                                             : -vehicle->spec.speedMps;
   vehicle->node = std::make_unique<net::BasicNode>(
       sim_, medium_, common::NodeId{1 + id},
       mobility::LinearMotion::withVelocity(
-          {x, segment.index * kSegmentYSpacingM}, vx, 0.0, sim_.now()));
+          {x, segment.index * kSegmentYSpacingM}, vx, 0.0,
+          sim::TimePoint::fromUs(anchorUs)));
   vehicle->node->setLocalAddress(vehicleAddress(id));
   installVehicleHandlers(segment, *vehicle);
+  segment.vehicles.emplace(id, std::move(vehicle));
+}
+
+void CorridorShard::spawnVehicle(Segment& segment, std::uint32_t id,
+                                 std::vector<common::Address> blacklist,
+                                 CorridorLogKind logKind, std::uint32_t epoch) {
+  buildVehicle(segment, id, std::move(blacklist), sim_.now().us());
   segment.log.push_back({epoch, static_cast<std::uint8_t>(logKind),
                          vehicleAddress(id).value(), 0, 0});
   if (logKind == CorridorLogKind::kJoin) {
     metrics_.counter("corridor.joins").add(1);
   }
-  segment.vehicles.emplace(id, std::move(vehicle));
 }
 
 void CorridorShard::installVehicleHandlers(Segment& /*segment*/,
@@ -417,7 +474,13 @@ void CorridorShard::installVehicleHandlers(Segment& /*segment*/,
 
 void CorridorShard::startDataChain(Segment& /*segment*/, Vehicle& vehicle,
                                    std::uint32_t epoch) {
-  if (vehicle.digest == nullptr || vehicle.digest->members.size() < 3) return;
+  // A stale digest (previous epoch, or restored-from-checkpoint null) must
+  // not seed a chain: membership may have changed, and a dark RSU issues no
+  // digest at all — both cases correctly suppress this epoch's traffic.
+  if (vehicle.digest == nullptr || vehicle.digest->epoch != epoch ||
+      vehicle.digest->members.size() < 3) {
+    return;
+  }
   const common::Address self = vehicle.node->localAddress();
   const auto& members = vehicle.digest->members;
   const auto pick = [&](std::uint64_t h, common::Address avoid) {
@@ -459,29 +522,35 @@ void CorridorShard::startDataChain(Segment& /*segment*/, Vehicle& vehicle,
 }
 
 void CorridorShard::beginEpoch(Segment& segment, std::uint32_t epoch) {
-  // Member digest at +200 us: membership is fixed for the whole epoch, so
-  // the payload is built now and shared by every receiver.
-  std::vector<common::Address> members;
-  members.reserve(segment.vehicles.size());
-  for (const auto& [id, vehicle] : segment.vehicles) {
-    const common::Address address = vehicleAddress(id);
-    if (!containsSorted(segment.isolated, address)) {
-      members.push_back(address);
+  // A dark RSU issues no digest and runs no detector round. Vehicles still
+  // beacon and try to chain, but the digest-epoch gate suppresses chains, so
+  // the dark segment generates no reports — only envelope-borne effects
+  // (revocation gossip, migrations, handoffs) advance its state.
+  if (!rsuDark(segment.index, epoch)) {
+    // Member digest at +200 us: membership is fixed for the whole epoch, so
+    // the payload is built now and shared by every receiver.
+    std::vector<common::Address> members;
+    members.reserve(segment.vehicles.size());
+    for (const auto& [id, vehicle] : segment.vehicles) {
+      const common::Address address = vehicleAddress(id);
+      if (!containsSorted(segment.isolated, address)) {
+        members.push_back(address);
+      }
     }
-  }
-  const net::PayloadPtr digest = net::makePayload<CorridorDigest>(
-      segment.index, rsuAddress(segment.index), std::move(members));
-  net::BasicNode* rsu = segment.rsu.get();
-  sim_.schedule(sim::Duration::microseconds(200),
-                [rsu, digest] { rsu->broadcast(digest); });
+    const net::PayloadPtr digest = net::makePayload<CorridorDigest>(
+        segment.index, epoch, rsuAddress(segment.index), std::move(members));
+    net::BasicNode* rsu = segment.rsu.get();
+    sim_.schedule(sim::Duration::microseconds(200),
+                  [rsu, digest] { rsu->broadcast(digest); });
 
-  // One probe round per live session; absent suspects hand off.
-  segment.detector->beginEpoch([&segment](common::Address suspect) {
-    if (suspect.value() < kVehicleAddressBase) return false;
-    const auto id =
-        static_cast<std::uint32_t>(suspect.value() - kVehicleAddressBase);
-    return segment.vehicles.find(id) != segment.vehicles.end();
-  });
+    // One probe round per live session; absent suspects hand off.
+    segment.detector->beginEpoch([&segment](common::Address suspect) {
+      if (suspect.value() < kVehicleAddressBase) return false;
+      const auto id =
+          static_cast<std::uint32_t>(suspect.value() - kVehicleAddressBase);
+      return segment.vehicles.find(id) != segment.vehicles.end();
+    });
+  }
 
   // Per-vehicle traffic: a beacon each, a data chain for roughly half.
   for (const auto& [id, vehiclePtr] : segment.vehicles) {
@@ -621,6 +690,7 @@ void CorridorShard::runEpoch(std::uint32_t epoch,
       sim::TimePoint::fromUs(static_cast<std::int64_t>(epoch + 1) * kEpochUs);
   BDP_ASSERT_MSG(sim_.now() == start, "epochs must run in order");
 
+  epochsRun_ = true;
   outbox_ = &outbox;
   currentEpoch_ = epoch;
   for (auto& segment : segments_) segment->seq = 0;
@@ -676,11 +746,119 @@ void CorridorShard::foldFinalStats() {
   }
   // Medium stats minus gridRebuilds: rebuild cadence depends on per-shard
   // attach/invalidate patterns, so it is the one non-invariant stat.
-  const net::MediumStats& m = medium_.stats();
+  const net::MediumStats m = mediumStats();
   metrics_.counter("medium.frames_sent").add(m.framesSent);
   metrics_.counter("medium.frames_delivered").add(m.framesDelivered);
   metrics_.counter("medium.send_failures").add(m.sendFailures);
   metrics_.counter("medium.bytes_sent").add(m.bytesSent);
+}
+
+void CorridorShard::saveState(common::ByteWriter& writer) const {
+  BDP_ASSERT_MSG(outbox_ == nullptr, "saveState mid-epoch");
+  writer.writeI64(sim_.now().us());
+  writer.writeU32(static_cast<std::uint32_t>(segments_.size()));
+  for (const auto& segment : segments_) {
+    writer.writeU32(segment->index);
+    writer.writeU32(static_cast<std::uint32_t>(segment->isolated.size()));
+    for (const common::Address address : segment->isolated) {
+      writer.writeId(address);
+    }
+    segment->detector->saveState(writer);
+    writer.writeU32(static_cast<std::uint32_t>(segment->vehicles.size()));
+    for (const auto& [id, vehicle] : segment->vehicles) {
+      writer.writeU32(id);
+      writer.writeI64(vehicle->anchorUs);
+      writer.writeU32(static_cast<std::uint32_t>(vehicle->blacklist.size()));
+      for (const common::Address address : vehicle->blacklist) {
+        writer.writeId(address);
+      }
+    }
+    writer.writeU32(static_cast<std::uint32_t>(segment->log.size()));
+    for (const CorridorLogRecord& record : segment->log) {
+      writer.writeU32(record.epoch);
+      writer.writeU8(record.kind);
+      writer.writeU64(record.a);
+      writer.writeU64(record.b);
+      writer.writeU64(record.value);
+    }
+  }
+  obs::serializeSnapshot(metrics_.snapshot(), writer);
+  // Effective medium stats become the restored shard's baseline; the live
+  // medium then counts only post-restore traffic. gridRebuilds is excluded
+  // on purpose (non-invariant, never folded).
+  const net::MediumStats m = mediumStats();
+  writer.writeU64(m.framesSent);
+  writer.writeU64(m.framesDelivered);
+  writer.writeU64(m.framesLost);
+  writer.writeU64(m.framesFaultDropped);
+  writer.writeU64(m.framesBurstDropped);
+  writer.writeU64(m.framesJamDropped);
+  writer.writeU64(m.sendFailures);
+  writer.writeU64(m.bytesSent);
+}
+
+void CorridorShard::restoreState(common::ByteReader& reader) {
+  BDP_ASSERT_MSG(!epochsRun_ && !folded_,
+                 "restoreState requires a freshly constructed shard");
+  const std::int64_t nowUs = reader.readI64();
+  if (nowUs < 0 || nowUs % kEpochUs != 0) {
+    throw std::out_of_range{"corridor restore: clock not an epoch boundary"};
+  }
+  sim_.fastForward(sim::TimePoint::fromUs(nowUs));
+  currentEpoch_ = static_cast<std::uint32_t>(nowUs / kEpochUs);
+  const std::uint32_t segmentCount = reader.readU32();
+  if (segmentCount != segments_.size()) {
+    throw std::out_of_range{"corridor restore: segment count mismatch"};
+  }
+  for (auto& segment : segments_) {
+    const std::uint32_t index = reader.readU32();
+    if (index != segment->index) {
+      throw std::out_of_range{"corridor restore: segment index mismatch"};
+    }
+    const std::uint32_t isolatedCount = reader.readU32();
+    for (std::uint32_t i = 0; i < isolatedCount; ++i) {
+      segment->isolated.push_back(reader.readId<common::Address>());
+    }
+    if (!std::is_sorted(segment->isolated.begin(), segment->isolated.end())) {
+      throw std::out_of_range{"corridor restore: isolation list not sorted"};
+    }
+    segment->detector->restoreState(reader);
+    const std::uint32_t vehicleCount = reader.readU32();
+    for (std::uint32_t i = 0; i < vehicleCount; ++i) {
+      const std::uint32_t id = reader.readU32();
+      const std::int64_t anchorUs = reader.readI64();
+      const std::uint32_t blacklistCount = reader.readU32();
+      std::vector<common::Address> blacklist;
+      for (std::uint32_t j = 0; j < blacklistCount; ++j) {
+        blacklist.push_back(reader.readId<common::Address>());
+      }
+      if (id >= config_.vehicles || anchorUs < 0 || anchorUs > nowUs) {
+        throw std::out_of_range{"corridor restore: implausible vehicle"};
+      }
+      buildVehicle(*segment, id, std::move(blacklist), anchorUs);
+    }
+    const std::uint32_t logCount = reader.readU32();
+    segment->log.reserve(logCount < 4096 ? logCount : 4096);
+    for (std::uint32_t i = 0; i < logCount; ++i) {
+      CorridorLogRecord record;
+      record.epoch = reader.readU32();
+      record.kind = reader.readU8();
+      record.a = reader.readU64();
+      record.b = reader.readU64();
+      record.value = reader.readU64();
+      segment->log.push_back(record);
+    }
+  }
+  metrics_.merge(obs::deserializeSnapshot(reader));
+  mediumBaseline_ = net::MediumStats{};
+  mediumBaseline_.framesSent = reader.readU64();
+  mediumBaseline_.framesDelivered = reader.readU64();
+  mediumBaseline_.framesLost = reader.readU64();
+  mediumBaseline_.framesFaultDropped = reader.readU64();
+  mediumBaseline_.framesBurstDropped = reader.readU64();
+  mediumBaseline_.framesJamDropped = reader.readU64();
+  mediumBaseline_.sendFailures = reader.readU64();
+  mediumBaseline_.bytesSent = reader.readU64();
 }
 
 // ----------------------------------------------------------- CorridorWorld
@@ -697,21 +875,183 @@ CorridorWorld::CorridorWorld(CorridorConfig config, std::uint32_t shards,
         config_, plan_.firstSegment(s), plan_.segmentCount(s)));
     worlds.push_back(shards_.back().get());
   }
-  sharded_.emplace(plan_, std::move(worlds), pool);
+  shard::ShardedSimulation::Config shardConfig;
+  shardConfig.snapshotEvery = effectiveSupervisionEvery(config_);
+  sharded_.emplace(plan_, std::move(worlds), pool, shardConfig);
 }
 
 CorridorWorld::~CorridorWorld() = default;
 
 void CorridorWorld::run(std::uint32_t epochs) {
-  BDP_ASSERT_MSG(!ran_, "CorridorWorld::run is one-shot");
-  ran_ = true;
-  sharded_->runEpochs(epochs);
+  while (nextEpoch() < epochs) step();
+  finish();
+}
+
+void CorridorWorld::step() {
+  BDP_ASSERT_MSG(!finished_, "step after finish");
+  const std::uint32_t epoch = sharded_->epoch();
+  for (const fault::ShardCrashEvent& crash : config_.faults.shardCrashes) {
+    if (crash.epoch != epoch) continue;
+    BDP_ASSERT_MSG(crash.shard < plan_.shards(),
+                   "scripted crash for a nonexistent shard");
+    auto fresh = std::make_unique<CorridorShard>(
+        config_, plan_.firstSegment(crash.shard),
+        plan_.segmentCount(crash.shard));
+    sharded_->restartShard(crash.shard, fresh.get());
+    shards_[crash.shard] = std::move(fresh);
+  }
+  sharded_->runEpoch();
+}
+
+void CorridorWorld::finish() {
+  if (finished_) return;
+  finished_ = true;
   for (auto& shard : shards_) shard->foldFinalStats();
+}
+
+std::uint32_t CorridorWorld::nextEpoch() const { return sharded_->epoch(); }
+
+common::Bytes CorridorWorld::saveCheckpoint() const {
+  codec::CheckpointBuilder builder;
+  {
+    common::ByteWriter w;
+    w.writeU64(configHash());
+    w.writeU64(config_.seed);
+    w.writeU32(sharded_->epoch());
+    w.writeU32(plan_.shards());
+    w.writeU32(config_.segments);
+    w.writeU32(config_.vehicles);
+    builder.add(codec::CheckpointTag::kCorridorMeta, std::move(w).take());
+  }
+  for (const auto& shard : shards_) {
+    common::ByteWriter w;
+    shard->saveState(w);
+    builder.add(codec::CheckpointTag::kCorridorShard, std::move(w).take());
+  }
+  {
+    common::ByteWriter w;
+    const auto& inboxes = sharded_->inboxes();
+    w.writeU32(static_cast<std::uint32_t>(inboxes.size()));
+    for (const auto& inbox : inboxes) {
+      w.writeU32(static_cast<std::uint32_t>(inbox.size()));
+      for (const shard::Envelope& envelope : inbox) {
+        shard::serializeEnvelope(envelope, w);
+      }
+    }
+    builder.add(codec::CheckpointTag::kCorridorExchange, std::move(w).take());
+  }
+  return builder.finish();
+}
+
+common::Status CorridorWorld::restoreCheckpoint(
+    std::span<const std::uint8_t> blob) {
+  BDP_ASSERT_MSG(sharded_->epoch() == 0 && !finished_,
+                 "restore requires a freshly constructed world");
+  const auto malformed = [](const std::string& detail) {
+    return common::Status{common::Error{"malformed", detail}};
+  };
+  auto decoded = codec::decodeCheckpoint(blob);
+  if (!decoded.ok()) return common::Status{decoded.error()};
+  const codec::Checkpoint& checkpoint = decoded.value();
+
+  const common::Bytes* meta =
+      checkpoint.find(codec::CheckpointTag::kCorridorMeta);
+  if (meta == nullptr) return malformed("missing corridor meta section");
+  std::uint32_t epoch = 0;
+  try {
+    common::ByteReader reader{*meta};
+    const std::uint64_t hash = reader.readU64();
+    const std::uint64_t seed = reader.readU64();
+    epoch = reader.readU32();
+    const std::uint32_t shardCount = reader.readU32();
+    const std::uint32_t segments = reader.readU32();
+    const std::uint32_t vehicles = reader.readU32();
+    if (!reader.exhausted()) return malformed("trailing meta bytes");
+    if (hash != configHash() || seed != config_.seed ||
+        shardCount != plan_.shards() || segments != config_.segments ||
+        vehicles != config_.vehicles) {
+      return common::Status{common::Error{
+          "config-mismatch",
+          "checkpoint was written under a different corridor config"}};
+    }
+  } catch (const std::exception&) {
+    return malformed("truncated corridor meta section");
+  }
+
+  const std::vector<const common::Bytes*> shardSections =
+      checkpoint.findAll(codec::CheckpointTag::kCorridorShard);
+  if (shardSections.size() != plan_.shards()) {
+    return malformed("shard section count does not match the plan");
+  }
+  try {
+    for (std::uint32_t s = 0; s < plan_.shards(); ++s) {
+      common::ByteReader reader{*shardSections[s]};
+      shards_[s]->restoreState(reader);
+      if (!reader.exhausted()) return malformed("trailing shard bytes");
+    }
+    const common::Bytes* exchange =
+        checkpoint.find(codec::CheckpointTag::kCorridorExchange);
+    if (exchange == nullptr) return malformed("missing exchange section");
+    common::ByteReader reader{*exchange};
+    const std::uint32_t count = reader.readU32();
+    if (count != plan_.shards()) {
+      return malformed("exchange inbox count does not match the plan");
+    }
+    std::vector<std::vector<shard::Envelope>> inboxes(count);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      const std::uint32_t envelopes = reader.readU32();
+      for (std::uint32_t i = 0; i < envelopes; ++i) {
+        inboxes[s].push_back(shard::deserializeEnvelope(reader));
+      }
+    }
+    if (!reader.exhausted()) return malformed("trailing exchange bytes");
+    sharded_->restoreExchange(epoch, std::move(inboxes));
+  } catch (const std::exception& e) {
+    // ByteReader underruns (std::out_of_range), semantic cross-checks in
+    // restoreState, and allocation blow-ups on fuzzed counts all land here:
+    // typed error out, never UB. The world is torn and must be discarded.
+    return malformed(e.what());
+  }
+  return common::Status::success();
+}
+
+std::uint64_t CorridorWorld::configHash() const {
+  std::uint64_t h = corridorHash(config_.seed, config_.segments,
+                                 config_.vehicles, 90);
+  h = corridorHash(h, config_.attackerPermille, config_.departPermille, 91);
+  h = corridorHash(h, config_.detector.probesToConfirm,
+                   config_.detector.maxProbes, 92);
+  h = corridorHash(h, config_.detector.maxForwards, plan_.shards(), 93);
+  h = corridorHash(h, effectiveSupervisionEvery(config_), 0, 94);
+  for (const fault::ShardCrashEvent& crash : config_.faults.shardCrashes) {
+    h = corridorHash(h, crash.epoch, crash.shard, 95);
+  }
+  for (const fault::SegmentRsuOutageEvent& outage : config_.faults.rsuOutages) {
+    h = corridorHash(h, outage.segment, outage.fromEpoch, 96);
+    h = corridorHash(h, outage.untilEpoch, 0, 97);
+  }
+  return h;
+}
+
+void CorridorWorld::forEachSegment(
+    const std::function<void(std::uint32_t segment,
+                             const std::vector<common::Address>& isolated,
+                             const core::LiteDetector& detector)>& fn) const {
+  // Shards hold contiguous ascending regions, so walking shards in order
+  // visits segments 0..segments-1 ascending.
+  for (const auto& shard : shards_) shard->forEachSegment(fn);
 }
 
 obs::Snapshot CorridorWorld::metricsSnapshot() const {
   obs::MetricsRegistry merged;
   for (const auto& shard : shards_) merged.merge(shard->metrics().snapshot());
+  // Deterministic integrity counters (zero on every healthy run, regardless
+  // of partition) join the invariant surface; the machine-dependent and
+  // recovery-path counters stay in the bench sidecar only.
+  const shard::ShardStats& stats = sharded_->stats();
+  merged.counter("shard.epoch_violations").add(stats.epochViolations);
+  merged.counter("shard.seq_violations").add(stats.seqViolations);
+  merged.counter("shard.crc_rejects").add(stats.crcRejects);
   return merged.snapshot();
 }
 

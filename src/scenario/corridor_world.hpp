@@ -41,13 +41,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "core/lite_detector.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/frame.hpp"
 #include "net/medium.hpp"
 #include "net/node.hpp"
@@ -71,17 +75,20 @@ class CorridorBeacon final : public net::Payload {
 class CorridorDigest final : public net::Payload {
  public:
   static constexpr net::PayloadKind kKind = net::PayloadKind::kCorridorDigest;
-  CorridorDigest(std::uint32_t segmentIn, common::Address rsuIn,
+  CorridorDigest(std::uint32_t segmentIn, std::uint32_t epochIn,
+                 common::Address rsuIn,
                  std::vector<common::Address> membersIn)
       : Payload{kKind},
         segment{segmentIn},
+        epoch{epochIn},
         rsu{rsuIn},
         members{std::move(membersIn)} {}
   [[nodiscard]] std::string_view typeName() const override { return "cdigest"; }
   [[nodiscard]] std::uint32_t sizeBytes() const override {
-    return 16 + 8 * static_cast<std::uint32_t>(members.size());
+    return 20 + 8 * static_cast<std::uint32_t>(members.size());
   }
   std::uint32_t segment;
+  std::uint32_t epoch;  ///< issue epoch; chains refuse a stale digest
   common::Address rsu;
   std::vector<common::Address> members;  ///< sorted, isolated excluded
 };
@@ -170,6 +177,13 @@ struct CorridorConfig {
   std::uint32_t attackerPermille{10};  ///< ~1% black holes
   std::uint32_t departPermille{20};    ///< ~2% leave mid-run (epochs 6-9)
   core::LiteDetector::Config detector{};
+  /// Scripted infrastructure faults. Only shardCrashes and rsuOutages are
+  /// meaningful in the corridor; both are epoch-indexed and part of the
+  /// config hash, so a checkpoint can only resume under the same plan.
+  fault::FaultPlan faults{};
+  /// Supervisor snapshot interval in epochs. 0 = auto: supervision turns on
+  /// (every 2 epochs) iff faults.shardCrashes is non-empty.
+  std::uint32_t supervisionEvery{0};
 };
 
 /// Everything there is to know about one vehicle, as a pure hash of
@@ -257,13 +271,28 @@ class CorridorShard final : public shard::ShardWorld {
   void runEpoch(std::uint32_t epoch, std::span<const shard::Envelope> inbox,
                 std::vector<shard::Envelope>& outbox) override;
 
+  /// Serializes the shard's complete epoch-boundary state: per-segment
+  /// isolation lists, detector sessions + stats, resident vehicles (id,
+  /// motion anchor, blacklist), the full canonical log, the metrics
+  /// registry, and the effective medium stats. Everything transient
+  /// (digests, chains, ack timers) is dead at a boundary by construction,
+  /// so it is not saved.
+  void saveState(common::ByteWriter& writer) const override;
+
+  /// Inverse of saveState into a freshly constructed shard. Restored
+  /// vehicles re-anchor their LinearMotion at the ORIGINAL anchor time, so
+  /// positions stay bit-identical to the uninterrupted run.
+  void restoreState(common::ByteReader& reader) override;
+
   /// Folds detector and medium stats into the registry; call once, after
   /// the final epoch. gridRebuilds is deliberately NOT folded — it depends
   /// on per-shard attach patterns and is the one non-invariant medium stat.
   void foldFinalStats();
 
   [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
-  [[nodiscard]] const net::MediumStats& mediumStats() const;
+  /// Effective medium stats: live counters plus the restored baseline of
+  /// every pre-checkpoint epoch.
+  [[nodiscard]] net::MediumStats mediumStats() const;
   [[nodiscard]] std::uint32_t firstSegment() const { return firstSegment_; }
   [[nodiscard]] std::uint32_t segmentCount() const {
     return static_cast<std::uint32_t>(segments_.size());
@@ -271,6 +300,13 @@ class CorridorShard final : public shard::ShardWorld {
   /// Canonical log of global segment `segment` (owned by this shard).
   [[nodiscard]] const std::vector<CorridorLogRecord>& segmentLog(
       std::uint32_t segment) const;
+
+  /// Read-only walk over owned segments ascending: global index, isolation
+  /// list, detector — the soak invariants' inspection surface.
+  void forEachSegment(
+      const std::function<void(std::uint32_t segment,
+                               const std::vector<common::Address>& isolated,
+                               const core::LiteDetector& detector)>& fn) const;
 
  private:
   struct Vehicle;
@@ -283,11 +319,16 @@ class CorridorShard final : public shard::ShardWorld {
   void spawnVehicle(Segment& segment, std::uint32_t id,
                     std::vector<common::Address> blacklist,
                     CorridorLogKind logKind, std::uint32_t epoch);
+  void buildVehicle(Segment& segment, std::uint32_t id,
+                    std::vector<common::Address> blacklist,
+                    std::int64_t anchorUs);
   void emit(Segment& from, std::uint32_t dstSegment, CorridorEnvelopeKind kind,
             common::Bytes body);
   void installRsuHandlers(Segment& segment);
   void installVehicleHandlers(Segment& segment, Vehicle& vehicle);
   void startDataChain(Segment& segment, Vehicle& vehicle, std::uint32_t epoch);
+  /// True while `segment`'s RSU is scripted dark for `epoch`.
+  [[nodiscard]] bool rsuDark(std::uint32_t segment, std::uint32_t epoch) const;
 
   CorridorConfig config_;
   std::uint32_t firstSegment_;
@@ -301,6 +342,10 @@ class CorridorShard final : public shard::ShardWorld {
   std::vector<shard::Envelope>* outbox_{nullptr};
   std::uint32_t currentEpoch_{0};
   bool folded_{false};
+  bool epochsRun_{false};  ///< guards restoreState into a used shard
+  /// Medium stats accumulated before the restore point (restoreState sets
+  /// it; the live medium counts only post-restore traffic).
+  net::MediumStats mediumBaseline_{};
 };
 
 // ------------------------------------------------------------------ world
@@ -315,7 +360,41 @@ class CorridorWorld {
                 sim::ThreadPool& pool);
   ~CorridorWorld();
 
+  /// Runs up to the ABSOLUTE epoch target (so a restored world continues
+  /// from its checkpoint), then folds final stats. Equivalent to
+  /// `while (nextEpoch() < epochs) step(); finish();`.
   void run(std::uint32_t epochs);
+
+  /// Advances one epoch, applying any scripted shard crash for this epoch
+  /// first (the supervisor rebuilds the crashed shard from its snapshot and
+  /// replays the retained inboxes before the epoch runs).
+  void step();
+
+  /// Folds final stats into the per-shard registries; idempotent. The
+  /// metrics surfaces are meaningful only after this.
+  void finish();
+
+  /// The next epoch step() would run (== epochs completed so far).
+  [[nodiscard]] std::uint32_t nextEpoch() const;
+
+  /// Serializes the whole world at the current epoch boundary as a BDPC
+  /// checkpoint envelope: config hash + per-shard state + the in-flight
+  /// cross-shard inboxes.
+  [[nodiscard]] common::Bytes saveCheckpoint() const;
+
+  /// Restores a saveCheckpoint blob into this FRESHLY CONSTRUCTED world
+  /// (same config, same shard count — both enforced via the config hash).
+  /// Returns the typed decode error ("bad-magic", "bad-crc", ...),
+  /// "config-mismatch", or "malformed" on failure; the world must be
+  /// discarded after a failed restore.
+  [[nodiscard]] common::Status restoreCheckpoint(
+      std::span<const std::uint8_t> blob);
+
+  /// Read-only walk over ALL segments ascending (soak invariants).
+  void forEachSegment(
+      const std::function<void(std::uint32_t segment,
+                               const std::vector<common::Address>& isolated,
+                               const core::LiteDetector& detector)>& fn) const;
 
   /// Deterministic, partition-invariant: merged per-shard registries
   /// (segment-ascending) rendered as a metrics snapshot JSON document.
@@ -337,11 +416,16 @@ class CorridorWorld {
   [[nodiscard]] std::uint32_t shards() const;
 
  private:
+  /// Pure hash over every behavior-determining config field (seed, sizes,
+  /// permilles, detector knobs, shard count, supervision, fault plan) —
+  /// the resume guard in the checkpoint meta section.
+  [[nodiscard]] std::uint64_t configHash() const;
+
   CorridorConfig config_;
   shard::ShardPlan plan_;
   std::vector<std::unique_ptr<CorridorShard>> shards_;
   std::optional<shard::ShardedSimulation> sharded_;
-  bool ran_{false};
+  bool finished_{false};
 };
 
 }  // namespace blackdp::scenario

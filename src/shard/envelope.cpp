@@ -1,0 +1,33 @@
+#include "shard/envelope.hpp"
+
+#include "codec/checkpoint.hpp"
+
+namespace blackdp::shard {
+
+void serializeEnvelope(const Envelope& envelope, common::ByteWriter& writer) {
+  writer.writeU32(envelope.srcSegment);
+  writer.writeU32(envelope.dstSegment);
+  writer.writeU32(envelope.seq);
+  writer.writeU8(envelope.kind);
+  writer.writeBlob(envelope.body);
+}
+
+Envelope deserializeEnvelope(common::ByteReader& reader) {
+  Envelope envelope;
+  envelope.srcSegment = reader.readU32();
+  envelope.dstSegment = reader.readU32();
+  envelope.seq = reader.readU32();
+  envelope.kind = reader.readU8();
+  envelope.body = reader.readBlob();
+  return envelope;
+}
+
+BatchSeal sealBatch(std::span<const Envelope> batch) {
+  common::ByteWriter writer;
+  for (const Envelope& envelope : batch) serializeEnvelope(envelope, writer);
+  const common::Bytes bytes = std::move(writer).take();
+  return BatchSeal{static_cast<std::uint32_t>(batch.size()),
+                   codec::crc32(bytes)};
+}
+
+}  // namespace blackdp::shard

@@ -20,9 +20,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/bytes.hpp"
 
 namespace blackdp::shard {
 
@@ -45,6 +47,27 @@ struct Envelope {
   if (x.srcSegment != y.srcSegment) return x.srcSegment < y.srcSegment;
   return x.seq < y.seq;
 }
+
+/// Canonical wire form of one envelope (checkpoints + batch seals):
+/// u32 srcSegment | u32 dstSegment | u32 seq | u8 kind | blob body.
+void serializeEnvelope(const Envelope& envelope, common::ByteWriter& writer);
+
+/// Inverse of serializeEnvelope. Throws std::out_of_range on truncation
+/// (the ByteReader contract); callers map that to a typed error.
+[[nodiscard]] Envelope deserializeEnvelope(common::ByteReader& reader);
+
+/// Integrity seal over one shard's epoch outbox: the envelope count plus a
+/// CRC-32/ISO-HDLC over the concatenated canonical wire forms. Computed on
+/// the emitting worker, verified on the coordinator before the merge — any
+/// corruption of the batch between the two is a kCrcMismatch.
+struct BatchSeal {
+  std::uint32_t count{0};
+  std::uint32_t crc{0};
+
+  friend bool operator==(const BatchSeal&, const BatchSeal&) = default;
+};
+
+[[nodiscard]] BatchSeal sealBatch(std::span<const Envelope> batch);
 
 /// Contiguous partition of `segments` corridor segments into `shards`
 /// regions. The first `segments % shards` regions get one extra segment, so

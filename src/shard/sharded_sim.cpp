@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -16,7 +17,7 @@ ShardedSimulation::ShardedSimulation(ShardPlan plan,
     : plan_{std::move(plan)},
       worlds_{std::move(worlds)},
       pool_{pool},
-      config_{config} {
+      config_{std::move(config)} {
   BDP_ASSERT_MSG(worlds_.size() == plan_.shards(),
                  "one ShardWorld per plan region");
   for (ShardWorld* world : worlds_) {
@@ -24,6 +25,7 @@ ShardedSimulation::ShardedSimulation(ShardPlan plan,
   }
   inboxes_.resize(worlds_.size());
   outboxes_.resize(worlds_.size());
+  snapshots_.resize(worlds_.size());
   stats_.busySeconds.assign(worlds_.size(), 0.0);
 }
 
@@ -32,18 +34,117 @@ ShardedSimulation::ShardedSimulation(ShardPlan plan,
                                      sim::ThreadPool& pool)
     : ShardedSimulation{std::move(plan), std::move(worlds), pool, Config{}} {}
 
+void ShardedSimulation::takeSnapshots() {
+  pool_.parallelFor(worlds_.size(), [&](std::size_t s) {
+    common::ByteWriter writer;
+    worlds_[s]->saveState(writer);
+    snapshots_[s] = std::move(writer).take();
+  });
+  if (!pool_.failures().empty()) {
+    std::rethrow_exception(pool_.failures().front().error);
+  }
+  hasSnapshot_ = true;
+  snapshotEpoch_ = epoch_;
+  history_.clear();
+  history_.push_back(inboxes_);  // inboxes for epoch snapshotEpoch_
+}
+
+void ShardedSimulation::verifyOutbox(std::uint32_t epoch, std::uint32_t s,
+                                     const BatchSeal& seal) {
+  const std::vector<Envelope>& outbox = outboxes_[s];
+  if (config_.verifySeals && sealBatch(outbox) != seal) {
+    ++stats_.crcRejects;
+    throw ShardIntegrityError{
+        IntegrityViolation::kCrcMismatch, epoch,
+        "shard " + std::to_string(s) + " outbox does not match its seal (" +
+            std::to_string(outbox.size()) + " envelopes)"};
+  }
+  const std::uint32_t regionFirst = plan_.firstSegment(s);
+  const std::uint32_t regionEnd = regionFirst + plan_.segmentCount(s);
+  // lastSeq per source segment of this region, tracking emission order.
+  std::vector<std::int64_t> lastSeq(regionEnd - regionFirst, -1);
+  for (const Envelope& e : outbox) {
+    if (e.srcSegment < regionFirst || e.srcSegment >= regionEnd ||
+        e.dstSegment >= plan_.segments()) {
+      ++stats_.seqViolations;
+      throw ShardIntegrityError{
+          IntegrityViolation::kOutOfPlan, epoch,
+          "shard " + std::to_string(s) + " emitted src=" +
+              std::to_string(e.srcSegment) + " dst=" +
+              std::to_string(e.dstSegment) + " outside its region/plan"};
+    }
+    const std::uint32_t hops = e.dstSegment > e.srcSegment
+                                   ? e.dstSegment - e.srcSegment
+                                   : e.srcSegment - e.dstSegment;
+    if (hops > config_.maxSegmentHops) {
+      ++stats_.epochViolations;
+      throw ShardIntegrityError{
+          IntegrityViolation::kEpochHops, epoch,
+          "envelope src=" + std::to_string(e.srcSegment) + " dst=" +
+              std::to_string(e.dstSegment) + " travels " +
+              std::to_string(hops) + " segments (bound " +
+              std::to_string(config_.maxSegmentHops) + ")"};
+    }
+    std::int64_t& last = lastSeq[e.srcSegment - regionFirst];
+    if (static_cast<std::int64_t>(e.seq) <= last) {
+      ++stats_.seqViolations;
+      const bool duplicate = static_cast<std::int64_t>(e.seq) == last;
+      throw ShardIntegrityError{
+          duplicate ? IntegrityViolation::kSeqDuplicate
+                    : IntegrityViolation::kSeqReorder,
+          epoch,
+          "src=" + std::to_string(e.srcSegment) + " emitted seq " +
+              std::to_string(e.seq) + " after seq " + std::to_string(last)};
+    }
+    last = static_cast<std::int64_t>(e.seq);
+  }
+}
+
+void ShardedSimulation::verifyMerged(std::uint32_t epoch) {
+  // Post-sort: per source segment the seq values must be exactly 0..n-1.
+  // Duplicates and reorders were rejected per-outbox; what remains
+  // detectable here is a missing emission (a gap), including a missing
+  // seq 0 at the start of a segment's run.
+  std::uint32_t expected = 0;
+  for (std::size_t i = 0; i < merged_.size(); ++i) {
+    const Envelope& e = merged_[i];
+    if (i == 0 || merged_[i - 1].srcSegment != e.srcSegment) expected = 0;
+    if (e.seq != expected) {
+      ++stats_.seqViolations;
+      throw ShardIntegrityError{
+          IntegrityViolation::kSeqGap, epoch,
+          "src=" + std::to_string(e.srcSegment) + " expected seq " +
+              std::to_string(expected) + " but saw " +
+              std::to_string(e.seq)};
+    }
+    ++expected;
+  }
+}
+
 void ShardedSimulation::runEpoch() {
   const std::uint32_t shards = plan_.shards();
   const std::uint32_t epoch = epoch_;
 
-  // Fan out: each shard applies its inbox and runs one epoch. Busy time is
-  // written into a private slot per shard — no sharing between workers.
+  // Supervisor snapshot: every K epochs (and unconditionally before the
+  // first epoch after construction or restoreExchange) serialize every
+  // world and restart the inbox replay buffer. Snapshots are read-only
+  // with respect to the run, so the run's surfaces are unchanged.
+  if (config_.snapshotEvery > 0 &&
+      (!hasSnapshot_ || (epoch_ % config_.snapshotEvery) == 0)) {
+    takeSnapshots();
+  }
+
+  // Fan out: each shard applies its inbox and runs one epoch, then seals
+  // its outbox. Busy time and the seal are written into private slots per
+  // shard — no sharing between workers.
   std::vector<double> epochBusy(shards, 0.0);
+  std::vector<BatchSeal> seals(shards);
   pool_.parallelFor(shards, [&](std::size_t s) {
     const auto begin = std::chrono::steady_clock::now();
     outboxes_[s].clear();
     worlds_[s]->runEpoch(epoch, std::span<const Envelope>{inboxes_[s]},
                          outboxes_[s]);
+    seals[s] = sealBatch(outboxes_[s]);
     epochBusy[s] = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - begin)
                        .count();
@@ -61,31 +162,19 @@ void ShardedSimulation::runEpoch() {
     }
   }
 
-  // Barrier: merge every outbox into the canonical (srcSegment, seq) order.
-  // Shards emit in emission order, so within one source segment seq is
-  // already ascending; the sort only interleaves segments, and the validity
-  // sweep below rejects duplicate or out-of-plan envelopes outright.
+  // Barrier: verify every outbox (seal, plan membership, hop bound,
+  // emission order), then merge into the canonical (srcSegment, seq) order
+  // and check per-source seq contiguity. Violations throw typed
+  // ShardIntegrityErrors with their ShardStats counter already bumped.
   merged_.clear();
   for (std::uint32_t s = 0; s < shards; ++s) {
+    if (config_.tamperOutboxHook) config_.tamperOutboxHook(epoch, s, outboxes_[s]);
+    verifyOutbox(epoch, s, seals[s]);
     for (Envelope& e : outboxes_[s]) merged_.push_back(std::move(e));
     outboxes_[s].clear();
   }
   std::sort(merged_.begin(), merged_.end(), canonicalLess);
-  for (std::size_t i = 0; i < merged_.size(); ++i) {
-    const Envelope& e = merged_[i];
-    BDP_ASSERT_MSG(e.srcSegment < plan_.segments() &&
-                       e.dstSegment < plan_.segments(),
-                   "envelope outside the plan");
-    const std::uint32_t hops = e.dstSegment > e.srcSegment
-                                   ? e.dstSegment - e.srcSegment
-                                   : e.srcSegment - e.dstSegment;
-    BDP_ASSERT_MSG(hops <= config_.maxSegmentHops,
-                   "envelope travels further than the epoch-safety bound");
-    if (i > 0 && merged_[i - 1].srcSegment == e.srcSegment) {
-      BDP_ASSERT_MSG(merged_[i - 1].seq < e.seq,
-                     "duplicate envelope seq within a source segment");
-    }
-  }
+  verifyMerged(epoch);
 
   // Route: canonical order is preserved per destination shard because the
   // merged sequence is visited in order.
@@ -103,6 +192,51 @@ void ShardedSimulation::runEpoch() {
 
   ++stats_.epochsRun;
   ++epoch_;
+
+  // Retain the freshly routed inboxes (for epoch epoch_) in the replay
+  // buffer; restartShard replays from snapshotEpoch_ up to the current
+  // epoch using exactly these recorded sequences.
+  if (config_.snapshotEvery > 0 && hasSnapshot_) {
+    history_.push_back(inboxes_);
+  }
+}
+
+void ShardedSimulation::restartShard(std::uint32_t s, ShardWorld* fresh) {
+  BDP_ASSERT_MSG(s < worlds_.size(), "restartShard: shard outside the plan");
+  BDP_ASSERT_MSG(fresh != nullptr, "restartShard: null replacement world");
+  ++stats_.shardRestarts;
+  if (hasSnapshot_) {
+    common::ByteReader reader{snapshots_[s]};
+    fresh->restoreState(reader);
+    std::vector<Envelope> discarded;
+    for (std::uint32_t e = snapshotEpoch_; e < epoch_; ++e) {
+      const std::vector<Envelope>& inbox = history_[e - snapshotEpoch_][s];
+      discarded.clear();
+      // Replay: the regenerated outbox is discarded — every other shard
+      // already consumed the original emission before the crash.
+      fresh->runEpoch(e, std::span<const Envelope>{inbox}, discarded);
+      stats_.envelopesReplayed += inbox.size();
+      ++stats_.recoveryEpochs;
+    }
+  } else {
+    BDP_ASSERT_MSG(epoch_ == 0,
+                   "restartShard without supervision snapshots mid-run");
+  }
+  worlds_[s] = fresh;
+}
+
+void ShardedSimulation::restoreExchange(
+    std::uint32_t epoch, std::vector<std::vector<Envelope>> inboxes) {
+  BDP_ASSERT_MSG(epoch_ == 0, "restoreExchange on a running simulation");
+  BDP_ASSERT_MSG(inboxes.size() == worlds_.size(),
+                 "restoreExchange: one inbox per shard");
+  epoch_ = epoch;
+  inboxes_ = std::move(inboxes);
+  // Supervision restarts from scratch: the next runEpoch takes a fresh
+  // snapshot (hasSnapshot_ is false), so restartShard never reaches back
+  // across the restore point.
+  hasSnapshot_ = false;
+  history_.clear();
 }
 
 }  // namespace blackdp::shard

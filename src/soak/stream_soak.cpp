@@ -24,6 +24,8 @@ void narrate(std::ostream* log, const std::string& line) {
   if (log != nullptr) *log << line << '\n';
 }
 
+}  // namespace
+
 std::string encodeManifestEntry(const ManifestEntry& entry) {
   std::string out = "{\"epoch\":";
   obs::appendJsonNumber(out, entry.epoch);
@@ -50,6 +52,8 @@ common::Status writeManifest(const std::string& checkpointDir,
       manifestPath(checkpointDir),
       {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
 }
+
+namespace {
 
 /// Rebuilds `world` from the newest manifest entry. The manifest entry is
 /// verified against the file (size + CRC) before the envelope's own checks

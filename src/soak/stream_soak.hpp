@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "scenario/stream_world.hpp"
 
 namespace blackdp::soak {
@@ -86,6 +87,14 @@ struct ManifestEntry {
     const std::string& checkpointDir);
 /// The checkpoint file name for an epoch boundary ("ckpt-%06llu.bdpc").
 [[nodiscard]] std::string checkpointFileName(std::uint64_t epoch);
+/// One manifest.jsonl line (shared by the stream and megacity soaks).
+[[nodiscard]] std::string encodeManifestEntry(const ManifestEntry& entry);
+/// Atomically rewrites the manifest — call strictly AFTER the checkpoint
+/// file itself landed, so a kill between the two leaves the manifest
+/// pointing at the previous complete checkpoint.
+[[nodiscard]] common::Status writeManifest(
+    const std::string& checkpointDir,
+    const std::vector<ManifestEntry>& entries);
 
 struct StreamSoakResult {
   std::uint64_t startEpoch{0};  ///< 0, or the resumed checkpoint's epoch

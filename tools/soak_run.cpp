@@ -16,6 +16,16 @@
 //   soak_run --stream ... --resume                       # continue from ckpt
 //   soak_run --stream ... --trace trace.jsonl            # record d_req trace
 //
+// Megacity mode (sharded corridor with crash-consistent checkpoints and
+// kill/resume chaos; see src/soak/megacity_soak.hpp):
+//
+//   soak_run --megacity --segments 8 --vehicles 800 --shards 4 --epochs 6
+//            --checkpoint-every 2 --checkpoint-dir ckpts   # checkpointed run
+//   soak_run --megacity ... --stop-after 3                 # emulated kill
+//   soak_run --megacity ... --resume                       # continue
+//   soak_run --megacity ... --chaos-kills 3                # kill/resume chaos
+//   soak_run --megacity ... --surfaces-out surfaces.txt    # byte-compare file
+//
 // On any invariant violation the process prints one replay line per
 // violation and exits 1. Replays are pure functions of the seed: one
 // thread, any machine, same violation.
@@ -27,6 +37,8 @@
 #include <string>
 
 #include "obs/trace_io.hpp"
+#include "sim/parallel.hpp"
+#include "soak/megacity_soak.hpp"
 #include "soak/soak_runner.hpp"
 #include "soak/stream_soak.hpp"
 
@@ -61,6 +73,47 @@ int runStreamMode(const blackdp::soak::StreamSoakOptions& options,
   return 1;
 }
 
+int runMegacityMode(const blackdp::soak::MegacitySoakOptions& options,
+                    unsigned jobs, const std::string& jsonPath,
+                    const std::string& surfacesPath) {
+  const blackdp::sim::ParallelRunner runner{jobs};
+  const blackdp::soak::MegacitySoakResult result =
+      blackdp::soak::runMegacitySoak(options, runner.threadPool());
+  for (const blackdp::soak::StreamSoakViolation& v : result.violations) {
+    std::cout << "VIOLATION [" << v.invariant << "] epoch " << v.epoch << ": "
+              << v.detail << "\n";
+  }
+  if (!jsonPath.empty()) {
+    std::ofstream out{jsonPath, std::ios::trunc};
+    if (!out) {
+      std::cerr << "cannot write metrics to " << jsonPath << "\n";
+      return 2;
+    }
+    out << result.metricsJson << "\n";
+  }
+  if (!surfacesPath.empty()) {
+    // Both partition-invariant surfaces in one file, so CI can byte-compare
+    // a resumed run against an uninterrupted one with a single cmp.
+    std::ofstream out{surfacesPath, std::ios::trunc};
+    if (!out) {
+      std::cerr << "cannot write surfaces to " << surfacesPath << "\n";
+      return 2;
+    }
+    out << result.metricsJson << "\n" << result.canonicalLog;
+  }
+  if (result.passed()) {
+    std::cout << "megacity soak PASS: epochs " << result.startEpoch << ".."
+              << result.endEpoch << ", all invariants held.\n";
+    if (!result.lastCheckpointPath.empty()) {
+      std::cout << "last checkpoint: " << result.lastCheckpointPath << "\n";
+    }
+    return 0;
+  }
+  std::cout << "megacity soak FAIL: " << result.violations.size()
+            << " violation(s).\n";
+  return 1;
+}
+
 void printViolations(const blackdp::soak::SoakRunner& runner,
                      const std::vector<blackdp::soak::SoakViolation>& violations,
                      bool injected) {
@@ -86,6 +139,11 @@ int main(int argc, char** argv) {
   streamOptions.log = &std::cout;
   std::string jsonPath;
 
+  bool megacityMode = false;
+  blackdp::soak::MegacitySoakOptions megacityOptions;
+  megacityOptions.log = &std::cout;
+  std::string surfacesPath;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -97,8 +155,27 @@ int main(int argc, char** argv) {
     };
     if (arg == "--stream") {
       streamMode = true;
+    } else if (arg == "--megacity") {
+      megacityMode = true;
     } else if (arg == "--epochs") {
       streamOptions.epochs = std::strtoull(value(), nullptr, 10);
+      megacityOptions.epochs = static_cast<std::uint32_t>(streamOptions.epochs);
+    } else if (arg == "--segments") {
+      megacityOptions.config.segments =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--vehicles") {
+      megacityOptions.config.vehicles =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--shards") {
+      megacityOptions.shards =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--megacity-seed") {
+      megacityOptions.config.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--chaos-kills") {
+      megacityOptions.chaosKills =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--surfaces-out") {
+      surfacesPath = value();
     } else if (arg == "--stream-seed") {
       streamOptions.stream.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--clusters") {
@@ -109,12 +186,18 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--checkpoint-every") {
       streamOptions.checkpointEvery = std::strtoull(value(), nullptr, 10);
+      megacityOptions.checkpointEvery =
+          static_cast<std::uint32_t>(streamOptions.checkpointEvery);
     } else if (arg == "--checkpoint-dir") {
       streamOptions.checkpointDir = value();
+      megacityOptions.checkpointDir = streamOptions.checkpointDir;
     } else if (arg == "--resume") {
       streamOptions.resume = true;
+      megacityOptions.resume = true;
     } else if (arg == "--stop-after") {
       streamOptions.stopAfter = std::strtoull(value(), nullptr, 10);
+      megacityOptions.stopAfter =
+          static_cast<std::uint32_t>(streamOptions.stopAfter);
     } else if (arg == "--json") {
       jsonPath = value();
     } else if (arg == "--seconds") {
@@ -135,6 +218,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--quiet") {
       options.log = nullptr;
       streamOptions.log = nullptr;
+      megacityOptions.log = nullptr;
     } else {
       std::cerr << "unknown argument: " << arg << "\n"
                 << "usage: soak_run [--seconds N] [--trials N] [--seed S] "
@@ -143,9 +227,19 @@ int main(int argc, char** argv) {
                    "   or: soak_run --stream [--epochs N] [--stream-seed S] "
                    "[--clusters C] [--dreqs-per-epoch D] "
                    "[--checkpoint-every K] [--checkpoint-dir DIR] [--resume] "
-                   "[--stop-after E] [--trace FILE] [--json FILE] [--quiet]\n";
+                   "[--stop-after E] [--trace FILE] [--json FILE] [--quiet]\n"
+                   "   or: soak_run --megacity [--segments N] [--vehicles V] "
+                   "[--shards P] [--epochs N] [--megacity-seed S] "
+                   "[--checkpoint-every K] [--checkpoint-dir DIR] [--resume] "
+                   "[--stop-after E] [--chaos-kills C] [--jobs J] "
+                   "[--json FILE] [--surfaces-out FILE] [--quiet]\n";
       return 2;
     }
+  }
+
+  if (megacityMode) {
+    return runMegacityMode(megacityOptions, options.jobs, jsonPath,
+                           surfacesPath);
   }
 
   if (streamMode) {
